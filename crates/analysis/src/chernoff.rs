@@ -1,0 +1,145 @@
+//! Chernoff–Hoeffding tail bounds.
+//!
+//! The paper invokes "Chernov-Hoeffding bounds" three times (Lemma 2,
+//! Lemma 4, and the Main Theorem) to lift expectations to w.h.p.
+//! statements. This module computes the actual bounds so experiments
+//! can print *predicted* failure probabilities next to *measured*
+//! violation rates — e.g. the probability that the unbalanced system
+//! load exceeds `(1+δ)·E[load]`.
+
+/// Upper tail for a sum of independent `[0,1]`-bounded variables with
+/// mean `mu`: `P(X ≥ (1+delta)·mu) ≤ exp(−mu·delta²/(2+delta))`
+/// (the standard simplified multiplicative Chernoff bound, valid for
+/// all `delta > 0`).
+pub fn upper_tail(mu: f64, delta: f64) -> f64 {
+    assert!(mu >= 0.0, "mean must be non-negative");
+    assert!(delta > 0.0, "delta must be positive");
+    (-mu * delta * delta / (2.0 + delta)).exp().min(1.0)
+}
+
+/// Lower tail: `P(X ≤ (1−delta)·mu) ≤ exp(−mu·delta²/2)` for
+/// `0 < delta < 1`.
+pub fn lower_tail(mu: f64, delta: f64) -> f64 {
+    assert!(mu >= 0.0, "mean must be non-negative");
+    assert!(delta > 0.0 && delta < 1.0, "need 0 < delta < 1");
+    (-mu * delta * delta / 2.0).exp().min(1.0)
+}
+
+/// Hoeffding bound for a sum of `count` independent variables each in
+/// `[lo, hi]`: `P(X − E[X] ≥ t) ≤ exp(−2t²/(count·(hi−lo)²))`.
+pub fn hoeffding(count: u64, lo: f64, hi: f64, t: f64) -> f64 {
+    assert!(hi > lo, "need a non-degenerate range");
+    assert!(t >= 0.0, "deviation must be non-negative");
+    let width = hi - lo;
+    (-2.0 * t * t / (count as f64 * width * width))
+        .exp()
+        .min(1.0)
+}
+
+/// The smallest `c` such that the bound `P(X ≥ (1+delta)·mu) ≤ n^{-c}`
+/// holds by [`upper_tail`] — i.e. the "w.h.p. exponent" the paper's
+/// statements carry. Returns 0 when the bound is vacuous.
+pub fn whp_exponent(n: usize, mu: f64, delta: f64) -> f64 {
+    let p = upper_tail(mu, delta);
+    if p >= 1.0 || n < 2 {
+        return 0.0;
+    }
+    -p.ln() / (n as f64).ln()
+}
+
+/// Predicted bound on the total system load of the unbalanced `Single`
+/// system: with per-processor expectation `e_load` and `n` processors,
+/// returns `(bound, probability)` such that
+/// `P(total ≥ bound) ≤ probability`, using `delta = 0.5`.
+///
+/// The per-processor load is not `[0,1]`-bounded, but it is dominated
+/// by a geometric; we use the standard trick of bounding the load by
+/// its value capped at `cap` (chosen so the cap's tail is negligible)
+/// and applying Hoeffding on `[0, cap]`.
+pub fn system_load_bound(n: usize, e_load: f64, cap: f64) -> (f64, f64) {
+    let mu = e_load * n as f64;
+    let t = 0.5 * mu;
+    let p = hoeffding(n as u64, 0.0, cap, t);
+    (1.5 * mu, p)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn upper_tail_decreases_in_mu_and_delta() {
+        assert!(upper_tail(100.0, 0.5) < upper_tail(10.0, 0.5));
+        assert!(upper_tail(100.0, 1.0) < upper_tail(100.0, 0.5));
+        assert!(upper_tail(0.0, 0.5) >= 1.0 - 1e-12); // vacuous at mu=0
+    }
+
+    #[test]
+    fn tails_are_probabilities() {
+        for mu in [0.1, 1.0, 50.0] {
+            for delta in [0.1, 0.5, 2.0] {
+                let p = upper_tail(mu, delta);
+                assert!((0.0..=1.0).contains(&p));
+            }
+            let p = lower_tail(mu, 0.5);
+            assert!((0.0..=1.0).contains(&p));
+        }
+    }
+
+    #[test]
+    fn hoeffding_known_value() {
+        // n=100 coin flips in [0,1], deviation t=20:
+        // exp(-2*400/100) = exp(-8).
+        let p = hoeffding(100, 0.0, 1.0, 20.0);
+        assert!((p - (-8.0f64).exp()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hoeffding_scales_with_range() {
+        // Wider ranges weaken the bound.
+        assert!(hoeffding(100, 0.0, 2.0, 20.0) > hoeffding(100, 0.0, 1.0, 20.0));
+    }
+
+    #[test]
+    fn whp_exponent_grows_with_n_scaled_mean() {
+        // If mu = Theta(n), the exponent grows ~ n/ln n: w.h.p. gets
+        // stronger with n, which is exactly the paper's usage.
+        let e1 = whp_exponent(1 << 10, 1024.0, 0.5);
+        let e2 = whp_exponent(1 << 14, 16384.0, 0.5);
+        assert!(e2 > e1);
+        assert!(e1 > 1.0, "exponent {e1} should already exceed 1");
+    }
+
+    #[test]
+    fn system_load_bound_is_meaningful() {
+        // Lemma 2 scale: n = 4096, E[load] = 2 per processor. The cap
+        // trades truncation error against bound strength: at cap 16 the
+        // per-processor tail P(load >= 16) = (2/3)^16 < 0.2% while the
+        // Hoeffding exponent is 2t^2/(n*16^2) = 32.
+        let (bound, p) = system_load_bound(4096, 2.0, 16.0);
+        assert!((bound - 1.5 * 2.0 * 4096.0).abs() < 1e-9);
+        assert!(p < 1e-9, "predicted failure probability {p} too weak");
+        // A cap far above the mean weakens the bound into uselessness —
+        // the caller must choose it from the geometric tail.
+        let (_, weak) = system_load_bound(4096, 2.0, 64.0);
+        assert!(weak > p);
+    }
+
+    #[test]
+    #[should_panic(expected = "delta")]
+    fn upper_tail_rejects_zero_delta() {
+        upper_tail(1.0, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "0 < delta < 1")]
+    fn lower_tail_rejects_large_delta() {
+        lower_tail(1.0, 1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "range")]
+    fn hoeffding_rejects_empty_range() {
+        hoeffding(10, 1.0, 1.0, 0.5);
+    }
+}

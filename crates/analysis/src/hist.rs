@@ -1,0 +1,232 @@
+//! Integer histograms (load distributions, sojourn times, tree depths).
+
+/// A dense histogram over small non-negative integers with an overflow
+/// bucket.
+///
+/// ```
+/// use pcrlb_analysis::Histogram;
+///
+/// let h = Histogram::from_values([0, 1, 1, 2, 9]);
+/// assert_eq!(h.quantile(0.5), 1);
+/// assert!((h.tail_probability(2) - 0.2).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    buckets: Vec<u64>,
+    overflow: u64,
+    count: u64,
+    sum: u64,
+    max: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram resolving values `0..cap` exactly; larger
+    /// values share the overflow bucket (but `max`/`mean` stay exact).
+    pub fn new(cap: usize) -> Self {
+        Histogram {
+            buckets: vec![0; cap.max(1)],
+            overflow: 0,
+            count: 0,
+            sum: 0,
+            max: 0,
+        }
+    }
+
+    /// Builds a histogram from observations, sized to the largest.
+    pub fn from_values(values: impl IntoIterator<Item = u64>) -> Self {
+        let vals: Vec<u64> = values.into_iter().collect();
+        let cap = vals.iter().copied().max().unwrap_or(0) as usize + 1;
+        let mut h = Histogram::new(cap);
+        for v in vals {
+            h.record(v);
+        }
+        h
+    }
+
+    /// Records one observation.
+    pub fn record(&mut self, v: u64) {
+        self.count += 1;
+        self.sum += v;
+        self.max = self.max.max(v);
+        match self.buckets.get_mut(v as usize) {
+            Some(b) => *b += 1,
+            None => self.overflow += 1,
+        }
+    }
+
+    /// Records `k` identical observations.
+    pub fn record_n(&mut self, v: u64, k: u64) {
+        for _ in 0..k {
+            self.record(v);
+        }
+    }
+
+    /// Total observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Exact mean of all observations.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Exact maximum observation (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Observations exactly equal to `v` (`None` if `v` is in the
+    /// overflow region and therefore not resolved).
+    pub fn bucket(&self, v: u64) -> Option<u64> {
+        self.buckets.get(v as usize).copied()
+    }
+
+    /// Observations strictly greater than `v` (exact as long as `v` is
+    /// below the overflow region).
+    pub fn above(&self, v: u64) -> u64 {
+        let within: u64 = self
+            .buckets
+            .iter()
+            .enumerate()
+            .skip(v as usize + 1)
+            .map(|(_, c)| *c)
+            .sum();
+        within + self.overflow
+    }
+
+    /// Empirical `P(X > v)`.
+    pub fn tail_probability(&self, v: u64) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.above(v) as f64 / self.count as f64
+        }
+    }
+
+    /// Empirical pmf over the resolved range (skipping the overflow).
+    pub fn pmf(&self) -> Vec<f64> {
+        if self.count == 0 {
+            return vec![0.0; self.buckets.len()];
+        }
+        self.buckets
+            .iter()
+            .map(|&c| c as f64 / self.count as f64)
+            .collect()
+    }
+
+    /// Smallest `v` with `P(X <= v) >= p` (nearest-rank quantile).
+    pub fn quantile(&self, p: f64) -> u64 {
+        assert!((0.0..=1.0).contains(&p));
+        if self.count == 0 {
+            return 0;
+        }
+        let target = (p * self.count as f64).ceil().max(1.0) as u64;
+        let mut acc = 0u64;
+        for (v, &c) in self.buckets.iter().enumerate() {
+            acc += c;
+            if acc >= target {
+                return v as u64;
+            }
+        }
+        self.max
+    }
+
+    /// Merges another histogram (must have the same resolution).
+    pub fn merge(&mut self, other: &Histogram) {
+        assert_eq!(
+            self.buckets.len(),
+            other.buckets.len(),
+            "histogram resolutions differ"
+        );
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.overflow += other.overflow;
+        self.count += other.count;
+        self.sum += other.sum;
+        self.max = self.max.max(other.max);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_and_reports() {
+        let h = Histogram::from_values([0, 1, 1, 2, 5]);
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.bucket(1), Some(2));
+        assert_eq!(h.bucket(3), Some(0));
+        assert_eq!(h.max(), 5);
+        assert!((h.mean() - 1.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn overflow_counts_but_tracks_max() {
+        let mut h = Histogram::new(4);
+        h.record(2);
+        h.record(100);
+        assert_eq!(h.bucket(2), Some(1));
+        assert_eq!(h.bucket(100), None);
+        assert_eq!(h.max(), 100);
+        assert_eq!(h.above(3), 1);
+        assert_eq!(h.count(), 2);
+    }
+
+    #[test]
+    fn tail_probability_matches_manual() {
+        let h = Histogram::from_values([0, 0, 1, 2, 3, 3]);
+        assert!((h.tail_probability(0) - 4.0 / 6.0).abs() < 1e-12);
+        assert!((h.tail_probability(2) - 2.0 / 6.0).abs() < 1e-12);
+        assert_eq!(h.tail_probability(3), 0.0);
+    }
+
+    #[test]
+    fn quantiles() {
+        let h = Histogram::from_values([1, 2, 3, 4, 5, 6, 7, 8, 9, 10]);
+        assert_eq!(h.quantile(0.5), 5);
+        assert_eq!(h.quantile(1.0), 10);
+        assert_eq!(h.quantile(0.09), 1);
+    }
+
+    #[test]
+    fn pmf_sums_to_resolved_fraction() {
+        let h = Histogram::from_values([0, 1, 2]);
+        let total: f64 = h.pmf().iter().sum();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_adds_counts() {
+        let mut a = Histogram::new(8);
+        a.record(1);
+        a.record(9); // overflow
+        let mut b = Histogram::new(8);
+        b.record_n(1, 3);
+        a.merge(&b);
+        assert_eq!(a.bucket(1), Some(4));
+        assert_eq!(a.count(), 5);
+        assert_eq!(a.max(), 9);
+    }
+
+    #[test]
+    #[should_panic(expected = "resolutions differ")]
+    fn merge_requires_same_resolution() {
+        let mut a = Histogram::new(4);
+        a.merge(&Histogram::new(8));
+    }
+
+    #[test]
+    fn empty_histogram_edge_cases() {
+        let h = Histogram::new(4);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.quantile(0.5), 0);
+        assert_eq!(h.tail_probability(0), 0.0);
+    }
+}

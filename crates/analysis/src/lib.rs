@@ -1,0 +1,43 @@
+//! # pcrlb-analysis — measurement toolkit
+//!
+//! Statistical machinery the experiments use to compare measurements
+//! against the paper's predictions:
+//!
+//! * [`BirthDeath`] — the exact Lemma 2 steady-state distribution of an
+//!   unbalanced processor's load under the `Single` model;
+//! * [`Summary`] / [`quantile`] — streaming summary statistics;
+//! * [`Histogram`] — integer histograms with tails and quantiles;
+//! * [`fit_geometric_ratio`] — recovers the geometric decay ratio from
+//!   an empirical load histogram (validating Lemma 2's shape);
+//! * [`WhpCheck`] — per-trial extreme collection with violation-rate
+//!   evaluation for the paper's w.h.p. claims;
+//! * [`Table`] — text/Markdown rendering used by the harness so
+//!   `EXPERIMENTS.md` rows are copy-paste reproducible;
+//! * [`chernoff`] — the Chernoff–Hoeffding bounds the paper's lemmas
+//!   invoke, so predicted failure probabilities can sit next to
+//!   measured violation rates.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod chernoff;
+pub mod hist;
+pub mod markov;
+pub mod plot;
+pub mod queueing;
+pub mod series;
+pub mod stats;
+pub mod table;
+pub mod tail;
+pub mod whp;
+
+pub use chernoff::{hoeffding, lower_tail, upper_tail, whp_exponent};
+pub use hist::Histogram;
+pub use markov::BirthDeath;
+pub use plot::{LinePlot, Scale, Series};
+pub use queueing::MM1;
+pub use series::{sparkline, TimeSeries};
+pub use stats::{quantile, Summary};
+pub use table::{fmt_f, fmt_rate, Table};
+pub use tail::{fit_geometric_ratio, geometric_fit_r2};
+pub use whp::WhpCheck;

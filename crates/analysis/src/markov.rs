@@ -1,0 +1,159 @@
+//! The birth–death Markov chain of Lemma 2.
+//!
+//! For the `Single` model an unbalanced processor's load is a random
+//! walk on `0, 1, 2, …` with
+//!
+//! * gain probability `p_g = p(1 − q)` (task generated, none consumed),
+//! * loss probability `p_l = q(1 − p)` (task consumed, none generated),
+//!
+//! whose steady state is geometric: `v_i = (1 − r)·r^i` with
+//! `r = p_g / p_l < 1`. Lemma 2 concludes each node holds load `k` with
+//! probability `(1/c)^k` and the system load is `O(n)` w.h.p.
+//!
+//! [`BirthDeath`] computes the exact distribution so experiments can
+//! compare measured histograms against it (experiment E2).
+
+/// A birth–death chain with constant gain/loss probabilities.
+///
+/// ```
+/// use pcrlb_analysis::BirthDeath;
+///
+/// let chain = BirthDeath::from_single(0.4, 0.5);
+/// assert!((chain.expected_load() - 2.0).abs() < 1e-12);
+/// // P(load >= k) decays geometrically — the Lemma 2 shape.
+/// assert!(chain.tail(10) < 0.02);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BirthDeath {
+    /// Per-step probability of moving up.
+    pub gain: f64,
+    /// Per-step probability of moving down (when above zero).
+    pub loss: f64,
+}
+
+impl BirthDeath {
+    /// Creates the chain; requires `0 < gain < loss ≤ 1` (positive
+    /// recurrence / steady state).
+    pub fn new(gain: f64, loss: f64) -> Self {
+        assert!(gain > 0.0 && loss > 0.0, "probabilities must be positive");
+        assert!(loss <= 1.0 && gain < 1.0, "probabilities must be at most 1");
+        assert!(gain < loss, "steady state needs gain < loss");
+        BirthDeath { gain, loss }
+    }
+
+    /// The chain induced by the `Single` model with generation
+    /// probability `p` and consumption probability `q`.
+    pub fn from_single(p: f64, q: f64) -> Self {
+        BirthDeath::new(p * (1.0 - q), q * (1.0 - p))
+    }
+
+    /// The geometric decay ratio `r = gain / loss` (the paper's `1/c`).
+    pub fn ratio(&self) -> f64 {
+        self.gain / self.loss
+    }
+
+    /// Steady-state probability of load exactly `k`:
+    /// `v_k = (1 − r)·r^k`.
+    pub fn pmf(&self, k: usize) -> f64 {
+        let r = self.ratio();
+        (1.0 - r) * r.powi(k as i32)
+    }
+
+    /// Steady-state probability of load at least `k`: `r^k`.
+    pub fn tail(&self, k: usize) -> f64 {
+        self.ratio().powi(k as i32)
+    }
+
+    /// Expected steady-state load `r / (1 − r)`.
+    pub fn expected_load(&self) -> f64 {
+        let r = self.ratio();
+        r / (1.0 - r)
+    }
+
+    /// The first `k_max + 1` steady-state probabilities.
+    pub fn steady_state(&self, k_max: usize) -> Vec<f64> {
+        (0..=k_max).map(|k| self.pmf(k)).collect()
+    }
+
+    /// The load `k` at which the tail drops below `prob` —
+    /// `⌈log prob / log r⌉`. For `prob = 1/n` this is the `O(log n)`
+    /// unbalanced max-load scale of §5.
+    pub fn quantile(&self, prob: f64) -> usize {
+        assert!(prob > 0.0 && prob < 1.0);
+        (prob.ln() / self.ratio().ln()).ceil() as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn paper_chain() -> BirthDeath {
+        // Single(p = 0.4, q = 0.5): p_g = 0.2, p_l = 0.3.
+        BirthDeath::from_single(0.4, 0.5)
+    }
+
+    #[test]
+    fn from_single_matches_paper_formulas() {
+        let c = paper_chain();
+        assert!((c.gain - 0.2).abs() < 1e-12);
+        assert!((c.loss - 0.3).abs() < 1e-12);
+        assert!((c.ratio() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pmf_sums_to_one() {
+        let c = paper_chain();
+        let total: f64 = c.steady_state(500).iter().sum();
+        assert!((total - 1.0).abs() < 1e-9, "pmf sums to {total}");
+    }
+
+    #[test]
+    fn tail_is_consistent_with_pmf() {
+        let c = paper_chain();
+        for k in [0usize, 1, 3, 10] {
+            let from_pmf: f64 = (k..500).map(|i| c.pmf(i)).sum();
+            assert!((c.tail(k) - from_pmf).abs() < 1e-9);
+        }
+        assert!((c.tail(0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn expected_load_matches_sum() {
+        let c = paper_chain();
+        let by_sum: f64 = (0..2000).map(|k| k as f64 * c.pmf(k)).sum();
+        assert!((c.expected_load() - by_sum).abs() < 1e-6);
+        // r = 2/3 => E = 2.
+        assert!((c.expected_load() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantile_inverts_tail() {
+        let c = paper_chain();
+        let k = c.quantile(1e-6);
+        assert!(c.tail(k) <= 1e-6);
+        assert!(c.tail(k.saturating_sub(1)) > 1e-6);
+    }
+
+    #[test]
+    fn quantile_grows_logarithmically() {
+        // The §5 remark: without balancing the max load is O(log n)
+        // w.h.p. — the 1/n quantile grows linearly in log n.
+        let c = paper_chain();
+        let q1 = c.quantile(1.0 / 1024.0);
+        let q2 = c.quantile(1.0 / (1024.0 * 1024.0));
+        assert!(q2 >= 2 * q1 - 2 && q2 <= 2 * q1 + 2, "q1={q1} q2={q2}");
+    }
+
+    #[test]
+    #[should_panic(expected = "gain < loss")]
+    fn rejects_unstable_chain() {
+        BirthDeath::new(0.3, 0.2);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn rejects_zero_gain() {
+        BirthDeath::new(0.0, 0.5);
+    }
+}

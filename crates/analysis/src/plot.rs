@@ -1,0 +1,330 @@
+//! Minimal SVG line charts — dependency-free figure generation for the
+//! experiment harness (`pcrlb-experiments figures`).
+//!
+//! Produces self-contained SVG files: axes, ticks, grid, multiple
+//! series with markers, and a legend. Optional log₂ scaling on either
+//! axis, which growth-shape figures (max load vs `n`) need.
+
+use std::fmt::Write as _;
+
+/// Axis scaling.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Linear axis.
+    Linear,
+    /// Base-2 logarithmic axis (values must be positive).
+    Log2,
+}
+
+impl Scale {
+    fn apply(&self, v: f64) -> f64 {
+        match self {
+            Scale::Linear => v,
+            Scale::Log2 => v.max(f64::MIN_POSITIVE).log2(),
+        }
+    }
+}
+
+/// One plotted series.
+#[derive(Debug, Clone)]
+pub struct Series {
+    /// Legend label.
+    pub label: String,
+    /// (x, y) points, in drawing order.
+    pub points: Vec<(f64, f64)>,
+}
+
+impl Series {
+    /// Creates a series.
+    pub fn new(label: impl Into<String>, points: Vec<(f64, f64)>) -> Self {
+        Series {
+            label: label.into(),
+            points,
+        }
+    }
+}
+
+/// A line chart.
+#[derive(Debug, Clone)]
+pub struct LinePlot {
+    title: String,
+    x_label: String,
+    y_label: String,
+    x_scale: Scale,
+    y_scale: Scale,
+    series: Vec<Series>,
+}
+
+/// Categorical palette (distinct, colour-blind-friendly-ish).
+const COLORS: [&str; 6] = [
+    "#4e79a7", "#e15759", "#59a14f", "#f28e2b", "#b07aa1", "#76b7b2",
+];
+
+impl LinePlot {
+    /// Creates an empty plot.
+    pub fn new(
+        title: impl Into<String>,
+        x_label: impl Into<String>,
+        y_label: impl Into<String>,
+    ) -> Self {
+        LinePlot {
+            title: title.into(),
+            x_label: x_label.into(),
+            y_label: y_label.into(),
+            x_scale: Scale::Linear,
+            y_scale: Scale::Linear,
+            series: Vec::new(),
+        }
+    }
+
+    /// Sets the x-axis scale.
+    pub fn x_scale(mut self, s: Scale) -> Self {
+        self.x_scale = s;
+        self
+    }
+
+    /// Sets the y-axis scale.
+    pub fn y_scale(mut self, s: Scale) -> Self {
+        self.y_scale = s;
+        self
+    }
+
+    /// Adds a series.
+    pub fn series(mut self, s: Series) -> Self {
+        self.series.push(s);
+        self
+    }
+
+    /// Renders the SVG document.
+    ///
+    /// # Panics
+    /// Panics when no series has any points (an empty figure is a
+    /// harness bug, not a rendering case).
+    pub fn render(&self) -> String {
+        let (w, h) = (640.0f64, 420.0f64);
+        let (ml, mr, mt, mb) = (64.0, 160.0, 44.0, 52.0); // margins
+        let plot_w = w - ml - mr;
+        let plot_h = h - mt - mb;
+
+        // Scaled data bounds.
+        let mut xs: Vec<f64> = Vec::new();
+        let mut ys: Vec<f64> = Vec::new();
+        for s in &self.series {
+            for &(x, y) in &s.points {
+                xs.push(self.x_scale.apply(x));
+                ys.push(self.y_scale.apply(y));
+            }
+        }
+        assert!(!xs.is_empty(), "plot '{}' has no points", self.title);
+        let (x_min, x_max) = bounds(&xs);
+        let (y_min, y_max) = bounds(&ys);
+        let x_span = (x_max - x_min).max(1e-9);
+        let y_span = (y_max - y_min).max(1e-9);
+        let px = |x: f64| ml + (self.x_scale.apply(x) - x_min) / x_span * plot_w;
+        let py = |y: f64| mt + plot_h - (self.y_scale.apply(y) - y_min) / y_span * plot_h;
+
+        let mut svg = String::new();
+        let _ = write!(
+            svg,
+            r##"<svg xmlns="http://www.w3.org/2000/svg" width="{w}" height="{h}" viewBox="0 0 {w} {h}" font-family="sans-serif" font-size="12">"##
+        );
+        let _ = write!(
+            svg,
+            r##"<rect width="{w}" height="{h}" fill="white"/><text x="{}" y="24" text-anchor="middle" font-size="15" font-weight="bold">{}</text>"##,
+            ml + plot_w / 2.0,
+            xml_escape(&self.title)
+        );
+
+        // Grid + ticks (5 divisions each way, values in scaled space
+        // mapped back to labels).
+        for i in 0..=5 {
+            let frac = i as f64 / 5.0;
+            let gx = ml + frac * plot_w;
+            let gy = mt + plot_h - frac * plot_h;
+            let xv = x_min + frac * x_span;
+            let yv = y_min + frac * y_span;
+            let x_label = match self.x_scale {
+                Scale::Linear => format_tick(xv),
+                Scale::Log2 => format!("2^{}", xv.round() as i64),
+            };
+            let y_label = match self.y_scale {
+                Scale::Linear => format_tick(yv),
+                Scale::Log2 => format!("2^{}", yv.round() as i64),
+            };
+            let _ = write!(
+                svg,
+                r##"<line x1="{gx}" y1="{mt}" x2="{gx}" y2="{}" stroke="#e0e0e0"/><line x1="{ml}" y1="{gy}" x2="{}" y2="{gy}" stroke="#e0e0e0"/>"##,
+                mt + plot_h,
+                ml + plot_w
+            );
+            let _ = write!(
+                svg,
+                r##"<text x="{gx}" y="{}" text-anchor="middle" fill="#555">{x_label}</text><text x="{}" y="{}" text-anchor="end" fill="#555">{y_label}</text>"##,
+                mt + plot_h + 16.0,
+                ml - 6.0,
+                gy + 4.0
+            );
+        }
+        // Axis labels.
+        let _ = write!(
+            svg,
+            r##"<text x="{}" y="{}" text-anchor="middle" fill="#333">{}</text><text x="16" y="{}" text-anchor="middle" fill="#333" transform="rotate(-90 16 {})">{}</text>"##,
+            ml + plot_w / 2.0,
+            h - 12.0,
+            xml_escape(&self.x_label),
+            mt + plot_h / 2.0,
+            mt + plot_h / 2.0,
+            xml_escape(&self.y_label)
+        );
+        // Frame.
+        let _ = write!(
+            svg,
+            r##"<rect x="{ml}" y="{mt}" width="{plot_w}" height="{plot_h}" fill="none" stroke="#888"/>"##
+        );
+
+        // Series.
+        for (si, s) in self.series.iter().enumerate() {
+            let color = COLORS[si % COLORS.len()];
+            let path: Vec<String> = s
+                .points
+                .iter()
+                .map(|&(x, y)| format!("{:.1},{:.1}", px(x), py(y)))
+                .collect();
+            if path.len() > 1 {
+                let _ = write!(
+                    svg,
+                    r##"<polyline points="{}" fill="none" stroke="{color}" stroke-width="2"/>"##,
+                    path.join(" ")
+                );
+            }
+            for &(x, y) in &s.points {
+                let _ = write!(
+                    svg,
+                    r##"<circle cx="{:.1}" cy="{:.1}" r="3" fill="{color}"/>"##,
+                    px(x),
+                    py(y)
+                );
+            }
+            // Legend entry.
+            let ly = mt + 8.0 + si as f64 * 18.0;
+            let _ = write!(
+                svg,
+                r##"<line x1="{}" y1="{ly}" x2="{}" y2="{ly}" stroke="{color}" stroke-width="2"/><text x="{}" y="{}" fill="#333">{}</text>"##,
+                w - mr + 10.0,
+                w - mr + 30.0,
+                w - mr + 36.0,
+                ly + 4.0,
+                xml_escape(&s.label)
+            );
+        }
+
+        svg.push_str("</svg>");
+        svg
+    }
+}
+
+fn bounds(vals: &[f64]) -> (f64, f64) {
+    let min = vals.iter().copied().fold(f64::INFINITY, f64::min);
+    let max = vals.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    if (max - min).abs() < 1e-12 {
+        (min - 1.0, max + 1.0)
+    } else {
+        (min, max)
+    }
+}
+
+fn format_tick(v: f64) -> String {
+    if v.abs() >= 1000.0 {
+        format!("{:.0}", v)
+    } else if (v - v.round()).abs() < 1e-9 {
+        format!("{}", v.round() as i64)
+    } else {
+        format!("{v:.2}")
+    }
+}
+
+fn xml_escape(s: &str) -> String {
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_plot() -> LinePlot {
+        LinePlot::new("Max load vs n", "processors", "max load")
+            .x_scale(Scale::Log2)
+            .series(Series::new(
+                "balanced",
+                vec![(256.0, 11.0), (1024.0, 9.0), (4096.0, 9.0)],
+            ))
+            .series(Series::new(
+                "unbalanced",
+                vec![(256.0, 38.0), (1024.0, 37.0)],
+            ))
+    }
+
+    #[test]
+    fn renders_well_formed_svg() {
+        let svg = sample_plot().render();
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.ends_with("</svg>"));
+        assert_eq!(svg.matches("<polyline").count(), 2);
+        assert_eq!(svg.matches("<circle").count(), 5);
+        assert!(svg.contains("balanced"));
+        assert!(svg.contains("unbalanced"));
+        assert!(svg.contains("2^")); // log ticks
+    }
+
+    #[test]
+    fn escapes_xml_in_labels() {
+        let svg = LinePlot::new("a < b & c", "x", "y")
+            .series(Series::new("s<1>", vec![(0.0, 0.0), (1.0, 1.0)]))
+            .render();
+        assert!(svg.contains("a &lt; b &amp; c"));
+        assert!(svg.contains("s&lt;1&gt;"));
+        assert!(!svg.contains("a < b"));
+    }
+
+    #[test]
+    fn degenerate_single_point_does_not_panic() {
+        let svg = LinePlot::new("p", "x", "y")
+            .series(Series::new("one", vec![(5.0, 5.0)]))
+            .render();
+        assert!(svg.contains("<circle"));
+        assert!(!svg.contains("NaN"));
+    }
+
+    #[test]
+    #[should_panic(expected = "no points")]
+    fn empty_plot_panics() {
+        LinePlot::new("p", "x", "y").render();
+    }
+
+    #[test]
+    fn log_scale_spreads_powers_evenly() {
+        // With log2 x-scale, 256 -> 1024 -> 4096 are equally spaced:
+        // extract the circle x positions of the first series.
+        let svg = LinePlot::new("p", "x", "y")
+            .x_scale(Scale::Log2)
+            .series(Series::new(
+                "s",
+                vec![(256.0, 1.0), (1024.0, 1.0), (4096.0, 1.0)],
+            ))
+            .render();
+        let xs: Vec<f64> = svg
+            .match_indices("<circle cx=\"")
+            .map(|(i, _)| {
+                let rest = &svg[i + 12..];
+                let end = rest.find('"').unwrap();
+                rest[..end].parse::<f64>().unwrap()
+            })
+            .collect();
+        assert_eq!(xs.len(), 3);
+        let d1 = xs[1] - xs[0];
+        let d2 = xs[2] - xs[1];
+        assert!((d1 - d2).abs() < 0.5, "log ticks not even: {d1} vs {d2}");
+    }
+}

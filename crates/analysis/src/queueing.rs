@@ -1,0 +1,106 @@
+//! Closed-form M/M/1 queueing theory.
+//!
+//! The supermarket baseline's `d = 1` case is `n` independent M/M/1
+//! queues, for which everything is known exactly. These formulas give
+//! the experiments a ground truth: the event-driven simulator must
+//! reproduce them (test `mm1_sojourn_matches_queueing_theory`), which
+//! certifies the simulator before it is trusted for `d ≥ 2`, where no
+//! closed form exists.
+
+/// An M/M/1 queue with arrival rate `lambda` and service rate `mu`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MM1 {
+    /// Arrival rate.
+    pub lambda: f64,
+    /// Service rate.
+    pub mu: f64,
+}
+
+impl MM1 {
+    /// Creates the queue; requires `0 < lambda < mu` (stability).
+    pub fn new(lambda: f64, mu: f64) -> Self {
+        assert!(lambda > 0.0, "arrival rate must be positive");
+        assert!(lambda < mu, "stability requires lambda < mu");
+        MM1 { lambda, mu }
+    }
+
+    /// Utilization `ρ = λ/μ`.
+    pub fn rho(&self) -> f64 {
+        self.lambda / self.mu
+    }
+
+    /// Expected number in system `L = ρ/(1−ρ)`.
+    pub fn mean_in_system(&self) -> f64 {
+        let r = self.rho();
+        r / (1.0 - r)
+    }
+
+    /// Expected sojourn (wait + service) `W = 1/(μ−λ)` (Little's law:
+    /// `L = λW`).
+    pub fn mean_sojourn(&self) -> f64 {
+        1.0 / (self.mu - self.lambda)
+    }
+
+    /// Steady-state `P(exactly k in system) = (1−ρ)ρ^k`.
+    pub fn pmf(&self, k: usize) -> f64 {
+        let r = self.rho();
+        (1.0 - r) * r.powi(k as i32)
+    }
+
+    /// Steady-state `P(at least k in system) = ρ^k`.
+    pub fn tail(&self, k: usize) -> f64 {
+        self.rho().powi(k as i32)
+    }
+
+    /// The `1/n` quantile of the per-queue maximum: with `n` independent
+    /// queues, the expected max queue length scales like
+    /// `log n / log(1/ρ)` — the `d = 1` baseline the supermarket model's
+    /// `O(log log n)` beats exponentially.
+    pub fn expected_max_over(&self, n: usize) -> f64 {
+        (n.max(2) as f64).ln() / (1.0 / self.rho()).ln()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_values_at_half_load() {
+        let q = MM1::new(0.5, 1.0);
+        assert!((q.rho() - 0.5).abs() < 1e-12);
+        assert!((q.mean_in_system() - 1.0).abs() < 1e-12);
+        assert!((q.mean_sojourn() - 2.0).abs() < 1e-12);
+        assert!((q.pmf(0) - 0.5).abs() < 1e-12);
+        assert!((q.tail(3) - 0.125).abs() < 1e-12);
+    }
+
+    #[test]
+    fn littles_law_holds() {
+        for (l, m) in [(0.3, 1.0), (0.7, 1.0), (1.4, 2.0)] {
+            let q = MM1::new(l, m);
+            assert!((q.mean_in_system() - q.lambda * q.mean_sojourn()).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn pmf_sums_to_one() {
+        let q = MM1::new(0.7, 1.0);
+        let total: f64 = (0..2000).map(|k| q.pmf(k)).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn max_grows_logarithmically_in_n() {
+        let q = MM1::new(0.7, 1.0);
+        let m1 = q.expected_max_over(1 << 10);
+        let m2 = q.expected_max_over(1 << 20);
+        assert!((m2 / m1 - 2.0).abs() < 0.01, "log n scaling broken");
+    }
+
+    #[test]
+    #[should_panic(expected = "stability")]
+    fn rejects_overload() {
+        MM1::new(1.0, 1.0);
+    }
+}

@@ -1,0 +1,167 @@
+//! Time series of per-step observations, with downsampling and
+//! terminal sparklines for quick visual inspection of runs.
+
+/// A time series sampled every `every` steps.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimeSeries {
+    every: u64,
+    values: Vec<f64>,
+}
+
+impl TimeSeries {
+    /// Creates a series that keeps one value per `every` steps.
+    pub fn new(every: u64) -> Self {
+        assert!(every >= 1, "sampling interval must be positive");
+        TimeSeries {
+            every,
+            values: Vec::new(),
+        }
+    }
+
+    /// Offers an observation for `step`; kept when `step` is a multiple
+    /// of the sampling interval. Returns true when recorded.
+    pub fn offer(&mut self, step: u64, value: f64) -> bool {
+        if step % self.every == 0 {
+            self.values.push(value);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Records unconditionally (for pre-sampled data).
+    pub fn push(&mut self, value: f64) {
+        self.values.push(value);
+    }
+
+    /// The sampled values.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True when no samples have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Largest sample (`None` when empty).
+    pub fn max(&self) -> Option<f64> {
+        self.values.iter().copied().reduce(f64::max)
+    }
+
+    /// Mean of all samples (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.values.is_empty() {
+            0.0
+        } else {
+            self.values.iter().sum::<f64>() / self.values.len() as f64
+        }
+    }
+
+    /// Reduces the series to at most `buckets` points by max-pooling
+    /// (max preserves the peaks that load-balancing plots care about).
+    pub fn downsample_max(&self, buckets: usize) -> Vec<f64> {
+        assert!(buckets >= 1);
+        if self.values.len() <= buckets {
+            return self.values.clone();
+        }
+        let per = self.values.len().div_ceil(buckets);
+        self.values
+            .chunks(per)
+            .map(|c| c.iter().copied().fold(f64::NEG_INFINITY, f64::max))
+            .collect()
+    }
+
+    /// Renders a Unicode sparkline of at most `width` characters,
+    /// scaled to `[0, cap]` (values above `cap` saturate).
+    pub fn sparkline(&self, width: usize, cap: f64) -> String {
+        sparkline(&self.downsample_max(width.max(1)), cap)
+    }
+}
+
+/// Renders values as a Unicode bar sparkline scaled to `[0, cap]`.
+pub fn sparkline(values: &[f64], cap: f64) -> String {
+    const BARS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    let cap = if cap > 0.0 { cap } else { 1.0 };
+    values
+        .iter()
+        .map(|&v| {
+            let frac = (v / cap).clamp(0.0, 1.0);
+            BARS[((frac * (BARS.len() - 1) as f64).round()) as usize]
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn offer_respects_interval() {
+        let mut s = TimeSeries::new(10);
+        assert!(s.offer(0, 1.0));
+        assert!(!s.offer(5, 2.0));
+        assert!(s.offer(10, 3.0));
+        assert_eq!(s.values(), &[1.0, 3.0]);
+        assert_eq!(s.len(), 2);
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    fn stats() {
+        let mut s = TimeSeries::new(1);
+        for v in [1.0, 5.0, 3.0] {
+            s.push(v);
+        }
+        assert_eq!(s.max(), Some(5.0));
+        assert!((s.mean() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_series() {
+        let s = TimeSeries::new(1);
+        assert!(s.is_empty());
+        assert_eq!(s.max(), None);
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.sparkline(10, 5.0), "");
+    }
+
+    #[test]
+    fn downsample_max_pools_peaks() {
+        let mut s = TimeSeries::new(1);
+        for v in [0.0, 1.0, 9.0, 1.0, 0.0, 2.0, 0.0, 3.0] {
+            s.push(v);
+        }
+        let d = s.downsample_max(4);
+        assert_eq!(d, vec![1.0, 9.0, 2.0, 3.0]);
+        // Fewer samples than buckets: unchanged.
+        assert_eq!(s.downsample_max(100).len(), 8);
+    }
+
+    #[test]
+    fn sparkline_scales_and_saturates() {
+        let line = sparkline(&[0.0, 5.0, 10.0, 20.0], 10.0);
+        let chars: Vec<char> = line.chars().collect();
+        assert_eq!(chars.len(), 4);
+        assert_eq!(chars[0], '▁');
+        assert_eq!(chars[2], '█');
+        assert_eq!(chars[3], '█'); // saturated above cap
+        assert!(chars[1] > chars[0] && chars[1] < chars[2]);
+    }
+
+    #[test]
+    fn sparkline_zero_cap_does_not_divide_by_zero() {
+        assert_eq!(sparkline(&[1.0], 0.0), "█");
+    }
+
+    #[test]
+    #[should_panic(expected = "interval")]
+    fn zero_interval_panics() {
+        TimeSeries::new(0);
+    }
+}

@@ -1,0 +1,254 @@
+//! Plain-text and Markdown table rendering for the experiment harness.
+//!
+//! Every experiment in `pcrlb-bench` prints its results through
+//! [`Table`] so `EXPERIMENTS.md` rows can be pasted verbatim from the
+//! harness output.
+
+use std::fmt::Write as _;
+
+/// A simple column-aligned table.
+#[derive(Debug, Clone)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new(headers: &[&str]) -> Self {
+        Table {
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row; must match the header count.
+    pub fn row(&mut self, cells: &[String]) -> &mut Self {
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "row has {} cells, table has {} columns",
+            cells.len(),
+            self.headers.len()
+        );
+        self.rows.push(cells.to_vec());
+        self
+    }
+
+    /// Convenience for building a row out of `Display` items.
+    pub fn row_display<D: std::fmt::Display>(&mut self, cells: &[D]) -> &mut Self {
+        let cells: Vec<String> = cells.iter().map(|c| c.to_string()).collect();
+        self.row(&cells)
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when no data rows were added.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    fn widths(&self) -> Vec<usize> {
+        let mut w: Vec<usize> = self.headers.iter().map(|h| h.chars().count()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                w[i] = w[i].max(cell.chars().count());
+            }
+        }
+        w
+    }
+
+    /// Renders with space-aligned columns (right-aligned data, as is
+    /// conventional for numeric tables).
+    pub fn to_text(&self) -> String {
+        let w = self.widths();
+        let mut out = String::new();
+        for (i, h) in self.headers.iter().enumerate() {
+            let _ = write!(out, "{:>width$}  ", h, width = w[i]);
+        }
+        out.push('\n');
+        for (i, _) in self.headers.iter().enumerate() {
+            let _ = write!(out, "{}  ", "-".repeat(w[i]));
+        }
+        out.push('\n');
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                let _ = write!(out, "{:>width$}  ", cell, width = w[i]);
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Renders as RFC-4180-style CSV (quotes cells containing commas,
+    /// quotes, or newlines).
+    pub fn to_csv(&self) -> String {
+        fn escape(cell: &str) -> String {
+            if cell.contains(',') || cell.contains('"') || cell.contains('\n') {
+                format!("\"{}\"", cell.replace('"', "\"\""))
+            } else {
+                cell.to_string()
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{}",
+            self.headers
+                .iter()
+                .map(|h| escape(h))
+                .collect::<Vec<_>>()
+                .join(",")
+        );
+        for row in &self.rows {
+            let _ = writeln!(
+                out,
+                "{}",
+                row.iter().map(|c| escape(c)).collect::<Vec<_>>().join(",")
+            );
+        }
+        out
+    }
+
+    /// Column headers.
+    pub fn headers(&self) -> &[String] {
+        &self.headers
+    }
+
+    /// Data rows.
+    pub fn rows(&self) -> &[Vec<String>] {
+        &self.rows
+    }
+
+    /// Parses column `col` of every row as `f64`, skipping rows whose
+    /// cell does not parse (useful for feeding numeric columns to
+    /// plots). Returns `(row index, value)` pairs.
+    pub fn numeric_column(&self, col: usize) -> Vec<(usize, f64)> {
+        self.rows
+            .iter()
+            .enumerate()
+            .filter_map(|(i, row)| {
+                row.get(col)
+                    .and_then(|c| c.trim().trim_end_matches('%').parse::<f64>().ok())
+                    .map(|v| (i, v))
+            })
+            .collect()
+    }
+
+    /// Renders as a GitHub-flavoured Markdown table.
+    pub fn to_markdown(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "| {} |", self.headers.join(" | "));
+        let _ = writeln!(
+            out,
+            "|{}|",
+            self.headers
+                .iter()
+                .map(|_| "---")
+                .collect::<Vec<_>>()
+                .join("|")
+        );
+        for row in &self.rows {
+            let _ = writeln!(out, "| {} |", row.join(" | "));
+        }
+        out
+    }
+}
+
+/// Formats a float with `digits` decimal places (helper for rows).
+pub fn fmt_f(v: f64, digits: usize) -> String {
+    format!("{v:.digits$}")
+}
+
+/// Formats a probability/rate compactly: exact zero as `0`, tiny values
+/// in scientific notation, the rest with 4 places.
+pub fn fmt_rate(v: f64) -> String {
+    if v == 0.0 {
+        "0".to_string()
+    } else if v < 1e-3 {
+        format!("{v:.1e}")
+    } else {
+        format!("{v:.4}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn text_rendering_aligns_columns() {
+        let mut t = Table::new(&["n", "max"]);
+        t.row(&["256".into(), "9".into()]);
+        t.row(&["65536".into(), "16".into()]);
+        let text = t.to_text();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains('n'));
+        assert!(lines[2].trim_start().starts_with("256"));
+        // All rows have equal width.
+        assert_eq!(lines[2].len(), lines[3].len());
+    }
+
+    #[test]
+    fn markdown_rendering() {
+        let mut t = Table::new(&["a", "b"]);
+        t.row_display(&[1, 2]);
+        let md = t.to_markdown();
+        assert!(md.starts_with("| a | b |"));
+        assert!(md.contains("|---|---|"));
+        assert!(md.contains("| 1 | 2 |"));
+    }
+
+    #[test]
+    #[should_panic(expected = "cells")]
+    fn row_width_mismatch_panics() {
+        let mut t = Table::new(&["a", "b"]);
+        t.row(&["only one".into()]);
+    }
+
+    #[test]
+    fn len_and_empty() {
+        let mut t = Table::new(&["x"]);
+        assert!(t.is_empty());
+        t.row_display(&[1]);
+        assert_eq!(t.len(), 1);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn csv_rendering_escapes() {
+        let mut t = Table::new(&["a", "b"]);
+        t.row(&["plain".into(), "with,comma".into()]);
+        t.row(&["with\"quote".into(), "x".into()]);
+        let csv = t.to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "a,b");
+        assert_eq!(lines[1], "plain,\"with,comma\"");
+        assert_eq!(lines[2], "\"with\"\"quote\",x");
+    }
+
+    #[test]
+    fn numeric_column_extraction() {
+        let mut t = Table::new(&["n", "v"]);
+        t.row(&["256".into(), "1.5".into()]);
+        t.row(&["oops".into(), "2.5".into()]);
+        t.row(&["1024".into(), "n/a".into()]);
+        assert_eq!(t.numeric_column(0), vec![(0, 256.0), (2, 1024.0)]);
+        assert_eq!(t.numeric_column(1), vec![(0, 1.5), (1, 2.5)]);
+        assert_eq!(t.numeric_column(9), vec![]);
+        assert_eq!(t.headers().len(), 2);
+        assert_eq!(t.rows().len(), 3);
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(fmt_f(1.23456, 2), "1.23");
+        assert_eq!(fmt_rate(0.0), "0");
+        assert_eq!(fmt_rate(0.5), "0.5000");
+        assert!(fmt_rate(1e-6).contains('e'));
+    }
+}

@@ -1,0 +1,120 @@
+//! Geometric-tail fitting.
+//!
+//! Lemma 2 predicts the unbalanced per-processor load distribution
+//! decays geometrically: `P(load = k) ∝ r^k`. [`fit_geometric_ratio`]
+//! recovers `r` from an empirical histogram by least-squares regression
+//! of `ln count_k` on `k`, so experiment E2 can compare the fitted ratio
+//! against the exact `p_g/p_l` of the Markov chain.
+
+/// Least-squares estimate of the geometric decay ratio `r` from bucket
+/// counts (`counts[k]` = observations of value `k`). Buckets with zero
+/// count are skipped; at least two non-empty buckets are required.
+/// Returns `None` when the data cannot identify a ratio.
+pub fn fit_geometric_ratio(counts: &[u64]) -> Option<f64> {
+    let points: Vec<(f64, f64)> = counts
+        .iter()
+        .enumerate()
+        .filter(|(_, &c)| c > 0)
+        .map(|(k, &c)| (k as f64, (c as f64).ln()))
+        .collect();
+    if points.len() < 2 {
+        return None;
+    }
+    let n = points.len() as f64;
+    let sx: f64 = points.iter().map(|(x, _)| x).sum();
+    let sy: f64 = points.iter().map(|(_, y)| y).sum();
+    let sxx: f64 = points.iter().map(|(x, _)| x * x).sum();
+    let sxy: f64 = points.iter().map(|(x, y)| x * y).sum();
+    let denom = n * sxx - sx * sx;
+    if denom.abs() < 1e-12 {
+        return None;
+    }
+    let slope = (n * sxy - sx * sy) / denom;
+    Some(slope.exp())
+}
+
+/// Coefficient of determination (R²) of the geometric fit — how well a
+/// straight line explains `ln count_k`. Close to 1 means the empirical
+/// distribution really is geometric.
+pub fn geometric_fit_r2(counts: &[u64]) -> Option<f64> {
+    let ratio = fit_geometric_ratio(counts)?;
+    let slope = ratio.ln();
+    let points: Vec<(f64, f64)> = counts
+        .iter()
+        .enumerate()
+        .filter(|(_, &c)| c > 0)
+        .map(|(k, &c)| (k as f64, (c as f64).ln()))
+        .collect();
+    let n = points.len() as f64;
+    let mean_y = points.iter().map(|(_, y)| y).sum::<f64>() / n;
+    let mean_x = points.iter().map(|(x, _)| x).sum::<f64>() / n;
+    let intercept = mean_y - slope * mean_x;
+    let ss_res: f64 = points
+        .iter()
+        .map(|(x, y)| {
+            let pred = slope * x + intercept;
+            (y - pred) * (y - pred)
+        })
+        .sum();
+    let ss_tot: f64 = points
+        .iter()
+        .map(|(_, y)| (y - mean_y) * (y - mean_y))
+        .sum();
+    if ss_tot < 1e-12 {
+        return Some(1.0);
+    }
+    Some(1.0 - ss_res / ss_tot)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn geometric_counts(r: f64, total: f64, k_max: usize) -> Vec<u64> {
+        (0..=k_max)
+            .map(|k| (total * (1.0 - r) * r.powi(k as i32)).round() as u64)
+            .collect()
+    }
+
+    #[test]
+    fn recovers_exact_geometric() {
+        for r in [0.3, 0.5, 0.667, 0.9] {
+            let counts = geometric_counts(r, 1e7, 12);
+            let fit = fit_geometric_ratio(&counts).unwrap();
+            assert!((fit - r).abs() < 0.02, "true ratio {r}, fitted {fit}");
+            let r2 = geometric_fit_r2(&counts).unwrap();
+            assert!(r2 > 0.999, "R² {r2} too low for exact data");
+        }
+    }
+
+    #[test]
+    fn skips_zero_buckets() {
+        let counts = [100u64, 0, 25, 0, 6]; // r ≈ 0.5 per two steps
+        let fit = fit_geometric_ratio(&counts).unwrap();
+        assert!((fit - 0.5).abs() < 0.05, "fitted {fit}");
+    }
+
+    #[test]
+    fn insufficient_data_returns_none() {
+        assert_eq!(fit_geometric_ratio(&[]), None);
+        assert_eq!(fit_geometric_ratio(&[5]), None);
+        assert_eq!(fit_geometric_ratio(&[0, 0, 7, 0]), None);
+    }
+
+    #[test]
+    fn non_geometric_data_scores_low_r2() {
+        // A flat distribution is maximally non-geometric after the
+        // first bucket... actually flat IS geometric with r=1; use a
+        // V-shape instead.
+        let counts = [1000u64, 10, 1000, 10, 1000];
+        let r2 = geometric_fit_r2(&counts).unwrap();
+        assert!(r2 < 0.5, "V-shaped data should fit poorly, R² = {r2}");
+    }
+
+    #[test]
+    fn growing_counts_fit_ratio_above_one() {
+        let counts = [10u64, 20, 40, 80];
+        let fit = fit_geometric_ratio(&counts).unwrap();
+        assert!((fit - 2.0).abs() < 0.05);
+    }
+}

@@ -1,0 +1,127 @@
+//! Empirical "with high probability" checking.
+//!
+//! The paper's statements hold with probability `1 − n^{-c}`. An
+//! experiment can't verify an exponent, but it can (a) run many
+//! independent trials and report the violation fraction of a claimed
+//! bound, and (b) check that the violation fraction *shrinks* as `n`
+//! grows. [`WhpCheck`] collects the per-trial extremes and answers both.
+
+/// Collects one observed value per independent trial and evaluates a
+/// bound against them.
+#[derive(Debug, Clone, Default)]
+pub struct WhpCheck {
+    observations: Vec<f64>,
+}
+
+impl WhpCheck {
+    /// An empty check.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one trial's observed extreme (e.g. max load over a run).
+    pub fn record(&mut self, value: f64) {
+        self.observations.push(value);
+    }
+
+    /// Number of trials recorded.
+    pub fn trials(&self) -> usize {
+        self.observations.len()
+    }
+
+    /// Fraction of trials violating `value <= bound`.
+    pub fn violation_rate(&self, bound: f64) -> f64 {
+        if self.observations.is_empty() {
+            return 0.0;
+        }
+        let violations = self.observations.iter().filter(|&&v| v > bound).count();
+        violations as f64 / self.observations.len() as f64
+    }
+
+    /// Largest observation across all trials (`None` when empty).
+    pub fn worst(&self) -> Option<f64> {
+        self.observations
+            .iter()
+            .copied()
+            .fold(None, |acc: Option<f64>, v| {
+                Some(acc.map_or(v, |a| a.max(v)))
+            })
+    }
+
+    /// Mean observation.
+    pub fn mean(&self) -> f64 {
+        if self.observations.is_empty() {
+            0.0
+        } else {
+            self.observations.iter().sum::<f64>() / self.observations.len() as f64
+        }
+    }
+
+    /// A one-sided 95% Clopper–Pearson-style upper bound on the true
+    /// violation probability when **zero** violations were observed:
+    /// `1 - 0.05^(1/trials)`. For `k > 0` violations it falls back to
+    /// the point estimate (adequate for shape checks).
+    pub fn violation_upper_bound(&self, bound: f64) -> f64 {
+        let rate = self.violation_rate(bound);
+        if rate > 0.0 || self.observations.is_empty() {
+            return rate;
+        }
+        1.0 - 0.05f64.powf(1.0 / self.observations.len() as f64)
+    }
+
+    /// All observations (for histogramming).
+    pub fn observations(&self) -> &[f64] {
+        &self.observations
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn violation_rate_counts_exceedances() {
+        let mut c = WhpCheck::new();
+        for v in [1.0, 2.0, 3.0, 10.0] {
+            c.record(v);
+        }
+        assert_eq!(c.trials(), 4);
+        assert!((c.violation_rate(3.0) - 0.25).abs() < 1e-12);
+        assert_eq!(c.violation_rate(10.0), 0.0);
+        assert_eq!(c.worst(), Some(10.0));
+        assert!((c.mean() - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_check_is_sane() {
+        let c = WhpCheck::new();
+        assert_eq!(c.violation_rate(1.0), 0.0);
+        assert_eq!(c.worst(), None);
+        assert_eq!(c.mean(), 0.0);
+        assert_eq!(c.violation_upper_bound(1.0), 0.0);
+    }
+
+    #[test]
+    fn zero_violation_upper_bound_shrinks_with_trials() {
+        let mut few = WhpCheck::new();
+        let mut many = WhpCheck::new();
+        for i in 0..5 {
+            few.record(i as f64);
+        }
+        for i in 0..500 {
+            many.record((i % 5) as f64);
+        }
+        let ub_few = few.violation_upper_bound(10.0);
+        let ub_many = many.violation_upper_bound(10.0);
+        assert!(ub_many < ub_few);
+        assert!(ub_many < 0.01);
+    }
+
+    #[test]
+    fn upper_bound_is_point_estimate_when_violated() {
+        let mut c = WhpCheck::new();
+        c.record(5.0);
+        c.record(1.0);
+        assert!((c.violation_upper_bound(4.0) - 0.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,87 @@
+//! Property-based tests of the analysis toolkit.
+
+use pcrlb_analysis::{fit_geometric_ratio, quantile, BirthDeath, Histogram, Summary};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Welford merging equals one-pass accumulation for arbitrary
+    /// splits of arbitrary data.
+    #[test]
+    fn summary_merge_associative(
+        data in proptest::collection::vec(-1e6f64..1e6, 1..200),
+        split_frac in 0.0f64..1.0,
+    ) {
+        let split = ((data.len() as f64) * split_frac) as usize;
+        let whole = Summary::from_iter(data.iter().copied());
+        let mut left = Summary::from_iter(data[..split].iter().copied());
+        let right = Summary::from_iter(data[split..].iter().copied());
+        left.merge(&right);
+        prop_assert_eq!(left.count(), whole.count());
+        prop_assert!((left.mean() - whole.mean()).abs() < 1e-6 * (1.0 + whole.mean().abs()));
+        prop_assert!(
+            (left.variance() - whole.variance()).abs()
+                < 1e-6 * (1.0 + whole.variance().abs())
+        );
+    }
+
+    /// The steady-state pmf of every valid chain sums to ~1 and its
+    /// mean matches the closed form.
+    #[test]
+    fn birth_death_pmf_normalizes(gain in 0.01f64..0.45, extra in 0.02f64..0.5) {
+        let loss = (gain + extra).min(1.0);
+        let chain = BirthDeath::new(gain, loss);
+        let k_max = 4000;
+        let total: f64 = chain.steady_state(k_max).iter().sum();
+        // Truncation error shrinks with ratio^k; only assert when the
+        // tail is negligible at k_max.
+        if chain.tail(k_max) < 1e-9 {
+            prop_assert!((total - 1.0).abs() < 1e-6, "sum = {}", total);
+        }
+        prop_assert!(chain.expected_load() >= 0.0);
+        prop_assert!(chain.ratio() < 1.0);
+    }
+
+    /// Histogram quantiles are consistent with tail probabilities.
+    #[test]
+    fn histogram_quantile_tail_consistency(
+        values in proptest::collection::vec(0u64..128, 1..300),
+        p in 0.01f64..0.99,
+    ) {
+        let h = Histogram::from_values(values.iter().copied());
+        let q = h.quantile(p);
+        // P(X <= q) >= p by definition of the quantile...
+        let at_most = 1.0 - h.tail_probability(q);
+        prop_assert!(at_most >= p - 1e-9, "P(X<={}) = {} < p = {}", q, at_most, p);
+        // ...and q is minimal (when q > 0).
+        if q > 0 {
+            let below = 1.0 - h.tail_probability(q - 1);
+            prop_assert!(below < p + 1e-9);
+        }
+    }
+
+    /// Fitting a synthetic geometric histogram recovers its ratio.
+    #[test]
+    fn geometric_fit_recovers_ratio(r_pct in 10u32..95) {
+        let r = r_pct as f64 / 100.0;
+        let counts: Vec<u64> = (0..14)
+            .map(|k| (1e8 * (1.0 - r) * r.powi(k)).round() as u64)
+            .collect();
+        let fitted = fit_geometric_ratio(&counts).unwrap();
+        prop_assert!((fitted - r).abs() < 0.03, "true {} fitted {}", r, fitted);
+    }
+
+    /// slice quantile respects ordering: p1 <= p2 => q(p1) <= q(p2).
+    #[test]
+    fn quantile_is_monotone(
+        values in proptest::collection::vec(-1e3f64..1e3, 1..100),
+        p1 in 0.0f64..1.0,
+        p2 in 0.0f64..1.0,
+    ) {
+        let (lo, hi) = if p1 <= p2 { (p1, p2) } else { (p2, p1) };
+        let q_lo = quantile(&values, lo).unwrap();
+        let q_hi = quantile(&values, hi).unwrap();
+        prop_assert!(q_lo <= q_hi);
+    }
+}

@@ -1,0 +1,193 @@
+//! Continuous task-allocation baselines: the "global generation" school
+//! (paper §1, where tasks come "from the outside" and are placed at
+//! arrival time).
+//!
+//! [`DChoiceAllocation`] relocates every task *at the step it is
+//! generated* to the least loaded of `d` processors chosen i.u.a.r.:
+//!
+//! * `d = 1` — the classic one-choice game run continuously;
+//! * `d ≥ 2` — the ABKU infinite process / Mitzenmacher's supermarket
+//!   model (combine with `pcrlb_core::Single` whose `p` is the arrival
+//!   rate and `q` the service rate; Bernoulli-per-step arrivals are the
+//!   discretization of the Poisson stream).
+//!
+//! This is the communication regime the paper contrasts itself with:
+//! **every** task costs messages at arrival (`Θ(n)` messages per step
+//! in aggregate), whereas the threshold algorithm only communicates
+//! when a processor overflows.
+
+use pcrlb_sim::{MessageKind, Strategy, Task, World};
+
+/// Aggregate statistics of the allocation strategy.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AllocationStats {
+    /// Tasks relocated at arrival.
+    pub placed: u64,
+    /// Tasks that stayed on their generating processor because it was
+    /// itself the best choice.
+    pub stayed_local: u64,
+}
+
+/// Arrival-time `d`-choice placement (see module docs).
+pub struct DChoiceAllocation {
+    d: usize,
+    stats: AllocationStats,
+    arrivals: Vec<Task>,
+}
+
+impl DChoiceAllocation {
+    /// Creates the strategy; `d >= 1`.
+    pub fn new(d: usize) -> Self {
+        assert!(d >= 1, "need at least one choice");
+        DChoiceAllocation {
+            d,
+            stats: AllocationStats::default(),
+            arrivals: Vec::new(),
+        }
+    }
+
+    /// The supermarket-model placement rule (`d = 2`).
+    pub fn supermarket() -> Self {
+        DChoiceAllocation::new(2)
+    }
+
+    /// Run statistics.
+    pub fn stats(&self) -> &AllocationStats {
+        &self.stats
+    }
+}
+
+impl Strategy for DChoiceAllocation {
+    fn on_step(&mut self, world: &mut World) {
+        let n = world.n();
+        let now = world.step();
+        // Pass 1: collect this step's arrivals from every processor.
+        // Tasks generated this step sit at the back of the queue
+        // (consumption pops the front). Collecting *before* placing is
+        // essential: a task deposited on a higher-indexed processor
+        // must not be mistaken for an arrival there and re-placed.
+        self.arrivals.clear();
+        for p in 0..n {
+            while world.proc(p).queue().back().is_some_and(|t| t.born == now) {
+                self.arrivals.extend(world.extract_back(p, 1));
+            }
+        }
+        // Pass 2: place each arrival on the least loaded of d probes.
+        for i in 0..self.arrivals.len() {
+            let task = self.arrivals[i];
+            let origin = task.origin;
+            let mut best = world.rng_global().below(n);
+            for _ in 1..self.d {
+                let cand = world.rng_global().below(n);
+                if world.load(cand) < world.load(best) {
+                    best = cand;
+                }
+            }
+            if self.d > 1 {
+                let ledger = world.ledger_mut();
+                ledger.record(MessageKind::Probe, self.d as u64);
+                ledger.record(MessageKind::LoadReply, self.d as u64);
+            }
+            if best == origin {
+                self.stats.stayed_local += 1;
+            } else {
+                self.stats.placed += 1;
+                world.ledger_mut().record_transfer(1);
+            }
+            world.deposit(best, vec![task]);
+        }
+        self.arrivals.clear();
+    }
+
+    fn name(&self) -> &'static str {
+        "d-choice-allocation"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pcrlb_sim::{Engine, LoadModel, ProcId, SimRng, Step};
+
+    /// Bernoulli arrivals p, Bernoulli service q — the discretized
+    /// supermarket model.
+    #[derive(Clone, Copy)]
+    struct Arrivals {
+        p: f64,
+        q: f64,
+    }
+
+    impl LoadModel for Arrivals {
+        fn generate(&self, _: ProcId, _: Step, _: usize, rng: &mut SimRng) -> usize {
+            usize::from(rng.chance(self.p))
+        }
+        fn consume(&self, _: ProcId, _: Step, load: usize, rng: &mut SimRng) -> usize {
+            usize::from(load > 0 && rng.chance(self.q))
+        }
+    }
+
+    const M: Arrivals = Arrivals { p: 0.4, q: 0.5 };
+
+    #[test]
+    fn two_choice_keeps_low_max_load() {
+        let n = 1024;
+        let mut e = Engine::new(n, 1, M, DChoiceAllocation::supermarket());
+        let mut worst = 0;
+        e.run_observed(2000, |w| worst = worst.max(w.max_load()));
+        // Supermarket: O(log log n) — single digits at this scale.
+        assert!(worst <= 10, "2-choice max load {worst} too high");
+    }
+
+    #[test]
+    fn one_choice_is_worse_than_two_choice() {
+        let n = 1024;
+        let steps = 2000;
+        let mut one = Engine::new(n, 2, M, DChoiceAllocation::new(1));
+        let mut two = Engine::new(n, 2, M, DChoiceAllocation::new(2));
+        let (mut w1, mut w2) = (0, 0);
+        one.run_observed(steps, |w| w1 = w1.max(w.max_load()));
+        two.run_observed(steps, |w| w2 = w2.max(w.max_load()));
+        assert!(
+            w2 <= w1,
+            "2-choice ({w2}) should not lose to 1-choice ({w1})"
+        );
+    }
+
+    #[test]
+    fn communication_is_linear_in_arrivals() {
+        let n = 256;
+        let mut e = Engine::new(n, 3, M, DChoiceAllocation::supermarket());
+        e.run(500);
+        let m = e.world().messages();
+        let generated: u64 = e.world().procs().map(|p| p.stats.generated).sum();
+        let s = *e.strategy().stats();
+        let handled = s.placed + s.stayed_local;
+        // Tasks generated and consumed within the same step never reach
+        // the placement strategy; everything else does.
+        assert!(handled <= generated);
+        assert!(handled * 10 >= generated * 7, "most arrivals placed");
+        // Every handled arrival probed exactly 2 processors.
+        assert_eq!(m.probes, 2 * handled);
+        assert_eq!(m.load_replies, 2 * handled);
+    }
+
+    #[test]
+    fn placement_happens_at_arrival_time() {
+        // A task that is placed remotely must still record its true
+        // origin — locality for global allocation collapses to ~1/n...
+        let n = 64;
+        let mut e = Engine::new(n, 4, M, DChoiceAllocation::new(2));
+        e.run(3000);
+        let loc = e.world().completions().locality();
+        assert!(
+            loc < 0.2,
+            "arrival-time placement should rarely keep tasks local: {loc}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one choice")]
+    fn zero_choices_panics() {
+        DChoiceAllocation::new(0);
+    }
+}

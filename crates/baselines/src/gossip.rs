@@ -1,0 +1,309 @@
+//! Push-sum gossip average estimation, and Lauer's scheme running on
+//! *estimated* averages.
+//!
+//! Lauer's thesis assumes the system average `av` is known, then
+//! "presents techniques to estimate the average load of the system and
+//! extends his results to this case". We reproduce that second half
+//! with the classic push-sum protocol (Kempe–Dobra–Gehrke style): every
+//! processor keeps a `(sum, weight)` pair, each round sends half of
+//! both to one peer chosen i.u.a.r., and `sum/weight` converges to the
+//! true average geometrically fast. Each round costs one message per
+//! processor, which the strategy accounts for.
+
+use pcrlb_sim::{MessageKind, SimRng, Strategy, World};
+
+/// Distributed average estimation via push-sum.
+///
+/// ```
+/// use pcrlb_baselines::PushSum;
+/// use pcrlb_sim::SimRng;
+///
+/// let values = vec![0.0, 4.0, 8.0, 12.0]; // true average 6
+/// let mut ps = PushSum::new(&values);
+/// let mut rng = SimRng::new(1);
+/// for _ in 0..40 {
+///     ps.round(&mut rng);
+/// }
+/// assert!(ps.max_relative_error(6.0) < 0.05);
+/// ```
+#[derive(Debug, Clone)]
+pub struct PushSum {
+    sums: Vec<f64>,
+    weights: Vec<f64>,
+    rounds: u64,
+}
+
+impl PushSum {
+    /// Initializes an estimation epoch from per-processor values.
+    pub fn new(values: &[f64]) -> Self {
+        PushSum {
+            sums: values.to_vec(),
+            weights: vec![1.0; values.len()],
+            rounds: 0,
+        }
+    }
+
+    /// Restarts the epoch with fresh values, keeping allocations.
+    pub fn restart(&mut self, values: &[f64]) {
+        assert_eq!(values.len(), self.sums.len(), "node count changed");
+        self.sums.copy_from_slice(values);
+        self.weights.fill(1.0);
+        self.rounds = 0;
+    }
+
+    /// Number of processors.
+    pub fn n(&self) -> usize {
+        self.sums.len()
+    }
+
+    /// Gossip rounds executed this epoch.
+    pub fn rounds(&self) -> u64 {
+        self.rounds
+    }
+
+    /// Executes one synchronous push-sum round: every node halves its
+    /// pair and pushes one half to a peer chosen i.u.a.r. Returns the
+    /// number of messages sent (= n).
+    pub fn round(&mut self, rng: &mut SimRng) -> u64 {
+        let n = self.sums.len();
+        if n <= 1 {
+            self.rounds += 1;
+            return 0;
+        }
+        // Halve in place, then deliver the other halves. Deliveries are
+        // accumulated into a buffer so the round is synchronous (all
+        // sends happen against the pre-round state).
+        let mut inbox_sum = vec![0.0f64; n];
+        let mut inbox_weight = vec![0.0f64; n];
+        for i in 0..n {
+            let mut peer = rng.below(n);
+            if peer == i {
+                peer = (peer + 1) % n;
+            }
+            let half_sum = self.sums[i] / 2.0;
+            let half_weight = self.weights[i] / 2.0;
+            self.sums[i] = half_sum;
+            self.weights[i] = half_weight;
+            inbox_sum[peer] += half_sum;
+            inbox_weight[peer] += half_weight;
+        }
+        for i in 0..n {
+            self.sums[i] += inbox_sum[i];
+            self.weights[i] += inbox_weight[i];
+        }
+        self.rounds += 1;
+        n as u64
+    }
+
+    /// Node `i`'s current estimate of the average.
+    pub fn estimate(&self, i: usize) -> f64 {
+        if self.weights[i] <= f64::EPSILON {
+            0.0
+        } else {
+            self.sums[i] / self.weights[i]
+        }
+    }
+
+    /// Worst-case relative deviation of any node's estimate from the
+    /// true average of the initial values (diagnostic; a distributed
+    /// node cannot compute this).
+    pub fn max_relative_error(&self, true_avg: f64) -> f64 {
+        if true_avg.abs() < f64::EPSILON {
+            return 0.0;
+        }
+        (0..self.n())
+            .map(|i| ((self.estimate(i) - true_avg) / true_avg).abs())
+            .fold(0.0, f64::max)
+    }
+}
+
+/// Lauer's average-threshold balancing with the average *estimated* by
+/// push-sum instead of given by an oracle.
+///
+/// Every `epoch` steps the gossip state is re-seeded from current
+/// loads; one gossip round runs per step; each processor uses its own
+/// current estimate for the activity band. All gossip messages are
+/// recorded as probes.
+pub struct LauerGossip {
+    c: f64,
+    epoch: u64,
+    gossip: Option<PushSum>,
+    actions: u64,
+}
+
+impl LauerGossip {
+    /// Creates the strategy; `c > 0` is the band width, `epoch >= 1`
+    /// the re-seeding period.
+    pub fn new(c: f64, epoch: u64) -> Self {
+        assert!(c > 0.0, "band width c must be positive");
+        assert!(epoch >= 1, "epoch must be positive");
+        LauerGossip {
+            c,
+            epoch,
+            gossip: None,
+            actions: 0,
+        }
+    }
+
+    /// Successful balancing actions so far.
+    pub fn actions(&self) -> u64 {
+        self.actions
+    }
+
+    /// The current gossip state (for inspection in tests/examples).
+    pub fn gossip(&self) -> Option<&PushSum> {
+        self.gossip.as_ref()
+    }
+}
+
+impl Strategy for LauerGossip {
+    fn on_step(&mut self, world: &mut World) {
+        let n = world.n();
+        // (Re-)seed the gossip epoch from current loads.
+        if world.step() % self.epoch == 0 || self.gossip.is_none() {
+            let loads: Vec<f64> = (0..n).map(|p| world.load(p) as f64).collect();
+            match &mut self.gossip {
+                Some(g) => g.restart(&loads),
+                None => self.gossip = Some(PushSum::new(&loads)),
+            }
+        }
+        // One gossip round per step; its messages are real traffic.
+        let gossip = self.gossip.as_mut().expect("gossip seeded above");
+        let msgs = gossip.round(world.rng_global());
+        world.ledger_mut().record(MessageKind::Probe, msgs);
+
+        // Lauer's balancing rule against each node's own estimate.
+        for p in 0..n {
+            let avg = gossip.estimate(p);
+            let band = (self.c * avg).max(1.0);
+            let lp = world.load(p) as f64;
+            if lp - avg <= band {
+                continue;
+            }
+            let mut j = world.rng_of(p).below(n);
+            if j == p {
+                j = (j + 1) % n;
+            }
+            let ledger = world.ledger_mut();
+            ledger.record(MessageKind::Probe, 1);
+            ledger.record(MessageKind::LoadReply, 1);
+            let lj = world.load(j) as f64;
+            let mean = (lp + lj) / 2.0;
+            if (mean - avg).abs() <= band {
+                let give = ((lp - lj) / 2.0).floor() as usize;
+                if give > 0 {
+                    world.transfer(p, j, give);
+                    self.actions += 1;
+                }
+            }
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "lauer-gossip"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pcrlb_sim::{Engine, LoadModel, ProcId, Step};
+
+    #[test]
+    fn push_sum_converges_geometrically() {
+        let n = 256;
+        let values: Vec<f64> = (0..n).map(|i| (i % 17) as f64).collect();
+        let true_avg = values.iter().sum::<f64>() / n as f64;
+        let mut ps = PushSum::new(&values);
+        let mut rng = SimRng::new(1);
+        let mut errs = Vec::new();
+        for _ in 0..30 {
+            ps.round(&mut rng);
+            errs.push(ps.max_relative_error(true_avg));
+        }
+        // After O(log n) rounds the diffusion speed of push-sum brings
+        // every node within a few percent.
+        assert!(errs[29] < 0.05, "error after 30 rounds: {}", errs[29]);
+        assert!(errs[29] < errs[4], "error should decrease");
+    }
+
+    #[test]
+    fn push_sum_conserves_mass() {
+        // Invariant: total sum and total weight never change, so the
+        // weighted average is exact at all times.
+        let values = [3.0, 5.0, 7.0, 100.0];
+        let mut ps = PushSum::new(&values);
+        let mut rng = SimRng::new(2);
+        for _ in 0..50 {
+            ps.round(&mut rng);
+            let total_sum: f64 = (0..4).map(|i| ps.sums[i]).sum();
+            let total_weight: f64 = (0..4).map(|i| ps.weights[i]).sum();
+            assert!((total_sum - 115.0).abs() < 1e-9);
+            assert!((total_weight - 4.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn push_sum_single_node() {
+        let mut ps = PushSum::new(&[42.0]);
+        let mut rng = SimRng::new(3);
+        assert_eq!(ps.round(&mut rng), 0);
+        assert_eq!(ps.estimate(0), 42.0);
+    }
+
+    #[test]
+    fn restart_resets_epoch() {
+        let mut ps = PushSum::new(&[1.0, 2.0]);
+        let mut rng = SimRng::new(4);
+        ps.round(&mut rng);
+        ps.restart(&[10.0, 20.0]);
+        assert_eq!(ps.rounds(), 0);
+        assert_eq!(ps.estimate(0), 10.0);
+    }
+
+    #[derive(Clone, Copy)]
+    struct M;
+    impl LoadModel for M {
+        fn generate(&self, _: ProcId, _: Step, _: usize, rng: &mut SimRng) -> usize {
+            usize::from(rng.chance(0.49))
+        }
+        fn consume(&self, _: ProcId, _: Step, load: usize, rng: &mut SimRng) -> usize {
+            usize::from(load > 0 && rng.chance(0.5))
+        }
+    }
+
+    #[test]
+    fn lauer_gossip_balances_without_an_oracle() {
+        let n = 256;
+        let mut e = Engine::new(n, 5, M, LauerGossip::new(0.5, 8));
+        e.run(4000);
+        let avg = (e.world().total_load() as f64 / n as f64).max(1.0);
+        let max = e.world().max_load() as f64;
+        assert!(
+            max <= 8.0 * avg + 8.0,
+            "estimated-average Lauer failed: max {max}, avg {avg}"
+        );
+        assert!(e.strategy().actions() > 0);
+        // Gossip traffic shows up in the ledger: at least n per step.
+        assert!(e.world().messages().probes >= 4000 * n as u64);
+    }
+
+    #[test]
+    #[should_panic(expected = "band width")]
+    fn zero_band_panics() {
+        LauerGossip::new(0.0, 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "epoch")]
+    fn zero_epoch_panics() {
+        LauerGossip::new(0.5, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "node count")]
+    fn restart_size_mismatch_panics() {
+        let mut ps = PushSum::new(&[1.0, 2.0]);
+        ps.restart(&[1.0]);
+    }
+}

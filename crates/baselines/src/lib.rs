@@ -1,0 +1,55 @@
+//! # pcrlb-baselines — comparison strategies
+//!
+//! Every allocation/balancing scheme the paper cites, implemented on the
+//! same substrate as the paper's algorithm so all comparisons (max load,
+//! message counts, locality, waiting time) run on identical arrival
+//! streams.
+//!
+//! **Static balls-into-bins games** ([`static_games`]):
+//! one-choice, ABKU `Greedy[d]`, the ACMR parallel threshold protocol,
+//! and Stemann's collision-based parallel allocation. The weighted-ball
+//! extension of Berenbrink–Meyer auf der Heide–Schröder (SPAA'97) lives
+//! in [`weighted`].
+//!
+//! **Continuous strategies** (plug into [`pcrlb_sim::Engine`]):
+//!
+//! | strategy | paper | trigger | communication |
+//! |---|---|---|---|
+//! | [`DChoiceAllocation`] | ABKU'94 / Mitzenmacher'96 | every arrival | `Θ(d)` per task |
+//! | [`RsuEqualize`] | Rudolph–Slivkin-Allalouf–Upfal'91 | every step (or 1/load) | `Θ(n)` per step |
+//! | [`LulingMonien`] | Lüling–Monien'93 | load doubled | `r` probes per action |
+//! | [`LauerAverage`] | Lauer'95 | deviation from known average | 1 probe per active step |
+//! | [`LauerGossip`] | Lauer'95 (estimated averages) | deviation from push-sum estimate | `n` gossip msgs/step + probes |
+//! | [`RandomSeeking`] | Mahapatra–Dutt'96 | source threshold | probe walk |
+//!
+//! The *unbalanced system* baseline is [`pcrlb_sim::Unbalanced`]
+//! (re-exported here for discoverability).
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod alloc;
+pub mod gossip;
+pub mod lauer;
+pub mod lm;
+pub mod rsu;
+pub mod seeking;
+pub mod static_games;
+pub mod supermarket;
+pub mod weighted;
+
+pub use alloc::{AllocationStats, DChoiceAllocation};
+pub use gossip::{LauerGossip, PushSum};
+pub use lauer::LauerAverage;
+pub use lm::LulingMonien;
+pub use pcrlb_sim::Unbalanced;
+pub use rsu::RsuEqualize;
+pub use seeking::{RandomSeeking, SeekingStats};
+pub use static_games::{
+    acmr, acmr_threshold, acmr_threshold_value, adaptive_czumaj_stemann,
+    adaptive_default_threshold, greedy_d, one_choice, stemann_collision, AllocationOutcome,
+};
+pub use supermarket::{SupermarketReport, SupermarketSim};
+pub use weighted::{
+    weighted_class_parallel, weighted_greedy_d, weighted_one_choice, BallOrder, WeightedOutcome,
+};

@@ -1,0 +1,158 @@
+//! Lüling–Monien (SPAA 1993) load-doubling strategy.
+//!
+//! "A dynamic distributed load balancing algorithm with provable good
+//! performance": a processor initiates a balancing action when its load
+//! has *doubled* since its last balancing action. It then contacts a
+//! constant number `r` of processors chosen i.u.a.r. and equalizes its
+//! load with them. LM show the expected load difference between any two
+//! processors is bounded by a constant factor and tightly bound the
+//! variance.
+
+use pcrlb_sim::{MessageKind, Strategy, World};
+
+/// The Lüling–Monien strategy.
+pub struct LulingMonien {
+    /// Partners contacted per balancing action.
+    r: usize,
+    /// Load recorded at each processor's last balancing action.
+    last_balance: Vec<usize>,
+    /// Actions triggered (for reporting).
+    actions: u64,
+}
+
+impl LulingMonien {
+    /// Creates the strategy for `n` processors contacting `r ≥ 1`
+    /// partners per action.
+    pub fn new(n: usize, r: usize) -> Self {
+        assert!(r >= 1, "need at least one partner");
+        LulingMonien {
+            r,
+            // Start at 1 so the first trigger happens at load 2.
+            last_balance: vec![1; n],
+            actions: 0,
+        }
+    }
+
+    /// Balancing actions triggered so far.
+    pub fn actions(&self) -> u64 {
+        self.actions
+    }
+}
+
+impl Strategy for LulingMonien {
+    fn on_step(&mut self, world: &mut World) {
+        let n = world.n();
+        debug_assert_eq!(n, self.last_balance.len());
+        for p in 0..n {
+            let load = world.load(p);
+            if load < 2 * self.last_balance[p].max(1) {
+                continue;
+            }
+            self.actions += 1;
+            // Contact r random partners, learn their loads, and
+            // equalize with the average of the group (splitting the
+            // surplus equally is LM's equalization step).
+            let mut partners = Vec::with_capacity(self.r);
+            world.rng_of(p).distinct(n, self.r + 1, &mut partners);
+            partners.retain(|&x| x != p);
+            partners.truncate(self.r);
+            let ledger = world.ledger_mut();
+            ledger.record(MessageKind::Probe, partners.len() as u64);
+            ledger.record(MessageKind::LoadReply, partners.len() as u64);
+
+            let group_total: usize = load + partners.iter().map(|&q| world.load(q)).sum::<usize>();
+            let target = group_total / (partners.len() + 1);
+            for &q in &partners {
+                let lq = world.load(q);
+                if lq < target {
+                    let give = (target - lq).min(world.load(p).saturating_sub(target));
+                    if give > 0 {
+                        world.transfer(p, q, give);
+                    }
+                }
+            }
+            self.last_balance[p] = world.load(p).max(1);
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "luling-monien"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pcrlb_sim::{Engine, LoadModel, ProcId, SimRng, Step};
+
+    #[derive(Clone, Copy)]
+    struct M;
+    impl LoadModel for M {
+        fn generate(&self, _: ProcId, _: Step, _: usize, rng: &mut SimRng) -> usize {
+            usize::from(rng.chance(0.4))
+        }
+        fn consume(&self, _: ProcId, _: Step, load: usize, rng: &mut SimRng) -> usize {
+            usize::from(load > 0 && rng.chance(0.5))
+        }
+    }
+
+    #[test]
+    fn keeps_max_near_average() {
+        let n = 256;
+        let mut e = Engine::new(n, 1, M, LulingMonien::new(n, 2));
+        e.run(2000);
+        let avg = (e.world().total_load() as f64 / n as f64).max(1.0);
+        let max = e.world().max_load() as f64;
+        assert!(max <= 6.0 * avg + 6.0, "max {max} vs avg {avg}");
+    }
+
+    #[test]
+    fn triggers_only_on_doubling() {
+        // A silent system (no generation) never triggers.
+        struct Silent;
+        impl LoadModel for Silent {
+            fn generate(&self, _: ProcId, _: Step, _: usize, _: &mut SimRng) -> usize {
+                0
+            }
+            fn consume(&self, _: ProcId, _: Step, _: usize, _: &mut SimRng) -> usize {
+                0
+            }
+        }
+        let n = 64;
+        let mut e = Engine::new(n, 2, Silent, LulingMonien::new(n, 2));
+        e.run(100);
+        assert_eq!(e.strategy().actions(), 0);
+        assert_eq!(e.world().messages().control_total(), 0);
+    }
+
+    #[test]
+    fn spike_triggers_and_spreads() {
+        let n = 128;
+        let mut e = Engine::new(n, 3, M, LulingMonien::new(n, 3));
+        e.world_mut().inject(0, 1000);
+        e.run(100);
+        assert!(e.strategy().actions() > 0);
+        assert!(
+            e.world().max_load() < 500,
+            "spike not spread: {}",
+            e.world().max_load()
+        );
+    }
+
+    #[test]
+    fn communication_scales_with_actions_not_steps() {
+        let n = 128;
+        let mut e = Engine::new(n, 4, M, LulingMonien::new(n, 2));
+        e.run(1000);
+        let m = e.world().messages();
+        let actions = e.strategy().actions();
+        assert_eq!(m.probes, m.load_replies);
+        assert!(m.probes <= 2 * actions, "probes bounded by r per action");
+    }
+
+    #[test]
+    #[should_panic(expected = "partner")]
+    fn zero_partners_panics() {
+        LulingMonien::new(8, 0);
+    }
+}

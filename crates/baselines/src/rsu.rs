@@ -1,0 +1,150 @@
+//! Rudolph–Slivkin-Allalouf–Upfal (SPAA 1991) pairwise equalization.
+//!
+//! "A simple load balancing scheme for task allocation in parallel
+//! machines": at every step every processor contacts one partner chosen
+//! i.u.a.r. and the pair equalizes its load. RSU show the expected load
+//! of any processor stays within a constant factor of the average.
+//!
+//! We follow the common frequency refinement (also used in RSU's own
+//! analysis): a processor initiates with probability `1/load`, so busy
+//! processors balance rarely and the amortized message cost stays low —
+//! or, with `always_probe = true`, every processor probes every step,
+//! which is the simplest variant and the upper envelope for cost.
+
+use pcrlb_sim::{MessageKind, Strategy, World};
+
+/// RSU91 pairwise equalization.
+pub struct RsuEqualize {
+    /// Minimum load difference that triggers an actual transfer.
+    threshold: usize,
+    /// When false, processor `p` initiates with probability
+    /// `1/(load(p)+1)` (the inverse-load frequency rule); when true it
+    /// probes every step.
+    always_probe: bool,
+}
+
+impl RsuEqualize {
+    /// Creates the strategy; transfers fire when the pair's load
+    /// difference exceeds `threshold` (≥ 1 avoids ping-ponging a single
+    /// task).
+    pub fn new(threshold: usize, always_probe: bool) -> Self {
+        assert!(threshold >= 1, "threshold must be at least 1");
+        RsuEqualize {
+            threshold,
+            always_probe,
+        }
+    }
+
+    /// The textbook variant: probe every step, equalize any difference
+    /// above 1.
+    pub fn classic() -> Self {
+        RsuEqualize::new(1, true)
+    }
+}
+
+impl Strategy for RsuEqualize {
+    fn on_step(&mut self, world: &mut World) {
+        let n = world.n();
+        for p in 0..n {
+            if !self.always_probe {
+                let load = world.load(p);
+                let prob = 1.0 / (load as f64 + 1.0);
+                if !world.rng_of(p).chance(prob) {
+                    continue;
+                }
+            }
+            let mut j = world.rng_of(p).below(n);
+            if j == p {
+                j = (j + 1) % n;
+            }
+            let ledger = world.ledger_mut();
+            ledger.record(MessageKind::Probe, 1);
+            ledger.record(MessageKind::LoadReply, 1);
+            let (lp, lj) = (world.load(p), world.load(j));
+            let diff = lp.abs_diff(lj);
+            if diff > self.threshold {
+                let (from, to) = if lp > lj { (p, j) } else { (j, p) };
+                world.transfer(from, to, diff / 2);
+            }
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "rsu-equalize"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pcrlb_sim::{Engine, LoadModel, ProcId, SimRng, Step, Unbalanced};
+
+    #[derive(Clone, Copy)]
+    struct M;
+    impl LoadModel for M {
+        fn generate(&self, _: ProcId, _: Step, _: usize, rng: &mut SimRng) -> usize {
+            usize::from(rng.chance(0.4))
+        }
+        fn consume(&self, _: ProcId, _: Step, load: usize, rng: &mut SimRng) -> usize {
+            usize::from(load > 0 && rng.chance(0.5))
+        }
+    }
+
+    #[test]
+    fn equalization_keeps_loads_near_average() {
+        let n = 256;
+        let mut e = Engine::new(n, 1, M, RsuEqualize::classic());
+        e.run(2000);
+        let avg = e.world().total_load() as f64 / n as f64;
+        let max = e.world().max_load() as f64;
+        assert!(
+            max <= 4.0 * avg + 4.0,
+            "max {max} should be within a constant factor of avg {avg}"
+        );
+    }
+
+    #[test]
+    fn classic_probes_every_processor_every_step() {
+        let n = 64;
+        let steps = 100;
+        let mut e = Engine::new(n, 2, M, RsuEqualize::classic());
+        e.run(steps);
+        assert_eq!(e.world().messages().probes, (n as u64) * steps);
+    }
+
+    #[test]
+    fn inverse_load_frequency_probes_less() {
+        let n = 64;
+        let steps = 200;
+        let mut cheap = Engine::new(n, 3, M, RsuEqualize::new(1, false));
+        let mut full = Engine::new(n, 3, M, RsuEqualize::classic());
+        cheap.run(steps);
+        full.run(steps);
+        assert!(
+            cheap.world().messages().probes < full.world().messages().probes,
+            "frequency rule should reduce probing"
+        );
+    }
+
+    #[test]
+    fn flattens_spike_quickly() {
+        let n = 128;
+        let mut e = Engine::new(n, 4, M, RsuEqualize::classic());
+        e.world_mut().inject(0, 1 << 10);
+        e.run(60);
+        // Pairwise halving spreads exponentially fast.
+        let unbalanced_drain = {
+            let mut u = Engine::new(n, 4, M, Unbalanced);
+            u.world_mut().inject(0, 1 << 10);
+            u.run(60);
+            u.world().max_load()
+        };
+        assert!(e.world().max_load() * 4 < unbalanced_drain);
+    }
+
+    #[test]
+    #[should_panic(expected = "threshold")]
+    fn zero_threshold_panics() {
+        RsuEqualize::new(0, true);
+    }
+}

@@ -1,0 +1,179 @@
+//! Mahapatra–Dutt random seeking (IPPS 1996).
+//!
+//! "Random seeking: a general, efficient, and informed randomized scheme
+//! for dynamic load balancing": *source* processors (load above a source
+//! threshold) fling probe messages that walk processors chosen i.u.a.r.
+//! until they hit a *sink* (load below a sink threshold) or exhaust
+//! their hop budget. The probe carries load information back, and the
+//! source ships half its surplus to the sink it allocated.
+
+use pcrlb_sim::{MessageKind, Strategy, World};
+
+/// Statistics of the random-seeking strategy.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SeekingStats {
+    /// Probes launched.
+    pub probes_launched: u64,
+    /// Probes that found a sink.
+    pub sinks_found: u64,
+    /// Total hops walked by all probes (MD96 bound the expected number
+    /// of visits per probe).
+    pub hops: u64,
+}
+
+/// MD96 random seeking.
+pub struct RandomSeeking {
+    /// A processor with at least this load is a source.
+    source_threshold: usize,
+    /// A processor with at most this load is a sink.
+    sink_threshold: usize,
+    /// Maximum processors one probe may visit.
+    max_hops: usize,
+    stats: SeekingStats,
+}
+
+impl RandomSeeking {
+    /// Creates the strategy. Requires `sink_threshold < source_threshold`
+    /// and a positive hop budget.
+    pub fn new(source_threshold: usize, sink_threshold: usize, max_hops: usize) -> Self {
+        assert!(
+            sink_threshold < source_threshold,
+            "sink threshold must lie below source threshold"
+        );
+        assert!(max_hops >= 1, "probes need at least one hop");
+        RandomSeeking {
+            source_threshold,
+            sink_threshold,
+            max_hops,
+            stats: SeekingStats::default(),
+        }
+    }
+
+    /// Run statistics.
+    pub fn stats(&self) -> &SeekingStats {
+        &self.stats
+    }
+}
+
+impl Strategy for RandomSeeking {
+    fn on_step(&mut self, world: &mut World) {
+        let n = world.n();
+        for p in 0..n {
+            if world.load(p) < self.source_threshold {
+                continue;
+            }
+            self.stats.probes_launched += 1;
+            // The probe walks i.u.a.r. processors; every hop is one
+            // probe message plus one load reply.
+            let mut sink = None;
+            for _ in 0..self.max_hops {
+                let mut cur = world.rng_of(p).below(n);
+                if cur == p {
+                    cur = (cur + 1) % n;
+                }
+                self.stats.hops += 1;
+                let ledger = world.ledger_mut();
+                ledger.record(MessageKind::Probe, 1);
+                ledger.record(MessageKind::LoadReply, 1);
+                if world.load(cur) <= self.sink_threshold {
+                    sink = Some(cur);
+                    break;
+                }
+            }
+            if let Some(s) = sink {
+                self.stats.sinks_found += 1;
+                let surplus = world.load(p).saturating_sub(self.sink_threshold);
+                let give = surplus / 2;
+                if give > 0 {
+                    world.transfer(p, s, give);
+                }
+            }
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "random-seeking"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pcrlb_sim::{Engine, LoadModel, ProcId, SimRng, Step};
+
+    #[derive(Clone, Copy)]
+    struct M;
+    impl LoadModel for M {
+        fn generate(&self, _: ProcId, _: Step, _: usize, rng: &mut SimRng) -> usize {
+            usize::from(rng.chance(0.4))
+        }
+        fn consume(&self, _: ProcId, _: Step, load: usize, rng: &mut SimRng) -> usize {
+            usize::from(load > 0 && rng.chance(0.5))
+        }
+    }
+
+    #[test]
+    fn sources_drain_toward_sinks() {
+        let n = 128;
+        let mut e = Engine::new(n, 1, M, RandomSeeking::new(16, 2, 4));
+        e.world_mut().inject(0, 400);
+        e.run(200);
+        assert!(
+            e.world().max_load() < 200,
+            "source never drained: {}",
+            e.world().max_load()
+        );
+        let s = e.strategy().stats();
+        assert!(s.sinks_found > 0);
+        assert!(s.hops >= s.probes_launched);
+    }
+
+    #[test]
+    fn no_probes_when_under_threshold() {
+        let n = 64;
+        let mut e = Engine::new(n, 2, M, RandomSeeking::new(1000, 2, 4));
+        e.run(300);
+        assert_eq!(e.strategy().stats().probes_launched, 0);
+        assert_eq!(e.world().messages().probes, 0);
+    }
+
+    #[test]
+    fn hop_budget_respected() {
+        let n = 32;
+        let max_hops = 3;
+        let mut e = Engine::new(n, 3, M, RandomSeeking::new(8, 0, max_hops));
+        // With sink threshold 0, sinks are rare: probes walk long.
+        e.world_mut().inject(0, 100);
+        e.run(50);
+        let s = *e.strategy().stats();
+        assert!(s.hops <= s.probes_launched * max_hops as u64);
+    }
+
+    #[test]
+    fn most_probes_find_sinks_when_sinks_abound() {
+        // MD96's headline: with plentiful sinks, probes allocate in
+        // O(1) expected visits.
+        let n = 256;
+        let mut e = Engine::new(n, 4, M, RandomSeeking::new(16, 4, 8));
+        e.world_mut().inject(0, 500);
+        e.run(100);
+        let s = *e.strategy().stats();
+        assert!(s.probes_launched > 0);
+        let hit_rate = s.sinks_found as f64 / s.probes_launched as f64;
+        assert!(hit_rate > 0.9, "sink hit rate {hit_rate} too low");
+        let visits = s.hops as f64 / s.probes_launched as f64;
+        assert!(visits < 2.0, "expected ~1 visit per probe, got {visits}");
+    }
+
+    #[test]
+    #[should_panic(expected = "sink threshold")]
+    fn inverted_thresholds_panic() {
+        RandomSeeking::new(4, 8, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "hop")]
+    fn zero_hops_panics() {
+        RandomSeeking::new(8, 4, 0);
+    }
+}

@@ -1,0 +1,487 @@
+//! Static balls-into-bins games (paper §1.1 related work).
+//!
+//! These are the classical allocation processes the paper positions
+//! itself against:
+//!
+//! * [`one_choice`] — every ball placed i.u.a.r.; max load
+//!   `Θ(log n / log log n)` w.h.p. for `m = n`.
+//! * [`greedy_d`] — Azar–Broder–Karlin–Upfal sequential `d`-choice;
+//!   max load `log log n / log d + Θ(1)` w.h.p.
+//! * [`acmr_threshold`] — Adler–Chakrabarti–Mitzenmacher–Rasmussen
+//!   parallel protocol: `r` communication rounds, each unallocated ball
+//!   probes two bins i.u.a.r., each bin accepts up to a threshold per
+//!   round; max load `r · threshold` w.h.p. with the paper's threshold.
+//! * [`stemann_collision`] — Stemann's parallel balanced allocation:
+//!   each ball commits to two candidate bins up front; in round `j`
+//!   bins accept *all* their pending requests when these fit under a
+//!   growing collision value, so `r` rounds reach max load
+//!   `O(r·(log n / log log n)^{1/r})`.
+//!
+//! Every game reports its message count so experiment E11 can place the
+//! paper's algorithm on the communication/load trade-off curve these
+//! baselines span.
+
+use pcrlb_sim::SimRng;
+
+/// Result of a static allocation game.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AllocationOutcome {
+    /// Final bin loads (length `n`).
+    pub loads: Vec<usize>,
+    /// Messages spent (probes, replies, placements).
+    pub messages: u64,
+    /// Communication rounds used (1 for sequential games).
+    pub rounds: u32,
+    /// Balls that the parallel protocol could not place within its
+    /// round budget and fell back to one-choice placement.
+    pub fallback_balls: u64,
+}
+
+impl AllocationOutcome {
+    /// Maximum bin load.
+    pub fn max_load(&self) -> usize {
+        self.loads.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Number of empty bins.
+    pub fn empty_bins(&self) -> usize {
+        self.loads.iter().filter(|&&l| l == 0).count()
+    }
+}
+
+/// Classic one-choice game: each of `m` balls lands in a bin chosen
+/// i.u.a.r. One placement message per ball.
+pub fn one_choice(n: usize, m: usize, rng: &mut SimRng) -> AllocationOutcome {
+    assert!(n > 0, "need at least one bin");
+    let mut loads = vec![0usize; n];
+    for _ in 0..m {
+        loads[rng.below(n)] += 1;
+    }
+    AllocationOutcome {
+        loads,
+        messages: m as u64,
+        rounds: 1,
+        fallback_balls: 0,
+    }
+}
+
+/// ABKU `Greedy[d]`: balls placed sequentially; each probes `d` bins
+/// i.u.a.r. and joins the least loaded (ties: first probed). Costs
+/// `d` probes + `d` replies + 1 placement per ball.
+pub fn greedy_d(n: usize, m: usize, d: usize, rng: &mut SimRng) -> AllocationOutcome {
+    assert!(n > 0, "need at least one bin");
+    assert!(d >= 1, "need at least one choice");
+    let mut loads = vec![0usize; n];
+    for _ in 0..m {
+        let mut best = rng.below(n);
+        for _ in 1..d {
+            let cand = rng.below(n);
+            if loads[cand] < loads[best] {
+                best = cand;
+            }
+        }
+        loads[best] += 1;
+    }
+    AllocationOutcome {
+        loads,
+        messages: m as u64 * (2 * d as u64 + 1),
+        rounds: 1,
+        fallback_balls: 0,
+    }
+}
+
+/// The ACMR threshold the paper quotes:
+/// `T = (2r + o(1))·log n / log log n` raised to `1/r` — we use the
+/// leading term `((2r·ln n)/ln ln n)^(1/r)`, clamped to at least 1.
+pub fn acmr_threshold_value(n: usize, r: u32) -> usize {
+    let ln_n = (n.max(3) as f64).ln();
+    let ln_ln_n = ln_n.ln().max(1.0);
+    let base = (2.0 * r as f64 * ln_n) / ln_ln_n;
+    base.powf(1.0 / r as f64).ceil().max(1.0) as usize
+}
+
+/// ACMR parallel threshold protocol: `r` rounds; each round, every
+/// unallocated ball probes two bins i.u.a.r. (fresh choices each round)
+/// and a bin accepts up to `threshold` balls *per round* (ties broken by
+/// arrival order within the round, which is random here). Balls left
+/// after `r` rounds fall back to one-choice placement, as the protocol's
+/// users do in practice; their count is reported.
+pub fn acmr(n: usize, m: usize, r: u32, threshold: usize, rng: &mut SimRng) -> AllocationOutcome {
+    assert!(n > 1, "need at least two bins");
+    assert!(r >= 1 && threshold >= 1);
+    let mut loads = vec![0usize; n];
+    let mut unallocated: Vec<u32> = (0..m as u32).collect();
+    let mut messages = 0u64;
+
+    let mut requests: Vec<(usize, u32)> = Vec::new();
+    for _ in 0..r {
+        if unallocated.is_empty() {
+            break;
+        }
+        // Each unallocated ball probes two bins.
+        requests.clear();
+        for &ball in &unallocated {
+            let b1 = rng.below(n);
+            let mut b2 = rng.below(n);
+            while b2 == b1 {
+                b2 = rng.below(n);
+            }
+            requests.push((b1, ball));
+            requests.push((b2, ball));
+            messages += 2;
+        }
+        // Bins accept in random arrival order, up to `threshold` each;
+        // shuffling the request list models simultaneous arrival.
+        rng.shuffle(&mut requests);
+        let mut accepted_this_round = vec![0usize; n];
+        let mut placed: Vec<u32> = Vec::new();
+        let mut taken = vec![false; m];
+        for &(bin, ball) in requests.iter() {
+            if taken[ball as usize] {
+                continue;
+            }
+            if accepted_this_round[bin] < threshold {
+                accepted_this_round[bin] += 1;
+                loads[bin] += 1;
+                taken[ball as usize] = true;
+                placed.push(ball);
+                messages += 1; // accept/commit message
+            }
+        }
+        unallocated.retain(|b| !taken[*b as usize]);
+    }
+
+    let fallback_balls = unallocated.len() as u64;
+    for _ in 0..fallback_balls {
+        loads[rng.below(n)] += 1;
+        messages += 1;
+    }
+    AllocationOutcome {
+        loads,
+        messages,
+        rounds: r,
+        fallback_balls,
+    }
+}
+
+/// Convenience: ACMR with the paper-quoted threshold for `(n, r)`.
+pub fn acmr_threshold(n: usize, m: usize, r: u32, rng: &mut SimRng) -> AllocationOutcome {
+    acmr(n, m, r, acmr_threshold_value(n, r), rng)
+}
+
+/// Czumaj–Stemann adaptive allocation (FOCS 1997, "\[CS97\]" in the
+/// paper's related work): "an adaptive process where the number of
+/// choices made in order to place a ball depends on the load of the
+/// previously chosen bins". Each ball keeps probing fresh bins until it
+/// finds one whose load is below `threshold` (or gives up after
+/// `max_probes` and takes the best bin seen). The headline: max load
+/// `threshold` is achieved with an *expected* number of probes per ball
+/// close to 1, because most bins are below the threshold most of the
+/// time.
+pub fn adaptive_czumaj_stemann(
+    n: usize,
+    m: usize,
+    threshold: usize,
+    max_probes: usize,
+    rng: &mut SimRng,
+) -> AllocationOutcome {
+    assert!(n > 0, "need at least one bin");
+    assert!(threshold >= 1 && max_probes >= 1);
+    let mut loads = vec![0usize; n];
+    let mut messages = 0u64;
+    for _ in 0..m {
+        let mut best = rng.below(n);
+        messages += 1;
+        let mut probes = 1;
+        while loads[best] >= threshold && probes < max_probes {
+            let cand = rng.below(n);
+            messages += 1;
+            probes += 1;
+            if loads[cand] < loads[best] {
+                best = cand;
+            }
+        }
+        loads[best] += 1;
+    }
+    AllocationOutcome {
+        loads,
+        messages,
+        rounds: 1,
+        fallback_balls: 0,
+    }
+}
+
+/// The natural adaptive threshold for `m = n` balls: average load 1, so
+/// `threshold = 2` keeps the expected probe count at `1/(1 - P(load ≥ 2))`
+/// ≈ a small constant while capping the max load at `2` (plus the rare
+/// give-ups).
+pub fn adaptive_default_threshold(n: usize, m: usize) -> usize {
+    (m.div_ceil(n.max(1)) + 1).max(2)
+}
+
+/// Stemann's parallel balanced allocation (simple class): every ball
+/// commits to two bins chosen i.u.a.r. up front. In round `j` each bin
+/// whose *pending* request count fits under the round's collision value
+/// `c_j` accepts all of them; the collision value doubles each round
+/// starting from 1 (any schedule growing to `(log n)^{1/r}`-type values
+/// fits the analysis; doubling is the simplest). Unplaced balls after
+/// `r` rounds fall back to one-choice.
+pub fn stemann_collision(n: usize, m: usize, r: u32, rng: &mut SimRng) -> AllocationOutcome {
+    assert!(n > 1, "need at least two bins");
+    assert!(r >= 1);
+    let mut loads = vec![0usize; n];
+    let mut messages = 0u64;
+
+    // Fixed choices, as in the collision protocol: no re-randomizing.
+    let choices: Vec<(usize, usize)> = (0..m)
+        .map(|_| {
+            let b1 = rng.below(n);
+            let mut b2 = rng.below(n);
+            while b2 == b1 {
+                b2 = rng.below(n);
+            }
+            (b1, b2)
+        })
+        .collect();
+    let mut placed = vec![false; m];
+    let mut collision_value = 1usize;
+
+    for _ in 0..r {
+        // Pending requests per bin.
+        let mut pending: Vec<Vec<u32>> = vec![Vec::new(); n];
+        let mut open = 0u64;
+        for (ball, &(b1, b2)) in choices.iter().enumerate() {
+            if placed[ball] {
+                continue;
+            }
+            open += 1;
+            pending[b1].push(ball as u32);
+            pending[b2].push(ball as u32);
+            messages += 2;
+        }
+        if open == 0 {
+            break;
+        }
+        for bin in 0..n {
+            if pending[bin].is_empty() || pending[bin].len() > collision_value {
+                continue; // collision: bin answers nobody this round
+            }
+            for &ball in &pending[bin] {
+                if !placed[ball as usize] {
+                    placed[ball as usize] = true;
+                    loads[bin] += 1;
+                    messages += 1;
+                }
+            }
+        }
+        collision_value *= 2;
+    }
+
+    let fallback_balls = placed.iter().filter(|&&p| !p).count() as u64;
+    for _ in 0..fallback_balls {
+        loads[rng.below(n)] += 1;
+        messages += 1;
+    }
+    AllocationOutcome {
+        loads,
+        messages,
+        rounds: r,
+        fallback_balls,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn total(loads: &[usize]) -> usize {
+        loads.iter().sum()
+    }
+
+    #[test]
+    fn one_choice_conserves_balls() {
+        let mut rng = SimRng::new(1);
+        let out = one_choice(100, 1000, &mut rng);
+        assert_eq!(total(&out.loads), 1000);
+        assert_eq!(out.messages, 1000);
+    }
+
+    #[test]
+    fn greedy_d_conserves_balls_and_costs_more_messages() {
+        let mut rng = SimRng::new(2);
+        let out = greedy_d(100, 1000, 2, &mut rng);
+        assert_eq!(total(&out.loads), 1000);
+        assert_eq!(out.messages, 1000 * 5);
+    }
+
+    #[test]
+    fn greedy_beats_one_choice_on_max_load() {
+        // The ABKU exponential improvement is visible even at n = 4096:
+        // average over seeds to avoid flakiness.
+        let n = 4096;
+        let (mut sum1, mut sum2) = (0usize, 0usize);
+        for seed in 0..10 {
+            let mut r1 = SimRng::new(seed);
+            let mut r2 = SimRng::new(seed + 1000);
+            sum1 += one_choice(n, n, &mut r1).max_load();
+            sum2 += greedy_d(n, n, 2, &mut r2).max_load();
+        }
+        assert!(
+            sum2 * 2 < sum1 + 10,
+            "greedy[2] ({sum2}) should clearly beat one-choice ({sum1})"
+        );
+    }
+
+    #[test]
+    fn greedy_one_choice_equals_one_choice_distributionally() {
+        // d = 1 greedy is one-choice with extra messages.
+        let mut r = SimRng::new(3);
+        let out = greedy_d(64, 256, 1, &mut r);
+        assert_eq!(total(&out.loads), 256);
+        assert_eq!(out.messages, 256 * 3);
+    }
+
+    #[test]
+    fn acmr_conserves_balls() {
+        let mut rng = SimRng::new(4);
+        let n = 1024;
+        let out = acmr_threshold(n, n, 2, &mut rng);
+        assert_eq!(total(&out.loads), n);
+        assert!(out.messages >= 2 * n as u64);
+    }
+
+    #[test]
+    fn acmr_respects_round_threshold_bound() {
+        // Max load is at most rounds * threshold + fallback collisions;
+        // with few fallbacks it should be close to r*T.
+        let mut rng = SimRng::new(5);
+        let n = 4096;
+        let r = 2;
+        let t = acmr_threshold_value(n, r);
+        let out = acmr(n, n, r, t, &mut rng);
+        assert!(
+            out.max_load() <= (r as usize) * t + 4,
+            "max {} vs r*T = {}",
+            out.max_load(),
+            r as usize * t
+        );
+        assert!(out.fallback_balls < (n / 20) as u64, "too many fallbacks");
+    }
+
+    #[test]
+    fn acmr_threshold_value_shrinks_with_rounds() {
+        let n = 1 << 16;
+        assert!(acmr_threshold_value(n, 2) < acmr_threshold_value(n, 1));
+        assert!(acmr_threshold_value(n, 4) <= acmr_threshold_value(n, 2));
+        assert!(acmr_threshold_value(n, 8) >= 1);
+    }
+
+    #[test]
+    fn stemann_conserves_balls() {
+        let mut rng = SimRng::new(6);
+        let n = 2048;
+        let out = stemann_collision(n, n, 3, &mut rng);
+        assert_eq!(total(&out.loads), n);
+    }
+
+    #[test]
+    fn stemann_more_rounds_lower_load() {
+        let n = 1 << 14;
+        let avg = |r: u32, base: u64| -> f64 {
+            (0..8)
+                .map(|s| {
+                    let mut rng = SimRng::new(base + s);
+                    stemann_collision(n, n, r, &mut rng).max_load()
+                })
+                .sum::<usize>() as f64
+                / 8.0
+        };
+        let r1 = avg(1, 100);
+        let r4 = avg(4, 200);
+        assert!(
+            r4 <= r1,
+            "4-round Stemann ({r4}) should not lose to 1-round ({r1})"
+        );
+    }
+
+    #[test]
+    fn adaptive_conserves_and_caps_load() {
+        let n = 4096;
+        let mut rng = SimRng::new(8);
+        let threshold = adaptive_default_threshold(n, n);
+        let out = adaptive_czumaj_stemann(n, n, threshold, 32, &mut rng);
+        assert_eq!(total(&out.loads), n);
+        // With a generous probe budget, the cap holds exactly.
+        assert!(
+            out.max_load() <= threshold,
+            "max {} > threshold {threshold}",
+            out.max_load()
+        );
+    }
+
+    #[test]
+    fn adaptive_expected_probes_is_near_one() {
+        // CS97's point: adaptivity beats fixed d because most balls
+        // need only one probe.
+        let n = 1 << 14;
+        let mut rng = SimRng::new(9);
+        let out = adaptive_czumaj_stemann(n, n, 2, 32, &mut rng);
+        let probes_per_ball = out.messages as f64 / n as f64;
+        assert!(
+            probes_per_ball < 1.5,
+            "expected ~1 probe per ball, got {probes_per_ball}"
+        );
+        // And it still beats one-choice on max load.
+        let mut rng2 = SimRng::new(9);
+        let oc = one_choice(n, n, &mut rng2);
+        assert!(out.max_load() < oc.max_load());
+    }
+
+    #[test]
+    fn adaptive_give_up_path_is_exercised() {
+        // Tiny machine, impossible threshold: balls exhaust the probe
+        // budget and settle for the best seen; conservation still holds.
+        let mut rng = SimRng::new(10);
+        let out = adaptive_czumaj_stemann(4, 64, 1, 3, &mut rng);
+        assert_eq!(total(&out.loads), 64);
+        assert!(out.max_load() >= 16); // pigeonhole
+        assert!(out.messages >= 64);
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        for game in 0..4 {
+            let run = |seed: u64| {
+                let mut rng = SimRng::new(seed);
+                match game {
+                    0 => one_choice(128, 512, &mut rng),
+                    1 => greedy_d(128, 512, 2, &mut rng),
+                    2 => acmr_threshold(128, 512, 2, &mut rng),
+                    _ => stemann_collision(128, 512, 2, &mut rng),
+                }
+            };
+            assert_eq!(run(9).loads, run(9).loads, "game {game} not deterministic");
+        }
+    }
+
+    #[test]
+    fn zero_balls_edge_case() {
+        let mut rng = SimRng::new(7);
+        assert_eq!(one_choice(10, 0, &mut rng).max_load(), 0);
+        assert_eq!(greedy_d(10, 0, 2, &mut rng).max_load(), 0);
+        assert_eq!(acmr_threshold(10, 0, 2, &mut rng).max_load(), 0);
+        assert_eq!(stemann_collision(10, 0, 2, &mut rng).max_load(), 0);
+    }
+
+    #[test]
+    fn outcome_helpers() {
+        let out = AllocationOutcome {
+            loads: vec![0, 3, 0, 1],
+            messages: 4,
+            rounds: 1,
+            fallback_balls: 0,
+        };
+        assert_eq!(out.max_load(), 3);
+        assert_eq!(out.empty_bins(), 2);
+    }
+}

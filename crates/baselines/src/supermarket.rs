@@ -1,0 +1,329 @@
+//! Mitzenmacher's supermarket model in continuous time (FOCS 1996,
+//! "\[Mit96\]" in the paper's related work).
+//!
+//! Customers arrive as a Poisson process of rate `λ·n` (`λ < 1`), each
+//! samples `d` queues i.u.a.r. and joins the shortest; service times
+//! are exponential with mean 1. Mitzenmacher shows the maximum queue
+//! length stays `O(log log n)` for `d ≥ 2` over any constant time
+//! horizon, versus `O(log n / log log n)` for `d = 1`.
+//!
+//! The rest of this workspace discretizes this model (Bernoulli
+//! arrivals per step — see [`crate::alloc::DChoiceAllocation`]); this
+//! module is the *exact* event-driven version, used to validate that
+//! the discretization preserves the distribution shape.
+
+use pcrlb_sim::SimRng;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+
+/// A point in simulated continuous time. Wrapped to give the event
+/// queue a total order (times are never NaN by construction).
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Time(f64);
+
+impl Eq for Time {}
+
+impl PartialOrd for Time {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Time {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0
+            .partial_cmp(&other.0)
+            .expect("event times are never NaN")
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum EventKind {
+    Arrival,
+    Departure(usize),
+}
+
+/// Result of one continuous-time run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SupermarketReport {
+    /// Customers that arrived.
+    pub arrivals: u64,
+    /// Customers that completed service.
+    pub completions: u64,
+    /// Largest queue length ever observed.
+    pub max_queue: usize,
+    /// Time-averaged total customers in system, divided by `n`.
+    pub mean_load_per_queue: f64,
+    /// Mean sojourn (arrival → departure) over completed customers.
+    pub mean_sojourn: f64,
+    /// Probe messages (d per arrival, 0 for d = 1).
+    pub messages: u64,
+}
+
+/// The continuous-time supermarket simulator.
+///
+/// ```
+/// use pcrlb_baselines::SupermarketSim;
+///
+/// // d = 1 is n independent M/M/1 queues: W = 1/(mu - lambda) = 2.
+/// let report = SupermarketSim::new(128, 0.5, 1).run(42, 500.0);
+/// assert!((report.mean_sojourn - 2.0).abs() < 0.4);
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct SupermarketSim {
+    /// Number of queues.
+    pub n: usize,
+    /// Per-queue arrival rate (`λ < 1` for stability).
+    pub lambda: f64,
+    /// Choices per customer (`d = 1` is plain M/M/1 queues).
+    pub d: usize,
+}
+
+impl SupermarketSim {
+    /// Creates the simulator; requires `0 < λ < 1`, `d ≥ 1`, `n ≥ 1`.
+    pub fn new(n: usize, lambda: f64, d: usize) -> Self {
+        assert!(n >= 1, "need at least one queue");
+        assert!(
+            lambda > 0.0 && lambda < 1.0,
+            "stability needs 0 < lambda < 1"
+        );
+        assert!(d >= 1, "need at least one choice");
+        SupermarketSim { n, lambda, d }
+    }
+
+    /// Samples an exponential with the given rate.
+    fn exp(rng: &mut SimRng, rate: f64) -> f64 {
+        // Inverse CDF; 1 - f64() is in (0, 1].
+        -(1.0 - rng.f64()).ln() / rate
+    }
+
+    /// Runs until simulated time `t_end`, fully determined by `seed`.
+    pub fn run(&self, seed: u64, t_end: f64) -> SupermarketReport {
+        assert!(t_end > 0.0, "horizon must be positive");
+        let mut rng = SimRng::new(seed);
+        // Queue state: arrival timestamps in FIFO order per queue (the
+        // head is in service).
+        let mut queues: Vec<VecDeque<f64>> = vec![VecDeque::new(); self.n];
+        let mut events: BinaryHeap<Reverse<(Time, u64, EventKind)>> = BinaryHeap::new();
+        let mut event_seq = 0u64; // tie-breaker for simultaneous events
+
+        let arrival_rate = self.lambda * self.n as f64;
+        let push = |events: &mut BinaryHeap<_>, t: f64, kind: EventKind, seq: &mut u64| {
+            events.push(Reverse((Time(t), *seq, kind)));
+            *seq += 1;
+        };
+        push(
+            &mut events,
+            Self::exp(&mut rng, arrival_rate),
+            EventKind::Arrival,
+            &mut event_seq,
+        );
+
+        let mut report = SupermarketReport {
+            arrivals: 0,
+            completions: 0,
+            max_queue: 0,
+            mean_load_per_queue: 0.0,
+            mean_sojourn: 0.0,
+            messages: 0,
+        };
+        let mut sojourn_sum = 0.0;
+        let mut load_integral = 0.0;
+        let mut total_in_system = 0usize;
+        let mut last_t = 0.0f64;
+
+        while let Some(Reverse((Time(t), _, kind))) = events.pop() {
+            if t > t_end {
+                break;
+            }
+            load_integral += total_in_system as f64 * (t - last_t);
+            last_t = t;
+            match kind {
+                EventKind::Arrival => {
+                    report.arrivals += 1;
+                    // Choose the shortest of d sampled queues.
+                    let mut best = rng.below(self.n);
+                    for _ in 1..self.d {
+                        let cand = rng.below(self.n);
+                        if queues[cand].len() < queues[best].len() {
+                            best = cand;
+                        }
+                    }
+                    if self.d > 1 {
+                        report.messages += self.d as u64;
+                    }
+                    queues[best].push_back(t);
+                    total_in_system += 1;
+                    report.max_queue = report.max_queue.max(queues[best].len());
+                    if queues[best].len() == 1 {
+                        // Queue was idle: service starts immediately.
+                        let svc = Self::exp(&mut rng, 1.0);
+                        push(
+                            &mut events,
+                            t + svc,
+                            EventKind::Departure(best),
+                            &mut event_seq,
+                        );
+                    }
+                    // Schedule the next arrival.
+                    let next = t + Self::exp(&mut rng, arrival_rate);
+                    push(&mut events, next, EventKind::Arrival, &mut event_seq);
+                }
+                EventKind::Departure(q) => {
+                    let arrived = queues[q]
+                        .pop_front()
+                        .expect("departure from an empty queue");
+                    total_in_system -= 1;
+                    report.completions += 1;
+                    sojourn_sum += t - arrived;
+                    if !queues[q].is_empty() {
+                        let svc = Self::exp(&mut rng, 1.0);
+                        push(
+                            &mut events,
+                            t + svc,
+                            EventKind::Departure(q),
+                            &mut event_seq,
+                        );
+                    }
+                }
+            }
+        }
+
+        report.mean_load_per_queue = load_integral / (last_t.max(1e-12) * self.n as f64);
+        report.mean_sojourn = if report.completions == 0 {
+            0.0
+        } else {
+            sojourn_sum / report.completions as f64
+        };
+        report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mm1_sojourn_matches_queueing_theory() {
+        // d = 1 is n independent M/M/1 queues: W = 1/(mu - lambda).
+        let sim = SupermarketSim::new(256, 0.5, 1);
+        let report = sim.run(1, 2000.0);
+        let expected = 1.0 / (1.0 - 0.5); // = 2
+        assert!(
+            (report.mean_sojourn - expected).abs() < 0.15,
+            "mean sojourn {} vs M/M/1 prediction {}",
+            report.mean_sojourn,
+            expected
+        );
+        // L = lambda * W per queue (Little's law).
+        assert!((report.mean_load_per_queue - 1.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn two_choices_shrink_max_queue() {
+        let n = 1024;
+        let horizon = 200.0;
+        let one = SupermarketSim::new(n, 0.7, 1).run(7, horizon);
+        let two = SupermarketSim::new(n, 0.7, 2).run(7, horizon);
+        assert!(
+            two.max_queue < one.max_queue,
+            "d=2 max {} should beat d=1 max {}",
+            two.max_queue,
+            one.max_queue
+        );
+        assert!(
+            two.max_queue <= 8,
+            "supermarket max queue {}",
+            two.max_queue
+        );
+    }
+
+    #[test]
+    fn arrivals_minus_completions_bounded() {
+        // In a stable system, work in progress stays O(n).
+        let sim = SupermarketSim::new(128, 0.6, 2);
+        let r = sim.run(3, 500.0);
+        assert!(r.arrivals > 0);
+        let in_flight = r.arrivals - r.completions;
+        assert!(
+            in_flight < 3 * 128,
+            "{in_flight} customers stuck in a stable system"
+        );
+    }
+
+    #[test]
+    fn arrival_count_matches_rate() {
+        let sim = SupermarketSim::new(100, 0.5, 2);
+        let horizon = 1000.0;
+        let r = sim.run(5, horizon);
+        let expected = 0.5 * 100.0 * horizon;
+        let rel = (r.arrivals as f64 - expected).abs() / expected;
+        assert!(
+            rel < 0.05,
+            "arrivals {} vs expected {}",
+            r.arrivals,
+            expected
+        );
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let sim = SupermarketSim::new(64, 0.5, 2);
+        let a = sim.run(11, 100.0);
+        let b = sim.run(11, 100.0);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn messages_are_d_per_arrival() {
+        let sim = SupermarketSim::new(64, 0.5, 3);
+        let r = sim.run(13, 100.0);
+        assert_eq!(r.messages, 3 * r.arrivals);
+        let plain = SupermarketSim::new(64, 0.5, 1).run(13, 100.0);
+        assert_eq!(plain.messages, 0);
+    }
+
+    #[test]
+    fn discretization_shape_agrees() {
+        // The discrete-time 2-choice allocation and the continuous-time
+        // supermarket should land in the same max-queue ballpark at the
+        // same utilization.
+        use crate::alloc::DChoiceAllocation;
+        use pcrlb_sim::{Engine, LoadModel, ProcId, Step};
+
+        #[derive(Clone, Copy)]
+        struct M;
+        impl LoadModel for M {
+            fn generate(&self, _: ProcId, _: Step, _: usize, rng: &mut SimRng) -> usize {
+                usize::from(rng.chance(0.35))
+            }
+            fn consume(&self, _: ProcId, _: Step, load: usize, rng: &mut SimRng) -> usize {
+                usize::from(load > 0 && rng.chance(0.5))
+            }
+        }
+        let n = 512;
+        let ct = SupermarketSim::new(n, 0.7, 2).run(17, 400.0);
+        let mut dt = Engine::new(n, 17, M, DChoiceAllocation::new(2));
+        let mut dt_max = 0usize;
+        dt.run_observed(4000, |w| dt_max = dt_max.max(w.max_load()));
+        let diff = (ct.max_queue as i64 - dt_max as i64).abs();
+        assert!(
+            diff <= 3,
+            "continuous max {} vs discrete max {} differ too much",
+            ct.max_queue,
+            dt_max
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "stability")]
+    fn rejects_unstable_lambda() {
+        SupermarketSim::new(8, 1.0, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "horizon")]
+    fn rejects_zero_horizon() {
+        SupermarketSim::new(8, 0.5, 2).run(1, 0.0);
+    }
+}

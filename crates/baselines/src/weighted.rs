@@ -1,0 +1,327 @@
+//! Weighted balls-into-bins: the Berenbrink–Meyer auf der Heide–Schröder
+//! extension (SPAA 1997, "\[BMS97\]" in the paper's related work).
+//!
+//! Balls carry weights; the trivially optimal max load is
+//! `max(W_total/n, w_max)`. BMS97 achieve
+//! `≈ (m/n)·W_A + W_M` (average per bin plus one maximum weight) with a
+//! parallel protocol whose quality depends on the uniformity
+//! `δ = W_A / W_M`, and the number of balls need not be known in
+//! advance.
+//!
+//! Implemented here:
+//!
+//! * [`weighted_one_choice`] — each ball i.u.a.r.;
+//! * [`weighted_greedy_d`] — sequential `d`-choice on *weighted* loads,
+//!   in arrival order or heaviest-first (the classic scheduling trick;
+//!   heaviest-first is what BMS97's class layering emulates in
+//!   parallel);
+//! * [`weighted_class_parallel`] — the BMS97-style protocol: balls are
+//!   layered into weight classes by powers of two, classes allocated
+//!   heaviest class first, each class placed with a collision-style
+//!   parallel round (2 candidate bins, least weighted-load wins).
+
+use pcrlb_sim::SimRng;
+
+/// Result of a weighted allocation game.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WeightedOutcome {
+    /// Final per-bin total weight.
+    pub loads: Vec<f64>,
+    /// Messages spent.
+    pub messages: u64,
+    /// Parallel rounds used (1 for sequential games).
+    pub rounds: u32,
+}
+
+impl WeightedOutcome {
+    /// Maximum bin weight.
+    pub fn max_load(&self) -> f64 {
+        self.loads.iter().copied().fold(0.0, f64::max)
+    }
+
+    /// The trivial lower bound `max(W_total/n, w_max)` for the weight
+    /// set this outcome allocated.
+    pub fn lower_bound(weights: &[f64], n: usize) -> f64 {
+        let total: f64 = weights.iter().sum();
+        let w_max = weights.iter().copied().fold(0.0, f64::max);
+        (total / n as f64).max(w_max)
+    }
+}
+
+/// Ball processing order for the sequential games.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BallOrder {
+    /// As given (an online arrival order).
+    Arrival,
+    /// Heaviest ball first (offline; the order BMS97's weight classes
+    /// approximate in parallel).
+    HeaviestFirst,
+}
+
+fn validate(n: usize, weights: &[f64]) {
+    assert!(n > 0, "need at least one bin");
+    assert!(
+        weights.iter().all(|w| *w >= 0.0 && w.is_finite()),
+        "weights must be finite and non-negative"
+    );
+}
+
+/// One-choice with weights: each ball lands i.u.a.r.
+pub fn weighted_one_choice(n: usize, weights: &[f64], rng: &mut SimRng) -> WeightedOutcome {
+    validate(n, weights);
+    let mut loads = vec![0.0f64; n];
+    for &w in weights {
+        loads[rng.below(n)] += w;
+    }
+    WeightedOutcome {
+        loads,
+        messages: weights.len() as u64,
+        rounds: 1,
+    }
+}
+
+/// Sequential `d`-choice on weighted loads.
+pub fn weighted_greedy_d(
+    n: usize,
+    weights: &[f64],
+    d: usize,
+    order: BallOrder,
+    rng: &mut SimRng,
+) -> WeightedOutcome {
+    validate(n, weights);
+    assert!(d >= 1, "need at least one choice");
+    let mut idx: Vec<usize> = (0..weights.len()).collect();
+    if order == BallOrder::HeaviestFirst {
+        idx.sort_by(|&a, &b| {
+            weights[b]
+                .partial_cmp(&weights[a])
+                .expect("weights are finite")
+        });
+    }
+    let mut loads = vec![0.0f64; n];
+    for &ball in &idx {
+        let mut best = rng.below(n);
+        for _ in 1..d {
+            let cand = rng.below(n);
+            if loads[cand] < loads[best] {
+                best = cand;
+            }
+        }
+        loads[best] += weights[ball];
+    }
+    WeightedOutcome {
+        loads,
+        messages: weights.len() as u64 * (2 * d as u64 + 1),
+        rounds: 1,
+    }
+}
+
+/// BMS97-style parallel allocation by weight classes.
+///
+/// Balls are grouped into classes `[2^k·w_min, 2^{k+1}·w_min)`;
+/// classes are allocated heaviest first; within a class every ball
+/// probes two bins i.u.a.r. *simultaneously* (one parallel round per
+/// class) and commits to the bin with the smaller weighted load at
+/// probe time — ties and races resolved bin-side in arrival order,
+/// which the shuffle randomizes. `m` need not be known in advance:
+/// classes are discovered from the weights themselves.
+pub fn weighted_class_parallel(n: usize, weights: &[f64], rng: &mut SimRng) -> WeightedOutcome {
+    validate(n, weights);
+    let mut loads = vec![0.0f64; n];
+    if weights.is_empty() {
+        return WeightedOutcome {
+            loads,
+            messages: 0,
+            rounds: 0,
+        };
+    }
+    let w_min = weights
+        .iter()
+        .copied()
+        .filter(|w| *w > 0.0)
+        .fold(f64::INFINITY, f64::min);
+    if !w_min.is_finite() {
+        // All weights are zero: nothing to place.
+        return WeightedOutcome {
+            loads,
+            messages: 0,
+            rounds: 0,
+        };
+    }
+
+    // Layer into classes by log2(weight / w_min).
+    let class_of = |w: f64| -> usize {
+        if w <= 0.0 {
+            0
+        } else {
+            (w / w_min).log2().floor().max(0.0) as usize
+        }
+    };
+    let max_class = weights.iter().map(|&w| class_of(w)).max().unwrap_or(0);
+    let mut classes: Vec<Vec<usize>> = vec![Vec::new(); max_class + 1];
+    for (i, &w) in weights.iter().enumerate() {
+        classes[class_of(w)].push(i);
+    }
+
+    let mut messages = 0u64;
+    let mut rounds = 0u32;
+    // Heaviest class first.
+    for class in classes.iter().rev() {
+        if class.is_empty() {
+            continue;
+        }
+        rounds += 1;
+        // Simultaneous probes: decisions are made against the loads at
+        // the *start* of the round (the snapshot), commits apply as
+        // they land — the standard way a one-round parallel protocol
+        // behaves under bin-side serialization.
+        let snapshot = loads.clone();
+        let mut order: Vec<usize> = class.clone();
+        rng.shuffle(&mut order);
+        for &ball in &order {
+            let b1 = rng.below(n);
+            let mut b2 = rng.below(n);
+            if n > 1 {
+                while b2 == b1 {
+                    b2 = rng.below(n);
+                }
+            }
+            messages += 3; // two probes + one commit
+            let best = if snapshot[b1] <= snapshot[b2] { b1 } else { b2 };
+            loads[best] += weights[ball];
+        }
+    }
+    WeightedOutcome {
+        loads,
+        messages,
+        rounds,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn skewed_weights(m: usize, rng: &mut SimRng) -> Vec<f64> {
+        // Pareto-ish: a few heavy balls dominate.
+        (0..m)
+            .map(|_| {
+                let u = rng.f64().max(1e-9);
+                1.0 / u.powf(0.7)
+            })
+            .collect()
+    }
+
+    fn total(loads: &[f64]) -> f64 {
+        loads.iter().sum()
+    }
+
+    #[test]
+    fn weight_is_conserved_by_all_games() {
+        let mut rng = SimRng::new(1);
+        let weights = skewed_weights(500, &mut rng);
+        let w_total: f64 = weights.iter().sum();
+        let n = 100;
+        for out in [
+            weighted_one_choice(n, &weights, &mut rng),
+            weighted_greedy_d(n, &weights, 2, BallOrder::Arrival, &mut rng),
+            weighted_greedy_d(n, &weights, 2, BallOrder::HeaviestFirst, &mut rng),
+            weighted_class_parallel(n, &weights, &mut rng),
+        ] {
+            assert!((total(&out.loads) - w_total).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn max_load_respects_lower_bound() {
+        let mut rng = SimRng::new(2);
+        let weights = skewed_weights(300, &mut rng);
+        let n = 64;
+        let lb = WeightedOutcome::lower_bound(&weights, n);
+        for out in [
+            weighted_one_choice(n, &weights, &mut rng),
+            weighted_greedy_d(n, &weights, 3, BallOrder::HeaviestFirst, &mut rng),
+            weighted_class_parallel(n, &weights, &mut rng),
+        ] {
+            assert!(out.max_load() >= lb - 1e-9);
+        }
+    }
+
+    #[test]
+    fn greedy_beats_one_choice_on_weighted_balls() {
+        let n = 1024;
+        let mut sum1 = 0.0;
+        let mut sum2 = 0.0;
+        for seed in 0..10 {
+            let mut rng = SimRng::new(seed);
+            let weights = skewed_weights(n, &mut rng);
+            sum1 += weighted_one_choice(n, &weights, &mut rng).max_load();
+            sum2 += weighted_greedy_d(n, &weights, 2, BallOrder::Arrival, &mut rng).max_load();
+        }
+        assert!(sum2 < sum1, "greedy {sum2} should beat one-choice {sum1}");
+    }
+
+    #[test]
+    fn heaviest_first_not_worse_than_arrival_order() {
+        let n = 256;
+        let mut hf = 0.0;
+        let mut arr = 0.0;
+        for seed in 0..20 {
+            let mut rng = SimRng::new(seed);
+            let weights = skewed_weights(4 * n, &mut rng);
+            arr += weighted_greedy_d(n, &weights, 2, BallOrder::Arrival, &mut rng).max_load();
+            hf += weighted_greedy_d(n, &weights, 2, BallOrder::HeaviestFirst, &mut rng).max_load();
+        }
+        assert!(hf <= arr * 1.02, "heaviest-first {hf} vs arrival {arr}");
+    }
+
+    #[test]
+    fn class_parallel_close_to_bms_bound() {
+        // BMS97 shape: max load ~ (m/n) W_A + W_M. Check the measured
+        // max stays within a small constant of that.
+        let n = 512;
+        let mut rng = SimRng::new(7);
+        let weights = skewed_weights(2 * n, &mut rng);
+        let w_avg = weights.iter().sum::<f64>() / weights.len() as f64;
+        let w_max = weights.iter().copied().fold(0.0, f64::max);
+        let bound = (weights.len() as f64 / n as f64) * w_avg + w_max;
+        let out = weighted_class_parallel(n, &weights, &mut rng);
+        assert!(
+            out.max_load() <= 3.0 * bound,
+            "max {} vs BMS bound {}",
+            out.max_load(),
+            bound
+        );
+        assert!(out.rounds >= 1);
+    }
+
+    #[test]
+    fn uniform_weights_reduce_to_unweighted_shape() {
+        // delta = W_A/W_M = 1: the class protocol degenerates to a
+        // single class, i.e. plain parallel 2-choice.
+        let n = 256;
+        let weights = vec![1.0; n];
+        let mut rng = SimRng::new(9);
+        let out = weighted_class_parallel(n, &weights, &mut rng);
+        assert_eq!(out.rounds, 1);
+        assert!(out.max_load() <= 8.0);
+    }
+
+    #[test]
+    fn empty_and_zero_weight_edge_cases() {
+        let mut rng = SimRng::new(3);
+        let out = weighted_class_parallel(8, &[], &mut rng);
+        assert_eq!(out.max_load(), 0.0);
+        let out = weighted_class_parallel(8, &[0.0, 0.0], &mut rng);
+        assert_eq!(out.max_load(), 0.0);
+        let out = weighted_one_choice(8, &[], &mut rng);
+        assert_eq!(out.messages, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn negative_weights_rejected() {
+        let mut rng = SimRng::new(4);
+        weighted_one_choice(4, &[-1.0], &mut rng);
+    }
+}

@@ -1,0 +1,137 @@
+//! Property-based tests of the static balls-into-bins games, the
+//! weighted extension, and the gossip substrate.
+
+use pcrlb_baselines::static_games::{
+    acmr, acmr_threshold_value, greedy_d, one_choice, stemann_collision,
+};
+use pcrlb_baselines::weighted::{
+    weighted_class_parallel, weighted_greedy_d, weighted_one_choice, BallOrder, WeightedOutcome,
+};
+use pcrlb_baselines::PushSum;
+use pcrlb_sim::SimRng;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every game conserves balls exactly.
+    #[test]
+    fn games_conserve_balls(
+        seed in any::<u64>(),
+        n in 2usize..2048,
+        m_frac in 0.0f64..3.0,
+    ) {
+        let m = ((n as f64) * m_frac) as usize;
+        let mut rng = SimRng::new(seed);
+        let total = |loads: &[usize]| loads.iter().sum::<usize>();
+        prop_assert_eq!(total(&one_choice(n, m, &mut rng).loads), m);
+        prop_assert_eq!(total(&greedy_d(n, m, 2, &mut rng).loads), m);
+        prop_assert_eq!(total(&acmr(n, m, 2, 3, &mut rng).loads), m);
+        prop_assert_eq!(total(&stemann_collision(n, m, 2, &mut rng).loads), m);
+    }
+
+    /// Greedy with more choices never does (meaningfully) worse on the
+    /// same seed count; max load is monotone-ish in d on average.
+    #[test]
+    fn greedy_more_choices_not_worse_on_average(seed in 0u64..1000) {
+        let n = 1024;
+        let trials = 5;
+        let avg = |d: usize| -> f64 {
+            (0..trials)
+                .map(|t| {
+                    let mut rng = SimRng::new(seed * 31 + t);
+                    greedy_d(n, n, d, &mut rng).max_load()
+                })
+                .sum::<usize>() as f64 / trials as f64
+        };
+        // Allow a tiny tolerance: individual draws fluctuate.
+        prop_assert!(avg(4) <= avg(1) + 1.0);
+    }
+
+    /// Max load lower bound: no game can beat ceil(m/n).
+    #[test]
+    fn max_load_at_least_average(seed in any::<u64>(), n in 2usize..512, mult in 1usize..4) {
+        let m = n * mult;
+        let mut rng = SimRng::new(seed);
+        let lower = m.div_ceil(n);
+        prop_assert!(one_choice(n, m, &mut rng).max_load() >= lower);
+        prop_assert!(greedy_d(n, m, 3, &mut rng).max_load() >= lower);
+        prop_assert!(stemann_collision(n, m, 3, &mut rng).max_load() >= lower);
+    }
+
+    /// The ACMR per-round acceptance threshold is respected: max load
+    /// <= rounds * threshold + fallback placements.
+    #[test]
+    fn acmr_threshold_respected(
+        seed in any::<u64>(),
+        n in 16usize..1024,
+        r in 1u32..4,
+    ) {
+        let t = acmr_threshold_value(n, r);
+        let mut rng = SimRng::new(seed);
+        let out = acmr(n, n, r, t, &mut rng);
+        prop_assert!(
+            out.max_load() <= r as usize * t + out.fallback_balls as usize,
+            "max {} > r*t + fallback = {}",
+            out.max_load(),
+            r as usize * t + out.fallback_balls as usize
+        );
+    }
+
+    /// Weighted games conserve total weight and respect the trivial
+    /// lower bound, for arbitrary non-negative weights.
+    #[test]
+    fn weighted_games_conserve_and_bound(
+        seed in any::<u64>(),
+        n in 2usize..256,
+        weights in proptest::collection::vec(0.0f64..100.0, 0..200),
+    ) {
+        let mut rng = SimRng::new(seed);
+        let w_total: f64 = weights.iter().sum();
+        let lb = WeightedOutcome::lower_bound(&weights, n);
+        for out in [
+            weighted_one_choice(n, &weights, &mut rng),
+            weighted_greedy_d(n, &weights, 2, BallOrder::Arrival, &mut rng),
+            weighted_greedy_d(n, &weights, 2, BallOrder::HeaviestFirst, &mut rng),
+            weighted_class_parallel(n, &weights, &mut rng),
+        ] {
+            let total: f64 = out.loads.iter().sum();
+            prop_assert!((total - w_total).abs() < 1e-6 * (1.0 + w_total));
+            prop_assert!(out.max_load() >= lb - 1e-9);
+        }
+    }
+
+    /// Push-sum estimates always stay within the convex hull of the
+    /// initial values (each estimate is a weighted average of them),
+    /// and converge toward the true average as rounds accumulate.
+    #[test]
+    fn push_sum_invariants(
+        seed in any::<u64>(),
+        values in proptest::collection::vec(0.0f64..1000.0, 2..128),
+        rounds in 1usize..40,
+    ) {
+        let n = values.len();
+        let avg = values.iter().sum::<f64>() / n as f64;
+        let lo = values.iter().copied().fold(f64::INFINITY, f64::min);
+        let hi = values.iter().copied().fold(0.0f64, f64::max);
+        let mut ps = PushSum::new(&values);
+        let mut rng = SimRng::new(seed);
+        let initial_err = ps.max_relative_error(avg.max(1e-9));
+        for _ in 0..rounds {
+            ps.round(&mut rng);
+        }
+        for i in 0..n {
+            let e = ps.estimate(i);
+            prop_assert!(
+                e >= lo - 1e-6 && e <= hi + 1e-6,
+                "estimate {} outside [{}, {}]", e, lo, hi
+            );
+        }
+        if rounds >= 30 && avg > 1e-6 {
+            // Plenty of rounds: error must have shrunk substantially.
+            let err = ps.max_relative_error(avg);
+            prop_assert!(err <= initial_err + 1e-9);
+            prop_assert!(err < 0.2, "error {} after {} rounds", err, rounds);
+        }
+    }
+}

@@ -1,0 +1,33 @@
+//! Criterion bench: static balls-into-bins allocation throughput
+//! (balls per second) for every static game.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use pcrlb_baselines::static_games::{acmr_threshold, greedy_d, one_choice, stemann_collision};
+use pcrlb_sim::SimRng;
+
+fn bench_static_games(c: &mut Criterion) {
+    let mut group = c.benchmark_group("baseline_alloc");
+    for n in [1usize << 12, 1 << 16] {
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::new("one_choice", n), &n, |b, &n| {
+            let mut rng = SimRng::new(1);
+            b.iter(|| one_choice(n, n, &mut rng).max_load());
+        });
+        group.bench_with_input(BenchmarkId::new("greedy_2", n), &n, |b, &n| {
+            let mut rng = SimRng::new(1);
+            b.iter(|| greedy_d(n, n, 2, &mut rng).max_load());
+        });
+        group.bench_with_input(BenchmarkId::new("acmr_r2", n), &n, |b, &n| {
+            let mut rng = SimRng::new(1);
+            b.iter(|| acmr_threshold(n, n, 2, &mut rng).max_load());
+        });
+        group.bench_with_input(BenchmarkId::new("stemann_r3", n), &n, |b, &n| {
+            let mut rng = SimRng::new(1);
+            b.iter(|| stemann_collision(n, n, 3, &mut rng).max_load());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_static_games);
+criterion_main!(benches);

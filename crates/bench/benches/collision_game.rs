@@ -1,0 +1,44 @@
+//! Criterion bench: cost of one collision game (sequential vs threaded)
+//! across machine sizes and request counts.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use pcrlb_collision::{play_game, play_game_threaded, CollisionParams};
+use pcrlb_sim::SimRng;
+
+fn bench_sequential(c: &mut Criterion) {
+    let params = CollisionParams::lemma1();
+    let mut group = c.benchmark_group("collision_game/sequential");
+    for n in [1usize << 10, 1 << 14, 1 << 18] {
+        let requests = params.max_requests(n) / 4;
+        let requesters: Vec<usize> = (0..requests).collect();
+        group.throughput(Throughput::Elements(requests as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let mut rng = SimRng::new(42);
+            b.iter(|| play_game(n, &requesters, &params, &mut rng));
+        });
+    }
+    group.finish();
+}
+
+fn bench_threaded(c: &mut Criterion) {
+    let params = CollisionParams::lemma1();
+    let n = 1usize << 14;
+    let requests = params.max_requests(n) / 4;
+    let requesters: Vec<usize> = (0..requests).collect();
+    let mut group = c.benchmark_group("collision_game/threaded");
+    group.throughput(Throughput::Elements(requests as u64));
+    for shards in [1usize, 2, 4, 8] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(shards),
+            &shards,
+            |b, &shards| {
+                let mut rng = SimRng::new(42);
+                b.iter(|| play_game_threaded(n, &requesters, &params, &mut rng, shards));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sequential, bench_threaded);
+criterion_main!(benches);

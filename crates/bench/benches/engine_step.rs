@@ -1,0 +1,42 @@
+//! Criterion bench: simulation throughput (processor-steps per second)
+//! for the unbalanced system, the paper's balancer, and arrival-time
+//! 2-choice allocation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use pcrlb_baselines::DChoiceAllocation;
+use pcrlb_core::{Single, ThresholdBalancer};
+use pcrlb_sim::{Engine, Unbalanced};
+
+const STEPS: u64 = 64;
+
+fn bench_strategies(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_step");
+    for n in [1usize << 10, 1 << 14] {
+        group.throughput(Throughput::Elements(n as u64 * STEPS));
+        group.bench_with_input(BenchmarkId::new("unbalanced", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut e = Engine::new(n, 1, Single::default_paper(), Unbalanced);
+                e.run(STEPS);
+                e.world().total_load()
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("threshold", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut e = Engine::new(n, 1, Single::default_paper(), ThresholdBalancer::paper(n));
+                e.run(STEPS);
+                e.world().total_load()
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("two-choice", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut e = Engine::new(n, 1, Single::default_paper(), DChoiceAllocation::new(2));
+                e.run(STEPS);
+                e.world().total_load()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_strategies);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Criterion bench: threaded engine speedup over the sequential engine
+//! for the per-processor sub-steps (generation + consumption).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use pcrlb_core::{Single, ThresholdBalancer};
+use pcrlb_sim::{Engine, ParallelEngine};
+
+const STEPS: u64 = 16;
+const N: usize = 1 << 16;
+
+fn bench_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("parallel_scaling");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(N as u64 * STEPS));
+    group.bench_function("sequential", |b| {
+        b.iter(|| {
+            let mut e = Engine::new(N, 1, Single::default_paper(), ThresholdBalancer::paper(N));
+            e.run(STEPS);
+            e.world().total_load()
+        });
+    });
+    for threads in [1usize, 2, 4, 8] {
+        group.bench_with_input(
+            BenchmarkId::new("threads", threads),
+            &threads,
+            |b, &threads| {
+                b.iter(|| {
+                    let mut e = ParallelEngine::new(
+                        N,
+                        1,
+                        Single::default_paper(),
+                        ThresholdBalancer::paper(N),
+                        threads,
+                    );
+                    e.run(STEPS);
+                    e.world().total_load()
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scaling);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Criterion bench: PRAM-step throughput of the MSS'95 shared-memory
+//! machine (operations per second) across machine sizes and batch
+//! shapes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use pcrlb_shmem::{DmmConfig, DmmMachine, MemOp};
+use pcrlb_sim::SimRng;
+
+fn bench_pram_steps(c: &mut Criterion) {
+    let mut group = c.benchmark_group("shmem_step");
+    for n in [1usize << 8, 1 << 12] {
+        let ops_per_step = n / 8;
+        group.throughput(Throughput::Elements(ops_per_step as u64));
+        group.bench_with_input(BenchmarkId::new("mixed_batch", n), &n, |b, &n| {
+            let mut machine = DmmMachine::new(DmmConfig::mss95(n), 1);
+            let mut rng = SimRng::new(2);
+            b.iter(|| {
+                let ops: Vec<MemOp> = (0..ops_per_step)
+                    .map(|i| {
+                        let cell = rng.below(1 << 22) as u64;
+                        if i % 3 == 0 {
+                            MemOp::Write { cell, value: cell }
+                        } else {
+                            MemOp::Read { cell }
+                        }
+                    })
+                    .collect();
+                machine.step(&ops).completed.len()
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("hot_cell_combined", n), &n, |b, &n| {
+            let mut machine = DmmMachine::new(DmmConfig::mss95(n), 1);
+            machine.step(&[MemOp::Write { cell: 0, value: 7 }]);
+            let ops: Vec<MemOp> = (0..ops_per_step).map(|_| MemOp::Read { cell: 0 }).collect();
+            b.iter(|| machine.step(&ops).completed.len());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_pram_steps);
+criterion_main!(benches);

@@ -1,0 +1,107 @@
+//! The experiment harness CLI.
+//!
+//! ```text
+//! pcrlb-experiments [OPTIONS] [EXPERIMENT... | all | figures]
+//!
+//! EXPERIMENT   experiment ids (e1-max-load, e2-unbalanced, ...), "all",
+//!              or "figures" (render the headline SVG figures)
+//!
+//! OPTIONS
+//!   --quick      reduced sweeps and trials (CI-sized)
+//!   --seed N     master seed (default 0xBFAE1998)
+//!   --md         emit Markdown tables instead of aligned text
+//!   --csv        emit CSV instead of aligned text
+//!   --out DIR    output directory for figures (default ./figures)
+//!   --list       list experiments and exit
+//! ```
+//!
+//! Run with `cargo run --release -p pcrlb-bench --bin pcrlb-experiments
+//! -- all` to regenerate every table in `EXPERIMENTS.md`.
+
+use pcrlb_bench::experiments::{find, registry};
+use pcrlb_bench::{figures, ExpOptions};
+use std::path::PathBuf;
+use std::time::Instant;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: pcrlb-experiments [--quick] [--seed N] [--md] [--csv] \
+         [--out DIR] [--list] [EXPERIMENT... | all | figures]"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut opts = ExpOptions::default();
+    let mut markdown = false;
+    let mut csv = false;
+    let mut out_dir = PathBuf::from("figures");
+    let mut ids: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => opts.quick = true,
+            "--md" => markdown = true,
+            "--csv" => csv = true,
+            "--out" => {
+                out_dir = PathBuf::from(args.next().unwrap_or_else(|| usage()));
+            }
+            "--seed" => {
+                let v = args.next().unwrap_or_else(|| usage());
+                opts.seed = v.parse().unwrap_or_else(|_| usage());
+            }
+            "--list" => {
+                for e in registry() {
+                    println!("{:<16} {}", e.id, e.claim);
+                }
+                return;
+            }
+            "--help" | "-h" => usage(),
+            other if other.starts_with('-') => usage(),
+            other => ids.push(other.to_string()),
+        }
+    }
+    if ids.is_empty() {
+        usage();
+    }
+    if ids.iter().any(|i| i == "figures") {
+        let written = figures::generate(&opts, &out_dir).unwrap_or_else(|e| {
+            eprintln!("failed to write figures: {e}");
+            std::process::exit(1);
+        });
+        for path in written {
+            println!("wrote {}", path.display());
+        }
+        ids.retain(|i| i != "figures");
+        if ids.is_empty() {
+            return;
+        }
+    }
+    if ids.iter().any(|i| i == "all") {
+        ids = registry().iter().map(|e| e.id.to_string()).collect();
+    }
+
+    println!(
+        "# pcrlb experiments — seed 0x{:X}, {} mode\n",
+        opts.seed,
+        if opts.quick { "quick" } else { "full" }
+    );
+    for id in &ids {
+        let Some(exp) = find(id) else {
+            eprintln!("unknown experiment: {id} (try --list)");
+            std::process::exit(2);
+        };
+        println!("## {} — {}\n", exp.id, exp.claim);
+        let start = Instant::now();
+        let table = (exp.run)(&opts);
+        let elapsed = start.elapsed();
+        if markdown {
+            println!("{}", table.to_markdown());
+        } else if csv {
+            println!("{}", table.to_csv());
+        } else {
+            println!("{}", table.to_text());
+        }
+        println!("({:.1}s)\n", elapsed.as_secs_f64());
+    }
+}

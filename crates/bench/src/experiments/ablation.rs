@@ -1,0 +1,191 @@
+//! E13 — ablations over the paper's design constants.
+//!
+//! The paper fixes `T = (log log n)^2` with thresholds `T/2`, `T/16`
+//! and transfer `T/4`, tree depth `(1/80)·log log n`, and collision
+//! parameters `a=5, b=2, c=1`. This experiment perturbs one knob at a
+//! time at a fixed machine size and reports worst max load, messages
+//! per step, and match rate — quantifying how much slack each constant
+//! has (the analysis needs the ratios; the system tolerates a range).
+
+use crate::ExpOptions;
+use pcrlb_analysis::{fmt_f, fmt_rate, Table};
+use pcrlb_collision::CollisionParams;
+use pcrlb_core::{BalancerConfig, Single, ThresholdBalancer};
+use pcrlb_sim::Engine;
+
+struct AblationRow {
+    worst_max: usize,
+    msgs_per_step: f64,
+    match_rate: f64,
+}
+
+fn run_cfg(opts: &ExpOptions, n: usize, cfg: BalancerConfig, tag: u64) -> AblationRow {
+    let steps = opts.steps_for(n);
+    let warmup = steps / 2;
+    let mut worst = 0usize;
+    let mut msgs = 0f64;
+    let mut matched = 0u64;
+    let mut heavy = 0u64;
+    for trial in 0..opts.trials() {
+        let seed = opts.seed ^ (tag << 32) ^ (trial << 12) ^ n as u64;
+        let mut e = Engine::new(
+            n,
+            seed,
+            Single::default_paper(),
+            ThresholdBalancer::new(cfg.clone()),
+        );
+        let mut step_no = 0u64;
+        e.run_observed(steps, |w| {
+            step_no += 1;
+            if step_no > warmup {
+                worst = worst.max(w.max_load());
+            }
+        });
+        msgs += e.world().messages().control_total() as f64 / steps as f64;
+        matched += e.strategy().stats().matched_total;
+        heavy += e.strategy().stats().heavy_total;
+    }
+    AblationRow {
+        worst_max: worst,
+        msgs_per_step: msgs / opts.trials() as f64,
+        match_rate: if heavy == 0 {
+            1.0
+        } else {
+            matched as f64 / heavy as f64
+        },
+    }
+}
+
+/// Runs E13 and returns the result table.
+pub fn run(opts: &ExpOptions) -> Table {
+    let n = if opts.quick { 1 << 10 } else { 1 << 12 };
+    let base = BalancerConfig::paper(n);
+    let t = base.t;
+
+    let mut table = Table::new(&["knob", "value", "worst max", "msgs/step", "match rate"]);
+    let mut add = |knob: &str, value: String, row: AblationRow| {
+        table.row(&[
+            knob.to_string(),
+            value,
+            row.worst_max.to_string(),
+            fmt_f(row.msgs_per_step, 3),
+            fmt_rate(row.match_rate),
+        ]);
+    };
+
+    // Baseline.
+    add(
+        "baseline",
+        format!("T={t}"),
+        run_cfg(opts, n, base.clone(), 0xB0),
+    );
+
+    // T scale: half / double the threshold scale.
+    for (label, scale) in [("T/2", 0.5), ("2T", 2.0), ("4T", 4.0)] {
+        let cfg = BalancerConfig::from_t(n, ((t as f64) * scale) as usize);
+        add("t-scale", label.to_string(), run_cfg(opts, n, cfg, 0xB1));
+    }
+
+    // Tree depth.
+    for depth in [1u32, 2, 4] {
+        let cfg = base.clone().with_tree_depth(depth);
+        add("tree-depth", depth.to_string(), run_cfg(opts, n, cfg, 0xB2));
+    }
+
+    // Collision parameters (all satisfy the validity conditions).
+    for (a, b, c) in [(4usize, 2usize, 1usize), (5, 2, 1), (6, 3, 1), (5, 2, 2)] {
+        let params = CollisionParams::new(a, b, c, 0.5).expect("valid ablation params");
+        let cfg = base.clone().with_collision(params);
+        add(
+            "collision",
+            format!("a={a},b={b},c={c}"),
+            run_cfg(opts, n, cfg, 0xB3),
+        );
+    }
+
+    // Transfer size: T/8 and 3T/8 instead of T/4 (both keep the
+    // receiver-overflow invariant light + transfer < heavy).
+    for (label, amount) in [("T/8", t / 8), ("3T/8", 3 * t / 8)] {
+        let mut cfg = base.clone();
+        cfg.transfer_amount = amount.max(1);
+        if cfg.validate().is_ok() {
+            add("transfer", label.to_string(), run_cfg(opts, n, cfg, 0xB4));
+        }
+    }
+
+    // §5 / §4.3 execution variants.
+    add(
+        "variant",
+        "streaming".into(),
+        run_cfg(opts, n, base.clone().with_streaming_transfers(), 0xB5),
+    );
+    add(
+        "variant",
+        "scheduled".into(),
+        run_cfg(opts, n, base.clone().with_scheduled_transfers(), 0xB6),
+    );
+    add(
+        "variant",
+        "preround".into(),
+        run_cfg(opts, n, base.clone().with_adversarial_preround(), 0xB7),
+    );
+    add(
+        "variant",
+        "work-conserving".into(),
+        run_work_conserving(opts, n, base.clone(), 0xB8),
+    );
+
+    table
+}
+
+/// Like [`run_cfg`] but wraps the balancer in
+/// [`pcrlb_core::WorkConserving`] (the §5 idle-sub-step remark).
+fn run_work_conserving(opts: &ExpOptions, n: usize, cfg: BalancerConfig, tag: u64) -> AblationRow {
+    use pcrlb_core::WorkConserving;
+    let steps = opts.steps_for(n);
+    let warmup = steps / 2;
+    let mut worst = 0usize;
+    let mut msgs = 0f64;
+    let mut matched = 0u64;
+    let mut heavy = 0u64;
+    for trial in 0..opts.trials() {
+        let seed = opts.seed ^ (tag << 32) ^ (trial << 12) ^ n as u64;
+        let mut e = Engine::new(
+            n,
+            seed,
+            Single::default_paper(),
+            WorkConserving::new(ThresholdBalancer::new(cfg.clone())),
+        );
+        let mut step_no = 0u64;
+        e.run_observed(steps, |w| {
+            step_no += 1;
+            if step_no > warmup {
+                worst = worst.max(w.max_load());
+            }
+        });
+        msgs += e.world().messages().control_total() as f64 / steps as f64;
+        matched += e.strategy().inner().stats().matched_total;
+        heavy += e.strategy().inner().stats().heavy_total;
+    }
+    AblationRow {
+        worst_max: worst,
+        msgs_per_step: msgs / opts.trials() as f64,
+        match_rate: if heavy == 0 {
+            1.0
+        } else {
+            matched as f64 / heavy as f64
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ablation_covers_all_knobs() {
+        let table = run(&ExpOptions::quick());
+        // baseline + 3 t-scales + 3 depths + 4 collision + up to 2 transfer
+        assert!(table.len() >= 11, "got {} rows", table.len());
+    }
+}

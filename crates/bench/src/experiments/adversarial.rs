@@ -1,0 +1,136 @@
+//! E10 — the adversarial generation model: maximum load
+//! `O(B + (log log n)^2)` w.h.p., where `B` bounds the total system
+//! load the adversary maintains.
+//!
+//! Three adversaries (burst, targeted, tree-spawn) run against the
+//! balancer — with and without the §4.3 single-probe pre-round — and
+//! against the unbalanced system. The shape check: the balanced maximum
+//! stays within a small multiple of the per-window injection budget
+//! (`O(B' + T)` where `B'` is the per-processor window budget), while
+//! the unbalanced maximum tracks the victims' full backlog.
+
+use crate::ExpOptions;
+use pcrlb_analysis::Table;
+use pcrlb_core::{
+    adversary::{Burst, Targeted, TreeSpawn},
+    BalancerConfig, ThresholdBalancer,
+};
+use pcrlb_sim::{Engine, LoadModel, Strategy, Unbalanced};
+
+fn worst_max<M: LoadModel + Clone, S: Strategy>(
+    n: usize,
+    seed: u64,
+    steps: u64,
+    model: M,
+    strategy: S,
+) -> usize {
+    let mut e = Engine::new(n, seed, model, strategy);
+    let mut worst = 0usize;
+    let warmup = steps / 4;
+    let mut step_no = 0u64;
+    e.run_observed(steps, |w| {
+        step_no += 1;
+        if step_no > warmup {
+            worst = worst.max(w.max_load());
+        }
+    });
+    worst
+}
+
+/// Runs E10 and returns the result table.
+pub fn run(opts: &ExpOptions) -> Table {
+    let mut table = Table::new(&[
+        "adversary",
+        "n",
+        "T",
+        "window budget",
+        "balanced worst",
+        "preround worst",
+        "unbalanced worst",
+    ]);
+    for n in opts.n_sweep() {
+        let cfg = BalancerConfig::paper(n);
+        let t = cfg.theorem1_bound();
+        let window = (t as u64).max(4);
+        let steps = opts.steps_for(n);
+        let seed = opts.seed ^ (0xE10 << 40) ^ n as u64;
+        let pre_cfg = cfg.clone().with_adversarial_preround();
+
+        // Burst: every processor may dump T/2 tasks per window w.p. 0.1.
+        let burst = Burst::new(window, t / 2, 0.1);
+        // Targeted: 4 victims get T tasks every window.
+        let targeted = Targeted::new(window, 4, t);
+        // Tree-spawn: busy tasks fork 2 children w.p. 0.3.
+        let spawn = TreeSpawn::new(2, 0.3, 0.2);
+
+        for (name, budget) in [("burst", t / 2), ("targeted", t), ("treespawn", 2 * t)] {
+            let (bal, pre, unbal) = match name {
+                "burst" => (
+                    worst_max(n, seed, steps, burst, ThresholdBalancer::new(cfg.clone())),
+                    worst_max(
+                        n,
+                        seed,
+                        steps,
+                        burst,
+                        ThresholdBalancer::new(pre_cfg.clone()),
+                    ),
+                    worst_max(n, seed, steps, burst, Unbalanced),
+                ),
+                "targeted" => (
+                    worst_max(
+                        n,
+                        seed,
+                        steps,
+                        targeted,
+                        ThresholdBalancer::new(cfg.clone()),
+                    ),
+                    worst_max(
+                        n,
+                        seed,
+                        steps,
+                        targeted,
+                        ThresholdBalancer::new(pre_cfg.clone()),
+                    ),
+                    worst_max(n, seed, steps, targeted, Unbalanced),
+                ),
+                _ => (
+                    worst_max(n, seed, steps, spawn, ThresholdBalancer::new(cfg.clone())),
+                    worst_max(
+                        n,
+                        seed,
+                        steps,
+                        spawn,
+                        ThresholdBalancer::new(pre_cfg.clone()),
+                    ),
+                    worst_max(n, seed, steps, spawn, Unbalanced),
+                ),
+            };
+            table.row(&[
+                name.to_string(),
+                n.to_string(),
+                t.to_string(),
+                budget.to_string(),
+                bal.to_string(),
+                pre.to_string(),
+                unbal.to_string(),
+            ]);
+        }
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn balancer_beats_unbalanced_under_targeted_adversary() {
+        let n = 1 << 10;
+        let cfg = BalancerConfig::paper(n);
+        let t = cfg.theorem1_bound();
+        let adv = Targeted::new(cfg.phase_length * 2, 4, t);
+        let bal = worst_max(n, 3, 2000, adv, ThresholdBalancer::new(cfg));
+        let unbal = worst_max(n, 3, 2000, adv, Unbalanced);
+        assert!(bal < unbal, "balanced {bal} vs unbalanced {unbal}");
+    }
+}

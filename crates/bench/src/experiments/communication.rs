@@ -1,0 +1,79 @@
+//! E8 — communication: the threshold algorithm spends
+//! `O(n/(log n)^{log log n − 1})` messages per *phase*, while
+//! balls-into-bins style allocation spends `Θ(n)` messages per *step*.
+//!
+//! On identical arrival streams we report control messages per step and
+//! per processor-step for the paper's algorithm, arrival-time 2-choice
+//! placement, and RSU equalization. The headline is the ratio column:
+//! the threshold algorithm's per-step traffic is orders of magnitude
+//! below `n`.
+
+use crate::ExpOptions;
+use pcrlb_analysis::{fmt_f, fmt_rate, Table};
+use pcrlb_baselines::{DChoiceAllocation, RsuEqualize};
+use pcrlb_core::{Single, ThresholdBalancer};
+use pcrlb_sim::{Engine, Strategy};
+
+fn measure<S: Strategy>(n: usize, seed: u64, steps: u64, strategy: S) -> (f64, usize) {
+    let mut e = Engine::new(n, seed, Single::default_paper(), strategy);
+    let mut worst = 0usize;
+    e.run_observed(steps, |w| worst = worst.max(w.max_load()));
+    let msgs = e.world().messages().control_total();
+    (msgs as f64 / steps as f64, worst)
+}
+
+/// Runs E8 and returns the result table.
+pub fn run(opts: &ExpOptions) -> Table {
+    let mut table = Table::new(&[
+        "n",
+        "strategy",
+        "msgs/step",
+        "msgs/(n*step)",
+        "worst max load",
+    ]);
+    for n in opts.n_sweep() {
+        let steps = opts.steps_for(n);
+        let seed = opts.seed ^ (0xE8 << 40) ^ n as u64;
+        let rows: Vec<(&str, f64, usize)> = vec![
+            {
+                let (m, w) = measure(n, seed, steps, ThresholdBalancer::paper(n));
+                ("threshold (paper)", m, w)
+            },
+            {
+                let (m, w) = measure(n, seed, steps, DChoiceAllocation::new(2));
+                ("2-choice alloc", m, w)
+            },
+            {
+                let (m, w) = measure(n, seed, steps, RsuEqualize::classic());
+                ("rsu equalize", m, w)
+            },
+        ];
+        for (name, msgs_per_step, worst) in rows {
+            table.row(&[
+                n.to_string(),
+                name.to_string(),
+                fmt_f(msgs_per_step, 2),
+                fmt_rate(msgs_per_step / n as f64),
+                worst.to_string(),
+            ]);
+        }
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn threshold_spends_orders_of_magnitude_fewer_messages() {
+        let n = 1 << 10;
+        let steps = 1000;
+        let (paper_msgs, _) = measure(n, 7, steps, ThresholdBalancer::paper(n));
+        let (alloc_msgs, _) = measure(n, 7, steps, DChoiceAllocation::new(2));
+        assert!(
+            paper_msgs * 20.0 < alloc_msgs,
+            "threshold {paper_msgs}/step vs 2-choice {alloc_msgs}/step"
+        );
+    }
+}

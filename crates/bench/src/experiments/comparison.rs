@@ -1,0 +1,177 @@
+//! E11 — the flagship comparison tables.
+//!
+//! **Continuous** ([`run_continuous`]): all cited continuous strategies
+//! on identical `Single` arrival streams at one machine size — worst max
+//! load, control messages per step, task locality, and mean sojourn.
+//! The paper's claim: the threshold algorithm sits at near-zero
+//! communication and full locality for an `O((log log n)^2)` load bound,
+//! between the unbalanced system (`O(log n)` load, zero messages) and
+//! the allocation/equalization schemes (`O(log log n)` or `O(1)`-factor
+//! loads, `Θ(n)` messages per step).
+//!
+//! **Static** ([`run_static`]): the classic balls-into-bins ladder for
+//! `m = n` balls — one-choice `Θ(log n/log log n)`, `Greedy[2]`
+//! `log log n/log 2 + Θ(1)`, ACMR and Stemann parallel protocols — with
+//! message counts.
+
+use crate::ExpOptions;
+use pcrlb_analysis::{fmt_f, fmt_rate, Summary, Table};
+use pcrlb_baselines::static_games::acmr_threshold;
+use pcrlb_baselines::{
+    adaptive_czumaj_stemann, adaptive_default_threshold, greedy_d, one_choice, stemann_collision,
+    DChoiceAllocation, LauerAverage, LulingMonien, RandomSeeking, RsuEqualize,
+};
+use pcrlb_core::{BalancerConfig, ScatterBalancer, Single, ThresholdBalancer};
+use pcrlb_sim::{Engine, SimRng, Strategy, Unbalanced};
+
+struct RunRow {
+    worst_max: usize,
+    msgs_per_step: f64,
+    locality: f64,
+    mean_sojourn: f64,
+}
+
+fn run_strategy<S: Strategy>(n: usize, seed: u64, steps: u64, strategy: S) -> RunRow {
+    let mut e = Engine::new(n, seed, Single::default_paper(), strategy);
+    let warmup = steps / 2;
+    let mut worst = 0usize;
+    let mut step_no = 0u64;
+    e.run_observed(steps, |w| {
+        step_no += 1;
+        if step_no > warmup {
+            worst = worst.max(w.max_load());
+        }
+    });
+    let w = e.world();
+    RunRow {
+        worst_max: worst,
+        msgs_per_step: w.messages().control_total() as f64 / steps as f64,
+        locality: w.completions().locality(),
+        mean_sojourn: w.completions().sojourn_mean(),
+    }
+}
+
+/// E11 (continuous) — all strategies on one arrival stream.
+pub fn run_continuous(opts: &ExpOptions) -> Table {
+    let n = if opts.quick { 1 << 10 } else { 1 << 13 };
+    let steps = opts.steps_for(n) * 2;
+    let seed = opts.seed ^ (0xE11 << 40);
+    let t = BalancerConfig::paper(n).theorem1_bound();
+
+    let mut table = Table::new(&[
+        "strategy",
+        "worst max",
+        "max/T",
+        "msgs/step",
+        "locality",
+        "mean sojourn",
+    ]);
+    let mut add = |name: &str, row: RunRow| {
+        table.row(&[
+            name.to_string(),
+            row.worst_max.to_string(),
+            fmt_f(row.worst_max as f64 / t as f64, 2),
+            fmt_f(row.msgs_per_step, 2),
+            fmt_rate(row.locality),
+            fmt_f(row.mean_sojourn, 2),
+        ]);
+    };
+
+    add("unbalanced", run_strategy(n, seed, steps, Unbalanced));
+    add(
+        "threshold (paper)",
+        run_strategy(n, seed, steps, ThresholdBalancer::paper(n)),
+    );
+    add(
+        "scatter (sec. 5)",
+        run_strategy(n, seed, steps, ScatterBalancer::paper(n)),
+    );
+    add(
+        "1-choice alloc",
+        run_strategy(n, seed, steps, DChoiceAllocation::new(1)),
+    );
+    add(
+        "2-choice alloc",
+        run_strategy(n, seed, steps, DChoiceAllocation::new(2)),
+    );
+    add(
+        "rsu equalize",
+        run_strategy(n, seed, steps, RsuEqualize::classic()),
+    );
+    add(
+        "luling-monien",
+        run_strategy(n, seed, steps, LulingMonien::new(n, 2)),
+    );
+    add(
+        "lauer (c=0.5)",
+        run_strategy(n, seed, steps, LauerAverage::new(0.5)),
+    );
+    add(
+        "random seeking",
+        run_strategy(n, seed, steps, RandomSeeking::new(t / 2, t / 16 + 1, 4)),
+    );
+    table
+}
+
+/// E11 (static) — balls-into-bins ladder for `m = n`.
+pub fn run_static(opts: &ExpOptions) -> Table {
+    let mut table = Table::new(&["n", "game", "mean max load", "worst max load", "msgs/ball"]);
+    for n in opts.n_sweep() {
+        let trials = opts.trials();
+        let mut stats: Vec<(&str, Summary, Summary)> = vec![
+            ("one-choice", Summary::new(), Summary::new()),
+            ("greedy[2]", Summary::new(), Summary::new()),
+            ("greedy[3]", Summary::new(), Summary::new()),
+            ("adaptive cs97", Summary::new(), Summary::new()),
+            ("acmr r=2", Summary::new(), Summary::new()),
+            ("stemann r=3", Summary::new(), Summary::new()),
+        ];
+        for trial in 0..trials {
+            let mut rng = SimRng::new(opts.seed ^ (0x511 << 40) ^ (trial << 20) ^ n as u64);
+            let outs = [
+                one_choice(n, n, &mut rng),
+                greedy_d(n, n, 2, &mut rng),
+                greedy_d(n, n, 3, &mut rng),
+                adaptive_czumaj_stemann(n, n, adaptive_default_threshold(n, n), 32, &mut rng),
+                acmr_threshold(n, n, 2, &mut rng),
+                stemann_collision(n, n, 3, &mut rng),
+            ];
+            for (slot, out) in stats.iter_mut().zip(outs.iter()) {
+                slot.1.push(out.max_load() as f64);
+                slot.2.push(out.messages as f64 / n as f64);
+            }
+        }
+        for (name, maxes, msgs) in &stats {
+            table.row(&[
+                n.to_string(),
+                name.to_string(),
+                fmt_f(maxes.mean(), 2),
+                maxes.max().unwrap_or(0.0).to_string(),
+                fmt_f(msgs.mean(), 2),
+            ]);
+        }
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn threshold_cheaper_than_alloc_and_tighter_than_unbalanced() {
+        let n = 1 << 10;
+        let steps = 2000;
+        let unbal = run_strategy(n, 5, steps, Unbalanced);
+        let paper = run_strategy(n, 5, steps, ThresholdBalancer::paper(n));
+        let alloc = run_strategy(n, 5, steps, DChoiceAllocation::new(2));
+        // Load ordering: alloc <= paper <= unbalanced.
+        assert!(paper.worst_max <= unbal.worst_max);
+        assert!(alloc.worst_max <= paper.worst_max + 2);
+        // Message ordering: paper << alloc.
+        assert!(paper.msgs_per_step * 10.0 < alloc.msgs_per_step);
+        // Locality ordering: paper ~ 1, alloc ~ 0.
+        assert!(paper.locality > 0.9);
+        assert!(alloc.locality < 0.3);
+    }
+}

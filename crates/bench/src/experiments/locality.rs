@@ -1,0 +1,72 @@
+//! E12 — locality: "another advantage of our algorithm is that it
+//! attempts to have the tasks generated on the same processor together"
+//! (paper §1.2).
+//!
+//! Measured as the fraction of completed tasks that executed on their
+//! generating processor, across `n`, for the threshold algorithm vs the
+//! spreading strategies. Also reported: the fraction of all completed
+//! tasks ever moved by a balancing action (tasks_moved / completions).
+
+use crate::ExpOptions;
+use pcrlb_analysis::{fmt_rate, Table};
+use pcrlb_baselines::DChoiceAllocation;
+use pcrlb_core::{ScatterBalancer, Single, ThresholdBalancer};
+use pcrlb_sim::{Engine, Strategy};
+
+fn locality_of<S: Strategy>(n: usize, seed: u64, steps: u64, strategy: S) -> (f64, f64) {
+    let mut e = Engine::new(n, seed, Single::default_paper(), strategy);
+    e.run(steps);
+    let w = e.world();
+    let completions = w.completions().count.max(1);
+    (
+        w.completions().locality(),
+        w.messages().tasks_moved as f64 / completions as f64,
+    )
+}
+
+/// Runs E12 and returns the result table.
+pub fn run(opts: &ExpOptions) -> Table {
+    let mut table = Table::new(&["n", "strategy", "locality", "moved/completed"]);
+    for n in opts.n_sweep() {
+        let steps = opts.steps_for(n);
+        let seed = opts.seed ^ (0xE12 << 40) ^ n as u64;
+        let rows: Vec<(&str, (f64, f64))> = vec![
+            (
+                "threshold (paper)",
+                locality_of(n, seed, steps, ThresholdBalancer::paper(n)),
+            ),
+            (
+                "2-choice alloc",
+                locality_of(n, seed, steps, DChoiceAllocation::new(2)),
+            ),
+            (
+                "scatter (sec. 5)",
+                locality_of(n, seed, steps, ScatterBalancer::paper(n)),
+            ),
+        ];
+        for (name, (loc, moved)) in rows {
+            table.row(&[
+                n.to_string(),
+                name.to_string(),
+                fmt_rate(loc),
+                fmt_rate(moved),
+            ]);
+        }
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn threshold_preserves_locality_spreaders_do_not() {
+        let n = 1 << 10;
+        let (paper_loc, paper_moved) = locality_of(n, 3, 2000, ThresholdBalancer::paper(n));
+        let (alloc_loc, _) = locality_of(n, 3, 2000, DChoiceAllocation::new(2));
+        assert!(paper_loc > 0.9, "paper locality {paper_loc}");
+        assert!(alloc_loc < 0.3, "alloc locality {alloc_loc}");
+        assert!(paper_moved < 0.2, "paper moves {paper_moved} of tasks");
+    }
+}

@@ -1,0 +1,147 @@
+//! The experiment implementations, one module per experiment group.
+//! See `DESIGN.md` §4 for the index mapping experiments to claims.
+
+pub mod ablation;
+pub mod adversarial;
+pub mod collision;
+pub mod communication;
+pub mod comparison;
+pub mod extensions;
+pub mod locality;
+pub mod models;
+pub mod phases;
+pub mod recovery;
+pub mod scatter;
+pub mod shmem;
+pub mod theorem1;
+pub mod unbalanced;
+pub mod waiting;
+
+use crate::ExpOptions;
+use pcrlb_analysis::Table;
+
+/// An experiment's identity and its runner.
+pub struct Experiment {
+    /// Harness id, e.g. `"e1-max-load"`.
+    pub id: &'static str,
+    /// The claim being reproduced.
+    pub claim: &'static str,
+    /// Runner producing the result table.
+    pub run: fn(&ExpOptions) -> Table,
+}
+
+/// The registry of all experiments, in DESIGN.md order.
+pub fn registry() -> Vec<Experiment> {
+    vec![
+        Experiment {
+            id: "e1-max-load",
+            claim: "Theorem 1: max load O((log log n)^2) w.h.p. under Single",
+            run: theorem1::run,
+        },
+        Experiment {
+            id: "e2-unbalanced",
+            claim: "Lemma 2: unbalanced load is geometric; system load O(n)",
+            run: unbalanced::run,
+        },
+        Experiment {
+            id: "e3-collision",
+            claim: "Lemma 1: collision protocol valid in <= 5 log log n steps",
+            run: collision::run,
+        },
+        Experiment {
+            id: "e4-heavy-count",
+            claim: "Lemma 4: #heavy <= n/(log n)^{log log n} per phase",
+            run: phases::run_heavy_count,
+        },
+        Experiment {
+            id: "e5-phase-success",
+            claim: "Lemma 6: every heavy processor finds a light partner",
+            run: phases::run_phase_success,
+        },
+        Experiment {
+            id: "e6-request-count",
+            claim: "Lemma 7: expected requests per heavy processor is O(1)",
+            run: phases::run_request_count,
+        },
+        Experiment {
+            id: "e7-waiting-time",
+            claim: "Corollary 1: waiting time O((log log n)^2) w.h.p.",
+            run: waiting::run,
+        },
+        Experiment {
+            id: "e8-communication",
+            claim: "Messages O(n/(log n)^{llog n-1})/phase vs Theta(n)/step",
+            run: communication::run,
+        },
+        Experiment {
+            id: "e9-gen-models",
+            claim: "Geometric/Multi models: max load k*T and c*T",
+            run: models::run,
+        },
+        Experiment {
+            id: "e10-adversarial",
+            claim: "Adversarial model: max load O(B + (log log n)^2)",
+            run: adversarial::run,
+        },
+        Experiment {
+            id: "e11-baselines",
+            claim: "Load/communication trade-off vs all cited baselines",
+            run: comparison::run_continuous,
+        },
+        Experiment {
+            id: "e11-static",
+            claim: "Static balls-into-bins: one-choice vs Greedy[d] vs ACMR vs Stemann",
+            run: comparison::run_static,
+        },
+        Experiment {
+            id: "e12-locality",
+            claim: "Tasks stay on their origin unless it overflows",
+            run: locality::run,
+        },
+        Experiment {
+            id: "e13-ablation",
+            claim: "Design-choice ablations: T scale, tree depth, collision params, transfer size",
+            run: ablation::run,
+        },
+        Experiment {
+            id: "e14-scatter",
+            claim: "Section 5 scatter variant: O(log log n) load at Theta(m) messages",
+            run: scatter::run,
+        },
+        Experiment {
+            id: "e15-recovery",
+            claim: "Stability: recovery from worst-case load spikes",
+            run: recovery::run,
+        },
+        Experiment {
+            id: "e16-supermarket",
+            claim: "Extension: continuous-time supermarket model validates discretization",
+            run: extensions::run_supermarket,
+        },
+        Experiment {
+            id: "e17-weighted",
+            claim: "Extension: BMS97 weighted-ball allocation across uniformity",
+            run: extensions::run_weighted,
+        },
+        Experiment {
+            id: "e18-gossip",
+            claim: "Extension: Lauer's scheme on push-sum estimated averages",
+            run: extensions::run_gossip,
+        },
+        Experiment {
+            id: "e19-shmem",
+            claim: "Extension: MSS95 PRAM-on-DMM memory, the protocol's origin",
+            run: shmem::run,
+        },
+        Experiment {
+            id: "e20-weighted-continuous",
+            claim: "Extension: weighted continuous balancing (BMS97 direction)",
+            run: extensions::run_weighted_continuous,
+        },
+    ]
+}
+
+/// Looks up an experiment by id.
+pub fn find(id: &str) -> Option<Experiment> {
+    registry().into_iter().find(|e| e.id == id)
+}

@@ -1,0 +1,108 @@
+//! E9 — the `Geometric` and `Multi` generation models: the paper's
+//! analysis carries over with maximum load bounded by `k·(log log n)^2`
+//! and `c·(log log n)^2` respectively.
+//!
+//! The table reports the worst observed max load against `k·T` / `c·T`
+//! for growing `n`.
+
+use crate::ExpOptions;
+use pcrlb_analysis::{fmt_f, Table, WhpCheck};
+use pcrlb_core::{BalancerConfig, Geometric, Multi, ThresholdBalancer};
+use pcrlb_sim::{Engine, LoadModel};
+
+fn sweep_model<M: LoadModel + Clone>(
+    opts: &ExpOptions,
+    table: &mut Table,
+    label: &str,
+    factor: usize,
+    model: M,
+    tag: u64,
+) {
+    for n in opts.n_sweep() {
+        let cfg = BalancerConfig::paper(n);
+        let t = cfg.theorem1_bound();
+        let bound = factor * t;
+        let steps = opts.steps_for(n);
+        let warmup = steps / 2;
+        let mut check = WhpCheck::new();
+        for trial in 0..opts.trials() {
+            let seed = opts.seed ^ (tag << 40) ^ (trial << 16) ^ n as u64;
+            let mut worst = 0usize;
+            let mut e = Engine::new(n, seed, model.clone(), ThresholdBalancer::new(cfg.clone()));
+            let mut step_no = 0u64;
+            e.run_observed(steps, |w| {
+                step_no += 1;
+                if step_no > warmup {
+                    worst = worst.max(w.max_load());
+                }
+            });
+            check.record(worst as f64);
+        }
+        table.row(&[
+            label.to_string(),
+            n.to_string(),
+            t.to_string(),
+            bound.to_string(),
+            check.worst().unwrap_or(0.0).to_string(),
+            fmt_f(check.worst().unwrap_or(0.0) / bound as f64, 3),
+        ]);
+    }
+}
+
+/// Runs E9 and returns the result table.
+pub fn run(opts: &ExpOptions) -> Table {
+    let mut table = Table::new(&[
+        "model",
+        "n",
+        "T",
+        "bound (factor*T)",
+        "worst max",
+        "worst/bound",
+    ]);
+    sweep_model(
+        opts,
+        &mut table,
+        "geometric(k=2)",
+        2,
+        Geometric::new(2).expect("valid"),
+        0xE9A,
+    );
+    sweep_model(
+        opts,
+        &mut table,
+        "geometric(k=4)",
+        4,
+        Geometric::new(4).expect("valid"),
+        0xE9B,
+    );
+    // Multi with c = 3: P(1)=0.25, P(2)=0.15, P(3)=0.05; E = 0.7 < 1.
+    sweep_model(
+        opts,
+        &mut table,
+        "multi(c=3)",
+        3,
+        Multi::new(vec![0.25, 0.15, 0.05]).expect("valid"),
+        0xE9C,
+    );
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geometric_model_stays_within_k_t_bound() {
+        let opts = ExpOptions::quick();
+        let mut table = Table::new(&["m", "n", "T", "b", "w", "r"]);
+        sweep_model(
+            &opts,
+            &mut table,
+            "geometric(k=2)",
+            2,
+            Geometric::new(2).unwrap(),
+            0x77,
+        );
+        assert_eq!(table.len(), 3);
+    }
+}

@@ -1,0 +1,149 @@
+//! E4/E5/E6 — the per-phase lemmas.
+//!
+//! * **E4 (Lemma 4)** — the number of heavy processors at a phase
+//!   boundary is `O(n/(log n)^{log log n})`: astronomically small, so
+//!   the measured heavy counts should be tiny fractions of `n` and
+//!   *shrink* relative to `n` as `n` grows.
+//! * **E5 (Lemma 6)** — w.h.p. every heavy processor finds a light
+//!   partner within its phase: the measured match rate should be ≈ 1.
+//! * **E6 (Lemma 7)** — the expected number of collision-game requests
+//!   per heavy processor is constant: the measured mean should hover
+//!   near 1 and not grow with `n`.
+
+use crate::ExpOptions;
+use pcrlb_analysis::{fmt_f, fmt_rate, Summary, Table};
+use pcrlb_core::{BalancerConfig, Single, ThresholdBalancer};
+use pcrlb_sim::Engine;
+
+struct PhaseAggregates {
+    n: usize,
+    phases: u64,
+    mean_heavy: f64,
+    max_heavy: usize,
+    heavy_fraction: f64,
+    match_rate: f64,
+    failed_total: u64,
+    requests_per_heavy: f64,
+    games: u64,
+}
+
+fn collect(opts: &ExpOptions, n: usize) -> PhaseAggregates {
+    let cfg = BalancerConfig::paper(n).with_phase_reports();
+    let steps = opts.steps_for(n) * 2;
+    let mut heavy = Summary::new();
+    let mut max_heavy = 0usize;
+    let mut phases = 0u64;
+    let mut matched = 0u64;
+    let mut heavy_total = 0u64;
+    let mut failed = 0u64;
+    let mut requests = 0u64;
+    let mut games = 0u64;
+    for trial in 0..opts.trials() {
+        let seed = opts.seed ^ (0xE456 << 32) ^ (trial << 8) ^ n as u64;
+        let mut e = Engine::new(
+            n,
+            seed,
+            Single::default_paper(),
+            ThresholdBalancer::new(cfg.clone()),
+        );
+        e.run(steps);
+        let warm_phase = (steps / cfg.phase_length) / 2;
+        for report in e.strategy().phase_reports() {
+            if report.phase < warm_phase {
+                continue; // skip the fill-up transient
+            }
+            phases += 1;
+            heavy.push(report.heavy as f64);
+            max_heavy = max_heavy.max(report.heavy);
+            heavy_total += report.heavy as u64;
+            matched += report.matched as u64;
+            failed += report.failed as u64;
+            requests += report.requests;
+        }
+        games += e.strategy().stats().games_played;
+    }
+    PhaseAggregates {
+        n,
+        phases,
+        mean_heavy: heavy.mean(),
+        max_heavy,
+        heavy_fraction: heavy.mean() / n as f64,
+        match_rate: if heavy_total == 0 {
+            1.0
+        } else {
+            matched as f64 / heavy_total as f64
+        },
+        failed_total: failed,
+        requests_per_heavy: if heavy_total == 0 {
+            0.0
+        } else {
+            requests as f64 / heavy_total as f64
+        },
+        games,
+    }
+}
+
+/// E4 — heavy-processor counts per phase.
+pub fn run_heavy_count(opts: &ExpOptions) -> Table {
+    let mut table = Table::new(&["n", "phases", "mean heavy", "max heavy", "heavy/n"]);
+    for n in opts.n_sweep() {
+        let a = collect(opts, n);
+        table.row(&[
+            a.n.to_string(),
+            a.phases.to_string(),
+            fmt_f(a.mean_heavy, 2),
+            a.max_heavy.to_string(),
+            fmt_rate(a.heavy_fraction),
+        ]);
+    }
+    table
+}
+
+/// E5 — phase success (partner found within the phase).
+pub fn run_phase_success(opts: &ExpOptions) -> Table {
+    let mut table = Table::new(&["n", "phases", "match rate", "failures"]);
+    for n in opts.n_sweep() {
+        let a = collect(opts, n);
+        table.row(&[
+            a.n.to_string(),
+            a.phases.to_string(),
+            fmt_rate(a.match_rate),
+            a.failed_total.to_string(),
+        ]);
+    }
+    table
+}
+
+/// E6 — requests per heavy processor (Lemma 7's constant).
+pub fn run_request_count(opts: &ExpOptions) -> Table {
+    let mut table = Table::new(&["n", "requests/heavy", "games played"]);
+    for n in opts.n_sweep() {
+        let a = collect(opts, n);
+        table.row(&[
+            a.n.to_string(),
+            fmt_f(a.requests_per_heavy, 3),
+            a.games.to_string(),
+        ]);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aggregates_are_consistent() {
+        let opts = ExpOptions::quick();
+        let a = collect(&opts, 1 << 10);
+        assert!(a.phases > 0);
+        assert!(
+            a.heavy_fraction < 0.2,
+            "heavy fraction {}",
+            a.heavy_fraction
+        );
+        assert!(a.match_rate >= 0.9, "match rate {}", a.match_rate);
+        // Lemma 7: constant-ish requests per heavy (0 when no heavies).
+        assert!(a.requests_per_heavy < 6.0);
+    }
+}

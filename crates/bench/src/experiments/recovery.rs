@@ -1,0 +1,116 @@
+//! E15 — stability: "since we know that the latter [the unbalanced
+//! system] recovers from worst case scenarios, this also holds for our
+//! system" (paper §5).
+//!
+//! We inject worst-case spikes (everything on one processor / spread
+//! over √n processors) into a warmed-up system and measure the number
+//! of steps until the maximum load first drops below `2T`. The balanced
+//! system recovers in `O(spike/(T/4))` phases (each heavy processor
+//! sheds `T/4` tasks per phase and the spike fans out); the unbalanced
+//! system drains one task per step per loaded processor.
+
+use crate::ExpOptions;
+use pcrlb_analysis::Table;
+use pcrlb_core::{BalancerConfig, Single, ThresholdBalancer};
+use pcrlb_sim::{Engine, Strategy, Unbalanced, World};
+
+fn recovery_steps<S: Strategy>(
+    n: usize,
+    seed: u64,
+    spike: &dyn Fn(&mut World),
+    threshold: usize,
+    limit: u64,
+    strategy: S,
+) -> Option<u64> {
+    let mut e = Engine::new(n, seed, Single::default_paper(), strategy);
+    e.run(200); // warm up to steady state
+    spike(e.world_mut());
+    for step_no in 1..=limit {
+        e.step();
+        if e.world().max_load() < threshold {
+            return Some(step_no);
+        }
+    }
+    None
+}
+
+/// Runs E15 and returns the result table.
+pub fn run(opts: &ExpOptions) -> Table {
+    let mut table = Table::new(&[
+        "n",
+        "spike",
+        "size",
+        "balanced recovery",
+        "unbalanced recovery",
+    ]);
+    for n in opts.n_sweep() {
+        let cfg = BalancerConfig::paper(n);
+        let t = cfg.theorem1_bound();
+        let threshold = 2 * t;
+        // The unbalanced system drains ~0.1 tasks/step net, so a 20T
+        // spike needs ~ 20T/0.1 steps; 16k is comfortably above that.
+        let limit = 16_000u64;
+        let seed = opts.seed ^ (0xE15 << 40) ^ n as u64;
+        let point_size = 20 * t;
+        let sqrt_n = (n as f64).sqrt() as usize;
+
+        let scenarios: Vec<(&str, usize, Box<dyn Fn(&mut World)>)> = vec![
+            (
+                "one processor",
+                point_size,
+                Box::new(move |w: &mut World| w.inject(0, point_size)),
+            ),
+            (
+                "sqrt(n) processors",
+                point_size * sqrt_n,
+                Box::new(move |w: &mut World| {
+                    for p in 0..sqrt_n {
+                        w.inject(p, point_size);
+                    }
+                }),
+            ),
+        ];
+        for (name, size, spike) in &scenarios {
+            let bal = recovery_steps(
+                n,
+                seed,
+                spike.as_ref(),
+                threshold,
+                limit,
+                ThresholdBalancer::new(cfg.clone()),
+            );
+            let unbal = recovery_steps(n, seed, spike.as_ref(), threshold, limit, Unbalanced);
+            let fmt = |r: Option<u64>| r.map_or(format!(">{limit}"), |v| v.to_string());
+            table.row(&[
+                n.to_string(),
+                name.to_string(),
+                size.to_string(),
+                fmt(bal),
+                fmt(unbal),
+            ]);
+        }
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn balanced_recovers_no_slower_than_unbalanced() {
+        let n = 1 << 10;
+        let cfg = BalancerConfig::paper(n);
+        let t = cfg.theorem1_bound();
+        let size = 20 * t;
+        let spike = move |w: &mut World| w.inject(0, size);
+        let bal = recovery_steps(n, 7, &spike, 2 * t, 40_000, ThresholdBalancer::new(cfg))
+            .expect("balanced system must recover");
+        let unbal = recovery_steps(n, 7, &spike, 2 * t, 40_000, Unbalanced)
+            .expect("unbalanced drains eventually");
+        assert!(
+            bal <= unbal,
+            "balanced recovery {bal} should not exceed unbalanced {unbal}"
+        );
+    }
+}

@@ -1,0 +1,89 @@
+//! E14 — the §5 scatter variant: "throw all load into the air" every
+//! `log log n` steps and re-place it with the collision-style 2-choice
+//! rule, obtaining max load `O(log log n)` instead of
+//! `O((log log n)^2)` — at the cost of `Θ(m)` messages per interval and
+//! the loss of task locality.
+//!
+//! The table shows both variants across `n`: the scatter max load
+//! tracking `log log n`, the threshold max load tracking
+//! `(log log n)^2`, and the message columns exposing the price.
+
+use crate::ExpOptions;
+use pcrlb_analysis::{fmt_f, fmt_rate, Table};
+use pcrlb_core::{BalancerConfig, ScatterBalancer, Single, ThresholdBalancer};
+use pcrlb_sim::{loglog, Engine, Strategy};
+
+fn observe<S: Strategy>(n: usize, seed: u64, steps: u64, strategy: S) -> (usize, f64, f64) {
+    let mut e = Engine::new(n, seed, Single::default_paper(), strategy);
+    let warmup = steps / 2;
+    let mut worst = 0usize;
+    let mut step_no = 0u64;
+    e.run_observed(steps, |w| {
+        step_no += 1;
+        if step_no > warmup {
+            worst = worst.max(w.max_load());
+        }
+    });
+    (
+        worst,
+        e.world().messages().control_total() as f64 / steps as f64,
+        e.world().completions().locality(),
+    )
+}
+
+/// Runs E14 and returns the result table.
+pub fn run(opts: &ExpOptions) -> Table {
+    let mut table = Table::new(&[
+        "n",
+        "llog n",
+        "T",
+        "variant",
+        "worst max",
+        "msgs/step",
+        "locality",
+    ]);
+    for n in opts.n_sweep() {
+        let t = BalancerConfig::paper(n).theorem1_bound();
+        let steps = opts.steps_for(n);
+        let seed = opts.seed ^ (0xE14 << 40) ^ n as u64;
+        let (s_max, s_msgs, s_loc) = observe(n, seed, steps, ScatterBalancer::paper(n));
+        let (t_max, t_msgs, t_loc) = observe(n, seed, steps, ThresholdBalancer::paper(n));
+        table.row(&[
+            n.to_string(),
+            loglog(n).to_string(),
+            t.to_string(),
+            "scatter".into(),
+            s_max.to_string(),
+            fmt_f(s_msgs, 1),
+            fmt_rate(s_loc),
+        ]);
+        table.row(&[
+            n.to_string(),
+            loglog(n).to_string(),
+            t.to_string(),
+            "threshold".into(),
+            t_max.to_string(),
+            fmt_f(t_msgs, 1),
+            fmt_rate(t_loc),
+        ]);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scatter_trades_messages_for_load() {
+        let n = 1 << 10;
+        let (s_max, s_msgs, s_loc) = observe(n, 3, 2000, ScatterBalancer::paper(n));
+        let (t_max, t_msgs, t_loc) = observe(n, 3, 2000, ThresholdBalancer::paper(n));
+        assert!(s_max <= t_max, "scatter max {s_max} vs threshold {t_max}");
+        assert!(
+            s_msgs > 10.0 * t_msgs.max(0.1),
+            "scatter should pay far more messages ({s_msgs} vs {t_msgs})"
+        );
+        assert!(s_loc < t_loc);
+    }
+}

@@ -1,0 +1,74 @@
+//! E19 — the collision protocol's origin: MSS'95 shared-memory
+//! simulation.
+//!
+//! One PRAM step (a batch of `εn/a` accesses to hashed cells on `n`
+//! modules) completes in a `log log n`-flavoured number of collision
+//! rounds with a constant number of messages per access — the very
+//! complexity profile the SPAA'98 balancer inherits for its partner
+//! search. The table sweeps `n` and reports mean rounds, messages per
+//! operation, and the completion rate within the round budget.
+
+use crate::ExpOptions;
+use pcrlb_analysis::{fmt_f, fmt_rate, Table};
+use pcrlb_shmem::{DmmConfig, DmmMachine, MemOp};
+use pcrlb_sim::{loglog, SimRng};
+
+/// Runs E19 and returns the result table.
+pub fn run(opts: &ExpOptions) -> Table {
+    let mut table = Table::new(&[
+        "modules",
+        "llog n",
+        "ops/step",
+        "mean rounds",
+        "msgs/op",
+        "completion rate",
+    ]);
+    for n in opts.n_sweep() {
+        let seed = opts.seed ^ (0xE19 << 40) ^ n as u64;
+        let mut machine = DmmMachine::new(DmmConfig::mss95(n), seed);
+        let mut rng = SimRng::new(seed ^ 1);
+        let ops_per_step = (n / 8).max(4);
+        let steps = if opts.quick { 20 } else { 100 };
+
+        let mut completed = 0u64;
+        let mut submitted = 0u64;
+        for step in 0..steps {
+            let ops: Vec<MemOp> = (0..ops_per_step)
+                .map(|i| {
+                    let cell = rng.below(1 << 24) as u64;
+                    if (step + i) % 3 == 0 {
+                        MemOp::Write {
+                            cell,
+                            value: cell ^ 0xF00D,
+                        }
+                    } else {
+                        MemOp::Read { cell }
+                    }
+                })
+                .collect();
+            let out = machine.step(&ops);
+            submitted += ops.len() as u64;
+            completed += out.completed.iter().filter(|&&c| c).count() as u64;
+        }
+        table.row(&[
+            n.to_string(),
+            loglog(n).to_string(),
+            ops_per_step.to_string(),
+            fmt_f(machine.mean_rounds(), 2),
+            fmt_f(machine.mean_messages_per_op(), 2),
+            fmt_rate(completed as f64 / submitted as f64),
+        ]);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pram_steps_complete_with_constant_messages() {
+        let table = run(&ExpOptions::quick());
+        assert_eq!(table.len(), 3);
+    }
+}

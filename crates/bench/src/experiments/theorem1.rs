@@ -1,0 +1,89 @@
+//! E1 — Theorem 1: under the `Single` model the balanced system's
+//! maximum load is `O((log log n)^2)` w.h.p. at any fixed time.
+//!
+//! For each `n` we run several independent trials, track the worst
+//! maximum load observed after warm-up, and compare against the
+//! configuration's `T` (the Theorem 1 bound, `= (log log n)^2` modulo
+//! small-`n` clamping). The table shows `worst/T` staying bounded by a
+//! small constant while `n` grows 256×, and the unbalanced max load
+//! growing like `log n` for contrast.
+
+use crate::ExpOptions;
+use pcrlb_analysis::{fmt_f, Table, WhpCheck};
+use pcrlb_core::{BalancerConfig, Single, ThresholdBalancer};
+use pcrlb_sim::{loglog, Engine, Unbalanced};
+
+/// Runs E1 and returns the result table.
+pub fn run(opts: &ExpOptions) -> Table {
+    let mut table = Table::new(&[
+        "n",
+        "loglog n",
+        "T",
+        "bal worst",
+        "bal mean",
+        "worst/T",
+        "unbal worst",
+        "viol@2T",
+    ]);
+    for n in opts.n_sweep() {
+        let cfg = BalancerConfig::paper(n);
+        let t = cfg.theorem1_bound();
+        let steps = opts.steps_for(n);
+        let warmup = steps / 2;
+
+        let mut balanced = WhpCheck::new();
+        let mut unbalanced = WhpCheck::new();
+        for trial in 0..opts.trials() {
+            let seed = opts.seed ^ (trial << 32) ^ n as u64;
+            let mut worst = 0usize;
+            let mut e = Engine::new(
+                n,
+                seed,
+                Single::default_paper(),
+                ThresholdBalancer::new(cfg.clone()),
+            );
+            let mut step_no = 0u64;
+            e.run_observed(steps, |w| {
+                step_no += 1;
+                if step_no > warmup {
+                    worst = worst.max(w.max_load());
+                }
+            });
+            balanced.record(worst as f64);
+
+            let mut worst_u = 0usize;
+            let mut u = Engine::new(n, seed, Single::default_paper(), Unbalanced);
+            let mut step_no = 0u64;
+            u.run_observed(steps, |w| {
+                step_no += 1;
+                if step_no > warmup {
+                    worst_u = worst_u.max(w.max_load());
+                }
+            });
+            unbalanced.record(worst_u as f64);
+        }
+
+        table.row(&[
+            n.to_string(),
+            loglog(n).to_string(),
+            t.to_string(),
+            balanced.worst().unwrap_or(0.0).to_string(),
+            fmt_f(balanced.mean(), 1),
+            fmt_f(balanced.worst().unwrap_or(0.0) / t as f64, 2),
+            unbalanced.worst().unwrap_or(0.0).to_string(),
+            fmt_f(balanced.violation_rate(2.0 * t as f64), 3),
+        ]);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_run_bounds_hold() {
+        let table = run(&ExpOptions::quick());
+        assert_eq!(table.len(), 3);
+    }
+}

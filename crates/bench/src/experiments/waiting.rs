@@ -1,0 +1,105 @@
+//! E7 — Corollary 1: with constant-length tasks, the waiting time of
+//! every task in the system is `O((log log n)^2)` w.h.p. (expected
+//! waiting time is constant).
+//!
+//! The corollary assumes constant service time, which is the
+//! `Geometric`/`Multi` consumption rule (exactly one task per step), so
+//! the experiment uses `Geometric(k=2)`. For contrast the `Single`
+//! model (geometric service times) is reported too — its tail picks up
+//! the extra service randomness but stays the same shape.
+
+use crate::ExpOptions;
+use pcrlb_analysis::{fmt_f, Table};
+use pcrlb_core::{BalancerConfig, Geometric, Single, ThresholdBalancer};
+use pcrlb_sim::{Engine, LoadModel};
+
+fn measure<M: LoadModel + Copy>(
+    opts: &ExpOptions,
+    n: usize,
+    model: M,
+    tag: u64,
+) -> (f64, u64, f64) {
+    let cfg = BalancerConfig::paper(n);
+    let steps = opts.steps_for(n) * 2;
+    let mut mean_acc = 0.0;
+    let mut worst = 0u64;
+    let mut p999_acc = 0.0;
+    let trials = opts.trials();
+    for trial in 0..trials {
+        let seed = opts.seed ^ (tag << 40) ^ (trial << 16) ^ n as u64;
+        let mut e = Engine::new(n, seed, model, ThresholdBalancer::new(cfg.clone()));
+        e.run(steps);
+        let c = e.world().completions();
+        mean_acc += c.sojourn_mean();
+        worst = worst.max(c.sojourn_max);
+        // p99.9 from the sojourn histogram.
+        let mut acc = 0u64;
+        let target = (c.count as f64 * 0.999).ceil() as u64;
+        let mut p999 = c.hist.len() as u64 - 1;
+        for (w, &cnt) in c.hist.iter().enumerate() {
+            acc += cnt;
+            if acc >= target {
+                p999 = w as u64;
+                break;
+            }
+        }
+        p999_acc += p999 as f64;
+    }
+    (mean_acc / trials as f64, worst, p999_acc / trials as f64)
+}
+
+/// Runs E7 and returns the result table.
+pub fn run(opts: &ExpOptions) -> Table {
+    let mut table = Table::new(&[
+        "n",
+        "model",
+        "T",
+        "mean wait",
+        "p99.9 wait",
+        "max wait",
+        "max/T",
+    ]);
+    for n in opts.n_sweep() {
+        let t = BalancerConfig::paper(n).theorem1_bound();
+        let (mean_g, worst_g, p999_g) =
+            measure(opts, n, Geometric::new(2).expect("k=2 valid"), 0xE7A);
+        table.row(&[
+            n.to_string(),
+            "geometric(2)".into(),
+            t.to_string(),
+            fmt_f(mean_g, 2),
+            fmt_f(p999_g, 1),
+            worst_g.to_string(),
+            fmt_f(worst_g as f64 / t as f64, 2),
+        ]);
+        let (mean_s, worst_s, p999_s) = measure(opts, n, Single::default_paper(), 0xE7B);
+        table.row(&[
+            n.to_string(),
+            "single".into(),
+            t.to_string(),
+            fmt_f(mean_s, 2),
+            fmt_f(p999_s, 1),
+            worst_s.to_string(),
+            fmt_f(worst_s as f64 / t as f64, 2),
+        ]);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_service_waiting_is_bounded() {
+        let opts = ExpOptions::quick();
+        let n = 1 << 10;
+        let t = BalancerConfig::paper(n).theorem1_bound() as f64;
+        let (mean, worst, _) = measure(&opts, n, Geometric::new(2).unwrap(), 0xAA);
+        assert!(mean < t, "mean wait {mean} should be well below T={t}");
+        assert!(
+            (worst as f64) < 8.0 * t,
+            "worst wait {worst} should be O(T), T={t}"
+        );
+    }
+}

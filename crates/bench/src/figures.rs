@@ -1,0 +1,180 @@
+//! Figure generation: renders the headline experiments as SVG line
+//! charts (`pcrlb-experiments figures --out figures/`).
+//!
+//! The paper has no figures of its own (it is an extended abstract), so
+//! these are the growth-shape plots its theorems describe in prose:
+//! max load vs `n`, communication vs `n`, the scatter trade-off, the
+//! balls-into-bins ladder, and the Lemma 2 distribution.
+
+use crate::experiments;
+use crate::ExpOptions;
+use pcrlb_analysis::plot::{LinePlot, Scale, Series};
+use pcrlb_analysis::Table;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Pairs (x, y) from two numeric columns, keeping rows where both
+/// parse and the row passes `keep`.
+fn column_pairs(
+    table: &Table,
+    x_col: usize,
+    y_col: usize,
+    keep: impl Fn(&[String]) -> bool,
+) -> Vec<(f64, f64)> {
+    table
+        .rows()
+        .iter()
+        .filter(|row| keep(row))
+        .filter_map(|row| {
+            let x = row.get(x_col)?.trim().parse::<f64>().ok()?;
+            let y = row.get(y_col)?.trim().parse::<f64>().ok()?;
+            Some((x, y))
+        })
+        .collect()
+}
+
+/// All values of a (string) column, deduplicated in first-seen order.
+fn distinct_values(table: &Table, col: usize) -> Vec<String> {
+    let mut out: Vec<String> = Vec::new();
+    for row in table.rows() {
+        if let Some(v) = row.get(col) {
+            if !out.contains(v) {
+                out.push(v.clone());
+            }
+        }
+    }
+    out
+}
+
+fn fig_max_load(opts: &ExpOptions) -> (String, String) {
+    let t = experiments::theorem1::run(opts);
+    let plot = LinePlot::new(
+        "Theorem 1 — worst max load vs n (T = (log log n)^2)",
+        "processors n",
+        "worst max load",
+    )
+    .x_scale(Scale::Log2)
+    .series(Series::new(
+        "balanced (paper)",
+        column_pairs(&t, 0, 3, |_| true),
+    ))
+    .series(Series::new("unbalanced", column_pairs(&t, 0, 6, |_| true)))
+    .series(Series::new("bound T", column_pairs(&t, 0, 2, |_| true)));
+    ("fig1_max_load.svg".into(), plot.render())
+}
+
+fn fig_communication(opts: &ExpOptions) -> (String, String) {
+    let t = experiments::communication::run(opts);
+    let mut plot = LinePlot::new(
+        "Communication — control messages per step vs n",
+        "processors n",
+        "messages per step",
+    )
+    .x_scale(Scale::Log2)
+    .y_scale(Scale::Log2);
+    for strategy in distinct_values(&t, 1) {
+        let pts = column_pairs(&t, 0, 2, |row| row[1] == strategy)
+            .into_iter()
+            .map(|(x, y)| (x, y.max(0.01)))
+            .collect();
+        plot = plot.series(Series::new(strategy, pts));
+    }
+    ("fig2_communication.svg".into(), plot.render())
+}
+
+fn fig_scatter(opts: &ExpOptions) -> (String, String) {
+    let t = experiments::scatter::run(opts);
+    let mut plot = LinePlot::new(
+        "Section 5 trade-off — scatter vs threshold",
+        "processors n",
+        "worst max load",
+    )
+    .x_scale(Scale::Log2);
+    for variant in distinct_values(&t, 3) {
+        let pts = column_pairs(&t, 0, 4, |row| row[3] == variant);
+        plot = plot.series(Series::new(variant, pts));
+    }
+    ("fig3_scatter.svg".into(), plot.render())
+}
+
+fn fig_static_ladder(opts: &ExpOptions) -> (String, String) {
+    let t = experiments::comparison::run_static(opts);
+    let mut plot = LinePlot::new(
+        "Static balls-into-bins ladder (m = n)",
+        "bins n",
+        "mean max load",
+    )
+    .x_scale(Scale::Log2);
+    for game in distinct_values(&t, 1) {
+        let pts = column_pairs(&t, 0, 2, |row| row[1] == game);
+        plot = plot.series(Series::new(game, pts));
+    }
+    ("fig4_static_games.svg".into(), plot.render())
+}
+
+fn fig_lemma2(opts: &ExpOptions) -> (String, String) {
+    let t = experiments::unbalanced::run(opts);
+    // Only the numeric k rows (the summary rows have non-numeric k).
+    let pred = column_pairs(&t, 0, 1, |_| true);
+    let meas = column_pairs(&t, 0, 2, |_| true);
+    let plot = LinePlot::new(
+        "Lemma 2 — unbalanced load distribution",
+        "load k",
+        "P(load = k)",
+    )
+    .y_scale(Scale::Log2)
+    .series(Series::new("predicted (Markov chain)", pred))
+    .series(Series::new("measured", meas));
+    ("fig5_lemma2.svg".into(), plot.render())
+}
+
+/// Generates every figure into `dir`, returning the written paths.
+pub fn generate(opts: &ExpOptions, dir: &Path) -> io::Result<Vec<PathBuf>> {
+    fs::create_dir_all(dir)?;
+    let figures = [
+        fig_max_load(opts),
+        fig_communication(opts),
+        fig_scatter(opts),
+        fig_static_ladder(opts),
+        fig_lemma2(opts),
+    ];
+    let mut written = Vec::new();
+    for (name, svg) in figures {
+        let path = dir.join(name);
+        fs::write(&path, svg)?;
+        written.push(path);
+    }
+    Ok(written)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figures_render_and_write() {
+        let dir = std::env::temp_dir().join("pcrlb_figs_test");
+        let written = generate(&ExpOptions::quick(), &dir).expect("figures written");
+        assert_eq!(written.len(), 5);
+        for path in &written {
+            let svg = fs::read_to_string(path).unwrap();
+            assert!(svg.starts_with("<svg"), "{path:?}");
+            assert!(svg.ends_with("</svg>"), "{path:?}");
+        }
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn column_pair_helpers() {
+        let mut t = Table::new(&["n", "who", "v"]);
+        t.row(&["256".into(), "a".into(), "1.5".into()]);
+        t.row(&["512".into(), "b".into(), "2.5".into()]);
+        t.row(&["x".into(), "a".into(), "9".into()]);
+        assert_eq!(column_pairs(&t, 0, 2, |r| r[1] == "a"), vec![(256.0, 1.5)]);
+        assert_eq!(
+            distinct_values(&t, 1),
+            vec!["a".to_string(), "b".to_string()]
+        );
+    }
+}

@@ -1,0 +1,70 @@
+//! # pcrlb-bench — experiment harness
+//!
+//! One function per experiment in `DESIGN.md` §4 (E1–E20), each
+//! returning an [`pcrlb_analysis::Table`] whose rows are recorded in
+//! `EXPERIMENTS.md`. The `pcrlb-experiments` binary exposes them as
+//! subcommands; integration tests run them in `quick` mode.
+//!
+//! The paper is a theory extended abstract without measurement tables,
+//! so the experiments verify the *shape* of each theorem/lemma: growth
+//! rates across `n`, constants staying constant, and who-beats-whom
+//! orderings against the baselines.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod experiments;
+pub mod figures;
+
+/// Options shared by all experiments.
+#[derive(Debug, Clone, Copy)]
+pub struct ExpOptions {
+    /// Reduced sweeps/trials for CI and tests.
+    pub quick: bool,
+    /// Master seed; every trial derives its own stream from it.
+    pub seed: u64,
+}
+
+impl Default for ExpOptions {
+    fn default() -> Self {
+        ExpOptions {
+            quick: false,
+            seed: 0xBFAE_1998,
+        }
+    }
+}
+
+impl ExpOptions {
+    /// Quick-mode options (used by tests).
+    pub fn quick() -> Self {
+        ExpOptions {
+            quick: true,
+            ..Default::default()
+        }
+    }
+
+    /// The processor-count sweep used by growth-shape experiments.
+    pub fn n_sweep(&self) -> Vec<usize> {
+        if self.quick {
+            vec![1 << 8, 1 << 10, 1 << 12]
+        } else {
+            vec![1 << 8, 1 << 10, 1 << 12, 1 << 14, 1 << 16]
+        }
+    }
+
+    /// Independent trials per configuration.
+    pub fn trials(&self) -> u64 {
+        if self.quick {
+            3
+        } else {
+            10
+        }
+    }
+
+    /// Steps to simulate after warm-up at size `n` (longer runs for
+    /// smaller `n`, keeping total work roughly constant).
+    pub fn steps_for(&self, n: usize) -> u64 {
+        let base: u64 = if self.quick { 1 << 20 } else { 1 << 23 };
+        (base / n as u64).clamp(200, 16_384)
+    }
+}

@@ -1,0 +1,481 @@
+//! Balancing-request trees (paper §3, Figure 2).
+//!
+//! During a phase every *heavy* processor grows a binary query tree:
+//! its collision-game request yields `b = 2` accepted processors, which
+//! become its two children. A child that is *applicative* (light at the
+//! beginning of the phase and not yet reserved) reserves itself, sends
+//! an id message to the tree's root ("boss"), and the search for that
+//! branch ends. A child that cannot take load keeps searching on the
+//! root's behalf — but only if its *sibling* cannot take load either
+//! (the siblings check via their parent), which is what makes the
+//! expected number of requests per root constant (Lemma 7).
+//!
+//! [`BalanceForest`] executes one phase's search for all heavy roots
+//! simultaneously, one collision game per tree level, exactly as the
+//! algorithm interleaves them.
+
+use crate::game::{play_game, GameOutcome};
+use crate::params::CollisionParams;
+use crate::threaded::play_game_threaded;
+use pcrlb_sim::{ProcId, SimRng};
+
+/// A successful pairing of a heavy root with a light partner.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Match {
+    /// The heavy processor that initiated the search.
+    pub heavy: ProcId,
+    /// The reserved light partner.
+    pub light: ProcId,
+    /// Tree level at which the partner was found (0 = direct child of
+    /// the root).
+    pub level: u32,
+}
+
+/// Communication and progress statistics of one phase's search.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SearchStats {
+    /// Collision games played (= tree levels built).
+    pub levels: u32,
+    /// Total collision-game requests over all levels.
+    pub requests: u64,
+    /// Query messages (incl. re-sends inside games).
+    pub queries: u64,
+    /// Accept messages.
+    pub accepts: u64,
+    /// Id messages sent to roots.
+    pub id_messages: u64,
+    /// Sibling co-ordination messages (one per sibling pair that decides
+    /// to keep searching; exchanged via the parent, paper §3).
+    pub sibling_checks: u64,
+    /// Simulated steps consumed by the collision games.
+    pub steps: u64,
+}
+
+/// Outcome of one phase's partner search.
+#[derive(Debug, Clone)]
+pub struct SearchOutcome {
+    /// One entry per matched root.
+    pub matches: Vec<Match>,
+    /// Roots that exhausted the depth limit without a partner.
+    pub unmatched: Vec<ProcId>,
+    /// Aggregate statistics.
+    pub stats: SearchStats,
+    /// Requests attributed to each root's tree, parallel to the root
+    /// order given to [`BalanceForest::search`] (Lemma 7 measures its
+    /// expectation).
+    pub requests_per_root: Vec<u32>,
+}
+
+/// Per-processor search state, reused across phases to avoid
+/// re-allocating `n`-sized arrays every `(log log n)^2 / 16` steps.
+///
+/// ```
+/// use pcrlb_collision::{BalanceForest, CollisionParams};
+/// use pcrlb_sim::SimRng;
+///
+/// let n = 512;
+/// let heavy: Vec<usize> = (0..8).collect();
+/// let light: Vec<usize> = (8..n).collect();
+/// let mut forest = BalanceForest::new(n);
+/// let out = forest.search(&heavy, &light, &CollisionParams::lemma1(), 3, &mut SimRng::new(7));
+/// // With almost everyone light, every heavy root finds a partner...
+/// assert!(out.unmatched.is_empty());
+/// // ...and no light processor is promised to two roots.
+/// let mut partners: Vec<_> = out.matches.iter().map(|m| m.light).collect();
+/// partners.sort_unstable();
+/// partners.dedup();
+/// assert_eq!(partners.len(), heavy.len());
+/// ```
+pub struct BalanceForest {
+    n: usize,
+    /// Root (boss) of the tree this processor currently works for.
+    boss: Vec<Option<u32>>,
+    /// Light at phase start and not yet reserved.
+    applicative: Vec<bool>,
+    /// Processor is engaged in this phase (root, forwarder, or
+    /// reserved) — engaged processors never join a second tree.
+    engaged: Vec<bool>,
+    /// Dirty entries to reset cheaply.
+    touched: Vec<ProcId>,
+}
+
+impl BalanceForest {
+    /// Creates scratch state for `n` processors.
+    pub fn new(n: usize) -> Self {
+        BalanceForest {
+            n,
+            boss: vec![None; n],
+            applicative: vec![false; n],
+            engaged: vec![false; n],
+            touched: Vec::new(),
+        }
+    }
+
+    /// Number of processors this forest serves.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    fn reset(&mut self, light: &[ProcId]) {
+        for &p in &self.touched {
+            self.boss[p] = None;
+            self.applicative[p] = false;
+            self.engaged[p] = false;
+        }
+        self.touched.clear();
+        for &p in light {
+            self.applicative[p] = true;
+            self.touched.push(p);
+        }
+    }
+
+    /// Runs the phase search: every processor in `heavy` tries to find a
+    /// partner among `light`, building query trees of at most
+    /// `max_depth` levels using `params`-collision games.
+    ///
+    /// `heavy` and `light` must be disjoint (a processor cannot be both
+    /// above `T/2` and below `T/16`).
+    pub fn search(
+        &mut self,
+        heavy: &[ProcId],
+        light: &[ProcId],
+        params: &CollisionParams,
+        max_depth: u32,
+        rng: &mut SimRng,
+    ) -> SearchOutcome {
+        self.search_impl(heavy, light, params, max_depth, rng, 0)
+    }
+
+    /// Like [`BalanceForest::search`], but each level's collision game
+    /// executes across `shards` OS threads with channel-borne messages
+    /// ([`play_game_threaded`]). The threaded game is bit-identical to
+    /// the sequential one for the same RNG state, so the search outcome
+    /// is independent of the shard count — a test asserts this.
+    pub fn search_threaded(
+        &mut self,
+        heavy: &[ProcId],
+        light: &[ProcId],
+        params: &CollisionParams,
+        max_depth: u32,
+        rng: &mut SimRng,
+        shards: usize,
+    ) -> SearchOutcome {
+        self.search_impl(heavy, light, params, max_depth, rng, shards.max(1))
+    }
+
+    fn search_impl(
+        &mut self,
+        heavy: &[ProcId],
+        light: &[ProcId],
+        params: &CollisionParams,
+        max_depth: u32,
+        rng: &mut SimRng,
+        shards: usize,
+    ) -> SearchOutcome {
+        debug_assert!(heavy.iter().all(|&p| p < self.n));
+        debug_assert!(light.iter().all(|&p| p < self.n));
+
+        self.reset(light);
+
+        let mut stats = SearchStats::default();
+        let mut matches = Vec::new();
+        let mut requests_per_root = vec![0u32; heavy.len()];
+        // Root index per root processor for attribution.
+        let mut root_index = vec![u32::MAX; 0];
+        root_index.resize(self.n, u32::MAX);
+        let mut matched_root = vec![false; heavy.len()];
+
+        // Level-0 searchers: the heavy roots themselves.
+        let mut searchers: Vec<ProcId> = Vec::with_capacity(heavy.len());
+        for (i, &h) in heavy.iter().enumerate() {
+            debug_assert!(
+                !self.applicative[h],
+                "processor {h} classified both heavy and light"
+            );
+            root_index[h] = i as u32;
+            self.boss[h] = Some(h as u32);
+            self.engaged[h] = true;
+            self.touched.push(h);
+            searchers.push(h);
+        }
+
+        let mut next_searchers: Vec<ProcId> = Vec::new();
+        for level in 0..max_depth {
+            if searchers.is_empty() {
+                break;
+            }
+            // One collision game over all current searchers, across all
+            // trees at once — the paper applies the protocol "globally,
+            // that is, seen over all requesting processors".
+            let outcome: GameOutcome = if shards > 1 {
+                play_game_threaded(self.n, &searchers, params, rng, shards)
+            } else {
+                play_game(self.n, &searchers, params, rng)
+            };
+            stats.levels += 1;
+            stats.requests += searchers.len() as u64;
+            stats.queries += outcome.queries_sent;
+            stats.accepts += outcome.accepts_sent;
+            stats.steps += outcome.steps;
+
+            next_searchers.clear();
+            for (si, &s) in searchers.iter().enumerate() {
+                let boss = self.boss[s].expect("searcher must have a boss");
+                let ri = root_index[boss as usize] as usize;
+                requests_per_root[ri] = requests_per_root[ri].saturating_add(1);
+
+                if matched_root[ri] {
+                    // Root already served by an earlier id message this
+                    // level loop; this branch stops expanding. (The real
+                    // system would cancel via the tree; we charge the
+                    // request above either way.)
+                    continue;
+                }
+
+                let accepted = &outcome.accepted[si];
+                if accepted.len() < params.b {
+                    // Collision game failed for this request: the
+                    // searcher retries at the next level with fresh
+                    // random choices.
+                    next_searchers.push(s);
+                    continue;
+                }
+                // Take the first b accepted queries as tree children.
+                let children = &accepted[..params.b];
+
+                // First pass: applicative children reserve themselves
+                // and message the boss.
+                let mut found_partner = false;
+                for &ch in children {
+                    if self.applicative[ch] && !found_partner {
+                        self.applicative[ch] = false;
+                        self.engaged[ch] = true;
+                        self.touched.push(ch);
+                        stats.id_messages += 1;
+                        matches.push(Match {
+                            heavy: boss as ProcId,
+                            light: ch,
+                            level,
+                        });
+                        matched_root[ri] = true;
+                        found_partner = true;
+                    }
+                }
+                if found_partner {
+                    continue;
+                }
+                // Second pass: both children cannot take load — they
+                // co-ordinate through the parent (one sibling check) and
+                // both keep searching, doubling the frontier.
+                stats.sibling_checks += 1;
+                for &ch in children {
+                    if self.engaged[ch] {
+                        // Already a root, forwarder, or reserved light
+                        // processor of another tree: it will not search
+                        // for a second boss. The branch dies here.
+                        continue;
+                    }
+                    self.engaged[ch] = true;
+                    self.boss[ch] = Some(boss);
+                    self.touched.push(ch);
+                    next_searchers.push(ch);
+                }
+            }
+            std::mem::swap(&mut searchers, &mut next_searchers);
+        }
+
+        let unmatched: Vec<ProcId> = heavy
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| !matched_root[*i])
+            .map(|(_, &h)| h)
+            .collect();
+
+        SearchOutcome {
+            matches,
+            unmatched,
+            stats,
+            requests_per_root,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ids(r: std::ops::Range<usize>) -> Vec<ProcId> {
+        r.collect()
+    }
+
+    #[test]
+    fn single_heavy_many_light_matches_at_level_zero() {
+        let n = 256;
+        let mut forest = BalanceForest::new(n);
+        let heavy = vec![0];
+        let light = ids(1..n);
+        let mut rng = SimRng::new(1);
+        let out = forest.search(&heavy, &light, &CollisionParams::lemma1(), 3, &mut rng);
+        assert_eq!(out.matches.len(), 1);
+        assert_eq!(out.matches[0].heavy, 0);
+        assert_eq!(out.matches[0].level, 0);
+        assert!(out.unmatched.is_empty());
+        assert_eq!(out.requests_per_root, vec![1]);
+        assert_eq!(out.stats.id_messages, 1);
+    }
+
+    #[test]
+    fn partners_are_distinct_lights() {
+        // Many heavy roots must never share a partner (reservation).
+        let n = 1024;
+        let mut forest = BalanceForest::new(n);
+        let heavy = ids(0..32);
+        let light = ids(32..n);
+        let mut rng = SimRng::new(7);
+        let out = forest.search(&heavy, &light, &CollisionParams::lemma1(), 4, &mut rng);
+        let mut partners: Vec<ProcId> = out.matches.iter().map(|m| m.light).collect();
+        let before = partners.len();
+        partners.sort_unstable();
+        partners.dedup();
+        assert_eq!(partners.len(), before, "a light partner was reserved twice");
+        // All partners must come from the light set.
+        assert!(partners.iter().all(|&p| p >= 32));
+    }
+
+    #[test]
+    fn each_root_matches_at_most_once() {
+        let n = 512;
+        let mut forest = BalanceForest::new(n);
+        let heavy = ids(0..16);
+        let light = ids(16..n);
+        let mut rng = SimRng::new(3);
+        let out = forest.search(&heavy, &light, &CollisionParams::lemma1(), 4, &mut rng);
+        let mut roots: Vec<ProcId> = out.matches.iter().map(|m| m.heavy).collect();
+        let before = roots.len();
+        roots.sort_unstable();
+        roots.dedup();
+        assert_eq!(roots.len(), before);
+    }
+
+    #[test]
+    fn matches_plus_unmatched_covers_heavy() {
+        let n = 256;
+        let mut forest = BalanceForest::new(n);
+        let heavy = ids(0..20);
+        let light = ids(100..140);
+        let mut rng = SimRng::new(11);
+        let out = forest.search(&heavy, &light, &CollisionParams::lemma1(), 2, &mut rng);
+        assert_eq!(out.matches.len() + out.unmatched.len(), heavy.len());
+    }
+
+    #[test]
+    fn no_lights_means_no_matches() {
+        let n = 128;
+        let mut forest = BalanceForest::new(n);
+        let heavy = ids(0..4);
+        let mut rng = SimRng::new(5);
+        let out = forest.search(&heavy, &[], &CollisionParams::lemma1(), 3, &mut rng);
+        assert!(out.matches.is_empty());
+        assert_eq!(out.unmatched.len(), 4);
+        // Trees still grew and spent communication.
+        assert!(out.stats.requests >= 4);
+        assert!(out.stats.levels >= 1);
+    }
+
+    #[test]
+    fn abundant_lights_need_constant_requests() {
+        // Lemma 7: with (1 - 16c/T) of processors applicative, the
+        // expected number of requests per root is constant. With ~99%
+        // light, nearly every root should match at level 0.
+        let n = 4096;
+        let mut forest = BalanceForest::new(n);
+        let heavy = ids(0..8);
+        let light = ids(8..n);
+        let mut total_requests = 0u64;
+        let trials = 50;
+        for seed in 0..trials {
+            let mut rng = SimRng::new(seed);
+            let out = forest.search(&heavy, &light, &CollisionParams::lemma1(), 5, &mut rng);
+            assert!(out.unmatched.is_empty(), "seed {seed}");
+            total_requests += out.stats.requests;
+        }
+        let per_root = total_requests as f64 / (trials as f64 * heavy.len() as f64);
+        assert!(
+            per_root < 1.5,
+            "expected ~1 request per root with abundant lights, got {per_root}"
+        );
+    }
+
+    #[test]
+    fn forest_state_resets_between_phases() {
+        // Running the same search twice on a reused forest (same seed)
+        // must give identical results: any leaked reservation, boss, or
+        // engagement flag from the first run would change the second.
+        let n = 256;
+        let params = CollisionParams::lemma1();
+        let heavy = ids(0..12);
+        let light = ids(12..n);
+        let mut reused = BalanceForest::new(n);
+        let out1 = reused.search(&heavy, &light, &params, 3, &mut SimRng::new(9));
+        let out2 = reused.search(&heavy, &light, &params, 3, &mut SimRng::new(9));
+        assert_eq!(out1.matches, out2.matches);
+        assert_eq!(out1.unmatched, out2.unmatched);
+        assert_eq!(out1.stats, out2.stats);
+        // And a fresh forest agrees too.
+        let mut fresh = BalanceForest::new(n);
+        let out3 = fresh.search(&heavy, &light, &params, 3, &mut SimRng::new(9));
+        assert_eq!(out1.matches, out3.matches);
+    }
+
+    #[test]
+    fn empty_heavy_is_trivially_done() {
+        let mut forest = BalanceForest::new(64);
+        let mut rng = SimRng::new(2);
+        let out = forest.search(&[], &ids(0..64), &CollisionParams::lemma1(), 3, &mut rng);
+        assert!(out.matches.is_empty());
+        assert!(out.unmatched.is_empty());
+        assert_eq!(out.stats.levels, 0);
+        assert_eq!(out.stats.steps, 0);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "both heavy and light")]
+    fn heavy_and_light_overlap_is_a_bug() {
+        let mut forest = BalanceForest::new(64);
+        let mut rng = SimRng::new(2);
+        forest.search(&[3], &[3, 4], &CollisionParams::lemma1(), 3, &mut rng);
+    }
+
+    #[test]
+    fn threaded_search_matches_sequential() {
+        let n = 1024;
+        let heavy = ids(0..24);
+        let light = ids(24..n);
+        let params = CollisionParams::lemma1();
+        let mut f1 = BalanceForest::new(n);
+        let base = f1.search(&heavy, &light, &params, 4, &mut SimRng::new(5));
+        for shards in [2usize, 4, 8] {
+            let mut f2 = BalanceForest::new(n);
+            let out = f2.search_threaded(&heavy, &light, &params, 4, &mut SimRng::new(5), shards);
+            assert_eq!(out.matches, base.matches, "shards={shards}");
+            assert_eq!(out.unmatched, base.unmatched);
+            assert_eq!(out.stats, base.stats);
+        }
+    }
+
+    #[test]
+    fn frontier_doubles_without_lights() {
+        // With no applicative processors every sibling pair keeps
+        // searching: requests per level should grow roughly 2^level
+        // until the engaged-set saturates.
+        let n = 1 << 14;
+        let mut forest = BalanceForest::new(n);
+        let mut rng = SimRng::new(13);
+        let out = forest.search(&[0], &[], &CollisionParams::lemma1(), 4, &mut rng);
+        // Root alone at level 0 → 1 request; afterwards 2, 4, 8 if all
+        // games succeed (they do: no contention at this scale).
+        assert_eq!(out.stats.requests, 1 + 2 + 4 + 8);
+        assert_eq!(out.requests_per_root, vec![15]);
+    }
+}

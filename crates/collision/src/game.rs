@@ -1,0 +1,335 @@
+//! One `(n, ε, a, b, c)`-collision game (paper Figure 1).
+//!
+//! Mechanics per round:
+//!
+//! 1. every *open* request (fewer than `b` accepts so far) re-sends its
+//!    not-yet-accepted queries to the *same* targets chosen at the start
+//!    ("no new random choices are made");
+//! 2. a processor whose pending queries this round — together with the
+//!    queries it already accepted this game — fit within the collision
+//!    value `c` accepts them all and answers; otherwise it answers none;
+//! 3. a request that has gathered `b` accepts cancels its remaining
+//!    queries and leaves the game.
+//!
+//! The cap in step 2 is cumulative across rounds: with `c = 1` a
+//! processor that accepted a query in round 1 never accepts another in
+//! the same game, which is exactly the "each processor is assigned at
+//! most one query" guarantee Lemma 1 needs.
+
+use crate::params::CollisionParams;
+use pcrlb_sim::{ProcId, SimRng};
+use std::collections::HashMap;
+
+/// Result of one collision game.
+#[derive(Debug, Clone)]
+pub struct GameOutcome {
+    /// Per request (parallel to the `requesters` input): the processors
+    /// whose accepts were gathered. On success each has length ≥ `b`
+    /// (exactly `b` unless several accepts landed in the final round).
+    pub accepted: Vec<Vec<ProcId>>,
+    /// For-loop rounds actually executed (≤ the paper's bound).
+    pub rounds_used: u32,
+    /// Whether *every* request gathered `b` accepts.
+    pub success: bool,
+    /// Query messages sent (including re-sends).
+    pub queries_sent: u64,
+    /// Accept messages sent.
+    pub accepts_sent: u64,
+    /// Simulated steps consumed: `a·c` per executed round.
+    pub steps: u64,
+}
+
+impl GameOutcome {
+    /// Indices of requests that did not reach `b` accepts.
+    pub fn failed_requests(&self, b: usize) -> Vec<usize> {
+        self.accepted
+            .iter()
+            .enumerate()
+            .filter(|(_, acc)| acc.len() < b)
+            .map(|(i, _)| i)
+            .collect()
+    }
+}
+
+/// State of one request during the game.
+struct Request {
+    /// The `a` targets chosen up front; never re-randomized.
+    targets: Vec<ProcId>,
+    /// Which targets have accepted.
+    accepted_mask: Vec<bool>,
+    accepts: usize,
+    done: bool,
+}
+
+/// Plays one collision game.
+///
+/// * `n` — number of processors (targets are drawn from `0..n`);
+/// * `requesters` — the processors originating a request this game;
+///   targets are sampled distinct-per-request and never equal to the
+///   requester (a processor cannot answer its own balancing query).
+///
+/// The paper samples targets i.u.a.r.; we sample *distinct* targets per
+/// request because duplicate targets within one request are pure waste
+/// under `c = 1` (both copies always collide with each other). For
+/// `a ≪ n` the distributions are asymptotically identical.
+///
+/// # Panics
+/// Panics if `params` are invalid or `n < a + 1` (not enough distinct
+/// targets).
+pub fn play_game(
+    n: usize,
+    requesters: &[ProcId],
+    params: &CollisionParams,
+    rng: &mut SimRng,
+) -> GameOutcome {
+    params.validate().expect("invalid collision parameters");
+    assert!(
+        n > params.a,
+        "need n > a distinct targets (n={n}, a={})",
+        params.a
+    );
+
+    let max_rounds = params.rounds(n);
+    let mut queries_sent = 0u64;
+    let mut accepts_sent = 0u64;
+
+    // Sample each request's `a` targets up front.
+    let mut scratch = Vec::with_capacity(params.a + 1);
+    let mut requests: Vec<Request> = requesters
+        .iter()
+        .map(|&req| {
+            // Draw a+1 distinct values so we can drop the requester if
+            // it sampled itself, keeping `a` targets != requester.
+            rng.distinct(n, params.a + 1, &mut scratch);
+            let targets: Vec<ProcId> = scratch
+                .iter()
+                .copied()
+                .filter(|&t| t != req)
+                .take(params.a)
+                .collect();
+            Request {
+                accepted_mask: vec![false; targets.len()],
+                targets,
+                accepts: 0,
+                done: false,
+            }
+        })
+        .collect();
+
+    // Cumulative per-processor accept counts for this game. Requests
+    // are few (≤ εn/a), so a hash map beats an O(n) array.
+    let mut accepted_by: HashMap<ProcId, usize> = HashMap::new();
+    // Per-round incoming query lists: target -> [(request idx, query idx)].
+    let mut inbox: HashMap<ProcId, Vec<(usize, usize)>> = HashMap::new();
+
+    let mut rounds_used = 0u32;
+    for _ in 0..max_rounds {
+        // Step 1: open requests re-send their unaccepted queries.
+        inbox.clear();
+        let mut any_open = false;
+        for (ri, req) in requests.iter().enumerate() {
+            if req.done {
+                continue;
+            }
+            any_open = true;
+            for (qi, &t) in req.targets.iter().enumerate() {
+                if !req.accepted_mask[qi] {
+                    queries_sent += 1;
+                    inbox.entry(t).or_default().push((ri, qi));
+                }
+            }
+        }
+        if !any_open {
+            break;
+        }
+        rounds_used += 1;
+
+        // Step 2: targets accept all-or-none within the collision value.
+        for (&target, queries) in inbox.iter() {
+            let already = accepted_by.get(&target).copied().unwrap_or(0);
+            if already >= params.c || already + queries.len() > params.c {
+                continue; // collision (or saturated): answers none
+            }
+            *accepted_by.entry(target).or_insert(0) += queries.len();
+            for &(ri, qi) in queries {
+                let req = &mut requests[ri];
+                req.accepted_mask[qi] = true;
+                req.accepts += 1;
+                accepts_sent += 1;
+            }
+        }
+
+        // Step 3: satisfied requests leave the game.
+        for req in requests.iter_mut() {
+            if !req.done && req.accepts >= params.b {
+                req.done = true;
+            }
+        }
+    }
+
+    let accepted: Vec<Vec<ProcId>> = requests
+        .iter()
+        .map(|req| {
+            req.targets
+                .iter()
+                .zip(&req.accepted_mask)
+                .filter(|(_, &acc)| acc)
+                .map(|(&t, _)| t)
+                .collect()
+        })
+        .collect();
+    let success = requests.iter().all(|r| r.accepts >= params.b);
+
+    GameOutcome {
+        accepted,
+        rounds_used,
+        success,
+        queries_sent,
+        accepts_sent,
+        steps: params.steps_per_round() * rounds_used as u64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    fn lemma1() -> CollisionParams {
+        CollisionParams::lemma1()
+    }
+
+    #[test]
+    fn no_requests_zero_work() {
+        let mut rng = SimRng::new(1);
+        let out = play_game(64, &[], &lemma1(), &mut rng);
+        assert!(out.success);
+        assert_eq!(out.rounds_used, 0);
+        assert_eq!(out.queries_sent, 0);
+        assert_eq!(out.steps, 0);
+    }
+
+    #[test]
+    fn single_request_succeeds_fast() {
+        let mut rng = SimRng::new(2);
+        let out = play_game(64, &[0], &lemma1(), &mut rng);
+        assert!(out.success);
+        assert_eq!(out.rounds_used, 1); // no contention: first round
+        assert!(out.accepted[0].len() >= 2);
+        assert!(out.queries_sent >= 5);
+    }
+
+    #[test]
+    fn accepted_targets_never_include_requester() {
+        for seed in 0..50 {
+            let mut r = SimRng::new(seed);
+            let out = play_game(16, &[7], &lemma1(), &mut r);
+            assert!(!out.accepted[0].contains(&7));
+        }
+    }
+
+    #[test]
+    fn collision_value_respected_across_rounds() {
+        // Many requests on few processors force multi-round behaviour;
+        // even then no processor may appear more than c times in total.
+        let params = lemma1();
+        for seed in 0..30 {
+            let mut rng = SimRng::new(seed);
+            let requesters: Vec<ProcId> = (0..6).collect();
+            let out = play_game(32, &requesters, &params, &mut rng);
+            let mut counts: HashMap<ProcId, usize> = HashMap::new();
+            for acc in &out.accepted {
+                for &t in acc {
+                    *counts.entry(t).or_insert(0) += 1;
+                }
+            }
+            for (&t, &cnt) in &counts {
+                assert!(
+                    cnt <= params.c,
+                    "seed {seed}: target {t} accepted {cnt} > c"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn lemma1_regime_succeeds_whp() {
+        // n = 4096 with n^0.5 requests: well within epsilon*n/a. Failure
+        // probability should be essentially zero over 20 seeds.
+        let params = lemma1();
+        let n = 4096;
+        let requesters: Vec<ProcId> = (0..64).collect();
+        let mut failures = 0;
+        for seed in 0..20 {
+            let mut rng = SimRng::new(seed);
+            let out = play_game(n, &requesters, &params, &mut rng);
+            if !out.success {
+                failures += 1;
+            }
+            assert!(out.rounds_used <= params.rounds(n));
+        }
+        assert_eq!(failures, 0);
+    }
+
+    #[test]
+    fn exactly_b_accepts_in_uncontended_round() {
+        // With no contention every query is accepted in round one, so a
+        // request can end up with all `a` accepts (they arrive in the
+        // same round in which `b` was reached).
+        let mut rng = SimRng::new(9);
+        let out = play_game(1 << 12, &[3], &lemma1(), &mut rng);
+        assert_eq!(out.accepted[0].len(), 5);
+        assert_eq!(out.accepts_sent, 5);
+    }
+
+    #[test]
+    fn satisfied_requests_stop_resending() {
+        // One uncontended request: round 1 satisfies it, game over —
+        // queries_sent stays at `a`.
+        let mut rng = SimRng::new(11);
+        let out = play_game(256, &[0], &lemma1(), &mut rng);
+        assert_eq!(out.queries_sent, 5);
+    }
+
+    #[test]
+    fn overload_fails_gracefully() {
+        // With c=1 and nearly all processors requesting, there are not
+        // enough acceptors: the game must terminate at the round bound
+        // and report failure instead of looping.
+        let params = lemma1();
+        let n = 12;
+        let requesters: Vec<ProcId> = (0..11).collect();
+        let mut rng = SimRng::new(5);
+        let out = play_game(n, &requesters, &params, &mut rng);
+        assert!(!out.success);
+        assert_eq!(out.rounds_used, params.rounds(n));
+        assert!(!out.failed_requests(params.b).is_empty());
+    }
+
+    #[test]
+    fn steps_accounting() {
+        let params = lemma1();
+        let mut rng = SimRng::new(6);
+        let out = play_game(128, &[1, 2, 3], &params, &mut rng);
+        assert_eq!(out.steps, params.steps_per_round() * out.rounds_used as u64);
+    }
+
+    #[test]
+    #[should_panic(expected = "need n > a")]
+    fn too_few_processors_panics() {
+        let mut rng = SimRng::new(1);
+        play_game(5, &[0], &lemma1(), &mut rng);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let params = lemma1();
+        let requesters: Vec<ProcId> = (0..10).collect();
+        let mut a = SimRng::new(77);
+        let mut b = SimRng::new(77);
+        let oa = play_game(512, &requesters, &params, &mut a);
+        let ob = play_game(512, &requesters, &params, &mut b);
+        assert_eq!(oa.accepted, ob.accepted);
+        assert_eq!(oa.queries_sent, ob.queries_sent);
+    }
+}

@@ -1,0 +1,45 @@
+//! # pcrlb-collision — the collision protocol
+//!
+//! The `(n, ε, a, b, c)`-collision protocol (paper §2; originally from
+//! shared-memory simulations, Meyer auf der Heide–Scheideler–Stemann
+//! STACS 1995) and the balancing-request trees built on top of it
+//! (paper §3, Figure 2).
+//!
+//! * [`CollisionParams`] — parameters, validity conditions, round/step
+//!   bounds; [`CollisionParams::lemma1`] is the `a=5, b=2, c=1`
+//!   instantiation the balancing algorithm uses.
+//! * [`play_game`] — one collision game, message-accurate, sequential.
+//! * [`play_game_threaded`] — the same game executed across OS threads
+//!   with channel-borne messages; bit-identical outcomes.
+//! * [`BalanceForest`] — a phase's simultaneous partner search for all
+//!   heavy processors: one collision game per tree level, applicative
+//!   partners reserve themselves, sibling pairs that cannot take load
+//!   keep searching and double the frontier.
+//!
+//! ## Example
+//!
+//! ```
+//! use pcrlb_collision::{play_game, CollisionParams};
+//! use pcrlb_sim::SimRng;
+//!
+//! let params = CollisionParams::lemma1();
+//! let requesters: Vec<usize> = (0..32).collect();
+//! let mut rng = SimRng::new(42);
+//! let outcome = play_game(1024, &requesters, &params, &mut rng);
+//! assert!(outcome.success);
+//! // Every request gathered at least b = 2 accepted queries:
+//! assert!(outcome.accepted.iter().all(|a| a.len() >= 2));
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod forest;
+pub mod game;
+pub mod params;
+pub mod threaded;
+
+pub use forest::{BalanceForest, Match, SearchOutcome, SearchStats};
+pub use game::{play_game, GameOutcome};
+pub use params::{CollisionParams, ParamError};
+pub use threaded::{play_game_threaded, play_game_verified};

@@ -1,0 +1,247 @@
+//! Parameters of the `(n, ε, a, b, c)`-collision protocol.
+//!
+//! The protocol (paper §2, originally from Meyer auf der Heide,
+//! Scheideler and Stemann, STACS 1995) assigns *queries* to processors:
+//! each of at most `εn/a` requests sends `a` queries to processors
+//! chosen i.u.a.r.; the protocol finds an assignment in which at least
+//! `b < a` queries per request are accepted while no processor accepts
+//! more than `c` queries.
+//!
+//! The paper runs the for-loop for `log log n / log(c(a−b)) + 3` rounds
+//! and shows this suffices w.h.p. under the side conditions reproduced
+//! in [`CollisionParams::validate`].
+
+use pcrlb_sim::loglog;
+use std::fmt;
+
+/// Tunable parameters of one collision game.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CollisionParams {
+    /// Queries sent per request (`2 ≤ a ≤ √log n`).
+    pub a: usize,
+    /// Accepted queries required per request (`b < a`).
+    pub b: usize,
+    /// Collision value: a processor receiving more than `c` queries in a
+    /// round answers none; no processor ever accepts more than `c`
+    /// queries in one game.
+    pub c: usize,
+    /// Fraction bound: the protocol is analyzed for at most `εn/a`
+    /// requests, `0 < ε < 1`.
+    pub epsilon: f64,
+}
+
+/// Why a parameter set is invalid.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParamError {
+    /// `a < 2` or `a ≤ b`.
+    BadQueryCount,
+    /// `b == 0` (a request that needs no accepts is meaningless).
+    BadAcceptCount,
+    /// `c == 0` (no processor could ever accept anything).
+    BadCollisionValue,
+    /// `ε` outside `(0, 1]`.
+    BadEpsilon,
+    /// `c(a−b) < 2`: the round-count divisor `log(c(a−b))` vanishes and
+    /// the doubling argument of the analysis breaks down.
+    DegenerateProgress,
+}
+
+impl fmt::Display for ParamError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let msg = match self {
+            ParamError::BadQueryCount => "need 2 <= a and b < a",
+            ParamError::BadAcceptCount => "need b >= 1",
+            ParamError::BadCollisionValue => "need c >= 1",
+            ParamError::BadEpsilon => "need 0 < epsilon <= 1",
+            ParamError::DegenerateProgress => "need c*(a-b) >= 2 for round-count progress",
+        };
+        f.write_str(msg)
+    }
+}
+
+impl std::error::Error for ParamError {}
+
+impl CollisionParams {
+    /// The Lemma 1 instantiation used by the balancing algorithm:
+    /// `a = 5, b = 2, c = 1` — five queries per request, two accepts
+    /// required, each processor accepts at most one query, so the two
+    /// accepted processors become the two children of a node in the
+    /// balancing-request tree.
+    pub fn lemma1() -> Self {
+        CollisionParams {
+            a: 5,
+            b: 2,
+            c: 1,
+            epsilon: 0.5,
+        }
+    }
+
+    /// Creates and validates a parameter set.
+    pub fn new(a: usize, b: usize, c: usize, epsilon: f64) -> Result<Self, ParamError> {
+        let p = CollisionParams { a, b, c, epsilon };
+        p.validate()?;
+        Ok(p)
+    }
+
+    /// Checks the structural constraints the analysis needs.
+    pub fn validate(&self) -> Result<(), ParamError> {
+        if self.b == 0 {
+            return Err(ParamError::BadAcceptCount);
+        }
+        if self.a < 2 || self.b >= self.a {
+            return Err(ParamError::BadQueryCount);
+        }
+        if self.c == 0 {
+            return Err(ParamError::BadCollisionValue);
+        }
+        if !(self.epsilon > 0.0 && self.epsilon <= 1.0) {
+            return Err(ParamError::BadEpsilon);
+        }
+        if self.c * (self.a - self.b) < 2 {
+            return Err(ParamError::DegenerateProgress);
+        }
+        Ok(())
+    }
+
+    /// The paper's side condition (1):
+    /// `c²(a−b) / (c+1) > 1 + δ` for some constant `δ > 0`. We check it
+    /// with `δ = 0` strictly.
+    pub fn condition1(&self) -> bool {
+        let (a, b, c) = (self.a as f64, self.b as f64, self.c as f64);
+        c * c * (a - b) / (c + 1.0) > 1.0
+    }
+
+    /// Whether `a ≤ √(log n)` — the protocol's stated range for `a`.
+    pub fn query_count_in_range(&self, n: usize) -> bool {
+        let log_n = (n.max(2) as f64).log2();
+        (self.a as f64) <= log_n.sqrt().max(2.0)
+    }
+
+    /// Maximum number of requests the analysis allows: `εn/a`.
+    pub fn max_requests(&self, n: usize) -> usize {
+        ((self.epsilon * n as f64) / self.a as f64).floor() as usize
+    }
+
+    /// Number of for-loop rounds the paper prescribes:
+    /// `⌈log log n / log(c(a−b))⌉ + 3`.
+    pub fn rounds(&self, n: usize) -> u32 {
+        let llog = loglog(n) as f64;
+        let divisor = ((self.c * (self.a - self.b)) as f64).log2();
+        (llog / divisor).ceil() as u32 + 3
+    }
+
+    /// Simulated time steps one game consumes: queries are checked
+    /// sequentially and an overloaded processor waits `c` steps per
+    /// query, so one round costs `a·c` steps (paper §2).
+    pub fn steps_per_round(&self) -> u64 {
+        (self.a * self.c) as u64
+    }
+
+    /// Total step budget of one game: `a·c·rounds(n)`. For the Lemma 1
+    /// parameters this is at most `5·log log n` for large `n`.
+    pub fn steps_per_game(&self, n: usize) -> u64 {
+        self.steps_per_round() * self.rounds(n) as u64
+    }
+}
+
+impl Default for CollisionParams {
+    fn default() -> Self {
+        CollisionParams::lemma1()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lemma1_parameters_are_valid() {
+        let p = CollisionParams::lemma1();
+        assert!(p.validate().is_ok());
+        assert!(p.condition1()); // 1*1*3/2 = 1.5 > 1
+    }
+
+    #[test]
+    fn rejects_degenerate_parameters() {
+        assert_eq!(
+            CollisionParams::new(1, 0, 1, 0.5).unwrap_err(),
+            ParamError::BadAcceptCount
+        );
+        assert_eq!(
+            CollisionParams::new(2, 2, 1, 0.5).unwrap_err(),
+            ParamError::BadQueryCount
+        );
+        assert_eq!(
+            CollisionParams::new(1, 1, 1, 0.5).unwrap_err(),
+            ParamError::BadQueryCount
+        );
+        assert_eq!(
+            CollisionParams::new(5, 2, 0, 0.5).unwrap_err(),
+            ParamError::BadCollisionValue
+        );
+        assert_eq!(
+            CollisionParams::new(5, 2, 1, 0.0).unwrap_err(),
+            ParamError::BadEpsilon
+        );
+        assert_eq!(
+            CollisionParams::new(5, 2, 1, 1.5).unwrap_err(),
+            ParamError::BadEpsilon
+        );
+        // c(a-b) = 1: no progress.
+        assert_eq!(
+            CollisionParams::new(3, 2, 1, 0.5).unwrap_err(),
+            ParamError::DegenerateProgress
+        );
+    }
+
+    #[test]
+    fn round_count_matches_lemma1_arithmetic() {
+        let p = CollisionParams::lemma1();
+        // Lemma 1: rounds = loglog n / log 3 + 3, and the total step
+        // count a*c*rounds <= 5 loglog n for large n.
+        for n in [1 << 8, 1 << 12, 1 << 16, 1 << 20] {
+            let r = p.rounds(n);
+            let llog = loglog(n) as f64;
+            let expected = (llog / 3f64.log2()).ceil() as u32 + 3;
+            assert_eq!(r, expected);
+            assert_eq!(p.steps_per_game(n), 5 * r as u64);
+        }
+    }
+
+    #[test]
+    fn rounds_grow_with_progress_rate() {
+        // Bigger c(a-b) => fewer rounds.
+        let slow = CollisionParams::new(4, 2, 1, 0.5).unwrap(); // c(a-b)=2
+        let fast = CollisionParams::new(10, 2, 1, 0.5).unwrap(); // c(a-b)=8
+        let n = 1 << 16;
+        assert!(fast.rounds(n) <= slow.rounds(n));
+    }
+
+    #[test]
+    fn max_requests_scaling() {
+        let p = CollisionParams::lemma1();
+        assert_eq!(p.max_requests(1000), 100); // 0.5*1000/5
+    }
+
+    #[test]
+    fn query_count_range() {
+        let p = CollisionParams::lemma1();
+        // sqrt(log2 2^32) > 5 only for log n >= 25; at n=2^16 the bound
+        // is max(sqrt(16), 2) = 4 < 5 — the paper's constants are
+        // asymptotic, so the range check is advisory, not enforced.
+        assert!(p.query_count_in_range(1 << 30));
+        assert!(!p.query_count_in_range(1 << 16));
+    }
+
+    #[test]
+    fn default_is_lemma1() {
+        assert_eq!(CollisionParams::default(), CollisionParams::lemma1());
+    }
+
+    #[test]
+    fn param_error_display() {
+        assert!(ParamError::DegenerateProgress
+            .to_string()
+            .contains("c*(a-b)"));
+    }
+}

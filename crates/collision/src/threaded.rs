@@ -1,0 +1,312 @@
+//! A genuinely parallel, message-passing implementation of the
+//! collision game.
+//!
+//! [`crate::game::play_game`] simulates the protocol's message counts on
+//! one thread. This module runs the *same* protocol across OS threads:
+//! processors are partitioned into shards, each shard owns the requests
+//! originating in it and answers the queries addressed to it, and all
+//! communication travels through channels — no shard ever reads another
+//! shard's state directly.
+//!
+//! The protocol is insensitive to message arrival order within a round:
+//! a target accepts *all or none* of a round's queries depending only on
+//! their count (plus its cumulative accept count), so the outcome is
+//! deterministic even though thread scheduling is not. A test asserts
+//! bit-equality with the sequential implementation for identical seeds.
+
+use crate::game::{play_game, GameOutcome};
+use crate::params::CollisionParams;
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use pcrlb_sim::{ProcId, SimRng};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Barrier;
+
+/// A query travelling to the shard that owns `target`.
+#[derive(Debug, Clone, Copy)]
+struct QueryMsg {
+    request: u32,
+    query: u32,
+    target: ProcId,
+}
+
+/// An accept travelling back to the shard that owns request `request`.
+#[derive(Debug, Clone, Copy)]
+struct AcceptMsg {
+    request: u32,
+    query: u32,
+}
+
+struct RequestState {
+    targets: Vec<ProcId>,
+    accepted_mask: Vec<bool>,
+    accepts: usize,
+    done: bool,
+}
+
+/// Plays one collision game across `shards` worker threads, returning
+/// the same outcome the sequential [`play_game`] produces for the same
+/// seed (accepted lists are reported in ascending target order; the
+/// sequential order coincides because targets are sampled identically).
+///
+/// # Panics
+/// Panics under the same conditions as [`play_game`].
+pub fn play_game_threaded(
+    n: usize,
+    requesters: &[ProcId],
+    params: &CollisionParams,
+    rng: &mut SimRng,
+    shards: usize,
+) -> GameOutcome {
+    params.validate().expect("invalid collision parameters");
+    assert!(n > params.a, "need n > a distinct targets");
+    let shards = shards.clamp(1, requesters.len().max(1));
+
+    if requesters.is_empty() {
+        return GameOutcome {
+            accepted: Vec::new(),
+            rounds_used: 0,
+            success: true,
+            queries_sent: 0,
+            accepts_sent: 0,
+            steps: 0,
+        };
+    }
+
+    // Sample all target sets up front with the caller's RNG — the same
+    // draws the sequential implementation makes, so both games unfold
+    // identically.
+    let mut scratch = Vec::with_capacity(params.a + 1);
+    let mut requests: Vec<RequestState> = requesters
+        .iter()
+        .map(|&req| {
+            rng.distinct(n, params.a + 1, &mut scratch);
+            let targets: Vec<ProcId> = scratch
+                .iter()
+                .copied()
+                .filter(|&t| t != req)
+                .take(params.a)
+                .collect();
+            RequestState {
+                accepted_mask: vec![false; targets.len()],
+                targets,
+                accepts: 0,
+                done: false,
+            }
+        })
+        .collect();
+
+    let max_rounds = params.rounds(n);
+    let reqs_per_shard = requests.len().div_ceil(shards);
+    // Shard that owns processor `t` (for query answering).
+    let owner = |t: ProcId| -> usize { t * shards / n };
+    // Shard that owns request `ri`.
+    let req_owner = |ri: usize| -> usize { (ri / reqs_per_shard).min(shards - 1) };
+
+    let (query_txs, query_rxs): (Vec<Sender<QueryMsg>>, Vec<Receiver<QueryMsg>>) =
+        (0..shards).map(|_| unbounded()).unzip();
+    let (accept_txs, accept_rxs): (Vec<Sender<AcceptMsg>>, Vec<Receiver<AcceptMsg>>) =
+        (0..shards).map(|_| unbounded()).unzip();
+
+    let barrier = Barrier::new(shards);
+    let open_count = AtomicUsize::new(requests.len());
+    let queries_sent = AtomicU64::new(0);
+    let accepts_sent = AtomicU64::new(0);
+    let rounds_used = AtomicU64::new(0);
+
+    // Split the request vector into per-shard mutable chunks.
+    let mut chunks: Vec<&mut [RequestState]> = Vec::with_capacity(shards);
+    {
+        let mut rest: &mut [RequestState] = &mut requests;
+        for _ in 0..shards {
+            let take = reqs_per_shard.min(rest.len());
+            let (head, tail) = rest.split_at_mut(take);
+            chunks.push(head);
+            rest = tail;
+        }
+    }
+
+    crossbeam::thread::scope(|scope| {
+        for (sid, chunk) in chunks.into_iter().enumerate() {
+            let query_txs = query_txs.clone();
+            let accept_txs = accept_txs.clone();
+            let query_rx = query_rxs[sid].clone();
+            let accept_rx = accept_rxs[sid].clone();
+            let barrier = &barrier;
+            let open_count = &open_count;
+            let queries_sent = &queries_sent;
+            let accepts_sent = &accepts_sent;
+            let rounds_used = &rounds_used;
+            scope.spawn(move |_| {
+                // Cumulative accepts for targets owned by this shard.
+                let mut accepted_by: HashMap<ProcId, usize> = HashMap::new();
+                let mut inbox: HashMap<ProcId, Vec<QueryMsg>> = HashMap::new();
+                let base = sid * reqs_per_shard;
+
+                for round in 0..max_rounds {
+                    if open_count.load(Ordering::SeqCst) == 0 {
+                        break;
+                    }
+                    if sid == 0 {
+                        rounds_used.store(round as u64 + 1, Ordering::SeqCst);
+                    }
+                    // Phase 1: (re)send unaccepted queries of open
+                    // requests.
+                    let mut sent = 0u64;
+                    for (local, req) in chunk.iter().enumerate() {
+                        if req.done {
+                            continue;
+                        }
+                        let ri = (base + local) as u32;
+                        for (qi, &t) in req.targets.iter().enumerate() {
+                            if !req.accepted_mask[qi] {
+                                sent += 1;
+                                query_txs[owner(t)]
+                                    .send(QueryMsg {
+                                        request: ri,
+                                        query: qi as u32,
+                                        target: t,
+                                    })
+                                    .expect("query channel closed");
+                            }
+                        }
+                    }
+                    queries_sent.fetch_add(sent, Ordering::Relaxed);
+                    barrier.wait(); // all queries of this round delivered
+
+                    // Phase 2: answer the queries addressed to targets
+                    // this shard owns.
+                    inbox.clear();
+                    for msg in query_rx.try_iter() {
+                        inbox.entry(msg.target).or_default().push(msg);
+                    }
+                    let mut accepted = 0u64;
+                    for (&target, msgs) in inbox.iter() {
+                        let already = accepted_by.get(&target).copied().unwrap_or(0);
+                        if already >= params.c || already + msgs.len() > params.c {
+                            continue; // collision: answers none
+                        }
+                        *accepted_by.entry(target).or_insert(0) += msgs.len();
+                        for m in msgs {
+                            accepted += 1;
+                            accept_txs[req_owner(m.request as usize)]
+                                .send(AcceptMsg {
+                                    request: m.request,
+                                    query: m.query,
+                                })
+                                .expect("accept channel closed");
+                        }
+                    }
+                    accepts_sent.fetch_add(accepted, Ordering::Relaxed);
+                    barrier.wait(); // all accepts of this round delivered
+
+                    // Phase 3: apply accepts; satisfied requests leave.
+                    let mut newly_done = 0usize;
+                    for msg in accept_rx.try_iter() {
+                        let local = msg.request as usize - base;
+                        let req = &mut chunk[local];
+                        req.accepted_mask[msg.query as usize] = true;
+                        req.accepts += 1;
+                    }
+                    for req in chunk.iter_mut() {
+                        if !req.done && req.accepts >= params.b {
+                            req.done = true;
+                            newly_done += 1;
+                        }
+                    }
+                    open_count.fetch_sub(newly_done, Ordering::SeqCst);
+                    barrier.wait(); // everyone sees the new open count
+                }
+            });
+        }
+    })
+    .expect("collision shard thread panicked");
+
+    let accepted: Vec<Vec<ProcId>> = requests
+        .iter()
+        .map(|req| {
+            req.targets
+                .iter()
+                .zip(&req.accepted_mask)
+                .filter(|(_, &acc)| acc)
+                .map(|(&t, _)| t)
+                .collect()
+        })
+        .collect();
+    let success = requests.iter().all(|r| r.accepts >= params.b);
+    let rounds = rounds_used.load(Ordering::SeqCst) as u32;
+
+    GameOutcome {
+        accepted,
+        rounds_used: rounds,
+        success,
+        queries_sent: queries_sent.load(Ordering::Relaxed),
+        accepts_sent: accepts_sent.load(Ordering::Relaxed),
+        steps: params.steps_per_round() * rounds as u64,
+    }
+}
+
+/// Convenience wrapper asserting agreement between the threaded and the
+/// sequential game for a given seed. Returns the (common) outcome.
+/// Intended for tests and demos.
+pub fn play_game_verified(
+    n: usize,
+    requesters: &[ProcId],
+    params: &CollisionParams,
+    seed: u64,
+    shards: usize,
+) -> GameOutcome {
+    let mut r1 = SimRng::new(seed);
+    let mut r2 = SimRng::new(seed);
+    let seq = play_game(n, requesters, params, &mut r1);
+    let par = play_game_threaded(n, requesters, params, &mut r2, shards);
+    assert_eq!(seq.accepted, par.accepted, "threaded game diverged");
+    assert_eq!(seq.queries_sent, par.queries_sent);
+    assert_eq!(seq.accepts_sent, par.accepts_sent);
+    assert_eq!(seq.rounds_used, par.rounds_used);
+    par
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn threaded_matches_sequential() {
+        let params = CollisionParams::lemma1();
+        for shards in [1, 2, 4, 7] {
+            for seed in 0..10 {
+                let requesters: Vec<ProcId> = (0..40).map(|i| i * 3).collect();
+                play_game_verified(1024, &requesters, &params, seed, shards);
+            }
+        }
+    }
+
+    #[test]
+    fn threaded_matches_sequential_under_contention() {
+        // Heavy contention: many requests on a small machine, multiple
+        // rounds, failures — the hardest case for determinism.
+        let params = CollisionParams::lemma1();
+        let requesters: Vec<ProcId> = (0..24).collect();
+        for seed in 0..10 {
+            play_game_verified(32, &requesters, &params, seed, 4);
+        }
+    }
+
+    #[test]
+    fn empty_requesters() {
+        let params = CollisionParams::lemma1();
+        let mut rng = SimRng::new(1);
+        let out = play_game_threaded(64, &[], &params, &mut rng, 4);
+        assert!(out.success);
+        assert_eq!(out.rounds_used, 0);
+    }
+
+    #[test]
+    fn more_shards_than_requests_is_clamped() {
+        let params = CollisionParams::lemma1();
+        let mut rng = SimRng::new(2);
+        let out = play_game_threaded(256, &[1, 2], &params, &mut rng, 64);
+        assert!(out.success);
+    }
+}

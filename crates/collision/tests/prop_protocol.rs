@@ -1,0 +1,117 @@
+//! Property-based tests of the collision protocol's guarantees over
+//! randomized parameters, request counts, and seeds.
+
+use pcrlb_collision::{play_game, BalanceForest, CollisionParams};
+use pcrlb_sim::SimRng;
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+/// Strategy generating valid collision parameters (the constructor's
+/// constraints: 2 <= a, 1 <= b < a, c >= 1, c(a-b) >= 2).
+fn valid_params() -> impl Strategy<Value = CollisionParams> {
+    (2usize..8, 1usize..6, 1usize..3, 0.1f64..0.9)
+        .prop_filter_map("must satisfy protocol constraints", |(a, b, c, eps)| {
+            CollisionParams::new(a, b, c, eps).ok()
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The two structural guarantees of the protocol hold for every
+    /// outcome, successful or not:
+    /// 1. no processor accepts more than `c` queries in one game;
+    /// 2. a request marked successful has at least `b` accepts, all at
+    ///    distinct processors, none of them the requester.
+    #[test]
+    fn structural_guarantees(
+        params in valid_params(),
+        seed in any::<u64>(),
+        n_exp in 6u32..12,
+        req_frac in 0.01f64..1.0,
+    ) {
+        let n = 1usize << n_exp;
+        let budget = params.max_requests(n).max(1);
+        let requests = ((budget as f64) * req_frac).ceil() as usize;
+        let requesters: Vec<usize> = (0..requests.min(n / 2)).collect();
+        let mut rng = SimRng::new(seed);
+        let out = play_game(n, &requesters, &params, &mut rng);
+
+        let mut per_target: HashMap<usize, usize> = HashMap::new();
+        for (ri, acc) in out.accepted.iter().enumerate() {
+            // Accepted targets are distinct within a request and never
+            // the requester itself.
+            let mut sorted = acc.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            prop_assert_eq!(sorted.len(), acc.len());
+            prop_assert!(!acc.contains(&requesters[ri]));
+            for &t in acc {
+                *per_target.entry(t).or_insert(0) += 1;
+            }
+        }
+        for (&t, &cnt) in &per_target {
+            prop_assert!(cnt <= params.c, "target {} accepted {} > c = {}", t, cnt, params.c);
+        }
+        if out.success {
+            prop_assert!(out.accepted.iter().all(|a| a.len() >= params.b));
+        }
+        prop_assert!(out.rounds_used <= params.rounds(n));
+        // Message accounting sanity: at most a queries per open request
+        // per round.
+        prop_assert!(
+            out.queries_sent
+                <= (params.a * requesters.len()) as u64 * out.rounds_used.max(1) as u64
+        );
+        prop_assert_eq!(out.steps, params.steps_per_round() * out.rounds_used as u64);
+    }
+
+    /// Within the analyzed request budget and Lemma 1 parameters, the
+    /// protocol essentially always succeeds at moderate sizes.
+    #[test]
+    fn lemma1_budget_succeeds(seed in any::<u64>(), n_exp in 9u32..13) {
+        let n = 1usize << n_exp;
+        let params = CollisionParams::lemma1();
+        let requests = params.max_requests(n) / 2;
+        let requesters: Vec<usize> = (0..requests).collect();
+        let mut rng = SimRng::new(seed);
+        let out = play_game(n, &requesters, &params, &mut rng);
+        prop_assert!(out.success, "n = {}, requests = {}", n, requests);
+    }
+
+    /// Forest search invariants for arbitrary heavy/light splits:
+    /// partners are distinct, drawn from the light set, each root
+    /// matched at most once, and matched + unmatched = heavy.
+    #[test]
+    fn forest_invariants(
+        seed in any::<u64>(),
+        heavy_count in 1usize..24,
+        light_frac in 0.0f64..1.0,
+        depth in 1u32..5,
+    ) {
+        let n = 512;
+        let light_start = heavy_count;
+        let light_count = (((n - heavy_count) as f64) * light_frac) as usize;
+        let heavy: Vec<usize> = (0..heavy_count).collect();
+        let light: Vec<usize> = (light_start..light_start + light_count).collect();
+        let mut forest = BalanceForest::new(n);
+        let mut rng = SimRng::new(seed);
+        let out = forest.search(&heavy, &light, &CollisionParams::lemma1(), depth, &mut rng);
+
+        prop_assert_eq!(out.matches.len() + out.unmatched.len(), heavy_count);
+        let mut partners: Vec<usize> = out.matches.iter().map(|m| m.light).collect();
+        let before = partners.len();
+        partners.sort_unstable();
+        partners.dedup();
+        prop_assert_eq!(partners.len(), before, "duplicate partner");
+        prop_assert!(partners.iter().all(|p| light.contains(p)));
+        let mut roots: Vec<usize> = out.matches.iter().map(|m| m.heavy).collect();
+        roots.sort_unstable();
+        roots.dedup();
+        prop_assert_eq!(roots.len(), before, "root matched twice");
+        prop_assert!(out.matches.iter().all(|m| m.level < depth));
+        // Requests attributed to roots sum to the total.
+        let attributed: u64 = out.requests_per_root.iter().map(|&r| r as u64).sum();
+        prop_assert_eq!(attributed, out.stats.requests);
+    }
+}

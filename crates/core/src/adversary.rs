@@ -1,0 +1,279 @@
+//! Adversarial load generation (paper §1.2, model `Adversarial`).
+//!
+//! In the adversarial model a processor may change its load *on its own*
+//! by `O(T)` tasks per window of `T = (log log n)^2` steps, in either
+//! direction, subject to a global system-load bound `B`. The paper uses
+//! `B` only inside the analysis (the bound becomes `O(B + T)`); the
+//! algorithm itself never reads it, so these adversaries simply keep
+//! their own behaviour within the model's budget and the experiments
+//! report the implied `B`.
+//!
+//! Three concrete adversaries are provided:
+//!
+//! * [`Burst`] — each window, each processor dumps a burst of `O(T)`
+//!   tasks with some probability (bursty batch arrivals);
+//! * [`Targeted`] — a fixed set of victim processors receives `O(T)`
+//!   tasks every window while the rest receive nothing (a worst case
+//!   for locality-preserving balancers);
+//! * [`TreeSpawn`] — every busy processor's running task spawns up to
+//!   `k` child tasks per step (the "tree-like load generation" the
+//!   paper explicitly mentions: each task currently being performed may
+//!   generate a constant number of new tasks).
+
+use pcrlb_sim::{LoadModel, ProcId, SimRng, Step};
+
+/// Bursty adversary: at every window boundary each processor generates
+/// `burst` tasks with probability `prob`; consumption is one task per
+/// step when load is present. Per-window load change is at most
+/// `burst = O(T)`, as the model requires.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Burst {
+    /// Window length in steps (the paper's `T`).
+    pub window: u64,
+    /// Burst size (`O(T)`).
+    pub burst: usize,
+    /// Probability a given processor bursts in a given window.
+    pub prob: f64,
+}
+
+impl Burst {
+    /// Creates a burst adversary; `window >= 1`.
+    pub fn new(window: u64, burst: usize, prob: f64) -> Self {
+        assert!(window >= 1, "window must be positive");
+        Burst {
+            window,
+            burst,
+            prob,
+        }
+    }
+}
+
+impl LoadModel for Burst {
+    fn generate(&self, _: ProcId, step: Step, _: usize, rng: &mut SimRng) -> usize {
+        if step % self.window == 0 && rng.chance(self.prob) {
+            self.burst
+        } else {
+            0
+        }
+    }
+
+    fn consume(&self, _: ProcId, _: Step, load: usize, _: &mut SimRng) -> usize {
+        usize::from(load > 0)
+    }
+
+    fn name(&self) -> &'static str {
+        "adversary-burst"
+    }
+}
+
+/// Targeted adversary: processors `0..victims` receive `amount` tasks at
+/// every window boundary; everyone else generates nothing. The implied
+/// system-load bound is `B ≈ victims · amount` plus drainage backlog.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Targeted {
+    /// Window length in steps.
+    pub window: u64,
+    /// Number of victim processors (`0..victims`).
+    pub victims: usize,
+    /// Tasks injected per victim per window (`O(T)`).
+    pub amount: usize,
+}
+
+impl Targeted {
+    /// Creates a targeted adversary; `window >= 1`.
+    pub fn new(window: u64, victims: usize, amount: usize) -> Self {
+        assert!(window >= 1, "window must be positive");
+        Targeted {
+            window,
+            victims,
+            amount,
+        }
+    }
+}
+
+impl LoadModel for Targeted {
+    fn generate(&self, p: ProcId, step: Step, _: usize, _: &mut SimRng) -> usize {
+        if p < self.victims && step % self.window == 0 {
+            self.amount
+        } else {
+            0
+        }
+    }
+
+    fn consume(&self, _: ProcId, _: Step, load: usize, _: &mut SimRng) -> usize {
+        usize::from(load > 0)
+    }
+
+    fn name(&self) -> &'static str {
+        "adversary-targeted"
+    }
+}
+
+/// Tree-spawning adversary: while a processor is busy (load > 0) its
+/// running task spawns `k` children with probability `prob` each step.
+/// With `k · prob < 1` the branching process is subcritical and the
+/// system stays bounded; per window of `T` steps a processor's
+/// self-inflicted load change is at most `k·T = O(T)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TreeSpawn {
+    /// Children spawned per successful spawn event.
+    pub k: usize,
+    /// Per-step spawn probability (`k · prob < 1` for stability).
+    pub prob: f64,
+    /// Probability an *idle* processor seeds a fresh root task, so the
+    /// process does not die out globally.
+    pub seed_prob: f64,
+}
+
+impl TreeSpawn {
+    /// Creates a tree-spawn adversary; requires subcriticality
+    /// (`k · prob < 1`).
+    pub fn new(k: usize, prob: f64, seed_prob: f64) -> Self {
+        assert!(
+            (k as f64) * prob < 1.0,
+            "k*prob must stay below 1 or the load diverges"
+        );
+        TreeSpawn { k, prob, seed_prob }
+    }
+}
+
+impl LoadModel for TreeSpawn {
+    fn generate(&self, _: ProcId, _: Step, load: usize, rng: &mut SimRng) -> usize {
+        if load > 0 {
+            if rng.chance(self.prob) {
+                self.k
+            } else {
+                0
+            }
+        } else if rng.chance(self.seed_prob) {
+            // A fresh root arrives together with its first child. A
+            // lone seed would be consumed in its own arrival step
+            // (service time is one step, consumption follows
+            // generation), so the branching process could never ignite.
+            2
+        } else {
+            0
+        }
+    }
+
+    fn consume(&self, _: ProcId, _: Step, load: usize, _: &mut SimRng) -> usize {
+        usize::from(load > 0)
+    }
+
+    fn name(&self) -> &'static str {
+        "adversary-treespawn"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::balancer::ThresholdBalancer;
+    use crate::config::BalancerConfig;
+    use pcrlb_sim::{Engine, Unbalanced};
+
+    #[test]
+    fn burst_generates_only_at_window_start() {
+        let adv = Burst::new(16, 10, 1.0);
+        let mut rng = SimRng::new(1);
+        assert_eq!(adv.generate(0, 0, 0, &mut rng), 10);
+        assert_eq!(adv.generate(0, 1, 0, &mut rng), 0);
+        assert_eq!(adv.generate(0, 15, 0, &mut rng), 0);
+        assert_eq!(adv.generate(0, 16, 0, &mut rng), 10);
+    }
+
+    #[test]
+    fn burst_respects_probability() {
+        let adv = Burst::new(1, 5, 0.0);
+        let mut rng = SimRng::new(2);
+        for step in 0..100 {
+            assert_eq!(adv.generate(0, step, 0, &mut rng), 0);
+        }
+    }
+
+    #[test]
+    fn targeted_hits_only_victims() {
+        let adv = Targeted::new(8, 3, 7);
+        let mut rng = SimRng::new(3);
+        assert_eq!(adv.generate(0, 0, 0, &mut rng), 7);
+        assert_eq!(adv.generate(2, 0, 0, &mut rng), 7);
+        assert_eq!(adv.generate(3, 0, 0, &mut rng), 0);
+        assert_eq!(adv.generate(0, 4, 0, &mut rng), 0);
+    }
+
+    #[test]
+    fn treespawn_requires_subcriticality() {
+        let _ = TreeSpawn::new(2, 0.4, 0.1); // 0.8 < 1: fine
+    }
+
+    #[test]
+    #[should_panic(expected = "k*prob")]
+    fn treespawn_rejects_supercritical() {
+        TreeSpawn::new(3, 0.4, 0.1); // 1.2 >= 1
+    }
+
+    #[test]
+    fn treespawn_spawns_only_when_busy() {
+        // Built literally: the constructor (rightly) rejects a
+        // supercritical spawn rate, but determinism is what we test.
+        let adv = TreeSpawn {
+            k: 2,
+            prob: 1.0,
+            seed_prob: 0.0,
+        };
+        let mut rng = SimRng::new(4);
+        assert_eq!(adv.generate(0, 0, 5, &mut rng), 2);
+        assert_eq!(adv.generate(0, 0, 0, &mut rng), 0);
+        // Seeding arrives as a root + first child pair.
+        let seeder = TreeSpawn {
+            k: 2,
+            prob: 0.0,
+            seed_prob: 1.0,
+        };
+        assert_eq!(seeder.generate(0, 0, 0, &mut rng), 2);
+    }
+
+    #[test]
+    fn treespawn_process_actually_ignites() {
+        // Regression: a lone seed used to be consumed in its own
+        // arrival step, so the system stayed empty forever.
+        let adv = TreeSpawn::new(2, 0.3, 0.2);
+        let mut e = Engine::new(64, 11, adv, Unbalanced);
+        let mut saw_load = false;
+        e.run_observed(500, |w| saw_load |= w.max_load() > 0);
+        assert!(saw_load, "tree-spawn process never put load in the system");
+        assert!(e.world().completions().count > 0);
+    }
+
+    #[test]
+    fn treespawn_system_stays_bounded() {
+        let adv = TreeSpawn::new(2, 0.3, 0.2); // subcritical: 0.6 < 1
+        let mut e = Engine::new(256, 5, adv, Unbalanced);
+        e.run(3000);
+        let per_proc = e.world().total_load() as f64 / 256.0;
+        assert!(per_proc < 20.0, "subcritical process diverged: {per_proc}");
+    }
+
+    #[test]
+    fn balancer_tames_targeted_adversary() {
+        // The victims become heavy every window; the balancer must keep
+        // their load near O(window-budget + T) instead of accumulating.
+        let n = 512;
+        let cfg = BalancerConfig::paper(n);
+        let t = cfg.t;
+        let adv = Targeted::new(cfg.phase_length * 2, 4, t / 2);
+        let mut bal = Engine::new(n, 9, adv, ThresholdBalancer::new(cfg.clone()));
+        let mut unbal = Engine::new(n, 9, adv, Unbalanced);
+        let mut bal_worst = 0;
+        let mut unbal_worst = 0;
+        bal.run_observed(2000, |w| bal_worst = bal_worst.max(w.max_load()));
+        unbal.run_observed(2000, |w| unbal_worst = unbal_worst.max(w.max_load()));
+        assert!(
+            bal_worst < unbal_worst,
+            "balancer ({bal_worst}) should beat unbalanced ({unbal_worst})"
+        );
+        // O(B + T) shape: the balanced max stays within a small multiple
+        // of the per-window injection.
+        assert!(bal_worst <= 4 * t, "balanced worst {bal_worst} vs T={t}");
+    }
+}

@@ -1,0 +1,804 @@
+//! The threshold balancing algorithm (paper §3, Figure 2).
+//!
+//! Time is divided into phases of `T/16` steps. At each phase boundary
+//! every processor classifies itself from its *current* load:
+//!
+//! * **heavy** — load ≥ `T/2`: it starts a balancing-request tree;
+//! * **light** — load ≤ `T/16`: it is *applicative* and may be reserved
+//!   by at most one heavy processor this phase.
+//!
+//! All heavy processors search simultaneously via repeated collision
+//! games ([`pcrlb_collision::BalanceForest`]); each matched pair moves
+//! `T/4` tasks from the back of the heavy queue to the back of the
+//! light queue. Unmatched heavy processors simply try again next phase —
+//! Lemma 6 shows failures are rare, and the Main Theorem tolerates them.
+
+use crate::config::BalancerConfig;
+use pcrlb_collision::BalanceForest;
+use pcrlb_sim::{Event, MessageKind, MessageStats, ProcId, Step, Strategy, Trace, World};
+use std::collections::HashMap;
+
+/// Resolution of the requests-per-root histogram (values at or above
+/// the cap share the last bucket).
+const REQUEST_HIST_CAP: usize = 64;
+
+/// What happened in one phase (recorded when
+/// [`BalancerConfig::record_phases`] is set).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PhaseReport {
+    /// Phase index.
+    pub phase: u64,
+    /// Step at which the phase began.
+    pub start_step: Step,
+    /// Heavy processors at the boundary.
+    pub heavy: usize,
+    /// Light processors at the boundary.
+    pub light: usize,
+    /// Heavy processors matched to a partner (incl. pre-round matches).
+    pub matched: usize,
+    /// Heavy processors that exhausted the tree depth unmatched.
+    pub failed: usize,
+    /// Collision-game requests sent during the phase.
+    pub requests: u64,
+    /// Control messages spent during the phase.
+    pub messages: u64,
+}
+
+/// Aggregate statistics over the whole run.
+#[derive(Debug, Clone)]
+pub struct BalancerStats {
+    /// Phases executed.
+    pub phases: u64,
+    /// Sum over phases of the number of heavy processors.
+    pub heavy_total: u64,
+    /// Largest heavy count seen in any single phase.
+    pub max_heavy_in_phase: usize,
+    /// Heavy processors that found a partner.
+    pub matched_total: u64,
+    /// Heavy processors that failed to find a partner in their phase.
+    pub failed_total: u64,
+    /// Collision-game requests sent (Lemma 7 predicts
+    /// `requests_total / heavy_total` is a constant).
+    pub requests_total: u64,
+    /// Collision games (tree levels) played.
+    pub games_played: u64,
+    /// Matches made by the §4.3 adversarial pre-round.
+    pub preround_matches: u64,
+    /// `requests_hist[r]` = heavy roots whose tree sent `r` requests
+    /// (last bucket aggregates `>= REQUEST_HIST_CAP - 1`).
+    pub requests_hist: Vec<u64>,
+}
+
+impl BalancerStats {
+    fn new() -> Self {
+        BalancerStats {
+            phases: 0,
+            heavy_total: 0,
+            max_heavy_in_phase: 0,
+            matched_total: 0,
+            failed_total: 0,
+            requests_total: 0,
+            games_played: 0,
+            preround_matches: 0,
+            requests_hist: vec![0; REQUEST_HIST_CAP],
+        }
+    }
+
+    /// Mean collision-game requests per heavy processor — the quantity
+    /// Lemma 7 bounds by a constant. `None` before any heavy appeared.
+    pub fn requests_per_heavy(&self) -> Option<f64> {
+        (self.heavy_total > 0).then(|| self.requests_total as f64 / self.heavy_total as f64)
+    }
+
+    /// Fraction of heavy classifications that ended matched.
+    pub fn match_rate(&self) -> Option<f64> {
+        (self.heavy_total > 0).then(|| self.matched_total as f64 / self.heavy_total as f64)
+    }
+}
+
+/// A transfer decided at the phase boundary but executed when its
+/// collision game would actually complete.
+#[derive(Debug, Clone, Copy)]
+struct PendingTransfer {
+    from: ProcId,
+    to: ProcId,
+    due: Step,
+}
+
+/// A §5 streaming transfer: `per_step` tasks move each step until the
+/// full block has been streamed.
+#[derive(Debug, Clone, Copy)]
+struct StreamingTransfer {
+    from: ProcId,
+    to: ProcId,
+    remaining: usize,
+    per_step: usize,
+}
+
+/// The paper's balancing algorithm, pluggable into
+/// [`pcrlb_sim::Engine`] / [`pcrlb_sim::ParallelEngine`].
+pub struct ThresholdBalancer {
+    cfg: BalancerConfig,
+    forest: BalanceForest,
+    phase: u64,
+    stats: BalancerStats,
+    reports: Vec<PhaseReport>,
+    pending: Vec<PendingTransfer>,
+    streams: Vec<StreamingTransfer>,
+    trace: Option<Trace>,
+    // Scratch buffers reused every phase.
+    heavy_buf: Vec<ProcId>,
+    light_buf: Vec<ProcId>,
+}
+
+impl ThresholdBalancer {
+    /// Creates the balancer; the configuration is validated.
+    ///
+    /// # Panics
+    /// Panics when `cfg` is invalid — configurations are produced by
+    /// [`BalancerConfig`] constructors, so an invalid one is a caller
+    /// bug, not an input condition.
+    pub fn new(cfg: BalancerConfig) -> Self {
+        cfg.validate().expect("invalid balancer configuration");
+        ThresholdBalancer {
+            forest: BalanceForest::new(cfg.n),
+            phase: 0,
+            stats: BalancerStats::new(),
+            reports: Vec::new(),
+            pending: Vec::new(),
+            streams: Vec::new(),
+            trace: None,
+            heavy_buf: Vec::new(),
+            light_buf: Vec::new(),
+            cfg,
+        }
+    }
+
+    /// Attaches a bounded event trace; phase starts, heavy
+    /// classifications, transfers, and search failures are recorded
+    /// until the trace fills up. Call before running the engine.
+    pub fn attach_trace(&mut self, trace: Trace) {
+        self.trace = Some(trace);
+    }
+
+    /// The attached trace, if any.
+    pub fn trace(&self) -> Option<&Trace> {
+        self.trace.as_ref()
+    }
+
+    /// The paper's default algorithm for `n` processors.
+    pub fn paper(n: usize) -> Self {
+        Self::new(BalancerConfig::paper(n))
+    }
+
+    /// Run-wide statistics.
+    pub fn stats(&self) -> &BalancerStats {
+        &self.stats
+    }
+
+    /// Per-phase reports (empty unless
+    /// [`BalancerConfig::record_phases`]).
+    pub fn phase_reports(&self) -> &[PhaseReport] {
+        &self.reports
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &BalancerConfig {
+        &self.cfg
+    }
+
+    /// §4.3 pre-round: each heavy processor probes one processor chosen
+    /// i.u.a.r.; a light processor receiving exactly one probe becomes
+    /// that sender's partner. Returns the matches; matched processors
+    /// are removed from `heavy_buf` / `light_buf`.
+    fn preround(&mut self, world: &mut World) -> Vec<(ProcId, ProcId)> {
+        let n = self.cfg.n;
+        let mut probes: HashMap<ProcId, Vec<ProcId>> = HashMap::new();
+        for &h in &self.heavy_buf {
+            let mut t = world.rng_global().below(n);
+            while t == h {
+                t = world.rng_global().below(n);
+            }
+            probes.entry(t).or_default().push(h);
+        }
+        world
+            .ledger_mut()
+            .record(MessageKind::Probe, self.heavy_buf.len() as u64);
+
+        let mut light_set = vec![false; n];
+        for &l in &self.light_buf {
+            light_set[l] = true;
+        }
+        let mut matches = Vec::new();
+        for (&target, senders) in probes.iter() {
+            if light_set[target] && senders.len() == 1 {
+                matches.push((senders[0], target));
+            }
+        }
+        // Deterministic order regardless of hash-map iteration.
+        matches.sort_unstable();
+        world
+            .ledger_mut()
+            .record(MessageKind::IdMessage, matches.len() as u64);
+        for &(h, l) in &matches {
+            self.heavy_buf.retain(|&x| x != h);
+            self.light_buf.retain(|&x| x != l);
+        }
+        self.stats.preround_matches += matches.len() as u64;
+        matches
+    }
+
+    fn begin_phase(&mut self, world: &mut World) {
+        let step = world.step();
+        let msgs_before: MessageStats = world.messages();
+        let n = self.cfg.n;
+
+        // Classify from the loads at the phase boundary (weighted mode
+        // reads remaining work instead of task counts).
+        self.heavy_buf.clear();
+        self.light_buf.clear();
+        for p in 0..n {
+            let load = if self.cfg.weighted {
+                world.weighted_load(p)
+            } else {
+                world.load(p) as u64
+            };
+            if load >= self.cfg.heavy_threshold as u64 {
+                self.heavy_buf.push(p);
+                world.note_heavy(p);
+            } else if load <= self.cfg.light_threshold as u64 {
+                self.light_buf.push(p);
+            }
+        }
+        if let Some(trace) = &mut self.trace {
+            trace.push(Event::PhaseStart {
+                phase: self.phase,
+                step,
+            });
+            for &h in &self.heavy_buf {
+                trace.push(Event::Heavy {
+                    phase: self.phase,
+                    proc: h,
+                    load: world.load(h),
+                });
+            }
+        }
+        let heavy_count = self.heavy_buf.len();
+        let light_count = self.light_buf.len();
+        self.stats.phases += 1;
+        self.stats.heavy_total += heavy_count as u64;
+        self.stats.max_heavy_in_phase = self.stats.max_heavy_in_phase.max(heavy_count);
+
+        // Optional §4.3 pre-round.
+        let mut all_matches: Vec<(ProcId, ProcId, u32)> = Vec::new();
+        if self.cfg.adversarial_preround && !self.heavy_buf.is_empty() {
+            for (h, l) in self.preround(world) {
+                all_matches.push((h, l, 0));
+            }
+        }
+
+        // Partner search via balancing-request trees.
+        let mut requests_this_phase = 0u64;
+        let mut failed = 0usize;
+        if !self.heavy_buf.is_empty() {
+            let outcome = if self.cfg.game_shards > 1 {
+                self.forest.search_threaded(
+                    &self.heavy_buf,
+                    &self.light_buf,
+                    &self.cfg.collision,
+                    self.cfg.tree_depth,
+                    world.rng_global(),
+                    self.cfg.game_shards,
+                )
+            } else {
+                self.forest.search(
+                    &self.heavy_buf,
+                    &self.light_buf,
+                    &self.cfg.collision,
+                    self.cfg.tree_depth,
+                    world.rng_global(),
+                )
+            };
+            let ledger = world.ledger_mut();
+            ledger.record(MessageKind::Query, outcome.stats.queries);
+            ledger.record(MessageKind::Accept, outcome.stats.accepts);
+            ledger.record(MessageKind::IdMessage, outcome.stats.id_messages);
+            ledger.record(MessageKind::Probe, outcome.stats.sibling_checks);
+
+            self.stats.games_played += outcome.stats.levels as u64;
+            self.stats.requests_total += outcome.stats.requests;
+            requests_this_phase = outcome.stats.requests;
+            for &r in &outcome.requests_per_root {
+                let idx = (r as usize).min(REQUEST_HIST_CAP - 1);
+                self.stats.requests_hist[idx] += 1;
+            }
+            failed = outcome.unmatched.len();
+            if let Some(trace) = &mut self.trace {
+                for &proc in &outcome.unmatched {
+                    trace.push(Event::SearchFailed {
+                        phase: self.phase,
+                        proc,
+                    });
+                }
+            }
+            for m in outcome.matches {
+                all_matches.push((m.heavy, m.light, m.level));
+            }
+        }
+        self.stats.matched_total += all_matches.len() as u64;
+        self.stats.failed_total += failed as u64;
+
+        // Execute (or schedule) the transfers.
+        let game_steps = self.cfg.collision.steps_per_game(n);
+        let phase_end = step + self.cfg.phase_length.saturating_sub(1);
+        for (h, l, level) in all_matches {
+            if self.cfg.streaming_transfers {
+                // §5: stream the block over the coming interval.
+                let per_step = self
+                    .cfg
+                    .transfer_amount
+                    .div_ceil(self.cfg.phase_length as usize)
+                    .max(1);
+                self.streams.push(StreamingTransfer {
+                    from: h,
+                    to: l,
+                    remaining: self.cfg.transfer_amount,
+                    per_step,
+                });
+            } else if self.cfg.schedule_transfers {
+                let due = (step + (level as u64 + 1) * game_steps).min(phase_end);
+                self.pending.push(PendingTransfer {
+                    from: h,
+                    to: l,
+                    due,
+                });
+            } else {
+                let moved = self.do_transfer(world, h, l);
+                if let Some(trace) = &mut self.trace {
+                    trace.push(Event::Transfer {
+                        step,
+                        from: h,
+                        to: l,
+                        tasks: moved,
+                    });
+                }
+            }
+        }
+
+        if self.cfg.record_phases {
+            let window = world.messages() - msgs_before;
+            self.reports.push(PhaseReport {
+                phase: self.phase,
+                start_step: step,
+                heavy: heavy_count,
+                light: light_count,
+                matched: heavy_count - failed,
+                failed,
+                requests: requests_this_phase,
+                messages: window.control_total(),
+            });
+        }
+        self.phase += 1;
+    }
+
+    /// Executes one balancing transfer of `transfer_amount` tasks (or
+    /// weight units, in weighted mode). Returns tasks/units moved.
+    fn do_transfer(&self, world: &mut World, from: ProcId, to: ProcId) -> usize {
+        if self.cfg.weighted {
+            world.transfer_weight(from, to, self.cfg.transfer_amount as u64) as usize
+        } else {
+            world.transfer(from, to, self.cfg.transfer_amount)
+        }
+    }
+
+    fn flush_due_transfers(&mut self, world: &mut World) {
+        let now = world.step();
+        let mut i = 0;
+        while i < self.pending.len() {
+            if self.pending[i].due <= now {
+                let t = self.pending.swap_remove(i);
+                let moved = self.do_transfer(world, t.from, t.to);
+                if let Some(trace) = &mut self.trace {
+                    trace.push(Event::Transfer {
+                        step: now,
+                        from: t.from,
+                        to: t.to,
+                        tasks: moved,
+                    });
+                }
+            } else {
+                i += 1;
+            }
+        }
+    }
+
+    /// Moves each active stream's per-step chunk; streams end when
+    /// their block is delivered (or the sender ran dry — the same cap
+    /// an atomic transfer applies).
+    fn pump_streams(&mut self, world: &mut World) {
+        let now = world.step();
+        let weighted = self.cfg.weighted;
+        let mut i = 0;
+        while i < self.streams.len() {
+            let (from, to, chunk) = {
+                let s = &self.streams[i];
+                (s.from, s.to, s.per_step.min(s.remaining))
+            };
+            let moved = if weighted {
+                world.transfer_weight(from, to, chunk as u64) as usize
+            } else {
+                world.transfer(from, to, chunk)
+            };
+            if let Some(trace) = &mut self.trace {
+                if moved > 0 {
+                    trace.push(Event::Transfer {
+                        step: now,
+                        from,
+                        to,
+                        tasks: moved,
+                    });
+                }
+            }
+            let s = &mut self.streams[i];
+            // Deduct the scheduled chunk even when the sender had less:
+            // the stream's time budget is one phase either way.
+            s.remaining -= chunk;
+            if s.remaining == 0 {
+                self.streams.swap_remove(i);
+            } else {
+                i += 1;
+            }
+        }
+    }
+}
+
+impl Strategy for ThresholdBalancer {
+    fn on_step(&mut self, world: &mut World) {
+        debug_assert_eq!(world.n(), self.cfg.n, "world/config size mismatch");
+        if world.step() % self.cfg.phase_length == 0 {
+            self.begin_phase(world);
+        }
+        if self.cfg.schedule_transfers {
+            self.flush_due_transfers(world);
+        }
+        if self.cfg.streaming_transfers {
+            self.pump_streams(world);
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "threshold-balancer"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::Single;
+    use pcrlb_sim::Engine;
+
+    fn small_cfg(n: usize) -> BalancerConfig {
+        BalancerConfig::paper(n)
+    }
+
+    #[test]
+    fn bounds_max_load_under_single() {
+        let n = 1024;
+        let cfg = small_cfg(n);
+        let bound = 2 * cfg.theorem1_bound();
+        let mut e = Engine::new(n, 42, Single::default_paper(), ThresholdBalancer::new(cfg));
+        let mut worst = 0;
+        e.run_observed(3000, |w| worst = worst.max(w.max_load()));
+        assert!(
+            worst <= bound,
+            "max load {worst} exceeded 2x Theorem 1 bound {bound}"
+        );
+    }
+
+    #[test]
+    fn balanced_never_worse_total_load() {
+        // §4.2: the balanced system's total load is stochastically no
+        // worse than the unbalanced one's. Compare same-seed runs.
+        let n = 512;
+        let steps = 2000;
+        let mut bal = Engine::new(n, 7, Single::default_paper(), ThresholdBalancer::paper(n));
+        let mut unbal = Engine::new(n, 7, Single::default_paper(), pcrlb_sim::Unbalanced);
+        bal.run(steps);
+        unbal.run(steps);
+        // Identical arrival streams; the balanced system consumes at
+        // least as much because fewer processors idle.
+        assert!(bal.world().total_load() <= unbal.world().total_load() + n as u64 / 8);
+    }
+
+    #[test]
+    fn phases_advance_and_stats_accumulate() {
+        let n = 256;
+        let cfg = small_cfg(n).with_phase_reports();
+        let phase_len = cfg.phase_length;
+        let mut e = Engine::new(n, 3, Single::default_paper(), ThresholdBalancer::new(cfg));
+        e.run(20 * phase_len);
+        let s = e.strategy().stats();
+        assert_eq!(s.phases, 20);
+        assert_eq!(e.strategy().phase_reports().len(), 20);
+        assert_eq!(
+            s.matched_total + s.failed_total,
+            s.heavy_total,
+            "every heavy processor is either matched or failed"
+        );
+    }
+
+    #[test]
+    fn spike_gets_balanced_away() {
+        // Inject a huge spike on processor 0; balancing must spread it
+        // below the spike level quickly while the unbalanced system
+        // would drain it only one task per step.
+        let n = 256;
+        let cfg = small_cfg(n);
+        let spike = 40 * cfg.t;
+        let mut e = Engine::new(
+            n,
+            11,
+            Single::default_paper(),
+            ThresholdBalancer::new(cfg.clone()),
+        );
+        e.world_mut().inject(0, spike);
+        // A heavy processor sheds transfer_amount (= T/4) per phase, so
+        // draining a spike of 40T takes ~160 phases; give it 250.
+        e.run(250 * cfg.phase_length);
+        let max = e.world().max_load();
+        assert!(
+            max < spike / 4,
+            "spike {spike} only reduced to {max} after balancing"
+        );
+        assert!(e.world().messages().transfers > 0);
+    }
+
+    #[test]
+    fn no_transfers_when_nobody_is_heavy() {
+        // Consumption >> generation keeps everyone at trivial loads.
+        let n = 128;
+        let model = Single::new(0.05, 0.9).unwrap();
+        let mut e = Engine::new(n, 5, model, ThresholdBalancer::paper(n));
+        e.run(500);
+        assert_eq!(e.world().messages().transfers, 0);
+        assert_eq!(e.strategy().stats().heavy_total, 0);
+        // And no communication was spent at all.
+        assert_eq!(e.world().messages().control_total(), 0);
+    }
+
+    #[test]
+    fn scheduled_transfers_eventually_execute() {
+        let n = 256;
+        let cfg = BalancerConfig::from_t(n, 64).with_scheduled_transfers();
+        let mut e = Engine::new(
+            n,
+            13,
+            Single::default_paper(),
+            ThresholdBalancer::new(cfg.clone()),
+        );
+        e.world_mut().inject(3, 10 * cfg.t);
+        e.run(20 * cfg.phase_length);
+        assert!(
+            e.world().messages().transfers > 0,
+            "scheduled transfers never executed"
+        );
+        assert!(e.world().load(3) < 10 * cfg.t);
+    }
+
+    #[test]
+    fn weighted_mode_bounds_weighted_load() {
+        use crate::gen::Multi;
+        use crate::weighted::{WeightDist, Weighted};
+        let n = 512;
+        let dist = WeightDist::Uniform { lo: 1, hi: 3 }; // mean 2
+                                                         // Stability in weighted mode is about *work units*: arrivals
+                                                         // bring p·E[w] = 0.3·2 = 0.6 units/step against a deterministic
+                                                         // service of 1 unit/step.
+        let inner = Multi::new(vec![0.3]).expect("valid");
+        // T in weight units: scale the unit T by the mean weight.
+        let unit_t = BalancerConfig::paper(n).t;
+        let cfg = BalancerConfig::from_t(n, unit_t * 2).with_weighted();
+        let bound = 2 * cfg.t as u64;
+        let model = Weighted::new(inner, dist);
+        let mut e = Engine::new(n, 37, model, ThresholdBalancer::new(cfg));
+        let mut worst = 0u64;
+        e.run_observed(3000, |w| worst = worst.max(w.max_weighted_load()));
+        assert!(
+            worst <= bound,
+            "weighted max load {worst} exceeded 2T = {bound}"
+        );
+        assert!(e.world().messages().transfers > 0 || worst < bound / 2);
+    }
+
+    #[test]
+    fn weighted_classification_uses_weight_not_count() {
+        use pcrlb_sim::{LoadModel, ProcId, SimRng as Rng, Step as St};
+        struct Silent;
+        impl LoadModel for Silent {
+            fn generate(&self, _: ProcId, _: St, _: usize, _: &mut Rng) -> usize {
+                0
+            }
+            fn consume(&self, _: ProcId, _: St, _: usize, _: &mut Rng) -> usize {
+                0
+            }
+        }
+        let n = 64;
+        let cfg = BalancerConfig::from_t(n, 64).with_weighted();
+        let heavy_thr = cfg.heavy_threshold as u64;
+        let mut e = Engine::new(n, 41, Silent, ThresholdBalancer::new(cfg.clone()));
+        // Processor 0: few tasks but enormous weight — heavy by weight.
+        for _ in 0..4 {
+            e.world_mut().generate_one_weighted(0, 20); // 80 units >= 32
+        }
+        // Processor 1: many tasks of trivial total weight — NOT heavy.
+        for _ in 0..3 {
+            e.world_mut().generate_one_weighted(1, 1);
+        }
+        assert!(e.world().weighted_load(0) >= heavy_thr);
+        e.run(cfg.phase_length);
+        // Processor 0 must have shed weight via a transfer.
+        assert!(e.world().messages().transfers >= 1);
+        assert!(e.world().weighted_load(0) < 80);
+        // Total weight conserved.
+        assert_eq!(e.world().total_weighted_load(), 83);
+    }
+
+    #[test]
+    fn game_shards_do_not_change_results() {
+        // The fully-parallel configuration (threaded engine would stack
+        // on top) must be bit-identical to the sequential one.
+        let n = 512;
+        let run = |shards: usize| {
+            let cfg = BalancerConfig::paper(n).with_game_shards(shards);
+            let mut e = Engine::new(n, 31, Single::default_paper(), ThresholdBalancer::new(cfg));
+            e.world_mut().inject(0, 200);
+            e.run(400);
+            (e.world().loads(), e.world().messages())
+        };
+        let base = run(1);
+        for shards in [2usize, 4] {
+            assert_eq!(run(shards), base, "shards={shards}");
+        }
+    }
+
+    #[test]
+    fn streaming_transfers_deliver_the_full_block() {
+        // Silent world: one spiked processor, streaming on. The spike
+        // must drain in per-step chunks, never in one jump.
+        use pcrlb_sim::{LoadModel, ProcId, SimRng as Rng, Step as St};
+        struct Silent;
+        impl LoadModel for Silent {
+            fn generate(&self, _: ProcId, _: St, _: usize, _: &mut Rng) -> usize {
+                0
+            }
+            fn consume(&self, _: ProcId, _: St, _: usize, _: &mut Rng) -> usize {
+                0
+            }
+        }
+        let n = 256;
+        let cfg = BalancerConfig::from_t(n, 64).with_streaming_transfers();
+        let per_step = cfg.transfer_amount.div_ceil(cfg.phase_length as usize);
+        let spike = 4 * cfg.t;
+        let mut e = Engine::new(n, 23, Silent, ThresholdBalancer::new(cfg.clone()));
+        e.world_mut().inject(0, spike);
+        let total_before = e.world().total_load();
+        let mut prev = spike;
+        let mut max_drop = 0usize;
+        for _ in 0..20 * cfg.phase_length {
+            e.step();
+            let now = e.world().load(0);
+            max_drop = max_drop.max(prev.saturating_sub(now));
+            prev = now;
+        }
+        // Conservation and streaming granularity.
+        assert_eq!(e.world().total_load(), total_before);
+        assert!(
+            max_drop <= per_step,
+            "streamed {max_drop} tasks in one step (chunk is {per_step})"
+        );
+        // The spike actually drained via the streams.
+        assert!(e.world().load(0) < spike, "stream never moved anything");
+        assert!(e.world().messages().tasks_moved > 0);
+    }
+
+    #[test]
+    fn streaming_mode_still_bounds_max_load() {
+        let n = 512;
+        let cfg = BalancerConfig::paper(n).with_streaming_transfers();
+        let bound = 2 * cfg.theorem1_bound();
+        let mut e = Engine::new(n, 29, Single::default_paper(), ThresholdBalancer::new(cfg));
+        let mut worst = 0;
+        e.run_observed(2000, |w| worst = worst.max(w.max_load()));
+        assert!(worst <= bound, "streaming variant max {worst} > {bound}");
+    }
+
+    #[test]
+    fn preround_matches_heavies_directly() {
+        let n = 512;
+        let cfg = BalancerConfig::from_t(n, 64).with_adversarial_preround();
+        let mut e = Engine::new(
+            n,
+            17,
+            Single::default_paper(),
+            ThresholdBalancer::new(cfg.clone()),
+        );
+        // Make a handful of processors heavy.
+        for p in 0..8 {
+            e.world_mut().inject(p, cfg.heavy_threshold + 4);
+        }
+        e.run(2 * cfg.phase_length);
+        let s = e.strategy().stats();
+        assert!(
+            s.preround_matches > 0,
+            "pre-round should match isolated heavy processors w.h.p."
+        );
+    }
+
+    #[test]
+    fn requests_per_heavy_is_small_constant() {
+        // Lemma 7: expected requests per heavy processor is O(1). With
+        // nearly all processors light, it should be close to 1.
+        let n = 1024;
+        let cfg = small_cfg(n);
+        let mut e = Engine::new(n, 19, Single::default_paper(), ThresholdBalancer::new(cfg));
+        e.run(4000);
+        let s = e.strategy().stats();
+        if let Some(rph) = s.requests_per_heavy() {
+            assert!(rph < 4.0, "requests per heavy {rph} not constant-like");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid balancer configuration")]
+    fn invalid_config_panics() {
+        let mut cfg = BalancerConfig::paper(256);
+        cfg.transfer_amount = 0;
+        ThresholdBalancer::new(cfg);
+    }
+
+    #[test]
+    fn trace_records_phase_lifecycle() {
+        use pcrlb_sim::{Event, Trace};
+        let n = 256;
+        let cfg = BalancerConfig::paper(n);
+        let t = cfg.t;
+        let mut balancer = ThresholdBalancer::new(cfg.clone());
+        balancer.attach_trace(Trace::new(10_000));
+        let mut e = Engine::new(n, 21, Single::default_paper(), balancer);
+        e.world_mut().inject(0, 4 * t);
+        e.run(10 * cfg.phase_length);
+        let trace = e.strategy().trace().expect("trace attached");
+        let events = trace.events();
+        assert!(
+            events
+                .iter()
+                .any(|ev| matches!(ev, Event::PhaseStart { .. })),
+            "no phase-start events"
+        );
+        assert!(
+            events
+                .iter()
+                .any(|ev| matches!(ev, Event::Heavy { proc: 0, .. })),
+            "spiked processor never traced heavy"
+        );
+        let transfers: Vec<_> = trace.transfers().collect();
+        assert!(!transfers.is_empty(), "no transfers traced");
+        // Every traced transfer originates at a processor that was
+        // traced heavy in some phase.
+        for ev in &transfers {
+            if let Event::Transfer { from, .. } = ev {
+                assert!(events
+                    .iter()
+                    .any(|h| matches!(h, Event::Heavy { proc, .. } if proc == from)));
+            }
+        }
+    }
+
+    #[test]
+    fn stats_accessors_none_when_empty() {
+        let b = ThresholdBalancer::paper(64);
+        assert!(b.stats().requests_per_heavy().is_none());
+        assert!(b.stats().match_rate().is_none());
+        assert_eq!(b.config().n, 64);
+    }
+}

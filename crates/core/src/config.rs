@@ -1,0 +1,363 @@
+//! Configuration of the threshold balancing algorithm.
+//!
+//! The paper fixes `T = (log log n)^2` and derives every other constant
+//! from it (§3):
+//!
+//! | quantity          | paper value      | field                |
+//! |-------------------|------------------|----------------------|
+//! | phase length      | `T/16`           | [`BalancerConfig::phase_length`] |
+//! | heavy threshold   | load ≥ `T/2`     | [`BalancerConfig::heavy_threshold`] |
+//! | light threshold   | load ≤ `T/16`    | [`BalancerConfig::light_threshold`] |
+//! | transfer size     | `T/4`            | [`BalancerConfig::transfer_amount`] |
+//! | query-tree depth  | `(1/80)·log log n` | [`BalancerConfig::tree_depth`] |
+//!
+//! At asymptotic `n` these fractions are all comfortably large; at
+//! laptop-scale `n` (where `log log n` is 3–5) the raw values degenerate
+//! to 0, so [`BalancerConfig::paper`] clamps each derived quantity to at
+//! least 1 and exposes a `t_scale` multiplier for experiments that need
+//! non-degenerate thresholds. All defaults keep the paper's *ratios*.
+
+use pcrlb_collision::CollisionParams;
+use pcrlb_sim::loglog;
+use std::fmt;
+
+/// Why a configuration is rejected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ConfigError {
+    /// Fewer processors than the collision protocol can target.
+    TooFewProcessors {
+        /// Requested processor count.
+        n: usize,
+        /// Minimum supported.
+        min: usize,
+    },
+    /// Heavy threshold must exceed the light threshold.
+    ThresholdsInverted,
+    /// Transfer size must be positive.
+    ZeroTransfer,
+    /// A balanced-into processor must stay below the heavy threshold:
+    /// `light + transfer + phase generation headroom < heavy` (the
+    /// invariant behind the remark after Lemma 6).
+    ReceiverMayOverflow,
+    /// Phase length must be positive.
+    ZeroPhase,
+    /// Tree depth must be positive.
+    ZeroDepth,
+    /// The collision parameters are invalid.
+    Collision(pcrlb_collision::ParamError),
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::TooFewProcessors { n, min } => {
+                write!(f, "need at least {min} processors, got {n}")
+            }
+            ConfigError::ThresholdsInverted => {
+                write!(f, "heavy threshold must exceed light threshold")
+            }
+            ConfigError::ZeroTransfer => write!(f, "transfer amount must be positive"),
+            ConfigError::ReceiverMayOverflow => write!(
+                f,
+                "light + transfer must stay below the heavy threshold, \
+                 or receivers could become heavy through balancing alone"
+            ),
+            ConfigError::ZeroPhase => write!(f, "phase length must be positive"),
+            ConfigError::ZeroDepth => write!(f, "tree depth must be positive"),
+            ConfigError::Collision(e) => write!(f, "collision parameters: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// Complete parameterization of [`crate::ThresholdBalancer`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct BalancerConfig {
+    /// Number of processors.
+    pub n: usize,
+    /// The paper's `T` (after scaling and clamping).
+    pub t: usize,
+    /// Steps per phase (`max(1, T/16)`).
+    pub phase_length: u64,
+    /// A processor with load `>= heavy_threshold` at a phase boundary is
+    /// heavy (`⌈T/2⌉`).
+    pub heavy_threshold: usize,
+    /// A processor with load `<= light_threshold` at a phase boundary is
+    /// light (`⌊T/16⌋`).
+    pub light_threshold: usize,
+    /// Tasks moved per balancing action (`⌈T/4⌉`).
+    pub transfer_amount: usize,
+    /// Maximum query-tree depth (`max(1, ⌈log log n / 80⌉)` by default;
+    /// Lemma 5 only needs `o(log log n)` levels, and with almost all
+    /// processors light a couple of levels already succeed w.h.p.).
+    pub tree_depth: u32,
+    /// Collision-game parameters (Lemma 1 defaults).
+    pub collision: CollisionParams,
+    /// When true, transfers land `(level+1) · a·c·rounds` steps into the
+    /// phase (when their collision game would really have completed)
+    /// instead of at the phase boundary. Default false: at practical `n`
+    /// a phase is only a handful of steps long.
+    pub schedule_transfers: bool,
+    /// §4.3 adversarial variant: a single-probe pre-round in which every
+    /// heavy processor contacts one random partner before the query
+    /// trees start. Default false.
+    pub adversarial_preround: bool,
+    /// §5 streaming remark: "it is not necessary to move a complete
+    /// packet of O(T) tasks from one processor to another ... this can
+    /// be done in a stream-like manner during the next interval of
+    /// length O(T)". When set, each matched pair moves
+    /// `⌈transfer/phase⌉` tasks per step over the following phase
+    /// instead of the whole block at once. Default false.
+    pub streaming_transfers: bool,
+    /// Record one [`crate::balancer::PhaseReport`] per phase (memory
+    /// grows with run length). Default false.
+    pub record_phases: bool,
+    /// When > 1, each phase's collision games execute across this many
+    /// OS threads with channel-borne messages. The threaded game is
+    /// bit-identical to the sequential one, so results do not depend on
+    /// this knob — only wall-clock does. Default 1.
+    pub game_shards: usize,
+    /// Weighted mode (the BMS'97 extension): thresholds are interpreted
+    /// in *weight units*, classification uses weighted load, and a
+    /// balancing action moves `transfer_amount` weight units instead of
+    /// that many tasks. Size `T` accordingly (multiply by the mean task
+    /// weight). Default false.
+    pub weighted: bool,
+}
+
+impl BalancerConfig {
+    /// The paper's configuration for `n` processors (`t_scale = 1`).
+    pub fn paper(n: usize) -> Self {
+        Self::scaled(n, 1.0)
+    }
+
+    /// The paper's configuration with `T = t_scale · (log log n)^2`.
+    /// Larger `t_scale` makes thresholds less degenerate at small `n`;
+    /// the ratios between thresholds stay exactly the paper's.
+    pub fn scaled(n: usize, t_scale: f64) -> Self {
+        let ll = loglog(n) as f64;
+        let t = ((ll * ll * t_scale).round() as usize).max(16);
+        Self::from_t(n, t)
+    }
+
+    /// Builds a configuration from an explicit `T`, deriving all the
+    /// paper's fractions from it.
+    pub fn from_t(n: usize, t: usize) -> Self {
+        let ll = loglog(n);
+        BalancerConfig {
+            n,
+            t,
+            phase_length: ((t as u64) / 16).max(1),
+            heavy_threshold: t.div_ceil(2),
+            light_threshold: t / 16,
+            transfer_amount: t.div_ceil(4),
+            tree_depth: (ll as u32)
+                .div_ceil(80)
+                .max(1)
+                .max(if ll >= 4 { 2 } else { 1 }),
+            collision: CollisionParams::lemma1(),
+            schedule_transfers: false,
+            adversarial_preround: false,
+            streaming_transfers: false,
+            record_phases: false,
+            game_shards: 1,
+            weighted: false,
+        }
+    }
+
+    /// Returns a copy with a different tree depth.
+    pub fn with_tree_depth(mut self, depth: u32) -> Self {
+        self.tree_depth = depth;
+        self
+    }
+
+    /// Returns a copy with different collision parameters.
+    pub fn with_collision(mut self, params: CollisionParams) -> Self {
+        self.collision = params;
+        self
+    }
+
+    /// Returns a copy with per-phase reporting enabled.
+    pub fn with_phase_reports(mut self) -> Self {
+        self.record_phases = true;
+        self
+    }
+
+    /// Returns a copy with scheduled (mid-phase) transfers.
+    pub fn with_scheduled_transfers(mut self) -> Self {
+        self.schedule_transfers = true;
+        self
+    }
+
+    /// Returns a copy with the §4.3 adversarial pre-round enabled.
+    pub fn with_adversarial_preround(mut self) -> Self {
+        self.adversarial_preround = true;
+        self
+    }
+
+    /// Returns a copy with §5 streaming transfers enabled.
+    pub fn with_streaming_transfers(mut self) -> Self {
+        self.streaming_transfers = true;
+        self
+    }
+
+    /// Returns a copy whose collision games run on `shards` threads.
+    pub fn with_game_shards(mut self, shards: usize) -> Self {
+        self.game_shards = shards.max(1);
+        self
+    }
+
+    /// Returns a copy in weighted mode (thresholds in weight units).
+    pub fn with_weighted(mut self) -> Self {
+        self.weighted = true;
+        self
+    }
+
+    /// Validates all invariants the algorithm's analysis relies on.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        self.collision.validate().map_err(ConfigError::Collision)?;
+        let min_n = self.collision.a + 2;
+        if self.n < min_n {
+            return Err(ConfigError::TooFewProcessors {
+                n: self.n,
+                min: min_n,
+            });
+        }
+        if self.heavy_threshold <= self.light_threshold {
+            return Err(ConfigError::ThresholdsInverted);
+        }
+        if self.transfer_amount == 0 {
+            return Err(ConfigError::ZeroTransfer);
+        }
+        if self.phase_length == 0 {
+            return Err(ConfigError::ZeroPhase);
+        }
+        if self.tree_depth == 0 {
+            return Err(ConfigError::ZeroDepth);
+        }
+        // Remark after Lemma 6: a light receiver ends the phase with at
+        // most light + transfer + (phase worth of self-generation);
+        // demanding light + transfer < heavy keeps receivers from
+        // becoming heavy through balancing alone.
+        if self.light_threshold + self.transfer_amount >= self.heavy_threshold {
+            return Err(ConfigError::ReceiverMayOverflow);
+        }
+        Ok(())
+    }
+
+    /// The load bound of Theorem 1 for this configuration: with
+    /// `t_scale = 1` this is `(log log n)^2` (times the clamping slack
+    /// at tiny `n`). Experiments compare measured max load against
+    /// multiples of this.
+    pub fn theorem1_bound(&self) -> usize {
+        self.t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_config_is_valid_across_scales() {
+        for n in [8, 64, 256, 1 << 12, 1 << 16, 1 << 20] {
+            let cfg = BalancerConfig::paper(n);
+            cfg.validate().unwrap_or_else(|e| panic!("n={n}: {e}"));
+            // Ratios follow the paper.
+            assert_eq!(cfg.heavy_threshold, cfg.t.div_ceil(2));
+            assert_eq!(cfg.light_threshold, cfg.t / 16);
+            assert_eq!(cfg.transfer_amount, cfg.t.div_ceil(4));
+            assert!(cfg.phase_length >= 1);
+        }
+    }
+
+    #[test]
+    fn t_floor_keeps_thresholds_meaningful() {
+        // At n = 256, (loglog n)^2 = 9; the floor of 16 guarantees
+        // light_threshold >= 1 and distinct tiers.
+        let cfg = BalancerConfig::paper(256);
+        assert!(cfg.t >= 16);
+        assert!(cfg.light_threshold >= 1);
+        assert!(cfg.heavy_threshold > cfg.light_threshold + cfg.transfer_amount);
+    }
+
+    #[test]
+    fn scaled_config_grows_t() {
+        let base = BalancerConfig::paper(1 << 16);
+        let big = BalancerConfig::scaled(1 << 16, 4.0);
+        assert!(big.t >= 4 * base.t / 2);
+        big.validate().unwrap();
+    }
+
+    #[test]
+    fn from_t_derivations() {
+        let cfg = BalancerConfig::from_t(1024, 64);
+        assert_eq!(cfg.t, 64);
+        assert_eq!(cfg.phase_length, 4);
+        assert_eq!(cfg.heavy_threshold, 32);
+        assert_eq!(cfg.light_threshold, 4);
+        assert_eq!(cfg.transfer_amount, 16);
+        cfg.validate().unwrap();
+    }
+
+    #[test]
+    fn validation_catches_inverted_thresholds() {
+        let mut cfg = BalancerConfig::paper(1024);
+        cfg.light_threshold = cfg.heavy_threshold;
+        assert_eq!(cfg.validate().unwrap_err(), ConfigError::ThresholdsInverted);
+    }
+
+    #[test]
+    fn validation_catches_receiver_overflow() {
+        let mut cfg = BalancerConfig::paper(1024);
+        cfg.transfer_amount = cfg.heavy_threshold; // light + T/2 >= T/2
+        assert_eq!(
+            cfg.validate().unwrap_err(),
+            ConfigError::ReceiverMayOverflow
+        );
+    }
+
+    #[test]
+    fn validation_catches_small_n() {
+        let cfg = BalancerConfig::from_t(4, 64);
+        assert!(matches!(
+            cfg.validate().unwrap_err(),
+            ConfigError::TooFewProcessors { .. }
+        ));
+    }
+
+    #[test]
+    fn validation_catches_zero_fields() {
+        let mut cfg = BalancerConfig::paper(1024);
+        cfg.transfer_amount = 0;
+        assert_eq!(cfg.validate().unwrap_err(), ConfigError::ZeroTransfer);
+
+        let mut cfg = BalancerConfig::paper(1024);
+        cfg.phase_length = 0;
+        assert_eq!(cfg.validate().unwrap_err(), ConfigError::ZeroPhase);
+
+        let mut cfg = BalancerConfig::paper(1024);
+        cfg.tree_depth = 0;
+        assert_eq!(cfg.validate().unwrap_err(), ConfigError::ZeroDepth);
+    }
+
+    #[test]
+    fn builder_methods() {
+        let cfg = BalancerConfig::paper(1024)
+            .with_tree_depth(5)
+            .with_phase_reports()
+            .with_scheduled_transfers()
+            .with_adversarial_preround();
+        assert_eq!(cfg.tree_depth, 5);
+        assert!(cfg.record_phases);
+        assert!(cfg.schedule_transfers);
+        assert!(cfg.adversarial_preround);
+    }
+
+    #[test]
+    fn error_messages_are_informative() {
+        let err = BalancerConfig::from_t(4, 64).validate().unwrap_err();
+        assert!(err.to_string().contains("processors"));
+    }
+}

@@ -1,0 +1,418 @@
+//! The paper's randomized load-generation models (§1.2).
+//!
+//! * [`Single`] — each step, generate one task with probability `p` and
+//!   consume one with probability `q = p + ε` (geometrically distributed
+//!   task running times). The `ε > 0` gap is what makes a steady state
+//!   exist.
+//! * [`Geometric`] — generate `i ∈ 1..=k` tasks with probability
+//!   `2^-(i+1)` (no task with the remaining `1/2 + 2^-(k+1)`), consume
+//!   one task deterministically.
+//! * [`Multi`] — generate `i` tasks with probability `p(i)` for
+//!   `i < c`, expected generation below one task/step, consume one task
+//!   deterministically.
+//!
+//! All three give expected overall system load `O(n)`; the paper proves
+//! max-load bounds of `T`, `k·T` and `c·T` respectively (with
+//! `T = (log log n)^2`).
+
+use pcrlb_sim::{LoadModel, ProcId, SimRng, Step};
+use std::fmt;
+
+/// Errors constructing a generation model.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ModelError {
+    /// Probability out of `[0, 1]`.
+    BadProbability(f64),
+    /// `Single` requires `q > p` (i.e. `ε > 0`) for a steady state.
+    NoSteadyState {
+        /// Generation probability.
+        p: f64,
+        /// Consumption probability.
+        q: f64,
+    },
+    /// `Geometric` requires `k >= 1`.
+    ZeroK,
+    /// `Multi` probabilities must sum to at most 1.
+    ProbabilitiesExceedOne(f64),
+    /// `Multi` expected generation must be below 1 task/step.
+    ExpectationTooHigh(f64),
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::BadProbability(p) => write!(f, "probability {p} outside [0,1]"),
+            ModelError::NoSteadyState { p, q } => {
+                write!(f, "need q > p for a steady state (p={p}, q={q})")
+            }
+            ModelError::ZeroK => write!(f, "Geometric requires k >= 1"),
+            ModelError::ProbabilitiesExceedOne(s) => {
+                write!(f, "Multi probabilities sum to {s} > 1")
+            }
+            ModelError::ExpectationTooHigh(e) => {
+                write!(f, "Multi expected generation {e} >= 1 task/step")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ModelError {}
+
+/// The `Single` model: Bernoulli generation `p`, Bernoulli consumption
+/// `q = p + ε`.
+///
+/// ```
+/// use pcrlb_core::Single;
+///
+/// let m = Single::new(0.4, 0.5).unwrap();
+/// // Lemma 2's chain: gain p(1-q) = 0.2, loss q(1-p) = 0.3, so the
+/// // unbalanced steady state decays with ratio 2/3 per load level.
+/// assert!((m.decay_ratio() - 2.0 / 3.0).abs() < 1e-12);
+/// // epsilon = 0 has no steady state and is rejected:
+/// assert!(Single::new(0.5, 0.5).is_err());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Single {
+    /// Per-step generation probability.
+    pub p: f64,
+    /// Per-step consumption probability (`> p`).
+    pub q: f64,
+}
+
+impl Single {
+    /// Creates the model, validating `0 ≤ p < q ≤ 1`.
+    pub fn new(p: f64, q: f64) -> Result<Self, ModelError> {
+        for v in [p, q] {
+            if !(0.0..=1.0).contains(&v) {
+                return Err(ModelError::BadProbability(v));
+            }
+        }
+        if q <= p {
+            return Err(ModelError::NoSteadyState { p, q });
+        }
+        Ok(Single { p, q })
+    }
+
+    /// The paper's running example scale: `p = 0.4`, `ε = 0.1`.
+    pub fn default_paper() -> Self {
+        Single { p: 0.4, q: 0.5 }
+    }
+
+    /// Per-step probability the (unbalanced) load *increases*:
+    /// `p_g = p(1−q)` (a task arrives and none is consumed).
+    pub fn gain_probability(&self) -> f64 {
+        self.p * (1.0 - self.q)
+    }
+
+    /// Per-step probability the load *decreases* (when positive):
+    /// `p_l = q(1−p)`.
+    pub fn loss_probability(&self) -> f64 {
+        self.q * (1.0 - self.p)
+    }
+
+    /// The geometric decay ratio of the steady-state load distribution
+    /// (Lemma 2): `P(load = i) ∝ (p_g / p_l)^i`.
+    pub fn decay_ratio(&self) -> f64 {
+        self.gain_probability() / self.loss_probability()
+    }
+}
+
+impl LoadModel for Single {
+    fn generate(&self, _: ProcId, _: Step, _: usize, rng: &mut SimRng) -> usize {
+        usize::from(rng.chance(self.p))
+    }
+
+    fn consume(&self, _: ProcId, _: Step, load: usize, rng: &mut SimRng) -> usize {
+        usize::from(load > 0 && rng.chance(self.q))
+    }
+
+    fn arrival_rate(&self) -> Option<f64> {
+        Some(self.p)
+    }
+
+    fn name(&self) -> &'static str {
+        "single"
+    }
+}
+
+/// The `Geometric` model: `i ∈ 1..=k` tasks w.p. `2^-(i+1)`, one task
+/// consumed deterministically per step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Geometric {
+    /// Maximum tasks generated per step.
+    pub k: usize,
+}
+
+impl Geometric {
+    /// Creates the model; `k >= 1`.
+    pub fn new(k: usize) -> Result<Self, ModelError> {
+        if k == 0 {
+            return Err(ModelError::ZeroK);
+        }
+        Ok(Geometric { k })
+    }
+
+    /// Expected tasks generated per step:
+    /// `Σ_{i=1..k} i·2^-(i+1)` (→ 1 as `k → ∞`, always `< 1`).
+    pub fn expected_generation(&self) -> f64 {
+        (1..=self.k)
+            .map(|i| i as f64 * 0.5f64.powi(i as i32 + 1))
+            .sum()
+    }
+}
+
+impl LoadModel for Geometric {
+    fn generate(&self, _: ProcId, _: Step, _: usize, rng: &mut SimRng) -> usize {
+        // P(i) = 2^-(i+1) for i in 1..=k; walk the cumulative
+        // distribution with one uniform draw.
+        let u = rng.f64();
+        let mut acc = 0.0;
+        for i in 1..=self.k {
+            acc += 0.5f64.powi(i as i32 + 1);
+            if u < acc {
+                return i;
+            }
+        }
+        0
+    }
+
+    fn consume(&self, _: ProcId, _: Step, load: usize, _: &mut SimRng) -> usize {
+        usize::from(load > 0)
+    }
+
+    fn arrival_rate(&self) -> Option<f64> {
+        Some(self.expected_generation())
+    }
+
+    fn name(&self) -> &'static str {
+        "geometric"
+    }
+}
+
+/// The `Multi` model: an arbitrary bounded generation distribution with
+/// expectation below one, deterministic unit consumption.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Multi {
+    /// `probs[i]` = probability of generating exactly `i+1` tasks;
+    /// generating 0 tasks has the remaining probability.
+    probs: Vec<f64>,
+    expected: f64,
+}
+
+impl Multi {
+    /// Creates the model from `P(generate i+1 tasks) = probs[i]`.
+    pub fn new(probs: Vec<f64>) -> Result<Self, ModelError> {
+        let mut sum = 0.0;
+        let mut expected = 0.0;
+        for (i, &p) in probs.iter().enumerate() {
+            if !(0.0..=1.0).contains(&p) {
+                return Err(ModelError::BadProbability(p));
+            }
+            sum += p;
+            expected += (i + 1) as f64 * p;
+        }
+        if sum > 1.0 + 1e-12 {
+            return Err(ModelError::ProbabilitiesExceedOne(sum));
+        }
+        if expected >= 1.0 {
+            return Err(ModelError::ExpectationTooHigh(expected));
+        }
+        Ok(Multi { probs, expected })
+    }
+
+    /// Maximum tasks generated in one step (the paper's `c`).
+    pub fn max_generation(&self) -> usize {
+        self.probs.len()
+    }
+
+    /// Expected tasks generated per step.
+    pub fn expected_generation(&self) -> f64 {
+        self.expected
+    }
+}
+
+impl LoadModel for Multi {
+    fn generate(&self, _: ProcId, _: Step, _: usize, rng: &mut SimRng) -> usize {
+        let u = rng.f64();
+        let mut acc = 0.0;
+        for (i, &p) in self.probs.iter().enumerate() {
+            acc += p;
+            if u < acc {
+                return i + 1;
+            }
+        }
+        0
+    }
+
+    fn consume(&self, _: ProcId, _: Step, load: usize, _: &mut SimRng) -> usize {
+        usize::from(load > 0)
+    }
+
+    fn arrival_rate(&self) -> Option<f64> {
+        Some(self.expected)
+    }
+
+    fn name(&self) -> &'static str {
+        "multi"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pcrlb_sim::{Engine, Unbalanced};
+
+    #[test]
+    fn single_validation() {
+        assert!(Single::new(0.4, 0.5).is_ok());
+        assert!(matches!(
+            Single::new(0.5, 0.5),
+            Err(ModelError::NoSteadyState { .. })
+        ));
+        assert!(matches!(
+            Single::new(-0.1, 0.5),
+            Err(ModelError::BadProbability(_))
+        ));
+        assert!(matches!(
+            Single::new(0.4, 1.2),
+            Err(ModelError::BadProbability(_))
+        ));
+    }
+
+    #[test]
+    fn single_decay_ratio_below_one() {
+        let m = Single::default_paper();
+        assert!(m.decay_ratio() < 1.0, "steady state requires p_g < p_l");
+        // p_g = 0.4*0.5 = 0.2, p_l = 0.5*0.6 = 0.3 => ratio 2/3.
+        assert!((m.decay_ratio() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_generation_frequency() {
+        let m = Single::default_paper();
+        let mut rng = SimRng::new(1);
+        let trials = 100_000;
+        let gen: usize = (0..trials).map(|_| m.generate(0, 0, 0, &mut rng)).sum();
+        let freq = gen as f64 / trials as f64;
+        assert!((freq - 0.4).abs() < 0.01, "observed {freq}");
+    }
+
+    #[test]
+    fn single_never_consumes_from_empty() {
+        let m = Single::default_paper();
+        let mut rng = SimRng::new(2);
+        for _ in 0..1000 {
+            assert_eq!(m.consume(0, 0, 0, &mut rng), 0);
+        }
+    }
+
+    #[test]
+    fn single_system_load_is_linear_in_n() {
+        // Lemma 2 scale check: expected load per processor is a small
+        // constant (p_g/(p_l - p_g) = 2 for the default parameters).
+        let mut e = Engine::new(512, 7, Single::default_paper(), Unbalanced);
+        e.run(4000);
+        let per_proc = e.world().total_load() as f64 / 512.0;
+        assert!(per_proc < 6.0, "per-processor load {per_proc} not O(1)");
+    }
+
+    #[test]
+    fn geometric_validation_and_expectation() {
+        assert!(matches!(Geometric::new(0), Err(ModelError::ZeroK)));
+        let g = Geometric::new(3).unwrap();
+        // E = 1/4 + 2/8 + 3/16 = 0.6875
+        assert!((g.expected_generation() - 0.6875).abs() < 1e-12);
+        assert!(Geometric::new(30).unwrap().expected_generation() < 1.0);
+    }
+
+    #[test]
+    fn geometric_distribution_matches() {
+        let g = Geometric::new(4).unwrap();
+        let mut rng = SimRng::new(3);
+        let trials = 200_000;
+        let mut counts = vec![0usize; 5];
+        for _ in 0..trials {
+            counts[g.generate(0, 0, 0, &mut rng)] += 1;
+        }
+        // P(1) = 1/4, P(2) = 1/8, P(3) = 1/16, P(4) = 1/32,
+        // P(0) = 1 - 15/32 = 17/32.
+        let expect = [17.0 / 32.0, 0.25, 0.125, 0.0625, 0.03125];
+        for (i, &e) in expect.iter().enumerate() {
+            let f = counts[i] as f64 / trials as f64;
+            assert!((f - e).abs() < 0.01, "i={i}: {f} vs {e}");
+        }
+    }
+
+    #[test]
+    fn geometric_consumes_exactly_one_if_present() {
+        let g = Geometric::new(2).unwrap();
+        let mut rng = SimRng::new(4);
+        assert_eq!(g.consume(0, 0, 5, &mut rng), 1);
+        assert_eq!(g.consume(0, 0, 0, &mut rng), 0);
+    }
+
+    #[test]
+    fn multi_validation() {
+        assert!(Multi::new(vec![0.3, 0.2]).is_ok()); // E = 0.7
+        assert!(matches!(
+            Multi::new(vec![0.8, 0.4]),
+            Err(ModelError::ProbabilitiesExceedOne(_))
+        ));
+        assert!(matches!(
+            Multi::new(vec![0.0, 0.6]),
+            Err(ModelError::ExpectationTooHigh(_)) // E = 1.2
+        ));
+        assert!(matches!(
+            Multi::new(vec![1.5]),
+            Err(ModelError::BadProbability(_))
+        ));
+        // Expectation exactly 1 is rejected too.
+        assert!(matches!(
+            Multi::new(vec![1.0]),
+            Err(ModelError::ExpectationTooHigh(_))
+        ));
+    }
+
+    #[test]
+    fn multi_distribution_matches() {
+        let m = Multi::new(vec![0.3, 0.1]).unwrap(); // P(1)=.3 P(2)=.1 P(0)=.6
+        let mut rng = SimRng::new(5);
+        let trials = 200_000;
+        let mut counts = vec![0usize; 3];
+        for _ in 0..trials {
+            counts[m.generate(0, 0, 0, &mut rng)] += 1;
+        }
+        for (i, &e) in [0.6, 0.3, 0.1].iter().enumerate() {
+            let f = counts[i] as f64 / trials as f64;
+            assert!((f - e).abs() < 0.01, "i={i}: {f} vs {e}");
+        }
+        assert_eq!(m.max_generation(), 2);
+        assert!((m.expected_generation() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn arrival_rates_reported() {
+        assert_eq!(Single::default_paper().arrival_rate(), Some(0.4));
+        assert!(Geometric::new(2).unwrap().arrival_rate().unwrap() < 1.0);
+        assert!(Multi::new(vec![0.2]).unwrap().arrival_rate().unwrap() < 1.0);
+    }
+
+    #[test]
+    fn model_names() {
+        assert_eq!(Single::default_paper().name(), "single");
+        assert_eq!(Geometric::new(1).unwrap().name(), "geometric");
+        assert_eq!(Multi::new(vec![0.1]).unwrap().name(), "multi");
+    }
+
+    #[test]
+    fn error_display() {
+        assert!(Single::new(0.5, 0.4)
+            .unwrap_err()
+            .to_string()
+            .contains("steady state"));
+        assert!(Geometric::new(0)
+            .unwrap_err()
+            .to_string()
+            .contains("k >= 1"));
+    }
+}

@@ -1,0 +1,50 @@
+//! # pcrlb-core — parallel continuous randomized load balancing
+//!
+//! The primary contribution of Berenbrink, Friedetzky and Mayr,
+//! *"Parallel Continuous Randomized Load Balancing"* (SPAA 1998):
+//! a threshold-triggered balancing algorithm for `n` processors that
+//! continuously generate and consume tasks.
+//!
+//! * [`ThresholdBalancer`] — the algorithm of §3/Figure 2: phases of
+//!   `T/16` steps with `T = (log log n)^2`; heavy processors
+//!   (load ≥ `T/2`) search for light partners (load ≤ `T/16`) through
+//!   balancing-request trees driven by the collision protocol, then
+//!   move `T/4` tasks. Maximum load is `O((log log n)^2)` w.h.p.
+//!   (Theorem 1) at an exponentially small communication cost.
+//! * [`Single`], [`Geometric`], [`Multi`] — the randomized generation
+//!   models of §1.2; [`adversary`] — the adversarial model.
+//! * [`ScatterBalancer`] — the §5 remark variant trading communication
+//!   and locality for an `O(log log n)` load bound.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use pcrlb_core::{Single, ThresholdBalancer};
+//! use pcrlb_sim::Engine;
+//!
+//! let n = 512;
+//! let mut engine = Engine::new(n, 42, Single::default_paper(), ThresholdBalancer::paper(n));
+//! engine.run(2_000);
+//!
+//! let t = engine.strategy().config().theorem1_bound();
+//! assert!(engine.world().max_load() <= 2 * t); // Theorem 1 shape
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod adversary;
+pub mod balancer;
+pub mod config;
+pub mod gen;
+pub mod scatter;
+pub mod weighted;
+pub mod work_conserving;
+
+pub use adversary::{Burst, Targeted, TreeSpawn};
+pub use balancer::{BalancerStats, PhaseReport, ThresholdBalancer};
+pub use config::{BalancerConfig, ConfigError};
+pub use gen::{Geometric, ModelError, Multi, Single};
+pub use scatter::{ScatterBalancer, ScatterStats};
+pub use weighted::{WeightDist, Weighted};
+pub use work_conserving::WorkConserving;

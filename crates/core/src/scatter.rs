@@ -1,0 +1,198 @@
+//! The §5 "throw all load into the air" variant.
+//!
+//! The paper's concluding remarks: *"We easily could have reduced the
+//! bound for the maximum load of any processor to O(log log n) if we
+//! would not have focused on minimization of load flow. At the beginning
+//! of each interval of length log log n one could simply throw all load
+//! into the air and distribute it via the simple collision protocol."*
+//!
+//! [`ScatterBalancer`] implements that alternative: every `interval`
+//! steps it redistributes *every* task with a `d`-choice placement
+//! (each task probes `d` processors chosen i.u.a.r. and lands on the
+//! least loaded — the collision-protocol-style placement that yields the
+//! `O(log log n)` bound). Experiment E14 uses it to demonstrate the
+//! trade-off the paper highlights: lower maximum load, but `Θ(m·d)`
+//! messages per interval and zero task locality.
+
+use pcrlb_sim::{MessageKind, ProcId, Strategy, World};
+
+/// Aggregate statistics of the scatter strategy.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ScatterStats {
+    /// Redistribution rounds executed.
+    pub intervals: u64,
+    /// Tasks thrown and re-placed in total.
+    pub tasks_scattered: u64,
+}
+
+/// The scatter strategy (see module docs).
+pub struct ScatterBalancer {
+    interval: u64,
+    d: usize,
+    stats: ScatterStats,
+}
+
+impl ScatterBalancer {
+    /// Creates a scatter balancer redistributing every `interval` steps
+    /// using `d`-choice placement (`d >= 1`; `d = 2` gives the
+    /// `O(log log n)` maximum-load bound).
+    pub fn new(interval: u64, d: usize) -> Self {
+        assert!(interval >= 1, "interval must be positive");
+        assert!(d >= 1, "need at least one choice per task");
+        ScatterBalancer {
+            interval,
+            d,
+            stats: ScatterStats::default(),
+        }
+    }
+
+    /// The paper's parameterization for `n` processors: interval
+    /// `log log n`, two choices.
+    pub fn paper(n: usize) -> Self {
+        ScatterBalancer::new(pcrlb_sim::loglog(n) as u64, 2)
+    }
+
+    /// Run statistics.
+    pub fn stats(&self) -> &ScatterStats {
+        &self.stats
+    }
+
+    fn scatter(&mut self, world: &mut World) {
+        let n = world.n();
+        // Throw everything into the air...
+        let mut pool = Vec::with_capacity(world.total_load() as usize);
+        for p in 0..n {
+            let load = world.load(p);
+            if load > 0 {
+                pool.extend(world.extract_back(p, load));
+            }
+        }
+        if pool.is_empty() {
+            self.stats.intervals += 1;
+            return;
+        }
+        // ...and place each task on the least loaded of d random
+        // processors. Track placements in a local load array; the d
+        // probes plus the placement message are all communication.
+        let mut loads = vec![0usize; n];
+        let mut buckets: Vec<Vec<pcrlb_sim::Task>> = vec![Vec::new(); n];
+        let mut probes = 0u64;
+        for task in pool {
+            let mut best: ProcId = world.rng_global().below(n);
+            probes += self.d as u64;
+            for _ in 1..self.d {
+                let cand = world.rng_global().below(n);
+                if loads[cand] < loads[best] {
+                    best = cand;
+                }
+            }
+            loads[best] += 1;
+            buckets[best].push(task);
+            self.stats.tasks_scattered += 1;
+        }
+        world.ledger_mut().record(MessageKind::Probe, probes);
+        for (p, bucket) in buckets.into_iter().enumerate() {
+            if !bucket.is_empty() {
+                world.ledger_mut().record_transfer(bucket.len() as u64);
+                world.deposit(p, bucket);
+            }
+        }
+        self.stats.intervals += 1;
+    }
+}
+
+impl Strategy for ScatterBalancer {
+    fn on_step(&mut self, world: &mut World) {
+        if world.step() % self.interval == 0 {
+            self.scatter(world);
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "scatter"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::Single;
+    use pcrlb_sim::Engine;
+
+    #[test]
+    fn scatter_flattens_a_spike() {
+        let n = 256;
+        let mut e = Engine::new(n, 1, Single::default_paper(), ScatterBalancer::new(4, 2));
+        e.world_mut().inject(0, 1000);
+        e.run(8);
+        // 1000 tasks over 256 processors with 2-choice: max close to
+        // ceil(1000/256) + small.
+        assert!(
+            e.world().max_load() < 16,
+            "spike not flattened: {}",
+            e.world().max_load()
+        );
+    }
+
+    #[test]
+    fn scatter_pays_linear_messages() {
+        let n = 128;
+        let mut e = Engine::new(n, 2, Single::default_paper(), ScatterBalancer::new(1, 2));
+        e.run(100);
+        let m = e.world().messages();
+        // Roughly: every live task probed twice every step.
+        assert!(
+            m.probes as f64 >= e.world().completions().count as f64,
+            "scatter should spend heavily on probes: {m}"
+        );
+    }
+
+    #[test]
+    fn scatter_destroys_locality() {
+        let n = 64;
+        let mut e = Engine::new(n, 3, Single::default_paper(), ScatterBalancer::new(1, 2));
+        e.run(2000);
+        let loc = e.world().completions().locality();
+        assert!(
+            loc < 0.2,
+            "scattered tasks should rarely run at their origin: {loc}"
+        );
+    }
+
+    #[test]
+    fn interval_respected() {
+        let n = 32;
+        let mut e = Engine::new(n, 4, Single::default_paper(), ScatterBalancer::new(10, 2));
+        e.run(100);
+        assert_eq!(e.strategy().stats().intervals, 10);
+    }
+
+    #[test]
+    fn single_choice_placement_works() {
+        let n = 64;
+        let mut e = Engine::new(n, 5, Single::default_paper(), ScatterBalancer::new(4, 1));
+        e.world_mut().inject(0, 500);
+        e.run(8);
+        // d=1 is plain random placement: flattened, but not as tightly.
+        assert!(e.world().max_load() < 40);
+    }
+
+    #[test]
+    #[should_panic(expected = "interval")]
+    fn zero_interval_panics() {
+        ScatterBalancer::new(0, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "choice")]
+    fn zero_choices_panics() {
+        ScatterBalancer::new(1, 0);
+    }
+
+    #[test]
+    fn paper_parameterization() {
+        let s = ScatterBalancer::paper(1 << 16);
+        assert_eq!(s.interval, 4); // loglog 2^16 = 4
+        assert_eq!(s.d, 2);
+    }
+}

@@ -1,0 +1,222 @@
+//! Weighted tasks — the BMS'97 direction ("Allocating weighted balls
+//! in parallel", cited by the paper) applied to the *continuous*
+//! balancer.
+//!
+//! [`Weighted`] wraps any generation model and draws a weight for every
+//! generated task from a [`WeightDist`]; a weight-`w` task takes `w`
+//! consume-units of service, and a processor's *weighted load* is its
+//! remaining work. Combined with
+//! [`BalancerConfig::with_weighted`](crate::BalancerConfig::with_weighted),
+//! the threshold algorithm classifies heavy/light by weighted load and
+//! moves `T/4` *weight units* per balancing action — the natural
+//! generalization the paper leaves open.
+//!
+//! When sizing `T`, remember the weighted system's steady-state load is
+//! the unit system's times the mean weight: use
+//! [`BalancerConfig::from_t`](crate::BalancerConfig::from_t) with
+//! `T ≈ (log log n)^2 · E[weight]`.
+
+use pcrlb_sim::{LoadModel, ProcId, SimRng, Step};
+
+/// Distribution of task weights.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum WeightDist {
+    /// All tasks weigh 1 (the paper's model).
+    Unit,
+    /// Uniform on `lo..=hi`.
+    Uniform {
+        /// Smallest weight.
+        lo: u32,
+        /// Largest weight.
+        hi: u32,
+    },
+    /// Weight `2^i` with probability `2^-(i+1)` for `i < max_exp`
+    /// (heavy-tailed; mean ≈ `max_exp / 2`).
+    PowerOfTwo {
+        /// Exponent bound.
+        max_exp: u32,
+    },
+    /// Weight `heavy` with probability `prob`, else 1.
+    Bimodal {
+        /// The rare heavy weight.
+        heavy: u32,
+        /// Probability of drawing it.
+        prob: f64,
+    },
+}
+
+impl WeightDist {
+    /// Draws a weight.
+    pub fn sample(&self, rng: &mut SimRng) -> u32 {
+        match *self {
+            WeightDist::Unit => 1,
+            WeightDist::Uniform { lo, hi } => {
+                debug_assert!(lo >= 1 && hi >= lo);
+                lo + rng.below((hi - lo + 1) as usize) as u32
+            }
+            WeightDist::PowerOfTwo { max_exp } => {
+                let mut i = 0;
+                while i + 1 < max_exp && rng.chance(0.5) {
+                    i += 1;
+                }
+                1 << i
+            }
+            WeightDist::Bimodal { heavy, prob } => {
+                if rng.chance(prob) {
+                    heavy.max(1)
+                } else {
+                    1
+                }
+            }
+        }
+    }
+
+    /// Expected weight (exact).
+    pub fn mean(&self) -> f64 {
+        match *self {
+            WeightDist::Unit => 1.0,
+            WeightDist::Uniform { lo, hi } => (lo + hi) as f64 / 2.0,
+            WeightDist::PowerOfTwo { max_exp } => {
+                // P(i) = 2^-(i+1) for i < max_exp - 1; the last exponent
+                // absorbs the remaining mass 2^-(max_exp-1).
+                let mut mean = 0.0;
+                for i in 0..max_exp.saturating_sub(1) {
+                    mean += (1u64 << i) as f64 * 0.5f64.powi(i as i32 + 1);
+                }
+                if max_exp >= 1 {
+                    mean += (1u64 << (max_exp - 1)) as f64 * 0.5f64.powi(max_exp as i32 - 1);
+                }
+                mean
+            }
+            WeightDist::Bimodal { heavy, prob } => prob * heavy.max(1) as f64 + (1.0 - prob),
+        }
+    }
+}
+
+/// Wraps a generation model, attaching weights to its tasks.
+#[derive(Debug, Clone, Copy)]
+pub struct Weighted<M> {
+    inner: M,
+    dist: WeightDist,
+}
+
+impl<M: LoadModel> Weighted<M> {
+    /// Wraps `inner` with the given weight distribution.
+    pub fn new(inner: M, dist: WeightDist) -> Self {
+        Weighted { inner, dist }
+    }
+
+    /// The weight distribution.
+    pub fn dist(&self) -> &WeightDist {
+        &self.dist
+    }
+
+    /// The wrapped model.
+    pub fn inner(&self) -> &M {
+        &self.inner
+    }
+}
+
+impl<M: LoadModel> LoadModel for Weighted<M> {
+    fn generate(&self, p: ProcId, step: Step, load: usize, rng: &mut SimRng) -> usize {
+        self.inner.generate(p, step, load, rng)
+    }
+
+    fn consume(&self, p: ProcId, step: Step, load: usize, rng: &mut SimRng) -> usize {
+        self.inner.consume(p, step, load, rng)
+    }
+
+    fn task_weight(&self, _p: ProcId, _step: Step, rng: &mut SimRng) -> u32 {
+        self.dist.sample(rng)
+    }
+
+    fn arrival_rate(&self) -> Option<f64> {
+        // Arrival rate in *weight units* per step.
+        self.inner.arrival_rate().map(|r| r * self.dist.mean())
+    }
+
+    fn name(&self) -> &'static str {
+        "weighted"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::Single;
+
+    #[test]
+    fn unit_dist_is_identity() {
+        let mut rng = SimRng::new(1);
+        let d = WeightDist::Unit;
+        for _ in 0..100 {
+            assert_eq!(d.sample(&mut rng), 1);
+        }
+        assert_eq!(d.mean(), 1.0);
+    }
+
+    #[test]
+    fn uniform_dist_in_range() {
+        let mut rng = SimRng::new(2);
+        let d = WeightDist::Uniform { lo: 2, hi: 5 };
+        let mut seen = [false; 6];
+        for _ in 0..1000 {
+            let w = d.sample(&mut rng);
+            assert!((2..=5).contains(&w));
+            seen[w as usize] = true;
+        }
+        assert!(seen[2] && seen[3] && seen[4] && seen[5]);
+        assert!((d.mean() - 3.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn power_of_two_samples_match_mean() {
+        let mut rng = SimRng::new(3);
+        let d = WeightDist::PowerOfTwo { max_exp: 4 };
+        let trials = 200_000;
+        let sum: u64 = (0..trials).map(|_| d.sample(&mut rng) as u64).sum();
+        let emp = sum as f64 / trials as f64;
+        assert!(
+            (emp - d.mean()).abs() < 0.05,
+            "empirical {emp} vs analytic {}",
+            d.mean()
+        );
+        // Samples are powers of two up to 2^3.
+        let mut rng = SimRng::new(4);
+        for _ in 0..1000 {
+            let w = d.sample(&mut rng);
+            assert!(w.is_power_of_two() && w <= 8);
+        }
+    }
+
+    #[test]
+    fn bimodal_mean() {
+        let d = WeightDist::Bimodal {
+            heavy: 100,
+            prob: 0.01,
+        };
+        assert!((d.mean() - (0.01 * 100.0 + 0.99)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weighted_wrapper_delegates_and_weights() {
+        let m = Weighted::new(
+            Single::default_paper(),
+            WeightDist::Uniform { lo: 2, hi: 4 },
+        );
+        let mut rng = SimRng::new(5);
+        // Generation pattern matches the inner model statistically.
+        let gens: usize = (0..10_000).map(|_| m.generate(0, 0, 0, &mut rng)).sum();
+        assert!((gens as f64 / 10_000.0 - 0.4).abs() < 0.02);
+        // Weights come from the distribution.
+        for _ in 0..100 {
+            let w = m.task_weight(0, 0, &mut rng);
+            assert!((2..=4).contains(&w));
+        }
+        // Arrival rate is in weight units.
+        assert!((m.arrival_rate().unwrap() - 0.4 * 3.0).abs() < 1e-12);
+        assert_eq!(m.name(), "weighted");
+        assert_eq!(m.dist(), &WeightDist::Uniform { lo: 2, hi: 4 });
+        assert!((m.inner().p - 0.4).abs() < 1e-12);
+    }
+}

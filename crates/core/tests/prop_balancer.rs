@@ -1,0 +1,125 @@
+//! Property-based tests of the balancer's configuration space and
+//! run-time invariants.
+
+use pcrlb_core::{BalancerConfig, Geometric, Multi, Single, ThresholdBalancer};
+use pcrlb_sim::{Engine, LoadModel, ProcId, SimRng, Step, Unbalanced};
+use proptest::prelude::*;
+
+/// A silent model: load only moves via balancing, so conservation is
+/// directly observable.
+#[derive(Clone, Copy)]
+struct Silent;
+
+impl LoadModel for Silent {
+    fn generate(&self, _: ProcId, _: Step, _: usize, _: &mut SimRng) -> usize {
+        0
+    }
+    fn consume(&self, _: ProcId, _: Step, _: usize, _: &mut SimRng) -> usize {
+        0
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every `from_t` configuration with sensible inputs validates, and
+    /// the derived constants keep the paper's ordering
+    /// light + transfer < heavy <= T.
+    #[test]
+    fn derived_configs_validate(n_exp in 3u32..20, t in 16usize..512) {
+        let n = 1usize << n_exp;
+        let cfg = BalancerConfig::from_t(n, t);
+        prop_assert!(cfg.validate().is_ok(), "n={} t={}: {:?}", n, t, cfg.validate());
+        prop_assert!(cfg.light_threshold + cfg.transfer_amount < cfg.heavy_threshold);
+        prop_assert!(cfg.heavy_threshold <= cfg.t);
+        prop_assert!(cfg.phase_length >= 1);
+    }
+
+    /// Balancing conserves load exactly: with a silent model, the total
+    /// never changes no matter how transfers fly.
+    #[test]
+    fn balancing_conserves_total_load(
+        seed in any::<u64>(),
+        spikes in proptest::collection::vec((0usize..64, 1usize..200), 1..6),
+        steps in 1u64..120,
+    ) {
+        let n = 64;
+        let mut e = Engine::new(n, seed, Silent, ThresholdBalancer::paper(n));
+        for &(p, amount) in &spikes {
+            e.world_mut().inject(p, amount);
+        }
+        let before = e.world().total_load();
+        e.run(steps);
+        prop_assert_eq!(e.world().total_load(), before);
+    }
+
+    /// Balancing never pushes a light receiver above the heavy
+    /// threshold in a silent system (the receiver-overflow invariant
+    /// validated by the config, observed at run time).
+    #[test]
+    fn receivers_never_become_heavy_in_silent_system(
+        seed in any::<u64>(),
+        spike in 100usize..2000,
+    ) {
+        let n = 128;
+        let cfg = BalancerConfig::paper(n);
+        let heavy_thr = cfg.heavy_threshold;
+        let mut e = Engine::new(n, seed, Silent, ThresholdBalancer::new(cfg));
+        e.world_mut().inject(0, spike);
+        for _ in 0..40 {
+            e.step();
+            for p in 1..n {
+                // Processors other than the spiked one gain load only
+                // through transfers; a single transfer lands at most
+                // light + transfer < heavy, and a receiver is reserved
+                // once per phase.
+                prop_assert!(
+                    e.world().load(p) < heavy_thr || e.world().load(p) <= spike / 2,
+                    "receiver {} reached {} (heavy threshold {})",
+                    p, e.world().load(p), heavy_thr
+                );
+            }
+        }
+    }
+
+    /// The system stays stable (bounded per-processor load) under every
+    /// generation model for arbitrary seeds.
+    #[test]
+    fn stability_across_models(seed in any::<u64>()) {
+        let n = 256;
+        let steps = 800;
+        let bound = 40.0; // far above any steady state at this scale
+
+        let mut e1 = Engine::new(n, seed, Single::default_paper(), ThresholdBalancer::paper(n));
+        e1.run(steps);
+        prop_assert!((e1.world().total_load() as f64) < bound * n as f64);
+
+        let mut e2 = Engine::new(
+            n, seed, Geometric::new(3).unwrap(), ThresholdBalancer::paper(n));
+        e2.run(steps);
+        prop_assert!((e2.world().total_load() as f64) < bound * n as f64);
+
+        let mut e3 = Engine::new(
+            n, seed, Multi::new(vec![0.3, 0.1]).unwrap(), ThresholdBalancer::paper(n));
+        e3.run(steps);
+        prop_assert!((e3.world().total_load() as f64) < bound * n as f64);
+    }
+
+    /// Balanced total load never exceeds the unbalanced system's by
+    /// more than slack, on identical arrival streams (Lemma 3 shape).
+    #[test]
+    fn balanced_not_worse_than_unbalanced(seed in any::<u64>()) {
+        let n = 256;
+        let steps = 600;
+        let mut bal = Engine::new(n, seed, Single::default_paper(), ThresholdBalancer::paper(n));
+        let mut unbal = Engine::new(n, seed, Single::default_paper(), Unbalanced);
+        bal.run(steps);
+        unbal.run(steps);
+        prop_assert!(
+            bal.world().total_load() <= unbal.world().total_load() + n as u64 / 4,
+            "balanced {} vs unbalanced {}",
+            bal.world().total_load(),
+            unbal.world().total_load()
+        );
+    }
+}

@@ -1,0 +1,139 @@
+//! Redundant cell-to-module hashing.
+//!
+//! MSS95 store every shared-memory cell at `a` memory modules selected
+//! by `a` (pseudo-)random hash functions. The functions must be
+//! *distinct per copy* (so the copies land on different modules with
+//! high probability) and *reproducible* (every processor computes the
+//! same locations without communication).
+//!
+//! We derive each copy's location with a SplitMix64-based keyed hash —
+//! statistically uniform, no shared state, and the same double-hashing
+//! trick the load balancer's RNG uses for stream splitting.
+
+use pcrlb_sim::rng::splitmix64;
+
+/// The family of `a` hash functions mapping cells to modules.
+#[derive(Debug, Clone)]
+pub struct HashFamily {
+    seeds: Vec<u64>,
+    modules: usize,
+}
+
+impl HashFamily {
+    /// Creates a family of `a` functions onto `modules` modules.
+    ///
+    /// # Panics
+    /// Panics when `a == 0`, `modules == 0`, or `a > modules` (copies
+    /// could not be distinct).
+    pub fn new(seed: u64, a: usize, modules: usize) -> Self {
+        assert!(a >= 1, "need at least one copy");
+        assert!(modules >= 1, "need at least one module");
+        assert!(
+            a <= modules,
+            "cannot place {a} distinct copies on {modules} modules"
+        );
+        let seeds = (0..a as u64)
+            .map(|i| {
+                let mut s = seed ^ 0x9E37_79B9_7F4A_7C15u64.wrapping_mul(i + 1);
+                splitmix64(&mut s)
+            })
+            .collect();
+        HashFamily { seeds, modules }
+    }
+
+    /// Number of copies per cell.
+    pub fn copies(&self) -> usize {
+        self.seeds.len()
+    }
+
+    /// Number of modules.
+    pub fn modules(&self) -> usize {
+        self.modules
+    }
+
+    /// The module holding copy `i` of `cell`. Copies of the same cell
+    /// are guaranteed distinct: collisions are resolved by linear
+    /// probing over the already-assigned locations (MSS95 assume fully
+    /// random distinct locations; probing preserves uniformity up to
+    /// `O(a/modules)` bias, negligible for `a ≪ n`).
+    pub fn locations(&self, cell: u64, out: &mut Vec<usize>) {
+        out.clear();
+        for &seed in &self.seeds {
+            let mut s = seed ^ cell.wrapping_mul(0xA076_1D64_78BD_642F);
+            let mut loc = (splitmix64(&mut s) % self.modules as u64) as usize;
+            while out.contains(&loc) {
+                loc = (loc + 1) % self.modules;
+            }
+            out.push(loc);
+        }
+    }
+
+    /// Convenience: locations as a fresh vector.
+    pub fn locations_vec(&self, cell: u64) -> Vec<usize> {
+        let mut out = Vec::with_capacity(self.copies());
+        self.locations(cell, &mut out);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn locations_are_distinct_and_in_range() {
+        let fam = HashFamily::new(1, 3, 64);
+        for cell in 0..1000u64 {
+            let locs = fam.locations_vec(cell);
+            assert_eq!(locs.len(), 3);
+            let mut sorted = locs.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(sorted.len(), 3, "cell {cell} has duplicate locations");
+            assert!(locs.iter().all(|&m| m < 64));
+        }
+    }
+
+    #[test]
+    fn locations_are_deterministic() {
+        let a = HashFamily::new(7, 3, 128);
+        let b = HashFamily::new(7, 3, 128);
+        for cell in [0u64, 1, 99, u64::MAX] {
+            assert_eq!(a.locations_vec(cell), b.locations_vec(cell));
+        }
+    }
+
+    #[test]
+    fn different_seeds_different_layouts() {
+        let a = HashFamily::new(1, 3, 128);
+        let b = HashFamily::new(2, 3, 128);
+        let differing = (0..100u64)
+            .filter(|&c| a.locations_vec(c) != b.locations_vec(c))
+            .count();
+        assert!(differing > 90);
+    }
+
+    #[test]
+    fn spread_is_roughly_uniform() {
+        let fam = HashFamily::new(3, 2, 32);
+        let mut counts = vec![0usize; 32];
+        for cell in 0..32_000u64 {
+            for m in fam.locations_vec(cell) {
+                counts[m] += 1;
+            }
+        }
+        let expected = 2 * 32_000 / 32;
+        for (m, &c) in counts.iter().enumerate() {
+            assert!(
+                (c as f64 - expected as f64).abs() < expected as f64 * 0.1,
+                "module {m}: {c} vs {expected}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "distinct copies")]
+    fn too_many_copies_panics() {
+        HashFamily::new(1, 5, 4);
+    }
+}

@@ -1,0 +1,39 @@
+//! # pcrlb-shmem — shared-memory simulation via the collision protocol
+//!
+//! The `(n, ε, a, b, c)`-collision protocol that drives the SPAA'98
+//! load balancer "originates in shared memory simulations
+//! \[MSS95\]" (paper §2). This crate implements that origin: Meyer auf
+//! der Heide, Scheideler and Stemann's simulation of a PRAM's shared
+//! memory on a distributed memory machine (DMM).
+//!
+//! * every cell is stored redundantly at `a` hash-selected modules
+//!   ([`HashFamily`]);
+//! * an access completes once `b < a` copies answer; with `2b > a` the
+//!   quorums intersect and reads always see the latest completed write;
+//! * modules resolve contention with the collision rule (serve a
+//!   round's requests only if at most `c` arrived), and concurrent
+//!   accesses to one cell are *combined*;
+//! * a parallel batch of accesses completes in `O(log log n)`-flavoured
+//!   round counts with a constant expected number of messages per
+//!   operation — the very behaviour the load balancer reuses for
+//!   partner search.
+//!
+//! ## Example
+//!
+//! ```
+//! use pcrlb_shmem::{DmmConfig, DmmMachine, MemOp};
+//!
+//! let mut memory = DmmMachine::new(DmmConfig::mss95(64), 42);
+//! memory.step(&[MemOp::Write { cell: 7, value: 99 }]);
+//! let out = memory.step(&[MemOp::Read { cell: 7 }]);
+//! assert_eq!(out.results[0], Some(99));
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod hashing;
+pub mod machine;
+
+pub use hashing::HashFamily;
+pub use machine::{DmmConfig, DmmMachine, MemOp, StepOutcome};

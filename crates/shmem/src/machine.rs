@@ -1,0 +1,560 @@
+//! The distributed memory machine (DMM) executing PRAM steps.
+//!
+//! MSS95's setting: `n` processors simulate a shared memory on `n`
+//! memory modules. Every cell is stored at `a` modules (hash-selected);
+//! an access is *satisfied* once `b < a` copies answered; a module
+//! serves at most `c` requests per round. With `2b > a`, every read
+//! quorum intersects every write quorum, so a read always sees the
+//! latest completed write — the machine is sequentially consistent
+//! across steps.
+//!
+//! **Deviation from the pure collision rule.** The balancing protocol
+//! (crate `pcrlb-collision`) uses the all-or-none rule — a module with
+//! more than `c` requests answers *nobody* — which is what the paper's
+//! analysis needs and is harmless there because every round draws fresh
+//! random targets. Memory accesses cannot re-randomize: a cell's copies
+//! live at fixed hashed locations, so all-or-none can livelock on a
+//! worst-case batch (every copy of every open request parked on an
+//! over-subscribed module). We therefore serve *up to* `c` requests per
+//! round in deterministic order, which keeps the `O(c)` per-round
+//! module work the analysis charges while guaranteeing progress.
+//!
+//! The load balancer of SPAA'98 adapts exactly this machinery, swapping
+//! "access a memory cell's copies" for "find a light processor". This
+//! module implements the original, so the repository contains the
+//! protocol's source application as a working system.
+
+use crate::hashing::HashFamily;
+use std::collections::HashMap;
+
+/// One PRAM memory operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MemOp {
+    /// Read a cell.
+    Read {
+        /// Cell address.
+        cell: u64,
+    },
+    /// Write a value to a cell.
+    Write {
+        /// Cell address.
+        cell: u64,
+        /// Value to store.
+        value: u64,
+    },
+}
+
+impl MemOp {
+    fn cell(&self) -> u64 {
+        match *self {
+            MemOp::Read { cell } | MemOp::Write { cell, .. } => cell,
+        }
+    }
+}
+
+/// A versioned cell copy. Versions order writes: `(step, op_index)`
+/// lexicographically, so later steps dominate and concurrent writes in
+/// one step resolve deterministically (CRCW-arbitrary with a fixed
+/// arbiter).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+struct Version {
+    step: u64,
+    op: u32,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Stored {
+    version: Version,
+    value: u64,
+}
+
+/// Result of executing one batch of operations (one PRAM step).
+#[derive(Debug, Clone)]
+pub struct StepOutcome {
+    /// Per op: the value read (`None` for writes and for ops that did
+    /// not complete).
+    pub results: Vec<Option<u64>>,
+    /// Per op: whether it gathered its `b` answers within the round
+    /// budget. Incomplete ops must be resubmitted by the caller.
+    pub completed: Vec<bool>,
+    /// Rounds executed.
+    pub rounds: u32,
+    /// Request + answer messages exchanged.
+    pub messages: u64,
+}
+
+impl StepOutcome {
+    /// True when every op completed.
+    pub fn all_completed(&self) -> bool {
+        self.completed.iter().all(|&c| c)
+    }
+}
+
+/// Configuration of the DMM.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DmmConfig {
+    /// Memory modules.
+    pub modules: usize,
+    /// Copies per cell.
+    pub a: usize,
+    /// Copies that must answer per access.
+    pub b: usize,
+    /// Per-round service capacity of a module (the analysis's collision
+    /// value `c`; see module docs for the serving rule).
+    pub c: usize,
+    /// Round budget per step (0 = derive from the MSS95 bound
+    /// `log log n / log(c·(a−b)) + 3`, doubled for slack because cell
+    /// locations are hashed rather than freshly randomized each round).
+    /// Under capacity serving every batch of `k` combined requests
+    /// needs at most `⌈k·b/(modules·c)⌉ + O(1)` extra rounds, so the
+    /// effective budget also scales with the submitted batch.
+    pub max_rounds: u32,
+}
+
+impl DmmConfig {
+    /// The MSS95 running example: `a = 3` copies, `b = 2` answers,
+    /// collision value `c = 2` — majority quorums (`2b > a`).
+    pub fn mss95(modules: usize) -> Self {
+        DmmConfig {
+            modules,
+            a: 3,
+            b: 2,
+            c: 2,
+            max_rounds: 0,
+        }
+    }
+
+    fn validate(&self) {
+        assert!(self.modules >= self.a, "need modules >= a");
+        assert!(self.b >= 1 && self.b < self.a, "need 1 <= b < a");
+        assert!(self.c >= 1, "need c >= 1");
+        assert!(
+            2 * self.b > self.a,
+            "need 2b > a so read and write quorums intersect"
+        );
+        assert!(
+            self.c * (self.a - self.b) >= 2,
+            "need c*(a-b) >= 2 for round-count progress"
+        );
+    }
+
+    fn round_budget(&self) -> u32 {
+        if self.max_rounds > 0 {
+            return self.max_rounds;
+        }
+        let llog = pcrlb_sim::loglog(self.modules) as f64;
+        let divisor = ((self.c * (self.a - self.b)) as f64).log2().max(0.1);
+        2 * ((llog / divisor).ceil() as u32 + 3)
+    }
+}
+
+/// The distributed memory machine.
+pub struct DmmMachine {
+    cfg: DmmConfig,
+    hashes: HashFamily,
+    /// Per-module versioned store.
+    stores: Vec<HashMap<u64, Stored>>,
+    step: u64,
+    /// Lifetime counters.
+    total_rounds: u64,
+    total_messages: u64,
+    total_ops: u64,
+}
+
+impl DmmMachine {
+    /// Builds a machine; the configuration is validated.
+    pub fn new(cfg: DmmConfig, seed: u64) -> Self {
+        cfg.validate();
+        DmmMachine {
+            hashes: HashFamily::new(seed, cfg.a, cfg.modules),
+            stores: vec![HashMap::new(); cfg.modules],
+            step: 0,
+            total_rounds: 0,
+            total_messages: 0,
+            total_ops: 0,
+            cfg,
+        }
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &DmmConfig {
+        &self.cfg
+    }
+
+    /// PRAM steps executed.
+    pub fn steps(&self) -> u64 {
+        self.step
+    }
+
+    /// Mean collision rounds per step so far.
+    pub fn mean_rounds(&self) -> f64 {
+        if self.step == 0 {
+            0.0
+        } else {
+            self.total_rounds as f64 / self.step as f64
+        }
+    }
+
+    /// Mean messages per operation so far.
+    pub fn mean_messages_per_op(&self) -> f64 {
+        if self.total_ops == 0 {
+            0.0
+        } else {
+            self.total_messages as f64 / self.total_ops as f64
+        }
+    }
+
+    /// Executes one PRAM step: all `ops` issued simultaneously, served
+    /// through collision rounds. See module docs for the semantics.
+    ///
+    /// Concurrent operations on the same cell are **combined** (the
+    /// classic PRAM-simulation technique): all readers of a cell share
+    /// one read request and receive the same value; concurrent writers
+    /// are arbitrated up front (highest op index wins, CRCW-arbitrary)
+    /// and only the winner's request is sent. Without combining, a hot
+    /// cell's modules would collide forever.
+    pub fn step(&mut self, ops: &[MemOp]) -> StepOutcome {
+        self.step += 1;
+        self.total_ops += ops.len() as u64;
+        // Round budget: the MSS95 bound plus the bandwidth term for
+        // batches larger than the per-round service capacity.
+        let bandwidth = (ops.len() * self.cfg.b).div_ceil(self.cfg.modules * self.cfg.c) as u32;
+        let budget = self.cfg.round_budget() + bandwidth;
+
+        // ---- Combine ops into unique cell requests. ----
+        #[derive(Clone, Copy, PartialEq, Eq, Hash)]
+        enum ReqKind {
+            Read,
+            Write,
+        }
+        struct Request {
+            cell: u64,
+            kind: ReqKind,
+            /// Winning write payload (writes only).
+            value: u64,
+            /// Version the write carries (writes only).
+            version: Version,
+            /// Ops combined into this request.
+            members: Vec<usize>,
+            locations: Vec<usize>,
+            answered: Vec<bool>,
+            answers: usize,
+            best: Option<(Version, u64)>,
+            done: bool,
+        }
+        let mut index: HashMap<(u64, ReqKind), usize> = HashMap::new();
+        let mut requests: Vec<Request> = Vec::new();
+        for (oi, op) in ops.iter().enumerate() {
+            let (kind, value) = match *op {
+                MemOp::Read { .. } => (ReqKind::Read, 0),
+                MemOp::Write { value, .. } => (ReqKind::Write, value),
+            };
+            let key = (op.cell(), kind);
+            let ri = *index.entry(key).or_insert_with(|| {
+                requests.push(Request {
+                    cell: op.cell(),
+                    kind,
+                    value: 0,
+                    version: Version {
+                        step: self.step,
+                        op: 0,
+                    },
+                    members: Vec::new(),
+                    locations: self.hashes.locations_vec(op.cell()),
+                    answered: vec![false; self.cfg.a],
+                    answers: 0,
+                    best: None,
+                    done: false,
+                });
+                requests.len() - 1
+            });
+            let req = &mut requests[ri];
+            req.members.push(oi);
+            if kind == ReqKind::Write {
+                // CRCW-arbitrary arbitration: highest op index wins.
+                let version = Version {
+                    step: self.step,
+                    op: oi as u32,
+                };
+                if version >= req.version {
+                    req.version = version;
+                    req.value = value;
+                }
+            }
+        }
+
+        // ---- Collision rounds over the combined requests. ----
+        let mut messages = 0u64;
+        let mut rounds = 0u32;
+        // module -> [(request index, copy index)]
+        let mut inbox: HashMap<usize, Vec<(usize, usize)>> = HashMap::new();
+
+        for _ in 0..budget {
+            inbox.clear();
+            let mut any_open = false;
+            for (ri, req) in requests.iter().enumerate() {
+                if req.done {
+                    continue;
+                }
+                any_open = true;
+                for (ci, &m) in req.locations.iter().enumerate() {
+                    if !req.answered[ci] {
+                        messages += 1;
+                        inbox.entry(m).or_default().push((ri, ci));
+                    }
+                }
+            }
+            if !any_open {
+                break;
+            }
+            rounds += 1;
+
+            for (&module, arrived) in inbox.iter_mut() {
+                // Capacity-c serving (see module docs): answer the c
+                // lowest-indexed requests this round, defer the rest.
+                if arrived.len() > self.cfg.c {
+                    arrived.sort_unstable();
+                    arrived.truncate(self.cfg.c);
+                }
+                for &(ri, ci) in arrived.iter() {
+                    messages += 1; // the answer
+                    let req = &mut requests[ri];
+                    req.answered[ci] = true;
+                    req.answers += 1;
+                    match req.kind {
+                        ReqKind::Read => {
+                            if let Some(stored) = self.stores[module].get(&req.cell) {
+                                let cand = (stored.version, stored.value);
+                                if req.best.is_none_or(|b| cand.0 > b.0) {
+                                    req.best = Some(cand);
+                                }
+                            }
+                        }
+                        ReqKind::Write => {
+                            let slot = self.stores[module].entry(req.cell).or_insert(Stored {
+                                version: req.version,
+                                value: req.value,
+                            });
+                            if req.version >= slot.version {
+                                *slot = Stored {
+                                    version: req.version,
+                                    value: req.value,
+                                };
+                            }
+                        }
+                    }
+                }
+            }
+
+            for req in requests.iter_mut() {
+                if !req.done && req.answers >= self.cfg.b {
+                    req.done = true;
+                }
+            }
+        }
+
+        self.total_rounds += rounds as u64;
+        self.total_messages += messages;
+
+        // ---- Project request outcomes back onto the ops. ----
+        let mut results: Vec<Option<u64>> = vec![None; ops.len()];
+        let mut completed: Vec<bool> = vec![false; ops.len()];
+        for req in &requests {
+            for &oi in &req.members {
+                completed[oi] = req.done;
+                if req.done && req.kind == ReqKind::Read {
+                    results[oi] = req.best.map(|(_, v)| v);
+                }
+            }
+        }
+        StepOutcome {
+            results,
+            completed,
+            rounds,
+            messages,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pcrlb_sim::SimRng;
+
+    fn machine(modules: usize) -> DmmMachine {
+        DmmMachine::new(DmmConfig::mss95(modules), 42)
+    }
+
+    #[test]
+    fn read_your_write() {
+        let mut m = machine(64);
+        let w = m.step(&[MemOp::Write { cell: 7, value: 99 }]);
+        assert!(w.all_completed());
+        let r = m.step(&[MemOp::Read { cell: 7 }]);
+        assert!(r.all_completed());
+        assert_eq!(r.results[0], Some(99));
+    }
+
+    #[test]
+    fn unwritten_cell_reads_none() {
+        let mut m = machine(64);
+        let r = m.step(&[MemOp::Read { cell: 123 }]);
+        assert!(r.all_completed());
+        assert_eq!(r.results[0], None);
+    }
+
+    #[test]
+    fn later_write_wins() {
+        let mut m = machine(64);
+        m.step(&[MemOp::Write { cell: 1, value: 10 }]);
+        m.step(&[MemOp::Write { cell: 1, value: 20 }]);
+        let r = m.step(&[MemOp::Read { cell: 1 }]);
+        assert_eq!(r.results[0], Some(20));
+    }
+
+    #[test]
+    fn quorum_intersection_survives_partial_copies() {
+        // A write completes at b = 2 of 3 copies; even if a later read
+        // reaches a *different* 2-of-3 subset, the subsets intersect,
+        // so the read must still see the write.
+        let mut m = machine(16);
+        for cell in 0..200u64 {
+            m.step(&[MemOp::Write {
+                cell,
+                value: cell * 3,
+            }]);
+        }
+        for cell in 0..200u64 {
+            let r = m.step(&[MemOp::Read { cell }]);
+            assert_eq!(r.results[0], Some(cell * 3), "cell {cell}");
+        }
+    }
+
+    #[test]
+    fn concurrent_writes_resolve_deterministically() {
+        // Two writes to the same cell in one step: the higher op index
+        // wins everywhere (CRCW-arbitrary with a fixed arbiter).
+        let mut m = machine(64);
+        m.step(&[
+            MemOp::Write {
+                cell: 5,
+                value: 111,
+            },
+            MemOp::Write {
+                cell: 5,
+                value: 222,
+            },
+        ]);
+        let r = m.step(&[MemOp::Read { cell: 5 }]);
+        assert_eq!(r.results[0], Some(222));
+    }
+
+    #[test]
+    fn parallel_batch_completes_within_round_budget() {
+        // n/4 simultaneous accesses to random distinct cells on n
+        // modules: the MSS95 regime. Everything should complete.
+        let n = 256;
+        let mut m = machine(n);
+        let mut rng = SimRng::new(9);
+        for trial in 0..10 {
+            let ops: Vec<MemOp> = (0..n / 4)
+                .map(|i| {
+                    let cell = (trial * 1000 + i) as u64 * 7919 + rng.below(1 << 20) as u64;
+                    if i % 2 == 0 {
+                        MemOp::Write { cell, value: cell }
+                    } else {
+                        MemOp::Read { cell }
+                    }
+                })
+                .collect();
+            let out = m.step(&ops);
+            assert!(
+                out.all_completed(),
+                "trial {trial}: {} ops incomplete after {} rounds",
+                out.completed.iter().filter(|&&c| !c).count(),
+                out.rounds
+            );
+        }
+        // The headline: constant-ish rounds, a few messages per op.
+        assert!(m.mean_rounds() <= 8.0, "mean rounds {}", m.mean_rounds());
+        assert!(
+            m.mean_messages_per_op() <= 12.0,
+            "messages/op {}",
+            m.mean_messages_per_op()
+        );
+    }
+
+    #[test]
+    fn hot_cell_readers_are_combined() {
+        // Every processor reads the same cell: combining collapses them
+        // into ONE request, so the step completes fast and the message
+        // count does not scale with the reader count.
+        let n = 64;
+        let mut m = machine(n);
+        m.step(&[MemOp::Write { cell: 0, value: 7 }]);
+        let ops: Vec<MemOp> = (0..32).map(|_| MemOp::Read { cell: 0 }).collect();
+        let out = m.step(&ops);
+        assert!(out.all_completed());
+        assert!(out.results.iter().all(|r| *r == Some(7)));
+        // One combined request: at most a few messages per round, far
+        // below 32 * a.
+        assert!(
+            out.messages <= 4 * 3 * out.rounds as u64,
+            "{} messages for a combined read",
+            out.messages
+        );
+    }
+
+    #[test]
+    fn mixed_hot_cell_read_write_is_consistent() {
+        // Concurrent read + write on one cell in the same step: reads
+        // may see the old or the new value (CRCW), but the *next* step
+        // must see the write.
+        let n = 64;
+        let mut m = machine(n);
+        m.step(&[MemOp::Write { cell: 9, value: 1 }]);
+        let mut ops = vec![MemOp::Write { cell: 9, value: 2 }];
+        ops.extend((0..8).map(|_| MemOp::Read { cell: 9 }));
+        let out = m.step(&ops);
+        assert!(out.all_completed());
+        for r in &out.results[1..] {
+            assert!(*r == Some(1) || *r == Some(2), "read saw {r:?}");
+        }
+        let r = m.step(&[MemOp::Read { cell: 9 }]);
+        assert_eq!(r.results[0], Some(2));
+    }
+
+    #[test]
+    fn empty_step_is_trivial() {
+        let mut m = machine(16);
+        let out = m.step(&[]);
+        assert_eq!(out.rounds, 0);
+        assert_eq!(out.messages, 0);
+        assert!(out.all_completed());
+    }
+
+    #[test]
+    #[should_panic(expected = "2b > a")]
+    fn non_intersecting_quorums_rejected() {
+        DmmMachine::new(
+            DmmConfig {
+                modules: 16,
+                a: 4,
+                b: 2,
+                c: 2,
+                max_rounds: 0,
+            },
+            1,
+        );
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let mut m = machine(32);
+        m.step(&[MemOp::Write { cell: 1, value: 1 }]);
+        m.step(&[MemOp::Read { cell: 1 }]);
+        assert_eq!(m.steps(), 2);
+        assert!(m.mean_rounds() >= 1.0);
+        assert!(m.mean_messages_per_op() > 0.0);
+    }
+}

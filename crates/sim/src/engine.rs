@@ -1,0 +1,267 @@
+//! The sequential synchronous engine.
+//!
+//! One engine step implements the paper's time-step decomposition (§5
+//! remark: "a time step in our model actually consists of four steps"):
+//!
+//! 1. **generate** — every processor asks the load model how many tasks
+//!    to create and enqueues them;
+//! 2. **consume**  — every processor asks the model how many tasks to
+//!    execute and pops them (FIFO);
+//! 3. **decide** / 4. **move** — the strategy's [`Strategy::on_step`]
+//!    runs, performing balancing decisions and task movement.
+//!
+//! The engine is generic so the same driver runs the paper's algorithm,
+//! every baseline, and the unbalanced system on identical arrival
+//! streams (same seed ⇒ same generated tasks), which is what makes the
+//! comparison experiments fair.
+
+use crate::model::{LoadModel, Strategy};
+use crate::world::World;
+
+/// Sequential simulation driver.
+pub struct Engine<M, S> {
+    world: World,
+    model: M,
+    strategy: S,
+}
+
+impl<M: LoadModel, S: Strategy> Engine<M, S> {
+    /// Builds an engine over a fresh world of `n` processors.
+    pub fn new(n: usize, seed: u64, model: M, strategy: S) -> Self {
+        Engine {
+            world: World::new(n, seed),
+            model,
+            strategy,
+        }
+    }
+
+    /// Builds an engine over an existing world (e.g. one pre-loaded with
+    /// an adversarial spike).
+    pub fn with_world(world: World, model: M, strategy: S) -> Self {
+        Engine {
+            world,
+            model,
+            strategy,
+        }
+    }
+
+    /// Executes one full step (generate, consume, decide+move, tick).
+    pub fn step(&mut self) {
+        let n = self.world.n();
+        let now = self.world.step();
+
+        // Sub-step 1: generation.
+        for p in 0..n {
+            let load = self.world.load(p);
+            let g = {
+                let rng = self.world.rng_of(p);
+                self.model.generate(p, now, load, rng)
+            };
+            for _ in 0..g {
+                let w = {
+                    let rng = self.world.rng_of(p);
+                    self.model.task_weight(p, now, rng)
+                };
+                self.world.generate_one_weighted(p, w);
+            }
+        }
+
+        // Sub-step 2: consumption (capped at available load).
+        for p in 0..n {
+            let load = self.world.load(p);
+            let rng = self.world.rng_of(p);
+            let c = self.model.consume(p, now, load, rng).min(load);
+            for _ in 0..c {
+                self.world.consume_one(p);
+            }
+        }
+
+        // Sub-steps 3+4: balancing decisions and load movement.
+        self.strategy.on_step(&mut self.world);
+
+        self.world.tick();
+    }
+
+    /// Runs `steps` steps.
+    pub fn run(&mut self, steps: u64) {
+        for _ in 0..steps {
+            self.step();
+        }
+    }
+
+    /// Runs `steps` steps, invoking `observe` after every step — the
+    /// hook experiments use to sample max load, message windows, etc.
+    pub fn run_observed(&mut self, steps: u64, mut observe: impl FnMut(&World)) {
+        for _ in 0..steps {
+            self.step();
+            observe(&self.world);
+        }
+    }
+
+    /// The world (read).
+    pub fn world(&self) -> &World {
+        &self.world
+    }
+
+    /// The world (write) — e.g. to inject spikes between runs.
+    pub fn world_mut(&mut self) -> &mut World {
+        &mut self.world
+    }
+
+    /// The strategy (read) — for strategies exposing their own stats.
+    pub fn strategy(&self) -> &S {
+        &self.strategy
+    }
+
+    /// The strategy (write).
+    pub fn strategy_mut(&mut self) -> &mut S {
+        &mut self.strategy
+    }
+
+    /// The load model.
+    pub fn model(&self) -> &M {
+        &self.model
+    }
+
+    /// Consumes the engine, returning the final world.
+    pub fn into_world(self) -> World {
+        self.world
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::Unbalanced;
+    use crate::rng::SimRng;
+    use crate::types::{ProcId, Step};
+
+    /// Generates exactly one task per step, consumes nothing.
+    struct Pump;
+
+    impl LoadModel for Pump {
+        fn generate(&self, _: ProcId, _: Step, _: usize, _: &mut SimRng) -> usize {
+            1
+        }
+        fn consume(&self, _: ProcId, _: Step, _: usize, _: &mut SimRng) -> usize {
+            0
+        }
+    }
+
+    /// Generates one task per step and immediately consumes one.
+    struct Churn;
+
+    impl LoadModel for Churn {
+        fn generate(&self, _: ProcId, _: Step, _: usize, _: &mut SimRng) -> usize {
+            1
+        }
+        fn consume(&self, _: ProcId, _: Step, _: usize, _: &mut SimRng) -> usize {
+            1
+        }
+    }
+
+    /// Consumes more than exists; engine must cap.
+    struct Vacuum;
+
+    impl LoadModel for Vacuum {
+        fn generate(&self, _: ProcId, step: Step, _: usize, _: &mut SimRng) -> usize {
+            usize::from(step == 0)
+        }
+        fn consume(&self, _: ProcId, _: Step, _: usize, _: &mut SimRng) -> usize {
+            1_000_000
+        }
+    }
+
+    #[test]
+    fn pump_accumulates_load() {
+        let mut e = Engine::new(4, 1, Pump, Unbalanced);
+        e.run(10);
+        assert_eq!(e.world().step(), 10);
+        assert_eq!(e.world().total_load(), 40);
+        assert_eq!(e.world().max_load(), 10);
+    }
+
+    #[test]
+    fn churn_is_stationary_at_zero_queue_growth() {
+        // Generation happens before consumption within a step, so a
+        // generate-1/consume-1 model keeps every queue at zero and every
+        // task waits exactly 0 steps.
+        let mut e = Engine::new(3, 2, Churn, Unbalanced);
+        e.run(100);
+        assert_eq!(e.world().total_load(), 0);
+        let c = e.world().completions();
+        assert_eq!(c.count, 300);
+        assert_eq!(c.sojourn_max, 0);
+        assert!((c.locality() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn consumption_is_capped_at_load() {
+        let mut e = Engine::new(2, 3, Vacuum, Unbalanced);
+        e.run(5);
+        assert_eq!(e.world().total_load(), 0);
+        assert_eq!(e.world().completions().count, 2);
+    }
+
+    #[test]
+    fn run_observed_sees_every_step() {
+        let mut e = Engine::new(1, 4, Pump, Unbalanced);
+        let mut seen = Vec::new();
+        e.run_observed(5, |w| seen.push(w.total_load()));
+        assert_eq!(seen, vec![1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn with_world_preserves_preloaded_state() {
+        let mut w = World::new(2, 5);
+        w.inject(0, 7);
+        let mut e = Engine::with_world(w, Churn, Unbalanced);
+        e.run(1);
+        // proc 0: 7 + 1 generated - 1 consumed = 7.
+        assert_eq!(e.world().load(0), 7);
+        let w = e.into_world();
+        assert_eq!(w.step(), 1);
+    }
+
+    #[test]
+    fn single_processor_world_works() {
+        let mut e = Engine::new(1, 8, Churn, Unbalanced);
+        e.run(100);
+        assert_eq!(e.world().completions().count, 100);
+        assert_eq!(e.world().total_load(), 0);
+    }
+
+    #[test]
+    fn burst_generation_is_fully_enqueued() {
+        /// Generates 50 tasks on step 0 only.
+        struct Burst;
+        impl LoadModel for Burst {
+            fn generate(&self, _: ProcId, step: Step, _: usize, _: &mut SimRng) -> usize {
+                if step == 0 {
+                    50
+                } else {
+                    0
+                }
+            }
+            fn consume(&self, _: ProcId, _: Step, _: usize, _: &mut SimRng) -> usize {
+                1
+            }
+        }
+        let mut e = Engine::new(2, 9, Burst, Unbalanced);
+        e.step();
+        assert_eq!(e.world().total_load(), 2 * 49); // 50 in, 1 out each
+        e.run(100);
+        assert_eq!(e.world().total_load(), 0);
+        assert_eq!(e.world().completions().count, 100);
+    }
+
+    #[test]
+    fn identical_seeds_identical_runs() {
+        let mut a = Engine::new(8, 99, Churn, Unbalanced);
+        let mut b = Engine::new(8, 99, Churn, Unbalanced);
+        a.run(50);
+        b.run(50);
+        assert_eq!(a.world().loads(), b.world().loads());
+        assert_eq!(a.world().completions().count, b.world().completions().count);
+    }
+}

@@ -1,0 +1,66 @@
+//! # pcrlb-sim — simulation substrate
+//!
+//! A discrete-time, synchronous simulation of the parallel machine
+//! assumed by Berenbrink, Friedetzky and Mayr, *"Parallel Continuous
+//! Randomized Load Balancing"* (SPAA 1998): `n` processors that each
+//! step generate tasks, consume tasks, make balancing decisions, and
+//! move load.
+//!
+//! The substrate provides
+//!
+//! * [`World`] — processors with FIFO task queues (paper-faithful
+//!   back-of-queue transfer semantics), a message ledger, per-task
+//!   completion statistics, and deterministic per-processor RNG streams;
+//! * [`Engine`] — the sequential lock-step driver;
+//! * [`ParallelEngine`] — a threaded driver producing bit-identical
+//!   results (real parallelism for the per-processor sub-steps);
+//! * the [`LoadModel`] / [`Strategy`] traits that the paper's algorithm
+//!   (`pcrlb-core`) and all baselines (`pcrlb-baselines`) implement.
+//!
+//! ## Example
+//!
+//! ```
+//! use pcrlb_sim::{Engine, LoadModel, ProcId, SimRng, Step, Unbalanced};
+//!
+//! /// Generate one task per step with probability 0.4, consume with 0.5.
+//! struct Simple;
+//! impl LoadModel for Simple {
+//!     fn generate(&self, _: ProcId, _: Step, _: usize, rng: &mut SimRng) -> usize {
+//!         usize::from(rng.chance(0.4))
+//!     }
+//!     fn consume(&self, _: ProcId, _: Step, _: usize, rng: &mut SimRng) -> usize {
+//!         usize::from(rng.chance(0.5))
+//!     }
+//! }
+//!
+//! let mut engine = Engine::new(64, 42, Simple, Unbalanced);
+//! engine.run(1000);
+//! assert!(engine.world().total_load() < 64 * 20);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod engine;
+pub mod message;
+pub mod model;
+pub mod parallel;
+pub mod processor;
+pub mod queue;
+pub mod rng;
+pub mod task;
+pub mod trace;
+pub mod types;
+pub mod world;
+
+pub use engine::Engine;
+pub use message::{MessageKind, MessageLedger, MessageStats};
+pub use model::{LoadModel, Strategy, Unbalanced};
+pub use parallel::ParallelEngine;
+pub use processor::{ProcStats, Processor};
+pub use queue::TaskQueue;
+pub use rng::SimRng;
+pub use task::{Completion, Task};
+pub use trace::{Event, Trace};
+pub use types::{ilog2ceil, loglog, ProcId, Step};
+pub use world::{CompletionStats, World};

@@ -1,0 +1,222 @@
+//! Message accounting.
+//!
+//! The paper's headline trade-off is *communication vs. maximum load*:
+//! parallel balls-into-bins games spend `Θ(n)` messages per step, while
+//! the threshold algorithm spends `O(n / (log n)^{log log n - 1})`
+//! messages per whole phase. Every strategy in this workspace therefore
+//! routes its communication through a [`MessageLedger`] so experiments
+//! E8/E11 can compare message counts like-for-like.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// Classification of control messages exchanged by balancing protocols.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MessageKind {
+    /// Collision-protocol query ("can you take a request?").
+    Query,
+    /// Collision-protocol accept answer.
+    Accept,
+    /// Id message from an applicative processor to the request's boss.
+    IdMessage,
+    /// Generic probe used by baseline strategies (load enquiries,
+    /// random-seeking probes, ball placement messages, ...).
+    Probe,
+    /// Answer to a probe carrying load information.
+    LoadReply,
+}
+
+/// Cumulative message counters. Cheap to copy; subtraction produces the
+/// per-window counts used by the experiments.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MessageStats {
+    /// Collision-protocol queries sent.
+    pub queries: u64,
+    /// Collision-protocol accept answers sent.
+    pub accepts: u64,
+    /// Id messages sent to request originators.
+    pub id_messages: u64,
+    /// Baseline probe messages sent.
+    pub probes: u64,
+    /// Probe answers carrying load information.
+    pub load_replies: u64,
+    /// Number of balancing actions (bulk task moves).
+    pub transfers: u64,
+    /// Total tasks moved by those transfers.
+    pub tasks_moved: u64,
+}
+
+impl MessageStats {
+    /// All control messages (everything except the task payloads).
+    pub fn control_total(&self) -> u64 {
+        self.queries + self.accepts + self.id_messages + self.probes + self.load_replies
+    }
+
+    /// Control messages plus one message per transfer (the paper counts
+    /// a bulk move as a single communication, streamed or not).
+    pub fn total(&self) -> u64 {
+        self.control_total() + self.transfers
+    }
+}
+
+impl Add for MessageStats {
+    type Output = MessageStats;
+    fn add(self, o: MessageStats) -> MessageStats {
+        MessageStats {
+            queries: self.queries + o.queries,
+            accepts: self.accepts + o.accepts,
+            id_messages: self.id_messages + o.id_messages,
+            probes: self.probes + o.probes,
+            load_replies: self.load_replies + o.load_replies,
+            transfers: self.transfers + o.transfers,
+            tasks_moved: self.tasks_moved + o.tasks_moved,
+        }
+    }
+}
+
+impl AddAssign for MessageStats {
+    fn add_assign(&mut self, o: MessageStats) {
+        *self = *self + o;
+    }
+}
+
+impl Sub for MessageStats {
+    type Output = MessageStats;
+    /// Windowed difference; panics in debug builds if `o` is not an
+    /// earlier snapshot of the same ledger.
+    fn sub(self, o: MessageStats) -> MessageStats {
+        MessageStats {
+            queries: self.queries - o.queries,
+            accepts: self.accepts - o.accepts,
+            id_messages: self.id_messages - o.id_messages,
+            probes: self.probes - o.probes,
+            load_replies: self.load_replies - o.load_replies,
+            transfers: self.transfers - o.transfers,
+            tasks_moved: self.tasks_moved - o.tasks_moved,
+        }
+    }
+}
+
+impl fmt::Display for MessageStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "queries={} accepts={} ids={} probes={} replies={} transfers={} tasks_moved={}",
+            self.queries,
+            self.accepts,
+            self.id_messages,
+            self.probes,
+            self.load_replies,
+            self.transfers,
+            self.tasks_moved
+        )
+    }
+}
+
+/// The world's single message ledger.
+#[derive(Debug, Clone, Default)]
+pub struct MessageLedger {
+    stats: MessageStats,
+}
+
+impl MessageLedger {
+    /// Creates an empty ledger.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records `count` messages of `kind`.
+    #[inline]
+    pub fn record(&mut self, kind: MessageKind, count: u64) {
+        match kind {
+            MessageKind::Query => self.stats.queries += count,
+            MessageKind::Accept => self.stats.accepts += count,
+            MessageKind::IdMessage => self.stats.id_messages += count,
+            MessageKind::Probe => self.stats.probes += count,
+            MessageKind::LoadReply => self.stats.load_replies += count,
+        }
+    }
+
+    /// Records one bulk transfer of `tasks` tasks.
+    #[inline]
+    pub fn record_transfer(&mut self, tasks: u64) {
+        self.stats.transfers += 1;
+        self.stats.tasks_moved += tasks;
+    }
+
+    /// Current cumulative counters (copy; use subtraction for windows).
+    #[inline]
+    pub fn snapshot(&self) -> MessageStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ledger_accumulates_by_kind() {
+        let mut l = MessageLedger::new();
+        l.record(MessageKind::Query, 5);
+        l.record(MessageKind::Accept, 2);
+        l.record(MessageKind::IdMessage, 1);
+        l.record(MessageKind::Probe, 7);
+        l.record(MessageKind::LoadReply, 3);
+        l.record_transfer(10);
+        let s = l.snapshot();
+        assert_eq!(s.queries, 5);
+        assert_eq!(s.accepts, 2);
+        assert_eq!(s.id_messages, 1);
+        assert_eq!(s.probes, 7);
+        assert_eq!(s.load_replies, 3);
+        assert_eq!(s.transfers, 1);
+        assert_eq!(s.tasks_moved, 10);
+        assert_eq!(s.control_total(), 18);
+        assert_eq!(s.total(), 19);
+    }
+
+    #[test]
+    fn windowed_difference() {
+        let mut l = MessageLedger::new();
+        l.record(MessageKind::Query, 3);
+        let before = l.snapshot();
+        l.record(MessageKind::Query, 4);
+        l.record_transfer(2);
+        let window = l.snapshot() - before;
+        assert_eq!(window.queries, 4);
+        assert_eq!(window.transfers, 1);
+        assert_eq!(window.tasks_moved, 2);
+    }
+
+    #[test]
+    fn stats_add() {
+        let a = MessageStats {
+            queries: 1,
+            accepts: 2,
+            ..Default::default()
+        };
+        let b = MessageStats {
+            queries: 10,
+            tasks_moved: 5,
+            ..Default::default()
+        };
+        let c = a + b;
+        assert_eq!(c.queries, 11);
+        assert_eq!(c.accepts, 2);
+        assert_eq!(c.tasks_moved, 5);
+        let mut d = a;
+        d += b;
+        assert_eq!(d, c);
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let s = MessageStats {
+            queries: 1,
+            ..Default::default()
+        };
+        let text = s.to_string();
+        assert!(text.contains("queries=1"));
+    }
+}

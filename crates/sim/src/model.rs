@@ -1,0 +1,106 @@
+//! The load-model and strategy abstractions.
+//!
+//! A [`LoadModel`] decides, per processor and step, how many tasks are
+//! generated and how many are consumed — the paper's `Single`,
+//! `Geometric`, `Multi` and `Adversarial` schemes implement this trait
+//! (in `pcrlb-core`), as do the arrival processes of the baselines.
+//!
+//! A [`Strategy`] is a balancing algorithm: it runs once per step after
+//! generation and consumption (the paper's "perform balancing decisions
+//! / move load" sub-steps) and may move tasks between processors.
+
+use crate::rng::SimRng;
+use crate::types::{ProcId, Step};
+use crate::world::World;
+
+/// Per-processor stochastic load generation/consumption.
+///
+/// Implementations must be deterministic functions of their arguments
+/// and the RNG stream — the threaded engine calls them from worker
+/// threads in arbitrary order but always hands processor `p` its own
+/// stream, so sequential and parallel runs agree exactly.
+pub trait LoadModel: Send {
+    /// Number of tasks processor `p` generates at `step`, given its
+    /// pre-generation load.
+    fn generate(&self, p: ProcId, step: Step, load: usize, rng: &mut SimRng) -> usize;
+
+    /// Number of tasks processor `p` consumes at `step`, given its load
+    /// *after* generation. The engine caps consumption at the available
+    /// load, so returning a large number means "consume what's there".
+    /// Each consumed count is one *work unit*: a task of weight `w`
+    /// finishes after `w` units.
+    fn consume(&self, p: ProcId, step: Step, load: usize, rng: &mut SimRng) -> usize;
+
+    /// Weight of the next task generated on `p` (the BMS'97-style
+    /// weighted extension). The default returns 1 **without touching
+    /// the RNG stream**, so unit-weight models keep their exact
+    /// historical trajectories.
+    fn task_weight(&self, _p: ProcId, _step: Step, _rng: &mut SimRng) -> u32 {
+        1
+    }
+
+    /// Expected per-processor steady-state generation rate (tasks per
+    /// step), used by analysis code to predict system load. `None` when
+    /// no closed form exists (adversarial models).
+    fn arrival_rate(&self) -> Option<f64> {
+        None
+    }
+
+    /// Human-readable model name for experiment tables.
+    fn name(&self) -> &'static str {
+        "model"
+    }
+}
+
+/// A balancing algorithm driven by the engine.
+pub trait Strategy {
+    /// Called once per step, after all processors generated and
+    /// consumed. All inter-processor communication and task movement
+    /// happens here and must be recorded in the world's ledger.
+    fn on_step(&mut self, world: &mut World);
+
+    /// Human-readable strategy name for experiment tables.
+    fn name(&self) -> &'static str {
+        "strategy"
+    }
+}
+
+/// The do-nothing strategy: the paper's *unbalanced system* (§4.1).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Unbalanced;
+
+impl Strategy for Unbalanced {
+    fn on_step(&mut self, _world: &mut World) {}
+
+    fn name(&self) -> &'static str {
+        "unbalanced"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Always(usize);
+
+    impl LoadModel for Always {
+        fn generate(&self, _: ProcId, _: Step, _: usize, _: &mut SimRng) -> usize {
+            self.0
+        }
+        fn consume(&self, _: ProcId, _: Step, _: usize, _: &mut SimRng) -> usize {
+            0
+        }
+    }
+
+    #[test]
+    fn default_trait_methods() {
+        let m = Always(1);
+        assert!(m.arrival_rate().is_none());
+        assert_eq!(m.name(), "model");
+        let mut s = Unbalanced;
+        assert_eq!(Strategy::name(&s), "unbalanced");
+        let mut w = World::new(1, 0);
+        s.on_step(&mut w); // must be a no-op
+        assert_eq!(w.total_load(), 0);
+    }
+}

@@ -1,0 +1,243 @@
+//! The threaded engine: real shared-memory parallelism for the
+//! generate/consume sub-steps.
+//!
+//! The paper's machine runs all `n` processors in parallel each step.
+//! This engine shards the processor array across OS threads (scoped via
+//! `crossbeam`) and executes sub-steps 1–2 concurrently; the balancing
+//! strategy (sub-steps 3–4) then runs on the coordinating thread, which
+//! mirrors how the paper serializes a phase's collision games into a
+//! globally-consistent assignment.
+//!
+//! **Determinism:** each processor owns a private RNG stream and the
+//! load model is a pure function of `(processor, step, load, stream)`,
+//! so a parallel run produces *bit-identical* results to the sequential
+//! [`crate::engine::Engine`] with the same seed. A test asserts this.
+
+use crate::model::{LoadModel, Strategy};
+use crate::task::Completion;
+use crate::world::{CompletionStats, World, DEFAULT_SOJOURN_HIST};
+
+/// Threaded simulation driver. Functionally identical to
+/// [`crate::engine::Engine`]; see module docs for the execution model.
+pub struct ParallelEngine<M, S> {
+    world: World,
+    model: M,
+    strategy: S,
+    threads: usize,
+}
+
+impl<M, S> ParallelEngine<M, S>
+where
+    M: LoadModel + Sync,
+    S: Strategy,
+{
+    /// Builds a threaded engine with `threads` worker threads
+    /// (clamped to at least 1).
+    pub fn new(n: usize, seed: u64, model: M, strategy: S, threads: usize) -> Self {
+        ParallelEngine {
+            world: World::new(n, seed),
+            model,
+            strategy,
+            threads: threads.max(1),
+        }
+    }
+
+    /// Builds over an existing world.
+    pub fn with_world(world: World, model: M, strategy: S, threads: usize) -> Self {
+        ParallelEngine {
+            world,
+            model,
+            strategy,
+            threads: threads.max(1),
+        }
+    }
+
+    /// Executes one full step.
+    pub fn step(&mut self) {
+        let model = &self.model;
+        let merged: Vec<CompletionStats> = {
+            let (now, shards) = self.world.shards(self.threads);
+            crossbeam::thread::scope(|scope| {
+                let handles: Vec<_> = shards
+                    .into_iter()
+                    .map(|(start, procs, rngs)| {
+                        scope.spawn(move |_| {
+                            let mut local = CompletionStats::new(DEFAULT_SOJOURN_HIST);
+                            for (off, (proc, rng)) in
+                                procs.iter_mut().zip(rngs.iter_mut()).enumerate()
+                            {
+                                let p = start + off;
+                                // Sub-step 1: generation. The RNG draw
+                                // order per processor (generate, then
+                                // consume) matches the sequential
+                                // engine exactly.
+                                let g = model.generate(p, now, proc.load(), rng);
+                                for _ in 0..g {
+                                    let w = model.task_weight(p, now, rng);
+                                    proc.generate_weighted(now, w);
+                                }
+                                // Sub-step 2: consumption.
+                                let load = proc.load();
+                                let c = model.consume(p, now, load, rng).min(load);
+                                for _ in 0..c {
+                                    if let Some(task) = proc.consume() {
+                                        local.record(&Completion {
+                                            task,
+                                            executed_on: p,
+                                            finished: now,
+                                        });
+                                    }
+                                }
+                            }
+                            local
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("simulation worker panicked"))
+                    .collect()
+            })
+            .expect("crossbeam scope failed")
+        };
+        for local in &merged {
+            self.world.merge_completions(local);
+        }
+
+        // Sub-steps 3+4 on the coordinator thread.
+        self.strategy.on_step(&mut self.world);
+        self.world.tick();
+    }
+
+    /// Runs `steps` steps.
+    pub fn run(&mut self, steps: u64) {
+        for _ in 0..steps {
+            self.step();
+        }
+    }
+
+    /// Runs `steps` steps with a per-step observation hook.
+    pub fn run_observed(&mut self, steps: u64, mut observe: impl FnMut(&World)) {
+        for _ in 0..steps {
+            self.step();
+            observe(&self.world);
+        }
+    }
+
+    /// The world (read).
+    pub fn world(&self) -> &World {
+        &self.world
+    }
+
+    /// The world (write).
+    pub fn world_mut(&mut self) -> &mut World {
+        &mut self.world
+    }
+
+    /// The strategy (read).
+    pub fn strategy(&self) -> &S {
+        &self.strategy
+    }
+
+    /// Consumes the engine, returning the final world.
+    pub fn into_world(self) -> World {
+        self.world
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::Engine;
+    use crate::model::Unbalanced;
+    use crate::rng::SimRng;
+    use crate::types::{ProcId, Step};
+
+    /// A stochastic model exercising the RNG streams: generate 1 w.p.
+    /// 0.5, consume 1 w.p. 0.6.
+    struct Coin;
+
+    impl LoadModel for Coin {
+        fn generate(&self, _: ProcId, _: Step, _: usize, rng: &mut SimRng) -> usize {
+            usize::from(rng.chance(0.5))
+        }
+        fn consume(&self, _: ProcId, _: Step, _: usize, rng: &mut SimRng) -> usize {
+            usize::from(rng.chance(0.6))
+        }
+    }
+
+    #[test]
+    fn parallel_matches_sequential_exactly() {
+        for threads in [1, 2, 3, 7] {
+            let mut seq = Engine::new(37, 1234, Coin, Unbalanced);
+            let mut par = ParallelEngine::new(37, 1234, Coin, Unbalanced, threads);
+            seq.run(200);
+            par.run(200);
+            assert_eq!(
+                seq.world().loads(),
+                par.world().loads(),
+                "threads={threads}"
+            );
+            assert_eq!(
+                seq.world().completions().count,
+                par.world().completions().count
+            );
+            assert_eq!(
+                seq.world().completions().sojourn_sum,
+                par.world().completions().sojourn_sum
+            );
+            assert_eq!(
+                seq.world().completions().hist,
+                par.world().completions().hist
+            );
+        }
+    }
+
+    /// A weighted model: weights are drawn from the per-processor
+    /// stream, which must stay aligned across engines.
+    struct WeightedCoin;
+
+    impl LoadModel for WeightedCoin {
+        fn generate(&self, _: ProcId, _: Step, _: usize, rng: &mut SimRng) -> usize {
+            usize::from(rng.chance(0.5))
+        }
+        fn consume(&self, _: ProcId, _: Step, load: usize, rng: &mut SimRng) -> usize {
+            usize::from(load > 0 && rng.chance(0.6))
+        }
+        fn task_weight(&self, _: ProcId, _: Step, rng: &mut SimRng) -> u32 {
+            1 + rng.below(4) as u32
+        }
+    }
+
+    #[test]
+    fn parallel_matches_sequential_with_weighted_tasks() {
+        for threads in [2, 5] {
+            let mut seq = Engine::new(41, 77, WeightedCoin, Unbalanced);
+            let mut par = ParallelEngine::new(41, 77, WeightedCoin, Unbalanced, threads);
+            seq.run(300);
+            par.run(300);
+            assert_eq!(seq.world().loads(), par.world().loads());
+            let seq_w: Vec<u64> = (0..41).map(|p| seq.world().weighted_load(p)).collect();
+            let par_w: Vec<u64> = (0..41).map(|p| par.world().weighted_load(p)).collect();
+            assert_eq!(seq_w, par_w, "threads={threads}");
+            assert_eq!(
+                seq.world().completions().count,
+                par.world().completions().count
+            );
+        }
+    }
+
+    #[test]
+    fn more_threads_than_processors() {
+        let mut par = ParallelEngine::new(3, 7, Coin, Unbalanced, 16);
+        par.run(50);
+        assert_eq!(par.world().step(), 50);
+    }
+
+    #[test]
+    fn zero_threads_clamped() {
+        let mut par = ParallelEngine::new(4, 7, Coin, Unbalanced, 0);
+        par.run(10);
+        assert_eq!(par.world().step(), 10);
+    }
+}

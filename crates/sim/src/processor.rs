@@ -1,0 +1,203 @@
+//! A simulated processor: a FIFO task queue plus per-processor counters.
+
+use crate::queue::TaskQueue;
+use crate::task::Task;
+use crate::types::{ProcId, Step};
+
+/// Per-processor lifetime counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ProcStats {
+    /// Tasks generated locally.
+    pub generated: u64,
+    /// Tasks consumed (executed) here.
+    pub consumed: u64,
+    /// Balancing actions in which this processor gave load away.
+    pub transfers_out: u64,
+    /// Balancing actions in which this processor received load.
+    pub transfers_in: u64,
+    /// Tasks sent away by balancing.
+    pub tasks_sent: u64,
+    /// Tasks received by balancing.
+    pub tasks_received: u64,
+    /// Phases in which this processor was classified heavy.
+    pub heavy_phases: u64,
+}
+
+/// One of the `n` processors of the synchronous machine.
+#[derive(Debug, Clone)]
+pub struct Processor {
+    id: ProcId,
+    queue: TaskQueue,
+    /// Local sequence number for task-id assignment; combining it with
+    /// the processor id yields globally unique ids without any shared
+    /// counter, which keeps the threaded engine deterministic.
+    next_seq: u64,
+    /// Work units already spent on the front task (weighted tasks take
+    /// `weight` consume-units to finish; always 0 for unit tasks
+    /// between steps).
+    progress: u32,
+    /// Lifetime counters.
+    pub stats: ProcStats,
+}
+
+impl Processor {
+    /// Creates an idle processor with the given id.
+    pub fn new(id: ProcId) -> Self {
+        Processor {
+            id,
+            queue: TaskQueue::new(),
+            next_seq: 0,
+            progress: 0,
+            stats: ProcStats::default(),
+        }
+    }
+
+    /// This processor's id.
+    #[inline]
+    pub fn id(&self) -> ProcId {
+        self.id
+    }
+
+    /// Current load (queue length).
+    #[inline]
+    pub fn load(&self) -> usize {
+        self.queue.load()
+    }
+
+    /// Remaining work units: the weighted load minus the progress
+    /// already made on the front task. Equals [`Processor::load`] for
+    /// unit-weight tasks.
+    #[inline]
+    pub fn remaining_work(&self) -> u64 {
+        self.queue.weighted_load() - self.progress as u64
+    }
+
+    /// Generates one local unit-weight task at `step`, enqueues it, and
+    /// returns a copy of it.
+    pub fn generate(&mut self, step: Step) -> Task {
+        self.generate_weighted(step, 1)
+    }
+
+    /// Generates one local task of the given weight.
+    pub fn generate_weighted(&mut self, step: Step, weight: u32) -> Task {
+        let id = Self::task_id(self.id, self.next_seq);
+        self.next_seq += 1;
+        self.stats.generated += 1;
+        let task = Task::new(id, self.id, step).with_weight(weight.max(1));
+        self.queue.push(task);
+        task
+    }
+
+    /// Consumes one *work unit* from the oldest task. Returns the task
+    /// when this unit completes it (always, for unit-weight tasks).
+    pub fn consume(&mut self) -> Option<Task> {
+        let front_weight = self.queue.front()?.weight;
+        self.progress += 1;
+        if self.progress >= front_weight {
+            self.progress = 0;
+            self.stats.consumed += 1;
+            self.queue.pop()
+        } else {
+            None
+        }
+    }
+
+    /// Read access to the queue.
+    #[inline]
+    pub fn queue(&self) -> &TaskQueue {
+        &self.queue
+    }
+
+    /// Mutable access to the queue (used by transfers and adversaries;
+    /// the world keeps the ledger/stat updates consistent).
+    #[inline]
+    pub(crate) fn queue_mut(&mut self) -> &mut TaskQueue {
+        &mut self.queue
+    }
+
+    /// Globally unique, thread-independent task id: high bits are the
+    /// generating processor, low bits its local sequence number.
+    #[inline]
+    fn task_id(proc: ProcId, seq: u64) -> u64 {
+        ((proc as u64 + 1) << 40) | (seq & ((1 << 40) - 1))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generate_and_consume_update_stats() {
+        let mut p = Processor::new(3);
+        p.generate(0);
+        p.generate(1);
+        assert_eq!(p.load(), 2);
+        assert_eq!(p.stats.generated, 2);
+        let t = p.consume().unwrap();
+        assert_eq!(t.origin, 3);
+        assert_eq!(t.born, 0); // FIFO: oldest first
+        assert_eq!(p.stats.consumed, 1);
+        assert_eq!(p.load(), 1);
+    }
+
+    #[test]
+    fn consume_empty_returns_none() {
+        let mut p = Processor::new(0);
+        assert!(p.consume().is_none());
+        assert_eq!(p.stats.consumed, 0);
+    }
+
+    #[test]
+    fn task_ids_are_unique_across_processors() {
+        let mut a = Processor::new(0);
+        let mut b = Processor::new(1);
+        let ids: Vec<u64> = (0..10)
+            .map(|s| a.generate(s).id)
+            .chain((0..10).map(|s| b.generate(s).id))
+            .collect();
+        let mut sorted = ids.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), ids.len());
+    }
+
+    #[test]
+    fn generated_task_records_birth_step() {
+        let mut p = Processor::new(5);
+        let t = p.generate(42);
+        assert_eq!(t.born, 42);
+        assert_eq!(t.origin, 5);
+        assert_eq!(t.weight, 1);
+    }
+
+    #[test]
+    fn weighted_task_takes_weight_units_to_finish() {
+        let mut p = Processor::new(0);
+        p.generate_weighted(0, 3);
+        assert_eq!(p.remaining_work(), 3);
+        assert!(p.consume().is_none()); // unit 1
+        assert_eq!(p.remaining_work(), 2);
+        assert!(p.consume().is_none()); // unit 2
+        let done = p.consume().expect("unit 3 completes the task");
+        assert_eq!(done.weight, 3);
+        assert_eq!(p.remaining_work(), 0);
+        assert_eq!(p.stats.consumed, 1);
+        assert_eq!(p.load(), 0);
+    }
+
+    #[test]
+    fn unit_tasks_complete_in_one_unit() {
+        let mut p = Processor::new(0);
+        p.generate(0);
+        assert!(p.consume().is_some());
+        assert_eq!(p.remaining_work(), 0);
+    }
+
+    #[test]
+    fn zero_weight_clamped_to_one() {
+        let mut p = Processor::new(0);
+        p.generate_weighted(0, 0);
+        assert_eq!(p.remaining_work(), 1);
+    }
+}

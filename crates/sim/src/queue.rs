@@ -1,0 +1,303 @@
+//! FIFO task queues with the paper's transfer semantics.
+//!
+//! §3 of the paper fixes two queue rules that the waiting-time argument
+//! (Corollary 1) depends on:
+//!
+//! 1. tasks are *processed* in FIFO order (pop from the front), and
+//! 2. tasks moved by a balancing action are *taken from the back* of the
+//!    sender's queue and *appended to the back* of the receiver's queue
+//!    "in their old order".
+//!
+//! Rule 2 guarantees a transferred task's position relative to the front
+//! of its new queue is no worse than it was in the old one, which is what
+//! bounds sojourn times by the maximum load.
+
+use crate::task::Task;
+use std::collections::VecDeque;
+
+/// A processor's pending-task queue.
+///
+/// ```
+/// use pcrlb_sim::{Task, TaskQueue};
+///
+/// let mut sender = TaskQueue::new();
+/// for id in 0..5 {
+///     sender.push(Task::new(id, 0, 0));
+/// }
+/// // The paper's transfer rule: take from the back...
+/// let block = sender.take_back(2);
+/// assert_eq!(block.iter().map(|t| t.id).collect::<Vec<_>>(), vec![3, 4]);
+/// // ...append to the receiver's back, old order preserved.
+/// let mut receiver = TaskQueue::new();
+/// receiver.append_back(block);
+/// assert_eq!(receiver.front().unwrap().id, 3);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct TaskQueue {
+    tasks: VecDeque<Task>,
+    /// Sum of pending task weights, maintained incrementally so
+    /// weighted balancing reads it in O(1).
+    weight: u64,
+}
+
+impl TaskQueue {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        TaskQueue {
+            tasks: VecDeque::new(),
+            weight: 0,
+        }
+    }
+
+    /// Creates an empty queue with pre-reserved capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        TaskQueue {
+            tasks: VecDeque::with_capacity(cap),
+            weight: 0,
+        }
+    }
+
+    /// Number of pending tasks — the processor's *load*.
+    #[inline]
+    pub fn load(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// Sum of pending task weights — the processor's *weighted load*
+    /// (equals [`TaskQueue::load`] for unit-weight tasks).
+    #[inline]
+    pub fn weighted_load(&self) -> u64 {
+        self.weight
+    }
+
+    /// True when no tasks are pending.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.tasks.is_empty()
+    }
+
+    /// Enqueues a freshly generated task (rule 1: arrivals at the back).
+    #[inline]
+    pub fn push(&mut self, task: Task) {
+        self.weight += task.weight as u64;
+        self.tasks.push_back(task);
+    }
+
+    /// Dequeues the oldest task for execution (rule 1: FIFO service).
+    #[inline]
+    pub fn pop(&mut self) -> Option<Task> {
+        let t = self.tasks.pop_front();
+        if let Some(t) = &t {
+            self.weight -= t.weight as u64;
+        }
+        t
+    }
+
+    /// Oldest pending task, if any.
+    #[inline]
+    pub fn front(&self) -> Option<&Task> {
+        self.tasks.front()
+    }
+
+    /// Newest pending task, if any. Task-allocation strategies use this
+    /// to spot arrivals of the current step (their `born` equals the
+    /// current step) and relocate them at placement time.
+    #[inline]
+    pub fn back(&self) -> Option<&Task> {
+        self.tasks.back()
+    }
+
+    /// Removes up to `k` tasks from the *back* of the queue, returning
+    /// them in their old front-to-back order (rule 2, sender side).
+    pub fn take_back(&mut self, k: usize) -> Vec<Task> {
+        let k = k.min(self.tasks.len());
+        let split = self.tasks.len() - k;
+        let taken: Vec<Task> = self.tasks.split_off(split).into();
+        self.weight -= taken.iter().map(|t| t.weight as u64).sum::<u64>();
+        taken
+    }
+
+    /// Removes tasks from the back until at least `w` weight units have
+    /// been taken (or the queue is empty), returning them in their old
+    /// order — the sender side of a *weighted* transfer.
+    pub fn take_back_weight(&mut self, w: u64) -> Vec<Task> {
+        let mut taken_weight = 0u64;
+        let mut count = 0usize;
+        for t in self.tasks.iter().rev() {
+            if taken_weight >= w {
+                break;
+            }
+            taken_weight += t.weight as u64;
+            count += 1;
+        }
+        self.take_back(count)
+    }
+
+    /// Appends transferred tasks at the back, preserving their order
+    /// (rule 2, receiver side).
+    pub fn append_back(&mut self, tasks: Vec<Task>) {
+        self.weight += tasks.iter().map(|t| t.weight as u64).sum::<u64>();
+        self.tasks.extend(tasks);
+    }
+
+    /// Iterates tasks front (oldest) to back (newest).
+    pub fn iter(&self) -> impl Iterator<Item = &Task> {
+        self.tasks.iter()
+    }
+
+    /// Drops all tasks (used by adversarial scenarios that annihilate
+    /// load in place).
+    pub fn clear(&mut self) {
+        self.tasks.clear();
+        self.weight = 0;
+    }
+
+    /// Removes up to `k` tasks from the back *without* returning them —
+    /// the adversarial model's "consume O(T) tasks" move.
+    pub fn discard_back(&mut self, k: usize) -> usize {
+        let k = k.min(self.tasks.len());
+        let split = self.tasks.len() - k;
+        self.weight -= self
+            .tasks
+            .iter()
+            .skip(split)
+            .map(|t| t.weight as u64)
+            .sum::<u64>();
+        self.tasks.truncate(split);
+        k
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn q(ids: &[u64]) -> TaskQueue {
+        let mut q = TaskQueue::new();
+        for &id in ids {
+            q.push(Task::new(id, 0, 0));
+        }
+        q
+    }
+
+    fn ids(q: &TaskQueue) -> Vec<u64> {
+        q.iter().map(|t| t.id).collect()
+    }
+
+    #[test]
+    fn fifo_order() {
+        let mut q = q(&[1, 2, 3]);
+        assert_eq!(q.pop().unwrap().id, 1);
+        assert_eq!(q.pop().unwrap().id, 2);
+        assert_eq!(q.pop().unwrap().id, 3);
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn take_back_removes_newest_preserving_order() {
+        let mut q = q(&[1, 2, 3, 4, 5]);
+        let moved = q.take_back(2);
+        assert_eq!(moved.iter().map(|t| t.id).collect::<Vec<_>>(), vec![4, 5]);
+        assert_eq!(ids(&q), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn take_back_caps_at_len() {
+        let mut q = q(&[1, 2]);
+        let moved = q.take_back(10);
+        assert_eq!(moved.len(), 2);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn take_back_zero_is_noop() {
+        let mut q = q(&[1, 2]);
+        assert!(q.take_back(0).is_empty());
+        assert_eq!(q.load(), 2);
+    }
+
+    #[test]
+    fn transfer_roundtrip_matches_paper_rule() {
+        // Sender [1,2,3,4], receiver [9]; transfer 2 from back.
+        let mut s = q(&[1, 2, 3, 4]);
+        let mut r = q(&[9]);
+        r.append_back(s.take_back(2));
+        assert_eq!(ids(&s), vec![1, 2]);
+        assert_eq!(ids(&r), vec![9, 3, 4]);
+        // Transferred task 3 was at position 2 (0-based) in the sender,
+        // now position 1 in the receiver: "closer to the front than it
+        // was in the sender's queue" (paper, proof of Corollary 1).
+    }
+
+    #[test]
+    fn discard_back_drops_newest() {
+        let mut q = q(&[1, 2, 3]);
+        assert_eq!(q.discard_back(2), 2);
+        assert_eq!(ids(&q), vec![1]);
+        assert_eq!(q.discard_back(5), 1);
+        assert!(q.is_empty());
+        assert_eq!(q.discard_back(1), 0);
+    }
+
+    fn wq(weights: &[u32]) -> TaskQueue {
+        let mut q = TaskQueue::new();
+        for (i, &w) in weights.iter().enumerate() {
+            q.push(Task::new(i as u64, 0, 0).with_weight(w));
+        }
+        q
+    }
+
+    #[test]
+    fn weighted_load_tracks_all_mutations() {
+        let mut q = wq(&[2, 3, 5]);
+        assert_eq!(q.weighted_load(), 10);
+        assert_eq!(q.load(), 3);
+        q.pop(); // removes weight 2
+        assert_eq!(q.weighted_load(), 8);
+        let taken = q.take_back(1); // removes weight 5
+        assert_eq!(taken[0].weight, 5);
+        assert_eq!(q.weighted_load(), 3);
+        q.append_back(taken);
+        assert_eq!(q.weighted_load(), 8);
+        q.discard_back(1);
+        assert_eq!(q.weighted_load(), 3);
+        q.clear();
+        assert_eq!(q.weighted_load(), 0);
+    }
+
+    #[test]
+    fn take_back_weight_takes_just_enough() {
+        let mut q = wq(&[1, 1, 4, 2, 3]);
+        // Need >= 5 from the back: 3 + 2 = 5 — exactly two tasks.
+        let taken = q.take_back_weight(5);
+        assert_eq!(
+            taken.iter().map(|t| t.weight).collect::<Vec<_>>(),
+            vec![2, 3]
+        );
+        assert_eq!(q.weighted_load(), 6);
+        // Asking for more than exists drains the queue.
+        let rest = q.take_back_weight(100);
+        assert_eq!(rest.len(), 3);
+        assert_eq!(q.weighted_load(), 0);
+        // Zero request takes nothing.
+        assert!(q.take_back_weight(0).is_empty());
+    }
+
+    #[test]
+    fn unit_weight_queue_has_equal_loads() {
+        let q = q(&[1, 2, 3]);
+        assert_eq!(q.load() as u64, q.weighted_load());
+    }
+
+    #[test]
+    fn front_and_load() {
+        let mut q = q(&[7, 8]);
+        assert_eq!(q.load(), 2);
+        assert_eq!(q.front().unwrap().id, 7);
+        assert_eq!(q.back().unwrap().id, 8);
+        q.clear();
+        assert_eq!(q.load(), 0);
+        assert!(q.front().is_none());
+        assert!(q.back().is_none());
+    }
+}

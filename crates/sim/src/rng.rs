@@ -1,0 +1,343 @@
+//! Deterministic, splittable random-number streams.
+//!
+//! The paper's processors make independent random choices every step
+//! (task generation, consumption, and the i.u.a.r. processor selections
+//! of the collision protocol). For the simulation to be reproducible —
+//! and for the threaded engine to produce *bit-identical* results to the
+//! sequential one — every processor owns its own statistically
+//! independent stream, derived from a single master seed.
+//!
+//! We implement the generator ourselves (xoshiro256**, seeded through
+//! SplitMix64) rather than relying on `rand::rngs::SmallRng`, whose
+//! algorithm is explicitly unspecified and may change between `rand`
+//! releases. Experiment outputs recorded in `EXPERIMENTS.md` must stay
+//! reproducible from the seeds printed next to them.
+//!
+//! The generator implements [`rand::RngCore`], so all of `rand`'s
+//! distribution machinery works on top of it.
+
+use rand::{Error, RngCore, SeedableRng};
+
+/// SplitMix64 step: the standard 64-bit finalizer-based generator used
+/// for seeding and for deriving independent sub-streams.
+#[inline]
+pub fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A xoshiro256** generator: fast, 256-bit state, passes BigCrush, and
+/// fully specified here so simulation outputs are stable across builds.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SimRng {
+    s: [u64; 4],
+}
+
+impl SimRng {
+    /// Creates a stream from a master seed. Equal seeds give equal
+    /// streams; this is the root of all determinism in the simulator.
+    pub fn new(seed: u64) -> Self {
+        let mut sm = seed;
+        // SplitMix64 expansion is the seeding procedure recommended by
+        // the xoshiro authors; it also maps the all-zero seed to a valid
+        // (nonzero) state.
+        let s = [
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+        ];
+        SimRng { s }
+    }
+
+    /// Derives the `index`-th sub-stream of this seed. Used to give each
+    /// processor (and the global protocol driver) independent streams:
+    /// `SimRng::stream(seed, i)` and `SimRng::stream(seed, j)` are
+    /// decorrelated for `i != j` because the (seed, index) pair is mixed
+    /// through SplitMix64 before state expansion.
+    pub fn stream(seed: u64, index: u64) -> Self {
+        let mut sm = seed ^ 0xA076_1D64_78BD_642F_u64.wrapping_mul(index.wrapping_add(1));
+        let mixed = splitmix64(&mut sm);
+        SimRng::new(mixed ^ index.rotate_left(17))
+    }
+
+    #[inline]
+    fn next(&mut self) -> u64 {
+        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform draw from `0..bound` without modulo bias (Lemire's
+    /// widening-multiply rejection method). `bound` must be nonzero.
+    #[inline]
+    pub fn below(&mut self, bound: usize) -> usize {
+        debug_assert!(bound > 0, "below() requires a nonzero bound");
+        let bound = bound as u64;
+        loop {
+            let x = self.next();
+            let m = (x as u128).wrapping_mul(bound as u128);
+            let low = m as u64;
+            if low >= bound.wrapping_neg() % bound {
+                return (m >> 64) as usize;
+            }
+            // Rejected draw (probability < bound / 2^64); resample.
+        }
+    }
+
+    /// Bernoulli trial with success probability `p` (clamped to `[0,1]`).
+    #[inline]
+    pub fn chance(&mut self, p: f64) -> bool {
+        if p <= 0.0 {
+            return false;
+        }
+        if p >= 1.0 {
+            return true;
+        }
+        self.f64() < p
+    }
+
+    /// Uniform `f64` in `[0, 1)` with 53 bits of precision.
+    #[inline]
+    pub fn f64(&mut self) -> f64 {
+        (self.next() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Samples `k` distinct values from `0..n` (a uniform k-subset,
+    /// order of first appearance). Uses rejection, which is fast for the
+    /// regime the collision protocol needs (`k` ≤ a ≪ n). Panics if
+    /// `k > n`.
+    pub fn distinct(&mut self, n: usize, k: usize, out: &mut Vec<usize>) {
+        assert!(k <= n, "cannot draw {k} distinct values from 0..{n}");
+        out.clear();
+        if k == 0 {
+            return;
+        }
+        // For small k relative to n, rejection terminates quickly; for
+        // the degenerate k ~ n case fall back to a partial shuffle.
+        if k * 4 <= n {
+            while out.len() < k {
+                let v = self.below(n);
+                if !out.contains(&v) {
+                    out.push(v);
+                }
+            }
+        } else {
+            let mut pool: Vec<usize> = (0..n).collect();
+            for i in 0..k {
+                let j = i + self.below(n - i);
+                pool.swap(i, j);
+            }
+            out.extend_from_slice(&pool[..k]);
+        }
+    }
+
+    /// Fisher–Yates shuffle of a slice.
+    pub fn shuffle<T>(&mut self, xs: &mut [T]) {
+        for i in (1..xs.len()).rev() {
+            let j = self.below(i + 1);
+            xs.swap(i, j);
+        }
+    }
+}
+
+impl RngCore for SimRng {
+    #[inline]
+    fn next_u32(&mut self) -> u32 {
+        (self.next() >> 32) as u32
+    }
+
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        self.next()
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        let mut chunks = dest.chunks_exact_mut(8);
+        for chunk in &mut chunks {
+            chunk.copy_from_slice(&self.next().to_le_bytes());
+        }
+        let rem = chunks.into_remainder();
+        if !rem.is_empty() {
+            let bytes = self.next().to_le_bytes();
+            rem.copy_from_slice(&bytes[..rem.len()]);
+        }
+    }
+
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), Error> {
+        self.fill_bytes(dest);
+        Ok(())
+    }
+}
+
+impl SeedableRng for SimRng {
+    type Seed = [u8; 8];
+
+    fn from_seed(seed: Self::Seed) -> Self {
+        SimRng::new(u64::from_le_bytes(seed))
+    }
+
+    fn seed_from_u64(state: u64) -> Self {
+        SimRng::new(state)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = SimRng::new(42);
+        let mut b = SimRng::new(42);
+        for _ in 0..1000 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = SimRng::new(1);
+        let mut b = SimRng::new(2);
+        let equal = (0..100).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(equal < 3, "streams from different seeds should diverge");
+    }
+
+    #[test]
+    fn streams_are_decorrelated() {
+        let mut a = SimRng::stream(7, 0);
+        let mut b = SimRng::stream(7, 1);
+        let equal = (0..100).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(equal < 3);
+    }
+
+    #[test]
+    fn zero_seed_is_valid() {
+        let mut r = SimRng::new(0);
+        // xoshiro's all-zero state is a fixed point; seeding through
+        // SplitMix64 must avoid it.
+        assert_ne!(r.next_u64() | r.next_u64() | r.next_u64(), 0);
+    }
+
+    #[test]
+    fn below_respects_bound() {
+        let mut r = SimRng::new(3);
+        for bound in [1usize, 2, 3, 7, 100, 12345] {
+            for _ in 0..200 {
+                assert!(r.below(bound) < bound);
+            }
+        }
+    }
+
+    #[test]
+    fn below_is_roughly_uniform() {
+        let mut r = SimRng::new(11);
+        let bound = 10;
+        let mut counts = [0usize; 10];
+        let draws = 100_000;
+        for _ in 0..draws {
+            counts[r.below(bound)] += 1;
+        }
+        let expected = draws / bound;
+        for (v, &c) in counts.iter().enumerate() {
+            assert!(
+                (c as f64 - expected as f64).abs() < expected as f64 * 0.1,
+                "value {v} count {c} too far from {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut r = SimRng::new(5);
+        assert!(!r.chance(0.0));
+        assert!(r.chance(1.0));
+        assert!(!r.chance(-0.5));
+        assert!(r.chance(1.5));
+    }
+
+    #[test]
+    fn chance_frequency_matches_p() {
+        let mut r = SimRng::new(13);
+        let trials = 100_000;
+        let hits = (0..trials).filter(|_| r.chance(0.3)).count();
+        let freq = hits as f64 / trials as f64;
+        assert!((freq - 0.3).abs() < 0.01, "observed {freq}");
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut r = SimRng::new(17);
+        for _ in 0..10_000 {
+            let x = r.f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn distinct_yields_distinct_in_range() {
+        let mut r = SimRng::new(23);
+        let mut out = Vec::new();
+        for (n, k) in [(100, 5), (10, 10), (10, 9), (5, 0), (1, 1), (1000, 250)] {
+            r.distinct(n, k, &mut out);
+            assert_eq!(out.len(), k);
+            let mut sorted = out.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(sorted.len(), k, "duplicates for n={n} k={k}");
+            assert!(out.iter().all(|&v| v < n));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "distinct")]
+    fn distinct_panics_when_k_exceeds_n() {
+        let mut r = SimRng::new(1);
+        let mut out = Vec::new();
+        r.distinct(3, 4, &mut out);
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut r = SimRng::new(29);
+        let mut xs: Vec<u32> = (0..50).collect();
+        r.shuffle(&mut xs);
+        let mut sorted = xs.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn fill_bytes_unaligned_lengths() {
+        let mut r = SimRng::new(31);
+        for len in [0usize, 1, 7, 8, 9, 15, 16, 17] {
+            let mut buf = vec![0u8; len];
+            r.fill_bytes(&mut buf);
+            // No assertion beyond "doesn't panic"; content checked by
+            // determinism test below.
+        }
+        let mut a = SimRng::new(99);
+        let mut b = SimRng::new(99);
+        let mut ba = [0u8; 13];
+        let mut bb = [0u8; 13];
+        a.fill_bytes(&mut ba);
+        b.fill_bytes(&mut bb);
+        assert_eq!(ba, bb);
+    }
+
+    #[test]
+    fn seedable_rng_roundtrip() {
+        let a = SimRng::from_seed(42u64.to_le_bytes());
+        let b = SimRng::seed_from_u64(42);
+        assert_eq!(a, b);
+    }
+}

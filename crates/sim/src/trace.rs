@@ -1,0 +1,132 @@
+//! Bounded event tracing for debugging and for tests that assert on
+//! protocol behaviour (e.g. "no processor accepted two queries in one
+//! collision game").
+//!
+//! Tracing is opt-in: strategies receive an optional [`Trace`] and emit
+//! events only when one is attached, so production runs pay nothing.
+
+use crate::types::{ProcId, Step};
+
+/// A protocol-level event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[allow(missing_docs)] // variant payloads are named self-descriptively
+pub enum Event {
+    /// A phase began; payload is the phase index.
+    PhaseStart { phase: u64, step: Step },
+    /// `proc` was classified heavy at the start of a phase.
+    Heavy {
+        phase: u64,
+        proc: ProcId,
+        load: usize,
+    },
+    /// A collision game round finished with this many open requests.
+    GameRound {
+        phase: u64,
+        level: u32,
+        open_requests: usize,
+    },
+    /// `from` transferred `tasks` tasks to `to`.
+    Transfer {
+        step: Step,
+        from: ProcId,
+        to: ProcId,
+        tasks: usize,
+    },
+    /// A heavy processor failed to find a partner this phase.
+    SearchFailed { phase: u64, proc: ProcId },
+}
+
+/// A bounded in-memory event log. Drops (and counts) events beyond the
+/// capacity instead of growing without bound.
+#[derive(Debug, Clone)]
+pub struct Trace {
+    events: Vec<Event>,
+    capacity: usize,
+    dropped: u64,
+}
+
+impl Trace {
+    /// Creates a trace holding at most `capacity` events.
+    pub fn new(capacity: usize) -> Self {
+        Trace {
+            events: Vec::new(),
+            capacity,
+            dropped: 0,
+        }
+    }
+
+    /// Records an event (or counts it as dropped when full).
+    pub fn push(&mut self, ev: Event) {
+        if self.events.len() < self.capacity {
+            self.events.push(ev);
+        } else {
+            self.dropped += 1;
+        }
+    }
+
+    /// Recorded events, oldest first.
+    pub fn events(&self) -> &[Event] {
+        &self.events
+    }
+
+    /// Number of events that did not fit.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Clears the log (capacity is kept).
+    pub fn clear(&mut self) {
+        self.events.clear();
+        self.dropped = 0;
+    }
+
+    /// Convenience: all transfers recorded.
+    pub fn transfers(&self) -> impl Iterator<Item = &Event> {
+        self.events
+            .iter()
+            .filter(|e| matches!(e, Event::Transfer { .. }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_until_capacity_then_counts_drops() {
+        let mut t = Trace::new(2);
+        t.push(Event::PhaseStart { phase: 0, step: 0 });
+        t.push(Event::PhaseStart { phase: 1, step: 4 });
+        t.push(Event::PhaseStart { phase: 2, step: 8 });
+        assert_eq!(t.events().len(), 2);
+        assert_eq!(t.dropped(), 1);
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut t = Trace::new(1);
+        t.push(Event::SearchFailed { phase: 0, proc: 1 });
+        t.push(Event::SearchFailed { phase: 0, proc: 2 });
+        t.clear();
+        assert!(t.events().is_empty());
+        assert_eq!(t.dropped(), 0);
+    }
+
+    #[test]
+    fn transfer_filter() {
+        let mut t = Trace::new(10);
+        t.push(Event::PhaseStart { phase: 0, step: 0 });
+        t.push(Event::Transfer {
+            step: 1,
+            from: 0,
+            to: 1,
+            tasks: 4,
+        });
+        t.push(Event::Heavy {
+            phase: 0,
+            proc: 0,
+            load: 9,
+        });
+        assert_eq!(t.transfers().count(), 1);
+    }
+}

@@ -1,0 +1,64 @@
+//! Shared primitive types of the simulation substrate.
+
+/// Index of a processor, `0..n`.
+pub type ProcId = usize;
+
+/// Discrete simulation time. One step is the paper's four-sub-step time
+/// unit: generate, consume, decide, move (§5 remark).
+pub type Step = u64;
+
+/// `ceil(log2 x)` for `x >= 1`, with `ilog2ceil(1) == 0`.
+#[inline]
+pub fn ilog2ceil(x: usize) -> u32 {
+    assert!(x >= 1, "ilog2ceil of 0");
+    if x == 1 {
+        0
+    } else {
+        usize::BITS - (x - 1).leading_zeros()
+    }
+}
+
+/// The paper's `log log n` (base 2, ceiled, and clamped below by 1 so
+/// that small-`n` configurations stay non-degenerate).
+#[inline]
+pub fn loglog(n: usize) -> u32 {
+    ilog2ceil(ilog2ceil(n.max(2)) as usize).max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ilog2ceil_values() {
+        assert_eq!(ilog2ceil(1), 0);
+        assert_eq!(ilog2ceil(2), 1);
+        assert_eq!(ilog2ceil(3), 2);
+        assert_eq!(ilog2ceil(4), 2);
+        assert_eq!(ilog2ceil(5), 3);
+        assert_eq!(ilog2ceil(1024), 10);
+        assert_eq!(ilog2ceil(1025), 11);
+    }
+
+    #[test]
+    #[should_panic(expected = "ilog2ceil of 0")]
+    fn ilog2ceil_zero_panics() {
+        ilog2ceil(0);
+    }
+
+    #[test]
+    fn loglog_values() {
+        assert_eq!(loglog(2), 1); // log2 = 1, loglog clamped to 1
+        assert_eq!(loglog(4), 1);
+        assert_eq!(loglog(16), 2);
+        assert_eq!(loglog(256), 3);
+        assert_eq!(loglog(65_536), 4);
+        assert_eq!(loglog(1 << 20), 5);
+    }
+
+    #[test]
+    fn loglog_handles_tiny_n() {
+        assert_eq!(loglog(0), 1);
+        assert_eq!(loglog(1), 1);
+    }
+}

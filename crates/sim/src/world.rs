@@ -1,0 +1,568 @@
+//! The shared simulation state: processors, time, RNG streams, message
+//! ledger, and completion statistics.
+//!
+//! A [`World`] is what balancing strategies manipulate. It deliberately
+//! exposes only operations that a distributed algorithm could perform —
+//! reading a load takes a message in reality, so strategies that inspect
+//! loads must account for it themselves via [`World::ledger_mut`];
+//! the world does not hide communication.
+
+use crate::message::{MessageLedger, MessageStats};
+use crate::processor::Processor;
+use crate::queue::TaskQueue;
+use crate::rng::SimRng;
+use crate::task::{Completion, Task};
+use crate::types::{ProcId, Step};
+
+/// Aggregated completion (executed-task) statistics.
+///
+/// Stores a histogram of sojourn times rather than every completion:
+/// long runs at `n = 2^16` complete hundreds of millions of tasks.
+#[derive(Debug, Clone)]
+pub struct CompletionStats {
+    /// Tasks completed.
+    pub count: u64,
+    /// Sum of sojourn times (for the mean).
+    pub sojourn_sum: u64,
+    /// Largest sojourn observed.
+    pub sojourn_max: u64,
+    /// Tasks that executed on their origin processor.
+    pub local_count: u64,
+    /// `hist[w]` = completions with sojourn `w`; the final bucket
+    /// aggregates everything `>= hist.len() - 1`.
+    pub hist: Vec<u64>,
+}
+
+impl CompletionStats {
+    /// `hist_cap` bounds the sojourn histogram resolution.
+    pub fn new(hist_cap: usize) -> Self {
+        CompletionStats {
+            count: 0,
+            sojourn_sum: 0,
+            sojourn_max: 0,
+            local_count: 0,
+            hist: vec![0; hist_cap.max(2)],
+        }
+    }
+
+    pub(crate) fn record(&mut self, c: &Completion) {
+        let w = c.sojourn();
+        self.count += 1;
+        self.sojourn_sum += w;
+        self.sojourn_max = self.sojourn_max.max(w);
+        if c.ran_at_origin() {
+            self.local_count += 1;
+        }
+        let idx = (w as usize).min(self.hist.len() - 1);
+        self.hist[idx] += 1;
+    }
+
+    /// Mean sojourn time, 0 when nothing completed.
+    pub fn sojourn_mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sojourn_sum as f64 / self.count as f64
+        }
+    }
+
+    /// Fraction of tasks that executed where they were generated.
+    pub fn locality(&self) -> f64 {
+        if self.count == 0 {
+            1.0
+        } else {
+            self.local_count as f64 / self.count as f64
+        }
+    }
+
+    /// Empirical `P(sojourn > w)`.
+    pub fn tail_probability(&self, w: u64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let above: u64 = self
+            .hist
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| *i as u64 > w)
+            .map(|(_, c)| *c)
+            .sum();
+        above as f64 / self.count as f64
+    }
+
+    fn merge(&mut self, other: &CompletionStats) {
+        self.count += other.count;
+        self.sojourn_sum += other.sojourn_sum;
+        self.sojourn_max = self.sojourn_max.max(other.sojourn_max);
+        self.local_count += other.local_count;
+        for (a, b) in self.hist.iter_mut().zip(&other.hist) {
+            *a += b;
+        }
+    }
+}
+
+/// Complete state of the simulated machine.
+#[derive(Debug, Clone)]
+pub struct World {
+    step: Step,
+    procs: Vec<Processor>,
+    /// Per-processor RNG streams (index `i`) — local decisions only.
+    rngs: Vec<SimRng>,
+    /// Stream used by globally-coordinated protocol machinery.
+    global_rng: SimRng,
+    ledger: MessageLedger,
+    completions: CompletionStats,
+    seed: u64,
+}
+
+/// Default sojourn-histogram resolution (buckets).
+pub const DEFAULT_SOJOURN_HIST: usize = 4096;
+
+impl World {
+    /// Creates a world of `n` processors driven by `seed`.
+    ///
+    /// # Panics
+    /// Panics when `n == 0`.
+    pub fn new(n: usize, seed: u64) -> Self {
+        assert!(n > 0, "a world needs at least one processor");
+        World {
+            step: 0,
+            procs: (0..n).map(Processor::new).collect(),
+            rngs: (0..n as u64).map(|i| SimRng::stream(seed, i)).collect(),
+            global_rng: SimRng::stream(seed, n as u64),
+            ledger: MessageLedger::new(),
+            completions: CompletionStats::new(DEFAULT_SOJOURN_HIST),
+            seed,
+        }
+    }
+
+    /// Number of processors.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.procs.len()
+    }
+
+    /// Current simulation step.
+    #[inline]
+    pub fn step(&self) -> Step {
+        self.step
+    }
+
+    /// Master seed the world was built from.
+    #[inline]
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Advances the clock by one step. Called by the engine only.
+    pub(crate) fn tick(&mut self) {
+        self.step += 1;
+    }
+
+    /// Load of processor `p`.
+    ///
+    /// # Panics
+    /// Panics when `p >= n` — processor ids are dense indices, so an
+    /// out-of-range id is a caller bug (this applies to every
+    /// per-processor accessor on `World`).
+    #[inline]
+    pub fn load(&self, p: ProcId) -> usize {
+        self.procs[p].load()
+    }
+
+    /// Copies all loads into `out` (reused buffer pattern).
+    pub fn loads_into(&self, out: &mut Vec<usize>) {
+        out.clear();
+        out.extend(self.procs.iter().map(|p| p.load()));
+    }
+
+    /// All loads as a fresh vector.
+    pub fn loads(&self) -> Vec<usize> {
+        self.procs.iter().map(|p| p.load()).collect()
+    }
+
+    /// Maximum load over all processors.
+    pub fn max_load(&self) -> usize {
+        self.procs.iter().map(|p| p.load()).max().unwrap_or(0)
+    }
+
+    /// Total system load.
+    pub fn total_load(&self) -> u64 {
+        self.procs.iter().map(|p| p.load() as u64).sum()
+    }
+
+    /// Remaining work units on `p` (weighted load; equals
+    /// [`World::load`] for unit-weight tasks).
+    #[inline]
+    pub fn weighted_load(&self, p: ProcId) -> u64 {
+        self.procs[p].remaining_work()
+    }
+
+    /// Maximum weighted load over all processors.
+    pub fn max_weighted_load(&self) -> u64 {
+        self.procs
+            .iter()
+            .map(|p| p.remaining_work())
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Total remaining work in the system.
+    pub fn total_weighted_load(&self) -> u64 {
+        self.procs.iter().map(|p| p.remaining_work()).sum()
+    }
+
+    /// Immutable processor access.
+    #[inline]
+    pub fn proc(&self, p: ProcId) -> &Processor {
+        &self.procs[p]
+    }
+
+    /// Iterate over processors.
+    pub fn procs(&self) -> impl Iterator<Item = &Processor> {
+        self.procs.iter()
+    }
+
+    /// Generates one unit-weight task on `p` (a local action; no
+    /// message cost).
+    pub fn generate_one(&mut self, p: ProcId) -> Task {
+        let step = self.step;
+        self.procs[p].generate(step)
+    }
+
+    /// Generates one task of the given weight on `p`.
+    pub fn generate_one_weighted(&mut self, p: ProcId, weight: u32) -> Task {
+        let step = self.step;
+        self.procs[p].generate_weighted(step, weight)
+    }
+
+    /// Consumes one work unit from the oldest task on `p`, recording a
+    /// completion when that unit finishes the task. For unit-weight
+    /// tasks this is exactly "consume the oldest task".
+    pub fn consume_one(&mut self, p: ProcId) -> Option<Task> {
+        let step = self.step;
+        let task = self.procs[p].consume()?;
+        self.completions.record(&Completion {
+            task,
+            executed_on: p,
+            finished: step,
+        });
+        Some(task)
+    }
+
+    /// Moves up to `k` tasks from the back of `from`'s queue to the back
+    /// of `to`'s queue (paper §3 transfer rule) and records the transfer
+    /// in the ledger. Returns the number actually moved.
+    ///
+    /// # Panics
+    /// Panics when `from == to`: the protocol never balances with
+    /// itself, so this indicates a strategy bug.
+    pub fn transfer(&mut self, from: ProcId, to: ProcId, k: usize) -> usize {
+        assert_ne!(from, to, "self-transfer is a strategy bug");
+        let tasks = self.procs[from].queue_mut().take_back(k);
+        let moved = tasks.len();
+        if moved > 0 {
+            self.procs[from].stats.transfers_out += 1;
+            self.procs[from].stats.tasks_sent += moved as u64;
+            self.procs[to].stats.transfers_in += 1;
+            self.procs[to].stats.tasks_received += moved as u64;
+            self.procs[to].queue_mut().append_back(tasks);
+            self.ledger.record_transfer(moved as u64);
+        }
+        moved
+    }
+
+    /// Moves tasks totalling at least `w` weight units (as available)
+    /// from the back of `from`'s queue to the back of `to`'s queue —
+    /// the weighted-transfer counterpart of [`World::transfer`].
+    /// Returns the weight actually moved.
+    pub fn transfer_weight(&mut self, from: ProcId, to: ProcId, w: u64) -> u64 {
+        assert_ne!(from, to, "self-transfer is a strategy bug");
+        let tasks = self.procs[from].queue_mut().take_back_weight(w);
+        if tasks.is_empty() {
+            return 0;
+        }
+        let moved_weight: u64 = tasks.iter().map(|t| t.weight as u64).sum();
+        let moved = tasks.len();
+        self.procs[from].stats.transfers_out += 1;
+        self.procs[from].stats.tasks_sent += moved as u64;
+        self.procs[to].stats.transfers_in += 1;
+        self.procs[to].stats.tasks_received += moved as u64;
+        self.procs[to].queue_mut().append_back(tasks);
+        self.ledger.record_transfer(moved as u64);
+        moved_weight
+    }
+
+    /// Injects `k` adversarial/spike tasks on `p` (they count as
+    /// generated by `p` at the current step).
+    pub fn inject(&mut self, p: ProcId, k: usize) {
+        let step = self.step;
+        for _ in 0..k {
+            self.procs[p].generate(step);
+        }
+    }
+
+    /// Removes up to `k` tasks from the back of `p`'s queue without
+    /// executing them (adversarial consumption). Returns the number
+    /// removed. These do **not** count as completions.
+    pub fn annihilate(&mut self, p: ProcId, k: usize) -> usize {
+        self.procs[p].queue_mut().discard_back(k)
+    }
+
+    /// Marks `p` as heavy for the current phase (statistics only).
+    pub fn note_heavy(&mut self, p: ProcId) {
+        self.procs[p].stats.heavy_phases += 1;
+    }
+
+    /// Per-processor RNG stream.
+    #[inline]
+    pub fn rng_of(&mut self, p: ProcId) -> &mut SimRng {
+        &mut self.rngs[p]
+    }
+
+    /// Global protocol RNG stream.
+    #[inline]
+    pub fn rng_global(&mut self) -> &mut SimRng {
+        &mut self.global_rng
+    }
+
+    /// Message ledger (read).
+    #[inline]
+    pub fn messages(&self) -> MessageStats {
+        self.ledger.snapshot()
+    }
+
+    /// Message ledger (write) — strategies record their traffic here.
+    #[inline]
+    pub fn ledger_mut(&mut self) -> &mut MessageLedger {
+        &mut self.ledger
+    }
+
+    /// Completion statistics.
+    #[inline]
+    pub fn completions(&self) -> &CompletionStats {
+        &self.completions
+    }
+
+    /// Merges externally accumulated completions (used by the threaded
+    /// engine, which consumes tasks on worker threads).
+    pub(crate) fn merge_completions(&mut self, other: &CompletionStats) {
+        self.completions.merge(other);
+    }
+
+    /// Removes and returns the back `k` tasks of `p`'s queue *without*
+    /// recording a transfer. Building block for strategies whose
+    /// communication pattern differs from a point-to-point transfer
+    /// (e.g. the §5 scatter variant); callers must account for their own
+    /// messages via [`World::ledger_mut`].
+    pub fn extract_back(&mut self, p: ProcId, k: usize) -> Vec<Task> {
+        self.procs[p].queue_mut().take_back(k)
+    }
+
+    /// Appends tasks to the back of `p`'s queue without accounting.
+    /// Counterpart of [`World::extract_back`].
+    pub fn deposit(&mut self, p: ProcId, tasks: Vec<Task>) {
+        self.procs[p].queue_mut().append_back(tasks);
+    }
+
+    /// Direct queue access for substrates layered on top.
+    #[allow(dead_code)]
+    pub(crate) fn queue_mut(&mut self, p: ProcId) -> &mut TaskQueue {
+        self.procs[p].queue_mut()
+    }
+
+    /// Splits the processor and RNG arrays into disjoint shard views for
+    /// the threaded engine. Each shard gets matching slices so worker
+    /// threads can run generation/consumption without locks.
+    pub(crate) fn shards(
+        &mut self,
+        shard_count: usize,
+    ) -> (Step, Vec<(usize, &mut [Processor], &mut [SimRng])>) {
+        let n = self.procs.len();
+        let step = self.step;
+        let per = n.div_ceil(shard_count.max(1));
+        let mut out = Vec::new();
+        let mut procs: &mut [Processor] = &mut self.procs;
+        let mut rngs: &mut [SimRng] = &mut self.rngs;
+        let mut start = 0;
+        while !procs.is_empty() {
+            let take = per.min(procs.len());
+            let (ph, pt) = procs.split_at_mut(take);
+            let (rh, rt) = rngs.split_at_mut(take);
+            out.push((start, ph, rh));
+            procs = pt;
+            rngs = rt;
+            start += take;
+        }
+        (step, out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_world_is_empty() {
+        let w = World::new(8, 1);
+        assert_eq!(w.n(), 8);
+        assert_eq!(w.step(), 0);
+        assert_eq!(w.total_load(), 0);
+        assert_eq!(w.max_load(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one processor")]
+    fn zero_processors_panics() {
+        World::new(0, 1);
+    }
+
+    #[test]
+    fn generate_consume_cycle() {
+        let mut w = World::new(2, 7);
+        w.generate_one(0);
+        w.generate_one(0);
+        assert_eq!(w.load(0), 2);
+        w.tick();
+        w.tick();
+        let t = w.consume_one(0).unwrap();
+        assert_eq!(t.born, 0);
+        assert_eq!(w.completions().count, 1);
+        assert_eq!(w.completions().sojourn_max, 2);
+        assert!(w.consume_one(1).is_none());
+    }
+
+    #[test]
+    fn transfer_moves_back_tasks_and_records() {
+        let mut w = World::new(2, 3);
+        for _ in 0..5 {
+            w.generate_one(0);
+        }
+        let moved = w.transfer(0, 1, 3);
+        assert_eq!(moved, 3);
+        assert_eq!(w.load(0), 2);
+        assert_eq!(w.load(1), 3);
+        let m = w.messages();
+        assert_eq!(m.transfers, 1);
+        assert_eq!(m.tasks_moved, 3);
+        assert_eq!(w.proc(0).stats.tasks_sent, 3);
+        assert_eq!(w.proc(1).stats.tasks_received, 3);
+    }
+
+    #[test]
+    fn empty_transfer_records_nothing() {
+        let mut w = World::new(2, 3);
+        assert_eq!(w.transfer(0, 1, 4), 0);
+        assert_eq!(w.messages().transfers, 0);
+        assert_eq!(w.proc(0).stats.transfers_out, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "self-transfer")]
+    fn self_transfer_panics() {
+        let mut w = World::new(2, 3);
+        w.generate_one(0);
+        w.transfer(0, 0, 1);
+    }
+
+    #[test]
+    fn locality_tracks_transfers() {
+        let mut w = World::new(2, 5);
+        w.generate_one(0);
+        w.generate_one(0);
+        w.transfer(0, 1, 1);
+        w.consume_one(0);
+        w.consume_one(1);
+        let c = w.completions();
+        assert_eq!(c.count, 2);
+        assert_eq!(c.local_count, 1);
+        assert!((c.locality() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn inject_and_annihilate() {
+        let mut w = World::new(3, 9);
+        w.inject(2, 10);
+        assert_eq!(w.load(2), 10);
+        assert_eq!(w.proc(2).stats.generated, 10);
+        assert_eq!(w.annihilate(2, 4), 4);
+        assert_eq!(w.load(2), 6);
+        // Annihilated tasks are not completions.
+        assert_eq!(w.completions().count, 0);
+    }
+
+    #[test]
+    fn loads_snapshot() {
+        let mut w = World::new(3, 11);
+        w.inject(1, 2);
+        w.inject(2, 5);
+        assert_eq!(w.loads(), vec![0, 2, 5]);
+        assert_eq!(w.max_load(), 5);
+        assert_eq!(w.total_load(), 7);
+        let mut buf = Vec::new();
+        w.loads_into(&mut buf);
+        assert_eq!(buf, vec![0, 2, 5]);
+    }
+
+    #[test]
+    fn determinism_same_seed() {
+        let mut a = World::new(4, 42);
+        let mut b = World::new(4, 42);
+        for p in 0..4 {
+            assert_eq!(a.rng_of(p).next_u64_pub(), b.rng_of(p).next_u64_pub());
+        }
+    }
+
+    #[test]
+    fn shards_cover_all_processors() {
+        let mut w = World::new(10, 1);
+        let (_, shards) = w.shards(3);
+        let total: usize = shards.iter().map(|(_, p, _)| p.len()).sum();
+        assert_eq!(total, 10);
+        assert_eq!(shards[0].0, 0);
+        // Shard starts are contiguous.
+        let mut expected = 0;
+        for (start, procs, rngs) in &shards {
+            assert_eq!(*start, expected);
+            assert_eq!(procs.len(), rngs.len());
+            expected += procs.len();
+        }
+    }
+
+    #[test]
+    fn completion_tail_probability() {
+        let mut c = CompletionStats::new(16);
+        for w in [0u64, 1, 1, 5] {
+            c.record(&Completion {
+                task: Task::new(1, 0, 0),
+                executed_on: 0,
+                finished: w,
+            });
+        }
+        assert!((c.tail_probability(0) - 0.75).abs() < 1e-12);
+        assert!((c.tail_probability(1) - 0.25).abs() < 1e-12);
+        assert_eq!(c.tail_probability(5), 0.0);
+        assert_eq!(c.sojourn_max, 5);
+    }
+
+    #[test]
+    fn completion_hist_caps_overflow() {
+        let mut c = CompletionStats::new(4);
+        c.record(&Completion {
+            task: Task::new(1, 0, 0),
+            executed_on: 0,
+            finished: 1000,
+        });
+        assert_eq!(c.hist[3], 1);
+        assert_eq!(c.sojourn_max, 1000);
+    }
+}
+
+#[cfg(test)]
+impl crate::rng::SimRng {
+    /// Test-only alias to keep world tests independent of RngCore.
+    pub fn next_u64_pub(&mut self) -> u64 {
+        use rand::RngCore;
+        self.next_u64()
+    }
+}

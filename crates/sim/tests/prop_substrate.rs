@@ -1,0 +1,191 @@
+//! Property-based tests of the simulation substrate's invariants.
+
+use pcrlb_sim::{Engine, LoadModel, ProcId, SimRng, Step, Task, TaskQueue, Unbalanced, World};
+use proptest::prelude::*;
+
+/// A deterministic model parameterized by per-step generation count.
+#[derive(Clone, Copy)]
+struct FixedGen(usize, usize);
+
+impl LoadModel for FixedGen {
+    fn generate(&self, _: ProcId, _: Step, _: usize, _: &mut SimRng) -> usize {
+        self.0
+    }
+    fn consume(&self, _: ProcId, _: Step, _: usize, _: &mut SimRng) -> usize {
+        self.1
+    }
+}
+
+proptest! {
+    /// Transfers conserve tasks and never invent or destroy load.
+    #[test]
+    fn transfer_conserves_tasks(
+        load_a in 0usize..200,
+        load_b in 0usize..200,
+        k in 0usize..250,
+    ) {
+        let mut w = World::new(2, 1);
+        w.inject(0, load_a);
+        w.inject(1, load_b);
+        let before = w.total_load();
+        let moved = w.transfer(0, 1, k);
+        prop_assert_eq!(w.total_load(), before);
+        prop_assert_eq!(moved, k.min(load_a));
+        prop_assert_eq!(w.load(0), load_a - moved);
+        prop_assert_eq!(w.load(1), load_b + moved);
+    }
+
+    /// take_back + append_back preserves global FIFO-compatible order:
+    /// the receiver's queue ends with the moved block in its original
+    /// relative order, and the sender keeps its prefix.
+    #[test]
+    fn queue_transfer_preserves_order(
+        sender_ids in proptest::collection::vec(0u64..1000, 0..50),
+        k in 0usize..60,
+    ) {
+        let mut sender = TaskQueue::new();
+        for (i, &id) in sender_ids.iter().enumerate() {
+            // Unique ids: combine position and value.
+            sender.push(Task::new((i as u64) << 32 | id, 0, 0));
+        }
+        let all: Vec<u64> = sender.iter().map(|t| t.id).collect();
+        let moved = sender.take_back(k);
+        let kept: Vec<u64> = sender.iter().map(|t| t.id).collect();
+        let moved_ids: Vec<u64> = moved.iter().map(|t| t.id).collect();
+        let cut = all.len() - k.min(all.len());
+        prop_assert_eq!(&kept[..], &all[..cut]);
+        prop_assert_eq!(&moved_ids[..], &all[cut..]);
+    }
+
+    /// The engine's load accounting matches generation minus
+    /// consumption exactly for deterministic models.
+    #[test]
+    fn engine_load_accounting(
+        n in 1usize..20,
+        gen in 0usize..4,
+        cons in 0usize..4,
+        steps in 1u64..50,
+    ) {
+        let mut e = Engine::new(n, 7, FixedGen(gen, cons), Unbalanced);
+        e.run(steps);
+        let expected_per_proc = if gen >= cons {
+            (gen - cons) as u64 * steps
+        } else {
+            0
+        };
+        prop_assert_eq!(e.world().total_load(), expected_per_proc * n as u64);
+        // Completions = min(gen, cons) per step per proc when gen>=cons,
+        // otherwise everything generated completes.
+        let consumed_per_step = gen.min(cons) as u64;
+        prop_assert_eq!(
+            e.world().completions().count,
+            consumed_per_step * steps * n as u64
+        );
+    }
+
+    /// `SimRng::below` is always within bounds and `distinct` yields
+    /// distinct in-range values for every (n, k <= n).
+    #[test]
+    fn rng_contracts(seed in any::<u64>(), n in 1usize..500, k_frac in 0.0f64..1.0) {
+        let mut rng = SimRng::new(seed);
+        let k = ((n as f64) * k_frac) as usize;
+        prop_assert!(rng.below(n) < n);
+        let mut out = Vec::new();
+        rng.distinct(n, k, &mut out);
+        prop_assert_eq!(out.len(), k);
+        let mut sorted = out.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        prop_assert_eq!(sorted.len(), k);
+        prop_assert!(out.iter().all(|&v| v < n));
+    }
+
+    /// The queue's incremental weight counter always equals the sum of
+    /// its tasks' weights, across any interleaving of operations.
+    #[test]
+    fn queue_weight_counter_is_exact(
+        ops in proptest::collection::vec(
+            prop_oneof![
+                (1u32..10).prop_map(Some),          // push with weight
+                Just(None),                          // pop
+            ],
+            0..100,
+        ),
+        take in 0usize..20,
+        wtake in 0u64..40,
+    ) {
+        let mut q = TaskQueue::new();
+        let mut id = 0u64;
+        for op in ops {
+            match op {
+                Some(w) => {
+                    q.push(Task::new(id, 0, 0).with_weight(w));
+                    id += 1;
+                }
+                None => {
+                    q.pop();
+                }
+            }
+            let expected: u64 = q.iter().map(|t| t.weight as u64).sum();
+            prop_assert_eq!(q.weighted_load(), expected);
+        }
+        let before = q.weighted_load();
+        let taken = q.take_back(take);
+        let taken_w: u64 = taken.iter().map(|t| t.weight as u64).sum();
+        prop_assert_eq!(q.weighted_load() + taken_w, before);
+        q.append_back(taken);
+        prop_assert_eq!(q.weighted_load(), before);
+        // take_back_weight removes at least the requested weight when
+        // available, with overshoot below one task's weight.
+        let removed = q.take_back_weight(wtake);
+        let removed_w: u64 = removed.iter().map(|t| t.weight as u64).sum();
+        if before >= wtake {
+            prop_assert!(removed_w >= wtake);
+            if let Some(first) = removed.first() {
+                prop_assert!(removed_w - wtake < first.weight as u64);
+            }
+        } else {
+            prop_assert_eq!(removed_w, before);
+        }
+    }
+
+    /// Weighted transfers conserve total weight exactly.
+    #[test]
+    fn weighted_transfer_conserves_work(
+        weights_a in proptest::collection::vec(1u32..8, 0..30),
+        weights_b in proptest::collection::vec(1u32..8, 0..30),
+        w in 0u64..120,
+    ) {
+        let mut world = World::new(2, 1);
+        for &wt in &weights_a {
+            world.generate_one_weighted(0, wt);
+        }
+        for &wt in &weights_b {
+            world.generate_one_weighted(1, wt);
+        }
+        let before = world.total_weighted_load();
+        let moved = world.transfer_weight(0, 1, w);
+        prop_assert_eq!(world.total_weighted_load(), before);
+        prop_assert_eq!(
+            moved,
+            before - world.weighted_load(0) - weights_b.iter().map(|&x| x as u64).sum::<u64>()
+        );
+    }
+
+    /// Completions record exact sojourn times under FIFO service.
+    #[test]
+    fn sojourn_times_are_exact(queue_len in 1usize..40) {
+        // One processor, preloaded with queue_len tasks at step 0,
+        // consuming exactly one per step: task i completes at step i
+        // with sojourn i (born at 0, finished at step i = its position).
+        let mut w = World::new(1, 3);
+        w.inject(0, queue_len);
+        let mut e = Engine::with_world(w, FixedGen(0, 1), Unbalanced);
+        e.run(queue_len as u64 + 5);
+        let c = e.world().completions();
+        prop_assert_eq!(c.count, queue_len as u64);
+        prop_assert_eq!(c.sojourn_max, queue_len as u64 - 1);
+        // Sum of 0..queue_len-1.
+        prop_assert_eq!(c.sojourn_sum, (queue_len as u64 * (queue_len as u64 - 1)) / 2);
+    }
+}

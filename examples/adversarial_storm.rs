@@ -1,0 +1,97 @@
+//! An adversarial storm: a hot-spot workload hammers a handful of
+//! processors with `O(T)` tasks every window (the paper's `Adversarial`
+//! generation model, §1.2), and we watch the system absorb it.
+//!
+//! The demo runs the storm against (a) the unbalanced system, (b) the
+//! paper's balancer, and (c) the balancer with the §4.3 single-probe
+//! pre-round, printing a max-load timeline. The paper's bound for this
+//! regime is `O(B + (log log n)^2)`.
+//!
+//! ```text
+//! cargo run --release --example adversarial_storm
+//! ```
+
+use pcrlb::analysis::TimeSeries;
+use pcrlb::core::adversary::Targeted;
+use pcrlb::core::BalancerConfig;
+use pcrlb::prelude::*;
+
+fn timeline<S: Strategy>(
+    n: usize,
+    seed: u64,
+    steps: u64,
+    sample_every: u64,
+    adversary: Targeted,
+    strategy: S,
+) -> TimeSeries {
+    let mut engine = Engine::new(n, seed, adversary, strategy);
+    let mut series = TimeSeries::new(sample_every);
+    let mut step_no = 0u64;
+    engine.run_observed(steps, |w| {
+        step_no += 1;
+        series.offer(step_no, w.max_load() as f64);
+    });
+    series
+}
+
+fn main() {
+    let n = 1024;
+    let steps = 4_000;
+    let seed = 7;
+    let cfg = BalancerConfig::paper(n);
+    let t = cfg.theorem1_bound();
+
+    // Four victims receive T tasks every T steps — a sustained hot spot.
+    let storm = Targeted::new(t as u64, 4, t);
+    println!(
+        "adversarial storm: {n} processors, 4 victims x {t} tasks every {t} steps (T = {t})\n"
+    );
+
+    let sample = 50;
+    let unbal = timeline(n, seed, steps, sample, storm, Unbalanced);
+    let bal = timeline(
+        n,
+        seed,
+        steps,
+        sample,
+        storm,
+        ThresholdBalancer::new(cfg.clone()),
+    );
+    let pre = timeline(
+        n,
+        seed,
+        steps,
+        sample,
+        storm,
+        ThresholdBalancer::new(cfg.clone().with_adversarial_preround()),
+    );
+
+    let cap = unbal.max().unwrap_or(1.0);
+    let width = 80;
+    println!("max load over time (width {width}, full bar = {cap}):\n");
+    println!(
+        "  unbalanced  {}  peak {}",
+        unbal.sparkline(width, cap),
+        unbal.max().unwrap()
+    );
+    println!(
+        "  threshold   {}  peak {}",
+        bal.sparkline(width, cap),
+        bal.max().unwrap()
+    );
+    println!(
+        "  + preround  {}  peak {}",
+        pre.sparkline(width, cap),
+        pre.max().unwrap()
+    );
+    println!();
+    println!("paper bound for the adversarial model: O(B + (log log n)^2)");
+    println!("with per-window hot-spot budget B' = {t} per victim.");
+
+    let bal_peak = bal.max().unwrap();
+    let unbal_peak = unbal.max().unwrap();
+    assert!(
+        bal_peak < unbal_peak,
+        "balancing should beat the unbalanced system"
+    );
+}

@@ -1,0 +1,77 @@
+//! The collision protocol up close: one game, step by step, then the
+//! same game executed across real OS threads with channel-borne
+//! messages — verifying both produce identical assignments.
+//!
+//! ```text
+//! cargo run --release --example collision_demo
+//! ```
+
+use pcrlb::collision::{play_game, play_game_threaded, CollisionParams};
+use pcrlb::prelude::*;
+
+fn main() {
+    let n = 4096;
+    let params = CollisionParams::lemma1();
+    let requests = params.max_requests(n) / 2;
+    let requesters: Vec<ProcId> = (0..requests).collect();
+    let seed = 1998;
+
+    println!("(n, eps, a, b, c)-collision protocol — Lemma 1 parameters");
+    println!(
+        "n = {n}, a = {}, b = {}, c = {}, requests = {requests} (budget eps*n/a = {})",
+        params.a,
+        params.b,
+        params.c,
+        params.max_requests(n)
+    );
+    println!(
+        "round bound = {} rounds, step budget = {} <= 5 log log n = {}",
+        params.rounds(n),
+        params.steps_per_game(n),
+        5 * pcrlb::sim::loglog(n)
+    );
+    println!();
+
+    // Sequential game.
+    let mut rng = SimRng::new(seed);
+    let seq = play_game(n, &requesters, &params, &mut rng);
+    println!("sequential:  success = {}", seq.success);
+    println!("             rounds used   = {}", seq.rounds_used);
+    println!(
+        "             queries sent  = {} ({:.2}/request)",
+        seq.queries_sent,
+        seq.queries_sent as f64 / requests as f64
+    );
+    println!("             accepts sent  = {}", seq.accepts_sent);
+
+    // Every request got >= b accepts; no processor accepted > c queries.
+    let mut per_target = std::collections::HashMap::new();
+    for acc in &seq.accepted {
+        assert!(acc.len() >= params.b);
+        for &t in acc {
+            *per_target.entry(t).or_insert(0usize) += 1;
+        }
+    }
+    assert!(per_target.values().all(|&c| c <= params.c));
+    println!(
+        "             validity: every request >= {} accepts, every processor <= {} query",
+        params.b, params.c
+    );
+    println!();
+
+    // Threaded game over channels — same seed, identical outcome.
+    for shards in [2usize, 4, 8] {
+        let mut rng = SimRng::new(seed);
+        let par = play_game_threaded(n, &requesters, &params, &mut rng, shards);
+        assert_eq!(par.accepted, seq.accepted, "threaded game diverged");
+        println!(
+            "threaded ({shards} shards): identical assignment, {} queries, {} rounds",
+            par.queries_sent, par.rounds_used
+        );
+    }
+    println!();
+    println!("The protocol is insensitive to message arrival order within a");
+    println!("round (a processor accepts all-or-none of a round's queries),");
+    println!("so thread scheduling cannot change the outcome — the property");
+    println!("that lets the paper run it synchronously on a parallel machine.");
+}

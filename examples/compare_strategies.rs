@@ -1,0 +1,98 @@
+//! The full strategy shoot-out on one arrival stream: every continuous
+//! strategy in the workspace, one table — load, communication,
+//! locality, waiting time. A runnable version of the trade-off the
+//! paper stakes out in §1.2.
+//!
+//! ```text
+//! cargo run --release --example compare_strategies [n] [steps]
+//! ```
+
+use pcrlb::analysis::Table;
+use pcrlb::baselines::{DChoiceAllocation, LauerAverage, LulingMonien, RandomSeeking, RsuEqualize};
+use pcrlb::core::BalancerConfig;
+use pcrlb::prelude::*;
+
+fn measure<S: Strategy>(n: usize, steps: u64, seed: u64, strategy: S) -> [String; 5] {
+    let mut e = Engine::new(n, seed, Single::default_paper(), strategy);
+    let mut worst = 0usize;
+    let warmup = steps / 2;
+    let mut step_no = 0u64;
+    e.run_observed(steps, |w| {
+        step_no += 1;
+        if step_no > warmup {
+            worst = worst.max(w.max_load());
+        }
+    });
+    let w = e.world();
+    [
+        worst.to_string(),
+        format!("{:.2}", w.messages().control_total() as f64 / steps as f64),
+        format!("{:.2}", w.messages().tasks_moved as f64 / steps as f64),
+        format!("{:.1}%", w.completions().locality() * 100.0),
+        format!("{:.2}", w.completions().sojourn_mean()),
+    ]
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let n: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(4096);
+    let steps: u64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(4000);
+    let seed = 0xC0FFEE;
+    let t = BalancerConfig::paper(n).theorem1_bound();
+
+    println!("strategy comparison: n = {n}, steps = {steps}, Single(p=0.4, q=0.5), T = {t}\n");
+
+    let mut table = Table::new(&[
+        "strategy",
+        "worst max load",
+        "ctl msgs/step",
+        "tasks moved/step",
+        "locality",
+        "mean wait",
+    ]);
+    let mut add = |name: &str, cells: [String; 5]| {
+        let mut row = vec![name.to_string()];
+        row.extend(cells);
+        table.row(&row);
+    };
+
+    add("unbalanced", measure(n, steps, seed, Unbalanced));
+    add(
+        "threshold (paper)",
+        measure(n, steps, seed, ThresholdBalancer::paper(n)),
+    );
+    add(
+        "scatter (sec. 5)",
+        measure(n, steps, seed, ScatterBalancer::paper(n)),
+    );
+    add(
+        "1-choice alloc",
+        measure(n, steps, seed, DChoiceAllocation::new(1)),
+    );
+    add(
+        "2-choice alloc",
+        measure(n, steps, seed, DChoiceAllocation::new(2)),
+    );
+    add(
+        "rsu equalize",
+        measure(n, steps, seed, RsuEqualize::classic()),
+    );
+    add(
+        "luling-monien",
+        measure(n, steps, seed, LulingMonien::new(n, 2)),
+    );
+    add(
+        "lauer c=0.5",
+        measure(n, steps, seed, LauerAverage::new(0.5)),
+    );
+    add(
+        "random seeking",
+        measure(n, steps, seed, RandomSeeking::new(t / 2, t / 16 + 1, 4)),
+    );
+
+    println!("{}", table.to_text());
+    println!("Reading guide: the paper's algorithm trades a constant-factor");
+    println!("higher max load (O((llog n)^2) vs O(llog n)) for communication");
+    println!("that is orders of magnitude below every arrival-time or");
+    println!("every-step scheme — while keeping tasks where they were born.");
+}

@@ -1,0 +1,65 @@
+//! Quickstart: run the paper's algorithm on a 1024-processor machine
+//! under the `Single` generation model and print what Theorem 1
+//! promises — a tiny maximum load at almost no communication.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use pcrlb::prelude::*;
+
+fn main() {
+    let n = 1024;
+    let steps = 10_000;
+    let seed = 42;
+
+    // Generate a task w.p. 0.4/step, consume w.p. 0.5/step (the paper's
+    // Single model: geometrically distributed running times).
+    let model = Single::default_paper();
+
+    // The paper's algorithm with T = (log log n)^2 and all constants at
+    // their published ratios.
+    let balancer = ThresholdBalancer::paper(n);
+    let t = balancer.config().theorem1_bound();
+
+    let mut engine = Engine::new(n, seed, model, balancer);
+    let mut worst = 0;
+    engine.run_observed(steps, |w| worst = worst.max(w.max_load()));
+
+    let world = engine.world();
+    let stats = engine.strategy().stats();
+    println!("n = {n}, steps = {steps}, seed = {seed}");
+    println!();
+    println!("Theorem 1 bound T = (log log n)^2 = {t}");
+    println!("worst max load observed   = {worst}");
+    println!("final max load            = {}", world.max_load());
+    println!(
+        "mean load per processor   = {:.2}",
+        world.total_load() as f64 / n as f64
+    );
+    println!();
+    println!("tasks completed           = {}", world.completions().count);
+    println!(
+        "mean waiting time         = {:.2} steps",
+        world.completions().sojourn_mean()
+    );
+    println!(
+        "ran on their origin       = {:.1}%",
+        world.completions().locality() * 100.0
+    );
+    println!();
+    let msgs = world.messages();
+    println!("phases                    = {}", stats.phases);
+    println!("heavy classifications     = {}", stats.heavy_total);
+    println!(
+        "match rate                = {:.3}",
+        stats.match_rate().unwrap_or(1.0)
+    );
+    println!("control messages total    = {}", msgs.control_total());
+    println!(
+        "control messages per step = {:.3}  (balls-into-bins would pay ~{n}/step)",
+        msgs.control_total() as f64 / steps as f64
+    );
+
+    assert!(worst <= 2 * t, "Theorem 1 shape violated");
+}

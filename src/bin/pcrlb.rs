@@ -1,0 +1,25 @@
+//! The `pcrlb` command-line simulator: run any strategy/model
+//! combination and print the headline statistics.
+//!
+//! ```text
+//! pcrlb --n 4096 --steps 20000 --strategy threshold --model single
+//! ```
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match pcrlb::cli::parse(args) {
+        Ok(None) => print!("{}", pcrlb::cli::usage()),
+        Ok(Some(spec)) => {
+            println!(
+                "pcrlb: n={}, steps={}, seed={}, strategy={:?}, model={:?}\n",
+                spec.n, spec.steps, spec.seed, spec.strategy, spec.model
+            );
+            let report = pcrlb::cli::execute(&spec);
+            println!("{report}");
+        }
+        Err(e) => {
+            eprintln!("error: {e}\n\n{}", pcrlb::cli::usage());
+            std::process::exit(2);
+        }
+    }
+}

@@ -1,0 +1,398 @@
+//! Argument parsing and execution for the `pcrlb` CLI binary.
+//!
+//! Kept in the library so the parsing and run logic are unit-testable;
+//! `src/bin/pcrlb.rs` is a thin shell around [`parse`] and [`execute`].
+
+use crate::baselines::{DChoiceAllocation, LauerAverage, LulingMonien, RandomSeeking, RsuEqualize};
+use crate::core::{BalancerConfig, Geometric, Multi, ScatterBalancer, Single, ThresholdBalancer};
+use crate::sim::{Engine, LoadModel, Strategy, Unbalanced};
+use std::fmt;
+
+/// Which balancing strategy to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StrategyKind {
+    /// The paper's threshold balancer.
+    Threshold,
+    /// No balancing.
+    Unbalanced,
+    /// §5 scatter variant.
+    Scatter,
+    /// Arrival-time d-choice placement (d = 2).
+    TwoChoice,
+    /// RSU'91 equalization.
+    Rsu,
+    /// Lüling–Monien'93.
+    LulingMonien,
+    /// Lauer'95 with oracle average.
+    Lauer,
+    /// MD'96 random seeking.
+    Seeking,
+}
+
+impl StrategyKind {
+    /// All variants with their CLI names.
+    pub const ALL: [(&'static str, StrategyKind); 8] = [
+        ("threshold", StrategyKind::Threshold),
+        ("unbalanced", StrategyKind::Unbalanced),
+        ("scatter", StrategyKind::Scatter),
+        ("two-choice", StrategyKind::TwoChoice),
+        ("rsu", StrategyKind::Rsu),
+        ("luling-monien", StrategyKind::LulingMonien),
+        ("lauer", StrategyKind::Lauer),
+        ("seeking", StrategyKind::Seeking),
+    ];
+
+    fn parse(s: &str) -> Option<Self> {
+        Self::ALL.iter().find(|(n, _)| *n == s).map(|(_, k)| *k)
+    }
+}
+
+/// Which generation model to run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ModelKind {
+    /// `Single(p, q)`.
+    Single {
+        /// Generation probability.
+        p: f64,
+        /// Consumption probability.
+        q: f64,
+    },
+    /// `Geometric(k)`.
+    Geometric {
+        /// Maximum burst.
+        k: usize,
+    },
+    /// `Multi` with the default `[0.25, 0.15, 0.05]` distribution.
+    Multi,
+}
+
+/// A parsed CLI invocation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunSpec {
+    /// Processors.
+    pub n: usize,
+    /// Steps to simulate.
+    pub steps: u64,
+    /// Master seed.
+    pub seed: u64,
+    /// Strategy.
+    pub strategy: StrategyKind,
+    /// Generation model.
+    pub model: ModelKind,
+}
+
+impl Default for RunSpec {
+    fn default() -> Self {
+        RunSpec {
+            n: 1024,
+            steps: 10_000,
+            seed: 1998,
+            strategy: StrategyKind::Threshold,
+            model: ModelKind::Single { p: 0.4, q: 0.5 },
+        }
+    }
+}
+
+/// A parse failure, with a message suitable for the terminal.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError(pub String);
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// The CLI usage text.
+pub fn usage() -> String {
+    let strategies: Vec<&str> = StrategyKind::ALL.iter().map(|(n, _)| *n).collect();
+    format!(
+        "usage: pcrlb [OPTIONS]\n\n\
+         Simulate continuous randomized load balancing (SPAA 1998).\n\n\
+         OPTIONS\n\
+           --n N            processors (default 1024)\n\
+           --steps N        steps to simulate (default 10000)\n\
+           --seed N         master seed (default 1998)\n\
+           --strategy S     one of: {}\n\
+           --model M        single[:p,q] | geometric[:k] | multi\n\
+           --help           show this text\n",
+        strategies.join(", ")
+    )
+}
+
+/// Parses CLI arguments (without the program name). `Ok(None)` means
+/// help was requested.
+pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Option<RunSpec>, ParseError> {
+    let mut spec = RunSpec::default();
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .ok_or_else(|| ParseError(format!("{name} requires a value")))
+        };
+        match arg.as_str() {
+            "--help" | "-h" => return Ok(None),
+            "--n" => {
+                spec.n = value("--n")?
+                    .parse()
+                    .map_err(|_| ParseError("--n must be an integer".into()))?;
+                if spec.n < 8 {
+                    return Err(ParseError("--n must be at least 8".into()));
+                }
+            }
+            "--steps" => {
+                spec.steps = value("--steps")?
+                    .parse()
+                    .map_err(|_| ParseError("--steps must be an integer".into()))?;
+            }
+            "--seed" => {
+                spec.seed = value("--seed")?
+                    .parse()
+                    .map_err(|_| ParseError("--seed must be an integer".into()))?;
+            }
+            "--strategy" => {
+                let v = value("--strategy")?;
+                spec.strategy = StrategyKind::parse(&v)
+                    .ok_or_else(|| ParseError(format!("unknown strategy '{v}'")))?;
+            }
+            "--model" => {
+                let v = value("--model")?;
+                spec.model = parse_model(&v)?;
+            }
+            other => return Err(ParseError(format!("unknown option '{other}'"))),
+        }
+    }
+    Ok(Some(spec))
+}
+
+fn parse_model(s: &str) -> Result<ModelKind, ParseError> {
+    let (name, params) = match s.split_once(':') {
+        Some((n, p)) => (n, Some(p)),
+        None => (s, None),
+    };
+    match name {
+        "single" => {
+            let (p, q) = match params {
+                None => (0.4, 0.5),
+                Some(pq) => {
+                    let (p, q) = pq
+                        .split_once(',')
+                        .ok_or_else(|| ParseError("single:p,q needs two values".into()))?;
+                    (
+                        p.parse().map_err(|_| ParseError("invalid p".into()))?,
+                        q.parse().map_err(|_| ParseError("invalid q".into()))?,
+                    )
+                }
+            };
+            Single::new(p, q)
+                .map_err(|e| ParseError(e.to_string()))
+                .map(|m| ModelKind::Single { p: m.p, q: m.q })
+        }
+        "geometric" => {
+            let k = match params {
+                None => 2,
+                Some(k) => k.parse().map_err(|_| ParseError("invalid k".into()))?,
+            };
+            Geometric::new(k)
+                .map_err(|e| ParseError(e.to_string()))
+                .map(|g| ModelKind::Geometric { k: g.k })
+        }
+        "multi" => Ok(ModelKind::Multi),
+        other => Err(ParseError(format!("unknown model '{other}'"))),
+    }
+}
+
+/// The report printed after a run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunReport {
+    /// Largest max load observed at any step.
+    pub worst_max_load: usize,
+    /// Final max load.
+    pub final_max_load: usize,
+    /// Mean load per processor at the end.
+    pub mean_load: f64,
+    /// Tasks completed.
+    pub completed: u64,
+    /// Mean waiting time.
+    pub mean_wait: f64,
+    /// Fraction executed at their origin.
+    pub locality: f64,
+    /// Control messages per step.
+    pub msgs_per_step: f64,
+    /// The Theorem 1 bound for this `n`.
+    pub theorem1_bound: usize,
+}
+
+impl fmt::Display for RunReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "worst max load        = {}", self.worst_max_load)?;
+        writeln!(f, "final max load        = {}", self.final_max_load)?;
+        writeln!(f, "mean load / processor = {:.2}", self.mean_load)?;
+        writeln!(f, "tasks completed       = {}", self.completed)?;
+        writeln!(f, "mean waiting time     = {:.2}", self.mean_wait)?;
+        writeln!(f, "locality              = {:.1}%", self.locality * 100.0)?;
+        writeln!(f, "control msgs / step   = {:.2}", self.msgs_per_step)?;
+        write!(f, "Theorem 1 bound T     = {}", self.theorem1_bound)
+    }
+}
+
+fn run_with<M: LoadModel, S: Strategy>(spec: &RunSpec, model: M, strategy: S) -> RunReport {
+    let mut engine = Engine::new(spec.n, spec.seed, model, strategy);
+    let mut worst = 0usize;
+    engine.run_observed(spec.steps, |w| worst = worst.max(w.max_load()));
+    let w = engine.world();
+    RunReport {
+        worst_max_load: worst,
+        final_max_load: w.max_load(),
+        mean_load: w.total_load() as f64 / spec.n as f64,
+        completed: w.completions().count,
+        mean_wait: w.completions().sojourn_mean(),
+        locality: w.completions().locality(),
+        msgs_per_step: w.messages().control_total() as f64 / spec.steps.max(1) as f64,
+        theorem1_bound: BalancerConfig::paper(spec.n).theorem1_bound(),
+    }
+}
+
+fn run_strategy<M: LoadModel>(spec: &RunSpec, model: M) -> RunReport {
+    let n = spec.n;
+    let t = BalancerConfig::paper(n).theorem1_bound();
+    match spec.strategy {
+        StrategyKind::Threshold => run_with(spec, model, ThresholdBalancer::paper(n)),
+        StrategyKind::Unbalanced => run_with(spec, model, Unbalanced),
+        StrategyKind::Scatter => run_with(spec, model, ScatterBalancer::paper(n)),
+        StrategyKind::TwoChoice => run_with(spec, model, DChoiceAllocation::new(2)),
+        StrategyKind::Rsu => run_with(spec, model, RsuEqualize::classic()),
+        StrategyKind::LulingMonien => run_with(spec, model, LulingMonien::new(n, 2)),
+        StrategyKind::Lauer => run_with(spec, model, LauerAverage::new(0.5)),
+        StrategyKind::Seeking => run_with(spec, model, RandomSeeking::new(t / 2, t / 16 + 1, 4)),
+    }
+}
+
+/// Executes a parsed invocation and returns the report.
+pub fn execute(spec: &RunSpec) -> RunReport {
+    match spec.model {
+        ModelKind::Single { p, q } => {
+            run_strategy(spec, Single::new(p, q).expect("validated at parse time"))
+        }
+        ModelKind::Geometric { k } => {
+            run_strategy(spec, Geometric::new(k).expect("validated at parse time"))
+        }
+        ModelKind::Multi => run_strategy(
+            spec,
+            Multi::new(vec![0.25, 0.15, 0.05]).expect("static distribution"),
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &str) -> Vec<String> {
+        s.split_whitespace().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn default_invocation() {
+        let spec = parse(args("")).unwrap().unwrap();
+        assert_eq!(spec, RunSpec::default());
+    }
+
+    #[test]
+    fn full_invocation() {
+        let spec = parse(args(
+            "--n 256 --steps 500 --seed 7 --strategy scatter --model geometric:3",
+        ))
+        .unwrap()
+        .unwrap();
+        assert_eq!(spec.n, 256);
+        assert_eq!(spec.steps, 500);
+        assert_eq!(spec.seed, 7);
+        assert_eq!(spec.strategy, StrategyKind::Scatter);
+        assert_eq!(spec.model, ModelKind::Geometric { k: 3 });
+    }
+
+    #[test]
+    fn help_returns_none() {
+        assert_eq!(parse(args("--help")).unwrap(), None);
+        assert!(usage().contains("--strategy"));
+    }
+
+    #[test]
+    fn parse_errors_are_informative() {
+        assert!(parse(args("--n"))
+            .unwrap_err()
+            .0
+            .contains("requires a value"));
+        assert!(parse(args("--n four")).unwrap_err().0.contains("integer"));
+        assert!(parse(args("--n 2")).unwrap_err().0.contains("at least 8"));
+        assert!(parse(args("--strategy warp"))
+            .unwrap_err()
+            .0
+            .contains("unknown strategy"));
+        assert!(parse(args("--model fancy"))
+            .unwrap_err()
+            .0
+            .contains("unknown model"));
+        assert!(parse(args("--frobnicate"))
+            .unwrap_err()
+            .0
+            .contains("unknown option"));
+        // Model validation happens at parse time.
+        assert!(parse(args("--model single:0.5,0.4")).is_err());
+    }
+
+    #[test]
+    fn model_parsing_variants() {
+        assert_eq!(
+            parse_model("single").unwrap(),
+            ModelKind::Single { p: 0.4, q: 0.5 }
+        );
+        assert_eq!(
+            parse_model("single:0.2,0.3").unwrap(),
+            ModelKind::Single { p: 0.2, q: 0.3 }
+        );
+        assert_eq!(
+            parse_model("geometric").unwrap(),
+            ModelKind::Geometric { k: 2 }
+        );
+        assert_eq!(parse_model("multi").unwrap(), ModelKind::Multi);
+    }
+
+    #[test]
+    fn every_strategy_executes() {
+        for (name, kind) in StrategyKind::ALL {
+            let spec = RunSpec {
+                n: 64,
+                steps: 100,
+                seed: 3,
+                strategy: kind,
+                model: ModelKind::Single { p: 0.4, q: 0.5 },
+            };
+            let report = execute(&spec);
+            assert!(report.completed > 0, "strategy {name} completed no tasks");
+            // Report displays without panicking and mentions the bound.
+            let text = report.to_string();
+            assert!(text.contains("Theorem 1"), "{name}");
+        }
+    }
+
+    #[test]
+    fn execute_all_models() {
+        for model in [
+            ModelKind::Single { p: 0.4, q: 0.5 },
+            ModelKind::Geometric { k: 2 },
+            ModelKind::Multi,
+        ] {
+            let spec = RunSpec {
+                n: 64,
+                steps: 100,
+                model,
+                ..RunSpec::default()
+            };
+            assert!(execute(&spec).completed > 0);
+        }
+    }
+}

@@ -1,0 +1,67 @@
+//! # pcrlb — Parallel Continuous Randomized Load Balancing
+//!
+//! A Rust implementation of Berenbrink, Friedetzky and Mayr,
+//! *"Parallel Continuous Randomized Load Balancing (Extended
+//! Abstract)"*, SPAA 1998 — plus the simulation substrate, the collision
+//! protocol it builds on, every baseline the paper compares against, and
+//! the analysis toolkit used to reproduce the paper's claims.
+//!
+//! This crate is a facade: it re-exports the workspace crates under one
+//! roof so applications only need a single dependency.
+//!
+//! | module | crate | contents |
+//! |---|---|---|
+//! | [`sim`] | `pcrlb-sim` | discrete-time engine, FIFO queues, RNG streams, message ledger |
+//! | [`collision`] | `pcrlb-collision` | the `(n,ε,a,b,c)`-collision protocol, balancing-request trees |
+//! | [`core`] | `pcrlb-core` | the threshold balancer, generation models, adversaries, scatter variant |
+//! | [`baselines`] | `pcrlb-baselines` | balls-into-bins games and continuous competitors |
+//! | [`analysis`] | `pcrlb-analysis` | Markov steady states, histograms, w.h.p. checks, tables |
+//! | [`shmem`] | `pcrlb-shmem` | the MSS'95 PRAM-on-DMM shared-memory simulation the collision protocol originates from |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use pcrlb::prelude::*;
+//!
+//! let n = 1024;                       // processors
+//! let model = Single::default_paper(); // generate w.p. 0.4, consume w.p. 0.5
+//! let balancer = ThresholdBalancer::paper(n);
+//!
+//! let mut engine = Engine::new(n, 42, model, balancer);
+//! engine.run(5_000);
+//!
+//! // Theorem 1: max load stays O((log log n)^2) w.h.p.
+//! let t = engine.strategy().config().theorem1_bound();
+//! assert!(engine.world().max_load() <= 2 * t);
+//! // ...at a small fraction of the n messages/step that parallel
+//! // balls-into-bins games pay:
+//! let msgs = engine.world().messages().control_total();
+//! assert!(msgs * 10 < 5_000 * n as u64);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod cli;
+
+pub use pcrlb_analysis as analysis;
+pub use pcrlb_baselines as baselines;
+pub use pcrlb_collision as collision;
+pub use pcrlb_core as core;
+pub use pcrlb_shmem as shmem;
+pub use pcrlb_sim as sim;
+
+/// The most commonly used items in one import.
+pub mod prelude {
+    pub use pcrlb_analysis::{BirthDeath, Histogram, Summary, Table, WhpCheck};
+    pub use pcrlb_baselines::{
+        DChoiceAllocation, LauerAverage, LulingMonien, RandomSeeking, RsuEqualize,
+    };
+    pub use pcrlb_collision::{play_game, BalanceForest, CollisionParams};
+    pub use pcrlb_core::{
+        BalancerConfig, Geometric, Multi, ScatterBalancer, Single, ThresholdBalancer,
+    };
+    pub use pcrlb_sim::{
+        Engine, LoadModel, ParallelEngine, ProcId, SimRng, Step, Strategy, Task, Unbalanced, World,
+    };
+}

@@ -1,0 +1,127 @@
+//! Cross-crate determinism guarantees: seeds fully determine runs, the
+//! threaded engine reproduces the sequential engine bit-for-bit, and
+//! the threaded collision game matches the simulated one.
+
+use pcrlb::collision::{play_game, play_game_threaded, CollisionParams};
+use pcrlb::prelude::*;
+
+#[test]
+fn same_seed_reproduces_full_balanced_run() {
+    let n = 512;
+    let run = || {
+        let mut e = Engine::new(
+            n,
+            0xDE7E_12,
+            Single::default_paper(),
+            ThresholdBalancer::paper(n),
+        );
+        e.run(1500);
+        (
+            e.world().loads(),
+            e.world().messages(),
+            e.world().completions().count,
+            e.strategy().stats().matched_total,
+        )
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a.0, b.0);
+    assert_eq!(a.1, b.1);
+    assert_eq!(a.2, b.2);
+    assert_eq!(a.3, b.3);
+}
+
+#[test]
+fn different_seeds_differ() {
+    let n = 512;
+    let run = |seed: u64| {
+        let mut e = Engine::new(n, seed, Single::default_paper(), Unbalanced);
+        e.run(500);
+        e.world().loads()
+    };
+    assert_ne!(run(1), run(2));
+}
+
+#[test]
+fn parallel_engine_matches_sequential_with_balancer() {
+    // The balancer runs on the coordinator thread in both engines; the
+    // per-processor sub-steps run concurrently in the parallel one.
+    let n = 300;
+    let steps = 400;
+    for threads in [2usize, 5] {
+        let mut seq = Engine::new(n, 42, Single::default_paper(), ThresholdBalancer::paper(n));
+        let mut par = ParallelEngine::new(
+            n,
+            42,
+            Single::default_paper(),
+            ThresholdBalancer::paper(n),
+            threads,
+        );
+        seq.run(steps);
+        par.run(steps);
+        assert_eq!(
+            seq.world().loads(),
+            par.world().loads(),
+            "threads={threads}"
+        );
+        assert_eq!(seq.world().messages(), par.world().messages());
+        assert_eq!(
+            seq.world().completions().count,
+            par.world().completions().count
+        );
+        assert_eq!(
+            seq.world().completions().hist,
+            par.world().completions().hist
+        );
+    }
+}
+
+#[test]
+fn fully_parallel_stack_matches_sequential() {
+    // Threaded engine + threaded collision games + streaming transfers:
+    // the maximal parallel configuration still reproduces the plain
+    // sequential engine bit-for-bit.
+    use pcrlb::core::BalancerConfig;
+    let n = 300;
+    let steps = 400;
+    let make_cfg = |shards: usize| {
+        BalancerConfig::paper(n)
+            .with_game_shards(shards)
+            .with_streaming_transfers()
+    };
+    let mut seq = Engine::new(
+        n,
+        9,
+        Single::default_paper(),
+        ThresholdBalancer::new(make_cfg(1)),
+    );
+    seq.run(steps);
+    for threads in [2usize, 4] {
+        let mut par = ParallelEngine::new(
+            n,
+            9,
+            Single::default_paper(),
+            ThresholdBalancer::new(make_cfg(threads)),
+            threads,
+        );
+        par.run(steps);
+        assert_eq!(seq.world().loads(), par.world().loads(), "threads={threads}");
+        assert_eq!(seq.world().messages(), par.world().messages());
+    }
+}
+
+#[test]
+fn threaded_collision_game_is_deterministic_across_shard_counts() {
+    let n = 2048;
+    let params = CollisionParams::lemma1();
+    let requesters: Vec<ProcId> = (0..150).collect();
+    let mut base_rng = SimRng::new(99);
+    let baseline = play_game(n, &requesters, &params, &mut base_rng);
+    for shards in [1usize, 2, 3, 8] {
+        let mut rng = SimRng::new(99);
+        let out = play_game_threaded(n, &requesters, &params, &mut rng, shards);
+        assert_eq!(out.accepted, baseline.accepted, "shards={shards}");
+        assert_eq!(out.queries_sent, baseline.queries_sent);
+        assert_eq!(out.rounds_used, baseline.rounds_used);
+    }
+}

@@ -1,0 +1,37 @@
+//! Every registered experiment runs end-to-end in quick mode and
+//! produces a non-empty table — the harness contract behind
+//! `EXPERIMENTS.md`.
+
+use pcrlb_bench::experiments::registry;
+use pcrlb_bench::ExpOptions;
+
+#[test]
+fn every_experiment_runs_in_quick_mode() {
+    let opts = ExpOptions::quick();
+    for exp in registry() {
+        let table = (exp.run)(&opts);
+        assert!(
+            !table.is_empty(),
+            "experiment {} produced an empty table",
+            exp.id
+        );
+        // The rendered forms must be well-formed (headers + separator +
+        // at least one row).
+        assert!(table.to_text().lines().count() >= 3, "{}", exp.id);
+        assert!(table.to_markdown().lines().count() >= 3, "{}", exp.id);
+    }
+}
+
+#[test]
+fn experiment_ids_are_unique_and_findable() {
+    let reg = registry();
+    let mut ids: Vec<&str> = reg.iter().map(|e| e.id).collect();
+    let before = ids.len();
+    ids.sort_unstable();
+    ids.dedup();
+    assert_eq!(ids.len(), before, "duplicate experiment ids");
+    for id in ids {
+        assert!(pcrlb_bench::experiments::find(id).is_some());
+    }
+    assert!(pcrlb_bench::experiments::find("nope").is_none());
+}

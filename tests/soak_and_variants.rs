@@ -1,0 +1,185 @@
+//! Soak tests: long mixed runs across models, strategies, and variants,
+//! asserting the global invariants that must hold everywhere —
+//! stability, conservation under silent models, bounded max load, and
+//! sane statistics. Also exercises every §5 variant and the shmem crate
+//! through the facade.
+
+use pcrlb::core::adversary::{Burst, Targeted, TreeSpawn};
+use pcrlb::core::{BalancerConfig, WorkConserving};
+use pcrlb::prelude::*;
+use pcrlb::shmem::{DmmConfig, DmmMachine, MemOp};
+
+/// Every generation model under the paper balancer stays stable over a
+/// long run and keeps completion accounting consistent.
+#[test]
+fn soak_all_models_stay_stable() {
+    let n = 512;
+    let steps = 6_000;
+    let t = BalancerConfig::paper(n).theorem1_bound();
+
+    fn drive<M: LoadModel>(n: usize, steps: u64, model: M) -> (u64, u64, u64) {
+        let mut e = Engine::new(n, 0x50AC ^ steps, model, ThresholdBalancer::paper(n));
+        e.run(steps);
+        let w = e.world();
+        let generated: u64 = w.procs().map(|p| p.stats.generated).sum();
+        (w.total_load(), w.completions().count, generated)
+    }
+
+    let cases: Vec<(&str, (u64, u64, u64))> = vec![
+        ("single", drive(n, steps, Single::default_paper())),
+        ("geometric", drive(n, steps, Geometric::new(3).unwrap())),
+        (
+            "multi",
+            drive(n, steps, Multi::new(vec![0.3, 0.1, 0.05]).unwrap()),
+        ),
+        ("burst", drive(n, steps, Burst::new(16, 8, 0.05))),
+        ("targeted", drive(n, steps, Targeted::new(16, 4, 16))),
+        ("treespawn", drive(n, steps, TreeSpawn::new(2, 0.3, 0.2))),
+    ];
+    for (name, (load, completed, generated)) in cases {
+        // Conservation: everything generated is either done or queued.
+        assert_eq!(
+            completed + load,
+            generated,
+            "{name}: {completed} completed + {load} queued != {generated} generated"
+        );
+        // Stability: far below divergence.
+        assert!(
+            load < (n as u64) * (t as u64),
+            "{name}: total load {load} looks divergent"
+        );
+    }
+}
+
+/// The §5 variants compose: streaming transfers + work conservation +
+/// threaded collision games together still bound the max load and
+/// conserve tasks.
+#[test]
+fn variants_compose() {
+    let n = 512;
+    let cfg = BalancerConfig::paper(n)
+        .with_streaming_transfers()
+        .with_game_shards(2);
+    let bound = 2 * cfg.theorem1_bound();
+    let mut e = Engine::new(
+        n,
+        0xC0DE,
+        Single::default_paper(),
+        WorkConserving::new(ThresholdBalancer::new(cfg)),
+    );
+    let mut worst = 0;
+    e.run_observed(3_000, |w| worst = worst.max(w.max_load()));
+    assert!(worst <= bound, "composed variants: worst {worst} > {bound}");
+    let w = e.world();
+    let generated: u64 = w.procs().map(|p| p.stats.generated).sum();
+    assert_eq!(w.completions().count + w.total_load(), generated);
+    assert!(e.strategy().bonus_consumed() > 0);
+}
+
+/// The shmem machine is usable through the facade and stays consistent
+/// while a balancer-style workload hammers it.
+#[test]
+fn shmem_facade_soak() {
+    let mut memory = DmmMachine::new(DmmConfig::mss95(128), 7);
+    let mut rng = SimRng::new(3);
+    // Alternate write and read-back waves over a working set.
+    for wave in 0..30u64 {
+        let writes: Vec<MemOp> = (0..32)
+            .map(|i| MemOp::Write {
+                cell: i,
+                value: wave * 100 + i,
+            })
+            .collect();
+        assert!(memory.step(&writes).all_completed());
+        let reads: Vec<MemOp> = (0..32).map(|i| MemOp::Read { cell: i }).collect();
+        let out = memory.step(&reads);
+        assert!(out.all_completed());
+        for (i, r) in out.results.iter().enumerate() {
+            assert_eq!(*r, Some(wave * 100 + i as u64), "wave {wave} cell {i}");
+        }
+        // Mix in some random-cell churn.
+        let churn: Vec<MemOp> = (0..16)
+            .map(|_| MemOp::Read {
+                cell: rng.below(1 << 16) as u64 + 1000,
+            })
+            .collect();
+        assert!(memory.step(&churn).all_completed());
+    }
+    assert!(memory.mean_messages_per_op() < 12.0);
+}
+
+/// Chaos strategy: makes arbitrary (but legal) transfers every step.
+/// Whatever a strategy does with the public API, the substrate's
+/// invariants must survive — conservation, exact completion accounting,
+/// coherent weighted loads.
+struct Chaos;
+
+impl Strategy for Chaos {
+    fn on_step(&mut self, world: &mut World) {
+        let n = world.n();
+        for _ in 0..8 {
+            let a = world.rng_global().below(n);
+            let mut b = world.rng_global().below(n);
+            if b == a {
+                b = (b + 1) % n;
+            }
+            let k = world.rng_global().below(5);
+            match world.rng_global().below(3) {
+                0 => {
+                    world.transfer(a, b, k);
+                }
+                1 => {
+                    world.transfer_weight(a, b, k as u64);
+                }
+                _ => {
+                    let tasks = world.extract_back(a, k);
+                    world.deposit(b, tasks);
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn chaos_strategy_cannot_break_substrate_invariants() {
+    let n = 64;
+    let mut e = Engine::new(n, 0xBAD, Single::default_paper(), Chaos);
+    for _ in 0..1_000 {
+        e.step();
+        let w = e.world();
+        let generated: u64 = w.procs().map(|p| p.stats.generated).sum();
+        assert_eq!(w.completions().count + w.total_load(), generated);
+        // Weighted and unweighted views agree for unit tasks.
+        assert_eq!(w.total_weighted_load(), w.total_load());
+        // Per-processor stats never go inconsistent.
+        for p in w.procs() {
+            assert!(p.stats.tasks_sent >= p.stats.transfers_out);
+            assert!(p.stats.tasks_received >= p.stats.transfers_in);
+        }
+    }
+}
+
+/// Seeds shown in EXPERIMENTS.md must reproduce: spot-check a pinned
+/// fingerprint so accidental determinism breaks get caught at CI time.
+/// (If an intentional algorithm change lands, update the pinned values
+/// together with EXPERIMENTS.md.)
+#[test]
+fn pinned_fingerprint_regression() {
+    let n = 256;
+    let mut e = Engine::new(
+        n,
+        1998,
+        Single::default_paper(),
+        ThresholdBalancer::paper(n),
+    );
+    e.run(1_000);
+    let w = e.world();
+    let fp = (
+        w.total_load(),
+        w.max_load(),
+        w.completions().count,
+        w.messages().control_total(),
+    );
+    // Pinned from the first green run of this test; see note above.
+    assert_eq!(fp, (428, 6, 101_851, 6_947));
+}

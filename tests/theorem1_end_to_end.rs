@@ -1,0 +1,131 @@
+//! End-to-end reproduction of the paper's headline claims through the
+//! public facade API — the checks a reviewer would run first.
+
+use pcrlb::core::BalancerConfig;
+use pcrlb::prelude::*;
+
+/// Theorem 1: under `Single`, max load stays `O((log log n)^2)` w.h.p.
+/// while the unbalanced system drifts to `Θ(log n)` territory.
+#[test]
+fn theorem1_shape_holds_across_sizes() {
+    for n in [256usize, 1024, 4096] {
+        let cfg = BalancerConfig::paper(n);
+        let t = cfg.theorem1_bound();
+        let steps = 3000;
+        let mut worst = 0usize;
+        let mut e = Engine::new(
+            n,
+            0xA11CE ^ n as u64,
+            Single::default_paper(),
+            ThresholdBalancer::new(cfg),
+        );
+        e.run_observed(steps, |w| worst = worst.max(w.max_load()));
+        assert!(
+            worst <= 2 * t,
+            "n={n}: worst max load {worst} exceeded 2T = {}",
+            2 * t
+        );
+    }
+}
+
+/// The balanced system is never worse than the unbalanced one in total
+/// load (§4.2, Lemma 3 intuition) on identical arrival streams.
+#[test]
+fn balanced_total_load_not_worse() {
+    let n = 1024;
+    let seed = 77;
+    let steps = 3000;
+    let mut bal = Engine::new(
+        n,
+        seed,
+        Single::default_paper(),
+        ThresholdBalancer::paper(n),
+    );
+    let mut unbal = Engine::new(n, seed, Single::default_paper(), Unbalanced);
+    bal.run(steps);
+    unbal.run(steps);
+    // Small slack: transfers shift which processors idle, so totals are
+    // close but not identical.
+    assert!(bal.world().total_load() <= unbal.world().total_load() + (n as u64) / 8);
+}
+
+/// The communication claim: control messages per phase are a vanishing
+/// fraction of what parallel balls-into-bins pays per step.
+#[test]
+fn communication_is_sublinear_in_processor_steps() {
+    let n = 2048;
+    let steps = 2000u64;
+    let mut e = Engine::new(n, 3, Single::default_paper(), ThresholdBalancer::paper(n));
+    e.run(steps);
+    let msgs = e.world().messages().control_total();
+    // Balls-into-bins: >= n messages per step = n*steps total.
+    assert!(
+        msgs * 20 < n as u64 * steps,
+        "{msgs} control messages is not << n*steps = {}",
+        n as u64 * steps
+    );
+}
+
+/// Locality: the overwhelming majority of tasks execute where they were
+/// generated (§1.2).
+#[test]
+fn tasks_mostly_run_at_their_origin() {
+    let n = 1024;
+    let mut e = Engine::new(n, 5, Single::default_paper(), ThresholdBalancer::paper(n));
+    e.run(4000);
+    let loc = e.world().completions().locality();
+    assert!(loc > 0.9, "locality {loc} too low");
+}
+
+/// Corollary 1 shape: with constant-length tasks, waiting times are
+/// bounded by a small multiple of `T`.
+#[test]
+fn waiting_time_bounded_by_t_multiple() {
+    let n = 1024;
+    let cfg = BalancerConfig::paper(n);
+    let t = cfg.theorem1_bound() as u64;
+    let model = Geometric::new(2).expect("valid");
+    let mut e = Engine::new(n, 9, model, ThresholdBalancer::new(cfg));
+    e.run(4000);
+    let c = e.world().completions();
+    assert!(c.count > 0);
+    assert!(
+        c.sojourn_max <= 8 * t,
+        "max sojourn {} exceeds 8T = {}",
+        c.sojourn_max,
+        8 * t
+    );
+    // Expected waiting time is constant (small).
+    assert!(c.sojourn_mean() < t as f64);
+}
+
+/// Scatter variant (§5): lower max load than the threshold algorithm,
+/// at far higher message cost.
+#[test]
+fn scatter_variant_trades_messages_for_load() {
+    let n = 1024;
+    let seed = 11;
+    let steps = 2000;
+    let run = |s: bool| {
+        if s {
+            let mut e = Engine::new(n, seed, Single::default_paper(), ScatterBalancer::paper(n));
+            let mut worst = 0;
+            e.run_observed(steps, |w| worst = worst.max(w.max_load()));
+            (worst, e.world().messages().control_total())
+        } else {
+            let mut e = Engine::new(
+                n,
+                seed,
+                Single::default_paper(),
+                ThresholdBalancer::paper(n),
+            );
+            let mut worst = 0;
+            e.run_observed(steps, |w| worst = worst.max(w.max_load()));
+            (worst, e.world().messages().control_total())
+        }
+    };
+    let (scatter_max, scatter_msgs) = run(true);
+    let (paper_max, paper_msgs) = run(false);
+    assert!(scatter_max <= paper_max);
+    assert!(scatter_msgs > 5 * paper_msgs.max(1));
+}
