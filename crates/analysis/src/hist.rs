@@ -56,8 +56,15 @@ impl Histogram {
 
     /// Records `k` identical observations.
     pub fn record_n(&mut self, v: u64, k: u64) {
-        for _ in 0..k {
-            self.record(v);
+        if k == 0 {
+            return;
+        }
+        self.count += k;
+        self.sum += v * k;
+        self.max = self.max.max(v);
+        match self.buckets.get_mut(v as usize) {
+            Some(b) => *b += k,
+            None => self.overflow += k,
         }
     }
 

@@ -21,7 +21,7 @@ impl TimeSeries {
     /// Offers an observation for `step`; kept when `step` is a multiple
     /// of the sampling interval. Returns true when recorded.
     pub fn offer(&mut self, step: u64, value: f64) -> bool {
-        if step % self.every == 0 {
+        if step.is_multiple_of(self.every) {
             self.values.push(value);
             true
         } else {

@@ -30,6 +30,7 @@ impl Summary {
     }
 
     /// Summarizes an iterator of observations.
+    #[allow(clippy::should_implement_trait)] // inherent ctor, not `FromIterator`
     pub fn from_iter(values: impl IntoIterator<Item = f64>) -> Self {
         let mut s = Summary::new();
         for v in values {

@@ -107,7 +107,7 @@ impl Strategy for DChoiceAllocation {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use pcrlb_sim::{Engine, LoadModel, ProcId, SimRng, Step};
+    use pcrlb_sim::{Engine, LoadModel, MaxLoadProbe, ProcId, Runner, SimRng, Step};
 
     /// Bernoulli arrivals p, Bernoulli service q — the discretized
     /// supermarket model.
@@ -131,9 +131,13 @@ mod tests {
     #[test]
     fn two_choice_keeps_low_max_load() {
         let n = 1024;
-        let mut e = Engine::new(n, 1, M, DChoiceAllocation::supermarket());
-        let mut worst = 0;
-        e.run_observed(2000, |w| worst = worst.max(w.max_load()));
+        let worst = Runner::new(n, 1)
+            .model(M)
+            .strategy(DChoiceAllocation::supermarket())
+            .probe(MaxLoadProbe::new())
+            .run(2000)
+            .worst_max_load()
+            .unwrap_or(0);
         // Supermarket: O(log log n) — single digits at this scale.
         assert!(worst <= 10, "2-choice max load {worst} too high");
     }
@@ -142,11 +146,16 @@ mod tests {
     fn one_choice_is_worse_than_two_choice() {
         let n = 1024;
         let steps = 2000;
-        let mut one = Engine::new(n, 2, M, DChoiceAllocation::new(1));
-        let mut two = Engine::new(n, 2, M, DChoiceAllocation::new(2));
-        let (mut w1, mut w2) = (0, 0);
-        one.run_observed(steps, |w| w1 = w1.max(w.max_load()));
-        two.run_observed(steps, |w| w2 = w2.max(w.max_load()));
+        let observe = |d: usize| {
+            Runner::new(n, 2)
+                .model(M)
+                .strategy(DChoiceAllocation::new(d))
+                .probe(MaxLoadProbe::new())
+                .run(steps)
+                .worst_max_load()
+                .unwrap_or(0)
+        };
+        let (w1, w2) = (observe(1), observe(2));
         assert!(
             w2 <= w1,
             "2-choice ({w2}) should not lose to 1-choice ({w1})"

@@ -160,7 +160,7 @@ impl Strategy for LauerGossip {
     fn on_step(&mut self, world: &mut World) {
         let n = world.n();
         // (Re-)seed the gossip epoch from current loads.
-        if world.step() % self.epoch == 0 || self.gossip.is_none() {
+        if world.step().is_multiple_of(self.epoch) || self.gossip.is_none() {
             let loads: Vec<f64> = (0..n).map(|p| world.load(p) as f64).collect();
             match &mut self.gossip {
                 Some(g) => g.restart(&loads),

@@ -289,7 +289,7 @@ mod tests {
         // supermarket should land in the same max-queue ballpark at the
         // same utilization.
         use crate::alloc::DChoiceAllocation;
-        use pcrlb_sim::{Engine, LoadModel, ProcId, Step};
+        use pcrlb_sim::{LoadModel, MaxLoadProbe, ProcId, Runner, Step};
 
         #[derive(Clone, Copy)]
         struct M;
@@ -303,9 +303,13 @@ mod tests {
         }
         let n = 512;
         let ct = SupermarketSim::new(n, 0.7, 2).run(17, 400.0);
-        let mut dt = Engine::new(n, 17, M, DChoiceAllocation::new(2));
-        let mut dt_max = 0usize;
-        dt.run_observed(4000, |w| dt_max = dt_max.max(w.max_load()));
+        let dt_max = Runner::new(n, 17)
+            .model(M)
+            .strategy(DChoiceAllocation::new(2))
+            .probe(MaxLoadProbe::new())
+            .run(4000)
+            .worst_max_load()
+            .unwrap_or(0);
         let diff = (ct.max_queue as i64 - dt_max as i64).abs();
         assert!(
             diff <= 3,

@@ -5,7 +5,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use pcrlb_baselines::DChoiceAllocation;
 use pcrlb_core::{Single, ThresholdBalancer};
-use pcrlb_sim::{Engine, Unbalanced};
+use pcrlb_sim::{Engine, Runner, Unbalanced};
 
 const STEPS: u64 = 64;
 
@@ -38,5 +38,33 @@ fn bench_strategies(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_strategies);
+/// Guard: a probe-free `Runner` must cost the same as hand-driving
+/// `Engine::step` — the observer sink stays disabled, so the runner's
+/// per-step work is one empty-probe-list sweep and nothing else.
+fn bench_runner_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("runner_overhead");
+    let n = 1usize << 10;
+    group.throughput(Throughput::Elements(n as u64 * STEPS));
+    group.bench_function("direct_engine_loop", |b| {
+        b.iter(|| {
+            let mut e = Engine::new(n, 1, Single::default_paper(), Unbalanced);
+            for _ in 0..STEPS {
+                e.step();
+            }
+            e.world().total_load()
+        });
+    });
+    group.bench_function("runner_zero_probes", |b| {
+        b.iter(|| {
+            Runner::new(n, 1)
+                .model(Single::default_paper())
+                .strategy(Unbalanced)
+                .run(STEPS)
+                .total_load
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_strategies, bench_runner_overhead);
 criterion_main!(benches);

@@ -3,7 +3,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use pcrlb_core::{Single, ThresholdBalancer};
-use pcrlb_sim::{Engine, ParallelEngine};
+use pcrlb_sim::Engine;
 
 const STEPS: u64 = 16;
 const N: usize = 1 << 16;
@@ -25,7 +25,7 @@ fn bench_scaling(c: &mut Criterion) {
             &threads,
             |b, &threads| {
                 b.iter(|| {
-                    let mut e = ParallelEngine::new(
+                    let mut e = Engine::threaded(
                         N,
                         1,
                         Single::default_paper(),

@@ -11,7 +11,7 @@ use crate::ExpOptions;
 use pcrlb_analysis::{fmt_f, fmt_rate, Table};
 use pcrlb_collision::CollisionParams;
 use pcrlb_core::{BalancerConfig, Single, ThresholdBalancer};
-use pcrlb_sim::Engine;
+use pcrlb_sim::{MaxLoadProbe, Runner};
 
 struct AblationRow {
     worst_max: usize,
@@ -28,22 +28,15 @@ fn run_cfg(opts: &ExpOptions, n: usize, cfg: BalancerConfig, tag: u64) -> Ablati
     let mut heavy = 0u64;
     for trial in 0..opts.trials() {
         let seed = opts.seed ^ (tag << 32) ^ (trial << 12) ^ n as u64;
-        let mut e = Engine::new(
-            n,
-            seed,
-            Single::default_paper(),
-            ThresholdBalancer::new(cfg.clone()),
-        );
-        let mut step_no = 0u64;
-        e.run_observed(steps, |w| {
-            step_no += 1;
-            if step_no > warmup {
-                worst = worst.max(w.max_load());
-            }
-        });
-        msgs += e.world().messages().control_total() as f64 / steps as f64;
-        matched += e.strategy().stats().matched_total;
-        heavy += e.strategy().stats().heavy_total;
+        let (report, _world, balancer) = Runner::new(n, seed)
+            .model(Single::default_paper())
+            .strategy(ThresholdBalancer::new(cfg.clone()))
+            .probe(MaxLoadProbe::after_warmup(warmup))
+            .run_detailed(steps);
+        worst = worst.max(report.worst_max_load().unwrap_or(0));
+        msgs += report.messages.control_total() as f64 / steps as f64;
+        matched += balancer.stats().matched_total;
+        heavy += balancer.stats().heavy_total;
     }
     AblationRow {
         worst_max: worst,
@@ -150,22 +143,15 @@ fn run_work_conserving(opts: &ExpOptions, n: usize, cfg: BalancerConfig, tag: u6
     let mut heavy = 0u64;
     for trial in 0..opts.trials() {
         let seed = opts.seed ^ (tag << 32) ^ (trial << 12) ^ n as u64;
-        let mut e = Engine::new(
-            n,
-            seed,
-            Single::default_paper(),
-            WorkConserving::new(ThresholdBalancer::new(cfg.clone())),
-        );
-        let mut step_no = 0u64;
-        e.run_observed(steps, |w| {
-            step_no += 1;
-            if step_no > warmup {
-                worst = worst.max(w.max_load());
-            }
-        });
-        msgs += e.world().messages().control_total() as f64 / steps as f64;
-        matched += e.strategy().inner().stats().matched_total;
-        heavy += e.strategy().inner().stats().heavy_total;
+        let (report, _world, wrapper) = Runner::new(n, seed)
+            .model(Single::default_paper())
+            .strategy(WorkConserving::new(ThresholdBalancer::new(cfg.clone())))
+            .probe(MaxLoadProbe::after_warmup(warmup))
+            .run_detailed(steps);
+        worst = worst.max(report.worst_max_load().unwrap_or(0));
+        msgs += report.messages.control_total() as f64 / steps as f64;
+        matched += wrapper.inner().stats().matched_total;
+        heavy += wrapper.inner().stats().heavy_total;
     }
     AblationRow {
         worst_max: worst,

@@ -15,26 +15,22 @@ use pcrlb_core::{
     adversary::{Burst, Targeted, TreeSpawn},
     BalancerConfig, ThresholdBalancer,
 };
-use pcrlb_sim::{Engine, LoadModel, Strategy, Unbalanced};
+use pcrlb_sim::{LoadModel, MaxLoadProbe, Runner, Strategy, Unbalanced};
 
-fn worst_max<M: LoadModel + Clone, S: Strategy>(
+fn worst_max<M: LoadModel + Sync, S: Strategy>(
     n: usize,
     seed: u64,
     steps: u64,
     model: M,
     strategy: S,
 ) -> usize {
-    let mut e = Engine::new(n, seed, model, strategy);
-    let mut worst = 0usize;
-    let warmup = steps / 4;
-    let mut step_no = 0u64;
-    e.run_observed(steps, |w| {
-        step_no += 1;
-        if step_no > warmup {
-            worst = worst.max(w.max_load());
-        }
-    });
-    worst
+    Runner::new(n, seed)
+        .model(model)
+        .strategy(strategy)
+        .probe(MaxLoadProbe::after_warmup(steps / 4))
+        .run(steps)
+        .worst_max_load()
+        .unwrap_or(0)
 }
 
 /// Runs E10 and returns the result table.

@@ -12,14 +12,23 @@ use crate::ExpOptions;
 use pcrlb_analysis::{fmt_f, fmt_rate, Table};
 use pcrlb_baselines::{DChoiceAllocation, RsuEqualize};
 use pcrlb_core::{Single, ThresholdBalancer};
-use pcrlb_sim::{Engine, Strategy};
+use pcrlb_sim::{MaxLoadProbe, MessageRateProbe, ProbeOutput, Runner, Strategy};
 
 fn measure<S: Strategy>(n: usize, seed: u64, steps: u64, strategy: S) -> (f64, usize) {
-    let mut e = Engine::new(n, seed, Single::default_paper(), strategy);
-    let mut worst = 0usize;
-    e.run_observed(steps, |w| worst = worst.max(w.max_load()));
-    let msgs = e.world().messages().control_total();
-    (msgs as f64 / steps as f64, worst)
+    let report = Runner::new(n, seed)
+        .model(Single::default_paper())
+        .strategy(strategy)
+        .probe(MaxLoadProbe::new())
+        .probe(MessageRateProbe::new())
+        .run(steps);
+    let msgs = match report.probe("message_rate") {
+        Some(ProbeOutput::MessageRate { window, .. }) => window.control_total(),
+        _ => 0,
+    };
+    (
+        msgs as f64 / steps as f64,
+        report.worst_max_load().unwrap_or(0),
+    )
 }
 
 /// Runs E8 and returns the result table.

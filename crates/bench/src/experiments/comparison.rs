@@ -22,7 +22,7 @@ use pcrlb_baselines::{
     DChoiceAllocation, LauerAverage, LulingMonien, RandomSeeking, RsuEqualize,
 };
 use pcrlb_core::{BalancerConfig, ScatterBalancer, Single, ThresholdBalancer};
-use pcrlb_sim::{Engine, SimRng, Strategy, Unbalanced};
+use pcrlb_sim::{MaxLoadProbe, Runner, SimRng, Strategy, Unbalanced};
 
 struct RunRow {
     worst_max: usize,
@@ -32,22 +32,16 @@ struct RunRow {
 }
 
 fn run_strategy<S: Strategy>(n: usize, seed: u64, steps: u64, strategy: S) -> RunRow {
-    let mut e = Engine::new(n, seed, Single::default_paper(), strategy);
-    let warmup = steps / 2;
-    let mut worst = 0usize;
-    let mut step_no = 0u64;
-    e.run_observed(steps, |w| {
-        step_no += 1;
-        if step_no > warmup {
-            worst = worst.max(w.max_load());
-        }
-    });
-    let w = e.world();
+    let report = Runner::new(n, seed)
+        .model(Single::default_paper())
+        .strategy(strategy)
+        .probe(MaxLoadProbe::after_warmup(steps / 2))
+        .run(steps);
     RunRow {
-        worst_max: worst,
-        msgs_per_step: w.messages().control_total() as f64 / steps as f64,
-        locality: w.completions().locality(),
-        mean_sojourn: w.completions().sojourn_mean(),
+        worst_max: report.worst_max_load().unwrap_or(0),
+        msgs_per_step: report.messages.control_total() as f64 / steps as f64,
+        locality: report.completions.locality(),
+        mean_sojourn: report.completions.sojourn_mean(),
     }
 }
 

@@ -21,7 +21,7 @@ use pcrlb_baselines::{
     LauerGossip, PushSum, SupermarketSim, WeightedOutcome,
 };
 use pcrlb_core::{BalancerConfig, Multi, Single, ThresholdBalancer, WeightDist, Weighted};
-use pcrlb_sim::{Engine, SimRng};
+use pcrlb_sim::{MaxLoadProbe, Runner, SimRng};
 
 /// E16 — continuous-time supermarket vs our discrete-time allocation.
 pub fn run_supermarket(opts: &ExpOptions) -> Table {
@@ -57,11 +57,13 @@ pub fn run_supermarket(opts: &ExpOptions) -> Table {
                     usize::from(load > 0 && rng.chance(0.5))
                 }
             }
-            let mut dt = Engine::new(n, seed, M, DChoiceAllocation::new(d));
-            let mut dt_max = 0usize;
-            dt.run_observed((horizon * 2.0) as u64, |w| {
-                dt_max = dt_max.max(w.max_load())
-            });
+            let dt_max = Runner::new(n, seed)
+                .model(M)
+                .strategy(DChoiceAllocation::new(d))
+                .probe(MaxLoadProbe::new())
+                .run((horizon * 2.0) as u64)
+                .worst_max_load()
+                .unwrap_or(0);
 
             // Agreement criterion by regime: for d >= 2 both models sit
             // at tiny absolute queue lengths, so compare absolutely;
@@ -115,7 +117,8 @@ pub fn run_weighted(opts: &ExpOptions) -> Table {
         "BMS bound",
     ]);
     // Weight families from uniform (delta = 1) to heavy-tailed.
-    let families: Vec<(&str, Box<dyn Fn(&mut SimRng) -> f64>)> = vec![
+    type WeightDraw = Box<dyn Fn(&mut SimRng) -> f64>;
+    let families: Vec<(&str, WeightDraw)> = vec![
         ("uniform(1)", Box::new(|_| 1.0)),
         ("uniform(0.5..1.5)", Box::new(|r| 0.5 + r.f64())),
         (
@@ -175,27 +178,30 @@ pub fn run_gossip(opts: &ExpOptions) -> Table {
         run(
             "oracle average",
             Box::new(move || {
-                let mut e = Engine::new(n, seed, model, LauerAverage::new(0.5));
-                let mut worst = 0usize;
-                e.run_observed(steps, |w| worst = worst.max(w.max_load()));
-                let msgs = e.world().messages().control_total() as f64 / steps as f64;
-                (worst, 0.0, msgs)
+                let report = Runner::new(n, seed)
+                    .model(model)
+                    .strategy(LauerAverage::new(0.5))
+                    .probe(MaxLoadProbe::new())
+                    .run(steps);
+                let msgs = report.messages.control_total() as f64 / steps as f64;
+                (report.worst_max_load().unwrap_or(0), 0.0, msgs)
             }),
         );
         run(
             "push-sum estimate",
             Box::new(move || {
-                let mut e = Engine::new(n, seed, model, LauerGossip::new(0.5, 8));
-                let mut worst = 0usize;
-                e.run_observed(steps, |w| worst = worst.max(w.max_load()));
-                let true_avg = e.world().total_load() as f64 / n as f64;
-                let err = e
-                    .strategy()
+                let (report, _world, strategy) = Runner::new(n, seed)
+                    .model(model)
+                    .strategy(LauerGossip::new(0.5, 8))
+                    .probe(MaxLoadProbe::new())
+                    .run_detailed(steps);
+                let true_avg = report.total_load as f64 / n as f64;
+                let err = strategy
                     .gossip()
                     .map(|g: &PushSum| g.max_relative_error(true_avg.max(1e-9)))
                     .unwrap_or(f64::NAN);
-                let msgs = e.world().messages().control_total() as f64 / steps as f64;
-                (worst, err, msgs)
+                let msgs = report.messages.control_total() as f64 / steps as f64;
+                (report.worst_max_load().unwrap_or(0), err, msgs)
             }),
         );
     }
@@ -239,24 +245,18 @@ pub fn run_weighted_continuous(opts: &ExpOptions) -> Table {
                 ),
                 ("count-blind", BalancerConfig::paper(n)),
             ] {
-                let mut e = Engine::new(n, seed, model.clone(), ThresholdBalancer::new(cfg));
-                let warmup = steps / 2;
-                let (mut worst_w, mut worst_c) = (0u64, 0usize);
-                let mut step_no = 0u64;
-                e.run_observed(steps, |w| {
-                    step_no += 1;
-                    if step_no > warmup {
-                        worst_w = worst_w.max(w.max_weighted_load());
-                        worst_c = worst_c.max(w.max_load());
-                    }
-                });
-                let transfers = e.world().messages().transfers as f64 / steps as f64 * 1000.0;
+                let report = Runner::new(n, seed)
+                    .model(model.clone())
+                    .strategy(ThresholdBalancer::new(cfg))
+                    .probe(MaxLoadProbe::after_warmup(steps / 2))
+                    .run(steps);
+                let transfers = report.messages.transfers as f64 / steps as f64 * 1000.0;
                 table.row(&[
                     n.to_string(),
                     wname.to_string(),
                     mode.to_string(),
-                    worst_w.to_string(),
-                    worst_c.to_string(),
+                    report.worst_max_weighted_load().unwrap_or(0).to_string(),
+                    report.worst_max_load().unwrap_or(0).to_string(),
                     fmt_f(transfers, 1),
                 ]);
             }

@@ -11,16 +11,17 @@ use crate::ExpOptions;
 use pcrlb_analysis::{fmt_rate, Table};
 use pcrlb_baselines::DChoiceAllocation;
 use pcrlb_core::{ScatterBalancer, Single, ThresholdBalancer};
-use pcrlb_sim::{Engine, Strategy};
+use pcrlb_sim::{Runner, Strategy};
 
 fn locality_of<S: Strategy>(n: usize, seed: u64, steps: u64, strategy: S) -> (f64, f64) {
-    let mut e = Engine::new(n, seed, Single::default_paper(), strategy);
-    e.run(steps);
-    let w = e.world();
-    let completions = w.completions().count.max(1);
+    let report = Runner::new(n, seed)
+        .model(Single::default_paper())
+        .strategy(strategy)
+        .run(steps);
+    let completions = report.completions.count.max(1);
     (
-        w.completions().locality(),
-        w.messages().tasks_moved as f64 / completions as f64,
+        report.completions.locality(),
+        report.messages.tasks_moved as f64 / completions as f64,
     )
 }
 

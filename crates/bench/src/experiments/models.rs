@@ -8,9 +8,9 @@
 use crate::ExpOptions;
 use pcrlb_analysis::{fmt_f, Table, WhpCheck};
 use pcrlb_core::{BalancerConfig, Geometric, Multi, ThresholdBalancer};
-use pcrlb_sim::{Engine, LoadModel};
+use pcrlb_sim::{LoadModel, MaxLoadProbe, Runner};
 
-fn sweep_model<M: LoadModel + Clone>(
+fn sweep_model<M: LoadModel + Clone + Sync>(
     opts: &ExpOptions,
     table: &mut Table,
     label: &str,
@@ -27,15 +27,13 @@ fn sweep_model<M: LoadModel + Clone>(
         let mut check = WhpCheck::new();
         for trial in 0..opts.trials() {
             let seed = opts.seed ^ (tag << 40) ^ (trial << 16) ^ n as u64;
-            let mut worst = 0usize;
-            let mut e = Engine::new(n, seed, model.clone(), ThresholdBalancer::new(cfg.clone()));
-            let mut step_no = 0u64;
-            e.run_observed(steps, |w| {
-                step_no += 1;
-                if step_no > warmup {
-                    worst = worst.max(w.max_load());
-                }
-            });
+            let worst = Runner::new(n, seed)
+                .model(model.clone())
+                .strategy(ThresholdBalancer::new(cfg.clone()))
+                .probe(MaxLoadProbe::after_warmup(warmup))
+                .run(steps)
+                .worst_max_load()
+                .unwrap_or(0);
             check.record(worst as f64);
         }
         table.row(&[

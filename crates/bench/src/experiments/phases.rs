@@ -13,7 +13,7 @@
 use crate::ExpOptions;
 use pcrlb_analysis::{fmt_f, fmt_rate, Summary, Table};
 use pcrlb_core::{BalancerConfig, Single, ThresholdBalancer};
-use pcrlb_sim::Engine;
+use pcrlb_sim::{PhaseProbe, ProbeOutput, Runner};
 
 struct PhaseAggregates {
     n: usize,
@@ -28,7 +28,7 @@ struct PhaseAggregates {
 }
 
 fn collect(opts: &ExpOptions, n: usize) -> PhaseAggregates {
-    let cfg = BalancerConfig::paper(n).with_phase_reports();
+    let cfg = BalancerConfig::paper(n);
     let steps = opts.steps_for(n) * 2;
     let mut heavy = Summary::new();
     let mut max_heavy = 0usize;
@@ -40,15 +40,17 @@ fn collect(opts: &ExpOptions, n: usize) -> PhaseAggregates {
     let mut games = 0u64;
     for trial in 0..opts.trials() {
         let seed = opts.seed ^ (0xE456 << 32) ^ (trial << 8) ^ n as u64;
-        let mut e = Engine::new(
-            n,
-            seed,
-            Single::default_paper(),
-            ThresholdBalancer::new(cfg.clone()),
-        );
-        e.run(steps);
+        let (report, _world, balancer) = Runner::new(n, seed)
+            .model(Single::default_paper())
+            .strategy(ThresholdBalancer::new(cfg.clone()))
+            .probe(PhaseProbe::new())
+            .run_detailed(steps);
         let warm_phase = (steps / cfg.phase_length) / 2;
-        for report in e.strategy().phase_reports() {
+        let reports = match report.probe("phases") {
+            Some(ProbeOutput::Phases(reports)) => reports.clone(),
+            _ => Vec::new(),
+        };
+        for report in &reports {
             if report.phase < warm_phase {
                 continue; // skip the fill-up transient
             }
@@ -60,7 +62,7 @@ fn collect(opts: &ExpOptions, n: usize) -> PhaseAggregates {
             failed += report.failed as u64;
             requests += report.requests;
         }
-        games += e.strategy().stats().games_played;
+        games += balancer.stats().games_played;
     }
     PhaseAggregates {
         n,

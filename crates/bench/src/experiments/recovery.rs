@@ -12,7 +12,7 @@
 use crate::ExpOptions;
 use pcrlb_analysis::Table;
 use pcrlb_core::{BalancerConfig, Single, ThresholdBalancer};
-use pcrlb_sim::{Engine, Strategy, Unbalanced, World};
+use pcrlb_sim::{ProbeOutput, RecoveryProbe, Runner, Strategy, Unbalanced, World};
 
 fn recovery_steps<S: Strategy>(
     n: usize,
@@ -22,16 +22,27 @@ fn recovery_steps<S: Strategy>(
     limit: u64,
     strategy: S,
 ) -> Option<u64> {
-    let mut e = Engine::new(n, seed, Single::default_paper(), strategy);
-    e.run(200); // warm up to steady state
-    spike(e.world_mut());
-    for step_no in 1..=limit {
-        e.step();
-        if e.world().max_load() < threshold {
-            return Some(step_no);
-        }
+    // Warm up to steady state, then drop the spike into the world and
+    // keep running (same strategy state) until the probe sees max load
+    // fall below the threshold.
+    let (_, mut world, strategy) = Runner::new(n, seed)
+        .model(Single::default_paper())
+        .strategy(strategy)
+        .run_detailed(200);
+    spike(&mut world);
+    let spike_step = world.step();
+    let report = Runner::new(n, seed)
+        .model(Single::default_paper())
+        .strategy(strategy)
+        .world(world)
+        .probe(RecoveryProbe::new(threshold - 1).stop_on_recovery())
+        .run(limit);
+    match report.probe("recovery") {
+        Some(ProbeOutput::Recovery {
+            recovered_at: Some(at),
+        }) => Some(at - spike_step),
+        _ => None,
     }
-    None
 }
 
 /// Runs E15 and returns the result table.
@@ -54,7 +65,8 @@ pub fn run(opts: &ExpOptions) -> Table {
         let point_size = 20 * t;
         let sqrt_n = (n as f64).sqrt() as usize;
 
-        let scenarios: Vec<(&str, usize, Box<dyn Fn(&mut World)>)> = vec![
+        type Spike = Box<dyn Fn(&mut World)>;
+        let scenarios: Vec<(&str, usize, Spike)> = vec![
             (
                 "one processor",
                 point_size,

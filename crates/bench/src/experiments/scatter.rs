@@ -11,23 +11,18 @@
 use crate::ExpOptions;
 use pcrlb_analysis::{fmt_f, fmt_rate, Table};
 use pcrlb_core::{BalancerConfig, ScatterBalancer, Single, ThresholdBalancer};
-use pcrlb_sim::{loglog, Engine, Strategy};
+use pcrlb_sim::{loglog, MaxLoadProbe, Runner, Strategy};
 
 fn observe<S: Strategy>(n: usize, seed: u64, steps: u64, strategy: S) -> (usize, f64, f64) {
-    let mut e = Engine::new(n, seed, Single::default_paper(), strategy);
-    let warmup = steps / 2;
-    let mut worst = 0usize;
-    let mut step_no = 0u64;
-    e.run_observed(steps, |w| {
-        step_no += 1;
-        if step_no > warmup {
-            worst = worst.max(w.max_load());
-        }
-    });
+    let report = Runner::new(n, seed)
+        .model(Single::default_paper())
+        .strategy(strategy)
+        .probe(MaxLoadProbe::after_warmup(steps / 2))
+        .run(steps);
     (
-        worst,
-        e.world().messages().control_total() as f64 / steps as f64,
-        e.world().completions().locality(),
+        report.worst_max_load().unwrap_or(0),
+        report.messages.control_total() as f64 / steps as f64,
+        report.completions.locality(),
     )
 }
 

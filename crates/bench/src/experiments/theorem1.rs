@@ -11,7 +11,7 @@
 use crate::ExpOptions;
 use pcrlb_analysis::{fmt_f, Table, WhpCheck};
 use pcrlb_core::{BalancerConfig, Single, ThresholdBalancer};
-use pcrlb_sim::{loglog, Engine, Unbalanced};
+use pcrlb_sim::{loglog, MaxLoadProbe, Runner, Unbalanced};
 
 /// Runs E1 and returns the result table.
 pub fn run(opts: &ExpOptions) -> Table {
@@ -35,31 +35,22 @@ pub fn run(opts: &ExpOptions) -> Table {
         let mut unbalanced = WhpCheck::new();
         for trial in 0..opts.trials() {
             let seed = opts.seed ^ (trial << 32) ^ n as u64;
-            let mut worst = 0usize;
-            let mut e = Engine::new(
-                n,
-                seed,
-                Single::default_paper(),
-                ThresholdBalancer::new(cfg.clone()),
-            );
-            let mut step_no = 0u64;
-            e.run_observed(steps, |w| {
-                step_no += 1;
-                if step_no > warmup {
-                    worst = worst.max(w.max_load());
-                }
-            });
+            let worst = Runner::new(n, seed)
+                .model(Single::default_paper())
+                .strategy(ThresholdBalancer::new(cfg.clone()))
+                .probe(MaxLoadProbe::after_warmup(warmup))
+                .run(steps)
+                .worst_max_load()
+                .unwrap_or(0);
             balanced.record(worst as f64);
 
-            let mut worst_u = 0usize;
-            let mut u = Engine::new(n, seed, Single::default_paper(), Unbalanced);
-            let mut step_no = 0u64;
-            u.run_observed(steps, |w| {
-                step_no += 1;
-                if step_no > warmup {
-                    worst_u = worst_u.max(w.max_load());
-                }
-            });
+            let worst_u = Runner::new(n, seed)
+                .model(Single::default_paper())
+                .strategy(Unbalanced)
+                .probe(MaxLoadProbe::after_warmup(warmup))
+                .run(steps)
+                .worst_max_load()
+                .unwrap_or(0);
             unbalanced.record(worst_u as f64);
         }
 

@@ -14,7 +14,7 @@ use pcrlb_analysis::{
     fit_geometric_ratio, fmt_f, fmt_rate, geometric_fit_r2, BirthDeath, Histogram, Table,
 };
 use pcrlb_core::Single;
-use pcrlb_sim::{Engine, Unbalanced};
+use pcrlb_sim::{LoadSnapshotProbe, ProbeOutput, Runner, Unbalanced};
 
 /// Runs E2 and returns the result table.
 pub fn run(opts: &ExpOptions) -> Table {
@@ -29,20 +29,24 @@ pub fn run(opts: &ExpOptions) -> Table {
     let mut samples = 0u64;
     for trial in 0..opts.trials() {
         let seed = opts.seed ^ (0xE2 << 40) ^ trial;
-        let mut e = Engine::new(n, seed, model, Unbalanced);
-        e.run(warmup);
-        // Sample every 32 steps to decorrelate.
-        let mut step_no = 0u64;
-        e.run_observed(steps - warmup, |w| {
-            step_no += 1;
-            if step_no % 32 == 0 {
-                for p in w.procs() {
-                    hist.record(p.load() as u64);
-                }
-                load_sum += w.total_load() as f64 / n as f64;
-                samples += 1;
+        // Sample every 32 steps (post-warm-up) to decorrelate.
+        let report = Runner::new(n, seed)
+            .model(model)
+            .strategy(Unbalanced)
+            .probe(LoadSnapshotProbe::new(32, warmup, 64))
+            .run(steps);
+        if let Some(ProbeOutput::LoadHistogram {
+            counts,
+            samples: s,
+            load_sum: ls,
+        }) = report.probe("load_snapshot")
+        {
+            for (k, &c) in counts.iter().enumerate() {
+                hist.record_n(k as u64, c);
             }
-        });
+            samples += s;
+            load_sum += *ls as f64 / n as f64;
+        }
     }
 
     let mut table = Table::new(&["k", "predicted P(load=k)", "measured", "abs err"]);

@@ -11,9 +11,9 @@
 use crate::ExpOptions;
 use pcrlb_analysis::{fmt_f, Table};
 use pcrlb_core::{BalancerConfig, Geometric, Single, ThresholdBalancer};
-use pcrlb_sim::{Engine, LoadModel};
+use pcrlb_sim::{LoadModel, ProbeOutput, Runner, SojournTailProbe};
 
-fn measure<M: LoadModel + Copy>(
+fn measure<M: LoadModel + Copy + Sync>(
     opts: &ExpOptions,
     n: usize,
     model: M,
@@ -27,23 +27,19 @@ fn measure<M: LoadModel + Copy>(
     let trials = opts.trials();
     for trial in 0..trials {
         let seed = opts.seed ^ (tag << 40) ^ (trial << 16) ^ n as u64;
-        let mut e = Engine::new(n, seed, model, ThresholdBalancer::new(cfg.clone()));
-        e.run(steps);
-        let c = e.world().completions();
-        mean_acc += c.sojourn_mean();
-        worst = worst.max(c.sojourn_max);
-        // p99.9 from the sojourn histogram.
-        let mut acc = 0u64;
-        let target = (c.count as f64 * 0.999).ceil() as u64;
-        let mut p999 = c.hist.len() as u64 - 1;
-        for (w, &cnt) in c.hist.iter().enumerate() {
-            acc += cnt;
-            if acc >= target {
-                p999 = w as u64;
-                break;
-            }
+        let report = Runner::new(n, seed)
+            .model(model)
+            .strategy(ThresholdBalancer::new(cfg.clone()))
+            .probe(SojournTailProbe::new())
+            .run(steps);
+        if let Some(&ProbeOutput::SojournTail {
+            mean, max, p999, ..
+        }) = report.probe("sojourn_tail")
+        {
+            mean_acc += mean;
+            worst = worst.max(max);
+            p999_acc += p999 as f64;
         }
-        p999_acc += p999 as f64;
     }
     (mean_acc / trials as f64, worst, p999_acc / trials as f64)
 }

@@ -16,10 +16,10 @@
 
 use crate::game::{play_game, GameOutcome};
 use crate::params::CollisionParams;
-use crossbeam::channel::{unbounded, Receiver, Sender};
 use pcrlb_sim::{ProcId, SimRng};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::Barrier;
 
 /// A query travelling to the shard that owns `target`.
@@ -104,9 +104,9 @@ pub fn play_game_threaded(
     let req_owner = |ri: usize| -> usize { (ri / reqs_per_shard).min(shards - 1) };
 
     let (query_txs, query_rxs): (Vec<Sender<QueryMsg>>, Vec<Receiver<QueryMsg>>) =
-        (0..shards).map(|_| unbounded()).unzip();
+        (0..shards).map(|_| channel()).unzip();
     let (accept_txs, accept_rxs): (Vec<Sender<AcceptMsg>>, Vec<Receiver<AcceptMsg>>) =
-        (0..shards).map(|_| unbounded()).unzip();
+        (0..shards).map(|_| channel()).unzip();
 
     let barrier = Barrier::new(shards);
     let open_count = AtomicUsize::new(requests.len());
@@ -126,18 +126,19 @@ pub fn play_game_threaded(
         }
     }
 
-    crossbeam::thread::scope(|scope| {
-        for (sid, chunk) in chunks.into_iter().enumerate() {
+    // Each shard thread *owns* its inbound channel ends (std receivers
+    // are not cloneable) and holds cloned senders for every shard.
+    std::thread::scope(|scope| {
+        let shard_inputs = chunks.into_iter().zip(query_rxs).zip(accept_rxs);
+        for (sid, ((chunk, query_rx), accept_rx)) in shard_inputs.enumerate() {
             let query_txs = query_txs.clone();
             let accept_txs = accept_txs.clone();
-            let query_rx = query_rxs[sid].clone();
-            let accept_rx = accept_rxs[sid].clone();
             let barrier = &barrier;
             let open_count = &open_count;
             let queries_sent = &queries_sent;
             let accepts_sent = &accepts_sent;
             let rounds_used = &rounds_used;
-            scope.spawn(move |_| {
+            scope.spawn(move || {
                 // Cumulative accepts for targets owned by this shard.
                 let mut accepted_by: HashMap<ProcId, usize> = HashMap::new();
                 let mut inbox: HashMap<ProcId, Vec<QueryMsg>> = HashMap::new();
@@ -219,8 +220,7 @@ pub fn play_game_threaded(
                 }
             });
         }
-    })
-    .expect("collision shard thread panicked");
+    });
 
     let accepted: Vec<Vec<ProcId>> = requests
         .iter()

@@ -50,7 +50,7 @@ impl Burst {
 
 impl LoadModel for Burst {
     fn generate(&self, _: ProcId, step: Step, _: usize, rng: &mut SimRng) -> usize {
-        if step % self.window == 0 && rng.chance(self.prob) {
+        if step.is_multiple_of(self.window) && rng.chance(self.prob) {
             self.burst
         } else {
             0
@@ -93,7 +93,7 @@ impl Targeted {
 
 impl LoadModel for Targeted {
     fn generate(&self, p: ProcId, step: Step, _: usize, _: &mut SimRng) -> usize {
-        if p < self.victims && step % self.window == 0 {
+        if p < self.victims && step.is_multiple_of(self.window) {
             self.amount
         } else {
             0
@@ -170,7 +170,7 @@ mod tests {
     use super::*;
     use crate::balancer::ThresholdBalancer;
     use crate::config::BalancerConfig;
-    use pcrlb_sim::{Engine, Unbalanced};
+    use pcrlb_sim::{Engine, MaxLoadProbe, Runner, Unbalanced};
 
     #[test]
     fn burst_generates_only_at_window_start() {
@@ -238,11 +238,16 @@ mod tests {
         // Regression: a lone seed used to be consumed in its own
         // arrival step, so the system stayed empty forever.
         let adv = TreeSpawn::new(2, 0.3, 0.2);
-        let mut e = Engine::new(64, 11, adv, Unbalanced);
-        let mut saw_load = false;
-        e.run_observed(500, |w| saw_load |= w.max_load() > 0);
-        assert!(saw_load, "tree-spawn process never put load in the system");
-        assert!(e.world().completions().count > 0);
+        let report = Runner::new(64, 11)
+            .model(adv)
+            .strategy(Unbalanced)
+            .probe(MaxLoadProbe::new())
+            .run(500);
+        assert!(
+            report.worst_max_load().unwrap_or(0) > 0,
+            "tree-spawn process never put load in the system"
+        );
+        assert!(report.completions.count > 0);
     }
 
     #[test]
@@ -262,12 +267,18 @@ mod tests {
         let cfg = BalancerConfig::paper(n);
         let t = cfg.t;
         let adv = Targeted::new(cfg.phase_length * 2, 4, t / 2);
-        let mut bal = Engine::new(n, 9, adv, ThresholdBalancer::new(cfg.clone()));
-        let mut unbal = Engine::new(n, 9, adv, Unbalanced);
-        let mut bal_worst = 0;
-        let mut unbal_worst = 0;
-        bal.run_observed(2000, |w| bal_worst = bal_worst.max(w.max_load()));
-        unbal.run_observed(2000, |w| unbal_worst = unbal_worst.max(w.max_load()));
+        let worst_with = |balanced: bool| {
+            let r = Runner::new(n, 9).model(adv).probe(MaxLoadProbe::new());
+            if balanced {
+                r.strategy(ThresholdBalancer::new(cfg.clone())).run(2000)
+            } else {
+                r.strategy(Unbalanced).run(2000)
+            }
+            .worst_max_load()
+            .unwrap_or(0)
+        };
+        let bal_worst = worst_with(true);
+        let unbal_worst = worst_with(false);
         assert!(
             bal_worst < unbal_worst,
             "balancer ({bal_worst}) should beat unbalanced ({unbal_worst})"

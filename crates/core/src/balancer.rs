@@ -18,31 +18,14 @@ use pcrlb_collision::BalanceForest;
 use pcrlb_sim::{Event, MessageKind, MessageStats, ProcId, Step, Strategy, Trace, World};
 use std::collections::HashMap;
 
+// The per-phase report type lives in the simulation substrate so probes
+// can receive it without depending on this crate; re-exported here for
+// backwards compatibility.
+pub use pcrlb_sim::PhaseReport;
+
 /// Resolution of the requests-per-root histogram (values at or above
 /// the cap share the last bucket).
 const REQUEST_HIST_CAP: usize = 64;
-
-/// What happened in one phase (recorded when
-/// [`BalancerConfig::record_phases`] is set).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct PhaseReport {
-    /// Phase index.
-    pub phase: u64,
-    /// Step at which the phase began.
-    pub start_step: Step,
-    /// Heavy processors at the boundary.
-    pub heavy: usize,
-    /// Light processors at the boundary.
-    pub light: usize,
-    /// Heavy processors matched to a partner (incl. pre-round matches).
-    pub matched: usize,
-    /// Heavy processors that exhausted the tree depth unmatched.
-    pub failed: usize,
-    /// Collision-game requests sent during the phase.
-    pub requests: u64,
-    /// Control messages spent during the phase.
-    pub messages: u64,
-}
 
 /// Aggregate statistics over the whole run.
 #[derive(Debug, Clone)]
@@ -116,7 +99,13 @@ struct StreamingTransfer {
 }
 
 /// The paper's balancing algorithm, pluggable into
-/// [`pcrlb_sim::Engine`] / [`pcrlb_sim::ParallelEngine`].
+/// [`pcrlb_sim::Engine`] / [`pcrlb_sim::Runner`].
+///
+/// When the world has an observer attached (i.e. the run is driven by a
+/// [`pcrlb_sim::Runner`] with probes), the balancer publishes one
+/// [`PhaseReport`] per phase plus its trace events through the world's
+/// observer sink, so `PhaseProbe` / `TraceProbe` work without any
+/// balancer-side configuration.
 pub struct ThresholdBalancer {
     cfg: BalancerConfig,
     forest: BalanceForest,
@@ -164,6 +153,15 @@ impl ThresholdBalancer {
     /// The attached trace, if any.
     pub fn trace(&self) -> Option<&Trace> {
         self.trace.as_ref()
+    }
+
+    /// Records `ev` in the attached trace (if any) and publishes it to
+    /// the world's observer sink (no-op when nothing is observing).
+    fn emit(&mut self, world: &mut World, ev: Event) {
+        world.emit_event(ev);
+        if let Some(trace) = &mut self.trace {
+            trace.push(ev);
+        }
     }
 
     /// The paper's default algorithm for `n` processors.
@@ -250,17 +248,25 @@ impl ThresholdBalancer {
                 self.light_buf.push(p);
             }
         }
-        if let Some(trace) = &mut self.trace {
-            trace.push(Event::PhaseStart {
-                phase: self.phase,
-                step,
-            });
-            for &h in &self.heavy_buf {
-                trace.push(Event::Heavy {
+        if self.trace.is_some() || world.observed() {
+            self.emit(
+                world,
+                Event::PhaseStart {
                     phase: self.phase,
-                    proc: h,
-                    load: world.load(h),
-                });
+                    step,
+                },
+            );
+            for i in 0..self.heavy_buf.len() {
+                let h = self.heavy_buf[i];
+                let load = world.load(h);
+                self.emit(
+                    world,
+                    Event::Heavy {
+                        phase: self.phase,
+                        proc: h,
+                        load,
+                    },
+                );
             }
         }
         let heavy_count = self.heavy_buf.len();
@@ -279,6 +285,7 @@ impl ThresholdBalancer {
 
         // Partner search via balancing-request trees.
         let mut requests_this_phase = 0u64;
+        let mut games_this_phase = 0u64;
         let mut failed = 0usize;
         if !self.heavy_buf.is_empty() {
             let outcome = if self.cfg.game_shards > 1 {
@@ -308,18 +315,20 @@ impl ThresholdBalancer {
             self.stats.games_played += outcome.stats.levels as u64;
             self.stats.requests_total += outcome.stats.requests;
             requests_this_phase = outcome.stats.requests;
+            games_this_phase = outcome.stats.levels as u64;
             for &r in &outcome.requests_per_root {
                 let idx = (r as usize).min(REQUEST_HIST_CAP - 1);
                 self.stats.requests_hist[idx] += 1;
             }
             failed = outcome.unmatched.len();
-            if let Some(trace) = &mut self.trace {
-                for &proc in &outcome.unmatched {
-                    trace.push(Event::SearchFailed {
+            for &proc in &outcome.unmatched {
+                self.emit(
+                    world,
+                    Event::SearchFailed {
                         phase: self.phase,
                         proc,
-                    });
-                }
+                    },
+                );
             }
             for m in outcome.matches {
                 all_matches.push((m.heavy, m.light, m.level));
@@ -354,20 +363,21 @@ impl ThresholdBalancer {
                 });
             } else {
                 let moved = self.do_transfer(world, h, l);
-                if let Some(trace) = &mut self.trace {
-                    trace.push(Event::Transfer {
+                self.emit(
+                    world,
+                    Event::Transfer {
                         step,
                         from: h,
                         to: l,
                         tasks: moved,
-                    });
-                }
+                    },
+                );
             }
         }
 
-        if self.cfg.record_phases {
+        if self.cfg.record_phases || world.observed() {
             let window = world.messages() - msgs_before;
-            self.reports.push(PhaseReport {
+            let report = PhaseReport {
                 phase: self.phase,
                 start_step: step,
                 heavy: heavy_count,
@@ -375,8 +385,13 @@ impl ThresholdBalancer {
                 matched: heavy_count - failed,
                 failed,
                 requests: requests_this_phase,
+                games: games_this_phase,
                 messages: window.control_total(),
-            });
+            };
+            world.emit_phase(report);
+            if self.cfg.record_phases {
+                self.reports.push(report);
+            }
         }
         self.phase += 1;
     }
@@ -398,14 +413,15 @@ impl ThresholdBalancer {
             if self.pending[i].due <= now {
                 let t = self.pending.swap_remove(i);
                 let moved = self.do_transfer(world, t.from, t.to);
-                if let Some(trace) = &mut self.trace {
-                    trace.push(Event::Transfer {
+                self.emit(
+                    world,
+                    Event::Transfer {
                         step: now,
                         from: t.from,
                         to: t.to,
                         tasks: moved,
-                    });
-                }
+                    },
+                );
             } else {
                 i += 1;
             }
@@ -429,15 +445,16 @@ impl ThresholdBalancer {
             } else {
                 world.transfer(from, to, chunk)
             };
-            if let Some(trace) = &mut self.trace {
-                if moved > 0 {
-                    trace.push(Event::Transfer {
+            if moved > 0 {
+                self.emit(
+                    world,
+                    Event::Transfer {
                         step: now,
                         from,
                         to,
                         tasks: moved,
-                    });
-                }
+                    },
+                );
             }
             let s = &mut self.streams[i];
             // Deduct the scheduled chunk even when the sender had less:
@@ -455,7 +472,7 @@ impl ThresholdBalancer {
 impl Strategy for ThresholdBalancer {
     fn on_step(&mut self, world: &mut World) {
         debug_assert_eq!(world.n(), self.cfg.n, "world/config size mismatch");
-        if world.step() % self.cfg.phase_length == 0 {
+        if world.step().is_multiple_of(self.cfg.phase_length) {
             self.begin_phase(world);
         }
         if self.cfg.schedule_transfers {
@@ -475,7 +492,7 @@ impl Strategy for ThresholdBalancer {
 mod tests {
     use super::*;
     use crate::gen::Single;
-    use pcrlb_sim::Engine;
+    use pcrlb_sim::{Engine, MaxLoadProbe, Runner};
 
     fn small_cfg(n: usize) -> BalancerConfig {
         BalancerConfig::paper(n)
@@ -486,9 +503,13 @@ mod tests {
         let n = 1024;
         let cfg = small_cfg(n);
         let bound = 2 * cfg.theorem1_bound();
-        let mut e = Engine::new(n, 42, Single::default_paper(), ThresholdBalancer::new(cfg));
-        let mut worst = 0;
-        e.run_observed(3000, |w| worst = worst.max(w.max_load()));
+        let worst = Runner::new(n, 42)
+            .model(Single::default_paper())
+            .strategy(ThresholdBalancer::new(cfg))
+            .probe(MaxLoadProbe::new())
+            .run(3000)
+            .worst_max_load()
+            .unwrap_or(0);
         assert!(
             worst <= bound,
             "max load {worst} exceeded 2x Theorem 1 bound {bound}"
@@ -600,14 +621,17 @@ mod tests {
         let cfg = BalancerConfig::from_t(n, unit_t * 2).with_weighted();
         let bound = 2 * cfg.t as u64;
         let model = Weighted::new(inner, dist);
-        let mut e = Engine::new(n, 37, model, ThresholdBalancer::new(cfg));
-        let mut worst = 0u64;
-        e.run_observed(3000, |w| worst = worst.max(w.max_weighted_load()));
+        let report = Runner::new(n, 37)
+            .model(model)
+            .strategy(ThresholdBalancer::new(cfg))
+            .probe(MaxLoadProbe::new())
+            .run(3000);
+        let worst = report.worst_max_weighted_load().unwrap_or(0);
         assert!(
             worst <= bound,
             "weighted max load {worst} exceeded 2T = {bound}"
         );
-        assert!(e.world().messages().transfers > 0 || worst < bound / 2);
+        assert!(report.messages.transfers > 0 || worst < bound / 2);
     }
 
     #[test]
@@ -706,9 +730,13 @@ mod tests {
         let n = 512;
         let cfg = BalancerConfig::paper(n).with_streaming_transfers();
         let bound = 2 * cfg.theorem1_bound();
-        let mut e = Engine::new(n, 29, Single::default_paper(), ThresholdBalancer::new(cfg));
-        let mut worst = 0;
-        e.run_observed(2000, |w| worst = worst.max(w.max_load()));
+        let worst = Runner::new(n, 29)
+            .model(Single::default_paper())
+            .strategy(ThresholdBalancer::new(cfg))
+            .probe(MaxLoadProbe::new())
+            .run(2000)
+            .worst_max_load()
+            .unwrap_or(0);
         assert!(worst <= bound, "streaming variant max {worst} > {bound}");
     }
 

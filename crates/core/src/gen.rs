@@ -330,7 +330,7 @@ mod tests {
         let g = Geometric::new(4).unwrap();
         let mut rng = SimRng::new(3);
         let trials = 200_000;
-        let mut counts = vec![0usize; 5];
+        let mut counts = [0usize; 5];
         for _ in 0..trials {
             counts[g.generate(0, 0, 0, &mut rng)] += 1;
         }
@@ -378,7 +378,7 @@ mod tests {
         let m = Multi::new(vec![0.3, 0.1]).unwrap(); // P(1)=.3 P(2)=.1 P(0)=.6
         let mut rng = SimRng::new(5);
         let trials = 200_000;
-        let mut counts = vec![0usize; 3];
+        let mut counts = [0usize; 3];
         for _ in 0..trials {
             counts[m.generate(0, 0, 0, &mut rng)] += 1;
         }

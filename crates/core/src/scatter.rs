@@ -103,7 +103,7 @@ impl ScatterBalancer {
 
 impl Strategy for ScatterBalancer {
     fn on_step(&mut self, world: &mut World) {
-        if world.step() % self.interval == 0 {
+        if world.step().is_multiple_of(self.interval) {
             self.scatter(world);
         }
     }

@@ -1,0 +1,261 @@
+//! Execution backends: *where* the per-processor sub-steps run.
+//!
+//! One engine step implements the paper's time-step decomposition (§5
+//! remark: "a time step in our model actually consists of four steps"):
+//! generate, consume, decide, move. Sub-steps 1–2 are embarrassingly
+//! parallel — every processor only touches its own queue and its own
+//! RNG stream — so the engine delegates them to an [`ExecBackend`]:
+//!
+//! * [`Sequential`] runs them on the calling thread;
+//! * [`Threaded`] shards the processor array across OS threads.
+//!
+//! Both call the *same* per-shard kernel ([`drive_shard`]), so
+//! sequential ≡ threaded determinism holds by construction: there is
+//! exactly one implementation of the generate/consume loop, and the RNG
+//! draw order per processor (generate count, per-task weights, consume
+//! count) is fixed by that kernel regardless of scheduling.
+//!
+//! Sub-steps 3–4 (the balancing strategy) always run on the
+//! coordinating thread — see [`crate::engine::Engine::step`] — which
+//! mirrors how the paper serializes a phase's collision games into a
+//! globally-consistent assignment.
+
+use crate::model::LoadModel;
+use crate::processor::Processor;
+use crate::rng::SimRng;
+use crate::task::Completion;
+use crate::types::Step;
+use crate::world::{CompletionStats, World, DEFAULT_SOJOURN_HIST};
+
+/// The one and only generate/consume kernel (sub-steps 1–2), applied to
+/// a contiguous shard of processors starting at index `start`.
+///
+/// Per processor the RNG draw order is: generate count, then one weight
+/// per generated task, then consume count. Consumption is capped at the
+/// post-generation load. Completions are recorded into `completions`,
+/// which may be the world's own accumulator (sequential) or a per-shard
+/// local merged afterwards (threaded) — the statistics are additive, so
+/// the two are indistinguishable.
+pub(crate) fn drive_shard<M: LoadModel>(
+    start: usize,
+    now: Step,
+    procs: &mut [Processor],
+    rngs: &mut [SimRng],
+    model: &M,
+    completions: &mut CompletionStats,
+) {
+    for (off, (proc, rng)) in procs.iter_mut().zip(rngs.iter_mut()).enumerate() {
+        let p = start + off;
+        // Sub-step 1: generation.
+        let g = model.generate(p, now, proc.load(), rng);
+        for _ in 0..g {
+            let w = model.task_weight(p, now, rng);
+            proc.generate_weighted(now, w);
+        }
+        // Sub-step 2: consumption (capped at available load).
+        let load = proc.load();
+        let c = model.consume(p, now, load, rng).min(load);
+        for _ in 0..c {
+            if let Some(task) = proc.consume() {
+                completions.record(&Completion {
+                    task,
+                    executed_on: p,
+                    finished: now,
+                });
+            }
+        }
+    }
+}
+
+/// Executes the per-processor sub-steps (1–2) of one engine step.
+///
+/// The trait is generic over the load model so that [`Sequential`] can
+/// serve any model while [`Threaded`] requires `Sync` (worker threads
+/// share the model by reference).
+pub trait ExecBackend<M: LoadModel> {
+    /// Runs generation and consumption for every processor at the
+    /// world's current step.
+    fn run_substeps(&mut self, world: &mut World, model: &M);
+}
+
+/// Runs sub-steps on the calling thread. The default backend.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Sequential;
+
+impl<M: LoadModel> ExecBackend<M> for Sequential {
+    fn run_substeps(&mut self, world: &mut World, model: &M) {
+        let (now, start, procs, rngs, completions) = world.whole_shard();
+        drive_shard(start, now, procs, rngs, model, completions);
+    }
+}
+
+/// Shards the processor array across `threads` OS threads (scoped;
+/// clamped to at least 1). Produces bit-identical results to
+/// [`Sequential`] for the same seed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Threaded {
+    /// Number of worker threads.
+    pub threads: usize,
+}
+
+impl<M: LoadModel + Sync> ExecBackend<M> for Threaded {
+    fn run_substeps(&mut self, world: &mut World, model: &M) {
+        let (now, shards, completions) = world.shards(self.threads.max(1));
+        let locals: Vec<CompletionStats> = std::thread::scope(|scope| {
+            let handles: Vec<_> = shards
+                .into_iter()
+                .map(|(start, procs, rngs)| {
+                    scope.spawn(move || {
+                        let mut local = CompletionStats::new(DEFAULT_SOJOURN_HIST);
+                        drive_shard(start, now, procs, rngs, model, &mut local);
+                        local
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("simulation worker panicked"))
+                .collect()
+        });
+        for local in &locals {
+            completions.merge(local);
+        }
+    }
+}
+
+/// Runtime-selectable backend, used by [`crate::runner::Runner`] so the
+/// execution mode is a value, not a type parameter.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum Backend {
+    /// Run on the calling thread.
+    #[default]
+    Sequential,
+    /// Run sharded across this many OS threads.
+    Threaded(usize),
+}
+
+impl Backend {
+    /// Human-readable backend name for reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Backend::Sequential => "sequential",
+            Backend::Threaded(_) => "threaded",
+        }
+    }
+}
+
+impl<M: LoadModel + Sync> ExecBackend<M> for Backend {
+    fn run_substeps(&mut self, world: &mut World, model: &M) {
+        match *self {
+            Backend::Sequential => Sequential.run_substeps(world, model),
+            Backend::Threaded(threads) => Threaded { threads }.run_substeps(world, model),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::Engine;
+    use crate::model::Unbalanced;
+    use crate::types::ProcId;
+
+    /// A stochastic model exercising the RNG streams: generate 1 w.p.
+    /// 0.5, consume 1 w.p. 0.6.
+    struct Coin;
+
+    impl LoadModel for Coin {
+        fn generate(&self, _: ProcId, _: Step, _: usize, rng: &mut SimRng) -> usize {
+            usize::from(rng.chance(0.5))
+        }
+        fn consume(&self, _: ProcId, _: Step, _: usize, rng: &mut SimRng) -> usize {
+            usize::from(rng.chance(0.6))
+        }
+    }
+
+    #[test]
+    fn threaded_matches_sequential_exactly() {
+        for threads in [1, 2, 3, 7] {
+            let mut seq = Engine::new(37, 1234, Coin, Unbalanced);
+            let mut par = Engine::threaded(37, 1234, Coin, Unbalanced, threads);
+            seq.run(200);
+            par.run(200);
+            assert_eq!(
+                seq.world().loads(),
+                par.world().loads(),
+                "threads={threads}"
+            );
+            assert_eq!(
+                seq.world().completions().count,
+                par.world().completions().count
+            );
+            assert_eq!(
+                seq.world().completions().sojourn_sum,
+                par.world().completions().sojourn_sum
+            );
+            assert_eq!(
+                seq.world().completions().hist,
+                par.world().completions().hist
+            );
+        }
+    }
+
+    /// A weighted model: weights are drawn from the per-processor
+    /// stream, which must stay aligned across backends.
+    struct WeightedCoin;
+
+    impl LoadModel for WeightedCoin {
+        fn generate(&self, _: ProcId, _: Step, _: usize, rng: &mut SimRng) -> usize {
+            usize::from(rng.chance(0.5))
+        }
+        fn consume(&self, _: ProcId, _: Step, load: usize, rng: &mut SimRng) -> usize {
+            usize::from(load > 0 && rng.chance(0.6))
+        }
+        fn task_weight(&self, _: ProcId, _: Step, rng: &mut SimRng) -> u32 {
+            1 + rng.below(4) as u32
+        }
+    }
+
+    #[test]
+    fn threaded_matches_sequential_with_weighted_tasks() {
+        for threads in [2, 5] {
+            let mut seq = Engine::new(41, 77, WeightedCoin, Unbalanced);
+            let mut par = Engine::threaded(41, 77, WeightedCoin, Unbalanced, threads);
+            seq.run(300);
+            par.run(300);
+            assert_eq!(seq.world().loads(), par.world().loads());
+            let seq_w: Vec<u64> = (0..41).map(|p| seq.world().weighted_load(p)).collect();
+            let par_w: Vec<u64> = (0..41).map(|p| par.world().weighted_load(p)).collect();
+            assert_eq!(seq_w, par_w, "threads={threads}");
+            assert_eq!(
+                seq.world().completions().count,
+                par.world().completions().count
+            );
+        }
+    }
+
+    #[test]
+    fn more_threads_than_processors() {
+        let mut par = Engine::threaded(3, 7, Coin, Unbalanced, 16);
+        par.run(50);
+        assert_eq!(par.world().step(), 50);
+    }
+
+    #[test]
+    fn zero_threads_clamped() {
+        let mut par = Engine::threaded(4, 7, Coin, Unbalanced, 0);
+        par.run(10);
+        assert_eq!(par.world().step(), 10);
+    }
+
+    #[test]
+    fn backend_enum_dispatches_both_ways() {
+        let mut a = Engine::with_backend(16, 5, Coin, Unbalanced, Backend::Sequential);
+        let mut b = Engine::with_backend(16, 5, Coin, Unbalanced, Backend::Threaded(4));
+        a.run(100);
+        b.run(100);
+        assert_eq!(a.world().loads(), b.world().loads());
+        assert_eq!(Backend::Sequential.name(), "sequential");
+        assert_eq!(Backend::Threaded(2).name(), "threaded");
+    }
+}

@@ -1,4 +1,4 @@
-//! The sequential synchronous engine.
+//! The unified simulation driver.
 //!
 //! One engine step implements the paper's time-step decomposition (§5
 //! remark: "a time step in our model actually consists of four steps"):
@@ -10,75 +10,76 @@
 //! 3. **decide** / 4. **move** — the strategy's [`Strategy::on_step`]
 //!    runs, performing balancing decisions and task movement.
 //!
+//! Sub-steps 1–2 are delegated to an [`ExecBackend`] — [`Sequential`]
+//! by default, [`crate::backend::Threaded`] for real shared-memory
+//! parallelism — while 3–4 always run on the coordinating thread. Both
+//! backends execute the same kernel, so a threaded run is *bit-identical*
+//! to a sequential one with the same seed (see `crate::backend`).
+//!
 //! The engine is generic so the same driver runs the paper's algorithm,
 //! every baseline, and the unbalanced system on identical arrival
 //! streams (same seed ⇒ same generated tasks), which is what makes the
-//! comparison experiments fair.
+//! comparison experiments fair. Most callers should not drive the
+//! engine directly: [`crate::runner::Runner`] wraps it with the probe
+//! pipeline and is the single entry point for experiments, benches,
+//! the CLI, and examples.
 
+use crate::backend::{ExecBackend, Sequential, Threaded};
 use crate::model::{LoadModel, Strategy};
 use crate::world::World;
 
-/// Sequential simulation driver.
-pub struct Engine<M, S> {
+/// The simulation driver, generic over model, strategy, and execution
+/// backend (sequential by default).
+pub struct Engine<M, S, B = Sequential> {
     world: World,
     model: M,
     strategy: S,
+    backend: B,
 }
 
 impl<M: LoadModel, S: Strategy> Engine<M, S> {
-    /// Builds an engine over a fresh world of `n` processors.
+    /// Builds a sequential engine over a fresh world of `n` processors.
     pub fn new(n: usize, seed: u64, model: M, strategy: S) -> Self {
-        Engine {
-            world: World::new(n, seed),
-            model,
-            strategy,
-        }
+        Engine::with_backend(n, seed, model, strategy, Sequential)
     }
 
-    /// Builds an engine over an existing world (e.g. one pre-loaded with
-    /// an adversarial spike).
+    /// Builds a sequential engine over an existing world (e.g. one
+    /// pre-loaded with an adversarial spike).
     pub fn with_world(world: World, model: M, strategy: S) -> Self {
+        Engine::with_world_and_backend(world, model, strategy, Sequential)
+    }
+}
+
+impl<M: LoadModel + Sync, S: Strategy> Engine<M, S, Threaded> {
+    /// Builds an engine whose per-processor sub-steps run across
+    /// `threads` OS threads (clamped to at least 1).
+    pub fn threaded(n: usize, seed: u64, model: M, strategy: S, threads: usize) -> Self {
+        Engine::with_backend(n, seed, model, strategy, Threaded { threads })
+    }
+}
+
+impl<M: LoadModel, S: Strategy, B: ExecBackend<M>> Engine<M, S, B> {
+    /// Builds an engine over a fresh world with an explicit backend.
+    pub fn with_backend(n: usize, seed: u64, model: M, strategy: S, backend: B) -> Self {
+        Engine::with_world_and_backend(World::new(n, seed), model, strategy, backend)
+    }
+
+    /// Builds an engine over an existing world with an explicit backend.
+    pub fn with_world_and_backend(world: World, model: M, strategy: S, backend: B) -> Self {
         Engine {
             world,
             model,
             strategy,
+            backend,
         }
     }
 
     /// Executes one full step (generate, consume, decide+move, tick).
     pub fn step(&mut self) {
-        let n = self.world.n();
-        let now = self.world.step();
-
-        // Sub-step 1: generation.
-        for p in 0..n {
-            let load = self.world.load(p);
-            let g = {
-                let rng = self.world.rng_of(p);
-                self.model.generate(p, now, load, rng)
-            };
-            for _ in 0..g {
-                let w = {
-                    let rng = self.world.rng_of(p);
-                    self.model.task_weight(p, now, rng)
-                };
-                self.world.generate_one_weighted(p, w);
-            }
-        }
-
-        // Sub-step 2: consumption (capped at available load).
-        for p in 0..n {
-            let load = self.world.load(p);
-            let rng = self.world.rng_of(p);
-            let c = self.model.consume(p, now, load, rng).min(load);
-            for _ in 0..c {
-                self.world.consume_one(p);
-            }
-        }
-
+        // Sub-steps 1–2 on the backend.
+        self.backend.run_substeps(&mut self.world, &self.model);
         // Sub-steps 3+4: balancing decisions and load movement.
         self.strategy.on_step(&mut self.world);
-
         self.world.tick();
     }
 
@@ -89,8 +90,11 @@ impl<M: LoadModel, S: Strategy> Engine<M, S> {
         }
     }
 
-    /// Runs `steps` steps, invoking `observe` after every step — the
-    /// hook experiments use to sample max load, message windows, etc.
+    /// Runs `steps` steps, invoking `observe` after every step.
+    #[deprecated(
+        since = "0.2.0",
+        note = "build a `Runner` with probes instead; this shim will be removed next release"
+    )]
     pub fn run_observed(&mut self, steps: u64, mut observe: impl FnMut(&World)) {
         for _ in 0..steps {
             self.step();
@@ -126,6 +130,11 @@ impl<M: LoadModel, S: Strategy> Engine<M, S> {
     /// Consumes the engine, returning the final world.
     pub fn into_world(self) -> World {
         self.world
+    }
+
+    /// Consumes the engine, returning world, model, and strategy.
+    pub fn into_parts(self) -> (World, M, S) {
+        (self.world, self.model, self.strategy)
     }
 }
 
@@ -204,7 +213,8 @@ mod tests {
     }
 
     #[test]
-    fn run_observed_sees_every_step() {
+    #[allow(deprecated)]
+    fn run_observed_shim_sees_every_step() {
         let mut e = Engine::new(1, 4, Pump, Unbalanced);
         let mut seen = Vec::new();
         e.run_observed(5, |w| seen.push(w.total_load()));
@@ -263,5 +273,14 @@ mod tests {
         b.run(50);
         assert_eq!(a.world().loads(), b.world().loads());
         assert_eq!(a.world().completions().count, b.world().completions().count);
+    }
+
+    #[test]
+    fn into_parts_returns_everything() {
+        let mut e = Engine::new(2, 1, Pump, Unbalanced);
+        e.run(3);
+        let (w, _model, _strategy) = e.into_parts();
+        assert_eq!(w.step(), 3);
+        assert_eq!(w.total_load(), 6);
     }
 }

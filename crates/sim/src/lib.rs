@@ -11,16 +11,22 @@
 //! * [`World`] — processors with FIFO task queues (paper-faithful
 //!   back-of-queue transfer semantics), a message ledger, per-task
 //!   completion statistics, and deterministic per-processor RNG streams;
-//! * [`Engine`] — the sequential lock-step driver;
-//! * [`ParallelEngine`] — a threaded driver producing bit-identical
-//!   results (real parallelism for the per-processor sub-steps);
+//! * [`Engine`] — the lock-step driver, generic over an execution
+//!   backend: [`Sequential`] (default) or [`Threaded`], which runs the
+//!   per-processor sub-steps across OS threads and produces
+//!   *bit-identical* results;
+//! * [`Runner`] — the builder-style entry point combining engine,
+//!   backend, and a pipeline of [`Probe`] observers into a
+//!   [`RunReport`]; experiments, benches, the CLI, and examples all go
+//!   through it;
 //! * the [`LoadModel`] / [`Strategy`] traits that the paper's algorithm
 //!   (`pcrlb-core`) and all baselines (`pcrlb-baselines`) implement.
 //!
 //! ## Example
 //!
 //! ```
-//! use pcrlb_sim::{Engine, LoadModel, ProcId, SimRng, Step, Unbalanced};
+//! use pcrlb_sim::{LoadModel, MaxLoadProbe, ProcId, ProbeOutput, Runner};
+//! use pcrlb_sim::{SimRng, Step, Unbalanced};
 //!
 //! /// Generate one task per step with probability 0.4, consume with 0.5.
 //! struct Simple;
@@ -33,33 +39,47 @@
 //!     }
 //! }
 //!
-//! let mut engine = Engine::new(64, 42, Simple, Unbalanced);
-//! engine.run(1000);
-//! assert!(engine.world().total_load() < 64 * 20);
+//! let report = Runner::new(64, 42)
+//!     .model(Simple)
+//!     .strategy(Unbalanced)
+//!     .probe(MaxLoadProbe::after_warmup(100))
+//!     .run(1000);
+//! assert!(report.total_load < 64 * 20);
+//! assert!(matches!(
+//!     report.probe("max_load"),
+//!     Some(ProbeOutput::MaxLoad { .. })
+//! ));
 //! ```
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod backend;
 pub mod engine;
 pub mod message;
 pub mod model;
-pub mod parallel;
+pub mod probe;
 pub mod processor;
 pub mod queue;
 pub mod rng;
+pub mod runner;
 pub mod task;
 pub mod trace;
 pub mod types;
 pub mod world;
 
+pub use backend::{Backend, ExecBackend, Sequential, Threaded};
 pub use engine::Engine;
 pub use message::{MessageKind, MessageLedger, MessageStats};
 pub use model::{LoadModel, Strategy, Unbalanced};
-pub use parallel::ParallelEngine;
+pub use probe::{
+    LoadSnapshotProbe, MaxLoadProbe, MessageRateProbe, PhaseProbe, PhaseReport, Probe, ProbeOutput,
+    RecoveryProbe, SeriesProbe, SojournTailProbe, TraceProbe,
+};
 pub use processor::{ProcStats, Processor};
 pub use queue::TaskQueue;
 pub use rng::SimRng;
+pub use runner::{RunReport, Runner};
 pub use task::{Completion, Task};
 pub use trace::{Event, Trace};
 pub use types::{ilog2ceil, loglog, ProcId, Step};

@@ -1,0 +1,647 @@
+//! Composable observers for simulation runs.
+//!
+//! A [`Probe`] watches a run from the outside: the
+//! [`crate::runner::Runner`] invokes it after every engine step (and
+//! forwards any [`PhaseReport`]s / [`crate::trace::Event`]s the strategy
+//! emitted during that step), then collects a [`ProbeOutput`] at the
+//! end. Probes replace the hand-rolled `run_observed` closures that
+//! used to be duplicated across every experiment, bench, and example:
+//! each §4 measurement (worst max-load after warm-up, load histograms,
+//! message rates, sojourn tails, per-phase match statistics) is a stock
+//! probe here, registered once and reused everywhere.
+//!
+//! Probes are deliberately *passive* — they receive `&World` and cannot
+//! mutate the simulation — with one escape hatch: a probe may request
+//! early termination via [`Probe::stop_requested`] (used by recovery
+//! experiments that stop once the spike has drained).
+
+use crate::message::MessageStats;
+use crate::trace::Event;
+use crate::types::Step;
+use crate::world::World;
+
+/// What happened in one balancing phase. Emitted by phase-based
+/// strategies through [`World::emit_phase`] and delivered to probes via
+/// [`Probe::on_phase`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PhaseReport {
+    /// Phase index.
+    pub phase: u64,
+    /// Step at which the phase began.
+    pub start_step: Step,
+    /// Heavy processors at the boundary.
+    pub heavy: usize,
+    /// Light processors at the boundary.
+    pub light: usize,
+    /// Heavy processors matched to a partner (incl. pre-round matches).
+    pub matched: usize,
+    /// Heavy processors that exhausted the tree depth unmatched.
+    pub failed: usize,
+    /// Collision-game requests sent during the phase.
+    pub requests: u64,
+    /// Collision games (tree levels) played during the phase.
+    pub games: u64,
+    /// Control messages spent during the phase.
+    pub messages: u64,
+}
+
+/// The result a probe hands back when the run ends.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ProbeOutput {
+    /// From [`MaxLoadProbe`].
+    MaxLoad {
+        /// Worst max load observed after warm-up.
+        worst: usize,
+        /// Worst max *weighted* load observed after warm-up.
+        worst_weighted: u64,
+        /// Steps that contributed (i.e. post-warm-up steps).
+        steps_observed: u64,
+    },
+    /// From [`LoadSnapshotProbe`].
+    LoadHistogram {
+        /// `counts[k]` = processor-instants observed holding load `k`
+        /// (last bucket aggregates overflow).
+        counts: Vec<u64>,
+        /// Snapshot instants taken.
+        samples: u64,
+        /// Sum over instants of the system's total load.
+        load_sum: u64,
+    },
+    /// From [`MessageRateProbe`].
+    MessageRate {
+        /// Messages accumulated during the observed window.
+        window: MessageStats,
+        /// Steps in the window.
+        steps: u64,
+    },
+    /// From [`SojournTailProbe`].
+    SojournTail {
+        /// Tasks completed.
+        count: u64,
+        /// Mean sojourn time.
+        mean: f64,
+        /// Largest sojourn observed.
+        max: u64,
+        /// Median sojourn.
+        p50: u64,
+        /// 99th-percentile sojourn.
+        p99: u64,
+        /// 99.9th-percentile sojourn.
+        p999: u64,
+        /// Fraction of tasks executed where they were generated.
+        locality: f64,
+    },
+    /// From [`PhaseProbe`].
+    Phases(Vec<PhaseReport>),
+    /// From [`TraceProbe`].
+    Events(Vec<Event>),
+    /// From [`RecoveryProbe`].
+    Recovery {
+        /// First post-spike step at which max load fell to the
+        /// threshold, `None` if it never did.
+        recovered_at: Option<Step>,
+    },
+    /// From [`SeriesProbe`].
+    Series(Vec<f64>),
+}
+
+/// A passive observer of a simulation run.
+///
+/// Lifecycle, driven by [`crate::runner::Runner`]: `on_run_start` once,
+/// then per step `on_phase`* / `on_event`* / `on_step` (strategy
+/// observations first, in emission order), then `on_run_end` once, then
+/// `finish`. Multiple probes see each step exactly once, in
+/// registration order.
+pub trait Probe {
+    /// Stable name identifying this probe in a
+    /// [`crate::runner::RunReport`].
+    fn name(&self) -> &'static str;
+
+    /// Called once before the first step, with the initial world.
+    fn on_run_start(&mut self, _world: &World) {}
+
+    /// Called after every completed engine step.
+    fn on_step(&mut self, world: &World);
+
+    /// Called for each phase report the strategy emitted this step.
+    fn on_phase(&mut self, _report: &PhaseReport) {}
+
+    /// Called for each trace event the strategy emitted this step.
+    fn on_event(&mut self, _event: &Event) {}
+
+    /// When any registered probe returns `true`, the runner stops the
+    /// run early (after the current step).
+    fn stop_requested(&self) -> bool {
+        false
+    }
+
+    /// Called once after the last step, with the final world.
+    fn on_run_end(&mut self, _world: &World) {}
+
+    /// Consumes the probe, producing its output.
+    fn finish(self: Box<Self>) -> ProbeOutput;
+}
+
+/// Tracks the worst maximum (and maximum weighted) load after an
+/// optional warm-up — the §4 "max load at an arbitrary fixed time"
+/// measurement used by most experiments.
+#[derive(Debug, Clone, Default)]
+pub struct MaxLoadProbe {
+    warmup: u64,
+    seen: u64,
+    worst: usize,
+    worst_weighted: u64,
+    observed: u64,
+}
+
+impl MaxLoadProbe {
+    /// Observes every step.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Ignores the first `warmup` steps (mixing time).
+    pub fn after_warmup(warmup: u64) -> Self {
+        MaxLoadProbe {
+            warmup,
+            ..Self::default()
+        }
+    }
+
+    /// Worst max load so far (readable mid-run through
+    /// [`crate::runner::Runner::run_detailed`] is not possible — probes
+    /// are consumed — so this is mainly for hand-driven use).
+    pub fn worst(&self) -> usize {
+        self.worst
+    }
+}
+
+impl Probe for MaxLoadProbe {
+    fn name(&self) -> &'static str {
+        "max_load"
+    }
+
+    fn on_step(&mut self, world: &World) {
+        self.seen += 1;
+        if self.seen > self.warmup {
+            self.observed += 1;
+            self.worst = self.worst.max(world.max_load());
+            self.worst_weighted = self.worst_weighted.max(world.max_weighted_load());
+        }
+    }
+
+    fn finish(self: Box<Self>) -> ProbeOutput {
+        ProbeOutput::MaxLoad {
+            worst: self.worst,
+            worst_weighted: self.worst_weighted,
+            steps_observed: self.observed,
+        }
+    }
+}
+
+/// Histograms per-processor loads at a fixed cadence after warm-up —
+/// the Lemma 2 steady-state measurement (E2).
+#[derive(Debug, Clone)]
+pub struct LoadSnapshotProbe {
+    cadence: u64,
+    warmup: u64,
+    seen: u64,
+    counts: Vec<u64>,
+    samples: u64,
+    load_sum: u64,
+}
+
+impl LoadSnapshotProbe {
+    /// Samples every `cadence` steps (≥ 1) once `warmup` steps have
+    /// passed. Histogram buckets grow on demand up to `cap` (overflow
+    /// aggregates in the last bucket).
+    pub fn new(cadence: u64, warmup: u64, cap: usize) -> Self {
+        LoadSnapshotProbe {
+            cadence: cadence.max(1),
+            warmup,
+            seen: 0,
+            counts: vec![0; cap.max(2)],
+            samples: 0,
+            load_sum: 0,
+        }
+    }
+}
+
+impl Probe for LoadSnapshotProbe {
+    fn name(&self) -> &'static str {
+        "load_snapshot"
+    }
+
+    fn on_step(&mut self, world: &World) {
+        self.seen += 1;
+        if self.seen <= self.warmup || !(self.seen - self.warmup).is_multiple_of(self.cadence) {
+            return;
+        }
+        let cap = self.counts.len() - 1;
+        for p in world.procs() {
+            self.counts[p.load().min(cap)] += 1;
+        }
+        self.samples += 1;
+        self.load_sum += world.total_load();
+    }
+
+    fn finish(self: Box<Self>) -> ProbeOutput {
+        ProbeOutput::LoadHistogram {
+            counts: self.counts,
+            samples: self.samples,
+            load_sum: self.load_sum,
+        }
+    }
+}
+
+/// Measures message traffic over the run (E6): the difference between
+/// the ledger at start and end, normalised by steps by the consumer.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MessageRateProbe {
+    start: MessageStats,
+    end: MessageStats,
+    steps: u64,
+}
+
+impl MessageRateProbe {
+    /// Measures from the current ledger state onward.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Probe for MessageRateProbe {
+    fn name(&self) -> &'static str {
+        "message_rate"
+    }
+
+    fn on_run_start(&mut self, world: &World) {
+        self.start = world.messages();
+    }
+
+    fn on_step(&mut self, _world: &World) {
+        self.steps += 1;
+    }
+
+    fn on_run_end(&mut self, world: &World) {
+        self.end = world.messages();
+    }
+
+    fn finish(self: Box<Self>) -> ProbeOutput {
+        ProbeOutput::MessageRate {
+            window: self.end - self.start,
+            steps: self.steps,
+        }
+    }
+}
+
+/// Summarises the sojourn-time distribution at the end of the run (E7
+/// waiting-time experiment): mean, max, and tail quantiles from the
+/// world's completion histogram.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SojournTailProbe {
+    count: u64,
+    mean: f64,
+    max: u64,
+    p50: u64,
+    p99: u64,
+    p999: u64,
+    locality: f64,
+}
+
+impl SojournTailProbe {
+    /// Builds the probe; all statistics are computed at run end.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// Smallest `w` with `cum_count(w) >= q * count` (histogram quantile;
+/// the overflow bucket reports as its index).
+fn hist_quantile(hist: &[u64], count: u64, q: f64) -> u64 {
+    if count == 0 {
+        return 0;
+    }
+    let target = (q * count as f64).ceil() as u64;
+    let mut cum = 0u64;
+    for (w, &c) in hist.iter().enumerate() {
+        cum += c;
+        if cum >= target {
+            return w as u64;
+        }
+    }
+    hist.len().saturating_sub(1) as u64
+}
+
+impl Probe for SojournTailProbe {
+    fn name(&self) -> &'static str {
+        "sojourn_tail"
+    }
+
+    fn on_step(&mut self, _world: &World) {}
+
+    fn on_run_end(&mut self, world: &World) {
+        let c = world.completions();
+        self.count = c.count;
+        self.mean = c.sojourn_mean();
+        self.max = c.sojourn_max;
+        self.p50 = hist_quantile(&c.hist, c.count, 0.50);
+        self.p99 = hist_quantile(&c.hist, c.count, 0.99);
+        self.p999 = hist_quantile(&c.hist, c.count, 0.999);
+        self.locality = c.locality();
+    }
+
+    fn finish(self: Box<Self>) -> ProbeOutput {
+        ProbeOutput::SojournTail {
+            count: self.count,
+            mean: self.mean,
+            max: self.max,
+            p50: self.p50,
+            p99: self.p99,
+            p999: self.p999,
+            locality: self.locality,
+        }
+    }
+}
+
+/// Collects every [`PhaseReport`] the strategy emits (E5 phase
+/// dynamics). Requires the strategy to publish reports through
+/// [`World::emit_phase`].
+#[derive(Debug, Clone, Default)]
+pub struct PhaseProbe {
+    reports: Vec<PhaseReport>,
+}
+
+impl PhaseProbe {
+    /// Builds an empty collector.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Probe for PhaseProbe {
+    fn name(&self) -> &'static str {
+        "phases"
+    }
+
+    fn on_step(&mut self, _world: &World) {}
+
+    fn on_phase(&mut self, report: &PhaseReport) {
+        self.reports.push(*report);
+    }
+
+    fn finish(self: Box<Self>) -> ProbeOutput {
+        ProbeOutput::Phases(self.reports)
+    }
+}
+
+/// Collects strategy trace events, bounded to the first `cap` (further
+/// events are dropped silently — same discipline as
+/// [`crate::trace::Trace`]).
+#[derive(Debug, Clone)]
+pub struct TraceProbe {
+    cap: usize,
+    events: Vec<Event>,
+}
+
+impl TraceProbe {
+    /// Keeps at most `cap` events.
+    pub fn new(cap: usize) -> Self {
+        TraceProbe {
+            cap,
+            events: Vec::new(),
+        }
+    }
+}
+
+impl Probe for TraceProbe {
+    fn name(&self) -> &'static str {
+        "trace"
+    }
+
+    fn on_step(&mut self, _world: &World) {}
+
+    fn on_event(&mut self, event: &Event) {
+        if self.events.len() < self.cap {
+            self.events.push(*event);
+        }
+    }
+
+    fn finish(self: Box<Self>) -> ProbeOutput {
+        ProbeOutput::Events(self.events)
+    }
+}
+
+/// Watches for the system's max load to drain to a threshold (E4
+/// adversarial recovery) and optionally stops the run once it has.
+#[derive(Debug, Clone, Copy)]
+pub struct RecoveryProbe {
+    threshold: usize,
+    stop_on_recovery: bool,
+    recovered_at: Option<Step>,
+}
+
+impl RecoveryProbe {
+    /// Reports the first step at which `max_load <= threshold`.
+    pub fn new(threshold: usize) -> Self {
+        RecoveryProbe {
+            threshold,
+            stop_on_recovery: false,
+            recovered_at: None,
+        }
+    }
+
+    /// Additionally ends the run at that step.
+    pub fn stop_on_recovery(mut self) -> Self {
+        self.stop_on_recovery = true;
+        self
+    }
+}
+
+impl Probe for RecoveryProbe {
+    fn name(&self) -> &'static str {
+        "recovery"
+    }
+
+    fn on_step(&mut self, world: &World) {
+        if self.recovered_at.is_none() && world.max_load() <= self.threshold {
+            self.recovered_at = Some(world.step());
+        }
+    }
+
+    fn stop_requested(&self) -> bool {
+        self.stop_on_recovery && self.recovered_at.is_some()
+    }
+
+    fn finish(self: Box<Self>) -> ProbeOutput {
+        ProbeOutput::Recovery {
+            recovered_at: self.recovered_at,
+        }
+    }
+}
+
+/// Records an arbitrary per-step scalar — the escape hatch for one-off
+/// measurements (examples plot time series of whatever they like).
+pub struct SeriesProbe {
+    name: &'static str,
+    f: Box<dyn Fn(&World) -> f64>,
+    series: Vec<f64>,
+}
+
+impl SeriesProbe {
+    /// Evaluates `f` after every step, collecting the series.
+    pub fn new(f: impl Fn(&World) -> f64 + 'static) -> Self {
+        Self::named("series", f)
+    }
+
+    /// Same, under a custom report name.
+    pub fn named(name: &'static str, f: impl Fn(&World) -> f64 + 'static) -> Self {
+        SeriesProbe {
+            name,
+            f: Box::new(f),
+            series: Vec::new(),
+        }
+    }
+}
+
+impl Probe for SeriesProbe {
+    fn name(&self) -> &'static str {
+        self.name
+    }
+
+    fn on_step(&mut self, world: &World) {
+        self.series.push((self.f)(world));
+    }
+
+    fn finish(self: Box<Self>) -> ProbeOutput {
+        ProbeOutput::Series(self.series)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn max_load_probe_respects_warmup() {
+        let mut w = World::new(2, 1);
+        let mut p = MaxLoadProbe::after_warmup(2);
+        w.inject(0, 10);
+        p.on_step(&w); // step 1: warm-up, ignored
+        w.annihilate(0, 10);
+        w.inject(0, 3);
+        p.on_step(&w); // step 2: warm-up, ignored
+        p.on_step(&w); // step 3: observed, max = 3
+        assert_eq!(p.worst(), 3);
+        let out = Box::new(p).finish();
+        assert_eq!(
+            out,
+            ProbeOutput::MaxLoad {
+                worst: 3,
+                worst_weighted: 3,
+                steps_observed: 1
+            }
+        );
+    }
+
+    #[test]
+    fn load_snapshot_probe_samples_on_cadence() {
+        let mut w = World::new(3, 1);
+        w.inject(1, 2);
+        let mut p = LoadSnapshotProbe::new(2, 1, 8);
+        p.on_step(&w); // 1: warm-up
+        p.on_step(&w); // 2: (2-1) % 2 == 1 → skip
+        p.on_step(&w); // 3: (3-1) % 2 == 0 → sample
+        match Box::new(p).finish() {
+            ProbeOutput::LoadHistogram {
+                counts,
+                samples,
+                load_sum,
+            } => {
+                assert_eq!(samples, 1);
+                assert_eq!(load_sum, 2);
+                assert_eq!(counts[0], 2); // two idle processors
+                assert_eq!(counts[2], 1); // one holding 2
+            }
+            other => panic!("wrong output: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn message_rate_probe_windows_the_ledger() {
+        let mut w = World::new(2, 1);
+        w.inject(0, 5);
+        w.transfer(0, 1, 2); // pre-run traffic, must be excluded
+        let mut p = MessageRateProbe::new();
+        p.on_run_start(&w);
+        w.transfer(0, 1, 1);
+        p.on_step(&w);
+        p.on_run_end(&w);
+        match Box::new(p).finish() {
+            ProbeOutput::MessageRate { window, steps } => {
+                assert_eq!(steps, 1);
+                assert_eq!(window.transfers, 1);
+                assert_eq!(window.tasks_moved, 1);
+            }
+            other => panic!("wrong output: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn hist_quantiles() {
+        // 10 completions: sojourns 0..=9, one each.
+        let hist = vec![1u64; 10];
+        assert_eq!(hist_quantile(&hist, 10, 0.5), 4);
+        assert_eq!(hist_quantile(&hist, 10, 0.99), 9);
+        assert_eq!(hist_quantile(&hist, 10, 1.0), 9);
+        assert_eq!(hist_quantile(&[], 0, 0.5), 0);
+    }
+
+    #[test]
+    fn recovery_probe_stops_once_drained() {
+        let mut w = World::new(2, 1);
+        w.inject(0, 4);
+        let mut p = RecoveryProbe::new(1).stop_on_recovery();
+        p.on_step(&w);
+        assert!(!p.stop_requested());
+        w.annihilate(0, 3);
+        w.tick();
+        p.on_step(&w);
+        assert!(p.stop_requested());
+        assert_eq!(
+            Box::new(p).finish(),
+            ProbeOutput::Recovery {
+                recovered_at: Some(1)
+            }
+        );
+    }
+
+    #[test]
+    fn series_probe_records_every_step() {
+        let mut w = World::new(2, 1);
+        let mut p = SeriesProbe::named("total", |w| w.total_load() as f64);
+        p.on_step(&w);
+        w.inject(0, 2);
+        p.on_step(&w);
+        assert_eq!(Box::new(p).finish(), ProbeOutput::Series(vec![0.0, 2.0]));
+    }
+
+    #[test]
+    fn phase_and_trace_probes_collect_emissions() {
+        let mut phases = PhaseProbe::new();
+        let mut trace = TraceProbe::new(1);
+        let r = PhaseReport {
+            phase: 1,
+            heavy: 4,
+            ..PhaseReport::default()
+        };
+        phases.on_phase(&r);
+        trace.on_event(&Event::SearchFailed { phase: 1, proc: 0 });
+        trace.on_event(&Event::SearchFailed { phase: 1, proc: 1 }); // over cap
+        assert_eq!(Box::new(phases).finish(), ProbeOutput::Phases(vec![r]));
+        assert_eq!(
+            Box::new(trace).finish(),
+            ProbeOutput::Events(vec![Event::SearchFailed { phase: 1, proc: 0 }])
+        );
+    }
+}

@@ -13,10 +13,9 @@
 //! releases. Experiment outputs recorded in `EXPERIMENTS.md` must stay
 //! reproducible from the seeds printed next to them.
 //!
-//! The generator implements [`rand::RngCore`], so all of `rand`'s
-//! distribution machinery works on top of it.
-
-use rand::{Error, RngCore, SeedableRng};
+//! The generator is fully self-contained (no external crates), so the
+//! workspace builds in offline environments and the stream definition
+//! can never drift underneath recorded experiment outputs.
 
 /// SplitMix64 step: the standard 64-bit finalizer-based generator used
 /// for seeding and for deriving independent sub-streams.
@@ -148,20 +147,21 @@ impl SimRng {
             xs.swap(i, j);
         }
     }
-}
 
-impl RngCore for SimRng {
+    /// Next raw 64-bit draw.
     #[inline]
-    fn next_u32(&mut self) -> u32 {
-        (self.next() >> 32) as u32
-    }
-
-    #[inline]
-    fn next_u64(&mut self) -> u64 {
+    pub fn next_u64(&mut self) -> u64 {
         self.next()
     }
 
-    fn fill_bytes(&mut self, dest: &mut [u8]) {
+    /// Next raw 32-bit draw (high half of a 64-bit draw).
+    #[inline]
+    pub fn next_u32(&mut self) -> u32 {
+        (self.next() >> 32) as u32
+    }
+
+    /// Fills `dest` with random bytes (little-endian 64-bit chunks).
+    pub fn fill_bytes(&mut self, dest: &mut [u8]) {
         let mut chunks = dest.chunks_exact_mut(8);
         for chunk in &mut chunks {
             chunk.copy_from_slice(&self.next().to_le_bytes());
@@ -171,23 +171,6 @@ impl RngCore for SimRng {
             let bytes = self.next().to_le_bytes();
             rem.copy_from_slice(&bytes[..rem.len()]);
         }
-    }
-
-    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), Error> {
-        self.fill_bytes(dest);
-        Ok(())
-    }
-}
-
-impl SeedableRng for SimRng {
-    type Seed = [u8; 8];
-
-    fn from_seed(seed: Self::Seed) -> Self {
-        SimRng::new(u64::from_le_bytes(seed))
-    }
-
-    fn seed_from_u64(state: u64) -> Self {
-        SimRng::new(state)
     }
 }
 
@@ -335,9 +318,9 @@ mod tests {
     }
 
     #[test]
-    fn seedable_rng_roundtrip() {
-        let a = SimRng::from_seed(42u64.to_le_bytes());
-        let b = SimRng::seed_from_u64(42);
-        assert_eq!(a, b);
+    fn next_u32_is_high_half() {
+        let mut a = SimRng::new(42);
+        let mut b = SimRng::new(42);
+        assert_eq!(a.next_u32(), (b.next_u64() >> 32) as u32);
     }
 }

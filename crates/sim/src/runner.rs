@@ -1,0 +1,399 @@
+//! The single entry point for running experiments: engine + backend +
+//! probes, wired together.
+//!
+//! ```
+//! use pcrlb_sim::{Backend, MaxLoadProbe, Runner, Unbalanced};
+//! use pcrlb_sim::{LoadModel, ProcId, SimRng, Step};
+//!
+//! #[derive(Clone, Copy)]
+//! struct Coin;
+//! impl LoadModel for Coin {
+//!     fn generate(&self, _: ProcId, _: Step, _: usize, rng: &mut SimRng) -> usize {
+//!         usize::from(rng.chance(0.5))
+//!     }
+//!     fn consume(&self, _: ProcId, _: Step, _: usize, rng: &mut SimRng) -> usize {
+//!         usize::from(rng.chance(0.6))
+//!     }
+//! }
+//!
+//! let report = Runner::new(64, 42)
+//!     .model(Coin)
+//!     .strategy(Unbalanced)
+//!     .backend(Backend::Threaded(4))
+//!     .probe(MaxLoadProbe::after_warmup(10))
+//!     .run(100);
+//! assert_eq!(report.steps, 100);
+//! ```
+//!
+//! The runner owns the observation loop: after each engine step it
+//! drains the strategy's phase reports and trace events from the world
+//! and dispatches them — then the step itself — to every registered
+//! probe in registration order. Because a [`crate::backend::Backend`]
+//! value selects the execution backend at runtime, the *same* runner
+//! call drives sequential and threaded runs, and the resulting
+//! [`RunReport`]s compare equal for equal seeds (a cross-crate test
+//! asserts this for every load model).
+
+use crate::backend::Backend;
+use crate::engine::Engine;
+use crate::message::MessageStats;
+use crate::model::{LoadModel, Strategy};
+use crate::probe::{PhaseReport, Probe, ProbeOutput};
+use crate::trace::Event;
+use crate::world::{CompletionStats, World};
+
+/// Everything a run produced. `PartialEq` so determinism tests can
+/// compare whole reports across backends with one assertion.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunReport {
+    /// Processors.
+    pub n: usize,
+    /// Master seed.
+    pub seed: u64,
+    /// Steps actually executed (≤ requested when a probe stopped the
+    /// run early).
+    pub steps: u64,
+    /// Final per-processor loads.
+    pub loads: Vec<usize>,
+    /// Final per-processor weighted loads.
+    pub weighted_loads: Vec<u64>,
+    /// Final maximum load.
+    pub max_load: usize,
+    /// Final total load.
+    pub total_load: u64,
+    /// Final maximum weighted load.
+    pub max_weighted_load: u64,
+    /// Final total weighted load.
+    pub total_weighted_load: u64,
+    /// Completion statistics over the whole run.
+    pub completions: CompletionStats,
+    /// Message totals over the whole run.
+    pub messages: MessageStats,
+    /// Load-model name.
+    pub model: &'static str,
+    /// Strategy name.
+    pub strategy: &'static str,
+    /// Backend name.
+    pub backend: &'static str,
+    /// Each probe's output, in registration order.
+    pub probes: Vec<(&'static str, ProbeOutput)>,
+}
+
+impl RunReport {
+    /// The output of the first probe registered under `name`.
+    pub fn probe(&self, name: &str) -> Option<&ProbeOutput> {
+        self.probes.iter().find(|(n, _)| *n == name).map(|(_, o)| o)
+    }
+
+    /// Convenience: the post-warm-up worst max load from the first
+    /// [`crate::probe::MaxLoadProbe`], if one was registered.
+    pub fn worst_max_load(&self) -> Option<usize> {
+        match self.probe("max_load") {
+            Some(ProbeOutput::MaxLoad { worst, .. }) => Some(*worst),
+            _ => None,
+        }
+    }
+
+    /// Convenience: the post-warm-up worst max *weighted* load from the
+    /// first [`crate::probe::MaxLoadProbe`], if one was registered.
+    pub fn worst_max_weighted_load(&self) -> Option<u64> {
+        match self.probe("max_load") {
+            Some(ProbeOutput::MaxLoad { worst_weighted, .. }) => Some(*worst_weighted),
+            _ => None,
+        }
+    }
+}
+
+/// Builder for a simulation run. Model and strategy are typestate
+/// parameters: `run` only exists once both are set, so forgetting one
+/// is a compile error rather than a panic.
+pub struct Runner<M = (), S = ()> {
+    n: usize,
+    seed: u64,
+    model: M,
+    strategy: S,
+    backend: Backend,
+    probes: Vec<Box<dyn Probe>>,
+    world: Option<World>,
+}
+
+impl Runner {
+    /// Starts a run description for `n` processors driven by `seed`.
+    pub fn new(n: usize, seed: u64) -> Runner {
+        Runner {
+            n,
+            seed,
+            model: (),
+            strategy: (),
+            backend: Backend::Sequential,
+            probes: Vec::new(),
+            world: None,
+        }
+    }
+}
+
+impl<M, S> Runner<M, S> {
+    /// Sets the load model.
+    pub fn model<M2: LoadModel>(self, model: M2) -> Runner<M2, S> {
+        Runner {
+            n: self.n,
+            seed: self.seed,
+            model,
+            strategy: self.strategy,
+            backend: self.backend,
+            probes: self.probes,
+            world: self.world,
+        }
+    }
+
+    /// Sets the balancing strategy.
+    pub fn strategy<S2: Strategy>(self, strategy: S2) -> Runner<M, S2> {
+        Runner {
+            n: self.n,
+            seed: self.seed,
+            model: self.model,
+            strategy,
+            backend: self.backend,
+            probes: self.probes,
+            world: self.world,
+        }
+    }
+
+    /// Selects the execution backend (sequential by default).
+    pub fn backend(mut self, backend: Backend) -> Self {
+        self.backend = backend;
+        self
+    }
+
+    /// Registers a probe. Probes observe each step exactly once, in
+    /// registration order.
+    pub fn probe(mut self, probe: impl Probe + 'static) -> Self {
+        self.probes.push(Box::new(probe));
+        self
+    }
+
+    /// Runs over a pre-built world (e.g. one seeded with an adversarial
+    /// spike) instead of a fresh one; the world's `n` and seed win.
+    pub fn world(mut self, world: World) -> Self {
+        self.world = Some(world);
+        self
+    }
+}
+
+impl<M: LoadModel + Sync, S: Strategy> Runner<M, S> {
+    /// Executes up to `steps` steps and summarises the run.
+    pub fn run(self, steps: u64) -> RunReport {
+        self.run_detailed(steps).0
+    }
+
+    /// Like [`Runner::run`], additionally handing back the final world
+    /// and strategy for callers that need state the report doesn't
+    /// carry (strategy-internal statistics, further manual stepping).
+    pub fn run_detailed(self, steps: u64) -> (RunReport, World, S) {
+        let Runner {
+            n,
+            seed,
+            model,
+            strategy,
+            backend,
+            mut probes,
+            world,
+        } = self;
+        let mut world = world.unwrap_or_else(|| World::new(n, seed));
+        if !probes.is_empty() {
+            world.enable_observer();
+        }
+        let mut engine = Engine::with_world_and_backend(world, model, strategy, backend);
+
+        for probe in probes.iter_mut() {
+            probe.on_run_start(engine.world());
+        }
+        let mut phases: Vec<PhaseReport> = Vec::new();
+        let mut events: Vec<Event> = Vec::new();
+        let mut executed = 0u64;
+        for _ in 0..steps {
+            engine.step();
+            executed += 1;
+            engine
+                .world_mut()
+                .take_observations(&mut phases, &mut events);
+            for probe in probes.iter_mut() {
+                for report in &phases {
+                    probe.on_phase(report);
+                }
+                for event in &events {
+                    probe.on_event(event);
+                }
+                probe.on_step(engine.world());
+            }
+            phases.clear();
+            events.clear();
+            if probes.iter().any(|p| p.stop_requested()) {
+                break;
+            }
+        }
+        for probe in probes.iter_mut() {
+            probe.on_run_end(engine.world());
+        }
+
+        let (world, model, strategy) = engine.into_parts();
+        let report = RunReport {
+            n: world.n(),
+            seed: world.seed(),
+            steps: executed,
+            loads: world.loads(),
+            weighted_loads: (0..world.n()).map(|p| world.weighted_load(p)).collect(),
+            max_load: world.max_load(),
+            total_load: world.total_load(),
+            max_weighted_load: world.max_weighted_load(),
+            total_weighted_load: world.total_weighted_load(),
+            completions: world.completions().clone(),
+            messages: world.messages(),
+            model: model.name(),
+            strategy: strategy.name(),
+            backend: backend.name(),
+            probes: probes
+                .into_iter()
+                .map(|p| {
+                    let name = p.name();
+                    (name, p.finish())
+                })
+                .collect(),
+        };
+        (report, world, strategy)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::Unbalanced;
+    use crate::probe::{MaxLoadProbe, MessageRateProbe, RecoveryProbe, SeriesProbe};
+    use crate::rng::SimRng;
+    use crate::types::{ProcId, Step};
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    #[derive(Clone, Copy)]
+    struct Coin;
+
+    impl LoadModel for Coin {
+        fn generate(&self, _: ProcId, _: Step, _: usize, rng: &mut SimRng) -> usize {
+            usize::from(rng.chance(0.5))
+        }
+        fn consume(&self, _: ProcId, _: Step, _: usize, rng: &mut SimRng) -> usize {
+            usize::from(rng.chance(0.6))
+        }
+    }
+
+    #[test]
+    fn run_matches_hand_driven_engine() {
+        let report = Runner::new(16, 7).model(Coin).strategy(Unbalanced).run(50);
+        let mut e = Engine::new(16, 7, Coin, Unbalanced);
+        e.run(50);
+        assert_eq!(report.loads, e.world().loads());
+        assert_eq!(report.steps, 50);
+        assert_eq!(report.completions, *e.world().completions());
+        assert_eq!(report.strategy, "unbalanced");
+    }
+
+    #[test]
+    fn backends_produce_equal_reports() {
+        let seq = Runner::new(33, 9).model(Coin).strategy(Unbalanced).run(80);
+        let thr = Runner::new(33, 9)
+            .model(Coin)
+            .strategy(Unbalanced)
+            .backend(Backend::Threaded(4))
+            .run(80);
+        // Backend name differs by design; everything else must match.
+        assert_eq!(seq.backend, "sequential");
+        assert_eq!(thr.backend, "threaded");
+        let mut thr_as_seq = thr.clone();
+        thr_as_seq.backend = seq.backend;
+        assert_eq!(seq, thr_as_seq);
+    }
+
+    #[test]
+    fn probes_observe_in_registration_order_exactly_once() {
+        let order: Rc<RefCell<Vec<&'static str>>> = Rc::new(RefCell::new(Vec::new()));
+
+        struct Tattler {
+            tag: &'static str,
+            order: Rc<RefCell<Vec<&'static str>>>,
+        }
+        impl Probe for Tattler {
+            fn name(&self) -> &'static str {
+                self.tag
+            }
+            fn on_step(&mut self, _: &World) {
+                self.order.borrow_mut().push(self.tag);
+            }
+            fn finish(self: Box<Self>) -> ProbeOutput {
+                ProbeOutput::Series(Vec::new())
+            }
+        }
+
+        let report = Runner::new(4, 1)
+            .model(Coin)
+            .strategy(Unbalanced)
+            .probe(Tattler {
+                tag: "first",
+                order: Rc::clone(&order),
+            })
+            .probe(Tattler {
+                tag: "second",
+                order: Rc::clone(&order),
+            })
+            .run(3);
+        assert_eq!(
+            *order.borrow(),
+            vec!["first", "second", "first", "second", "first", "second"]
+        );
+        assert_eq!(report.probes.len(), 2);
+        assert_eq!(report.probes[0].0, "first");
+        assert_eq!(report.probes[1].0, "second");
+    }
+
+    #[test]
+    fn early_stop_truncates_run() {
+        let mut w = World::new(2, 1);
+        w.inject(0, 3);
+        let report = Runner::new(2, 1)
+            .world(w)
+            .model(Coin)
+            .strategy(Unbalanced)
+            .probe(RecoveryProbe::new(0).stop_on_recovery())
+            .run(10_000);
+        assert!(report.steps < 10_000, "spike never drained");
+        match report.probe("recovery") {
+            Some(ProbeOutput::Recovery {
+                recovered_at: Some(at),
+            }) => assert_eq!(*at, report.steps),
+            other => panic!("unexpected recovery output: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn probe_lookup_and_multiple_probe_kinds() {
+        let report = Runner::new(8, 3)
+            .model(Coin)
+            .strategy(Unbalanced)
+            .probe(MaxLoadProbe::new())
+            .probe(MessageRateProbe::new())
+            .probe(SeriesProbe::named("total", |w| w.total_load() as f64))
+            .run(20);
+        assert!(matches!(
+            report.probe("max_load"),
+            Some(ProbeOutput::MaxLoad { .. })
+        ));
+        assert!(matches!(
+            report.probe("message_rate"),
+            Some(ProbeOutput::MessageRate { steps: 20, .. })
+        ));
+        match report.probe("total") {
+            Some(ProbeOutput::Series(s)) => assert_eq!(s.len(), 20),
+            other => panic!("unexpected series output: {other:?}"),
+        }
+        assert!(report.probe("nonexistent").is_none());
+    }
+}

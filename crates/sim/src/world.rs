@@ -8,17 +8,19 @@
 //! the world does not hide communication.
 
 use crate::message::{MessageLedger, MessageStats};
+use crate::probe::PhaseReport;
 use crate::processor::Processor;
 use crate::queue::TaskQueue;
 use crate::rng::SimRng;
 use crate::task::{Completion, Task};
+use crate::trace::Event;
 use crate::types::{ProcId, Step};
 
 /// Aggregated completion (executed-task) statistics.
 ///
 /// Stores a histogram of sojourn times rather than every completion:
 /// long runs at `n = 2^16` complete hundreds of millions of tasks.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CompletionStats {
     /// Tasks completed.
     pub count: u64,
@@ -90,7 +92,7 @@ impl CompletionStats {
         above as f64 / self.count as f64
     }
 
-    fn merge(&mut self, other: &CompletionStats) {
+    pub(crate) fn merge(&mut self, other: &CompletionStats) {
         self.count += other.count;
         self.sojourn_sum += other.sojourn_sum;
         self.sojourn_max = self.sojourn_max.max(other.sojourn_max);
@@ -99,6 +101,19 @@ impl CompletionStats {
             *a += b;
         }
     }
+}
+
+/// Per-step buffer of strategy observations (phase reports and trace
+/// events) awaiting pickup by the probe pipeline.
+///
+/// Disabled by default: strategies call [`World::emit_phase`] /
+/// [`World::emit_event`] unconditionally, and the calls are no-ops
+/// unless a runner enabled the sink — so strategies pay nothing when
+/// nobody is listening.
+#[derive(Debug, Clone, Default)]
+struct ObserverSink {
+    phases: Vec<PhaseReport>,
+    events: Vec<Event>,
 }
 
 /// Complete state of the simulated machine.
@@ -112,6 +127,7 @@ pub struct World {
     global_rng: SimRng,
     ledger: MessageLedger,
     completions: CompletionStats,
+    observer: Option<ObserverSink>,
     seed: u64,
 }
 
@@ -132,6 +148,7 @@ impl World {
             global_rng: SimRng::stream(seed, n as u64),
             ledger: MessageLedger::new(),
             completions: CompletionStats::new(DEFAULT_SOJOURN_HIST),
+            observer: None,
             seed,
         }
     }
@@ -344,10 +361,46 @@ impl World {
         &self.completions
     }
 
-    /// Merges externally accumulated completions (used by the threaded
-    /// engine, which consumes tasks on worker threads).
-    pub(crate) fn merge_completions(&mut self, other: &CompletionStats) {
-        self.completions.merge(other);
+    /// Whether an observer (probe pipeline) is attached. Strategies can
+    /// use this to skip expensive event construction when unobserved.
+    #[inline]
+    pub fn observed(&self) -> bool {
+        self.observer.is_some()
+    }
+
+    /// Attaches the observer sink so [`World::emit_phase`] /
+    /// [`World::emit_event`] start buffering. Called by the runner.
+    pub(crate) fn enable_observer(&mut self) {
+        self.observer = Some(ObserverSink::default());
+    }
+
+    /// Publishes a per-phase report to the probe pipeline. No-op when
+    /// nothing is observing.
+    pub fn emit_phase(&mut self, report: PhaseReport) {
+        if let Some(sink) = &mut self.observer {
+            sink.phases.push(report);
+        }
+    }
+
+    /// Publishes a trace event to the probe pipeline. No-op when
+    /// nothing is observing.
+    pub fn emit_event(&mut self, event: Event) {
+        if let Some(sink) = &mut self.observer {
+            sink.events.push(event);
+        }
+    }
+
+    /// Drains buffered observations into the given vectors (appending).
+    /// Called once per step by the runner.
+    pub(crate) fn take_observations(
+        &mut self,
+        phases: &mut Vec<PhaseReport>,
+        events: &mut Vec<Event>,
+    ) {
+        if let Some(sink) = &mut self.observer {
+            phases.append(&mut sink.phases);
+            events.append(&mut sink.events);
+        }
     }
 
     /// Removes and returns the back `k` tasks of `p`'s queue *without*
@@ -371,13 +424,41 @@ impl World {
         self.procs[p].queue_mut()
     }
 
+    /// Hands the whole machine to the sequential backend as one shard,
+    /// with the world's own completion accumulator as the sink — no
+    /// per-step allocation or merging.
+    #[allow(clippy::type_complexity)]
+    pub(crate) fn whole_shard(
+        &mut self,
+    ) -> (
+        Step,
+        usize,
+        &mut [Processor],
+        &mut [SimRng],
+        &mut CompletionStats,
+    ) {
+        (
+            self.step,
+            0,
+            &mut self.procs,
+            &mut self.rngs,
+            &mut self.completions,
+        )
+    }
+
     /// Splits the processor and RNG arrays into disjoint shard views for
-    /// the threaded engine. Each shard gets matching slices so worker
-    /// threads can run generation/consumption without locks.
+    /// the threaded backend. Each shard gets matching slices so worker
+    /// threads can run generation/consumption without locks; per-shard
+    /// completion locals are merged into the returned accumulator.
+    #[allow(clippy::type_complexity)]
     pub(crate) fn shards(
         &mut self,
         shard_count: usize,
-    ) -> (Step, Vec<(usize, &mut [Processor], &mut [SimRng])>) {
+    ) -> (
+        Step,
+        Vec<(usize, &mut [Processor], &mut [SimRng])>,
+        &mut CompletionStats,
+    ) {
         let n = self.procs.len();
         let step = self.step;
         let per = n.div_ceil(shard_count.max(1));
@@ -394,7 +475,7 @@ impl World {
             rngs = rt;
             start += take;
         }
-        (step, out)
+        (step, out, &mut self.completions)
     }
 }
 
@@ -509,14 +590,39 @@ mod tests {
         let mut a = World::new(4, 42);
         let mut b = World::new(4, 42);
         for p in 0..4 {
-            assert_eq!(a.rng_of(p).next_u64_pub(), b.rng_of(p).next_u64_pub());
+            assert_eq!(a.rng_of(p).next_u64(), b.rng_of(p).next_u64());
         }
+    }
+
+    #[test]
+    fn observer_disabled_by_default_and_buffers_when_enabled() {
+        let mut w = World::new(2, 1);
+        assert!(!w.observed());
+        w.emit_event(Event::SearchFailed { phase: 0, proc: 1 });
+        let (mut phases, mut events) = (Vec::new(), Vec::new());
+        w.take_observations(&mut phases, &mut events);
+        assert!(events.is_empty());
+
+        w.enable_observer();
+        assert!(w.observed());
+        w.emit_event(Event::SearchFailed { phase: 0, proc: 1 });
+        w.emit_phase(PhaseReport {
+            phase: 3,
+            ..PhaseReport::default()
+        });
+        w.take_observations(&mut phases, &mut events);
+        assert_eq!(events.len(), 1);
+        assert_eq!(phases.len(), 1);
+        assert_eq!(phases[0].phase, 3);
+        // Drained: a second take yields nothing new.
+        w.take_observations(&mut phases, &mut events);
+        assert_eq!(events.len(), 1);
     }
 
     #[test]
     fn shards_cover_all_processors() {
         let mut w = World::new(10, 1);
-        let (_, shards) = w.shards(3);
+        let (_, shards, _) = w.shards(3);
         let total: usize = shards.iter().map(|(_, p, _)| p.len()).sum();
         assert_eq!(total, 10);
         assert_eq!(shards[0].0, 0);
@@ -555,14 +661,5 @@ mod tests {
         });
         assert_eq!(c.hist[3], 1);
         assert_eq!(c.sojourn_max, 1000);
-    }
-}
-
-#[cfg(test)]
-impl crate::rng::SimRng {
-    /// Test-only alias to keep world tests independent of RngCore.
-    pub fn next_u64_pub(&mut self) -> u64 {
-        use rand::RngCore;
-        self.next_u64()
     }
 }

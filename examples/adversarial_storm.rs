@@ -24,13 +24,19 @@ fn timeline<S: Strategy>(
     adversary: Targeted,
     strategy: S,
 ) -> TimeSeries {
-    let mut engine = Engine::new(n, seed, adversary, strategy);
+    let report = Runner::new(n, seed)
+        .model(adversary)
+        .strategy(strategy)
+        .probe(SeriesProbe::named("max_load_series", |w| {
+            w.max_load() as f64
+        }))
+        .run(steps);
     let mut series = TimeSeries::new(sample_every);
-    let mut step_no = 0u64;
-    engine.run_observed(steps, |w| {
-        step_no += 1;
-        series.offer(step_no, w.max_load() as f64);
-    });
+    if let Some(ProbeOutput::Series(values)) = report.probe("max_load_series") {
+        for (i, v) in values.iter().enumerate() {
+            series.offer(i as u64 + 1, *v);
+        }
+    }
     series
 }
 

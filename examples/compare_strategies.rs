@@ -13,23 +13,20 @@ use pcrlb::core::BalancerConfig;
 use pcrlb::prelude::*;
 
 fn measure<S: Strategy>(n: usize, steps: u64, seed: u64, strategy: S) -> [String; 5] {
-    let mut e = Engine::new(n, seed, Single::default_paper(), strategy);
-    let mut worst = 0usize;
-    let warmup = steps / 2;
-    let mut step_no = 0u64;
-    e.run_observed(steps, |w| {
-        step_no += 1;
-        if step_no > warmup {
-            worst = worst.max(w.max_load());
-        }
-    });
-    let w = e.world();
+    let report = Runner::new(n, seed)
+        .model(Single::default_paper())
+        .strategy(strategy)
+        .probe(MaxLoadProbe::after_warmup(steps / 2))
+        .run(steps);
     [
-        worst.to_string(),
-        format!("{:.2}", w.messages().control_total() as f64 / steps as f64),
-        format!("{:.2}", w.messages().tasks_moved as f64 / steps as f64),
-        format!("{:.1}%", w.completions().locality() * 100.0),
-        format!("{:.2}", w.completions().sojourn_mean()),
+        report.worst_max_load().unwrap_or(0).to_string(),
+        format!(
+            "{:.2}",
+            report.messages.control_total() as f64 / steps as f64
+        ),
+        format!("{:.2}", report.messages.tasks_moved as f64 / steps as f64),
+        format!("{:.1}%", report.completions.locality() * 100.0),
+        format!("{:.2}", report.completions.sojourn_mean()),
     ]
 }
 

@@ -31,17 +31,16 @@ fn simulate(n: usize, steps: u64, seed: u64, cfg: BalancerConfig) -> Outcome {
             prob: 0.05,
         },
     );
-    let mut e = Engine::new(n, seed, jobs, ThresholdBalancer::new(cfg));
-    let (mut ww, mut wc) = (0u64, 0usize);
-    e.run_observed(steps, |w| {
-        ww = ww.max(w.max_weighted_load());
-        wc = wc.max(w.max_load());
-    });
+    let report = Runner::new(n, seed)
+        .model(jobs)
+        .strategy(ThresholdBalancer::new(cfg))
+        .probe(MaxLoadProbe::new())
+        .run(steps);
     Outcome {
-        worst_weighted: ww,
-        worst_count: wc,
-        mean_wait: e.world().completions().sojourn_mean(),
-        transfers: e.world().messages().transfers,
+        worst_weighted: report.worst_max_weighted_load().unwrap_or(0),
+        worst_count: report.worst_max_load().unwrap_or(0),
+        mean_wait: report.completions.sojourn_mean(),
+        transfers: report.messages.transfers,
     }
 }
 

@@ -1,10 +1,13 @@
 //! Real parallelism, verified: the same balanced run executed (a) on
-//! the sequential engine, (b) on the threaded engine with the
+//! the sequential backend, (b) on the threaded backend with the
 //! per-processor sub-steps sharded across OS threads, and (c) with the
 //! phase's collision games additionally executed as message-passing
 //! threads — all three bit-identical, because every processor owns its
 //! own RNG stream and the collision game is insensitive to message
 //! arrival order.
+//!
+//! The backend is a runtime value ([`Backend`]) on the [`Runner`], so
+//! all three configurations go through the identical driver code.
 //!
 //! ```text
 //! cargo run --release --example parallel_run [n] [steps] [threads]
@@ -14,14 +17,14 @@ use pcrlb::core::BalancerConfig;
 use pcrlb::prelude::*;
 use std::time::Instant;
 
-fn fingerprint(w: &World) -> (u64, usize, u64, u64) {
+fn fingerprint(r: &RunReport) -> (u64, usize, u64, u64) {
     // A compact digest of the final state: total load, max load,
     // completions, and control messages.
     (
-        w.total_load(),
-        w.max_load(),
-        w.completions().count,
-        w.messages().control_total(),
+        r.total_load,
+        r.max_load,
+        r.completions.count,
+        r.messages.control_total(),
     )
 }
 
@@ -38,36 +41,37 @@ fn main() {
 
     println!("n = {n}, steps = {steps}, worker threads = {threads}\n");
 
+    let run = |backend: Backend, cfg: BalancerConfig| {
+        let t0 = Instant::now();
+        let report = Runner::new(n, seed)
+            .model(model)
+            .strategy(ThresholdBalancer::new(cfg))
+            .backend(backend)
+            .run(steps);
+        (t0.elapsed(), report)
+    };
+
     // (a) Sequential.
-    let t0 = Instant::now();
-    let mut seq = Engine::new(n, seed, model, ThresholdBalancer::paper(n));
-    seq.run(steps);
-    let seq_time = t0.elapsed();
-    let seq_fp = fingerprint(seq.world());
+    let (seq_time, seq) = run(Backend::Sequential, BalancerConfig::paper(n));
+    let seq_fp = fingerprint(&seq);
     println!(
-        "sequential engine              {:>8.2?}  fingerprint {:?}",
+        "sequential backend             {:>8.2?}  fingerprint {:?}",
         seq_time, seq_fp
     );
 
-    // (b) Threaded engine (generation/consumption sharded).
-    let t0 = Instant::now();
-    let mut par = ParallelEngine::new(n, seed, model, ThresholdBalancer::paper(n), threads);
-    par.run(steps);
-    let par_time = t0.elapsed();
-    let par_fp = fingerprint(par.world());
+    // (b) Threaded backend (generation/consumption sharded).
+    let (par_time, par) = run(Backend::Threaded(threads), BalancerConfig::paper(n));
+    let par_fp = fingerprint(&par);
     println!(
-        "threaded engine ({threads:>2} threads)   {:>8.2?}  fingerprint {:?}",
+        "threaded backend ({threads:>2} threads)  {:>8.2?}  fingerprint {:?}",
         par_time, par_fp
     );
-    assert_eq!(seq_fp, par_fp, "threaded engine diverged!");
+    assert_eq!(seq_fp, par_fp, "threaded backend diverged!");
 
-    // (c) Threaded engine + threaded collision games.
+    // (c) Threaded backend + threaded collision games.
     let cfg = BalancerConfig::paper(n).with_game_shards(threads);
-    let t0 = Instant::now();
-    let mut full = ParallelEngine::new(n, seed, model, ThresholdBalancer::new(cfg), threads);
-    full.run(steps);
-    let full_time = t0.elapsed();
-    let full_fp = fingerprint(full.world());
+    let (full_time, full) = run(Backend::Threaded(threads), cfg);
+    let full_fp = fingerprint(&full);
     println!(
         "+ threaded collision games     {:>8.2?}  fingerprint {:?}",
         full_time, full_fp
@@ -80,7 +84,7 @@ fn main() {
     println!("RNG streams plus the collision protocol's insensitivity to");
     println!("message arrival order within a round.");
     let speedup = seq_time.as_secs_f64() / par_time.as_secs_f64();
-    println!("threaded-engine speedup over sequential: {speedup:.2}x");
+    println!("threaded-backend speedup over sequential: {speedup:.2}x");
     println!();
     println!("(Expect modest numbers: simulating a processor's step is a few");
     println!("RNG draws and queue pokes, so the simulation is memory-bound,");

@@ -70,9 +70,9 @@ fn main() {
     let verify: Vec<MemOp> = (0..buckets).map(|b| MemOp::Read { cell: b }).collect();
     let out = memory.step(&verify);
     let mut total = 0u64;
-    for b in 0..buckets as usize {
+    for (b, &expected) in local.iter().enumerate().take(buckets as usize) {
         let stored = out.results[b].expect("counter readable");
-        assert_eq!(stored, local[b], "bucket {b} corrupted");
+        assert_eq!(stored, expected, "bucket {b} corrupted");
         total += stored;
     }
     assert_eq!(total, items);

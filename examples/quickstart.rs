@@ -22,33 +22,35 @@ fn main() {
     let balancer = ThresholdBalancer::paper(n);
     let t = balancer.config().theorem1_bound();
 
-    let mut engine = Engine::new(n, seed, model, balancer);
-    let mut worst = 0;
-    engine.run_observed(steps, |w| worst = worst.max(w.max_load()));
+    let (report, _world, balancer) = Runner::new(n, seed)
+        .model(model)
+        .strategy(balancer)
+        .probe(MaxLoadProbe::new())
+        .run_detailed(steps);
+    let worst = report.worst_max_load().unwrap_or(0);
 
-    let world = engine.world();
-    let stats = engine.strategy().stats();
+    let stats = balancer.stats();
     println!("n = {n}, steps = {steps}, seed = {seed}");
     println!();
     println!("Theorem 1 bound T = (log log n)^2 = {t}");
     println!("worst max load observed   = {worst}");
-    println!("final max load            = {}", world.max_load());
+    println!("final max load            = {}", report.max_load);
     println!(
         "mean load per processor   = {:.2}",
-        world.total_load() as f64 / n as f64
+        report.total_load as f64 / n as f64
     );
     println!();
-    println!("tasks completed           = {}", world.completions().count);
+    println!("tasks completed           = {}", report.completions.count);
     println!(
         "mean waiting time         = {:.2} steps",
-        world.completions().sojourn_mean()
+        report.completions.sojourn_mean()
     );
     println!(
         "ran on their origin       = {:.1}%",
-        world.completions().locality() * 100.0
+        report.completions.locality() * 100.0
     );
     println!();
-    let msgs = world.messages();
+    let msgs = report.messages;
     println!("phases                    = {}", stats.phases);
     println!("heavy classifications     = {}", stats.heavy_total);
     println!(

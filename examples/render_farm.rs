@@ -31,16 +31,17 @@ struct FarmReport {
 fn simulate<S: Strategy>(n: usize, steps: u64, seed: u64, strategy: S) -> FarmReport {
     // Bursty local submissions: 1 frame w.p. 1/4, 2 w.p. 1/8, up to 4.
     let submissions = Geometric::new(4).expect("k=4 is valid");
-    let mut engine = Engine::new(n, seed, submissions, strategy);
-    let mut worst_queue = 0;
-    engine.run_observed(steps, |w| worst_queue = worst_queue.max(w.max_load()));
-    let w = engine.world();
+    let report = Runner::new(n, seed)
+        .model(submissions)
+        .strategy(strategy)
+        .probe(MaxLoadProbe::new())
+        .run(steps);
     FarmReport {
-        worst_queue,
-        mean_wait: w.completions().sojourn_mean(),
-        max_wait: w.completions().sojourn_max,
-        locality: w.completions().locality(),
-        msgs_per_step: w.messages().control_total() as f64 / steps as f64,
+        worst_queue: report.worst_max_load().unwrap_or(0),
+        mean_wait: report.completions.sojourn_mean(),
+        max_wait: report.completions.sojourn_max,
+        locality: report.completions.locality(),
+        msgs_per_step: report.messages.control_total() as f64 / steps as f64,
     }
 }
 

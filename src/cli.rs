@@ -5,7 +5,7 @@
 
 use crate::baselines::{DChoiceAllocation, LauerAverage, LulingMonien, RandomSeeking, RsuEqualize};
 use crate::core::{BalancerConfig, Geometric, Multi, ScatterBalancer, Single, ThresholdBalancer};
-use crate::sim::{Engine, LoadModel, Strategy, Unbalanced};
+use crate::sim::{LoadModel, MaxLoadProbe, Runner, Strategy, Unbalanced};
 use std::fmt;
 
 /// Which balancing strategy to run.
@@ -238,24 +238,25 @@ impl fmt::Display for RunReport {
     }
 }
 
-fn run_with<M: LoadModel, S: Strategy>(spec: &RunSpec, model: M, strategy: S) -> RunReport {
-    let mut engine = Engine::new(spec.n, spec.seed, model, strategy);
-    let mut worst = 0usize;
-    engine.run_observed(spec.steps, |w| worst = worst.max(w.max_load()));
-    let w = engine.world();
+fn run_with<M: LoadModel + Sync, S: Strategy>(spec: &RunSpec, model: M, strategy: S) -> RunReport {
+    let report = Runner::new(spec.n, spec.seed)
+        .model(model)
+        .strategy(strategy)
+        .probe(MaxLoadProbe::new())
+        .run(spec.steps);
     RunReport {
-        worst_max_load: worst,
-        final_max_load: w.max_load(),
-        mean_load: w.total_load() as f64 / spec.n as f64,
-        completed: w.completions().count,
-        mean_wait: w.completions().sojourn_mean(),
-        locality: w.completions().locality(),
-        msgs_per_step: w.messages().control_total() as f64 / spec.steps.max(1) as f64,
+        worst_max_load: report.worst_max_load().unwrap_or(0),
+        final_max_load: report.max_load,
+        mean_load: report.total_load as f64 / spec.n as f64,
+        completed: report.completions.count,
+        mean_wait: report.completions.sojourn_mean(),
+        locality: report.completions.locality(),
+        msgs_per_step: report.messages.control_total() as f64 / spec.steps.max(1) as f64,
         theorem1_bound: BalancerConfig::paper(spec.n).theorem1_bound(),
     }
 }
 
-fn run_strategy<M: LoadModel>(spec: &RunSpec, model: M) -> RunReport {
+fn run_strategy<M: LoadModel + Sync>(spec: &RunSpec, model: M) -> RunReport {
     let n = spec.n;
     let t = BalancerConfig::paper(n).theorem1_bound();
     match spec.strategy {

@@ -27,16 +27,18 @@
 //! let model = Single::default_paper(); // generate w.p. 0.4, consume w.p. 0.5
 //! let balancer = ThresholdBalancer::paper(n);
 //!
-//! let mut engine = Engine::new(n, 42, model, balancer);
-//! engine.run(5_000);
+//! let report = Runner::new(n, 42)
+//!     .model(model)
+//!     .strategy(balancer)
+//!     .probe(MaxLoadProbe::new())
+//!     .run(5_000);
 //!
 //! // Theorem 1: max load stays O((log log n)^2) w.h.p.
-//! let t = engine.strategy().config().theorem1_bound();
-//! assert!(engine.world().max_load() <= 2 * t);
+//! let t = pcrlb::core::BalancerConfig::paper(n).theorem1_bound();
+//! assert!(report.worst_max_load().unwrap() <= 2 * t);
 //! // ...at a small fraction of the n messages/step that parallel
 //! // balls-into-bins games pay:
-//! let msgs = engine.world().messages().control_total();
-//! assert!(msgs * 10 < 5_000 * n as u64);
+//! assert!(report.messages.control_total() * 10 < 5_000 * n as u64);
 //! ```
 
 #![warn(missing_docs)]
@@ -62,6 +64,8 @@ pub mod prelude {
         BalancerConfig, Geometric, Multi, ScatterBalancer, Single, ThresholdBalancer,
     };
     pub use pcrlb_sim::{
-        Engine, LoadModel, ParallelEngine, ProcId, SimRng, Step, Strategy, Task, Unbalanced, World,
+        Backend, Engine, LoadModel, LoadSnapshotProbe, MaxLoadProbe, MessageRateProbe, PhaseProbe,
+        Probe, ProbeOutput, ProcId, RecoveryProbe, RunReport, Runner, SeriesProbe, SimRng,
+        SojournTailProbe, Step, Strategy, Task, TraceProbe, Unbalanced, World,
     };
 }

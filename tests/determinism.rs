@@ -1,8 +1,10 @@
 //! Cross-crate determinism guarantees: seeds fully determine runs, the
-//! threaded engine reproduces the sequential engine bit-for-bit, and
+//! threaded backend reproduces the sequential backend bit-for-bit (for
+//! every load model, with and without the work-conserving wrapper), and
 //! the threaded collision game matches the simulated one.
 
 use pcrlb::collision::{play_game, play_game_threaded, CollisionParams};
+use pcrlb::core::{Burst, Geometric, Multi, WorkConserving};
 use pcrlb::prelude::*;
 
 #[test]
@@ -11,7 +13,7 @@ fn same_seed_reproduces_full_balanced_run() {
     let run = || {
         let mut e = Engine::new(
             n,
-            0xDE7E_12,
+            0x00DE_7E12,
             Single::default_paper(),
             ThresholdBalancer::paper(n),
         );
@@ -43,14 +45,14 @@ fn different_seeds_differ() {
 }
 
 #[test]
-fn parallel_engine_matches_sequential_with_balancer() {
-    // The balancer runs on the coordinator thread in both engines; the
-    // per-processor sub-steps run concurrently in the parallel one.
+fn threaded_backend_matches_sequential_with_balancer() {
+    // The balancer runs on the coordinator thread under both backends;
+    // the per-processor sub-steps run concurrently in the threaded one.
     let n = 300;
     let steps = 400;
     for threads in [2usize, 5] {
         let mut seq = Engine::new(n, 42, Single::default_paper(), ThresholdBalancer::paper(n));
-        let mut par = ParallelEngine::new(
+        let mut par = Engine::threaded(
             n,
             42,
             Single::default_paper(),
@@ -76,9 +78,74 @@ fn parallel_engine_matches_sequential_with_balancer() {
     }
 }
 
+/// Runs the same configuration through the [`Runner`] on both backends
+/// and asserts the *entire* reports (final loads, weighted loads,
+/// completion histogram, message totals, probe outputs) are
+/// bit-identical — the strongest form of the determinism guarantee, for
+/// every load model in the repertoire.
+fn assert_backends_agree<M>(make_model: impl Fn() -> M, steps: u64)
+where
+    M: LoadModel + Sync + 'static,
+{
+    let n = 300;
+    let run = |backend: Backend| {
+        Runner::new(n, 7)
+            .model(make_model())
+            .strategy(ThresholdBalancer::paper(n))
+            .backend(backend)
+            .probe(MaxLoadProbe::after_warmup(steps / 2))
+            .probe(SojournTailProbe::new())
+            .run(steps)
+    };
+    let seq = run(Backend::Sequential);
+    for threads in [2usize, 4] {
+        let mut thr = run(Backend::Threaded(threads));
+        assert_eq!(thr.backend, "threaded");
+        thr.backend = seq.backend; // the only field allowed to differ
+        assert_eq!(seq, thr, "threads={threads}");
+    }
+}
+
+#[test]
+fn runner_reports_identical_across_backends_single() {
+    assert_backends_agree(Single::default_paper, 400);
+}
+
+#[test]
+fn runner_reports_identical_across_backends_geometric() {
+    assert_backends_agree(|| Geometric::new(4).unwrap(), 400);
+}
+
+#[test]
+fn runner_reports_identical_across_backends_multi() {
+    assert_backends_agree(|| Multi::new(vec![0.2, 0.1, 0.05]).unwrap(), 400);
+}
+
+#[test]
+fn runner_reports_identical_across_backends_adversarial() {
+    assert_backends_agree(|| Burst::new(16, 20, 0.3), 400);
+}
+
+#[test]
+fn runner_reports_identical_across_backends_work_conserving() {
+    let n = 300;
+    let run = |backend: Backend| {
+        Runner::new(n, 11)
+            .model(Single::default_paper())
+            .strategy(WorkConserving::new(ThresholdBalancer::paper(n)))
+            .backend(backend)
+            .probe(MaxLoadProbe::new())
+            .run(400)
+    };
+    let seq = run(Backend::Sequential);
+    let mut thr = run(Backend::Threaded(3));
+    thr.backend = seq.backend;
+    assert_eq!(seq, thr);
+}
+
 #[test]
 fn fully_parallel_stack_matches_sequential() {
-    // Threaded engine + threaded collision games + streaming transfers:
+    // Threaded backend + threaded collision games + streaming transfers:
     // the maximal parallel configuration still reproduces the plain
     // sequential engine bit-for-bit.
     use pcrlb::core::BalancerConfig;
@@ -97,7 +164,7 @@ fn fully_parallel_stack_matches_sequential() {
     );
     seq.run(steps);
     for threads in [2usize, 4] {
-        let mut par = ParallelEngine::new(
+        let mut par = Engine::threaded(
             n,
             9,
             Single::default_paper(),
@@ -105,7 +172,11 @@ fn fully_parallel_stack_matches_sequential() {
             threads,
         );
         par.run(steps);
-        assert_eq!(seq.world().loads(), par.world().loads(), "threads={threads}");
+        assert_eq!(
+            seq.world().loads(),
+            par.world().loads(),
+            "threads={threads}"
+        );
         assert_eq!(seq.world().messages(), par.world().messages());
     }
 }
@@ -124,4 +195,24 @@ fn threaded_collision_game_is_deterministic_across_shard_counts() {
         assert_eq!(out.queries_sent, baseline.queries_sent);
         assert_eq!(out.rounds_used, baseline.rounds_used);
     }
+}
+
+#[test]
+fn phase_probe_sees_what_the_balancer_records() {
+    // The observer pipeline must deliver exactly the reports the
+    // balancer's own `record_phases` bookkeeping captures.
+    use pcrlb::core::PhaseReport;
+    let n = 256;
+    let cfg = pcrlb::core::BalancerConfig::paper(n).with_phase_reports();
+    let (report, _world, balancer) = Runner::new(n, 13)
+        .model(Single::default_paper())
+        .strategy(ThresholdBalancer::new(cfg))
+        .probe(PhaseProbe::new())
+        .run_detailed(600);
+    let probed: &[PhaseReport] = match report.probe("phases") {
+        Some(ProbeOutput::Phases(p)) => p,
+        other => panic!("unexpected probe output: {other:?}"),
+    };
+    assert!(!probed.is_empty(), "no phases observed");
+    assert_eq!(probed, balancer.phase_reports());
 }

@@ -61,19 +61,16 @@ fn variants_compose() {
         .with_streaming_transfers()
         .with_game_shards(2);
     let bound = 2 * cfg.theorem1_bound();
-    let mut e = Engine::new(
-        n,
-        0xC0DE,
-        Single::default_paper(),
-        WorkConserving::new(ThresholdBalancer::new(cfg)),
-    );
-    let mut worst = 0;
-    e.run_observed(3_000, |w| worst = worst.max(w.max_load()));
+    let (report, world, strategy) = Runner::new(n, 0xC0DE)
+        .model(Single::default_paper())
+        .strategy(WorkConserving::new(ThresholdBalancer::new(cfg)))
+        .probe(MaxLoadProbe::new())
+        .run_detailed(3_000);
+    let worst = report.worst_max_load().unwrap_or(0);
     assert!(worst <= bound, "composed variants: worst {worst} > {bound}");
-    let w = e.world();
-    let generated: u64 = w.procs().map(|p| p.stats.generated).sum();
-    assert_eq!(w.completions().count + w.total_load(), generated);
-    assert!(e.strategy().bonus_consumed() > 0);
+    let generated: u64 = world.procs().map(|p| p.stats.generated).sum();
+    assert_eq!(report.completions.count + report.total_load, generated);
+    assert!(strategy.bonus_consumed() > 0);
 }
 
 /// The shmem machine is usable through the facade and stays consistent

@@ -12,14 +12,13 @@ fn theorem1_shape_holds_across_sizes() {
         let cfg = BalancerConfig::paper(n);
         let t = cfg.theorem1_bound();
         let steps = 3000;
-        let mut worst = 0usize;
-        let mut e = Engine::new(
-            n,
-            0xA11CE ^ n as u64,
-            Single::default_paper(),
-            ThresholdBalancer::new(cfg),
-        );
-        e.run_observed(steps, |w| worst = worst.max(w.max_load()));
+        let worst = Runner::new(n, 0xA11CE ^ n as u64)
+            .model(Single::default_paper())
+            .strategy(ThresholdBalancer::new(cfg))
+            .probe(MaxLoadProbe::new())
+            .run(steps)
+            .worst_max_load()
+            .unwrap_or(0);
         assert!(
             worst <= 2 * t,
             "n={n}: worst max load {worst} exceeded 2T = {}",
@@ -106,26 +105,19 @@ fn scatter_variant_trades_messages_for_load() {
     let n = 1024;
     let seed = 11;
     let steps = 2000;
-    let run = |s: bool| {
-        if s {
-            let mut e = Engine::new(n, seed, Single::default_paper(), ScatterBalancer::paper(n));
-            let mut worst = 0;
-            e.run_observed(steps, |w| worst = worst.max(w.max_load()));
-            (worst, e.world().messages().control_total())
-        } else {
-            let mut e = Engine::new(
-                n,
-                seed,
-                Single::default_paper(),
-                ThresholdBalancer::paper(n),
-            );
-            let mut worst = 0;
-            e.run_observed(steps, |w| worst = worst.max(w.max_load()));
-            (worst, e.world().messages().control_total())
-        }
-    };
-    let (scatter_max, scatter_msgs) = run(true);
-    let (paper_max, paper_msgs) = run(false);
+    fn observe<S: Strategy>(n: usize, seed: u64, steps: u64, strategy: S) -> (usize, u64) {
+        let report = Runner::new(n, seed)
+            .model(Single::default_paper())
+            .strategy(strategy)
+            .probe(MaxLoadProbe::new())
+            .run(steps);
+        (
+            report.worst_max_load().unwrap_or(0),
+            report.messages.control_total(),
+        )
+    }
+    let (scatter_max, scatter_msgs) = observe(n, seed, steps, ScatterBalancer::paper(n));
+    let (paper_max, paper_msgs) = observe(n, seed, steps, ThresholdBalancer::paper(n));
     assert!(scatter_max <= paper_max);
     assert!(scatter_msgs > 5 * paper_msgs.max(1));
 }
