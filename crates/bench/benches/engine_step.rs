@@ -5,7 +5,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use pcrlb_baselines::DChoiceAllocation;
 use pcrlb_core::{Single, ThresholdBalancer};
-use pcrlb_sim::{Engine, Runner, Unbalanced};
+use pcrlb_sim::{Backend, Engine, Runner, Unbalanced};
 
 const STEPS: u64 = 64;
 
@@ -63,6 +63,24 @@ fn bench_runner_overhead(c: &mut Criterion) {
                 .total_load
         });
     });
+    // Dispatch overhead of the parallel backends at a size where the
+    // work itself is cheap: per-step scoped spawns vs one persistent
+    // pool per run.
+    for (name, backend) in [
+        ("runner_threaded_2", Backend::Threaded(2)),
+        ("runner_pooled_2", Backend::Pooled(2)),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                Runner::new(n, 1)
+                    .model(Single::default_paper())
+                    .strategy(Unbalanced)
+                    .backend(backend)
+                    .run(STEPS)
+                    .total_load
+            });
+        });
+    }
     group.finish();
 }
 

@@ -1,5 +1,7 @@
-//! Criterion bench: threaded engine speedup over the sequential engine
-//! for the per-processor sub-steps (generation + consumption).
+//! Criterion bench: threaded / pooled engine speedup over the
+//! sequential engine for the per-processor sub-steps (generation +
+//! consumption). `pool` vs `threads` at the same width isolates what a
+//! persistent worker pool saves over per-step thread spawns.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use pcrlb_core::{Single, ThresholdBalancer};
@@ -26,6 +28,29 @@ fn bench_scaling(c: &mut Criterion) {
             |b, &threads| {
                 b.iter(|| {
                     let mut e = Engine::threaded(
+                        N,
+                        1,
+                        Single::default_paper(),
+                        ThresholdBalancer::paper(N),
+                        threads,
+                    );
+                    e.run(STEPS);
+                    e.world().total_load()
+                });
+            },
+        );
+    }
+    for threads in [1usize, 2, 4, 8] {
+        group.bench_with_input(
+            BenchmarkId::new("pool", threads),
+            &threads,
+            |b, &threads| {
+                // One pool per run (spawned once, reused for all STEPS
+                // steps) vs `threads` above spawning scoped threads per
+                // step — the difference is the spawn overhead the pool
+                // amortizes.
+                b.iter(|| {
+                    let mut e = Engine::pooled(
                         N,
                         1,
                         Single::default_paper(),

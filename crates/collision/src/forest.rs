@@ -16,8 +16,18 @@
 
 use crate::game::{play_game, GameOutcome};
 use crate::params::CollisionParams;
-use crate::threaded::play_game_threaded;
-use pcrlb_sim::{ProcId, SimRng};
+use crate::threaded::{play_game_pooled, play_game_threaded};
+use pcrlb_sim::{ProcId, SimRng, WorkerPool};
+
+/// How each level's collision game is executed.
+enum GameExec<'a> {
+    /// On the calling thread ([`play_game`]).
+    Sequential,
+    /// Across scoped threads spawned per game ([`play_game_threaded`]).
+    Scoped(usize),
+    /// On a persistent worker pool ([`play_game_pooled`]).
+    Pooled(&'a WorkerPool),
+}
 
 /// A successful pairing of a heavy root with a light partner.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -143,7 +153,7 @@ impl BalanceForest {
         max_depth: u32,
         rng: &mut SimRng,
     ) -> SearchOutcome {
-        self.search_impl(heavy, light, params, max_depth, rng, 0)
+        self.search_impl(heavy, light, params, max_depth, rng, GameExec::Sequential)
     }
 
     /// Like [`BalanceForest::search`], but each level's collision game
@@ -160,7 +170,30 @@ impl BalanceForest {
         rng: &mut SimRng,
         shards: usize,
     ) -> SearchOutcome {
-        self.search_impl(heavy, light, params, max_depth, rng, shards.max(1))
+        let exec = if shards > 1 {
+            GameExec::Scoped(shards)
+        } else {
+            GameExec::Sequential
+        };
+        self.search_impl(heavy, light, params, max_depth, rng, exec)
+    }
+
+    /// Like [`BalanceForest::search_threaded`], but each level's
+    /// collision game runs on `pool`'s persistent workers
+    /// ([`play_game_pooled`]) — no thread spawns per game, which is
+    /// what a balancer playing a game every phase wants. The outcome is
+    /// bit-identical to [`BalanceForest::search`] for the same RNG
+    /// state.
+    pub fn search_pooled(
+        &mut self,
+        heavy: &[ProcId],
+        light: &[ProcId],
+        params: &CollisionParams,
+        max_depth: u32,
+        rng: &mut SimRng,
+        pool: &WorkerPool,
+    ) -> SearchOutcome {
+        self.search_impl(heavy, light, params, max_depth, rng, GameExec::Pooled(pool))
     }
 
     fn search_impl(
@@ -170,7 +203,7 @@ impl BalanceForest {
         params: &CollisionParams,
         max_depth: u32,
         rng: &mut SimRng,
-        shards: usize,
+        exec: GameExec<'_>,
     ) -> SearchOutcome {
         debug_assert!(heavy.iter().all(|&p| p < self.n));
         debug_assert!(light.iter().all(|&p| p < self.n));
@@ -207,10 +240,12 @@ impl BalanceForest {
             // One collision game over all current searchers, across all
             // trees at once — the paper applies the protocol "globally,
             // that is, seen over all requesting processors".
-            let outcome: GameOutcome = if shards > 1 {
-                play_game_threaded(self.n, &searchers, params, rng, shards)
-            } else {
-                play_game(self.n, &searchers, params, rng)
+            let outcome: GameOutcome = match exec {
+                GameExec::Sequential => play_game(self.n, &searchers, params, rng),
+                GameExec::Scoped(shards) => {
+                    play_game_threaded(self.n, &searchers, params, rng, shards)
+                }
+                GameExec::Pooled(pool) => play_game_pooled(self.n, &searchers, params, rng, pool),
             };
             stats.levels += 1;
             stats.requests += searchers.len() as u64;
@@ -459,6 +494,26 @@ mod tests {
             let mut f2 = BalanceForest::new(n);
             let out = f2.search_threaded(&heavy, &light, &params, 4, &mut SimRng::new(5), shards);
             assert_eq!(out.matches, base.matches, "shards={shards}");
+            assert_eq!(out.unmatched, base.unmatched);
+            assert_eq!(out.stats, base.stats);
+        }
+    }
+
+    #[test]
+    fn pooled_search_matches_sequential() {
+        // One pool reused for every search — games at every tree level
+        // across repeated phases all run on the same workers.
+        let n = 1024;
+        let heavy = ids(0..24);
+        let light = ids(24..n);
+        let params = CollisionParams::lemma1();
+        let mut f1 = BalanceForest::new(n);
+        let base = f1.search(&heavy, &light, &params, 4, &mut SimRng::new(5));
+        let pool = WorkerPool::new(4);
+        for _phase in 0..3 {
+            let mut f2 = BalanceForest::new(n);
+            let out = f2.search_pooled(&heavy, &light, &params, 4, &mut SimRng::new(5), &pool);
+            assert_eq!(out.matches, base.matches);
             assert_eq!(out.unmatched, base.unmatched);
             assert_eq!(out.stats, base.stats);
         }

@@ -42,4 +42,4 @@ pub mod threaded;
 pub use forest::{BalanceForest, Match, SearchOutcome, SearchStats};
 pub use game::{play_game, GameOutcome};
 pub use params::{CollisionParams, ParamError};
-pub use threaded::{play_game_threaded, play_game_verified};
+pub use threaded::{play_game_pooled, play_game_threaded, play_game_verified};

@@ -8,19 +8,28 @@
 //! communication travels through channels — no shard ever reads another
 //! shard's state directly.
 //!
+//! Two execution drivers share one shard body:
+//!
+//! * [`play_game_threaded`] spawns scoped threads for each game — the
+//!   original per-game-spawn baseline;
+//! * [`play_game_pooled`] broadcasts the shard body onto a persistent
+//!   [`WorkerPool`], so a balancer playing a game every phase reuses
+//!   the same long-lived workers instead of paying a spawn per game.
+//!
 //! The protocol is insensitive to message arrival order within a round:
 //! a target accepts *all or none* of a round's queries depending only on
 //! their count (plus its cumulative accept count), so the outcome is
-//! deterministic even though thread scheduling is not. A test asserts
-//! bit-equality with the sequential implementation for identical seeds.
+//! deterministic even though thread scheduling is not. Tests assert
+//! bit-equality of both drivers with the sequential implementation for
+//! identical seeds.
 
 use crate::game::{play_game, GameOutcome};
 use crate::params::CollisionParams;
-use pcrlb_sim::{ProcId, SimRng};
+use pcrlb_sim::{ProcId, SimRng, WorkerPool};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender};
-use std::sync::Barrier;
+use std::sync::{Barrier, Mutex};
 
 /// A query travelling to the shard that owns `target`.
 #[derive(Debug, Clone, Copy)]
@@ -44,10 +53,31 @@ struct RequestState {
     done: bool,
 }
 
-/// Plays one collision game across `shards` worker threads, returning
-/// the same outcome the sequential [`play_game`] produces for the same
-/// seed (accepted lists are reported in ascending target order; the
-/// sequential order coincides because targets are sampled identically).
+/// Everything one shard needs to play its part of the game: its chunk
+/// of the request array, its inbound channel ends (std receivers are
+/// not cloneable, so each shard owns its own), and its own clones of
+/// every outbound sender.
+struct ShardCtx<'a> {
+    chunk: &'a mut [RequestState],
+    query_rx: Receiver<QueryMsg>,
+    accept_rx: Receiver<AcceptMsg>,
+    query_txs: Vec<Sender<QueryMsg>>,
+    accept_txs: Vec<Sender<AcceptMsg>>,
+}
+
+/// How the shard bodies get threads.
+enum Exec<'a> {
+    /// Scoped threads, spawned per game.
+    Scoped(usize),
+    /// A persistent pool; shard count = worker count.
+    Pool(&'a WorkerPool),
+}
+
+/// Plays one collision game across `shards` scoped worker threads,
+/// returning the same outcome the sequential [`play_game`] produces for
+/// the same seed (accepted lists are reported in ascending target
+/// order; the sequential order coincides because targets are sampled
+/// identically).
 ///
 /// # Panics
 /// Panics under the same conditions as [`play_game`].
@@ -58,9 +88,41 @@ pub fn play_game_threaded(
     rng: &mut SimRng,
     shards: usize,
 ) -> GameOutcome {
+    play_game_sharded(n, requesters, params, rng, Exec::Scoped(shards))
+}
+
+/// Like [`play_game_threaded`], but the shard bodies run on `pool`'s
+/// persistent workers (one shard per worker, clamped to the request
+/// count) instead of freshly spawned threads. Bit-identical to the
+/// sequential and scoped-threaded games for the same seed; the win is
+/// that a long run pays the thread-spawn cost once, not per game.
+///
+/// # Panics
+/// Panics under the same conditions as [`play_game`].
+pub fn play_game_pooled(
+    n: usize,
+    requesters: &[ProcId],
+    params: &CollisionParams,
+    rng: &mut SimRng,
+    pool: &WorkerPool,
+) -> GameOutcome {
+    play_game_sharded(n, requesters, params, rng, Exec::Pool(pool))
+}
+
+fn play_game_sharded(
+    n: usize,
+    requesters: &[ProcId],
+    params: &CollisionParams,
+    rng: &mut SimRng,
+    exec: Exec<'_>,
+) -> GameOutcome {
     params.validate().expect("invalid collision parameters");
     assert!(n > params.a, "need n > a distinct targets");
-    let shards = shards.clamp(1, requesters.len().max(1));
+    let shards = match &exec {
+        Exec::Scoped(shards) => *shards,
+        Exec::Pool(pool) => pool.workers(),
+    }
+    .clamp(1, requesters.len().max(1));
 
     if requesters.is_empty() {
         return GameOutcome {
@@ -126,101 +188,124 @@ pub fn play_game_threaded(
         }
     }
 
-    // Each shard thread *owns* its inbound channel ends (std receivers
-    // are not cloneable) and holds cloned senders for every shard.
-    std::thread::scope(|scope| {
-        let shard_inputs = chunks.into_iter().zip(query_rxs).zip(accept_rxs);
-        for (sid, ((chunk, query_rx), accept_rx)) in shard_inputs.enumerate() {
-            let query_txs = query_txs.clone();
-            let accept_txs = accept_txs.clone();
-            let barrier = &barrier;
-            let open_count = &open_count;
-            let queries_sent = &queries_sent;
-            let accepts_sent = &accepts_sent;
-            let rounds_used = &rounds_used;
-            scope.spawn(move || {
-                // Cumulative accepts for targets owned by this shard.
-                let mut accepted_by: HashMap<ProcId, usize> = HashMap::new();
-                let mut inbox: HashMap<ProcId, Vec<QueryMsg>> = HashMap::new();
-                let base = sid * reqs_per_shard;
+    // Package each shard's context behind a mutex so a shared `Fn(sid)`
+    // body — required by the pool's broadcast — can hand each shard
+    // exclusive ownership of its chunk and channel ends.
+    let ctxs: Vec<Mutex<Option<ShardCtx<'_>>>> = chunks
+        .into_iter()
+        .zip(query_rxs)
+        .zip(accept_rxs)
+        .map(|((chunk, query_rx), accept_rx)| {
+            Mutex::new(Some(ShardCtx {
+                chunk,
+                query_rx,
+                accept_rx,
+                query_txs: query_txs.clone(),
+                accept_txs: accept_txs.clone(),
+            }))
+        })
+        .collect();
 
-                for round in 0..max_rounds {
-                    if open_count.load(Ordering::SeqCst) == 0 {
-                        break;
-                    }
-                    if sid == 0 {
-                        rounds_used.store(round as u64 + 1, Ordering::SeqCst);
-                    }
-                    // Phase 1: (re)send unaccepted queries of open
-                    // requests.
-                    let mut sent = 0u64;
-                    for (local, req) in chunk.iter().enumerate() {
-                        if req.done {
-                            continue;
-                        }
-                        let ri = (base + local) as u32;
-                        for (qi, &t) in req.targets.iter().enumerate() {
-                            if !req.accepted_mask[qi] {
-                                sent += 1;
-                                query_txs[owner(t)]
-                                    .send(QueryMsg {
-                                        request: ri,
-                                        query: qi as u32,
-                                        target: t,
-                                    })
-                                    .expect("query channel closed");
-                            }
-                        }
-                    }
-                    queries_sent.fetch_add(sent, Ordering::Relaxed);
-                    barrier.wait(); // all queries of this round delivered
-
-                    // Phase 2: answer the queries addressed to targets
-                    // this shard owns.
-                    inbox.clear();
-                    for msg in query_rx.try_iter() {
-                        inbox.entry(msg.target).or_default().push(msg);
-                    }
-                    let mut accepted = 0u64;
-                    for (&target, msgs) in inbox.iter() {
-                        let already = accepted_by.get(&target).copied().unwrap_or(0);
-                        if already >= params.c || already + msgs.len() > params.c {
-                            continue; // collision: answers none
-                        }
-                        *accepted_by.entry(target).or_insert(0) += msgs.len();
-                        for m in msgs {
-                            accepted += 1;
-                            accept_txs[req_owner(m.request as usize)]
-                                .send(AcceptMsg {
-                                    request: m.request,
-                                    query: m.query,
-                                })
-                                .expect("accept channel closed");
-                        }
-                    }
-                    accepts_sent.fetch_add(accepted, Ordering::Relaxed);
-                    barrier.wait(); // all accepts of this round delivered
-
-                    // Phase 3: apply accepts; satisfied requests leave.
-                    let mut newly_done = 0usize;
-                    for msg in accept_rx.try_iter() {
-                        let local = msg.request as usize - base;
-                        let req = &mut chunk[local];
-                        req.accepted_mask[msg.query as usize] = true;
-                        req.accepts += 1;
-                    }
-                    for req in chunk.iter_mut() {
-                        if !req.done && req.accepts >= params.b {
-                            req.done = true;
-                            newly_done += 1;
-                        }
-                    }
-                    open_count.fetch_sub(newly_done, Ordering::SeqCst);
-                    barrier.wait(); // everyone sees the new open count
-                }
-            });
+    let body = |sid: usize| {
+        if sid >= shards {
+            return; // pool may have more workers than shards
         }
-    });
+        let ctx = ctxs[sid]
+            .lock()
+            .expect("shard context poisoned")
+            .take()
+            .expect("shard context taken twice");
+
+        // Cumulative accepts for targets owned by this shard.
+        let mut accepted_by: HashMap<ProcId, usize> = HashMap::new();
+        let mut inbox: HashMap<ProcId, Vec<QueryMsg>> = HashMap::new();
+        let base = sid * reqs_per_shard;
+
+        for round in 0..max_rounds {
+            if open_count.load(Ordering::SeqCst) == 0 {
+                break;
+            }
+            if sid == 0 {
+                rounds_used.store(round as u64 + 1, Ordering::SeqCst);
+            }
+            // Phase 1: (re)send unaccepted queries of open requests.
+            let mut sent = 0u64;
+            for (local, req) in ctx.chunk.iter().enumerate() {
+                if req.done {
+                    continue;
+                }
+                let ri = (base + local) as u32;
+                for (qi, &t) in req.targets.iter().enumerate() {
+                    if !req.accepted_mask[qi] {
+                        sent += 1;
+                        ctx.query_txs[owner(t)]
+                            .send(QueryMsg {
+                                request: ri,
+                                query: qi as u32,
+                                target: t,
+                            })
+                            .expect("query channel closed");
+                    }
+                }
+            }
+            queries_sent.fetch_add(sent, Ordering::Relaxed);
+            barrier.wait(); // all queries of this round delivered
+
+            // Phase 2: answer the queries addressed to targets this
+            // shard owns.
+            inbox.clear();
+            for msg in ctx.query_rx.try_iter() {
+                inbox.entry(msg.target).or_default().push(msg);
+            }
+            let mut accepted = 0u64;
+            for (&target, msgs) in inbox.iter() {
+                let already = accepted_by.get(&target).copied().unwrap_or(0);
+                if already >= params.c || already + msgs.len() > params.c {
+                    continue; // collision: answers none
+                }
+                *accepted_by.entry(target).or_insert(0) += msgs.len();
+                for m in msgs {
+                    accepted += 1;
+                    ctx.accept_txs[req_owner(m.request as usize)]
+                        .send(AcceptMsg {
+                            request: m.request,
+                            query: m.query,
+                        })
+                        .expect("accept channel closed");
+                }
+            }
+            accepts_sent.fetch_add(accepted, Ordering::Relaxed);
+            barrier.wait(); // all accepts of this round delivered
+
+            // Phase 3: apply accepts; satisfied requests leave.
+            let mut newly_done = 0usize;
+            for msg in ctx.accept_rx.try_iter() {
+                let local = msg.request as usize - base;
+                let req = &mut ctx.chunk[local];
+                req.accepted_mask[msg.query as usize] = true;
+                req.accepts += 1;
+            }
+            for req in ctx.chunk.iter_mut() {
+                if !req.done && req.accepts >= params.b {
+                    req.done = true;
+                    newly_done += 1;
+                }
+            }
+            open_count.fetch_sub(newly_done, Ordering::SeqCst);
+            barrier.wait(); // everyone sees the new open count
+        }
+    };
+
+    match exec {
+        Exec::Scoped(_) => std::thread::scope(|scope| {
+            for sid in 0..shards {
+                let body = &body;
+                scope.spawn(move || body(sid));
+            }
+        }),
+        Exec::Pool(pool) => pool.broadcast(&body),
+    }
+    drop(ctxs); // release the chunk borrows of `requests`
 
     let accepted: Vec<Vec<ProcId>> = requests
         .iter()
@@ -294,12 +379,50 @@ mod tests {
     }
 
     #[test]
+    fn pooled_game_matches_sequential_for_fixed_seeds() {
+        // One persistent pool, reused across games and seeds — exactly
+        // how the balancer drives it phase after phase.
+        let params = CollisionParams::lemma1();
+        let pool = WorkerPool::new(4);
+        let requesters: Vec<ProcId> = (0..40).map(|i| i * 3).collect();
+        for seed in 0..10 {
+            let mut r1 = SimRng::new(seed);
+            let mut r2 = SimRng::new(seed);
+            let seq = play_game(1024, &requesters, &params, &mut r1);
+            let pooled = play_game_pooled(1024, &requesters, &params, &mut r2, &pool);
+            assert_eq!(seq.accepted, pooled.accepted, "seed={seed}");
+            assert_eq!(seq.queries_sent, pooled.queries_sent);
+            assert_eq!(seq.accepts_sent, pooled.accepts_sent);
+            assert_eq!(seq.rounds_used, pooled.rounds_used);
+        }
+    }
+
+    #[test]
+    fn pooled_game_under_contention_matches_sequential() {
+        let params = CollisionParams::lemma1();
+        let pool = WorkerPool::new(4);
+        let requesters: Vec<ProcId> = (0..24).collect();
+        for seed in 0..10 {
+            let mut r1 = SimRng::new(seed);
+            let mut r2 = SimRng::new(seed);
+            let seq = play_game(32, &requesters, &params, &mut r1);
+            let pooled = play_game_pooled(32, &requesters, &params, &mut r2, &pool);
+            assert_eq!(seq.accepted, pooled.accepted, "seed={seed}");
+            assert_eq!(seq.rounds_used, pooled.rounds_used);
+        }
+    }
+
+    #[test]
     fn empty_requesters() {
         let params = CollisionParams::lemma1();
         let mut rng = SimRng::new(1);
         let out = play_game_threaded(64, &[], &params, &mut rng, 4);
         assert!(out.success);
         assert_eq!(out.rounds_used, 0);
+        let pool = WorkerPool::new(2);
+        let mut rng = SimRng::new(1);
+        let out = play_game_pooled(64, &[], &params, &mut rng, &pool);
+        assert!(out.success);
     }
 
     #[test]
@@ -307,6 +430,11 @@ mod tests {
         let params = CollisionParams::lemma1();
         let mut rng = SimRng::new(2);
         let out = play_game_threaded(256, &[1, 2], &params, &mut rng, 64);
+        assert!(out.success);
+        // Same for a pool wider than the request list.
+        let pool = WorkerPool::new(16);
+        let mut rng = SimRng::new(2);
+        let out = play_game_pooled(256, &[1, 2], &params, &mut rng, &pool);
         assert!(out.success);
     }
 }

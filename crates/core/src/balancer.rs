@@ -15,7 +15,9 @@
 
 use crate::config::BalancerConfig;
 use pcrlb_collision::BalanceForest;
-use pcrlb_sim::{Event, MessageKind, MessageStats, ProcId, Step, Strategy, Trace, World};
+use pcrlb_sim::{
+    Event, MessageKind, MessageStats, ProcId, Step, Strategy, Trace, WorkerPool, World,
+};
 use std::collections::HashMap;
 
 // The per-phase report type lives in the simulation substrate so probes
@@ -109,6 +111,10 @@ struct StreamingTransfer {
 pub struct ThresholdBalancer {
     cfg: BalancerConfig,
     forest: BalanceForest,
+    /// Persistent workers for sharded collision games, created lazily on
+    /// the first phase with `game_shards > 1` and reused for every game
+    /// after that (no per-game thread spawns).
+    pool: Option<WorkerPool>,
     phase: u64,
     stats: BalancerStats,
     reports: Vec<PhaseReport>,
@@ -131,6 +137,7 @@ impl ThresholdBalancer {
         cfg.validate().expect("invalid balancer configuration");
         ThresholdBalancer {
             forest: BalanceForest::new(cfg.n),
+            pool: None,
             phase: 0,
             stats: BalancerStats::new(),
             reports: Vec::new(),
@@ -289,13 +296,15 @@ impl ThresholdBalancer {
         let mut failed = 0usize;
         if !self.heavy_buf.is_empty() {
             let outcome = if self.cfg.game_shards > 1 {
-                self.forest.search_threaded(
+                let shards = self.cfg.game_shards;
+                let pool = self.pool.get_or_insert_with(|| WorkerPool::new(shards));
+                self.forest.search_pooled(
                     &self.heavy_buf,
                     &self.light_buf,
                     &self.cfg.collision,
                     self.cfg.tree_depth,
                     world.rng_global(),
-                    self.cfg.game_shards,
+                    pool,
                 )
             } else {
                 self.forest.search(

@@ -21,6 +21,7 @@
 //! globally-consistent assignment.
 
 use crate::model::LoadModel;
+use crate::pool::WorkerPool;
 use crate::processor::Processor;
 use crate::rng::SimRng;
 use crate::task::Completion;
@@ -125,13 +126,23 @@ impl<M: LoadModel + Sync> ExecBackend<M> for Threaded {
 
 /// Runtime-selectable backend, used by [`crate::runner::Runner`] so the
 /// execution mode is a value, not a type parameter.
+///
+/// `Backend` is a cheap *descriptor*; [`Backend::resolve`] turns it
+/// into the owned execution state (which for [`Backend::Pooled`] means
+/// spawning the persistent worker pool). The runner resolves once per
+/// run, so the pool lives for the whole run and each step is a channel
+/// dispatch rather than a thread spawn.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub enum Backend {
     /// Run on the calling thread.
     #[default]
     Sequential,
-    /// Run sharded across this many OS threads.
+    /// Spawn this many scoped OS threads *per step*. Kept as the
+    /// baseline the persistent pool is benchmarked against.
     Threaded(usize),
+    /// Run on a persistent pool of this many workers, spawned once per
+    /// run ([`WorkerPool`]).
+    Pooled(usize),
 }
 
 impl Backend {
@@ -140,15 +151,69 @@ impl Backend {
         match self {
             Backend::Sequential => "sequential",
             Backend::Threaded(_) => "threaded",
+            Backend::Pooled(_) => "pooled",
+        }
+    }
+
+    /// Materializes the descriptor into owned execution state; for
+    /// [`Backend::Pooled`] this spawns the worker pool.
+    pub fn resolve(self) -> ResolvedBackend {
+        match self {
+            Backend::Sequential => ResolvedBackend::Sequential,
+            Backend::Threaded(threads) => ResolvedBackend::Threaded(Threaded { threads }),
+            Backend::Pooled(threads) => ResolvedBackend::Pooled(WorkerPool::new(threads)),
         }
     }
 }
 
+/// The descriptor itself also executes, for callers that plug a
+/// `Backend` value straight into an [`crate::engine::Engine`]. Per-call
+/// dispatch cannot persist workers, so [`Backend::Pooled`] degrades to
+/// the scoped-thread path here (bit-identical results either way); use
+/// [`Backend::resolve`] — as [`crate::runner::Runner`] does — to get
+/// the persistent pool.
 impl<M: LoadModel + Sync> ExecBackend<M> for Backend {
     fn run_substeps(&mut self, world: &mut World, model: &M) {
         match *self {
             Backend::Sequential => Sequential.run_substeps(world, model),
-            Backend::Threaded(threads) => Threaded { threads }.run_substeps(world, model),
+            Backend::Threaded(threads) | Backend::Pooled(threads) => {
+                Threaded { threads }.run_substeps(world, model)
+            }
+        }
+    }
+}
+
+/// Owned execution state produced by [`Backend::resolve`]: the
+/// [`Backend::Pooled`] variant holds the live [`WorkerPool`], which is
+/// why this type (unlike `Backend`) is not `Copy` — dropping it shuts
+/// the workers down.
+#[derive(Debug)]
+pub enum ResolvedBackend {
+    /// Run on the calling thread.
+    Sequential,
+    /// Spawn scoped OS threads per step.
+    Threaded(Threaded),
+    /// Dispatch to a persistent worker pool.
+    Pooled(WorkerPool),
+}
+
+impl ResolvedBackend {
+    /// Human-readable backend name for reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ResolvedBackend::Sequential => "sequential",
+            ResolvedBackend::Threaded(_) => "threaded",
+            ResolvedBackend::Pooled(_) => "pooled",
+        }
+    }
+}
+
+impl<M: LoadModel + Sync> ExecBackend<M> for ResolvedBackend {
+    fn run_substeps(&mut self, world: &mut World, model: &M) {
+        match self {
+            ResolvedBackend::Sequential => Sequential.run_substeps(world, model),
+            ResolvedBackend::Threaded(threaded) => threaded.run_substeps(world, model),
+            ResolvedBackend::Pooled(pool) => pool.run_substeps(world, model),
         }
     }
 }
@@ -249,13 +314,33 @@ mod tests {
     }
 
     #[test]
-    fn backend_enum_dispatches_both_ways() {
+    fn backend_enum_dispatches_all_ways() {
         let mut a = Engine::with_backend(16, 5, Coin, Unbalanced, Backend::Sequential);
         let mut b = Engine::with_backend(16, 5, Coin, Unbalanced, Backend::Threaded(4));
+        let mut c = Engine::with_backend(16, 5, Coin, Unbalanced, Backend::Pooled(4));
+        a.run(100);
+        b.run(100);
+        c.run(100);
+        assert_eq!(a.world().loads(), b.world().loads());
+        assert_eq!(a.world().loads(), c.world().loads());
+        assert_eq!(Backend::Sequential.name(), "sequential");
+        assert_eq!(Backend::Threaded(2).name(), "threaded");
+        assert_eq!(Backend::Pooled(2).name(), "pooled");
+    }
+
+    #[test]
+    fn resolved_backend_matches_descriptor_name_and_results() {
+        let seq = Backend::Sequential.resolve();
+        let thr = Backend::Threaded(3).resolve();
+        let pool = Backend::Pooled(3).resolve();
+        assert_eq!(seq.name(), "sequential");
+        assert_eq!(thr.name(), "threaded");
+        assert_eq!(pool.name(), "pooled");
+        let mut a = Engine::with_backend(16, 5, Coin, Unbalanced, seq);
+        let mut b = Engine::with_backend(16, 5, Coin, Unbalanced, pool);
         a.run(100);
         b.run(100);
         assert_eq!(a.world().loads(), b.world().loads());
-        assert_eq!(Backend::Sequential.name(), "sequential");
-        assert_eq!(Backend::Threaded(2).name(), "threaded");
+        assert_eq!(a.world().completions().count, b.world().completions().count);
     }
 }

@@ -26,6 +26,7 @@
 
 use crate::backend::{ExecBackend, Sequential, Threaded};
 use crate::model::{LoadModel, Strategy};
+use crate::pool::WorkerPool;
 use crate::world::World;
 
 /// The simulation driver, generic over model, strategy, and execution
@@ -52,9 +53,20 @@ impl<M: LoadModel, S: Strategy> Engine<M, S> {
 
 impl<M: LoadModel + Sync, S: Strategy> Engine<M, S, Threaded> {
     /// Builds an engine whose per-processor sub-steps run across
-    /// `threads` OS threads (clamped to at least 1).
+    /// `threads` OS threads (clamped to at least 1), spawned fresh
+    /// every step. Prefer [`Engine::pooled`] for long or large runs.
     pub fn threaded(n: usize, seed: u64, model: M, strategy: S, threads: usize) -> Self {
         Engine::with_backend(n, seed, model, strategy, Threaded { threads })
+    }
+}
+
+impl<M: LoadModel + Sync, S: Strategy> Engine<M, S, WorkerPool> {
+    /// Builds an engine whose per-processor sub-steps run on a
+    /// persistent pool of `threads` workers (clamped to at least 1),
+    /// spawned once here and joined when the engine drops. Produces
+    /// bit-identical results to [`Engine::new`] for the same seed.
+    pub fn pooled(n: usize, seed: u64, model: M, strategy: S, threads: usize) -> Self {
+        Engine::with_backend(n, seed, model, strategy, WorkerPool::new(threads))
     }
 }
 

@@ -12,9 +12,10 @@
 //!   back-of-queue transfer semantics), a message ledger, per-task
 //!   completion statistics, and deterministic per-processor RNG streams;
 //! * [`Engine`] — the lock-step driver, generic over an execution
-//!   backend: [`Sequential`] (default) or [`Threaded`], which runs the
-//!   per-processor sub-steps across OS threads and produces
-//!   *bit-identical* results;
+//!   backend: [`Sequential`] (default), [`Threaded`] (scoped OS
+//!   threads spawned per step), or [`WorkerPool`] (persistent sharded
+//!   workers spawned once per run — the backend for large-`n` sweeps);
+//!   every backend produces *bit-identical* results;
 //! * [`Runner`] — the builder-style entry point combining engine,
 //!   backend, and a pipeline of [`Probe`] observers into a
 //!   [`RunReport`]; experiments, benches, the CLI, and examples all go
@@ -58,6 +59,7 @@ pub mod backend;
 pub mod engine;
 pub mod message;
 pub mod model;
+pub mod pool;
 pub mod probe;
 pub mod processor;
 pub mod queue;
@@ -68,10 +70,11 @@ pub mod trace;
 pub mod types;
 pub mod world;
 
-pub use backend::{Backend, ExecBackend, Sequential, Threaded};
+pub use backend::{Backend, ExecBackend, ResolvedBackend, Sequential, Threaded};
 pub use engine::Engine;
 pub use message::{MessageKind, MessageLedger, MessageStats};
 pub use model::{LoadModel, Strategy, Unbalanced};
+pub use pool::{live_workers, WorkerPool};
 pub use probe::{
     LoadSnapshotProbe, MaxLoadProbe, MessageRateProbe, PhaseProbe, PhaseReport, Probe, ProbeOutput,
     RecoveryProbe, SeriesProbe, SojournTailProbe, TraceProbe,

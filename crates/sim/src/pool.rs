@@ -1,0 +1,387 @@
+//! A persistent, sharded worker pool.
+//!
+//! [`crate::backend::Threaded`] spawns fresh OS threads on *every*
+//! engine step, which caps how large an `n` the parallel backend can
+//! sweep: at `n = 2^16` a run spends a measurable fraction of its time
+//! in `pthread_create`. [`WorkerPool`] spawns its workers **once** —
+//! per [`crate::runner::Runner`] / [`crate::engine::Engine`] lifetime —
+//! and dispatches each step to them over channels:
+//!
+//! 1. the coordinator erases the step's borrowed state into a shared
+//!    job closure and sends one message per worker;
+//! 2. every worker runs the closure with its own worker id (selecting
+//!    its pinned shard) and acknowledges on a completion channel;
+//! 3. the coordinator blocks until **all** workers have acknowledged,
+//!    so the borrows inside the job never outlive the dispatch call.
+//!
+//! Determinism holds by construction: the pool partitions the world
+//! with the same [`crate::world::World::shards`] split as `Threaded`
+//! and runs the same [`crate::backend::drive_shard`] kernel, so a
+//! pooled run is bit-identical to a sequential (or scoped-threaded)
+//! run with the same seed, for any worker count.
+//!
+//! Each worker owns a reusable [`CompletionStats`] scratch accumulator
+//! (reset, not reallocated, every step) that the coordinator merges
+//! after the step — statistics are additive, so the merge order is
+//! immaterial and fixed anyway (worker 0, 1, …).
+//!
+//! Workers shut down when the pool drops: an exit message per worker,
+//! then a join. A job that panics inside a worker is caught there,
+//! reported back over the completion channel, and re-raised on the
+//! coordinator once every worker has acknowledged — the pool stays
+//! consistent and still shuts down cleanly. [`live_workers`] exposes a
+//! global count of running pool workers so leak tests can assert the
+//! process returns to its baseline.
+
+use crate::backend::{drive_shard, ExecBackend};
+use crate::model::LoadModel;
+use crate::processor::Processor;
+use crate::rng::SimRng;
+use crate::world::{CompletionStats, World, DEFAULT_SOJOURN_HIST};
+use std::cell::UnsafeCell;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::thread::JoinHandle;
+
+/// Pool workers currently alive in this process (across all pools).
+static LIVE_WORKERS: AtomicUsize = AtomicUsize::new(0);
+
+/// Number of pool worker threads currently alive in the whole process.
+///
+/// Incremented before a worker thread starts and decremented as the
+/// last action of the worker before it exits; [`WorkerPool`]'s drop
+/// joins its workers, so after a pool is dropped its workers are no
+/// longer counted. Intended for soak/leak tests.
+pub fn live_workers() -> usize {
+    LIVE_WORKERS.load(Ordering::SeqCst)
+}
+
+/// A dispatched job: a borrow-erased reference to the step closure.
+///
+/// The `'static` is a lie told only for transport — the dispatcher
+/// blocks until every worker acknowledges, so the referent outlives
+/// every use (see [`WorkerPool::broadcast`]).
+struct Job(&'static (dyn Fn(usize) + Sync));
+
+enum Msg {
+    Run(Job),
+    Exit,
+}
+
+/// Long-lived worker threads with pinned shard ranges.
+///
+/// Workers are spawned by [`WorkerPool::new`] and live until the pool
+/// is dropped. The pool is an [`ExecBackend`], so it plugs into
+/// [`crate::engine::Engine`] / [`crate::runner::Runner`] directly; the
+/// lower-level [`WorkerPool::broadcast`] primitive is also public so
+/// other subsystems (the collision game, see `pcrlb-collision`) can
+/// run their own sharded protocols on the same persistent workers.
+///
+/// ```
+/// use pcrlb_sim::{Engine, LoadModel, ProcId, SimRng, Step, Unbalanced, WorkerPool};
+///
+/// struct Coin;
+/// impl LoadModel for Coin {
+///     fn generate(&self, _: ProcId, _: Step, _: usize, rng: &mut SimRng) -> usize {
+///         usize::from(rng.chance(0.5))
+///     }
+///     fn consume(&self, _: ProcId, _: Step, _: usize, rng: &mut SimRng) -> usize {
+///         usize::from(rng.chance(0.6))
+///     }
+/// }
+///
+/// let mut seq = Engine::new(64, 7, Coin, Unbalanced);
+/// let mut pooled = Engine::pooled(64, 7, Coin, Unbalanced, 4);
+/// seq.run(100);
+/// pooled.run(100);
+/// assert_eq!(seq.world().loads(), pooled.world().loads());
+/// ```
+pub struct WorkerPool {
+    job_txs: Vec<Sender<Msg>>,
+    done_rx: Receiver<bool>,
+    handles: Vec<JoinHandle<()>>,
+    /// Per-worker completion scratch, reset (not reallocated) each step.
+    scratch: Vec<UnsafeCell<CompletionStats>>,
+}
+
+impl std::fmt::Debug for WorkerPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkerPool")
+            .field("workers", &self.job_txs.len())
+            .finish()
+    }
+}
+
+impl WorkerPool {
+    /// Spawns `threads` persistent workers (clamped to at least 1).
+    ///
+    /// # Panics
+    /// Panics if the OS refuses to spawn a thread.
+    pub fn new(threads: usize) -> Self {
+        let threads = threads.max(1);
+        let (done_tx, done_rx) = channel();
+        let mut job_txs = Vec::with_capacity(threads);
+        let mut handles = Vec::with_capacity(threads);
+        for wid in 0..threads {
+            let (tx, rx) = channel::<Msg>();
+            let done = done_tx.clone();
+            LIVE_WORKERS.fetch_add(1, Ordering::SeqCst);
+            let handle = std::thread::Builder::new()
+                .name(format!("pcrlb-pool-{wid}"))
+                .spawn(move || {
+                    worker_loop(wid, rx, done);
+                    LIVE_WORKERS.fetch_sub(1, Ordering::SeqCst);
+                })
+                .expect("failed to spawn pool worker");
+            handles.push(handle);
+            job_txs.push(tx);
+        }
+        WorkerPool {
+            job_txs,
+            done_rx,
+            handles,
+            scratch: (0..threads)
+                .map(|_| UnsafeCell::new(CompletionStats::new(DEFAULT_SOJOURN_HIST)))
+                .collect(),
+        }
+    }
+
+    /// Number of worker threads.
+    pub fn workers(&self) -> usize {
+        self.job_txs.len()
+    }
+
+    /// Runs `f(worker_id)` once on every worker, blocking until all of
+    /// them finish. `f` may borrow freely from the caller's stack: the
+    /// call does not return (normally or by panic) before every worker
+    /// has acknowledged, so no borrow escapes.
+    ///
+    /// Workers coordinate among themselves however `f` likes (the
+    /// collision game runs a multi-round barrier protocol inside one
+    /// broadcast); worker ids not used by `f` should simply return.
+    ///
+    /// # Panics
+    /// Re-raises (after all workers acknowledged) if `f` panicked on
+    /// any worker. The pool remains usable afterwards.
+    pub fn broadcast(&self, f: &(dyn Fn(usize) + Sync)) {
+        // SAFETY: the referent outlives this call, and this call does
+        // not return until every worker has sent its acknowledgement —
+        // after which no worker retains the reference.
+        let f: &'static (dyn Fn(usize) + Sync) = unsafe {
+            std::mem::transmute::<&(dyn Fn(usize) + Sync), &'static (dyn Fn(usize) + Sync)>(f)
+        };
+        for tx in &self.job_txs {
+            tx.send(Msg::Run(Job(f))).expect("pool worker exited early");
+        }
+        let mut panicked = false;
+        for _ in 0..self.job_txs.len() {
+            panicked |= self.done_rx.recv().expect("pool worker exited early");
+        }
+        assert!(!panicked, "worker-pool job panicked (see worker output)");
+    }
+}
+
+fn worker_loop(wid: usize, rx: Receiver<Msg>, done: Sender<bool>) {
+    while let Ok(msg) = rx.recv() {
+        match msg {
+            Msg::Run(job) => {
+                // A panicking job must not kill the worker — the
+                // coordinator is blocked waiting for our ack.
+                let panicked = catch_unwind(AssertUnwindSafe(|| (job.0)(wid))).is_err();
+                if done.send(panicked).is_err() {
+                    break; // pool gone; nobody to report to
+                }
+            }
+            Msg::Exit => break,
+        }
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        for tx in &self.job_txs {
+            // A worker that already exited has closed its channel;
+            // nothing to tell it.
+            let _ = tx.send(Msg::Exit);
+        }
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// One worker's pinned slice of the step: raw views into the world's
+/// shard split plus that worker's scratch accumulator.
+struct ShardJob {
+    start: usize,
+    len: usize,
+    procs: *mut Processor,
+    rngs: *mut SimRng,
+    scratch: *mut CompletionStats,
+}
+
+struct ShardJobs(Vec<Option<ShardJob>>);
+
+// SAFETY: every pointer in slot `wid` targets memory disjoint from all
+// other slots (the world's shard split and the per-worker scratch vec),
+// and worker `wid` is the only thread that dereferences slot `wid`.
+unsafe impl Sync for ShardJobs {}
+
+impl<M: LoadModel + Sync> ExecBackend<M> for WorkerPool {
+    fn run_substeps(&mut self, world: &mut World, model: &M) {
+        for cell in &mut self.scratch {
+            cell.get_mut().reset();
+        }
+        let threads = self.workers();
+        let (now, shards, completions) = world.shards(threads);
+        // `shards` may be shorter than `threads` when n < threads;
+        // workers without a slot no-op.
+        let mut jobs = ShardJobs((0..threads).map(|_| None).collect());
+        for (wid, (start, procs, rngs)) in shards.into_iter().enumerate() {
+            jobs.0[wid] = Some(ShardJob {
+                start,
+                len: procs.len(),
+                procs: procs.as_mut_ptr(),
+                rngs: rngs.as_mut_ptr(),
+                scratch: self.scratch[wid].get(),
+            });
+        }
+        let jobs = &jobs;
+        self.broadcast(&|wid: usize| {
+            if let Some(job) = &jobs.0[wid] {
+                // SAFETY: see `ShardJobs` — slot `wid` is exclusively
+                // ours, and the coordinator keeps the backing world
+                // borrowed for the whole broadcast.
+                unsafe {
+                    let procs = std::slice::from_raw_parts_mut(job.procs, job.len);
+                    let rngs = std::slice::from_raw_parts_mut(job.rngs, job.len);
+                    drive_shard(job.start, now, procs, rngs, model, &mut *job.scratch);
+                }
+            }
+        });
+        // Merge in fixed worker order (additive, so any order would do).
+        for cell in &mut self.scratch {
+            completions.merge(cell.get_mut());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::Engine;
+    use crate::model::Unbalanced;
+    use crate::types::{ProcId, Step};
+    use std::sync::Mutex;
+
+    /// Serializes tests that assert on the global worker counter.
+    static COUNTER_LOCK: Mutex<()> = Mutex::new(());
+
+    struct Coin;
+
+    impl LoadModel for Coin {
+        fn generate(&self, _: ProcId, _: Step, _: usize, rng: &mut SimRng) -> usize {
+            usize::from(rng.chance(0.5))
+        }
+        fn consume(&self, _: ProcId, _: Step, _: usize, rng: &mut SimRng) -> usize {
+            usize::from(rng.chance(0.6))
+        }
+        fn task_weight(&self, _: ProcId, _: Step, rng: &mut SimRng) -> u32 {
+            1 + rng.below(4) as u32
+        }
+    }
+
+    #[test]
+    fn pooled_matches_sequential_exactly() {
+        for threads in [1, 2, 3, 7] {
+            let mut seq = Engine::new(37, 1234, Coin, Unbalanced);
+            let mut pooled = Engine::pooled(37, 1234, Coin, Unbalanced, threads);
+            seq.run(200);
+            pooled.run(200);
+            assert_eq!(
+                seq.world().loads(),
+                pooled.world().loads(),
+                "threads={threads}"
+            );
+            assert_eq!(*seq.world().completions(), *pooled.world().completions());
+        }
+    }
+
+    #[test]
+    fn scratch_is_reset_between_steps_not_leaked_across_runs() {
+        // Reusing one engine (and thus one pool) for two long stretches
+        // must match a single sequential run — any scratch leakage
+        // between steps would double-count completions.
+        let mut seq = Engine::new(19, 5, Coin, Unbalanced);
+        let mut pooled = Engine::pooled(19, 5, Coin, Unbalanced, 3);
+        seq.run(100);
+        pooled.run(60);
+        pooled.run(40);
+        assert_eq!(*seq.world().completions(), *pooled.world().completions());
+    }
+
+    #[test]
+    fn more_workers_than_processors() {
+        let mut seq = Engine::new(3, 7, Coin, Unbalanced);
+        let mut pooled = Engine::pooled(3, 7, Coin, Unbalanced, 16);
+        seq.run(50);
+        pooled.run(50);
+        assert_eq!(seq.world().loads(), pooled.world().loads());
+    }
+
+    #[test]
+    fn zero_workers_clamped() {
+        let pool = WorkerPool::new(0);
+        assert_eq!(pool.workers(), 1);
+    }
+
+    #[test]
+    fn broadcast_runs_every_worker_once() {
+        let _guard = COUNTER_LOCK.lock().unwrap();
+        let pool = WorkerPool::new(4);
+        let hits: Vec<AtomicUsize> = (0..4).map(|_| AtomicUsize::new(0)).collect();
+        for _ in 0..10 {
+            pool.broadcast(&|wid| {
+                hits[wid].fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        for h in &hits {
+            assert_eq!(h.load(Ordering::SeqCst), 10);
+        }
+    }
+
+    #[test]
+    fn drop_joins_all_workers() {
+        let _guard = COUNTER_LOCK.lock().unwrap();
+        let before = live_workers();
+        let pool = WorkerPool::new(6);
+        assert_eq!(live_workers(), before + 6);
+        drop(pool);
+        assert_eq!(live_workers(), before);
+    }
+
+    #[test]
+    fn pool_survives_a_panicking_job_and_still_shuts_down() {
+        let _guard = COUNTER_LOCK.lock().unwrap();
+        let before = live_workers();
+        {
+            let pool = WorkerPool::new(3);
+            let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                pool.broadcast(&|wid| {
+                    if wid == 1 {
+                        panic!("boom");
+                    }
+                });
+            }));
+            assert!(result.is_err(), "panic must propagate to the caller");
+            // The pool is still usable after a panicked job.
+            let ran = AtomicUsize::new(0);
+            pool.broadcast(&|_| {
+                ran.fetch_add(1, Ordering::SeqCst);
+            });
+            assert_eq!(ran.load(Ordering::SeqCst), 3);
+        }
+        assert_eq!(live_workers(), before, "workers leaked after drop");
+    }
+}

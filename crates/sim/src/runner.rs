@@ -203,7 +203,9 @@ impl<M: LoadModel + Sync, S: Strategy> Runner<M, S> {
         if !probes.is_empty() {
             world.enable_observer();
         }
-        let mut engine = Engine::with_world_and_backend(world, model, strategy, backend);
+        // Resolve once per run: for `Backend::Pooled` this spawns the
+        // persistent worker pool, which lives until the engine drops.
+        let mut engine = Engine::with_world_and_backend(world, model, strategy, backend.resolve());
 
         for probe in probes.iter_mut() {
             probe.on_run_start(engine.world());

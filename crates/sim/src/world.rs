@@ -92,6 +92,16 @@ impl CompletionStats {
         above as f64 / self.count as f64
     }
 
+    /// Zeroes all counters while keeping the histogram allocation —
+    /// lets the worker pool reuse per-worker scratch every step.
+    pub(crate) fn reset(&mut self) {
+        self.count = 0;
+        self.sojourn_sum = 0;
+        self.sojourn_max = 0;
+        self.local_count = 0;
+        self.hist.fill(0);
+    }
+
     pub(crate) fn merge(&mut self, other: &CompletionStats) {
         self.count += other.count;
         self.sojourn_sum += other.sojourn_sum;

@@ -1,0 +1,134 @@
+//! Property-based determinism and hygiene tests for the persistent
+//! worker-pool backend: for *arbitrary* (n, seed, steps, threads) the
+//! pool must reproduce the sequential engine's `RunReport` bit for bit,
+//! and pools must never leak worker threads — not even when a job or a
+//! probe panics mid-run.
+
+use pcrlb_sim::{
+    live_workers, Backend, LoadModel, MaxLoadProbe, Probe, ProcId, Runner, SimRng,
+    SojournTailProbe, Step, WorkerPool, World,
+};
+use proptest::prelude::*;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Mutex;
+
+/// Serializes tests that assert on the process-global live-worker
+/// counter, so concurrently running pool tests cannot interfere.
+static COUNTER_LOCK: Mutex<()> = Mutex::new(());
+
+/// A cheap randomized model exercising both RNG-dependent sub-steps.
+#[derive(Clone, Copy)]
+struct Coin;
+
+impl LoadModel for Coin {
+    fn generate(&self, _: ProcId, _: Step, _: usize, rng: &mut SimRng) -> usize {
+        usize::from(rng.chance(0.45))
+    }
+    fn consume(&self, _: ProcId, _: Step, _: usize, rng: &mut SimRng) -> usize {
+        usize::from(rng.chance(0.5))
+    }
+    fn task_weight(&self, _: ProcId, _: Step, rng: &mut SimRng) -> u32 {
+        1 + rng.below(3) as u32
+    }
+}
+
+fn run(n: usize, seed: u64, steps: u64, backend: Backend) -> pcrlb_sim::RunReport {
+    Runner::new(n, seed)
+        .model(Coin)
+        .strategy(pcrlb_sim::Unbalanced)
+        .backend(backend)
+        .probe(MaxLoadProbe::new())
+        .probe(SojournTailProbe::new())
+        .run(steps)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The pool reproduces the sequential engine's full report for any
+    /// machine size, seed, run length, and worker count — including
+    /// pools wider than the machine.
+    #[test]
+    fn pooled_report_equals_sequential(
+        n in 1usize..257,
+        seed in any::<u64>(),
+        steps in 1u64..120,
+        threads in 1usize..9,
+    ) {
+        let seq = run(n, seed, steps, Backend::Sequential);
+        let mut pooled = run(n, seed, steps, Backend::Pooled(threads));
+        prop_assert_eq!(pooled.backend, "pooled");
+        pooled.backend = seq.backend; // the only field allowed to differ
+        prop_assert_eq!(seq, pooled);
+    }
+
+    /// The pool and the per-step-spawn threaded backend agree with each
+    /// other too (both reduce to the same sharded kernel).
+    #[test]
+    fn pooled_report_equals_threaded(
+        n in 1usize..257,
+        seed in any::<u64>(),
+        steps in 1u64..120,
+        threads in 1usize..9,
+    ) {
+        let thr = run(n, seed, steps, Backend::Threaded(threads));
+        let mut pooled = run(n, seed, steps, Backend::Pooled(threads));
+        pooled.backend = thr.backend;
+        prop_assert_eq!(thr, pooled);
+    }
+
+    /// Building and dropping a pool of any width leaves zero workers
+    /// behind, run or no run.
+    #[test]
+    fn dropped_pools_leak_no_workers(
+        threads in 1usize..9,
+        steps in 0u64..40,
+    ) {
+        let _serial = COUNTER_LOCK.lock().unwrap();
+        let baseline = live_workers();
+        {
+            let report = run(64, 7, steps.max(1), Backend::Pooled(threads));
+            prop_assert_eq!(report.backend, "pooled");
+            let pool = WorkerPool::new(threads);
+            prop_assert_eq!(live_workers(), baseline + threads);
+            drop(pool);
+        }
+        prop_assert_eq!(live_workers(), baseline);
+    }
+}
+
+/// A probe that panics on a chosen step — models user code blowing up
+/// mid-run while the pool is live.
+struct Bomb(u64);
+
+impl Probe for Bomb {
+    fn name(&self) -> &'static str {
+        "bomb"
+    }
+    fn on_step(&mut self, world: &World) {
+        if world.step() >= self.0 {
+            panic!("bomb probe detonated at step {}", world.step());
+        }
+    }
+    fn finish(self: Box<Self>) -> pcrlb_sim::ProbeOutput {
+        unreachable!("the bomb always detonates before finish")
+    }
+}
+
+#[test]
+fn pool_drop_after_probe_panic_leaves_no_workers() {
+    let _serial = COUNTER_LOCK.lock().unwrap();
+    let baseline = live_workers();
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        Runner::new(64, 3)
+            .model(Coin)
+            .strategy(pcrlb_sim::Unbalanced)
+            .backend(Backend::Pooled(4))
+            .probe(Bomb(3))
+            .run(50)
+    }));
+    assert!(result.is_err(), "bomb probe must abort the run");
+    // Unwinding dropped the engine and its resolved pool backend: every
+    // worker must have been joined on the way out.
+    assert_eq!(live_workers(), baseline);
+}

@@ -1,10 +1,10 @@
 //! Real parallelism, verified: the same balanced run executed (a) on
 //! the sequential backend, (b) on the threaded backend with the
-//! per-processor sub-steps sharded across OS threads, and (c) with the
+//! per-processor sub-steps sharded across OS threads, (c) with the
 //! phase's collision games additionally executed as message-passing
-//! threads — all three bit-identical, because every processor owns its
-//! own RNG stream and the collision game is insensitive to message
-//! arrival order.
+//! threads, and (d) on the persistent worker pool — all bit-identical,
+//! because every processor owns its own RNG stream and the collision
+//! game is insensitive to message arrival order.
 //!
 //! The backend is a runtime value ([`Backend`]) on the [`Runner`], so
 //! all three configurations go through the identical driver code.
@@ -77,6 +77,16 @@ fn main() {
         full_time, full_fp
     );
     assert_eq!(seq_fp, full_fp, "threaded games diverged!");
+
+    // (d) Persistent worker pool: same sharded kernel, but the workers
+    // are spawned once for the whole run instead of once per step.
+    let (pool_time, pooled) = run(Backend::Pooled(threads), BalancerConfig::paper(n));
+    let pool_fp = fingerprint(&pooled);
+    println!(
+        "pooled backend   ({threads:>2} workers)  {:>8.2?}  fingerprint {:?}",
+        pool_time, pool_fp
+    );
+    assert_eq!(seq_fp, pool_fp, "pooled backend diverged!");
 
     println!();
     println!("identical fingerprints: the parallel executions reproduce the");

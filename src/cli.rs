@@ -5,7 +5,7 @@
 
 use crate::baselines::{DChoiceAllocation, LauerAverage, LulingMonien, RandomSeeking, RsuEqualize};
 use crate::core::{BalancerConfig, Geometric, Multi, ScatterBalancer, Single, ThresholdBalancer};
-use crate::sim::{LoadModel, MaxLoadProbe, Runner, Strategy, Unbalanced};
+use crate::sim::{Backend, LoadModel, MaxLoadProbe, Runner, Strategy, Unbalanced};
 use std::fmt;
 
 /// Which balancing strategy to run.
@@ -79,6 +79,10 @@ pub struct RunSpec {
     pub strategy: StrategyKind,
     /// Generation model.
     pub model: ModelKind,
+    /// Worker threads for the engine's per-processor sub-steps: 0 or 1
+    /// run sequentially, more use a persistent worker pool. The report
+    /// is bit-identical for every value.
+    pub threads: usize,
 }
 
 impl Default for RunSpec {
@@ -89,6 +93,7 @@ impl Default for RunSpec {
             seed: 1998,
             strategy: StrategyKind::Threshold,
             model: ModelKind::Single { p: 0.4, q: 0.5 },
+            threads: 1,
         }
     }
 }
@@ -117,6 +122,8 @@ pub fn usage() -> String {
            --seed N         master seed (default 1998)\n\
            --strategy S     one of: {}\n\
            --model M        single[:p,q] | geometric[:k] | multi\n\
+           --threads N      worker threads (default 1 = sequential;\n\
+                            >1 uses a persistent pool, same results)\n\
            --help           show this text\n",
         strategies.join(", ")
     )
@@ -160,6 +167,11 @@ pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Option<RunSpec>,
             "--model" => {
                 let v = value("--model")?;
                 spec.model = parse_model(&v)?;
+            }
+            "--threads" => {
+                spec.threads = value("--threads")?
+                    .parse()
+                    .map_err(|_| ParseError("--threads must be an integer".into()))?;
             }
             other => return Err(ParseError(format!("unknown option '{other}'"))),
         }
@@ -239,9 +251,15 @@ impl fmt::Display for RunReport {
 }
 
 fn run_with<M: LoadModel + Sync, S: Strategy>(spec: &RunSpec, model: M, strategy: S) -> RunReport {
+    let backend = if spec.threads > 1 {
+        Backend::Pooled(spec.threads)
+    } else {
+        Backend::Sequential
+    };
     let report = Runner::new(spec.n, spec.seed)
         .model(model)
         .strategy(strategy)
+        .backend(backend)
         .probe(MaxLoadProbe::new())
         .run(spec.steps);
     RunReport {
@@ -363,6 +381,36 @@ mod tests {
     }
 
     #[test]
+    fn threads_flag_parses_and_defaults_to_one() {
+        assert_eq!(parse(args("")).unwrap().unwrap().threads, 1);
+        assert_eq!(parse(args("--threads 4")).unwrap().unwrap().threads, 4);
+        assert!(parse(args("--threads four"))
+            .unwrap_err()
+            .0
+            .contains("integer"));
+    }
+
+    #[test]
+    fn threads_do_not_change_the_report() {
+        // The printed report must be independent of --threads: the pool
+        // backend is bit-identical to the sequential engine.
+        let base = RunSpec {
+            n: 64,
+            steps: 200,
+            seed: 5,
+            ..RunSpec::default()
+        };
+        let sequential = execute(&base);
+        for threads in [2, 4] {
+            let spec = RunSpec {
+                threads,
+                ..base.clone()
+            };
+            assert_eq!(execute(&spec), sequential, "threads={threads}");
+        }
+    }
+
+    #[test]
     fn every_strategy_executes() {
         for (name, kind) in StrategyKind::ALL {
             let spec = RunSpec {
@@ -371,6 +419,7 @@ mod tests {
                 seed: 3,
                 strategy: kind,
                 model: ModelKind::Single { p: 0.4, q: 0.5 },
+                threads: 1,
             };
             let report = execute(&spec);
             assert!(report.completed > 0, "strategy {name} completed no tasks");

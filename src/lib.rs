@@ -66,6 +66,6 @@ pub mod prelude {
     pub use pcrlb_sim::{
         Backend, Engine, LoadModel, LoadSnapshotProbe, MaxLoadProbe, MessageRateProbe, PhaseProbe,
         Probe, ProbeOutput, ProcId, RecoveryProbe, RunReport, Runner, SeriesProbe, SimRng,
-        SojournTailProbe, Step, Strategy, Task, TraceProbe, Unbalanced, World,
+        SojournTailProbe, Step, Strategy, Task, TraceProbe, Unbalanced, WorkerPool, World,
     };
 }

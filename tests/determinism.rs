@@ -1,7 +1,8 @@
 //! Cross-crate determinism guarantees: seeds fully determine runs, the
-//! threaded backend reproduces the sequential backend bit-for-bit (for
-//! every load model, with and without the work-conserving wrapper), and
-//! the threaded collision game matches the simulated one.
+//! threaded and pooled backends reproduce the sequential backend
+//! bit-for-bit (for every load model, with and without the
+//! work-conserving wrapper), and the threaded collision game matches
+//! the simulated one.
 
 use pcrlb::collision::{play_game, play_game_threaded, CollisionParams};
 use pcrlb::core::{Burst, Geometric, Multi, WorkConserving};
@@ -103,6 +104,11 @@ where
         assert_eq!(thr.backend, "threaded");
         thr.backend = seq.backend; // the only field allowed to differ
         assert_eq!(seq, thr, "threads={threads}");
+
+        let mut pooled = run(Backend::Pooled(threads));
+        assert_eq!(pooled.backend, "pooled");
+        pooled.backend = seq.backend;
+        assert_eq!(seq, pooled, "pool threads={threads}");
     }
 }
 
@@ -141,6 +147,9 @@ fn runner_reports_identical_across_backends_work_conserving() {
     let mut thr = run(Backend::Threaded(3));
     thr.backend = seq.backend;
     assert_eq!(seq, thr);
+    let mut pooled = run(Backend::Pooled(3));
+    pooled.backend = seq.backend;
+    assert_eq!(seq, pooled);
 }
 
 #[test]
@@ -178,6 +187,23 @@ fn fully_parallel_stack_matches_sequential() {
             "threads={threads}"
         );
         assert_eq!(seq.world().messages(), par.world().messages());
+
+        // Same stack on the persistent pool backend (sharded games run
+        // on the balancer's own lazily created pool).
+        let mut pooled = Engine::pooled(
+            n,
+            9,
+            Single::default_paper(),
+            ThresholdBalancer::new(make_cfg(threads)),
+            threads,
+        );
+        pooled.run(steps);
+        assert_eq!(
+            seq.world().loads(),
+            pooled.world().loads(),
+            "pool threads={threads}"
+        );
+        assert_eq!(seq.world().messages(), pooled.world().messages());
     }
 }
 

@@ -1,0 +1,111 @@
+//! Worker-pool lifecycle soak: repeatedly building, running, and
+//! dropping pool-backed runners must return the process to its
+//! baseline thread count — no leaked workers, no unbounded thread
+//! growth, even when a run aborts by panic.
+//!
+//! Thread hygiene is observed two ways: the pool's own
+//! [`live_workers`] accounting, and the kernel's view via
+//! `/proc/self/status` (on Linux; skipped silently elsewhere), so an
+//! accounting bug cannot hide a real leak.
+
+use pcrlb::prelude::*;
+use pcrlb::sim::live_workers;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Mutex;
+
+/// Serializes the soak tests: both assert on process-global thread
+/// counts and would race if the harness interleaved them.
+static SERIAL: Mutex<()> = Mutex::new(());
+
+/// Threads of this process as the kernel counts them, or `None` when
+/// `/proc` is unavailable.
+fn os_thread_count() -> Option<usize> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    status
+        .lines()
+        .find_map(|l| l.strip_prefix("Threads:"))
+        .and_then(|v| v.trim().parse().ok())
+}
+
+fn short_pooled_run(seed: u64, threads: usize) -> RunReport {
+    Runner::new(64, seed)
+        .model(Single::default_paper())
+        .strategy(ThresholdBalancer::paper(64))
+        .backend(Backend::Pooled(threads))
+        .probe(MaxLoadProbe::new())
+        .run(25)
+}
+
+#[test]
+fn hundred_runner_lifecycles_return_to_baseline() {
+    let _serial = SERIAL.lock().unwrap();
+    let worker_baseline = live_workers();
+    let os_baseline = os_thread_count();
+
+    let mut reference = None;
+    for i in 0..100u64 {
+        let report = short_pooled_run(42, 1 + (i as usize % 4));
+        // While we are here: every lifecycle must also compute the
+        // same (seed-determined) result regardless of pool width.
+        let r = (report.total_load, report.completions.count);
+        match &reference {
+            None => reference = Some(r),
+            Some(expected) => assert_eq!(&r, expected, "iteration {i}"),
+        }
+        assert_eq!(
+            live_workers(),
+            worker_baseline,
+            "iteration {i} leaked workers"
+        );
+    }
+
+    if let (Some(before), Some(after)) = (os_baseline, os_thread_count()) {
+        assert_eq!(
+            after, before,
+            "process thread count grew across 100 pool lifecycles"
+        );
+    }
+}
+
+#[test]
+fn panicking_runs_do_not_leak_workers() {
+    let _serial = SERIAL.lock().unwrap();
+    let worker_baseline = live_workers();
+    let os_baseline = os_thread_count();
+
+    struct Bomb;
+    impl pcrlb::sim::Probe for Bomb {
+        fn name(&self) -> &'static str {
+            "bomb"
+        }
+        fn on_step(&mut self, world: &pcrlb::sim::World) {
+            if world.step() >= 3 {
+                panic!("boom");
+            }
+        }
+        fn finish(self: Box<Self>) -> ProbeOutput {
+            unreachable!("the bomb always detonates before finish")
+        }
+    }
+
+    for i in 0..20u64 {
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            Runner::new(64, i)
+                .model(Single::default_paper())
+                .strategy(Unbalanced)
+                .backend(Backend::Pooled(4))
+                .probe(Bomb)
+                .run(50)
+        }));
+        assert!(result.is_err(), "iteration {i}: bomb must abort the run");
+        assert_eq!(
+            live_workers(),
+            worker_baseline,
+            "iteration {i} leaked workers after panic"
+        );
+    }
+
+    if let (Some(before), Some(after)) = (os_baseline, os_thread_count()) {
+        assert_eq!(after, before, "panicking runs leaked OS threads");
+    }
+}
