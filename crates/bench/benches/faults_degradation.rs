@@ -1,0 +1,62 @@
+//! Criterion bench: simulation throughput under increasing message
+//! loss. The fault layer is a pure hash per message, so the headline
+//! number to watch is the 0%-loss row — a reliable run must cost the
+//! same as before the fault subsystem existed (the model is never even
+//! consulted) — while the lossy rows price the retry/backoff overhead
+//! the self-healing protocol pays.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use pcrlb_core::{BalancerConfig, Single, ThresholdBalancer};
+use pcrlb_sim::{FaultConfig, Runner};
+
+const STEPS: u64 = 64;
+
+fn bench_loss_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("faults_degradation");
+    let n = 1usize << 12;
+    group.throughput(Throughput::Elements(n as u64 * STEPS));
+    for loss in [0.0, 0.01, 0.05, 0.10] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("loss_{loss}")),
+            &loss,
+            |b, &loss| {
+                b.iter(|| {
+                    let mut runner = Runner::new(n, 1).model(Single::default_paper()).strategy(
+                        ThresholdBalancer::new(BalancerConfig::paper(n).with_retry_backoff(8)),
+                    );
+                    if loss > 0.0 {
+                        runner = runner.faults(FaultConfig::reliable().with_loss(loss));
+                    }
+                    runner.run(STEPS).total_load
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_crash_churn(c: &mut Criterion) {
+    let mut group = c.benchmark_group("faults_crash_churn");
+    let n = 1usize << 12;
+    group.throughput(Throughput::Elements(n as u64 * STEPS));
+    for rate in [0.01, 0.05] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("crash_{rate}")),
+            &rate,
+            |b, &rate| {
+                b.iter(|| {
+                    Runner::new(n, 1)
+                        .model(Single::default_paper())
+                        .strategy(ThresholdBalancer::paper(n))
+                        .faults(FaultConfig::reliable().with_crashes(rate, 32))
+                        .run(STEPS)
+                        .total_load
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_loss_sweep, bench_crash_churn);
+criterion_main!(benches);

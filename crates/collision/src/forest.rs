@@ -14,10 +14,37 @@
 //! simultaneously, one collision game per tree level, exactly as the
 //! algorithm interleaves them.
 
-use crate::game::{play_game, GameOutcome};
+use crate::game::{play_game, play_game_faulty, GameOutcome};
 use crate::params::CollisionParams;
-use crate::threaded::{play_game_pooled, play_game_threaded};
+use crate::threaded::{
+    play_game_pooled, play_game_pooled_faulty, play_game_threaded, play_game_threaded_faulty,
+};
+use pcrlb_faults::{FaultModel, GameFaults, MsgKind};
 use pcrlb_sim::{ProcId, SimRng, WorkerPool};
+
+/// Fault context for one phase's search: the model plus a mutable
+/// per-game nonce. Each tree level plays one collision game and
+/// consumes one nonce, so re-sends of the same `(request, query)`
+/// coordinates in different games (or phases) fail independently. The
+/// balancer owns the counter and passes it back in every phase.
+pub struct SearchFaults<'a> {
+    model: &'a dyn FaultModel,
+    nonce: &'a mut u64,
+}
+
+impl<'a> SearchFaults<'a> {
+    /// Binds a fault model to the caller's game-nonce counter.
+    pub fn new(model: &'a dyn FaultModel, nonce: &'a mut u64) -> Self {
+        SearchFaults { model, nonce }
+    }
+
+    /// Takes the next game nonce, advancing the counter.
+    fn next_game(&mut self) -> GameFaults<'a> {
+        let gf = GameFaults::new(self.model, *self.nonce);
+        *self.nonce += 1;
+        gf
+    }
+}
 
 /// How each level's collision game is executed.
 enum GameExec<'a> {
@@ -59,6 +86,15 @@ pub struct SearchStats {
     pub sibling_checks: u64,
     /// Simulated steps consumed by the collision games.
     pub steps: u64,
+    /// Collision-game rounds executed over all levels (each costs
+    /// `a·c` steps whether or not it made progress — Lemma 8 charges
+    /// them all).
+    pub rounds: u32,
+    /// Executed rounds that delivered no accept to any request.
+    pub wasted_rounds: u32,
+    /// Messages (queries, accepts, and id messages) lost in flight.
+    /// Lost messages are still counted under their send counters.
+    pub dropped: u64,
 }
 
 /// Outcome of one phase's partner search.
@@ -153,7 +189,41 @@ impl BalanceForest {
         max_depth: u32,
         rng: &mut SimRng,
     ) -> SearchOutcome {
-        self.search_impl(heavy, light, params, max_depth, rng, GameExec::Sequential)
+        self.search_impl(
+            heavy,
+            light,
+            params,
+            max_depth,
+            rng,
+            GameExec::Sequential,
+            None,
+        )
+    }
+
+    /// Like [`BalanceForest::search`], over an unreliable network:
+    /// every level's collision game runs its messages past the fault
+    /// model, and the id message a reserved partner sends to its boss
+    /// may itself be lost — the partner stays reserved for the phase
+    /// but the root never learns of it and keeps (or retries) its
+    /// search. Deterministic in `(rng state, fault model, nonce)`.
+    pub fn search_faulty(
+        &mut self,
+        heavy: &[ProcId],
+        light: &[ProcId],
+        params: &CollisionParams,
+        max_depth: u32,
+        rng: &mut SimRng,
+        faults: SearchFaults<'_>,
+    ) -> SearchOutcome {
+        self.search_impl(
+            heavy,
+            light,
+            params,
+            max_depth,
+            rng,
+            GameExec::Sequential,
+            Some(faults),
+        )
     }
 
     /// Like [`BalanceForest::search`], but each level's collision game
@@ -175,7 +245,29 @@ impl BalanceForest {
         } else {
             GameExec::Sequential
         };
-        self.search_impl(heavy, light, params, max_depth, rng, exec)
+        self.search_impl(heavy, light, params, max_depth, rng, exec, None)
+    }
+
+    /// Faulty variant of [`BalanceForest::search_threaded`];
+    /// bit-identical to [`BalanceForest::search_faulty`] for the same
+    /// inputs.
+    #[allow(clippy::too_many_arguments)]
+    pub fn search_threaded_faulty(
+        &mut self,
+        heavy: &[ProcId],
+        light: &[ProcId],
+        params: &CollisionParams,
+        max_depth: u32,
+        rng: &mut SimRng,
+        shards: usize,
+        faults: SearchFaults<'_>,
+    ) -> SearchOutcome {
+        let exec = if shards > 1 {
+            GameExec::Scoped(shards)
+        } else {
+            GameExec::Sequential
+        };
+        self.search_impl(heavy, light, params, max_depth, rng, exec, Some(faults))
     }
 
     /// Like [`BalanceForest::search_threaded`], but each level's
@@ -193,9 +285,43 @@ impl BalanceForest {
         rng: &mut SimRng,
         pool: &WorkerPool,
     ) -> SearchOutcome {
-        self.search_impl(heavy, light, params, max_depth, rng, GameExec::Pooled(pool))
+        self.search_impl(
+            heavy,
+            light,
+            params,
+            max_depth,
+            rng,
+            GameExec::Pooled(pool),
+            None,
+        )
     }
 
+    /// Faulty variant of [`BalanceForest::search_pooled`];
+    /// bit-identical to [`BalanceForest::search_faulty`] for the same
+    /// inputs.
+    #[allow(clippy::too_many_arguments)]
+    pub fn search_pooled_faulty(
+        &mut self,
+        heavy: &[ProcId],
+        light: &[ProcId],
+        params: &CollisionParams,
+        max_depth: u32,
+        rng: &mut SimRng,
+        pool: &WorkerPool,
+        faults: SearchFaults<'_>,
+    ) -> SearchOutcome {
+        self.search_impl(
+            heavy,
+            light,
+            params,
+            max_depth,
+            rng,
+            GameExec::Pooled(pool),
+            Some(faults),
+        )
+    }
+
+    #[allow(clippy::too_many_arguments)]
     fn search_impl(
         &mut self,
         heavy: &[ProcId],
@@ -204,6 +330,7 @@ impl BalanceForest {
         max_depth: u32,
         rng: &mut SimRng,
         exec: GameExec<'_>,
+        mut faults: Option<SearchFaults<'_>>,
     ) -> SearchOutcome {
         debug_assert!(heavy.iter().all(|&p| p < self.n));
         debug_assert!(light.iter().all(|&p| p < self.n));
@@ -240,18 +367,33 @@ impl BalanceForest {
             // One collision game over all current searchers, across all
             // trees at once — the paper applies the protocol "globally,
             // that is, seen over all requesting processors".
-            let outcome: GameOutcome = match exec {
-                GameExec::Sequential => play_game(self.n, &searchers, params, rng),
-                GameExec::Scoped(shards) => {
-                    play_game_threaded(self.n, &searchers, params, rng, shards)
+            let game_faults = faults.as_mut().map(|f| f.next_game());
+            let outcome: GameOutcome = match (&exec, game_faults) {
+                (GameExec::Sequential, None) => play_game(self.n, &searchers, params, rng),
+                (GameExec::Sequential, Some(gf)) => {
+                    play_game_faulty(self.n, &searchers, params, rng, gf)
                 }
-                GameExec::Pooled(pool) => play_game_pooled(self.n, &searchers, params, rng, pool),
+                (GameExec::Scoped(shards), None) => {
+                    play_game_threaded(self.n, &searchers, params, rng, *shards)
+                }
+                (GameExec::Scoped(shards), Some(gf)) => {
+                    play_game_threaded_faulty(self.n, &searchers, params, rng, *shards, gf)
+                }
+                (GameExec::Pooled(pool), None) => {
+                    play_game_pooled(self.n, &searchers, params, rng, pool)
+                }
+                (GameExec::Pooled(pool), Some(gf)) => {
+                    play_game_pooled_faulty(self.n, &searchers, params, rng, pool, gf)
+                }
             };
             stats.levels += 1;
             stats.requests += searchers.len() as u64;
             stats.queries += outcome.queries_sent;
             stats.accepts += outcome.accepts_sent;
             stats.steps += outcome.steps;
+            stats.rounds += outcome.rounds_used;
+            stats.wasted_rounds += outcome.wasted_rounds;
+            stats.dropped += outcome.queries_dropped + outcome.accepts_dropped;
 
             next_searchers.clear();
             for (si, &s) in searchers.iter().enumerate() {
@@ -279,14 +421,24 @@ impl BalanceForest {
                 let children = &accepted[..params.b];
 
                 // First pass: applicative children reserve themselves
-                // and message the boss.
+                // and message the boss. The id message travels over
+                // the (possibly faulty) network: if it is lost, the
+                // child stays reserved for this phase but the boss
+                // never learns of the match — the sibling may still
+                // try, and the root otherwise retries next phase.
                 let mut found_partner = false;
-                for &ch in children {
+                for (slot, &ch) in children.iter().enumerate() {
                     if self.applicative[ch] && !found_partner {
                         self.applicative[ch] = false;
                         self.engaged[ch] = true;
                         self.touched.push(ch);
                         stats.id_messages += 1;
+                        if let Some(gf) = game_faults {
+                            if gf.dropped(level, si as u32, slot as u32, MsgKind::IdMessage) {
+                                stats.dropped += 1;
+                                continue;
+                            }
+                        }
                         matches.push(Match {
                             heavy: boss as ProcId,
                             light: ch,
@@ -517,6 +669,119 @@ mod tests {
             assert_eq!(out.unmatched, base.unmatched);
             assert_eq!(out.stats, base.stats);
         }
+    }
+
+    #[test]
+    fn reliable_faulty_search_matches_plain_search() {
+        use pcrlb_faults::Reliable;
+        let n = 512;
+        let heavy = ids(0..16);
+        let light = ids(16..n);
+        let params = CollisionParams::lemma1();
+        let mut f1 = BalanceForest::new(n);
+        let base = f1.search(&heavy, &light, &params, 4, &mut SimRng::new(21));
+        let mut f2 = BalanceForest::new(n);
+        let mut nonce = 0u64;
+        let out = f2.search_faulty(
+            &heavy,
+            &light,
+            &params,
+            4,
+            &mut SimRng::new(21),
+            SearchFaults::new(&Reliable, &mut nonce),
+        );
+        assert_eq!(out.matches, base.matches);
+        assert_eq!(out.unmatched, base.unmatched);
+        assert_eq!(out.stats, base.stats);
+        assert_eq!(nonce as u32, out.stats.levels, "one nonce per level game");
+    }
+
+    #[test]
+    fn faulty_search_is_deterministic_and_backend_independent() {
+        use pcrlb_faults::Bernoulli;
+        let n = 1024;
+        let heavy = ids(0..24);
+        let light = ids(24..n);
+        let params = CollisionParams::lemma1();
+        let loss = Bernoulli::new(17, 0.2);
+        let run_seq = || {
+            let mut f = BalanceForest::new(n);
+            let mut nonce = 5u64;
+            f.search_faulty(
+                &heavy,
+                &light,
+                &params,
+                4,
+                &mut SimRng::new(8),
+                SearchFaults::new(&loss, &mut nonce),
+            )
+        };
+        let base = run_seq();
+        let again = run_seq();
+        assert_eq!(base.matches, again.matches);
+        assert_eq!(base.stats, again.stats);
+        for shards in [2usize, 4] {
+            let mut f = BalanceForest::new(n);
+            let mut nonce = 5u64;
+            let out = f.search_threaded_faulty(
+                &heavy,
+                &light,
+                &params,
+                4,
+                &mut SimRng::new(8),
+                shards,
+                SearchFaults::new(&loss, &mut nonce),
+            );
+            assert_eq!(out.matches, base.matches, "shards={shards}");
+            assert_eq!(out.stats, base.stats);
+        }
+        let pool = WorkerPool::new(4);
+        let mut f = BalanceForest::new(n);
+        let mut nonce = 5u64;
+        let out = f.search_pooled_faulty(
+            &heavy,
+            &light,
+            &params,
+            4,
+            &mut SimRng::new(8),
+            &pool,
+            SearchFaults::new(&loss, &mut nonce),
+        );
+        assert_eq!(out.matches, base.matches);
+        assert_eq!(out.stats, base.stats);
+    }
+
+    #[test]
+    fn lossy_search_still_pairs_and_counts_drops() {
+        use pcrlb_faults::Bernoulli;
+        // 20% loss with abundant lights: most roots should still find a
+        // partner within the depth budget, and drops must be counted.
+        let n = 2048;
+        let heavy = ids(0..16);
+        let light = ids(16..n);
+        let params = CollisionParams::lemma1();
+        let loss = Bernoulli::new(3, 0.2);
+        let mut matched = 0usize;
+        let mut dropped = 0u64;
+        let mut nonce = 0u64;
+        for seed in 0..10 {
+            let mut f = BalanceForest::new(n);
+            let out = f.search_faulty(
+                &heavy,
+                &light,
+                &params,
+                5,
+                &mut SimRng::new(seed),
+                SearchFaults::new(&loss, &mut nonce),
+            );
+            matched += out.matches.len();
+            dropped += out.stats.dropped;
+        }
+        assert!(dropped > 0, "20% loss must drop messages");
+        assert!(
+            matched >= 16 * 10 * 8 / 10,
+            "most roots should still match under 20% loss, got {matched}/160"
+        );
     }
 
     #[test]

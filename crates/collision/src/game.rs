@@ -17,6 +17,7 @@
 //! most one query" guarantee Lemma 1 needs.
 
 use crate::params::CollisionParams;
+use pcrlb_faults::{GameFaults, MsgKind};
 use pcrlb_sim::{ProcId, SimRng};
 use std::collections::HashMap;
 
@@ -37,6 +38,20 @@ pub struct GameOutcome {
     pub accepts_sent: u64,
     /// Simulated steps consumed: `a·c` per executed round.
     pub steps: u64,
+    /// Query messages lost in flight (also counted in `queries_sent` —
+    /// the sender paid for them).
+    pub queries_dropped: u64,
+    /// Accept messages lost in flight (also counted in `accepts_sent`).
+    /// A lost accept *burns* the target's collision capacity: the
+    /// target believes it answered, so with `c = 1` it never answers
+    /// that query again and the requester must succeed via its other
+    /// targets or retry with fresh choices next phase.
+    pub accepts_dropped: u64,
+    /// Executed rounds in which no request received an accept — rounds
+    /// the protocol paid for (in steps and re-sent queries) without
+    /// making progress. Nonzero under contention even with reliable
+    /// messaging; grows with the loss rate.
+    pub wasted_rounds: u32,
 }
 
 impl GameOutcome {
@@ -57,6 +72,10 @@ struct Request {
     targets: Vec<ProcId>,
     /// Which targets have accepted.
     accepted_mask: Vec<bool>,
+    /// Earliest round each query may be (re)sent. While a delayed copy
+    /// is in flight this sits past its arrival round, so at most one
+    /// copy of a given `(request, query)` pair exists in the system.
+    next_send: Vec<u32>,
     accepts: usize,
     done: bool,
 }
@@ -82,6 +101,40 @@ pub fn play_game(
     params: &CollisionParams,
     rng: &mut SimRng,
 ) -> GameOutcome {
+    play_game_impl(n, requesters, params, rng, None)
+}
+
+/// Plays one collision game over an unreliable network.
+///
+/// Identical to [`play_game`] except that every query and accept
+/// message is run past `faults` before delivery: dropped queries are
+/// re-sent the next round (the requester notices the missing answer),
+/// dropped accepts burn the target's capacity (see
+/// [`GameOutcome::accepts_dropped`]), and delayed messages arrive the
+/// given number of rounds late. All fault decisions are pure functions
+/// of the message coordinates, so the outcome is deterministic in
+/// `(seed, fault seed, nonce)` and bit-identical across the
+/// sequential and threaded implementations.
+///
+/// # Panics
+/// Panics under the same conditions as [`play_game`].
+pub fn play_game_faulty(
+    n: usize,
+    requesters: &[ProcId],
+    params: &CollisionParams,
+    rng: &mut SimRng,
+    faults: GameFaults<'_>,
+) -> GameOutcome {
+    play_game_impl(n, requesters, params, rng, Some(faults))
+}
+
+fn play_game_impl(
+    n: usize,
+    requesters: &[ProcId],
+    params: &CollisionParams,
+    rng: &mut SimRng,
+    faults: Option<GameFaults<'_>>,
+) -> GameOutcome {
     params.validate().expect("invalid collision parameters");
     assert!(
         n > params.a,
@@ -92,6 +145,9 @@ pub fn play_game(
     let max_rounds = params.rounds(n);
     let mut queries_sent = 0u64;
     let mut accepts_sent = 0u64;
+    let mut queries_dropped = 0u64;
+    let mut accepts_dropped = 0u64;
+    let mut wasted_rounds = 0u32;
 
     // Sample each request's `a` targets up front.
     let mut scratch = Vec::with_capacity(params.a + 1);
@@ -109,6 +165,7 @@ pub fn play_game(
                 .collect();
             Request {
                 accepted_mask: vec![false; targets.len()],
+                next_send: vec![0; targets.len()],
                 targets,
                 accepts: 0,
                 done: false,
@@ -121,21 +178,44 @@ pub fn play_game(
     let mut accepted_by: HashMap<ProcId, usize> = HashMap::new();
     // Per-round incoming query lists: target -> [(request idx, query idx)].
     let mut inbox: HashMap<ProcId, Vec<(usize, usize)>> = HashMap::new();
+    // Messages in flight past their send round (faulty runs only):
+    // (arrival round, request, query[, target]).
+    let mut delayed_queries: Vec<(u32, usize, usize, ProcId)> = Vec::new();
+    let mut delayed_accepts: Vec<(u32, usize, usize)> = Vec::new();
 
     let mut rounds_used = 0u32;
-    for _ in 0..max_rounds {
-        // Step 1: open requests re-send their unaccepted queries.
+    for round in 0..max_rounds {
+        // Step 1: open requests re-send their unaccepted queries whose
+        // send gate has come.
         inbox.clear();
         let mut any_open = false;
-        for (ri, req) in requests.iter().enumerate() {
+        for (ri, req) in requests.iter_mut().enumerate() {
             if req.done {
                 continue;
             }
             any_open = true;
             for (qi, &t) in req.targets.iter().enumerate() {
-                if !req.accepted_mask[qi] {
-                    queries_sent += 1;
+                if req.accepted_mask[qi] || req.next_send[qi] > round {
+                    continue;
+                }
+                queries_sent += 1;
+                let Some(f) = faults else {
+                    req.next_send[qi] = round + 1;
                     inbox.entry(t).or_default().push((ri, qi));
+                    continue;
+                };
+                if f.dropped(round, ri as u32, qi as u32, MsgKind::Query) {
+                    queries_dropped += 1;
+                    req.next_send[qi] = round + 1;
+                    continue;
+                }
+                let d = f.delay(round, ri as u32, qi as u32, MsgKind::Query);
+                if d == 0 {
+                    req.next_send[qi] = round + 1;
+                    inbox.entry(t).or_default().push((ri, qi));
+                } else {
+                    req.next_send[qi] = round + d + 1;
+                    delayed_queries.push((round + d, ri, qi, t));
                 }
             }
         }
@@ -144,7 +224,19 @@ pub fn play_game(
         }
         rounds_used += 1;
 
+        // Delayed queries arriving this round join the inbox.
+        let mut i = 0;
+        while i < delayed_queries.len() {
+            if delayed_queries[i].0 <= round {
+                let (_, ri, qi, t) = delayed_queries.swap_remove(i);
+                inbox.entry(t).or_default().push((ri, qi));
+            } else {
+                i += 1;
+            }
+        }
+
         // Step 2: targets accept all-or-none within the collision value.
+        let mut delivered = 0u64;
         for (&target, queries) in inbox.iter() {
             let already = accepted_by.get(&target).copied().unwrap_or(0);
             if already >= params.c || already + queries.len() > params.c {
@@ -152,11 +244,45 @@ pub fn play_game(
             }
             *accepted_by.entry(target).or_insert(0) += queries.len();
             for &(ri, qi) in queries {
-                let req = &mut requests[ri];
-                req.accepted_mask[qi] = true;
-                req.accepts += 1;
                 accepts_sent += 1;
+                let mut arrival = round;
+                if let Some(f) = faults {
+                    if f.dropped(round, ri as u32, qi as u32, MsgKind::Accept) {
+                        accepts_dropped += 1;
+                        continue;
+                    }
+                    arrival += f.delay(round, ri as u32, qi as u32, MsgKind::Accept);
+                }
+                if arrival > round {
+                    delayed_accepts.push((arrival, ri, qi));
+                    continue;
+                }
+                let req = &mut requests[ri];
+                if !req.accepted_mask[qi] {
+                    req.accepted_mask[qi] = true;
+                    req.accepts += 1;
+                    delivered += 1;
+                }
             }
+        }
+
+        // Delayed accepts arriving this round are applied now.
+        let mut i = 0;
+        while i < delayed_accepts.len() {
+            if delayed_accepts[i].0 <= round {
+                let (_, ri, qi) = delayed_accepts.swap_remove(i);
+                let req = &mut requests[ri];
+                if !req.accepted_mask[qi] {
+                    req.accepted_mask[qi] = true;
+                    req.accepts += 1;
+                    delivered += 1;
+                }
+            } else {
+                i += 1;
+            }
+        }
+        if delivered == 0 {
+            wasted_rounds += 1;
         }
 
         // Step 3: satisfied requests leave the game.
@@ -187,6 +313,9 @@ pub fn play_game(
         queries_sent,
         accepts_sent,
         steps: params.steps_per_round() * rounds_used as u64,
+        queries_dropped,
+        accepts_dropped,
+        wasted_rounds,
     }
 }
 
@@ -331,5 +460,98 @@ mod tests {
         let ob = play_game(512, &requesters, &params, &mut b);
         assert_eq!(oa.accepted, ob.accepted);
         assert_eq!(oa.queries_sent, ob.queries_sent);
+    }
+
+    #[test]
+    fn reliable_faults_change_nothing() {
+        use pcrlb_faults::{GameFaults, Reliable};
+        let params = lemma1();
+        let requesters: Vec<ProcId> = (0..20).collect();
+        let mut a = SimRng::new(31);
+        let mut b = SimRng::new(31);
+        let plain = play_game(256, &requesters, &params, &mut a);
+        let faulty = play_game_faulty(
+            256,
+            &requesters,
+            &params,
+            &mut b,
+            GameFaults::new(&Reliable, 9),
+        );
+        assert_eq!(plain.accepted, faulty.accepted);
+        assert_eq!(plain.queries_sent, faulty.queries_sent);
+        assert_eq!(plain.accepts_sent, faulty.accepts_sent);
+        assert_eq!(plain.rounds_used, faulty.rounds_used);
+        assert_eq!(faulty.queries_dropped, 0);
+        assert_eq!(faulty.accepts_dropped, 0);
+        assert_eq!(plain.wasted_rounds, faulty.wasted_rounds);
+    }
+
+    #[test]
+    fn lossy_game_terminates_counts_drops_and_is_deterministic() {
+        use pcrlb_faults::{Bernoulli, GameFaults};
+        let params = lemma1();
+        let n = 1024;
+        let requesters: Vec<ProcId> = (0..64).collect();
+        let loss = Bernoulli::new(5, 0.3);
+        let run = |nonce: u64| {
+            let mut rng = SimRng::new(12);
+            play_game_faulty(
+                n,
+                &requesters,
+                &params,
+                &mut rng,
+                GameFaults::new(&loss, nonce),
+            )
+        };
+        let a = run(0);
+        let b = run(0);
+        assert_eq!(a.accepted, b.accepted, "fault schedule must be pure");
+        assert_eq!(a.queries_dropped, b.queries_dropped);
+        assert!(
+            a.queries_dropped > 0,
+            "30% loss over 64 requests must drop something"
+        );
+        assert!(a.rounds_used <= params.rounds(n));
+        // Different nonce, different fault pattern.
+        let c = run(1);
+        assert_ne!(
+            (a.queries_dropped, a.accepts_dropped),
+            (c.queries_dropped, c.accepts_dropped)
+        );
+    }
+
+    #[test]
+    fn delayed_queries_arrive_and_still_succeed() {
+        use pcrlb_faults::{BoundedDelay, GameFaults};
+        let params = lemma1();
+        // Every message late by 1–2 rounds: an uncontended single
+        // request still succeeds, just slower.
+        let delay = BoundedDelay::new(3, 1.0, 2);
+        let mut rng = SimRng::new(4);
+        let out = play_game_faulty(4096, &[0], &params, &mut rng, GameFaults::new(&delay, 0));
+        assert!(out.success);
+        assert!(out.rounds_used > 1, "delays must cost extra rounds");
+        assert_eq!(out.queries_dropped, 0);
+        // The first round(s) deliver nothing: wasted.
+        assert!(out.wasted_rounds >= 1);
+    }
+
+    #[test]
+    fn total_loss_fails_without_looping() {
+        use pcrlb_faults::{Bernoulli, GameFaults};
+        let params = lemma1();
+        let loss = Bernoulli::new(1, 1.0);
+        let mut rng = SimRng::new(2);
+        let out = play_game_faulty(
+            128,
+            &[0, 1, 2],
+            &params,
+            &mut rng,
+            GameFaults::new(&loss, 0),
+        );
+        assert!(!out.success);
+        assert_eq!(out.rounds_used, params.rounds(128));
+        assert_eq!(out.wasted_rounds, out.rounds_used);
+        assert_eq!(out.queries_dropped, out.queries_sent);
     }
 }

@@ -39,7 +39,10 @@ pub mod game;
 pub mod params;
 pub mod threaded;
 
-pub use forest::{BalanceForest, Match, SearchOutcome, SearchStats};
-pub use game::{play_game, GameOutcome};
+pub use forest::{BalanceForest, Match, SearchFaults, SearchOutcome, SearchStats};
+pub use game::{play_game, play_game_faulty, GameOutcome};
 pub use params::{CollisionParams, ParamError};
-pub use threaded::{play_game_pooled, play_game_threaded, play_game_verified};
+pub use threaded::{
+    play_game_pooled, play_game_pooled_faulty, play_game_threaded, play_game_threaded_faulty,
+    play_game_verified,
+};

@@ -25,18 +25,22 @@
 
 use crate::game::{play_game, GameOutcome};
 use crate::params::CollisionParams;
+use pcrlb_faults::{GameFaults, MsgKind};
 use pcrlb_sim::{ProcId, SimRng, WorkerPool};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::{Barrier, Mutex};
 
-/// A query travelling to the shard that owns `target`.
+/// A query travelling to the shard that owns `target`. `arrival` is
+/// the round the message becomes visible at the target — equal to the
+/// send round unless the fault layer delayed it.
 #[derive(Debug, Clone, Copy)]
 struct QueryMsg {
     request: u32,
     query: u32,
     target: ProcId,
+    arrival: u32,
 }
 
 /// An accept travelling back to the shard that owns request `request`.
@@ -44,11 +48,15 @@ struct QueryMsg {
 struct AcceptMsg {
     request: u32,
     query: u32,
+    arrival: u32,
 }
 
 struct RequestState {
     targets: Vec<ProcId>,
     accepted_mask: Vec<bool>,
+    /// Earliest round each query may be (re)sent — see
+    /// `crate::game::Request::next_send`.
+    next_send: Vec<u32>,
     accepts: usize,
     done: bool,
 }
@@ -88,7 +96,33 @@ pub fn play_game_threaded(
     rng: &mut SimRng,
     shards: usize,
 ) -> GameOutcome {
-    play_game_sharded(n, requesters, params, rng, Exec::Scoped(shards))
+    play_game_sharded(n, requesters, params, rng, Exec::Scoped(shards), None)
+}
+
+/// Like [`play_game_threaded`], over an unreliable network. Because
+/// every fault decision is a pure hash of the message coordinates, the
+/// outcome is bit-identical to the sequential
+/// [`crate::game::play_game_faulty`] for the same seed, fault model,
+/// and nonce — regardless of the shard count.
+///
+/// # Panics
+/// Panics under the same conditions as [`play_game`].
+pub fn play_game_threaded_faulty(
+    n: usize,
+    requesters: &[ProcId],
+    params: &CollisionParams,
+    rng: &mut SimRng,
+    shards: usize,
+    faults: GameFaults<'_>,
+) -> GameOutcome {
+    play_game_sharded(
+        n,
+        requesters,
+        params,
+        rng,
+        Exec::Scoped(shards),
+        Some(faults),
+    )
 }
 
 /// Like [`play_game_threaded`], but the shard bodies run on `pool`'s
@@ -106,7 +140,23 @@ pub fn play_game_pooled(
     rng: &mut SimRng,
     pool: &WorkerPool,
 ) -> GameOutcome {
-    play_game_sharded(n, requesters, params, rng, Exec::Pool(pool))
+    play_game_sharded(n, requesters, params, rng, Exec::Pool(pool), None)
+}
+
+/// Like [`play_game_pooled`], over an unreliable network. See
+/// [`play_game_threaded_faulty`] for the determinism guarantee.
+///
+/// # Panics
+/// Panics under the same conditions as [`play_game`].
+pub fn play_game_pooled_faulty(
+    n: usize,
+    requesters: &[ProcId],
+    params: &CollisionParams,
+    rng: &mut SimRng,
+    pool: &WorkerPool,
+    faults: GameFaults<'_>,
+) -> GameOutcome {
+    play_game_sharded(n, requesters, params, rng, Exec::Pool(pool), Some(faults))
 }
 
 fn play_game_sharded(
@@ -115,6 +165,7 @@ fn play_game_sharded(
     params: &CollisionParams,
     rng: &mut SimRng,
     exec: Exec<'_>,
+    faults: Option<GameFaults<'_>>,
 ) -> GameOutcome {
     params.validate().expect("invalid collision parameters");
     assert!(n > params.a, "need n > a distinct targets");
@@ -132,6 +183,9 @@ fn play_game_sharded(
             queries_sent: 0,
             accepts_sent: 0,
             steps: 0,
+            queries_dropped: 0,
+            accepts_dropped: 0,
+            wasted_rounds: 0,
         };
     }
 
@@ -151,6 +205,7 @@ fn play_game_sharded(
                 .collect();
             RequestState {
                 accepted_mask: vec![false; targets.len()],
+                next_send: vec![0; targets.len()],
                 targets,
                 accepts: 0,
                 done: false,
@@ -175,6 +230,12 @@ fn play_game_sharded(
     let queries_sent = AtomicU64::new(0);
     let accepts_sent = AtomicU64::new(0);
     let rounds_used = AtomicU64::new(0);
+    let queries_dropped = AtomicU64::new(0);
+    let accepts_dropped = AtomicU64::new(0);
+    // Accepts *delivered* per round, across all shards — a round with
+    // zero deliveries is wasted (same accounting as the sequential
+    // game).
+    let accepts_per_round: Vec<AtomicU64> = (0..max_rounds).map(|_| AtomicU64::new(0)).collect();
 
     // Split the request vector into per-shard mutable chunks.
     let mut chunks: Vec<&mut [RequestState]> = Vec::with_capacity(shards);
@@ -219,6 +280,10 @@ fn play_game_sharded(
         // Cumulative accepts for targets owned by this shard.
         let mut accepted_by: HashMap<ProcId, usize> = HashMap::new();
         let mut inbox: HashMap<ProcId, Vec<QueryMsg>> = HashMap::new();
+        // Delayed messages received early, stashed until their arrival
+        // round (faulty runs only).
+        let mut pending_queries: Vec<QueryMsg> = Vec::new();
+        let mut pending_accepts: Vec<AcceptMsg> = Vec::new();
         let base = sid * reqs_per_shard;
 
         for round in 0..max_rounds {
@@ -228,36 +293,67 @@ fn play_game_sharded(
             if sid == 0 {
                 rounds_used.store(round as u64 + 1, Ordering::SeqCst);
             }
-            // Phase 1: (re)send unaccepted queries of open requests.
+            // Phase 1: (re)send unaccepted queries of open requests
+            // whose send gate has come. Dropped queries never enter a
+            // channel; delayed ones carry a later arrival round.
             let mut sent = 0u64;
-            for (local, req) in ctx.chunk.iter().enumerate() {
+            let mut lost = 0u64;
+            for (local, req) in ctx.chunk.iter_mut().enumerate() {
                 if req.done {
                     continue;
                 }
                 let ri = (base + local) as u32;
                 for (qi, &t) in req.targets.iter().enumerate() {
-                    if !req.accepted_mask[qi] {
-                        sent += 1;
-                        ctx.query_txs[owner(t)]
-                            .send(QueryMsg {
-                                request: ri,
-                                query: qi as u32,
-                                target: t,
-                            })
-                            .expect("query channel closed");
+                    if req.accepted_mask[qi] || req.next_send[qi] > round {
+                        continue;
                     }
+                    sent += 1;
+                    let mut arrival = round;
+                    if let Some(f) = faults {
+                        if f.dropped(round, ri, qi as u32, MsgKind::Query) {
+                            lost += 1;
+                            req.next_send[qi] = round + 1;
+                            continue;
+                        }
+                        arrival += f.delay(round, ri, qi as u32, MsgKind::Query);
+                    }
+                    req.next_send[qi] = arrival + 1;
+                    ctx.query_txs[owner(t)]
+                        .send(QueryMsg {
+                            request: ri,
+                            query: qi as u32,
+                            target: t,
+                            arrival,
+                        })
+                        .expect("query channel closed");
                 }
             }
             queries_sent.fetch_add(sent, Ordering::Relaxed);
+            queries_dropped.fetch_add(lost, Ordering::Relaxed);
             barrier.wait(); // all queries of this round delivered
 
             // Phase 2: answer the queries addressed to targets this
-            // shard owns.
+            // shard owns — both fresh arrivals and stashed delayed ones
+            // whose round has come.
             inbox.clear();
             for msg in ctx.query_rx.try_iter() {
-                inbox.entry(msg.target).or_default().push(msg);
+                if msg.arrival > round {
+                    pending_queries.push(msg);
+                } else {
+                    inbox.entry(msg.target).or_default().push(msg);
+                }
+            }
+            let mut i = 0;
+            while i < pending_queries.len() {
+                if pending_queries[i].arrival <= round {
+                    let msg = pending_queries.swap_remove(i);
+                    inbox.entry(msg.target).or_default().push(msg);
+                } else {
+                    i += 1;
+                }
             }
             let mut accepted = 0u64;
+            let mut acc_lost = 0u64;
             for (&target, msgs) in inbox.iter() {
                 let already = accepted_by.get(&target).copied().unwrap_or(0);
                 if already >= params.c || already + msgs.len() > params.c {
@@ -266,25 +362,59 @@ fn play_game_sharded(
                 *accepted_by.entry(target).or_insert(0) += msgs.len();
                 for m in msgs {
                     accepted += 1;
+                    let mut arrival = round;
+                    if let Some(f) = faults {
+                        if f.dropped(round, m.request, m.query, MsgKind::Accept) {
+                            acc_lost += 1;
+                            continue;
+                        }
+                        arrival += f.delay(round, m.request, m.query, MsgKind::Accept);
+                    }
                     ctx.accept_txs[req_owner(m.request as usize)]
                         .send(AcceptMsg {
                             request: m.request,
                             query: m.query,
+                            arrival,
                         })
                         .expect("accept channel closed");
                 }
             }
             accepts_sent.fetch_add(accepted, Ordering::Relaxed);
+            accepts_dropped.fetch_add(acc_lost, Ordering::Relaxed);
             barrier.wait(); // all accepts of this round delivered
 
-            // Phase 3: apply accepts; satisfied requests leave.
-            let mut newly_done = 0usize;
-            for msg in ctx.accept_rx.try_iter() {
+            // Phase 3: apply accepts due this round; satisfied
+            // requests leave.
+            let mut delivered = 0u64;
+            let mut apply = |chunk: &mut [RequestState], msg: AcceptMsg| {
                 let local = msg.request as usize - base;
-                let req = &mut ctx.chunk[local];
-                req.accepted_mask[msg.query as usize] = true;
-                req.accepts += 1;
+                let req = &mut chunk[local];
+                if !req.accepted_mask[msg.query as usize] {
+                    req.accepted_mask[msg.query as usize] = true;
+                    req.accepts += 1;
+                    delivered += 1;
+                }
+            };
+            for msg in ctx.accept_rx.try_iter() {
+                if msg.arrival > round {
+                    pending_accepts.push(msg);
+                } else {
+                    apply(&mut *ctx.chunk, msg);
+                }
             }
+            let mut i = 0;
+            while i < pending_accepts.len() {
+                if pending_accepts[i].arrival <= round {
+                    let msg = pending_accepts.swap_remove(i);
+                    apply(&mut *ctx.chunk, msg);
+                } else {
+                    i += 1;
+                }
+            }
+            if delivered > 0 {
+                accepts_per_round[round as usize].fetch_add(delivered, Ordering::Relaxed);
+            }
+            let mut newly_done = 0usize;
             for req in ctx.chunk.iter_mut() {
                 if !req.done && req.accepts >= params.b {
                     req.done = true;
@@ -320,6 +450,9 @@ fn play_game_sharded(
         .collect();
     let success = requests.iter().all(|r| r.accepts >= params.b);
     let rounds = rounds_used.load(Ordering::SeqCst) as u32;
+    let wasted_rounds = (0..rounds as usize)
+        .filter(|&r| accepts_per_round[r].load(Ordering::Relaxed) == 0)
+        .count() as u32;
 
     GameOutcome {
         accepted,
@@ -328,6 +461,9 @@ fn play_game_sharded(
         queries_sent: queries_sent.load(Ordering::Relaxed),
         accepts_sent: accepts_sent.load(Ordering::Relaxed),
         steps: params.steps_per_round() * rounds as u64,
+        queries_dropped: queries_dropped.load(Ordering::Relaxed),
+        accepts_dropped: accepts_dropped.load(Ordering::Relaxed),
+        wasted_rounds,
     }
 }
 
@@ -423,6 +559,50 @@ mod tests {
         let mut rng = SimRng::new(1);
         let out = play_game_pooled(64, &[], &params, &mut rng, &pool);
         assert!(out.success);
+    }
+
+    #[test]
+    fn faulty_threaded_and_pooled_match_sequential() {
+        use crate::game::play_game_faulty;
+        use pcrlb_faults::{Bernoulli, BoundedDelay, GameFaults};
+        let params = CollisionParams::lemma1();
+        let n = 512;
+        let requesters: Vec<ProcId> = (0..48).collect();
+        let loss = Bernoulli::new(11, 0.15);
+        let delay = BoundedDelay::new(13, 0.2, 2);
+        let models: [&dyn pcrlb_faults::FaultModel; 2] = [&loss, &delay];
+        let pool = WorkerPool::new(4);
+        for (mi, &model) in models.iter().enumerate() {
+            for seed in 0..6 {
+                let gf = GameFaults::new(model, seed * 10 + mi as u64);
+                let mut r = SimRng::new(seed);
+                let seq = play_game_faulty(n, &requesters, &params, &mut r, gf);
+                for shards in [2usize, 4, 7] {
+                    let mut r = SimRng::new(seed);
+                    let par =
+                        play_game_threaded_faulty(n, &requesters, &params, &mut r, shards, gf);
+                    assert_eq!(
+                        seq.accepted, par.accepted,
+                        "model {mi} seed {seed} shards {shards}"
+                    );
+                    assert_eq!(seq.queries_sent, par.queries_sent);
+                    assert_eq!(seq.accepts_sent, par.accepts_sent);
+                    assert_eq!(seq.queries_dropped, par.queries_dropped);
+                    assert_eq!(seq.accepts_dropped, par.accepts_dropped);
+                    assert_eq!(seq.rounds_used, par.rounds_used);
+                    assert_eq!(seq.wasted_rounds, par.wasted_rounds);
+                }
+                let mut r = SimRng::new(seed);
+                let pooled = play_game_pooled_faulty(n, &requesters, &params, &mut r, &pool, gf);
+                assert_eq!(
+                    seq.accepted, pooled.accepted,
+                    "model {mi} seed {seed} pooled"
+                );
+                assert_eq!(seq.queries_dropped, pooled.queries_dropped);
+                assert_eq!(seq.accepts_dropped, pooled.accepts_dropped);
+                assert_eq!(seq.wasted_rounds, pooled.wasted_rounds);
+            }
+        }
     }
 
     #[test]

@@ -14,7 +14,7 @@
 //! Lemma 6 shows failures are rare, and the Main Theorem tolerates them.
 
 use crate::config::BalancerConfig;
-use pcrlb_collision::BalanceForest;
+use pcrlb_collision::{BalanceForest, SearchFaults};
 use pcrlb_sim::{
     Event, MessageKind, MessageStats, ProcId, Step, Strategy, Trace, WorkerPool, World,
 };
@@ -52,6 +52,17 @@ pub struct BalancerStats {
     /// `requests_hist[r]` = heavy roots whose tree sent `r` requests
     /// (last bucket aggregates `>= REQUEST_HIST_CAP - 1`).
     pub requests_hist: Vec<u64>,
+    /// Heavy searches that were retries (the processor had failed in
+    /// an earlier phase). Only grows under
+    /// [`BalancerConfig::retry_backoff`].
+    pub retries_total: u64,
+    /// Transfers skipped because an endpoint was crashed when the
+    /// transfer came due — the heavy side's queue stays frozen until
+    /// the processor recovers and is re-classified.
+    pub transfers_frozen: u64,
+    /// Processors excluded from a phase's classification because the
+    /// fault plan had them crashed at the boundary step.
+    pub crashed_skipped: u64,
 }
 
 impl BalancerStats {
@@ -66,6 +77,9 @@ impl BalancerStats {
             games_played: 0,
             preround_matches: 0,
             requests_hist: vec![0; REQUEST_HIST_CAP],
+            retries_total: 0,
+            transfers_frozen: 0,
+            crashed_skipped: 0,
         }
     }
 
@@ -124,6 +138,14 @@ pub struct ThresholdBalancer {
     // Scratch buffers reused every phase.
     heavy_buf: Vec<ProcId>,
     light_buf: Vec<ProcId>,
+    /// Per-game fault nonce, advanced once per collision game so that
+    /// identical message coordinates in different games (or phases)
+    /// draw independent fault decisions.
+    game_nonce: u64,
+    /// Consecutive failed searches per processor (retry backoff).
+    retry_fails: Vec<u32>,
+    /// First phase at which each processor may search again.
+    retry_next: Vec<u64>,
 }
 
 impl ThresholdBalancer {
@@ -146,6 +168,9 @@ impl ThresholdBalancer {
             trace: None,
             heavy_buf: Vec::new(),
             light_buf: Vec::new(),
+            game_nonce: 0,
+            retry_fails: vec![0; cfg.n],
+            retry_next: vec![0; cfg.n],
             cfg,
         }
     }
@@ -237,18 +262,37 @@ impl ThresholdBalancer {
         let step = world.step();
         let msgs_before: MessageStats = world.messages();
         let n = self.cfg.n;
+        let fault_model = world.active_faults();
+        let mut retries_this_phase = 0u64;
 
         // Classify from the loads at the phase boundary (weighted mode
-        // reads remaining work instead of task counts).
+        // reads remaining work instead of task counts). Crashed
+        // processors take no protocol role this phase: their queues
+        // are frozen by the engine, and re-absorption is implicit —
+        // once recovered they classify (typically heavy) again.
         self.heavy_buf.clear();
         self.light_buf.clear();
         for p in 0..n {
+            if let Some(f) = &fault_model {
+                if f.is_crashed(p, step) {
+                    self.stats.crashed_skipped += 1;
+                    continue;
+                }
+            }
             let load = if self.cfg.weighted {
                 world.weighted_load(p)
             } else {
                 world.load(p) as u64
             };
             if load >= self.cfg.heavy_threshold as u64 {
+                if self.cfg.retry_backoff {
+                    if self.retry_next[p] > self.phase {
+                        continue; // backing off after failed searches
+                    }
+                    if self.retry_fails[p] > 0 {
+                        retries_this_phase += 1;
+                    }
+                }
                 self.heavy_buf.push(p);
                 world.note_heavy(p);
             } else if load <= self.cfg.light_threshold as u64 {
@@ -293,44 +337,79 @@ impl ThresholdBalancer {
         // Partner search via balancing-request trees.
         let mut requests_this_phase = 0u64;
         let mut games_this_phase = 0u64;
+        let mut rounds_this_phase = 0u64;
+        let mut wasted_this_phase = 0u64;
+        let mut dropped_this_phase = 0u64;
         let mut failed = 0usize;
         if !self.heavy_buf.is_empty() {
             let outcome = if self.cfg.game_shards > 1 {
                 let shards = self.cfg.game_shards;
                 let pool = self.pool.get_or_insert_with(|| WorkerPool::new(shards));
-                self.forest.search_pooled(
-                    &self.heavy_buf,
-                    &self.light_buf,
-                    &self.cfg.collision,
-                    self.cfg.tree_depth,
-                    world.rng_global(),
-                    pool,
-                )
+                match &fault_model {
+                    Some(model) => self.forest.search_pooled_faulty(
+                        &self.heavy_buf,
+                        &self.light_buf,
+                        &self.cfg.collision,
+                        self.cfg.tree_depth,
+                        world.rng_global(),
+                        pool,
+                        SearchFaults::new(&**model, &mut self.game_nonce),
+                    ),
+                    None => self.forest.search_pooled(
+                        &self.heavy_buf,
+                        &self.light_buf,
+                        &self.cfg.collision,
+                        self.cfg.tree_depth,
+                        world.rng_global(),
+                        pool,
+                    ),
+                }
             } else {
-                self.forest.search(
-                    &self.heavy_buf,
-                    &self.light_buf,
-                    &self.cfg.collision,
-                    self.cfg.tree_depth,
-                    world.rng_global(),
-                )
+                match &fault_model {
+                    Some(model) => self.forest.search_faulty(
+                        &self.heavy_buf,
+                        &self.light_buf,
+                        &self.cfg.collision,
+                        self.cfg.tree_depth,
+                        world.rng_global(),
+                        SearchFaults::new(&**model, &mut self.game_nonce),
+                    ),
+                    None => self.forest.search(
+                        &self.heavy_buf,
+                        &self.light_buf,
+                        &self.cfg.collision,
+                        self.cfg.tree_depth,
+                        world.rng_global(),
+                    ),
+                }
             };
             let ledger = world.ledger_mut();
             ledger.record(MessageKind::Query, outcome.stats.queries);
             ledger.record(MessageKind::Accept, outcome.stats.accepts);
             ledger.record(MessageKind::IdMessage, outcome.stats.id_messages);
             ledger.record(MessageKind::Probe, outcome.stats.sibling_checks);
+            ledger.record_dropped(outcome.stats.dropped);
 
             self.stats.games_played += outcome.stats.levels as u64;
             self.stats.requests_total += outcome.stats.requests;
             requests_this_phase = outcome.stats.requests;
             games_this_phase = outcome.stats.levels as u64;
+            rounds_this_phase = outcome.stats.rounds as u64;
+            wasted_this_phase = outcome.stats.wasted_rounds as u64;
+            dropped_this_phase = outcome.stats.dropped;
             for &r in &outcome.requests_per_root {
                 let idx = (r as usize).min(REQUEST_HIST_CAP - 1);
                 self.stats.requests_hist[idx] += 1;
             }
             failed = outcome.unmatched.len();
             for &proc in &outcome.unmatched {
+                if self.cfg.retry_backoff {
+                    let fails = self.retry_fails[proc].saturating_add(1);
+                    self.retry_fails[proc] = fails;
+                    let delay =
+                        u64::from((1u32 << (fails - 1).min(31)).min(self.cfg.backoff_cap.max(1)));
+                    self.retry_next[proc] = self.phase + delay;
+                }
                 self.emit(
                     world,
                     Event::SearchFailed {
@@ -340,11 +419,15 @@ impl ThresholdBalancer {
                 );
             }
             for m in outcome.matches {
+                if self.cfg.retry_backoff {
+                    self.retry_fails[m.heavy] = 0;
+                }
                 all_matches.push((m.heavy, m.light, m.level));
             }
         }
         self.stats.matched_total += all_matches.len() as u64;
         self.stats.failed_total += failed as u64;
+        self.stats.retries_total += retries_this_phase;
 
         // Execute (or schedule) the transfers.
         let game_steps = self.cfg.collision.steps_per_game(n);
@@ -371,6 +454,10 @@ impl ThresholdBalancer {
                     due,
                 });
             } else {
+                if self.endpoints_crashed(world, h, l) {
+                    self.stats.transfers_frozen += 1;
+                    continue;
+                }
                 let moved = self.do_transfer(world, h, l);
                 self.emit(
                     world,
@@ -396,6 +483,10 @@ impl ThresholdBalancer {
                 requests: requests_this_phase,
                 games: games_this_phase,
                 messages: window.control_total(),
+                rounds: rounds_this_phase,
+                wasted_rounds: wasted_this_phase,
+                dropped: dropped_this_phase,
+                retries: retries_this_phase,
             };
             world.emit_phase(report);
             if self.cfg.record_phases {
@@ -403,6 +494,19 @@ impl ThresholdBalancer {
             }
         }
         self.phase += 1;
+    }
+
+    /// True when either transfer endpoint is crashed at the current
+    /// step — the transfer cannot execute; the sender's queue stays
+    /// frozen until recovery.
+    fn endpoints_crashed(&self, world: &World, a: ProcId, b: ProcId) -> bool {
+        match world.active_faults() {
+            Some(f) => {
+                let now = world.step();
+                f.is_crashed(a, now) || f.is_crashed(b, now)
+            }
+            None => false,
+        }
     }
 
     /// Executes one balancing transfer of `transfer_amount` tasks (or
@@ -421,6 +525,10 @@ impl ThresholdBalancer {
         while i < self.pending.len() {
             if self.pending[i].due <= now {
                 let t = self.pending.swap_remove(i);
+                if self.endpoints_crashed(world, t.from, t.to) {
+                    self.stats.transfers_frozen += 1;
+                    continue;
+                }
                 let moved = self.do_transfer(world, t.from, t.to);
                 self.emit(
                     world,
@@ -449,6 +557,19 @@ impl ThresholdBalancer {
                 let s = &self.streams[i];
                 (s.from, s.to, s.per_step.min(s.remaining))
             };
+            if self.endpoints_crashed(world, from, to) {
+                // This step's chunk is lost to the outage; the stream's
+                // one-phase time budget still elapses.
+                self.stats.transfers_frozen += 1;
+                let s = &mut self.streams[i];
+                s.remaining -= chunk;
+                if s.remaining == 0 {
+                    self.streams.swap_remove(i);
+                } else {
+                    i += 1;
+                }
+                continue;
+            }
             let moved = if weighted {
                 world.transfer_weight(from, to, chunk as u64) as usize
             } else {

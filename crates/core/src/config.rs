@@ -124,6 +124,17 @@ pub struct BalancerConfig {
     /// that many tasks. Size `T` accordingly (multiply by the mean task
     /// weight). Default false.
     pub weighted: bool,
+    /// Capped exponential backoff for heavy processors whose partner
+    /// search failed: after `f` consecutive failures a processor sits
+    /// out `min(2^(f-1), backoff_cap) - 1` phases before searching
+    /// again. Under heavy message loss this keeps persistently
+    /// unlucky processors from flooding every game; with reliable
+    /// messaging it only changes behaviour after a failure, which
+    /// Lemma 6 makes rare. Default false (the paper retries every
+    /// phase).
+    pub retry_backoff: bool,
+    /// Largest backoff (in phases) under `retry_backoff`.
+    pub backoff_cap: u32,
 }
 
 impl BalancerConfig {
@@ -163,6 +174,8 @@ impl BalancerConfig {
             record_phases: false,
             game_shards: 1,
             weighted: false,
+            retry_backoff: false,
+            backoff_cap: 8,
         }
     }
 
@@ -211,6 +224,14 @@ impl BalancerConfig {
     /// Returns a copy in weighted mode (thresholds in weight units).
     pub fn with_weighted(mut self) -> Self {
         self.weighted = true;
+        self
+    }
+
+    /// Returns a copy with capped exponential retry backoff enabled
+    /// (`cap` is clamped to at least 1 phase).
+    pub fn with_retry_backoff(mut self, cap: u32) -> Self {
+        self.retry_backoff = true;
+        self.backoff_cap = cap.max(1);
         self
     }
 

@@ -1,0 +1,241 @@
+//! User-facing fault configuration: rates and windows, validated, and
+//! compiled into a [`FaultPlan`] together with the run seed.
+
+use crate::plan::FaultPlan;
+use std::fmt;
+
+/// Why a [`FaultConfig`] was rejected.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultConfigError {
+    /// A probability was outside `[0, 1)`. Rates of exactly 1 are
+    /// rejected because a channel that never delivers (or a machine
+    /// that is always down) has no self-healing story to measure.
+    RateOutOfRange(&'static str),
+    /// A crash/stall window length was zero while its rate was
+    /// positive.
+    ZeroWindow(&'static str),
+    /// `delay_rate` was positive but `max_delay` was zero.
+    ZeroDelay,
+}
+
+impl fmt::Display for FaultConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultConfigError::RateOutOfRange(which) => {
+                write!(f, "{which} must lie in [0, 1)")
+            }
+            FaultConfigError::ZeroWindow(which) => {
+                write!(f, "{which} window must be positive when its rate is")
+            }
+            FaultConfigError::ZeroDelay => {
+                write!(f, "max_delay must be positive when delay_rate is")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FaultConfigError {}
+
+/// Declarative fault schedule for a run. All rates default to zero
+/// (no faults); a default config is exactly the `Reliable` model.
+///
+/// The same config with the same `(run seed, fault_seed)` always
+/// produces the same fault schedule — see the crate docs for the
+/// determinism contract.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FaultConfig {
+    /// Seed for the fault schedule, mixed with the run seed. Varying
+    /// it re-rolls the faults while keeping the workload identical.
+    pub fault_seed: u64,
+    /// Probability that any protocol message is lost in flight.
+    pub loss_rate: f64,
+    /// Probability that a (non-dropped) message is delayed.
+    pub delay_rate: f64,
+    /// Maximum delay, in game rounds, for a delayed message.
+    pub max_delay: u32,
+    /// Probability that a processor is down during any given crash
+    /// window.
+    pub crash_rate: f64,
+    /// Crash window length in steps: crash/recover transitions happen
+    /// only at multiples of this.
+    pub crash_window: u64,
+    /// Probability that a processor is stalled (not consuming) during
+    /// any given stall window.
+    pub stall_rate: f64,
+    /// Stall window length in steps.
+    pub stall_window: u64,
+}
+
+impl Default for FaultConfig {
+    fn default() -> Self {
+        FaultConfig {
+            fault_seed: 0,
+            loss_rate: 0.0,
+            delay_rate: 0.0,
+            max_delay: 0,
+            crash_rate: 0.0,
+            crash_window: 64,
+            stall_rate: 0.0,
+            stall_window: 64,
+        }
+    }
+}
+
+impl FaultConfig {
+    /// The no-fault configuration (same as `Default`).
+    #[must_use]
+    pub fn reliable() -> Self {
+        FaultConfig::default()
+    }
+
+    /// Sets the fault seed.
+    #[must_use]
+    pub fn with_seed(mut self, fault_seed: u64) -> Self {
+        self.fault_seed = fault_seed;
+        self
+    }
+
+    /// Sets Bernoulli message loss.
+    #[must_use]
+    pub fn with_loss(mut self, loss_rate: f64) -> Self {
+        self.loss_rate = loss_rate;
+        self
+    }
+
+    /// Sets bounded message delay: with probability `rate` a message
+    /// takes `1..=max_delay` extra rounds to arrive.
+    #[must_use]
+    pub fn with_delays(mut self, rate: f64, max_delay: u32) -> Self {
+        self.delay_rate = rate;
+        self.max_delay = max_delay;
+        self
+    }
+
+    /// Sets crash/recover windows: each processor is independently
+    /// down for any given `window`-step interval with probability
+    /// `rate`.
+    #[must_use]
+    pub fn with_crashes(mut self, rate: f64, window: u64) -> Self {
+        self.crash_rate = rate;
+        self.crash_window = window;
+        self
+    }
+
+    /// Sets stall windows: each processor independently stops
+    /// consuming (but keeps accumulating) for any given `window`-step
+    /// interval with probability `rate`.
+    #[must_use]
+    pub fn with_stalls(mut self, rate: f64, window: u64) -> Self {
+        self.stall_rate = rate;
+        self.stall_window = window;
+        self
+    }
+
+    /// True if this config injects nothing.
+    #[must_use]
+    pub fn is_reliable(&self) -> bool {
+        self.loss_rate <= 0.0
+            && self.delay_rate <= 0.0
+            && self.crash_rate <= 0.0
+            && self.stall_rate <= 0.0
+    }
+
+    /// Checks rates and windows for sanity.
+    pub fn validate(&self) -> Result<(), FaultConfigError> {
+        let rate_ok = |r: f64| (0.0..1.0).contains(&r);
+        if !rate_ok(self.loss_rate) {
+            return Err(FaultConfigError::RateOutOfRange("loss_rate"));
+        }
+        if !rate_ok(self.delay_rate) {
+            return Err(FaultConfigError::RateOutOfRange("delay_rate"));
+        }
+        if !rate_ok(self.crash_rate) {
+            return Err(FaultConfigError::RateOutOfRange("crash_rate"));
+        }
+        if !rate_ok(self.stall_rate) {
+            return Err(FaultConfigError::RateOutOfRange("stall_rate"));
+        }
+        if self.delay_rate > 0.0 && self.max_delay == 0 {
+            return Err(FaultConfigError::ZeroDelay);
+        }
+        if self.crash_rate > 0.0 && self.crash_window == 0 {
+            return Err(FaultConfigError::ZeroWindow("crash"));
+        }
+        if self.stall_rate > 0.0 && self.stall_window == 0 {
+            return Err(FaultConfigError::ZeroWindow("stall"));
+        }
+        Ok(())
+    }
+
+    /// Compiles the config into a concrete per-run schedule by mixing
+    /// in the run seed. Panics if the config fails [`validate`]
+    /// (validate first to report the error instead).
+    ///
+    /// [`validate`]: FaultConfig::validate
+    #[must_use]
+    pub fn build(&self, run_seed: u64) -> FaultPlan {
+        self.validate().expect("invalid FaultConfig");
+        FaultPlan::new(self, run_seed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::FaultModel;
+
+    #[test]
+    fn default_is_reliable_and_valid() {
+        let c = FaultConfig::default();
+        assert!(c.is_reliable());
+        assert!(c.validate().is_ok());
+        assert!(c.build(42).is_noop());
+    }
+
+    #[test]
+    fn builders_compose() {
+        let c = FaultConfig::reliable()
+            .with_seed(9)
+            .with_loss(0.05)
+            .with_delays(0.1, 2)
+            .with_crashes(0.01, 128)
+            .with_stalls(0.02, 32);
+        assert!(!c.is_reliable());
+        assert!(c.validate().is_ok());
+        assert_eq!(c.fault_seed, 9);
+        assert_eq!(c.max_delay, 2);
+    }
+
+    #[test]
+    fn validation_rejects_bad_rates_and_windows() {
+        assert_eq!(
+            FaultConfig::reliable().with_loss(1.0).validate(),
+            Err(FaultConfigError::RateOutOfRange("loss_rate"))
+        );
+        assert_eq!(
+            FaultConfig::reliable().with_loss(-0.1).validate(),
+            Err(FaultConfigError::RateOutOfRange("loss_rate"))
+        );
+        assert_eq!(
+            FaultConfig::reliable().with_crashes(0.5, 0).validate(),
+            Err(FaultConfigError::ZeroWindow("crash"))
+        );
+        assert_eq!(
+            FaultConfig::reliable().with_stalls(0.5, 0).validate(),
+            Err(FaultConfigError::ZeroWindow("stall"))
+        );
+        assert_eq!(
+            FaultConfig::reliable().with_delays(0.5, 0).validate(),
+            Err(FaultConfigError::ZeroDelay)
+        );
+    }
+
+    #[test]
+    fn error_messages_name_the_field() {
+        let e = FaultConfig::reliable()
+            .with_loss(2.0)
+            .validate()
+            .unwrap_err();
+        assert!(e.to_string().contains("loss_rate"));
+    }
+}

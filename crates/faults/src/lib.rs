@@ -1,0 +1,299 @@
+//! Deterministic fault injection for the pcrlb simulator.
+//!
+//! The paper's collision protocol (Lemmas 6–7) assumes perfectly
+//! reliable synchronous communication. This crate supplies the
+//! machinery to *break* that assumption in a controlled way: message
+//! loss, bounded message delay, processor crash/recover windows, and
+//! stalled ("slow") processors, so the degradation of the Theorem 1
+//! max-load bound can be measured empirically.
+//!
+//! # Determinism contract
+//!
+//! Every fault decision is a **pure function** of the fault seed and
+//! the coordinates of the event it applies to — there is no fault RNG
+//! *stream* anywhere. A message drop depends only on
+//! `(seed, game nonce, round, request, query, kind)`; a crash depends
+//! only on `(seed, processor, step window)`. Two consequences:
+//!
+//! 1. The sequential, scoped-thread, and worker-pool backends make
+//!    identical fault decisions without sharing any state, because a
+//!    pure hash needs no synchronization and no draw ordering.
+//! 2. The fault layer consumes **zero** draws from the simulation's
+//!    RNG streams, so the `Reliable` no-op model is bit-identical to
+//!    not having a fault layer at all.
+//!
+//! The crate is a dependency leaf (the sim layer depends on it, not
+//! vice versa), so it carries its own SplitMix64-finalizer hash rather
+//! than reusing the simulator's.
+
+mod config;
+mod plan;
+
+pub use config::{FaultConfig, FaultConfigError};
+pub use plan::{Bernoulli, BoundedDelay, CrashWindows, FaultPlan, StalledProcs};
+
+use std::fmt;
+
+/// SplitMix64 finalizer: the standard 64-bit avalanche mix.
+#[inline]
+#[must_use]
+fn fin64(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Stateless keyed hash: folds `words` into `key` through the
+/// SplitMix64 finalizer. This is the root primitive behind every fault
+/// decision — being a pure function of its arguments is what makes the
+/// fault schedule identical across execution backends.
+#[inline]
+#[must_use]
+pub fn fault_hash(key: u64, words: &[u64]) -> u64 {
+    let mut h = key ^ 0xD6E8_FEB8_6659_FD93;
+    for &w in words {
+        h = fin64(h.wrapping_add(w).wrapping_add(0x9E37_79B9_7F4A_7C15));
+    }
+    fin64(h)
+}
+
+/// Bernoulli trial driven by a hash value instead of an RNG draw:
+/// true with probability `p` over uniformly distributed `h`. Uses the
+/// same 53-bit `[0,1)` convention as the simulator's generator.
+#[inline]
+#[must_use]
+pub fn hash_chance(h: u64, p: f64) -> bool {
+    if p <= 0.0 {
+        return false;
+    }
+    if p >= 1.0 {
+        return true;
+    }
+    (h >> 11) as f64 * (1.0 / (1u64 << 53) as f64) < p
+}
+
+/// The kind of protocol message a fault decision applies to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum MsgKind {
+    /// A collision-game query (request → target).
+    Query,
+    /// A collision-game acknowledgement (target → request).
+    Accept,
+    /// An id-message carrying a match back up the request tree.
+    IdMessage,
+}
+
+impl MsgKind {
+    #[inline]
+    fn tag(self) -> u64 {
+        match self {
+            MsgKind::Query => 1,
+            MsgKind::Accept => 2,
+            MsgKind::IdMessage => 3,
+        }
+    }
+}
+
+/// Coordinates of a single protocol message: everything a
+/// [`FaultModel`] may condition a drop/delay decision on. The `nonce`
+/// distinguishes games (and phases) so that re-sends of the same
+/// `(request, query)` pair in different games fail independently.
+#[derive(Clone, Copy, Debug)]
+pub struct MsgCtx {
+    /// Per-game nonce (advanced by the balancer between games).
+    pub nonce: u64,
+    /// Game round the message is sent in.
+    pub round: u32,
+    /// Index of the request within the game.
+    pub request: u32,
+    /// Index of the query within the request (or child slot for
+    /// id-messages).
+    pub query: u32,
+    /// Message kind.
+    pub kind: MsgKind,
+}
+
+impl MsgCtx {
+    /// Packs the coordinates into hash words.
+    #[inline]
+    #[must_use]
+    pub fn words(&self) -> [u64; 3] {
+        [
+            self.nonce,
+            (u64::from(self.round) << 32) | self.kind.tag(),
+            (u64::from(self.request) << 32) | u64::from(self.query),
+        ]
+    }
+}
+
+/// A fault model: pure predicates over message coordinates and
+/// processor/step pairs. All methods take `&self` and must be pure —
+/// the engine may evaluate them from any thread, in any order, any
+/// number of times, and expects the same answer every time.
+pub trait FaultModel: Send + Sync + fmt::Debug {
+    /// Short human-readable name for reports.
+    fn name(&self) -> &'static str;
+
+    /// True if this model never injects anything. The engine skips the
+    /// fault layer entirely for no-op models, which is what makes
+    /// `Reliable` bit-identical to having no fault layer at all.
+    fn is_noop(&self) -> bool {
+        false
+    }
+
+    /// Should this message be dropped in flight?
+    fn drop_message(&self, _ctx: &MsgCtx) -> bool {
+        false
+    }
+
+    /// Extra rounds this message spends in flight (0 = same-round
+    /// delivery, the reliable synchronous default).
+    fn message_delay(&self, _ctx: &MsgCtx) -> u32 {
+        0
+    }
+
+    /// Is processor `proc` crashed at `step`? A crashed processor's
+    /// queue is frozen: it neither generates nor consumes tasks and is
+    /// excluded from balancing until it recovers.
+    fn is_crashed(&self, _proc: usize, _step: u64) -> bool {
+        false
+    }
+
+    /// Is processor `proc` stalled at `step`? A stalled processor
+    /// still receives newly generated tasks but consumes nothing.
+    fn is_stalled(&self, _proc: usize, _step: u64) -> bool {
+        false
+    }
+}
+
+/// The no-op fault model: perfectly reliable messaging, no crashes,
+/// no stalls. This is the default everywhere and costs nothing.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Reliable;
+
+impl FaultModel for Reliable {
+    fn name(&self) -> &'static str {
+        "reliable"
+    }
+
+    fn is_noop(&self) -> bool {
+        true
+    }
+}
+
+/// A fault model bound to one collision game's nonce: the view the
+/// game implementations use to make per-message decisions.
+#[derive(Clone, Copy, Debug)]
+pub struct GameFaults<'a> {
+    /// The underlying model.
+    pub model: &'a dyn FaultModel,
+    /// This game's nonce.
+    pub nonce: u64,
+}
+
+impl<'a> GameFaults<'a> {
+    /// Binds `model` to a game nonce.
+    #[must_use]
+    pub fn new(model: &'a dyn FaultModel, nonce: u64) -> Self {
+        GameFaults { model, nonce }
+    }
+
+    /// Is the message with these coordinates dropped?
+    #[inline]
+    #[must_use]
+    pub fn dropped(&self, round: u32, request: u32, query: u32, kind: MsgKind) -> bool {
+        self.model.drop_message(&MsgCtx {
+            nonce: self.nonce,
+            round,
+            request,
+            query,
+            kind,
+        })
+    }
+
+    /// Delivery delay (in rounds) for the message with these
+    /// coordinates; 0 means same-round delivery.
+    #[inline]
+    #[must_use]
+    pub fn delay(&self, round: u32, request: u32, query: u32, kind: MsgKind) -> u32 {
+        self.model.message_delay(&MsgCtx {
+            nonce: self.nonce,
+            round,
+            request,
+            query,
+            kind,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fault_hash_is_deterministic_and_sensitive() {
+        let a = fault_hash(1, &[2, 3, 4]);
+        assert_eq!(a, fault_hash(1, &[2, 3, 4]));
+        assert_ne!(a, fault_hash(2, &[2, 3, 4]));
+        assert_ne!(a, fault_hash(1, &[2, 3, 5]));
+        assert_ne!(a, fault_hash(1, &[3, 2, 4]));
+    }
+
+    #[test]
+    fn hash_chance_extremes_and_frequency() {
+        assert!(!hash_chance(0, 0.0));
+        assert!(hash_chance(u64::MAX, 1.0));
+        let hits = (0..100_000u64)
+            .filter(|&i| hash_chance(fault_hash(7, &[i]), 0.3))
+            .count();
+        let freq = hits as f64 / 100_000.0;
+        assert!((freq - 0.3).abs() < 0.01, "observed {freq}");
+    }
+
+    #[test]
+    fn msg_ctx_words_distinguish_kinds() {
+        let mk = |kind| MsgCtx {
+            nonce: 9,
+            round: 1,
+            request: 2,
+            query: 3,
+            kind,
+        };
+        assert_ne!(mk(MsgKind::Query).words(), mk(MsgKind::Accept).words());
+        assert_ne!(mk(MsgKind::Accept).words(), mk(MsgKind::IdMessage).words());
+    }
+
+    #[test]
+    fn reliable_is_noop() {
+        let r = Reliable;
+        assert!(r.is_noop());
+        let ctx = MsgCtx {
+            nonce: 0,
+            round: 0,
+            request: 0,
+            query: 0,
+            kind: MsgKind::Query,
+        };
+        assert!(!r.drop_message(&ctx));
+        assert_eq!(r.message_delay(&ctx), 0);
+        assert!(!r.is_crashed(0, 0));
+        assert!(!r.is_stalled(0, 0));
+    }
+
+    #[test]
+    fn game_faults_forwards_coordinates() {
+        #[derive(Debug)]
+        struct DropEven;
+        impl FaultModel for DropEven {
+            fn name(&self) -> &'static str {
+                "drop-even"
+            }
+            fn drop_message(&self, ctx: &MsgCtx) -> bool {
+                ctx.request.is_multiple_of(2)
+            }
+        }
+        let gf = GameFaults::new(&DropEven, 5);
+        assert!(gf.dropped(0, 2, 0, MsgKind::Query));
+        assert!(!gf.dropped(0, 3, 0, MsgKind::Query));
+    }
+}

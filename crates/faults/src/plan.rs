@@ -1,0 +1,344 @@
+//! Stock fault models and the composite [`FaultPlan`].
+//!
+//! Each model keys its decisions on a private salt so that, e.g., the
+//! loss coin and the delay coin for the same message are independent.
+
+use crate::config::FaultConfig;
+use crate::{fault_hash, hash_chance, FaultModel, MsgCtx};
+
+const SALT_PLAN: u64 = 0x70_6C_61_6E; // "plan"
+const SALT_LOSS: u64 = 0x6C_6F_73_73; // "loss"
+const SALT_DELAY: u64 = 0x64_6C_61_79; // "dlay"
+const SALT_CRASH: u64 = 0x63_72_73_68; // "crsh"
+const SALT_STALL: u64 = 0x73_74_6C_6C; // "stll"
+
+#[inline]
+fn msg_hash(seed: u64, salt: u64, ctx: &MsgCtx) -> u64 {
+    let w = ctx.words();
+    fault_hash(seed ^ salt, &w)
+}
+
+#[inline]
+fn window_hash(seed: u64, salt: u64, proc: usize, step: u64, window: u64) -> u64 {
+    fault_hash(seed ^ salt, &[proc as u64, step / window])
+}
+
+/// Bernoulli message loss: every message is independently dropped
+/// with probability `p`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Bernoulli {
+    seed: u64,
+    p: f64,
+}
+
+impl Bernoulli {
+    /// Loss model with drop probability `p`.
+    #[must_use]
+    pub fn new(seed: u64, p: f64) -> Self {
+        Bernoulli { seed, p }
+    }
+}
+
+impl FaultModel for Bernoulli {
+    fn name(&self) -> &'static str {
+        "bernoulli-loss"
+    }
+
+    fn is_noop(&self) -> bool {
+        self.p <= 0.0
+    }
+
+    fn drop_message(&self, ctx: &MsgCtx) -> bool {
+        hash_chance(msg_hash(self.seed, SALT_LOSS, ctx), self.p)
+    }
+}
+
+/// Bounded message delay: with probability `rate` a message takes an
+/// extra `1..=max_delay` rounds (uniform) to arrive.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct BoundedDelay {
+    seed: u64,
+    rate: f64,
+    max_delay: u32,
+}
+
+impl BoundedDelay {
+    /// Delay model: probability `rate`, bound `max_delay` (rounds).
+    #[must_use]
+    pub fn new(seed: u64, rate: f64, max_delay: u32) -> Self {
+        BoundedDelay {
+            seed,
+            rate,
+            max_delay,
+        }
+    }
+}
+
+impl FaultModel for BoundedDelay {
+    fn name(&self) -> &'static str {
+        "bounded-delay"
+    }
+
+    fn is_noop(&self) -> bool {
+        self.rate <= 0.0 || self.max_delay == 0
+    }
+
+    fn message_delay(&self, ctx: &MsgCtx) -> u32 {
+        if self.is_noop() {
+            return 0;
+        }
+        let h = msg_hash(self.seed, SALT_DELAY, ctx);
+        if !hash_chance(h, self.rate) {
+            return 0;
+        }
+        // Independent magnitude draw from the same coordinates.
+        let m = fault_hash(h, &[SALT_DELAY]);
+        1 + (m % u64::from(self.max_delay)) as u32
+    }
+}
+
+/// Crash/recover windows: time is cut into `window`-step intervals
+/// and each processor is independently down for any given interval
+/// with probability `rate`. Transitions only happen at window
+/// boundaries, which gives crashes a dwell time (and the recovery
+/// metric something to measure) instead of per-step flicker.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CrashWindows {
+    seed: u64,
+    rate: f64,
+    window: u64,
+}
+
+impl CrashWindows {
+    /// Crash model: per-window probability `rate`, window length
+    /// `window` steps (must be nonzero).
+    #[must_use]
+    pub fn new(seed: u64, rate: f64, window: u64) -> Self {
+        assert!(window > 0, "crash window must be positive");
+        CrashWindows { seed, rate, window }
+    }
+}
+
+impl FaultModel for CrashWindows {
+    fn name(&self) -> &'static str {
+        "crash-windows"
+    }
+
+    fn is_noop(&self) -> bool {
+        self.rate <= 0.0
+    }
+
+    fn is_crashed(&self, proc: usize, step: u64) -> bool {
+        hash_chance(
+            window_hash(self.seed, SALT_CRASH, proc, step, self.window),
+            self.rate,
+        )
+    }
+}
+
+/// Stalled ("slow") processors: same windowing as [`CrashWindows`],
+/// but a stalled processor only stops *consuming* — it still receives
+/// generated tasks and still participates in balancing.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct StalledProcs {
+    seed: u64,
+    rate: f64,
+    window: u64,
+}
+
+impl StalledProcs {
+    /// Stall model: per-window probability `rate`, window length
+    /// `window` steps (must be nonzero).
+    #[must_use]
+    pub fn new(seed: u64, rate: f64, window: u64) -> Self {
+        assert!(window > 0, "stall window must be positive");
+        StalledProcs { seed, rate, window }
+    }
+}
+
+impl FaultModel for StalledProcs {
+    fn name(&self) -> &'static str {
+        "stalled-procs"
+    }
+
+    fn is_noop(&self) -> bool {
+        self.rate <= 0.0
+    }
+
+    fn is_stalled(&self, proc: usize, step: u64) -> bool {
+        hash_chance(
+            window_hash(self.seed, SALT_STALL, proc, step, self.window),
+            self.rate,
+        )
+    }
+}
+
+/// A compiled per-run fault schedule: the composite of loss, delay,
+/// crash, and stall channels, all keyed on one seed derived from
+/// `(run seed, fault seed)`. This is what a [`FaultConfig`] builds and
+/// what the engine actually consults.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FaultPlan {
+    seed: u64,
+    loss: Bernoulli,
+    delay: BoundedDelay,
+    crash: CrashWindows,
+    stall: StalledProcs,
+    noop: bool,
+}
+
+impl FaultPlan {
+    /// Compiles `cfg` against `run_seed`. Prefer
+    /// [`FaultConfig::build`], which validates first.
+    #[must_use]
+    pub fn new(cfg: &FaultConfig, run_seed: u64) -> Self {
+        let seed = fault_hash(run_seed, &[cfg.fault_seed, SALT_PLAN]);
+        FaultPlan {
+            seed,
+            loss: Bernoulli::new(seed, cfg.loss_rate),
+            delay: BoundedDelay::new(seed, cfg.delay_rate, cfg.max_delay),
+            crash: CrashWindows::new(seed, cfg.crash_rate, cfg.crash_window.max(1)),
+            stall: StalledProcs::new(seed, cfg.stall_rate, cfg.stall_window.max(1)),
+            noop: cfg.is_reliable(),
+        }
+    }
+
+    /// The no-op plan.
+    #[must_use]
+    pub fn reliable() -> Self {
+        FaultPlan::new(&FaultConfig::reliable(), 0)
+    }
+}
+
+impl FaultModel for FaultPlan {
+    fn name(&self) -> &'static str {
+        "fault-plan"
+    }
+
+    fn is_noop(&self) -> bool {
+        self.noop
+    }
+
+    fn drop_message(&self, ctx: &MsgCtx) -> bool {
+        self.loss.drop_message(ctx)
+    }
+
+    fn message_delay(&self, ctx: &MsgCtx) -> u32 {
+        self.delay.message_delay(ctx)
+    }
+
+    fn is_crashed(&self, proc: usize, step: u64) -> bool {
+        self.crash.is_crashed(proc, step)
+    }
+
+    fn is_stalled(&self, proc: usize, step: u64) -> bool {
+        self.stall.is_stalled(proc, step)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MsgKind;
+
+    fn ctx(nonce: u64, round: u32, request: u32, query: u32, kind: MsgKind) -> MsgCtx {
+        MsgCtx {
+            nonce,
+            round,
+            request,
+            query,
+            kind,
+        }
+    }
+
+    #[test]
+    fn loss_frequency_tracks_rate() {
+        let m = Bernoulli::new(7, 0.1);
+        let drops = (0..50_000u32)
+            .filter(|&i| m.drop_message(&ctx(1, 0, i, 0, MsgKind::Query)))
+            .count();
+        let freq = drops as f64 / 50_000.0;
+        assert!((freq - 0.1).abs() < 0.01, "observed {freq}");
+    }
+
+    #[test]
+    fn loss_is_independent_per_round_and_kind() {
+        let m = Bernoulli::new(7, 0.5);
+        // The same (request, query) must be able to fail in one round
+        // and succeed in another, and queries/accepts must use
+        // independent coins.
+        let rounds: Vec<bool> = (0..64)
+            .map(|r| m.drop_message(&ctx(1, r, 3, 1, MsgKind::Query)))
+            .collect();
+        assert!(rounds.iter().any(|&d| d) && rounds.iter().any(|&d| !d));
+        let q: Vec<bool> = (0..64)
+            .map(|i| m.drop_message(&ctx(1, 0, i, 0, MsgKind::Query)))
+            .collect();
+        let a: Vec<bool> = (0..64)
+            .map(|i| m.drop_message(&ctx(1, 0, i, 0, MsgKind::Accept)))
+            .collect();
+        assert_ne!(q, a);
+    }
+
+    #[test]
+    fn delay_is_bounded_and_sometimes_zero() {
+        let m = BoundedDelay::new(3, 0.5, 3);
+        let delays: Vec<u32> = (0..1000u32)
+            .map(|i| m.message_delay(&ctx(2, 0, i, 0, MsgKind::Query)))
+            .collect();
+        assert!(delays.iter().all(|&d| d <= 3));
+        assert!(delays.contains(&0));
+        assert!(delays.iter().any(|&d| d > 0));
+    }
+
+    #[test]
+    fn crashes_are_stable_within_a_window() {
+        let m = CrashWindows::new(11, 0.3, 100);
+        for p in 0..50 {
+            let w0 = m.is_crashed(p, 0);
+            for s in 1..100 {
+                assert_eq!(m.is_crashed(p, s), w0, "proc {p} flickered at {s}");
+            }
+        }
+        // Across many windows, the crash frequency tracks the rate.
+        let downs = (0..20_000u64).filter(|&w| m.is_crashed(1, w * 100)).count();
+        let freq = downs as f64 / 20_000.0;
+        assert!((freq - 0.3).abs() < 0.02, "observed {freq}");
+    }
+
+    #[test]
+    fn crash_and_stall_channels_are_independent() {
+        let cfg = FaultConfig::reliable()
+            .with_crashes(0.5, 10)
+            .with_stalls(0.5, 10);
+        let plan = cfg.build(5);
+        let crashes: Vec<bool> = (0..100).map(|p| plan.is_crashed(p, 0)).collect();
+        let stalls: Vec<bool> = (0..100).map(|p| plan.is_stalled(p, 0)).collect();
+        assert_ne!(crashes, stalls);
+    }
+
+    #[test]
+    fn plan_is_deterministic_in_seed_pair() {
+        let cfg = FaultConfig::reliable().with_loss(0.2).with_seed(4);
+        let a = cfg.build(99);
+        let b = cfg.build(99);
+        assert_eq!(a, b);
+        let c = ctx(8, 2, 5, 1, MsgKind::Accept);
+        assert_eq!(a.drop_message(&c), b.drop_message(&c));
+        // Different fault seed, same run seed: different schedule.
+        let other = FaultConfig::reliable()
+            .with_loss(0.2)
+            .with_seed(5)
+            .build(99);
+        let diverges = (0..256u32).any(|i| {
+            a.drop_message(&ctx(8, 0, i, 0, MsgKind::Query))
+                != other.drop_message(&ctx(8, 0, i, 0, MsgKind::Query))
+        });
+        assert!(diverges);
+    }
+
+    #[test]
+    fn reliable_plan_is_noop() {
+        assert!(FaultPlan::reliable().is_noop());
+    }
+}

@@ -27,6 +27,7 @@ use crate::rng::SimRng;
 use crate::task::Completion;
 use crate::types::Step;
 use crate::world::{CompletionStats, World, DEFAULT_SOJOURN_HIST};
+use pcrlb_faults::FaultModel;
 
 /// The one and only generate/consume kernel (sub-steps 1–2), applied to
 /// a contiguous shard of processors starting at index `start`.
@@ -37,6 +38,13 @@ use crate::world::{CompletionStats, World, DEFAULT_SOJOURN_HIST};
 /// which may be the world's own accumulator (sequential) or a per-shard
 /// local merged afterwards (threaded) — the statistics are additive, so
 /// the two are indistinguishable.
+///
+/// `faults` is `None` on the fault-free fast path. A crashed processor
+/// is skipped entirely (its queue is frozen and its RNG stream
+/// untouched, so the skip is identical on every backend); a stalled
+/// one still generates but consumes nothing. Crash/stall predicates
+/// are pure functions of `(processor, step)`, never RNG draws, which
+/// is what keeps the three backends bit-identical under faults.
 pub(crate) fn drive_shard<M: LoadModel>(
     start: usize,
     now: Step,
@@ -44,14 +52,25 @@ pub(crate) fn drive_shard<M: LoadModel>(
     rngs: &mut [SimRng],
     model: &M,
     completions: &mut CompletionStats,
+    faults: Option<&dyn FaultModel>,
 ) {
     for (off, (proc, rng)) in procs.iter_mut().zip(rngs.iter_mut()).enumerate() {
         let p = start + off;
+        if let Some(f) = faults {
+            if f.is_crashed(p, now) {
+                continue;
+            }
+        }
         // Sub-step 1: generation.
         let g = model.generate(p, now, proc.load(), rng);
         for _ in 0..g {
             let w = model.task_weight(p, now, rng);
             proc.generate_weighted(now, w);
+        }
+        if let Some(f) = faults {
+            if f.is_stalled(p, now) {
+                continue;
+            }
         }
         // Sub-step 2: consumption (capped at available load).
         let load = proc.load();
@@ -85,8 +104,17 @@ pub struct Sequential;
 
 impl<M: LoadModel> ExecBackend<M> for Sequential {
     fn run_substeps(&mut self, world: &mut World, model: &M) {
+        let faults = world.active_faults();
         let (now, start, procs, rngs, completions) = world.whole_shard();
-        drive_shard(start, now, procs, rngs, model, completions);
+        drive_shard(
+            start,
+            now,
+            procs,
+            rngs,
+            model,
+            completions,
+            faults.as_deref(),
+        );
     }
 }
 
@@ -101,6 +129,8 @@ pub struct Threaded {
 
 impl<M: LoadModel + Sync> ExecBackend<M> for Threaded {
     fn run_substeps(&mut self, world: &mut World, model: &M) {
+        let faults = world.active_faults();
+        let faults = faults.as_deref();
         let (now, shards, completions) = world.shards(self.threads.max(1));
         let locals: Vec<CompletionStats> = std::thread::scope(|scope| {
             let handles: Vec<_> = shards
@@ -108,7 +138,7 @@ impl<M: LoadModel + Sync> ExecBackend<M> for Threaded {
                 .map(|(start, procs, rngs)| {
                     scope.spawn(move || {
                         let mut local = CompletionStats::new(DEFAULT_SOJOURN_HIST);
-                        drive_shard(start, now, procs, rngs, model, &mut local);
+                        drive_shard(start, now, procs, rngs, model, &mut local, faults);
                         local
                     })
                 })

@@ -102,18 +102,6 @@ impl<M: LoadModel, S: Strategy, B: ExecBackend<M>> Engine<M, S, B> {
         }
     }
 
-    /// Runs `steps` steps, invoking `observe` after every step.
-    #[deprecated(
-        since = "0.2.0",
-        note = "build a `Runner` with probes instead; this shim will be removed next release"
-    )]
-    pub fn run_observed(&mut self, steps: u64, mut observe: impl FnMut(&World)) {
-        for _ in 0..steps {
-            self.step();
-            observe(&self.world);
-        }
-    }
-
     /// The world (read).
     pub fn world(&self) -> &World {
         &self.world
@@ -222,15 +210,6 @@ mod tests {
         e.run(5);
         assert_eq!(e.world().total_load(), 0);
         assert_eq!(e.world().completions().count, 2);
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn run_observed_shim_sees_every_step() {
-        let mut e = Engine::new(1, 4, Pump, Unbalanced);
-        let mut seen = Vec::new();
-        e.run_observed(5, |w| seen.push(w.total_load()));
-        assert_eq!(seen, vec![1, 2, 3, 4, 5]);
     }
 
     #[test]

@@ -74,10 +74,14 @@ pub use backend::{Backend, ExecBackend, ResolvedBackend, Sequential, Threaded};
 pub use engine::Engine;
 pub use message::{MessageKind, MessageLedger, MessageStats};
 pub use model::{LoadModel, Strategy, Unbalanced};
+pub use pcrlb_faults::{
+    Bernoulli, BoundedDelay, CrashWindows, FaultConfig, FaultConfigError, FaultModel, FaultPlan,
+    GameFaults, MsgCtx, MsgKind, Reliable, StalledProcs,
+};
 pub use pool::{live_workers, WorkerPool};
 pub use probe::{
-    LoadSnapshotProbe, MaxLoadProbe, MessageRateProbe, PhaseProbe, PhaseReport, Probe, ProbeOutput,
-    RecoveryProbe, SeriesProbe, SojournTailProbe, TraceProbe,
+    FaultProbe, LoadSnapshotProbe, MaxLoadProbe, MessageRateProbe, PhaseProbe, PhaseReport, Probe,
+    ProbeOutput, RecoveryProbe, SeriesProbe, SojournTailProbe, TraceProbe,
 };
 pub use processor::{ProcStats, Processor};
 pub use queue::TaskQueue;

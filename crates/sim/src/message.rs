@@ -44,6 +44,12 @@ pub struct MessageStats {
     pub transfers: u64,
     /// Total tasks moved by those transfers.
     pub tasks_moved: u64,
+    /// Control messages lost in flight by the fault layer. Every
+    /// dropped message is *also* counted under its kind — the sender
+    /// paid for it — so this is not part of [`control_total`].
+    ///
+    /// [`control_total`]: MessageStats::control_total
+    pub dropped: u64,
 }
 
 impl MessageStats {
@@ -70,6 +76,7 @@ impl Add for MessageStats {
             load_replies: self.load_replies + o.load_replies,
             transfers: self.transfers + o.transfers,
             tasks_moved: self.tasks_moved + o.tasks_moved,
+            dropped: self.dropped + o.dropped,
         }
     }
 }
@@ -93,6 +100,7 @@ impl Sub for MessageStats {
             load_replies: self.load_replies - o.load_replies,
             transfers: self.transfers - o.transfers,
             tasks_moved: self.tasks_moved - o.tasks_moved,
+            dropped: self.dropped - o.dropped,
         }
     }
 }
@@ -101,14 +109,15 @@ impl fmt::Display for MessageStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "queries={} accepts={} ids={} probes={} replies={} transfers={} tasks_moved={}",
+            "queries={} accepts={} ids={} probes={} replies={} transfers={} tasks_moved={} dropped={}",
             self.queries,
             self.accepts,
             self.id_messages,
             self.probes,
             self.load_replies,
             self.transfers,
-            self.tasks_moved
+            self.tasks_moved,
+            self.dropped
         )
     }
 }
@@ -144,6 +153,13 @@ impl MessageLedger {
         self.stats.tasks_moved += tasks;
     }
 
+    /// Records `count` control messages lost in flight (in addition to
+    /// their per-kind send counts).
+    #[inline]
+    pub fn record_dropped(&mut self, count: u64) {
+        self.stats.dropped += count;
+    }
+
     /// Current cumulative counters (copy; use subtraction for windows).
     #[inline]
     pub fn snapshot(&self) -> MessageStats {
@@ -164,6 +180,7 @@ mod tests {
         l.record(MessageKind::Probe, 7);
         l.record(MessageKind::LoadReply, 3);
         l.record_transfer(10);
+        l.record_dropped(4);
         let s = l.snapshot();
         assert_eq!(s.queries, 5);
         assert_eq!(s.accepts, 2);
@@ -172,6 +189,9 @@ mod tests {
         assert_eq!(s.load_replies, 3);
         assert_eq!(s.transfers, 1);
         assert_eq!(s.tasks_moved, 10);
+        assert_eq!(s.dropped, 4);
+        // Dropped messages are already counted under their kind; they
+        // must not inflate the totals.
         assert_eq!(s.control_total(), 18);
         assert_eq!(s.total(), 19);
     }

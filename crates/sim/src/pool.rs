@@ -234,6 +234,8 @@ impl<M: LoadModel + Sync> ExecBackend<M> for WorkerPool {
             cell.get_mut().reset();
         }
         let threads = self.workers();
+        let faults = world.active_faults();
+        let faults = faults.as_deref();
         let (now, shards, completions) = world.shards(threads);
         // `shards` may be shorter than `threads` when n < threads;
         // workers without a slot no-op.
@@ -256,7 +258,15 @@ impl<M: LoadModel + Sync> ExecBackend<M> for WorkerPool {
                 unsafe {
                     let procs = std::slice::from_raw_parts_mut(job.procs, job.len);
                     let rngs = std::slice::from_raw_parts_mut(job.rngs, job.len);
-                    drive_shard(job.start, now, procs, rngs, model, &mut *job.scratch);
+                    drive_shard(
+                        job.start,
+                        now,
+                        procs,
+                        rngs,
+                        model,
+                        &mut *job.scratch,
+                        faults,
+                    );
                 }
             }
         });

@@ -4,9 +4,9 @@
 //! [`crate::runner::Runner`] invokes it after every engine step (and
 //! forwards any [`PhaseReport`]s / [`crate::trace::Event`]s the strategy
 //! emitted during that step), then collects a [`ProbeOutput`] at the
-//! end. Probes replace the hand-rolled `run_observed` closures that
-//! used to be duplicated across every experiment, bench, and example:
-//! each §4 measurement (worst max-load after warm-up, load histograms,
+//! end. Probes replace the hand-rolled observation closures that used
+//! to be duplicated across every experiment, bench, and example: each
+//! §4 measurement (worst max-load after warm-up, load histograms,
 //! message rates, sojourn tails, per-phase match statistics) is a stock
 //! probe here, registered once and reused everywhere.
 //!
@@ -43,6 +43,18 @@ pub struct PhaseReport {
     pub games: u64,
     /// Control messages spent during the phase.
     pub messages: u64,
+    /// Collision-game rounds executed during the phase (including
+    /// wasted ones — Lemma 8 charges each round whether or not it
+    /// makes progress).
+    pub rounds: u64,
+    /// Rounds in which no accept was delivered (total collisions, or
+    /// every accept lost in flight).
+    pub wasted_rounds: u64,
+    /// Control messages the fault layer dropped during the phase.
+    pub dropped: u64,
+    /// Heavy processors re-entering the search after a failed phase
+    /// (retry-with-backoff bookkeeping; 0 unless enabled).
+    pub retries: u64,
 }
 
 /// The result a probe hands back when the run ends.
@@ -73,6 +85,12 @@ pub enum ProbeOutput {
         window: MessageStats,
         /// Steps in the window.
         steps: u64,
+        /// Collision-game rounds reported by the strategy's phase
+        /// reports during the window (0 for non-phase strategies or
+        /// unobserved runs).
+        game_rounds: u64,
+        /// Of those, rounds that delivered no accept.
+        wasted_rounds: u64,
     },
     /// From [`SojournTailProbe`].
     SojournTail {
@@ -103,6 +121,24 @@ pub enum ProbeOutput {
     },
     /// From [`SeriesProbe`].
     Series(Vec<f64>),
+    /// From [`FaultProbe`].
+    Faults {
+        /// Control messages lost in flight over the run.
+        dropped_messages: u64,
+        /// Collision-game rounds that delivered no accept.
+        wasted_rounds: u64,
+        /// Heavy-processor search retries after failed phases.
+        retries: u64,
+        /// Crash transitions (alive → down) observed.
+        crash_events: u64,
+        /// Recovery transitions (down → alive) observed.
+        recover_events: u64,
+        /// Processor-steps spent crashed.
+        crashed_steps: u64,
+        /// Mean downtime per completed outage, in steps (0 when no
+        /// outage completed).
+        mean_downtime: f64,
+    },
 }
 
 /// A passive observer of a simulation run.
@@ -256,11 +292,16 @@ impl Probe for LoadSnapshotProbe {
 
 /// Measures message traffic over the run (E6): the difference between
 /// the ledger at start and end, normalised by steps by the consumer.
+/// Also accumulates collision-game round counts from phase reports, so
+/// message rates can be normalised by *protocol time* — a wasted round
+/// costs a round of the schedule even though it moved nothing.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct MessageRateProbe {
     start: MessageStats,
     end: MessageStats,
     steps: u64,
+    game_rounds: u64,
+    wasted_rounds: u64,
 }
 
 impl MessageRateProbe {
@@ -283,6 +324,11 @@ impl Probe for MessageRateProbe {
         self.steps += 1;
     }
 
+    fn on_phase(&mut self, report: &PhaseReport) {
+        self.game_rounds += report.rounds;
+        self.wasted_rounds += report.wasted_rounds;
+    }
+
     fn on_run_end(&mut self, world: &World) {
         self.end = world.messages();
     }
@@ -291,6 +337,108 @@ impl Probe for MessageRateProbe {
         ProbeOutput::MessageRate {
             window: self.end - self.start,
             steps: self.steps,
+            game_rounds: self.game_rounds,
+            wasted_rounds: self.wasted_rounds,
+        }
+    }
+}
+
+/// Observes the fault layer (dropped messages, wasted rounds, retries,
+/// crash/recovery dynamics). Crash statistics are computed by querying
+/// the world's pure fault model per step, so the probe needs no help
+/// from the execution backends; message-level counters arrive through
+/// the strategy's phase reports.
+#[derive(Debug, Clone, Default)]
+pub struct FaultProbe {
+    crashed: Vec<bool>,
+    down_since: Vec<Step>,
+    crash_events: u64,
+    recover_events: u64,
+    crashed_steps: u64,
+    downtime_sum: u64,
+    dropped: u64,
+    wasted_rounds: u64,
+    retries: u64,
+}
+
+impl FaultProbe {
+    /// Builds the probe; sizes itself at run start.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn observe(&mut self, world: &World, step: Step) {
+        let model = world.fault_model();
+        for p in 0..self.crashed.len() {
+            let down = model.is_crashed(p, step);
+            if down {
+                self.crashed_steps += 1;
+            }
+            if down != self.crashed[p] {
+                if down {
+                    self.crash_events += 1;
+                    self.down_since[p] = step;
+                } else {
+                    self.recover_events += 1;
+                    self.downtime_sum += step - self.down_since[p];
+                }
+                self.crashed[p] = down;
+            }
+        }
+    }
+}
+
+impl Probe for FaultProbe {
+    fn name(&self) -> &'static str {
+        "faults"
+    }
+
+    fn on_run_start(&mut self, world: &World) {
+        self.crashed = vec![false; world.n()];
+        self.down_since = vec![0; world.n()];
+    }
+
+    fn on_step(&mut self, world: &World) {
+        if !world.faults_enabled() {
+            return;
+        }
+        // The step that just executed is `step() - 1` (the engine ticks
+        // before probes run).
+        let step = world.step().saturating_sub(1);
+        self.observe(world, step);
+    }
+
+    fn on_phase(&mut self, report: &PhaseReport) {
+        self.dropped += report.dropped;
+        self.wasted_rounds += report.wasted_rounds;
+        self.retries += report.retries;
+    }
+
+    fn on_run_end(&mut self, world: &World) {
+        // Close outages still open at the end of the run.
+        let step = world.step();
+        for p in 0..self.crashed.len() {
+            if self.crashed[p] {
+                self.recover_events += 1;
+                self.downtime_sum += step - self.down_since[p];
+                self.crashed[p] = false;
+            }
+        }
+    }
+
+    fn finish(self: Box<Self>) -> ProbeOutput {
+        ProbeOutput::Faults {
+            dropped_messages: self.dropped,
+            wasted_rounds: self.wasted_rounds,
+            retries: self.retries,
+            crash_events: self.crash_events,
+            recover_events: self.recover_events,
+            crashed_steps: self.crashed_steps,
+            mean_downtime: if self.recover_events == 0 {
+                0.0
+            } else {
+                self.downtime_sum as f64 / self.recover_events as f64
+            },
         }
     }
 }
@@ -578,10 +726,89 @@ mod tests {
         p.on_step(&w);
         p.on_run_end(&w);
         match Box::new(p).finish() {
-            ProbeOutput::MessageRate { window, steps } => {
+            ProbeOutput::MessageRate { window, steps, .. } => {
                 assert_eq!(steps, 1);
                 assert_eq!(window.transfers, 1);
                 assert_eq!(window.tasks_moved, 1);
+            }
+            other => panic!("wrong output: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn message_rate_probe_accumulates_game_rounds() {
+        let mut p = MessageRateProbe::new();
+        p.on_phase(&PhaseReport {
+            rounds: 5,
+            wasted_rounds: 2,
+            ..PhaseReport::default()
+        });
+        p.on_phase(&PhaseReport {
+            rounds: 3,
+            ..PhaseReport::default()
+        });
+        match Box::new(p).finish() {
+            ProbeOutput::MessageRate {
+                game_rounds,
+                wasted_rounds,
+                ..
+            } => {
+                assert_eq!(game_rounds, 8);
+                assert_eq!(wasted_rounds, 2);
+            }
+            other => panic!("wrong output: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn fault_probe_tracks_crash_transitions() {
+        use pcrlb_faults::FaultModel;
+        use std::sync::Arc;
+
+        /// Processor 1 is down for steps 2..4, everyone else up.
+        #[derive(Debug)]
+        struct Window;
+        impl FaultModel for Window {
+            fn name(&self) -> &'static str {
+                "window"
+            }
+            fn is_crashed(&self, p: usize, step: u64) -> bool {
+                p == 1 && (2..4).contains(&step)
+            }
+        }
+
+        let mut w = World::new(3, 1);
+        w.set_fault_model(Arc::new(Window));
+        let mut p = FaultProbe::new();
+        p.on_run_start(&w);
+        for _ in 0..6 {
+            w.tick();
+            p.on_step(&w);
+        }
+        p.on_run_end(&w);
+        p.on_phase(&PhaseReport {
+            dropped: 7,
+            wasted_rounds: 1,
+            retries: 2,
+            ..PhaseReport::default()
+        });
+        match Box::new(p).finish() {
+            ProbeOutput::Faults {
+                dropped_messages,
+                wasted_rounds,
+                retries,
+                crash_events,
+                recover_events,
+                crashed_steps,
+                mean_downtime,
+            } => {
+                assert_eq!(dropped_messages, 7);
+                assert_eq!(wasted_rounds, 1);
+                assert_eq!(retries, 2);
+                assert_eq!(crash_events, 1);
+                assert_eq!(recover_events, 1);
+                assert_eq!(crashed_steps, 2);
+                assert!((mean_downtime - 2.0).abs() < 1e-12);
             }
             other => panic!("wrong output: {other:?}"),
         }

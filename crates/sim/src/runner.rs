@@ -41,6 +41,8 @@ use crate::model::{LoadModel, Strategy};
 use crate::probe::{PhaseReport, Probe, ProbeOutput};
 use crate::trace::Event;
 use crate::world::{CompletionStats, World};
+use pcrlb_faults::FaultConfig;
+use std::sync::Arc;
 
 /// Everything a run produced. `PartialEq` so determinism tests can
 /// compare whole reports across backends with one assertion.
@@ -115,6 +117,7 @@ pub struct Runner<M = (), S = ()> {
     backend: Backend,
     probes: Vec<Box<dyn Probe>>,
     world: Option<World>,
+    faults: Option<FaultConfig>,
 }
 
 impl Runner {
@@ -128,6 +131,7 @@ impl Runner {
             backend: Backend::Sequential,
             probes: Vec::new(),
             world: None,
+            faults: None,
         }
     }
 }
@@ -143,6 +147,7 @@ impl<M, S> Runner<M, S> {
             backend: self.backend,
             probes: self.probes,
             world: self.world,
+            faults: self.faults,
         }
     }
 
@@ -156,6 +161,7 @@ impl<M, S> Runner<M, S> {
             backend: self.backend,
             probes: self.probes,
             world: self.world,
+            faults: self.faults,
         }
     }
 
@@ -178,6 +184,19 @@ impl<M, S> Runner<M, S> {
         self.world = Some(world);
         self
     }
+
+    /// Installs a fault schedule for the run. A reliable (all-zero)
+    /// config leaves the run bit-identical to never calling this; a
+    /// real one compiles into a [`pcrlb_faults::FaultPlan`] keyed on
+    /// `(world seed, fault seed)` before the first step.
+    ///
+    /// # Panics
+    /// `run`/`run_detailed` panic if the config fails
+    /// [`FaultConfig::validate`].
+    pub fn faults(mut self, config: FaultConfig) -> Self {
+        self.faults = Some(config);
+        self
+    }
 }
 
 impl<M: LoadModel + Sync, S: Strategy> Runner<M, S> {
@@ -198,8 +217,15 @@ impl<M: LoadModel + Sync, S: Strategy> Runner<M, S> {
             backend,
             mut probes,
             world,
+            faults,
         } = self;
         let mut world = world.unwrap_or_else(|| World::new(n, seed));
+        if let Some(config) = faults {
+            if !config.is_reliable() {
+                let plan = config.build(world.seed());
+                world.set_fault_model(Arc::new(plan));
+            }
+        }
         if !probes.is_empty() {
             world.enable_observer();
         }

@@ -15,6 +15,8 @@ use crate::rng::SimRng;
 use crate::task::{Completion, Task};
 use crate::trace::Event;
 use crate::types::{ProcId, Step};
+use pcrlb_faults::{FaultModel, Reliable};
+use std::sync::Arc;
 
 /// Aggregated completion (executed-task) statistics.
 ///
@@ -139,6 +141,11 @@ pub struct World {
     completions: CompletionStats,
     observer: Option<ObserverSink>,
     seed: u64,
+    /// Active fault model; [`Reliable`] (and skipped entirely) unless a
+    /// runner installed a real one via [`World::set_fault_model`].
+    faults: Arc<dyn FaultModel>,
+    /// Cached `!faults.is_noop()` so the hot paths pay one bool test.
+    faulty: bool,
 }
 
 /// Default sojourn-histogram resolution (buckets).
@@ -160,7 +167,43 @@ impl World {
             completions: CompletionStats::new(DEFAULT_SOJOURN_HIST),
             observer: None,
             seed,
+            faults: Arc::new(Reliable),
+            faulty: false,
         }
+    }
+
+    /// Installs a fault model. A no-op model (see
+    /// [`FaultModel::is_noop`]) leaves the world in the fault-free fast
+    /// path, bit-identical to never having called this.
+    pub fn set_fault_model(&mut self, model: Arc<dyn FaultModel>) {
+        self.faulty = !model.is_noop();
+        self.faults = model;
+    }
+
+    /// The active fault model (the default is [`Reliable`]).
+    #[inline]
+    pub fn fault_model(&self) -> &dyn FaultModel {
+        &*self.faults
+    }
+
+    /// Shared handle to the active fault model, for backends that move
+    /// it across threads.
+    #[inline]
+    pub fn fault_handle(&self) -> Arc<dyn FaultModel> {
+        Arc::clone(&self.faults)
+    }
+
+    /// Handle to the fault model only when it actually injects faults —
+    /// `None` means "take the fault-free fast path".
+    #[inline]
+    pub fn active_faults(&self) -> Option<Arc<dyn FaultModel>> {
+        self.faulty.then(|| Arc::clone(&self.faults))
+    }
+
+    /// Whether a non-trivial fault model is installed.
+    #[inline]
+    pub fn faults_enabled(&self) -> bool {
+        self.faulty
     }
 
     /// Number of processors.

@@ -1,0 +1,106 @@
+//! Chaos run: the threshold balancer surviving an unreliable network
+//! and crashing processors. Every protocol message is dropped with 5%
+//! probability (and occasionally delayed), and each processor is down
+//! for any given 64-step window with 2% probability — yet the system
+//! keeps its `(log log n)^2` load regime, because the collision
+//! protocol self-heals: lost queries are re-sent next round, heavy
+//! processors that fail a whole phase retry with capped exponential
+//! backoff, and transfers to or from a crashed endpoint freeze until
+//! re-planned around live processors.
+//!
+//! The fault schedule is a pure function of `(seed, fault seed)`, so
+//! this chaotic run is also bit-reproducible — rerun it and every
+//! number below repeats exactly.
+//!
+//! ```text
+//! cargo run --release --example chaos_run [n] [steps] [fault_seed]
+//! ```
+
+use pcrlb::core::BalancerConfig;
+use pcrlb::prelude::*;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let n: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(1 << 12);
+    let steps: u64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(5_000);
+    let fault_seed: u64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(0);
+    let seed = 1998;
+
+    let faults = FaultConfig::reliable()
+        .with_seed(fault_seed)
+        .with_loss(0.05)
+        .with_delays(0.05, 2)
+        .with_crashes(0.02, 64);
+    println!(
+        "n = {n}, steps = {steps}, loss = {:.0}%, delay = {:.0}%, crash = {:.0}%/window, fault seed = {fault_seed}\n",
+        faults.loss_rate * 100.0,
+        faults.delay_rate * 100.0,
+        faults.crash_rate * 100.0,
+    );
+
+    let run = |with_faults: bool| {
+        let mut runner = Runner::new(n, seed)
+            .model(Single::default_paper())
+            .strategy(ThresholdBalancer::new(
+                BalancerConfig::paper(n).with_retry_backoff(8),
+            ))
+            .probe(MaxLoadProbe::new())
+            .probe(FaultProbe::new());
+        if with_faults {
+            runner = runner.faults(faults);
+        }
+        runner.run(steps)
+    };
+
+    let calm = run(false);
+    let chaos = run(true);
+
+    let t = BalancerConfig::paper(n).theorem1_bound();
+    println!("                          calm      chaos");
+    println!(
+        "worst max load      {:>10} {:>10}   (T = (log log n)^2 = {t})",
+        calm.worst_max_load().unwrap(),
+        chaos.worst_max_load().unwrap()
+    );
+    println!(
+        "tasks completed     {:>10} {:>10}",
+        calm.completions.count, chaos.completions.count
+    );
+    println!(
+        "control msgs / step {:>10.2} {:>10.2}",
+        calm.messages.control_total() as f64 / steps as f64,
+        chaos.messages.control_total() as f64 / steps as f64
+    );
+
+    match chaos.probe("faults") {
+        Some(ProbeOutput::Faults {
+            dropped_messages,
+            wasted_rounds,
+            retries,
+            crash_events,
+            recover_events,
+            crashed_steps,
+            mean_downtime,
+        }) => {
+            println!();
+            println!("fault layer (chaos run only):");
+            println!("  messages dropped    {dropped_messages}");
+            println!("  wasted game rounds  {wasted_rounds}");
+            println!("  search retries      {retries}");
+            println!("  crash events        {crash_events} ({recover_events} recovered)");
+            println!("  crashed proc-steps  {crashed_steps}");
+            println!("  mean outage length  {mean_downtime:.1} steps");
+        }
+        other => panic!("unexpected probe output: {other:?}"),
+    }
+
+    let worst = chaos.worst_max_load().unwrap();
+    assert!(
+        worst <= 4 * t,
+        "chaos run lost the load bound: {worst} > 4T = {}",
+        4 * t
+    );
+    println!();
+    println!("the chaotic run stayed within 4T: lost messages cost wasted");
+    println!("rounds and retries, not the load bound.");
+}

@@ -32,6 +32,29 @@ for t in 2 4 8; do
 done
 echo "    --threads {1,2,4,8} agree"
 
+echo "==> fault suite (determinism under loss + crashes, CLI end to end)"
+# With faults enabled the run is a pure function of (seed, fault-seed):
+# still byte-identical for every thread count, and the fault lines must
+# actually appear (a silent fall-back to the reliable path would also
+# pass the determinism sweep).
+fault_flags=(--n 512 --steps 1500 --seed 7 --loss-rate 0.05 --crash-rate 0.02 --fault-seed 3)
+faulty_baseline="$(./target/release/pcrlb "${fault_flags[@]}" --threads 1)"
+if ! grep -q "messages dropped" <<<"$faulty_baseline"; then
+  echo "FAIL: faulty run printed no fault report" >&2
+  exit 1
+fi
+for t in 2 4 8; do
+  got="$(./target/release/pcrlb "${fault_flags[@]}" --threads "$t")"
+  if [[ "$got" != "$faulty_baseline" ]]; then
+    echo "FAIL: faulty run with --threads $t differs from --threads 1" >&2
+    diff <(echo "$faulty_baseline") <(echo "$got") >&2 || true
+    exit 1
+  fi
+done
+echo "    faulty --threads {1,2,4,8} agree"
+cargo test -q --test faults >/dev/null
+echo "    tests/faults.rs green"
+
 # Advisory: ThreadSanitizer over the pool and threaded backends.
 # Needs a nightly toolchain with rust-src; skipped (not failed) when
 # unavailable, and failures never block the gate — TSan has known

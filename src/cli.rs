@@ -5,7 +5,10 @@
 
 use crate::baselines::{DChoiceAllocation, LauerAverage, LulingMonien, RandomSeeking, RsuEqualize};
 use crate::core::{BalancerConfig, Geometric, Multi, ScatterBalancer, Single, ThresholdBalancer};
-use crate::sim::{Backend, LoadModel, MaxLoadProbe, Runner, Strategy, Unbalanced};
+use crate::sim::{
+    Backend, FaultConfig, FaultProbe, LoadModel, MaxLoadProbe, ProbeOutput, Runner, Strategy,
+    Unbalanced,
+};
 use std::fmt;
 
 /// Which balancing strategy to run.
@@ -83,6 +86,34 @@ pub struct RunSpec {
     /// run sequentially, more use a persistent worker pool. The report
     /// is bit-identical for every value.
     pub threads: usize,
+    /// Probability that any protocol message is lost in flight
+    /// (0 disables the fault layer's loss channel).
+    pub loss_rate: f64,
+    /// Probability that a processor is down during any 64-step crash
+    /// window (0 disables crashes).
+    pub crash_rate: f64,
+    /// Seed for the fault schedule; varying it re-rolls the faults
+    /// while keeping the workload identical.
+    pub fault_seed: u64,
+}
+
+impl RunSpec {
+    /// The fault configuration this invocation asks for, or `None`
+    /// when both fault rates are zero (a reliable run is exactly the
+    /// historic fault-free code path).
+    pub fn fault_config(&self) -> Option<FaultConfig> {
+        if self.loss_rate <= 0.0 && self.crash_rate <= 0.0 {
+            return None;
+        }
+        let mut cfg = FaultConfig::reliable().with_seed(self.fault_seed);
+        if self.loss_rate > 0.0 {
+            cfg = cfg.with_loss(self.loss_rate);
+        }
+        if self.crash_rate > 0.0 {
+            cfg = cfg.with_crashes(self.crash_rate, 64);
+        }
+        Some(cfg)
+    }
 }
 
 impl Default for RunSpec {
@@ -94,6 +125,9 @@ impl Default for RunSpec {
             strategy: StrategyKind::Threshold,
             model: ModelKind::Single { p: 0.4, q: 0.5 },
             threads: 1,
+            loss_rate: 0.0,
+            crash_rate: 0.0,
+            fault_seed: 0,
         }
     }
 }
@@ -124,6 +158,11 @@ pub fn usage() -> String {
            --model M        single[:p,q] | geometric[:k] | multi\n\
            --threads N      worker threads (default 1 = sequential;\n\
                             >1 uses a persistent pool, same results)\n\
+           --loss-rate P    drop each protocol message w.p. P (default 0)\n\
+           --crash-rate P   crash each processor per 64-step window\n\
+                            w.p. P (default 0)\n\
+           --fault-seed N   re-roll the fault schedule without changing\n\
+                            the workload (default 0)\n\
            --help           show this text\n",
         strategies.join(", ")
     )
@@ -172,6 +211,27 @@ pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Option<RunSpec>,
                 spec.threads = value("--threads")?
                     .parse()
                     .map_err(|_| ParseError("--threads must be an integer".into()))?;
+            }
+            "--loss-rate" => {
+                spec.loss_rate = value("--loss-rate")?
+                    .parse()
+                    .map_err(|_| ParseError("--loss-rate must be a number".into()))?;
+                if !(0.0..1.0).contains(&spec.loss_rate) {
+                    return Err(ParseError("--loss-rate must lie in [0, 1)".into()));
+                }
+            }
+            "--crash-rate" => {
+                spec.crash_rate = value("--crash-rate")?
+                    .parse()
+                    .map_err(|_| ParseError("--crash-rate must be a number".into()))?;
+                if !(0.0..1.0).contains(&spec.crash_rate) {
+                    return Err(ParseError("--crash-rate must lie in [0, 1)".into()));
+                }
+            }
+            "--fault-seed" => {
+                spec.fault_seed = value("--fault-seed")?
+                    .parse()
+                    .map_err(|_| ParseError("--fault-seed must be an integer".into()))?;
             }
             other => return Err(ParseError(format!("unknown option '{other}'"))),
         }
@@ -235,6 +295,27 @@ pub struct RunReport {
     pub msgs_per_step: f64,
     /// The Theorem 1 bound for this `n`.
     pub theorem1_bound: usize,
+    /// Fault-layer counters; `None` for reliable runs, so the printed
+    /// report stays byte-identical to historic output when no fault
+    /// flag is given.
+    pub faults: Option<FaultSummary>,
+}
+
+/// Fault-layer counters surfaced in the CLI report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultSummary {
+    /// Control messages lost in flight over the run.
+    pub dropped_messages: u64,
+    /// Collision-game rounds that delivered no accept.
+    pub wasted_rounds: u64,
+    /// Heavy-processor search retries after failed phases.
+    pub retries: u64,
+    /// Crash transitions (alive → down) observed.
+    pub crash_events: u64,
+    /// Processor-steps spent down.
+    pub crashed_steps: u64,
+    /// Mean outage length in steps (0 when nothing recovered).
+    pub mean_downtime: f64,
 }
 
 impl fmt::Display for RunReport {
@@ -246,7 +327,17 @@ impl fmt::Display for RunReport {
         writeln!(f, "mean waiting time     = {:.2}", self.mean_wait)?;
         writeln!(f, "locality              = {:.1}%", self.locality * 100.0)?;
         writeln!(f, "control msgs / step   = {:.2}", self.msgs_per_step)?;
-        write!(f, "Theorem 1 bound T     = {}", self.theorem1_bound)
+        write!(f, "Theorem 1 bound T     = {}", self.theorem1_bound)?;
+        if let Some(faults) = &self.faults {
+            writeln!(f)?;
+            writeln!(f, "messages dropped      = {}", faults.dropped_messages)?;
+            writeln!(f, "wasted game rounds    = {}", faults.wasted_rounds)?;
+            writeln!(f, "search retries        = {}", faults.retries)?;
+            writeln!(f, "crash events          = {}", faults.crash_events)?;
+            writeln!(f, "crashed proc-steps    = {}", faults.crashed_steps)?;
+            write!(f, "mean downtime (steps) = {:.1}", faults.mean_downtime)?;
+        }
+        Ok(())
     }
 }
 
@@ -256,12 +347,34 @@ fn run_with<M: LoadModel + Sync, S: Strategy>(spec: &RunSpec, model: M, strategy
     } else {
         Backend::Sequential
     };
-    let report = Runner::new(spec.n, spec.seed)
+    let mut runner = Runner::new(spec.n, spec.seed)
         .model(model)
         .strategy(strategy)
         .backend(backend)
-        .probe(MaxLoadProbe::new())
-        .run(spec.steps);
+        .probe(MaxLoadProbe::new());
+    if let Some(faults) = spec.fault_config() {
+        runner = runner.faults(faults).probe(FaultProbe::new());
+    }
+    let report = runner.run(spec.steps);
+    let faults = report.probe("faults").and_then(|output| match *output {
+        ProbeOutput::Faults {
+            dropped_messages,
+            wasted_rounds,
+            retries,
+            crash_events,
+            crashed_steps,
+            mean_downtime,
+            ..
+        } => Some(FaultSummary {
+            dropped_messages,
+            wasted_rounds,
+            retries,
+            crash_events,
+            crashed_steps,
+            mean_downtime,
+        }),
+        _ => None,
+    });
     RunReport {
         worst_max_load: report.worst_max_load().unwrap_or(0),
         final_max_load: report.max_load,
@@ -271,6 +384,7 @@ fn run_with<M: LoadModel + Sync, S: Strategy>(spec: &RunSpec, model: M, strategy
         locality: report.completions.locality(),
         msgs_per_step: report.messages.control_total() as f64 / spec.steps.max(1) as f64,
         theorem1_bound: BalancerConfig::paper(spec.n).theorem1_bound(),
+        faults,
     }
 }
 
@@ -278,7 +392,15 @@ fn run_strategy<M: LoadModel + Sync>(spec: &RunSpec, model: M) -> RunReport {
     let n = spec.n;
     let t = BalancerConfig::paper(n).theorem1_bound();
     match spec.strategy {
-        StrategyKind::Threshold => run_with(spec, model, ThresholdBalancer::paper(n)),
+        StrategyKind::Threshold => {
+            // Under faults the balancer backs off failed searches so a
+            // lossy phase is not retried at full message cost forever.
+            let mut cfg = BalancerConfig::paper(n);
+            if spec.fault_config().is_some() {
+                cfg = cfg.with_retry_backoff(8);
+            }
+            run_with(spec, model, ThresholdBalancer::new(cfg))
+        }
         StrategyKind::Unbalanced => run_with(spec, model, Unbalanced),
         StrategyKind::Scatter => run_with(spec, model, ScatterBalancer::paper(n)),
         StrategyKind::TwoChoice => run_with(spec, model, DChoiceAllocation::new(2)),
@@ -411,6 +533,68 @@ mod tests {
     }
 
     #[test]
+    fn fault_flags_parse_and_validate() {
+        let spec = parse(args("--loss-rate 0.05 --crash-rate 0.01 --fault-seed 9"))
+            .unwrap()
+            .unwrap();
+        assert_eq!(spec.loss_rate, 0.05);
+        assert_eq!(spec.crash_rate, 0.01);
+        assert_eq!(spec.fault_seed, 9);
+        let cfg = spec.fault_config().unwrap();
+        assert_eq!(cfg.loss_rate, 0.05);
+        assert_eq!(cfg.crash_rate, 0.01);
+        assert_eq!(cfg.fault_seed, 9);
+        assert!(parse(args("--loss-rate 1.0"))
+            .unwrap_err()
+            .0
+            .contains("[0, 1)"));
+        assert!(parse(args("--crash-rate -0.5"))
+            .unwrap_err()
+            .0
+            .contains("[0, 1)"));
+        assert!(usage().contains("--loss-rate"));
+    }
+
+    #[test]
+    fn reliable_spec_has_no_fault_config_and_no_fault_lines() {
+        let spec = parse(args("")).unwrap().unwrap();
+        assert_eq!(spec.fault_config(), None);
+        let report = execute(&RunSpec {
+            n: 64,
+            steps: 200,
+            ..RunSpec::default()
+        });
+        assert_eq!(report.faults, None);
+        assert!(!report.to_string().contains("messages dropped"));
+    }
+
+    #[test]
+    fn faulty_run_reports_fault_lines_and_is_thread_independent() {
+        let base = RunSpec {
+            n: 64,
+            steps: 400,
+            seed: 11,
+            loss_rate: 0.05,
+            crash_rate: 0.02,
+            fault_seed: 3,
+            ..RunSpec::default()
+        };
+        let sequential = execute(&base);
+        let faults = sequential.faults.clone().expect("fault summary present");
+        assert!(faults.dropped_messages > 0, "5% loss should drop something");
+        let text = sequential.to_string();
+        assert!(text.contains("messages dropped"));
+        assert!(text.contains("crash events"));
+        for threads in [2, 4] {
+            let spec = RunSpec {
+                threads,
+                ..base.clone()
+            };
+            assert_eq!(execute(&spec), sequential, "threads={threads}");
+        }
+    }
+
+    #[test]
     fn every_strategy_executes() {
         for (name, kind) in StrategyKind::ALL {
             let spec = RunSpec {
@@ -419,7 +603,7 @@ mod tests {
                 seed: 3,
                 strategy: kind,
                 model: ModelKind::Single { p: 0.4, q: 0.5 },
-                threads: 1,
+                ..RunSpec::default()
             };
             let report = execute(&spec);
             assert!(report.completed > 0, "strategy {name} completed no tasks");

@@ -64,8 +64,9 @@ pub mod prelude {
         BalancerConfig, Geometric, Multi, ScatterBalancer, Single, ThresholdBalancer,
     };
     pub use pcrlb_sim::{
-        Backend, Engine, LoadModel, LoadSnapshotProbe, MaxLoadProbe, MessageRateProbe, PhaseProbe,
-        Probe, ProbeOutput, ProcId, RecoveryProbe, RunReport, Runner, SeriesProbe, SimRng,
-        SojournTailProbe, Step, Strategy, Task, TraceProbe, Unbalanced, WorkerPool, World,
+        Backend, Engine, FaultConfig, FaultModel, FaultPlan, FaultProbe, LoadModel,
+        LoadSnapshotProbe, MaxLoadProbe, MessageRateProbe, PhaseProbe, Probe, ProbeOutput, ProcId,
+        RecoveryProbe, Reliable, RunReport, Runner, SeriesProbe, SimRng, SojournTailProbe, Step,
+        Strategy, Task, TraceProbe, Unbalanced, WorkerPool, World,
     };
 }

@@ -1,0 +1,286 @@
+//! Fault-injection integration suite: the determinism contract under
+//! faults (bit-identical reports across backends for the same
+//! `(seed, fault_seed)`), the Reliable-equivalence guarantee, liveness
+//! at double-digit loss rates, the graceful-degradation sweep against
+//! the `(log log n)^2` bound, the `O(1/(1-p)^2)` rounds-to-partner
+//! shape, and Lemma 8's per-phase message accounting.
+
+use pcrlb::collision::{play_game, play_game_faulty, CollisionParams};
+use pcrlb::core::BalancerConfig;
+use pcrlb::prelude::*;
+use pcrlb::sim::{Bernoulli, GameFaults};
+
+/// A fault mix exercising every channel: loss, delay, crash, stall.
+fn chaos_config() -> FaultConfig {
+    FaultConfig::reliable()
+        .with_seed(17)
+        .with_loss(0.05)
+        .with_delays(0.1, 2)
+        .with_crashes(0.02, 64)
+        .with_stalls(0.02, 32)
+}
+
+fn run_faulty(n: usize, seed: u64, steps: u64, backend: Backend, faults: FaultConfig) -> RunReport {
+    Runner::new(n, seed)
+        .model(Single::default_paper())
+        .strategy(ThresholdBalancer::new(
+            BalancerConfig::paper(n).with_retry_backoff(8),
+        ))
+        .backend(backend)
+        .faults(faults)
+        .probe(MaxLoadProbe::new())
+        .probe(FaultProbe::new())
+        .run(steps)
+}
+
+#[test]
+fn reliable_fault_config_is_bit_identical_to_no_fault_config() {
+    // Passing `FaultConfig::reliable()` must not install a fault model
+    // at all: the run takes exactly the historic fault-free code path.
+    let n = 256;
+    let run = |with_config: bool| {
+        let mut runner = Runner::new(n, 23)
+            .model(Single::default_paper())
+            .strategy(ThresholdBalancer::paper(n))
+            .probe(MaxLoadProbe::new());
+        if with_config {
+            runner = runner.faults(FaultConfig::reliable());
+        }
+        runner.run(600)
+    };
+    assert_eq!(run(true), run(false));
+}
+
+#[test]
+fn runner_reports_identical_across_backends_with_faults() {
+    // The strongest determinism claim: with loss, delays, crashes and
+    // stalls all active, the *entire* report — final loads, completion
+    // histogram, message totals including drops, and every probe
+    // output — is bit-identical across all three backends.
+    let n = 300;
+    let seq = run_faulty(n, 7, 500, Backend::Sequential, chaos_config());
+    match seq.probe("faults") {
+        Some(ProbeOutput::Faults {
+            dropped_messages, ..
+        }) => assert!(*dropped_messages > 0, "5% loss dropped nothing"),
+        other => panic!("unexpected probe output: {other:?}"),
+    }
+    for threads in [2usize, 4] {
+        let mut thr = run_faulty(n, 7, 500, Backend::Threaded(threads), chaos_config());
+        assert_eq!(thr.backend, "threaded");
+        thr.backend = seq.backend;
+        assert_eq!(seq, thr, "threads={threads}");
+
+        let mut pooled = run_faulty(n, 7, 500, Backend::Pooled(threads), chaos_config());
+        assert_eq!(pooled.backend, "pooled");
+        pooled.backend = seq.backend;
+        assert_eq!(seq, pooled, "pool threads={threads}");
+    }
+}
+
+#[test]
+fn fault_seed_rerolls_faults_without_touching_the_workload() {
+    let n = 256;
+    let report = |fault_seed: u64| {
+        run_faulty(
+            n,
+            5,
+            500,
+            Backend::Sequential,
+            chaos_config().with_seed(fault_seed),
+        )
+    };
+    let a = report(1);
+    let b = report(2);
+    // Different fault schedules...
+    assert_ne!(a, b, "fault seed had no effect");
+    // ...but the same workload: generation is driven by the world's own
+    // RNG streams, which the fault layer never touches, so totals stay
+    // in the same regime (tasks are still generated and completed).
+    assert!(a.completions.count > 0 && b.completions.count > 0);
+}
+
+#[test]
+fn no_deadlock_or_blowup_at_ten_percent_loss() {
+    // The acceptance ceiling from the issue: at 10% message loss the
+    // system must neither deadlock (the run finishes, work completes)
+    // nor lose its load bound entirely.
+    let n = 512;
+    let faults = FaultConfig::reliable()
+        .with_seed(3)
+        .with_loss(0.10)
+        .with_delays(0.05, 2);
+    let report = run_faulty(n, 41, 3_000, Backend::Sequential, faults);
+    assert!(report.completions.count > 0, "nothing completed");
+    let t = BalancerConfig::paper(n).theorem1_bound();
+    let worst = report.worst_max_load().unwrap();
+    assert!(
+        worst <= 4 * t,
+        "max load {worst} lost the (log log n)^2 regime (4T = {})",
+        4 * t
+    );
+}
+
+#[test]
+fn degradation_sweep_max_load_normalizes_against_loglog_squared() {
+    // Graceful degradation: as loss climbs 0% → 1% → 5% → 10%, the
+    // worst max load may drift upward but must stay within a constant
+    // multiple of T = (log log n)^2 at every rate.
+    let n = 1024;
+    let t = BalancerConfig::paper(n).theorem1_bound();
+    let mut worst_by_rate = Vec::new();
+    for loss in [0.0, 0.01, 0.05, 0.10] {
+        let faults = FaultConfig::reliable().with_seed(29).with_loss(loss);
+        let report = run_faulty(n, 1998, 2_000, Backend::Sequential, faults);
+        let worst = report.worst_max_load().unwrap();
+        assert!(
+            worst <= 4 * t,
+            "loss={loss}: worst max load {worst} exceeded 4T = {}",
+            4 * t
+        );
+        worst_by_rate.push(worst);
+    }
+    // The reliable end of the sweep meets the paper's own bound.
+    assert!(worst_by_rate[0] <= 2 * t);
+}
+
+#[test]
+fn rounds_to_partner_stay_inverse_square_shaped() {
+    // A query succeeds only if both the query and its accept survive,
+    // i.e. with probability (1-p)^2 per attempt — so the expected
+    // number of game rounds a request needs scales like 1/(1-p)^2.
+    // Calibrate the constant from the loss-free game and check the
+    // lossy games stay inside it.
+    let n = 4096;
+    let params = CollisionParams::lemma1();
+    let requesters: Vec<usize> = (0..32).collect();
+    let seeds = 0..30u64;
+    let mean_rounds = |loss: f64| -> f64 {
+        let mut total = 0u64;
+        let mut games = 0u64;
+        for seed in seeds.clone() {
+            let mut rng = SimRng::new(1000 + seed);
+            let outcome = if loss == 0.0 {
+                play_game(n, &requesters, &params, &mut rng)
+            } else {
+                let model = Bernoulli::new(500 + seed, loss);
+                play_game_faulty(
+                    n,
+                    &requesters,
+                    &params,
+                    &mut rng,
+                    GameFaults::new(&model, seed),
+                )
+            };
+            total += u64::from(outcome.rounds_used);
+            games += 1;
+        }
+        total as f64 / games as f64
+    };
+    let base = mean_rounds(0.0);
+    assert!(base >= 1.0);
+    // Stay below the saturation point: near 30% loss enough requests
+    // lose 4 of their 5 query slots to burned capacity that games run
+    // to the round cap, and `rounds_used` stops measuring time-to-
+    // partner. The shape claim is about the pre-saturation regime.
+    for loss in [0.05, 0.1, 0.2] {
+        let mean = mean_rounds(loss);
+        // The constant absorbs capacity burning: with c = 1 a lost
+        // accept permanently consumes its target for the game, so the
+        // overhead is a bit above the pure (1-p)^-2 retry cost.
+        let survival = (1.0 - loss) * (1.0 - loss);
+        let bound = base * 2.5 / survival;
+        assert!(
+            mean <= bound,
+            "loss={loss}: mean rounds {mean:.2} above O(1/(1-p)^2) bound {bound:.2}"
+        );
+    }
+}
+
+#[test]
+fn lemma8_per_phase_message_bound_holds_with_and_without_faults() {
+    // Lemma 8 charges each phase a·R messages per request plus O(1)
+    // bookkeeping: every request sends at most `a` queries per round
+    // for at most R rounds, sees at most that many accepts back, and
+    // spends ≤ 3 id/sibling messages; classification adds ≤ 2 probes
+    // per heavy processor. Wasted rounds are *included* in R — a round
+    // that delivers nothing still pays its queries.
+    let n = 512;
+    let params = CollisionParams::lemma1();
+    let a = params.a as u64;
+    let r = u64::from(params.rounds(n));
+    let check = |faults: Option<FaultConfig>| {
+        let mut runner = Runner::new(n, 13)
+            .model(Single::default_paper())
+            .strategy(ThresholdBalancer::new(
+                BalancerConfig::paper(n).with_phase_reports(),
+            ))
+            .probe(PhaseProbe::new())
+            .probe(MessageRateProbe::new());
+        if let Some(cfg) = faults {
+            runner = runner.faults(cfg);
+        }
+        let report = runner.run(1_500);
+        let phases = match report.probe("phases") {
+            Some(ProbeOutput::Phases(p)) => p.clone(),
+            other => panic!("unexpected probe output: {other:?}"),
+        };
+        assert!(!phases.is_empty());
+        for ph in &phases {
+            let bound = ph.requests * (2 * a * r + 3) + 2 * ph.heavy as u64;
+            assert!(
+                ph.messages <= bound,
+                "phase {}: {} messages above Lemma 8 bound {bound}",
+                ph.phase,
+                ph.messages
+            );
+            assert!(
+                ph.wasted_rounds <= ph.rounds,
+                "wasted rounds not contained in round count"
+            );
+        }
+        // Satellite check: the message-rate probe sees the same rounds
+        // the phase reports carry, wasted ones included.
+        match report.probe("message_rate") {
+            Some(ProbeOutput::MessageRate {
+                game_rounds,
+                wasted_rounds,
+                ..
+            }) => {
+                assert_eq!(*game_rounds, phases.iter().map(|p| p.rounds).sum::<u64>());
+                assert_eq!(
+                    *wasted_rounds,
+                    phases.iter().map(|p| p.wasted_rounds).sum::<u64>()
+                );
+                assert!(*game_rounds > 0);
+            }
+            other => panic!("unexpected probe output: {other:?}"),
+        }
+    };
+    check(None);
+    check(Some(FaultConfig::reliable().with_seed(2).with_loss(0.05)));
+}
+
+#[test]
+fn crash_probe_sees_outages_and_recoveries() {
+    let n = 256;
+    let faults = FaultConfig::reliable().with_seed(6).with_crashes(0.10, 32);
+    let report = run_faulty(n, 77, 1_500, Backend::Sequential, faults);
+    match report.probe("faults") {
+        Some(ProbeOutput::Faults {
+            crash_events,
+            recover_events,
+            crashed_steps,
+            mean_downtime,
+            ..
+        }) => {
+            assert!(*crash_events > 0, "no crashes at 10% window rate");
+            assert!(*recover_events > 0, "nothing ever recovered");
+            assert!(*crashed_steps > 0);
+            assert!(*mean_downtime > 0.0);
+        }
+        other => panic!("unexpected probe output: {other:?}"),
+    }
+    // Crashed processors froze but did not sink the run.
+    assert!(report.completions.count > 0);
+}
