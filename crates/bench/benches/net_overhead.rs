@@ -1,0 +1,46 @@
+//! Criterion bench: what the wire costs. The loopback net backend runs
+//! the same simulation as the pooled backend but pays to encode every
+//! protocol message into a frame, route it through per-node mailboxes,
+//! and decode it behind a phase barrier — this bench isolates that
+//! overhead at n = 2^12 (TCP adds syscall latency on top and is
+//! measured by `examples/net_run.rs`, not here: socket timings are too
+//! noisy for criterion's statistics to be meaningful).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use pcrlb_core::{Single, ThresholdBalancer};
+use pcrlb_sim::{Backend, Runner};
+
+const STEPS: u64 = 32;
+const N: usize = 1 << 12;
+
+fn run(backend: Backend) -> u64 {
+    Runner::new(N, 1)
+        .model(Single::default_paper())
+        .strategy(ThresholdBalancer::paper(N))
+        .backend(backend)
+        .run(STEPS)
+        .total_load
+}
+
+fn bench_net_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("net_overhead");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(N as u64 * STEPS));
+    group.bench_function("sequential", |b| b.iter(|| run(Backend::Sequential)));
+    for workers in [2usize, 4] {
+        group.bench_with_input(
+            BenchmarkId::new("pooled", workers),
+            &workers,
+            |b, &workers| b.iter(|| run(Backend::Pooled(workers))),
+        );
+    }
+    for nodes in [1usize, 2, 4] {
+        group.bench_with_input(BenchmarkId::new("net", nodes), &nodes, |b, &nodes| {
+            b.iter(|| run(Backend::Net { nodes, tcp: false }))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_net_overhead);
+criterion_main!(benches);

@@ -14,12 +14,13 @@
 //! simultaneously, one collision game per tree level, exactly as the
 //! algorithm interleaves them.
 
-use crate::game::{play_game, play_game_faulty, GameOutcome};
+use crate::game::{play_game_impl, GameOutcome};
 use crate::params::CollisionParams;
 use crate::threaded::{
     play_game_pooled, play_game_pooled_faulty, play_game_threaded, play_game_threaded_faulty,
 };
-use pcrlb_faults::{FaultModel, GameFaults, MsgKind};
+use pcrlb_faults::{FaultModel, GameFaults, MsgCtx, MsgKind};
+use pcrlb_net::{ControlKind, WireLog};
 use pcrlb_sim::{ProcId, SimRng, WorkerPool};
 
 /// Fault context for one phase's search: the model plus a mutable
@@ -197,6 +198,60 @@ impl BalanceForest {
             rng,
             GameExec::Sequential,
             None,
+            None,
+        )
+    }
+
+    /// Like [`BalanceForest::search`], narrating every protocol message
+    /// (queries, accepts, id messages, sibling checks) into `log` as
+    /// [`pcrlb_net::ControlRecord`]s in emission order — the feed the
+    /// net runtime frames onto the wire. Games run sequentially on the
+    /// calling thread (the log is a serial narration); the outcome is
+    /// bit-identical to [`BalanceForest::search`] regardless.
+    pub fn search_logged(
+        &mut self,
+        heavy: &[ProcId],
+        light: &[ProcId],
+        params: &CollisionParams,
+        max_depth: u32,
+        rng: &mut SimRng,
+        log: &mut WireLog,
+    ) -> SearchOutcome {
+        self.search_impl(
+            heavy,
+            light,
+            params,
+            max_depth,
+            rng,
+            GameExec::Sequential,
+            None,
+            Some(log),
+        )
+    }
+
+    /// Logged variant of [`BalanceForest::search_faulty`]; each
+    /// record carries the fault coordinates its drop verdict was hashed
+    /// from, so a transport can reproduce the exact same losses.
+    #[allow(clippy::too_many_arguments)]
+    pub fn search_logged_faulty(
+        &mut self,
+        heavy: &[ProcId],
+        light: &[ProcId],
+        params: &CollisionParams,
+        max_depth: u32,
+        rng: &mut SimRng,
+        faults: SearchFaults<'_>,
+        log: &mut WireLog,
+    ) -> SearchOutcome {
+        self.search_impl(
+            heavy,
+            light,
+            params,
+            max_depth,
+            rng,
+            GameExec::Sequential,
+            Some(faults),
+            Some(log),
         )
     }
 
@@ -223,6 +278,7 @@ impl BalanceForest {
             rng,
             GameExec::Sequential,
             Some(faults),
+            None,
         )
     }
 
@@ -245,7 +301,7 @@ impl BalanceForest {
         } else {
             GameExec::Sequential
         };
-        self.search_impl(heavy, light, params, max_depth, rng, exec, None)
+        self.search_impl(heavy, light, params, max_depth, rng, exec, None, None)
     }
 
     /// Faulty variant of [`BalanceForest::search_threaded`];
@@ -267,7 +323,16 @@ impl BalanceForest {
         } else {
             GameExec::Sequential
         };
-        self.search_impl(heavy, light, params, max_depth, rng, exec, Some(faults))
+        self.search_impl(
+            heavy,
+            light,
+            params,
+            max_depth,
+            rng,
+            exec,
+            Some(faults),
+            None,
+        )
     }
 
     /// Like [`BalanceForest::search_threaded`], but each level's
@@ -292,6 +357,7 @@ impl BalanceForest {
             max_depth,
             rng,
             GameExec::Pooled(pool),
+            None,
             None,
         )
     }
@@ -318,6 +384,7 @@ impl BalanceForest {
             rng,
             GameExec::Pooled(pool),
             Some(faults),
+            None,
         )
     }
 
@@ -331,9 +398,14 @@ impl BalanceForest {
         rng: &mut SimRng,
         exec: GameExec<'_>,
         mut faults: Option<SearchFaults<'_>>,
+        mut log: Option<&mut WireLog>,
     ) -> SearchOutcome {
         debug_assert!(heavy.iter().all(|&p| p < self.n));
         debug_assert!(light.iter().all(|&p| p < self.n));
+        debug_assert!(
+            log.is_none() || matches!(exec, GameExec::Sequential),
+            "wire logging is a serial narration: games must run sequentially"
+        );
 
         self.reset(light);
 
@@ -369,9 +441,8 @@ impl BalanceForest {
             // that is, seen over all requesting processors".
             let game_faults = faults.as_mut().map(|f| f.next_game());
             let outcome: GameOutcome = match (&exec, game_faults) {
-                (GameExec::Sequential, None) => play_game(self.n, &searchers, params, rng),
-                (GameExec::Sequential, Some(gf)) => {
-                    play_game_faulty(self.n, &searchers, params, rng, gf)
+                (GameExec::Sequential, gf) => {
+                    play_game_impl(self.n, &searchers, params, rng, gf, log.as_deref_mut())
                 }
                 (GameExec::Scoped(shards), None) => {
                     play_game_threaded(self.n, &searchers, params, rng, *shards)
@@ -433,11 +504,30 @@ impl BalanceForest {
                         self.engaged[ch] = true;
                         self.touched.push(ch);
                         stats.id_messages += 1;
-                        if let Some(gf) = game_faults {
-                            if gf.dropped(level, si as u32, slot as u32, MsgKind::IdMessage) {
-                                stats.dropped += 1;
-                                continue;
+                        let id_dropped = game_faults.is_some_and(|gf| {
+                            gf.dropped(level, si as u32, slot as u32, MsgKind::IdMessage)
+                        });
+                        if let Some(l) = log.as_deref_mut() {
+                            match game_faults {
+                                Some(gf) => l.push_faultable(
+                                    ControlKind::IdMessage,
+                                    ch,
+                                    boss as usize,
+                                    MsgCtx {
+                                        nonce: gf.nonce,
+                                        round: level,
+                                        request: si as u32,
+                                        query: slot as u32,
+                                        kind: MsgKind::IdMessage,
+                                    },
+                                    id_dropped,
+                                ),
+                                None => l.push_reliable(ControlKind::IdMessage, ch, boss as usize),
                             }
+                        }
+                        if id_dropped {
+                            stats.dropped += 1;
+                            continue;
                         }
                         matches.push(Match {
                             heavy: boss as ProcId,
@@ -455,6 +545,11 @@ impl BalanceForest {
                 // co-ordinate through the parent (one sibling check) and
                 // both keep searching, doubling the frontier.
                 stats.sibling_checks += 1;
+                if let Some(l) = log.as_deref_mut() {
+                    // The siblings co-ordinate through their parent:
+                    // one wire message between the two children.
+                    l.push_reliable(ControlKind::Probe, children[0], children[1]);
+                }
                 for &ch in children {
                     if self.engaged[ch] {
                         // Already a root, forwarder, or reserved light
@@ -749,6 +844,76 @@ mod tests {
         );
         assert_eq!(out.matches, base.matches);
         assert_eq!(out.stats, base.stats);
+    }
+
+    #[test]
+    fn logged_search_is_bit_identical_and_log_matches_stats() {
+        use pcrlb_faults::Bernoulli;
+        use pcrlb_net::ControlKind;
+        let n = 1024;
+        let heavy = ids(0..24);
+        let light = ids(24..200); // scarce lights force deeper trees
+        let params = CollisionParams::lemma1();
+        let loss = Bernoulli::new(17, 0.2);
+
+        let mut f1 = BalanceForest::new(n);
+        let mut nonce1 = 5u64;
+        let base = f1.search_faulty(
+            &heavy,
+            &light,
+            &params,
+            4,
+            &mut SimRng::new(8),
+            SearchFaults::new(&loss, &mut nonce1),
+        );
+        let mut f2 = BalanceForest::new(n);
+        let mut nonce2 = 5u64;
+        let mut log = WireLog::new();
+        let logged = f2.search_logged_faulty(
+            &heavy,
+            &light,
+            &params,
+            4,
+            &mut SimRng::new(8),
+            SearchFaults::new(&loss, &mut nonce2),
+            &mut log,
+        );
+        assert_eq!(base.matches, logged.matches);
+        assert_eq!(base.unmatched, logged.unmatched);
+        assert_eq!(base.stats, logged.stats);
+        assert_eq!(nonce1, nonce2);
+
+        // The log is a complete narration: one record per counted
+        // message of every kind, drop flags summing to stats.dropped.
+        let count = |k: ControlKind| log.control.iter().filter(|r| r.kind == k).count() as u64;
+        assert_eq!(count(ControlKind::Query), logged.stats.queries);
+        assert_eq!(count(ControlKind::Accept), logged.stats.accepts);
+        assert_eq!(count(ControlKind::IdMessage), logged.stats.id_messages);
+        assert_eq!(count(ControlKind::Probe), logged.stats.sibling_checks);
+        let dropped = log.control.iter().filter(|r| r.dropped).count() as u64;
+        assert_eq!(dropped, logged.stats.dropped);
+        // Sibling checks are not subject to fault injection.
+        assert!(log
+            .control
+            .iter()
+            .filter(|r| r.kind == ControlKind::Probe)
+            .all(|r| r.fault.is_none() && !r.dropped));
+
+        // Reliable logged search agrees with the plain one too.
+        let mut f3 = BalanceForest::new(n);
+        let plain = f3.search(&heavy, &light, &params, 4, &mut SimRng::new(8));
+        let mut f4 = BalanceForest::new(n);
+        let mut rlog = WireLog::new();
+        let rlogged = f4.search_logged(&heavy, &light, &params, 4, &mut SimRng::new(8), &mut rlog);
+        assert_eq!(plain.matches, rlogged.matches);
+        assert_eq!(plain.stats, rlogged.stats);
+        assert_eq!(
+            rlog.len() as u64,
+            plain.stats.queries
+                + plain.stats.accepts
+                + plain.stats.id_messages
+                + plain.stats.sibling_checks
+        );
     }
 
     #[test]

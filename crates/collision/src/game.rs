@@ -17,7 +17,8 @@
 //! most one query" guarantee Lemma 1 needs.
 
 use crate::params::CollisionParams;
-use pcrlb_faults::{GameFaults, MsgKind};
+use pcrlb_faults::{GameFaults, MsgCtx, MsgKind};
+use pcrlb_net::{ControlKind, WireLog};
 use pcrlb_sim::{ProcId, SimRng};
 use std::collections::HashMap;
 
@@ -101,7 +102,7 @@ pub fn play_game(
     params: &CollisionParams,
     rng: &mut SimRng,
 ) -> GameOutcome {
-    play_game_impl(n, requesters, params, rng, None)
+    play_game_impl(n, requesters, params, rng, None, None)
 }
 
 /// Plays one collision game over an unreliable network.
@@ -125,15 +126,35 @@ pub fn play_game_faulty(
     rng: &mut SimRng,
     faults: GameFaults<'_>,
 ) -> GameOutcome {
-    play_game_impl(n, requesters, params, rng, Some(faults))
+    play_game_impl(n, requesters, params, rng, Some(faults), None)
 }
 
-fn play_game_impl(
+/// Plays one collision game while narrating every query and accept
+/// into `log` as a [`pcrlb_net::ControlRecord`], in emission order —
+/// the feed the net runtime turns into physical frames. The game
+/// outcome is bit-identical to [`play_game`] / [`play_game_faulty`]
+/// for the same inputs: logging adds records, never RNG draws.
+///
+/// # Panics
+/// Panics under the same conditions as [`play_game`].
+pub fn play_game_logged(
     n: usize,
     requesters: &[ProcId],
     params: &CollisionParams,
     rng: &mut SimRng,
     faults: Option<GameFaults<'_>>,
+    log: &mut WireLog,
+) -> GameOutcome {
+    play_game_impl(n, requesters, params, rng, faults, Some(log))
+}
+
+pub(crate) fn play_game_impl(
+    n: usize,
+    requesters: &[ProcId],
+    params: &CollisionParams,
+    rng: &mut SimRng,
+    faults: Option<GameFaults<'_>>,
+    mut log: Option<&mut WireLog>,
 ) -> GameOutcome {
     params.validate().expect("invalid collision parameters");
     assert!(
@@ -200,11 +221,25 @@ fn play_game_impl(
                 }
                 queries_sent += 1;
                 let Some(f) = faults else {
+                    if let Some(l) = log.as_deref_mut() {
+                        l.push_reliable(ControlKind::Query, requesters[ri], t);
+                    }
                     req.next_send[qi] = round + 1;
                     inbox.entry(t).or_default().push((ri, qi));
                     continue;
                 };
-                if f.dropped(round, ri as u32, qi as u32, MsgKind::Query) {
+                let dropped = f.dropped(round, ri as u32, qi as u32, MsgKind::Query);
+                if let Some(l) = log.as_deref_mut() {
+                    let ctx = MsgCtx {
+                        nonce: f.nonce,
+                        round,
+                        request: ri as u32,
+                        query: qi as u32,
+                        kind: MsgKind::Query,
+                    };
+                    l.push_faultable(ControlKind::Query, requesters[ri], t, ctx, dropped);
+                }
+                if dropped {
                     queries_dropped += 1;
                     req.next_send[qi] = round + 1;
                     continue;
@@ -246,12 +281,34 @@ fn play_game_impl(
             for &(ri, qi) in queries {
                 accepts_sent += 1;
                 let mut arrival = round;
+                let mut dropped = false;
                 if let Some(f) = faults {
-                    if f.dropped(round, ri as u32, qi as u32, MsgKind::Accept) {
-                        accepts_dropped += 1;
-                        continue;
+                    dropped = f.dropped(round, ri as u32, qi as u32, MsgKind::Accept);
+                    if !dropped {
+                        arrival += f.delay(round, ri as u32, qi as u32, MsgKind::Accept);
                     }
-                    arrival += f.delay(round, ri as u32, qi as u32, MsgKind::Accept);
+                }
+                if let Some(l) = log.as_deref_mut() {
+                    match faults {
+                        Some(f) => l.push_faultable(
+                            ControlKind::Accept,
+                            target,
+                            requesters[ri],
+                            MsgCtx {
+                                nonce: f.nonce,
+                                round,
+                                request: ri as u32,
+                                query: qi as u32,
+                                kind: MsgKind::Accept,
+                            },
+                            dropped,
+                        ),
+                        None => l.push_reliable(ControlKind::Accept, target, requesters[ri]),
+                    }
+                }
+                if dropped {
+                    accepts_dropped += 1;
+                    continue;
                 }
                 if arrival > round {
                     delayed_accepts.push((arrival, ri, qi));
@@ -534,6 +591,54 @@ mod tests {
         assert_eq!(out.queries_dropped, 0);
         // The first round(s) deliver nothing: wasted.
         assert!(out.wasted_rounds >= 1);
+    }
+
+    #[test]
+    fn logged_game_is_bit_identical_and_log_matches_counters() {
+        use pcrlb_faults::{Bernoulli, GameFaults};
+        use pcrlb_net::{ControlKind, WireLog};
+        let params = lemma1();
+        let n = 1024;
+        let requesters: Vec<ProcId> = (0..48).collect();
+        let loss = Bernoulli::new(5, 0.25);
+        let mut a = SimRng::new(12);
+        let plain = play_game_faulty(n, &requesters, &params, &mut a, GameFaults::new(&loss, 3));
+        let mut b = SimRng::new(12);
+        let mut log = WireLog::new();
+        let logged = play_game_logged(
+            n,
+            &requesters,
+            &params,
+            &mut b,
+            Some(GameFaults::new(&loss, 3)),
+            &mut log,
+        );
+        assert_eq!(plain.accepted, logged.accepted);
+        assert_eq!(plain.queries_sent, logged.queries_sent);
+        assert_eq!(plain.accepts_sent, logged.accepts_sent);
+        // One record per sent message, in emission order, with drop
+        // verdicts agreeing with the counters.
+        let queries = log
+            .control
+            .iter()
+            .filter(|r| r.kind == ControlKind::Query)
+            .count() as u64;
+        let accepts = log
+            .control
+            .iter()
+            .filter(|r| r.kind == ControlKind::Accept)
+            .count() as u64;
+        let dropped = log.control.iter().filter(|r| r.dropped).count() as u64;
+        assert_eq!(queries, logged.queries_sent);
+        assert_eq!(accepts, logged.accepts_sent);
+        assert_eq!(dropped, logged.queries_dropped + logged.accepts_dropped);
+        assert!(log.control.iter().all(|r| r.fault.is_some()));
+        // Reliable logging carries no fault coordinates.
+        let mut c = SimRng::new(12);
+        let mut rlog = WireLog::new();
+        let rel = play_game_logged(n, &requesters, &params, &mut c, None, &mut rlog);
+        assert_eq!(rlog.len() as u64, rel.queries_sent + rel.accepts_sent);
+        assert!(rlog.control.iter().all(|r| r.fault.is_none() && !r.dropped));
     }
 
     #[test]

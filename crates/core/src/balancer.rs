@@ -16,7 +16,8 @@
 use crate::config::BalancerConfig;
 use pcrlb_collision::{BalanceForest, SearchFaults};
 use pcrlb_sim::{
-    Event, MessageKind, MessageStats, ProcId, Step, Strategy, Trace, WorkerPool, World,
+    ControlKind, Event, MessageKind, MessageStats, ProcId, Step, Strategy, Trace, WireLog,
+    WorkerPool, World,
 };
 use std::collections::HashMap;
 
@@ -221,13 +222,20 @@ impl ThresholdBalancer {
     /// i.u.a.r.; a light processor receiving exactly one probe becomes
     /// that sender's partner. Returns the matches; matched processors
     /// are removed from `heavy_buf` / `light_buf`.
-    fn preround(&mut self, world: &mut World) -> Vec<(ProcId, ProcId)> {
+    fn preround(
+        &mut self,
+        world: &mut World,
+        mut log: Option<&mut WireLog>,
+    ) -> Vec<(ProcId, ProcId)> {
         let n = self.cfg.n;
         let mut probes: HashMap<ProcId, Vec<ProcId>> = HashMap::new();
         for &h in &self.heavy_buf {
             let mut t = world.rng_global().below(n);
             while t == h {
                 t = world.rng_global().below(n);
+            }
+            if let Some(lg) = log.as_deref_mut() {
+                lg.push_reliable(ControlKind::Probe, h, t);
             }
             probes.entry(t).or_default().push(h);
         }
@@ -247,6 +255,11 @@ impl ThresholdBalancer {
         }
         // Deterministic order regardless of hash-map iteration.
         matches.sort_unstable();
+        if let Some(lg) = log {
+            for &(h, l) in &matches {
+                lg.push_reliable(ControlKind::IdMessage, l, h);
+            }
+        }
         world
             .ledger_mut()
             .record(MessageKind::IdMessage, matches.len() as u64);
@@ -264,6 +277,10 @@ impl ThresholdBalancer {
         let n = self.cfg.n;
         let fault_model = world.active_faults();
         let mut retries_this_phase = 0u64;
+        // When a net runtime is listening, narrate every control
+        // message into a wire log; the runtime frames each record onto
+        // the transport after this step's protocol work is decided.
+        let mut wlog: Option<WireLog> = world.wire_enabled().then(WireLog::new);
 
         // Classify from the loads at the phase boundary (weighted mode
         // reads remaining work instead of task counts). Crashed
@@ -329,7 +346,7 @@ impl ThresholdBalancer {
         // Optional §4.3 pre-round.
         let mut all_matches: Vec<(ProcId, ProcId, u32)> = Vec::new();
         if self.cfg.adversarial_preround && !self.heavy_buf.is_empty() {
-            for (h, l) in self.preround(world) {
+            for (h, l) in self.preround(world, wlog.as_mut()) {
                 all_matches.push((h, l, 0));
             }
         }
@@ -342,7 +359,32 @@ impl ThresholdBalancer {
         let mut dropped_this_phase = 0u64;
         let mut failed = 0usize;
         if !self.heavy_buf.is_empty() {
-            let outcome = if self.cfg.game_shards > 1 {
+            let outcome = if let Some(wl) = wlog.as_mut() {
+                // Wire narration is serial, so the logged search runs
+                // its games sequentially even when `game_shards > 1` —
+                // the sharded games are bit-identical to the sequential
+                // one (asserted by `game_shards_do_not_change_results`),
+                // so the outcome is unchanged.
+                match &fault_model {
+                    Some(model) => self.forest.search_logged_faulty(
+                        &self.heavy_buf,
+                        &self.light_buf,
+                        &self.cfg.collision,
+                        self.cfg.tree_depth,
+                        world.rng_global(),
+                        SearchFaults::new(&**model, &mut self.game_nonce),
+                        wl,
+                    ),
+                    None => self.forest.search_logged(
+                        &self.heavy_buf,
+                        &self.light_buf,
+                        &self.cfg.collision,
+                        self.cfg.tree_depth,
+                        world.rng_global(),
+                        wl,
+                    ),
+                }
+            } else if self.cfg.game_shards > 1 {
                 let shards = self.cfg.game_shards;
                 let pool = self.pool.get_or_insert_with(|| WorkerPool::new(shards));
                 match &fault_model {
@@ -492,6 +534,9 @@ impl ThresholdBalancer {
             if self.cfg.record_phases {
                 self.reports.push(report);
             }
+        }
+        if let Some(mut wl) = wlog {
+            world.record_wire_log(&mut wl);
         }
         self.phase += 1;
     }

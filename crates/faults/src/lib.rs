@@ -164,6 +164,33 @@ pub trait FaultModel: Send + Sync + fmt::Debug {
     fn is_stalled(&self, _proc: usize, _step: u64) -> bool {
         false
     }
+
+    /// Transport-level hook: should the **physical frame** carrying
+    /// the message with these coordinates be dropped on the wire?
+    ///
+    /// The default delegates to [`FaultModel::drop_message`]: because
+    /// every fault decision is a pure hash of the same coordinates,
+    /// the transport and the protocol simulation reach the *same*
+    /// verdict independently — a frame vanishes on the wire exactly
+    /// when the logical layer already simulated its loss, which is
+    /// what keeps a lossy message-passing run bit-identical to the
+    /// sequential backend. Override only for transport-only fault
+    /// models that drop frames the protocol layer does not know about
+    /// (which will, by design, break sequential equivalence).
+    fn frame_dropped(&self, ctx: &MsgCtx) -> bool {
+        self.drop_message(ctx)
+    }
+
+    /// Transport-level hook: extra delivery rounds for the physical
+    /// frame with these coordinates. Mirrors
+    /// [`FaultModel::message_delay`] the same way
+    /// [`FaultModel::frame_dropped`] mirrors drops. The synchronous
+    /// net runtime delivers all of a step's frames within the step, so
+    /// delay shows up as the logical round stamp on the frame rather
+    /// than physical reordering.
+    fn frame_delay(&self, ctx: &MsgCtx) -> u32 {
+        self.message_delay(ctx)
+    }
 }
 
 /// The no-op fault model: perfectly reliable messaging, no crashes,

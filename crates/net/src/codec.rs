@@ -1,0 +1,362 @@
+//! Compact binary codec for [`WireMsg`].
+//!
+//! # Frame format
+//!
+//! Every frame is a versioned envelope followed by a little-endian
+//! payload:
+//!
+//! ```text
+//! offset  size  field
+//! 0       2     magic   0x50 0x42 ("PB")
+//! 2       1     version (currently 1)
+//! 3       1     tag     (1=Hello, 2=Control, 3=Transfer, 4=Barrier)
+//! 4       ...   payload (fixed layout per tag, all integers LE)
+//! ```
+//!
+//! Payloads:
+//!
+//! ```text
+//! Hello     node:u32
+//! Control   kind:u8  src:u64  dst:u64  nonce:u64  round:u32
+//! Transfer  seq:u32  src:u64  dst:u64  count:u32  count × {id:u64 origin:u64 born:u64 weight:u32}
+//! Barrier   node:u32 step:u64 load:u64
+//! ```
+//!
+//! The codec is strict: decoding rejects short frames, wrong magic,
+//! unknown versions, unknown tags/kinds, oversized task counts, and
+//! trailing bytes. Frames do **not** carry their own length — the
+//! transports add a `u32` length prefix on the stream (TCP) or deliver
+//! whole frames (loopback), so by the time `decode` runs the frame
+//! boundary is already known.
+
+use crate::wire::{ControlKind, WireMsg, WireTask};
+
+/// Frame magic: "PB".
+pub const MAGIC: [u8; 2] = [0x50, 0x42];
+
+/// Current protocol version. Bump on any payload layout change.
+pub const PROTOCOL_VERSION: u8 = 1;
+
+/// Sanity cap on tasks per transfer frame, guarding decoders against
+/// corrupt or hostile length fields (a cap of 2^20 tasks ≈ 28 MiB).
+pub const MAX_TASKS_PER_FRAME: usize = 1 << 20;
+
+const TAG_HELLO: u8 = 1;
+const TAG_CONTROL: u8 = 2;
+const TAG_TRANSFER: u8 = 3;
+const TAG_BARRIER: u8 = 4;
+
+/// Why a frame failed to decode.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CodecError {
+    /// The frame ended before its payload was complete.
+    Truncated,
+    /// The first two bytes were not [`MAGIC`].
+    BadMagic,
+    /// Unknown protocol version.
+    BadVersion(u8),
+    /// Unknown frame tag.
+    BadTag(u8),
+    /// Unknown control kind.
+    BadKind(u8),
+    /// Transfer frame declared more than [`MAX_TASKS_PER_FRAME`] tasks.
+    Oversized(u64),
+    /// Bytes left over after a complete payload.
+    TrailingBytes,
+}
+
+impl std::fmt::Display for CodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CodecError::Truncated => write!(f, "truncated frame"),
+            CodecError::BadMagic => write!(f, "bad frame magic"),
+            CodecError::BadVersion(v) => write!(f, "unsupported protocol version {v}"),
+            CodecError::BadTag(t) => write!(f, "unknown frame tag {t}"),
+            CodecError::BadKind(k) => write!(f, "unknown control kind {k}"),
+            CodecError::Oversized(n) => write!(f, "transfer declares {n} tasks (over cap)"),
+            CodecError::TrailingBytes => write!(f, "trailing bytes after payload"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+/// Encodes `msg` into a fresh byte vector.
+#[must_use]
+pub fn encode(msg: &WireMsg) -> Vec<u8> {
+    let mut out = Vec::with_capacity(encoded_len(msg));
+    out.extend_from_slice(&MAGIC);
+    out.push(PROTOCOL_VERSION);
+    match msg {
+        WireMsg::Hello { node } => {
+            out.push(TAG_HELLO);
+            out.extend_from_slice(&node.to_le_bytes());
+        }
+        WireMsg::Control {
+            kind,
+            src,
+            dst,
+            nonce,
+            round,
+        } => {
+            out.push(TAG_CONTROL);
+            out.push(kind.tag());
+            out.extend_from_slice(&src.to_le_bytes());
+            out.extend_from_slice(&dst.to_le_bytes());
+            out.extend_from_slice(&nonce.to_le_bytes());
+            out.extend_from_slice(&round.to_le_bytes());
+        }
+        WireMsg::Transfer {
+            seq,
+            src,
+            dst,
+            tasks,
+        } => {
+            out.push(TAG_TRANSFER);
+            out.extend_from_slice(&seq.to_le_bytes());
+            out.extend_from_slice(&src.to_le_bytes());
+            out.extend_from_slice(&dst.to_le_bytes());
+            out.extend_from_slice(&(tasks.len() as u32).to_le_bytes());
+            for t in tasks {
+                out.extend_from_slice(&t.id.to_le_bytes());
+                out.extend_from_slice(&t.origin.to_le_bytes());
+                out.extend_from_slice(&t.born.to_le_bytes());
+                out.extend_from_slice(&t.weight.to_le_bytes());
+            }
+        }
+        WireMsg::Barrier { node, step, load } => {
+            out.push(TAG_BARRIER);
+            out.extend_from_slice(&node.to_le_bytes());
+            out.extend_from_slice(&step.to_le_bytes());
+            out.extend_from_slice(&load.to_le_bytes());
+        }
+    }
+    out
+}
+
+/// Exact encoded size of `msg`, envelope included.
+#[must_use]
+pub fn encoded_len(msg: &WireMsg) -> usize {
+    4 + match msg {
+        WireMsg::Hello { .. } => 4,
+        WireMsg::Control { .. } => 1 + 8 + 8 + 8 + 4,
+        WireMsg::Transfer { tasks, .. } => 4 + 8 + 8 + 4 + tasks.len() * 28,
+        WireMsg::Barrier { .. } => 4 + 8 + 8,
+    }
+}
+
+/// Decodes one complete frame. Strict: see the module docs for the
+/// rejection rules.
+pub fn decode(frame: &[u8]) -> Result<WireMsg, CodecError> {
+    let mut r = Reader::new(frame);
+    if r.take_bytes(2)? != MAGIC {
+        return Err(CodecError::BadMagic);
+    }
+    let version = r.take_u8()?;
+    if version != PROTOCOL_VERSION {
+        return Err(CodecError::BadVersion(version));
+    }
+    let tag = r.take_u8()?;
+    let msg = match tag {
+        TAG_HELLO => WireMsg::Hello {
+            node: r.take_u32()?,
+        },
+        TAG_CONTROL => {
+            let kind_tag = r.take_u8()?;
+            let kind = ControlKind::from_tag(kind_tag).ok_or(CodecError::BadKind(kind_tag))?;
+            WireMsg::Control {
+                kind,
+                src: r.take_u64()?,
+                dst: r.take_u64()?,
+                nonce: r.take_u64()?,
+                round: r.take_u32()?,
+            }
+        }
+        TAG_TRANSFER => {
+            let seq = r.take_u32()?;
+            let src = r.take_u64()?;
+            let dst = r.take_u64()?;
+            let count = r.take_u32()? as u64;
+            if count > MAX_TASKS_PER_FRAME as u64 {
+                return Err(CodecError::Oversized(count));
+            }
+            let mut tasks = Vec::with_capacity(count as usize);
+            for _ in 0..count {
+                tasks.push(WireTask {
+                    id: r.take_u64()?,
+                    origin: r.take_u64()?,
+                    born: r.take_u64()?,
+                    weight: r.take_u32()?,
+                });
+            }
+            WireMsg::Transfer {
+                seq,
+                src,
+                dst,
+                tasks,
+            }
+        }
+        TAG_BARRIER => WireMsg::Barrier {
+            node: r.take_u32()?,
+            step: r.take_u64()?,
+            load: r.take_u64()?,
+        },
+        other => return Err(CodecError::BadTag(other)),
+    };
+    if !r.is_empty() {
+        return Err(CodecError::TrailingBytes);
+    }
+    Ok(msg)
+}
+
+/// Cursor over a frame's bytes.
+struct Reader<'a> {
+    buf: &'a [u8],
+}
+
+impl<'a> Reader<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Reader { buf }
+    }
+
+    fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    fn take_bytes(&mut self, n: usize) -> Result<&'a [u8], CodecError> {
+        if self.buf.len() < n {
+            return Err(CodecError::Truncated);
+        }
+        let (head, tail) = self.buf.split_at(n);
+        self.buf = tail;
+        Ok(head)
+    }
+
+    fn take_u8(&mut self) -> Result<u8, CodecError> {
+        Ok(self.take_bytes(1)?[0])
+    }
+
+    fn take_u32(&mut self) -> Result<u32, CodecError> {
+        Ok(u32::from_le_bytes(self.take_bytes(4)?.try_into().unwrap()))
+    }
+
+    fn take_u64(&mut self) -> Result<u64, CodecError> {
+        Ok(u64::from_le_bytes(self.take_bytes(8)?.try_into().unwrap()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_msgs() -> Vec<WireMsg> {
+        vec![
+            WireMsg::Hello { node: 3 },
+            WireMsg::Control {
+                kind: ControlKind::Query,
+                src: 12,
+                dst: 99,
+                nonce: 0xDEAD_BEEF,
+                round: 4,
+            },
+            WireMsg::Transfer {
+                seq: 7,
+                src: 1,
+                dst: 2,
+                tasks: vec![
+                    WireTask {
+                        id: 10,
+                        origin: 1,
+                        born: 55,
+                        weight: 1,
+                    },
+                    WireTask {
+                        id: 11,
+                        origin: 1,
+                        born: 56,
+                        weight: 3,
+                    },
+                ],
+            },
+            WireMsg::Transfer {
+                seq: 0,
+                src: 0,
+                dst: 0,
+                tasks: vec![],
+            },
+            WireMsg::Barrier {
+                node: 2,
+                step: 1000,
+                load: 12345,
+            },
+        ]
+    }
+
+    #[test]
+    fn round_trip_all_variants() {
+        for msg in sample_msgs() {
+            let bytes = encode(&msg);
+            assert_eq!(bytes.len(), encoded_len(&msg));
+            assert_eq!(decode(&bytes).unwrap(), msg);
+        }
+    }
+
+    #[test]
+    fn rejects_truncation_at_every_length() {
+        for msg in sample_msgs() {
+            let bytes = encode(&msg);
+            for cut in 0..bytes.len() {
+                let err = decode(&bytes[..cut]).unwrap_err();
+                assert!(
+                    matches!(err, CodecError::Truncated | CodecError::BadMagic),
+                    "cut={cut} gave {err:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_bad_magic_version_tag_kind_trailing() {
+        let good = encode(&WireMsg::Hello { node: 1 });
+        let mut bad = good.clone();
+        bad[0] = 0xFF;
+        assert_eq!(decode(&bad).unwrap_err(), CodecError::BadMagic);
+        let mut bad = good.clone();
+        bad[2] = PROTOCOL_VERSION + 1;
+        assert_eq!(
+            decode(&bad).unwrap_err(),
+            CodecError::BadVersion(PROTOCOL_VERSION + 1)
+        );
+        let mut bad = good.clone();
+        bad[3] = 0xEE;
+        assert_eq!(decode(&bad).unwrap_err(), CodecError::BadTag(0xEE));
+        let mut bad = good.clone();
+        bad.push(0);
+        assert_eq!(decode(&bad).unwrap_err(), CodecError::TrailingBytes);
+        let mut bad = encode(&WireMsg::Control {
+            kind: ControlKind::Probe,
+            src: 0,
+            dst: 0,
+            nonce: 0,
+            round: 0,
+        });
+        bad[4] = 0;
+        assert_eq!(decode(&bad).unwrap_err(), CodecError::BadKind(0));
+    }
+
+    #[test]
+    fn rejects_oversized_task_count() {
+        let mut bytes = encode(&WireMsg::Transfer {
+            seq: 0,
+            src: 0,
+            dst: 0,
+            tasks: vec![],
+        });
+        let count_off = bytes.len() - 4;
+        bytes[count_off..].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert_eq!(
+            decode(&bytes).unwrap_err(),
+            CodecError::Oversized(u64::from(u32::MAX))
+        );
+    }
+}

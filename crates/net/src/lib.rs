@@ -1,0 +1,45 @@
+//! # pcrlb-net — message-passing runtime primitives
+//!
+//! Until this crate, every execution backend simulated the collision
+//! protocol of Berenbrink–Friedetzky–Mayr (SPAA 1998) over shared
+//! memory: the message ledger *counted* queries, accepts and transfers
+//! but nothing was ever encoded or sent. This crate supplies the
+//! physical layer that makes the paper's communication costs (Lemma 7
+//! rounds-to-partner, Lemma 8 messages-per-phase) measurable as real
+//! wire traffic:
+//!
+//! * [`wire`] — serializable twins of every protocol message
+//!   ([`WireMsg`]: query/accept/id/probe/load-reply controls, task
+//!   transfers, barrier sync, TCP hello), plus the [`ControlRecord`] /
+//!   [`WireLog`] types the protocol layer uses to narrate its sends to
+//!   the runtime;
+//! * [`codec`] — a strict, compact, versioned little-endian binary
+//!   codec (`magic ∥ version ∥ tag ∥ payload`) with exhaustive error
+//!   reporting;
+//! * [`transport`] — the [`Transport`] trait (a group of per-node
+//!   endpoints) and the deterministic in-process [`LoopbackNet`];
+//! * [`tcp`] — [`TcpNet`]: length-prefixed frames over `std::net`
+//!   with per-peer connection reuse, hello handshakes, and read/write
+//!   timeouts;
+//! * [`stats`] — [`FrameStats`], counting frames and bytes that
+//!   actually moved (as opposed to ledger increments).
+//!
+//! The crate is a dependency leaf (it depends only on `pcrlb-faults`
+//! for fault coordinates); the `NetRuntime` that drives a simulation
+//! over these transports lives in `pcrlb-sim::net`, which re-exports
+//! the types below.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod codec;
+pub mod stats;
+pub mod tcp;
+pub mod transport;
+pub mod wire;
+
+pub use codec::{decode, encode, encoded_len, CodecError, MAGIC, PROTOCOL_VERSION};
+pub use stats::FrameStats;
+pub use tcp::TcpNet;
+pub use transport::{LoopbackNet, NetError, Transport, DEFAULT_TIMEOUT};
+pub use wire::{ControlKind, ControlRecord, WireLog, WireMsg, WireTask};

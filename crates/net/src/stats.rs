@@ -1,0 +1,120 @@
+//! Frame-level traffic statistics.
+
+use std::ops::{Add, AddAssign, Sub};
+
+/// Counts of physical frames and bytes moved by a transport endpoint
+/// (or aggregated over all endpoints of a run). Unlike the simulator's
+/// `MessageStats` ledger — which counts *logical* protocol messages at
+/// decision time — these numbers are incremented only when bytes are
+/// actually encoded and handed to (or received from) a transport.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FrameStats {
+    /// Frames charged to the sender — including frames the transport
+    /// then dropped on fault-model orders (the sender pays at send
+    /// time, the Lemma 8 charging rule), so globally
+    /// `frames_sent == frames_received + frames_dropped`.
+    pub frames_sent: u64,
+    /// Frames received from the transport.
+    pub frames_received: u64,
+    /// Encoded bytes sent (envelope included, length prefix excluded).
+    pub bytes_sent: u64,
+    /// Encoded bytes received.
+    pub bytes_received: u64,
+    /// Control frames sent (query/accept/id/probe/load-reply).
+    pub control_frames: u64,
+    /// Transfer frames sent.
+    pub transfer_frames: u64,
+    /// Barrier frames sent.
+    pub barrier_frames: u64,
+    /// Frames the transport dropped on fault-model orders, i.e. the
+    /// physical realization of `FaultModel::frame_dropped`.
+    pub frames_dropped: u64,
+    /// Tasks carried inside sent transfer frames.
+    pub payload_tasks: u64,
+}
+
+impl FrameStats {
+    /// Zeroed stats.
+    #[must_use]
+    pub fn new() -> Self {
+        FrameStats::default()
+    }
+
+    /// Records one sent frame of `len` bytes.
+    #[inline]
+    pub fn record_sent(&mut self, len: usize) {
+        self.frames_sent += 1;
+        self.bytes_sent += len as u64;
+    }
+
+    /// Records one received frame of `len` bytes.
+    #[inline]
+    pub fn record_received(&mut self, len: usize) {
+        self.frames_received += 1;
+        self.bytes_received += len as u64;
+    }
+}
+
+impl Add for FrameStats {
+    type Output = FrameStats;
+    fn add(mut self, rhs: FrameStats) -> FrameStats {
+        self += rhs;
+        self
+    }
+}
+
+impl AddAssign for FrameStats {
+    fn add_assign(&mut self, rhs: FrameStats) {
+        self.frames_sent += rhs.frames_sent;
+        self.frames_received += rhs.frames_received;
+        self.bytes_sent += rhs.bytes_sent;
+        self.bytes_received += rhs.bytes_received;
+        self.control_frames += rhs.control_frames;
+        self.transfer_frames += rhs.transfer_frames;
+        self.barrier_frames += rhs.barrier_frames;
+        self.frames_dropped += rhs.frames_dropped;
+        self.payload_tasks += rhs.payload_tasks;
+    }
+}
+
+impl Sub for FrameStats {
+    type Output = FrameStats;
+    /// Windowed difference; panics in debug builds if `rhs` is not an
+    /// earlier snapshot of the same counters.
+    fn sub(self, rhs: FrameStats) -> FrameStats {
+        FrameStats {
+            frames_sent: self.frames_sent - rhs.frames_sent,
+            frames_received: self.frames_received - rhs.frames_received,
+            bytes_sent: self.bytes_sent - rhs.bytes_sent,
+            bytes_received: self.bytes_received - rhs.bytes_received,
+            control_frames: self.control_frames - rhs.control_frames,
+            transfer_frames: self.transfer_frames - rhs.transfer_frames,
+            barrier_frames: self.barrier_frames - rhs.barrier_frames,
+            frames_dropped: self.frames_dropped - rhs.frames_dropped,
+            payload_tasks: self.payload_tasks - rhs.payload_tasks,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_sums_fieldwise() {
+        let mut a = FrameStats::new();
+        a.record_sent(10);
+        a.record_sent(20);
+        a.control_frames = 2;
+        let mut b = FrameStats::new();
+        b.record_received(30);
+        b.frames_dropped = 1;
+        let sum = a + b;
+        assert_eq!(sum.frames_sent, 2);
+        assert_eq!(sum.bytes_sent, 30);
+        assert_eq!(sum.frames_received, 1);
+        assert_eq!(sum.bytes_received, 30);
+        assert_eq!(sum.control_frames, 2);
+        assert_eq!(sum.frames_dropped, 1);
+    }
+}

@@ -1,0 +1,315 @@
+//! TCP transport: length-prefixed frames over `std::net`, no external
+//! dependencies.
+//!
+//! # Stream format
+//!
+//! Each frame on the wire is a `u32` little-endian length prefix
+//! followed by that many bytes of codec envelope (see [`crate::codec`]).
+//! The first frame on every fresh connection must be a
+//! [`WireMsg::Hello`] identifying the dialing node; after the
+//! handshake the connection carries protocol frames only.
+//!
+//! # Topology and lifecycle
+//!
+//! Every endpoint binds one listener on `127.0.0.1:0` at group
+//! creation, so the group knows all peer addresses up front and no
+//! port coordination is needed. Outgoing connections are established
+//! lazily on first send to a peer and **reused** for the rest of the
+//! run (one cached write stream per peer). Each endpoint runs one
+//! acceptor thread plus one reader thread per inbound connection;
+//! readers forward complete frames into the endpoint's mailbox
+//! channel, which `recv` drains with the configured timeout. Reads and
+//! writes both carry socket timeouts, so a wedged peer surfaces as
+//! [`NetError::Timeout`]/[`NetError::Io`] instead of a hang.
+
+use crate::codec;
+use crate::transport::{NetError, Transport, DEFAULT_TIMEOUT};
+use crate::wire::WireMsg;
+use std::io::{ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender};
+use std::sync::{mpsc, Arc};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Hard cap on a single frame, guarding readers against corrupt
+/// length prefixes.
+const MAX_FRAME_BYTES: u32 = 64 << 20;
+
+/// Socket-level read poll granularity inside reader threads; bounded
+/// so shutdown is responsive while idle connections stay alive.
+const READ_POLL: Duration = Duration::from_millis(500);
+
+/// One node's TCP endpoint. See the module docs for the lifecycle.
+#[derive(Debug)]
+pub struct TcpNet {
+    node: usize,
+    addrs: Vec<SocketAddr>,
+    rx: Receiver<Vec<u8>>,
+    peers: Vec<Option<TcpStream>>,
+    timeout: Duration,
+    shutdown: Arc<AtomicBool>,
+    acceptor: Option<JoinHandle<()>>,
+}
+
+impl TcpNet {
+    /// Binds a group of `nodes` endpoints on 127.0.0.1 ephemeral ports
+    /// with the default timeout.
+    pub fn group(nodes: usize) -> std::io::Result<Vec<TcpNet>> {
+        TcpNet::group_with_timeout(nodes, DEFAULT_TIMEOUT)
+    }
+
+    /// Binds a group with an explicit receive/write timeout.
+    pub fn group_with_timeout(nodes: usize, timeout: Duration) -> std::io::Result<Vec<TcpNet>> {
+        assert!(nodes > 0, "a transport group needs at least one node");
+        let mut listeners = Vec::with_capacity(nodes);
+        let mut addrs = Vec::with_capacity(nodes);
+        for _ in 0..nodes {
+            let l = TcpListener::bind("127.0.0.1:0")?;
+            addrs.push(l.local_addr()?);
+            listeners.push(l);
+        }
+        let mut group = Vec::with_capacity(nodes);
+        for (node, listener) in listeners.into_iter().enumerate() {
+            let (tx, rx) = mpsc::channel();
+            let shutdown = Arc::new(AtomicBool::new(false));
+            let acceptor = spawn_acceptor(listener, tx, Arc::clone(&shutdown));
+            group.push(TcpNet {
+                node,
+                addrs: addrs.clone(),
+                rx,
+                peers: (0..nodes).map(|_| None).collect(),
+                timeout,
+                shutdown,
+                acceptor: Some(acceptor),
+            });
+        }
+        Ok(group)
+    }
+
+    /// Establishes (or returns the cached) write stream to `to`.
+    fn stream_to(&mut self, to: usize) -> Result<&mut TcpStream, NetError> {
+        if self.peers[to].is_none() {
+            let stream = TcpStream::connect_timeout(&self.addrs[to], self.timeout)
+                .map_err(|e| NetError::Io(e.to_string()))?;
+            stream
+                .set_write_timeout(Some(self.timeout))
+                .map_err(|e| NetError::Io(e.to_string()))?;
+            let _ = stream.set_nodelay(true);
+            let mut stream = stream;
+            let hello = codec::encode(&WireMsg::Hello {
+                node: self.node as u32,
+            });
+            write_frame(&mut stream, &hello).map_err(|e| NetError::Io(e.to_string()))?;
+            self.peers[to] = Some(stream);
+        }
+        Ok(self.peers[to].as_mut().expect("stream cached above"))
+    }
+}
+
+impl Transport for TcpNet {
+    fn node(&self) -> usize {
+        self.node
+    }
+
+    fn nodes(&self) -> usize {
+        self.addrs.len()
+    }
+
+    fn send(&mut self, to: usize, frame: &[u8]) -> Result<(), NetError> {
+        if to >= self.addrs.len() {
+            return Err(NetError::Closed);
+        }
+        let stream = self.stream_to(to)?;
+        if let Err(e) = write_frame(stream, frame) {
+            // A dead cached connection is not reusable; forget it so a
+            // retry dials fresh.
+            self.peers[to] = None;
+            return Err(NetError::Io(e.to_string()));
+        }
+        Ok(())
+    }
+
+    fn recv(&mut self) -> Result<Vec<u8>, NetError> {
+        match self.rx.recv_timeout(self.timeout) {
+            Ok(frame) => Ok(frame),
+            Err(RecvTimeoutError::Timeout) => Err(NetError::Timeout),
+            Err(RecvTimeoutError::Disconnected) => Err(NetError::Closed),
+        }
+    }
+}
+
+impl Drop for TcpNet {
+    fn drop(&mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        // Close cached write streams so peers' reader threads see EOF.
+        for p in &mut self.peers {
+            *p = None;
+        }
+        // Wake the acceptor out of accept() so it can observe shutdown.
+        let _ = TcpStream::connect_timeout(&self.addrs[self.node], Duration::from_millis(200));
+        if let Some(h) = self.acceptor.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Writes one length-prefixed frame.
+fn write_frame(stream: &mut TcpStream, frame: &[u8]) -> std::io::Result<()> {
+    stream.write_all(&(frame.len() as u32).to_le_bytes())?;
+    stream.write_all(frame)?;
+    Ok(())
+}
+
+/// Reads exactly `buf.len()` bytes, tolerating socket read-timeout
+/// polls; bails out if `shutdown` flips mid-read only when no partial
+/// data would be torn (i.e. between frames, handled by the caller).
+fn read_exact_polling(
+    stream: &mut TcpStream,
+    buf: &mut [u8],
+    shutdown: &AtomicBool,
+) -> std::io::Result<bool> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match stream.read(&mut buf[filled..]) {
+            Ok(0) => return Ok(false), // EOF
+            Ok(n) => filled += n,
+            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
+                // Mid-frame timeouts are only fatal once shutdown is
+                // requested and nothing of this frame has arrived yet.
+                if shutdown.load(Ordering::SeqCst) && filled == 0 {
+                    return Ok(false);
+                }
+            }
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(true)
+}
+
+/// Accepts inbound connections and spawns one reader per connection.
+fn spawn_acceptor(
+    listener: TcpListener,
+    tx: Sender<Vec<u8>>,
+    shutdown: Arc<AtomicBool>,
+) -> JoinHandle<()> {
+    std::thread::spawn(move || {
+        let mut readers = Vec::new();
+        while let Ok((stream, _)) = listener.accept() {
+            if shutdown.load(Ordering::SeqCst) {
+                break;
+            }
+            let tx = tx.clone();
+            let shutdown = Arc::clone(&shutdown);
+            readers.push(std::thread::spawn(move || {
+                read_connection(stream, &tx, &shutdown);
+            }));
+        }
+        for r in readers {
+            let _ = r.join();
+        }
+    })
+}
+
+/// Reads frames off one inbound connection and forwards them to the
+/// endpoint mailbox. The first frame must be a valid `Hello`.
+fn read_connection(mut stream: TcpStream, tx: &Sender<Vec<u8>>, shutdown: &AtomicBool) {
+    if stream.set_read_timeout(Some(READ_POLL)).is_err() {
+        return;
+    }
+    let mut first = true;
+    loop {
+        let mut len_buf = [0u8; 4];
+        match read_exact_polling(&mut stream, &mut len_buf, shutdown) {
+            Ok(true) => {}
+            _ => return,
+        }
+        let len = u32::from_le_bytes(len_buf);
+        if len > MAX_FRAME_BYTES {
+            return; // corrupt stream; drop the connection
+        }
+        let mut frame = vec![0u8; len as usize];
+        match read_exact_polling(&mut stream, &mut frame, shutdown) {
+            Ok(true) => {}
+            _ => return,
+        }
+        if first {
+            first = false;
+            // Handshake: refuse streams that do not introduce
+            // themselves with a well-formed Hello.
+            match codec::decode(&frame) {
+                Ok(WireMsg::Hello { .. }) => continue,
+                _ => return,
+            }
+        }
+        if tx.send(frame).is_err() {
+            return; // endpoint gone
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tcp_round_trip_and_connection_reuse() {
+        let mut group = TcpNet::group_with_timeout(2, Duration::from_secs(5)).unwrap();
+        let mut b = group.pop().unwrap();
+        let mut a = group.pop().unwrap();
+        let f1 = codec::encode(&WireMsg::Barrier {
+            node: 0,
+            step: 1,
+            load: 7,
+        });
+        let f2 = codec::encode(&WireMsg::Barrier {
+            node: 0,
+            step: 2,
+            load: 8,
+        });
+        a.send(1, &f1).unwrap();
+        a.send(1, &f2).unwrap();
+        assert_eq!(b.recv().unwrap(), f1);
+        assert_eq!(b.recv().unwrap(), f2);
+        // Reuse: still exactly one cached stream to peer 1.
+        assert!(a.peers[1].is_some());
+        // And the reverse direction works too.
+        b.send(0, &f1).unwrap();
+        assert_eq!(a.recv().unwrap(), f1);
+    }
+
+    #[test]
+    fn tcp_self_send_delivers() {
+        let mut group = TcpNet::group_with_timeout(1, Duration::from_secs(5)).unwrap();
+        let mut a = group.pop().unwrap();
+        let f = codec::encode(&WireMsg::Hello { node: 9 });
+        a.send(0, &f).unwrap();
+        assert_eq!(a.recv().unwrap(), f);
+    }
+
+    #[test]
+    fn tcp_recv_times_out() {
+        let mut group = TcpNet::group_with_timeout(1, Duration::from_millis(50)).unwrap();
+        let err = group[0].recv().unwrap_err();
+        assert!(matches!(err, NetError::Timeout));
+    }
+
+    #[test]
+    fn tcp_rejects_streams_without_hello() {
+        let mut group = TcpNet::group_with_timeout(1, Duration::from_millis(300)).unwrap();
+        let ep = group.pop().unwrap();
+        // Dial raw and send a non-Hello first frame: it must not be
+        // delivered.
+        let mut raw = TcpStream::connect(ep.addrs[0]).unwrap();
+        let bogus = codec::encode(&WireMsg::Barrier {
+            node: 0,
+            step: 0,
+            load: 0,
+        });
+        write_frame(&mut raw, &bogus).unwrap();
+        let mut ep = ep;
+        assert!(matches!(ep.recv().unwrap_err(), NetError::Timeout));
+    }
+}

@@ -1,0 +1,199 @@
+//! The [`Transport`] trait and the deterministic in-process loopback
+//! implementation.
+//!
+//! A transport is a *group* of node endpoints created together; each
+//! endpoint is owned by one node thread and can send an opaque frame
+//! to any node in the group (including itself) and receive the next
+//! frame addressed to it. Delivery is reliable and per-sender FIFO;
+//! cross-sender interleaving is unspecified — the runtime restores
+//! determinism above the transport with sequence numbers and barrier
+//! rounds, so *both* implementations (loopback and TCP) drive the
+//! simulation to bit-identical results.
+
+use crate::codec::CodecError;
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+/// Default receive/write timeout: generous enough for CI under load,
+/// small enough that a lost peer fails the run instead of hanging it.
+pub const DEFAULT_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// Transport failure.
+#[derive(Clone, Debug)]
+pub enum NetError {
+    /// No frame arrived within the endpoint's receive timeout.
+    Timeout,
+    /// The peer (or the whole group) shut down.
+    Closed,
+    /// Socket-level I/O error (TCP only).
+    Io(String),
+    /// A received frame failed to decode.
+    Codec(CodecError),
+}
+
+impl std::fmt::Display for NetError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NetError::Timeout => write!(f, "receive timed out"),
+            NetError::Closed => write!(f, "transport closed"),
+            NetError::Io(e) => write!(f, "io error: {e}"),
+            NetError::Codec(e) => write!(f, "codec error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {}
+
+impl From<CodecError> for NetError {
+    fn from(e: CodecError) -> Self {
+        NetError::Codec(e)
+    }
+}
+
+/// One node's endpoint into a transport group.
+///
+/// Implementations must be `Send` so node threads can own their
+/// endpoint for the duration of a scoped step.
+pub trait Transport: Send {
+    /// This endpoint's node id (0-based, dense).
+    fn node(&self) -> usize;
+
+    /// Number of nodes in the group.
+    fn nodes(&self) -> usize;
+
+    /// Sends one already-encoded frame to `to`. Self-sends are allowed
+    /// and deliver like any other frame.
+    fn send(&mut self, to: usize, frame: &[u8]) -> Result<(), NetError>;
+
+    /// Receives the next frame addressed to this node, blocking up to
+    /// the transport's timeout.
+    fn recv(&mut self) -> Result<Vec<u8>, NetError>;
+}
+
+/// Shared state of one loopback mailbox.
+#[derive(Debug, Default)]
+struct Mailbox {
+    queue: Mutex<VecDeque<Vec<u8>>>,
+    ready: Condvar,
+}
+
+/// The deterministic in-process transport: one unbounded FIFO mailbox
+/// per node, guarded by a mutex + condvar. Sends never block; receives
+/// block until a frame arrives (or the timeout fires). Per-sender
+/// ordering is exact FIFO; there is no I/O, no ports, and no threads
+/// of its own, so a loopback group is as cheap as a channel.
+#[derive(Debug)]
+pub struct LoopbackNet {
+    node: usize,
+    boxes: Arc<Vec<Mailbox>>,
+    timeout: Duration,
+}
+
+impl LoopbackNet {
+    /// Creates a loopback group of `nodes` endpoints with the default
+    /// timeout.
+    #[must_use]
+    pub fn group(nodes: usize) -> Vec<LoopbackNet> {
+        LoopbackNet::group_with_timeout(nodes, DEFAULT_TIMEOUT)
+    }
+
+    /// Creates a loopback group with an explicit receive timeout.
+    #[must_use]
+    pub fn group_with_timeout(nodes: usize, timeout: Duration) -> Vec<LoopbackNet> {
+        assert!(nodes > 0, "a transport group needs at least one node");
+        let boxes = Arc::new((0..nodes).map(|_| Mailbox::default()).collect::<Vec<_>>());
+        (0..nodes)
+            .map(|node| LoopbackNet {
+                node,
+                boxes: Arc::clone(&boxes),
+                timeout,
+            })
+            .collect()
+    }
+}
+
+impl Transport for LoopbackNet {
+    fn node(&self) -> usize {
+        self.node
+    }
+
+    fn nodes(&self) -> usize {
+        self.boxes.len()
+    }
+
+    fn send(&mut self, to: usize, frame: &[u8]) -> Result<(), NetError> {
+        let mbox = self.boxes.get(to).ok_or(NetError::Closed)?;
+        let mut q = mbox.queue.lock().expect("loopback mailbox poisoned");
+        q.push_back(frame.to_vec());
+        drop(q);
+        mbox.ready.notify_one();
+        Ok(())
+    }
+
+    fn recv(&mut self) -> Result<Vec<u8>, NetError> {
+        let mbox = &self.boxes[self.node];
+        let mut q = mbox.queue.lock().expect("loopback mailbox poisoned");
+        loop {
+            if let Some(frame) = q.pop_front() {
+                return Ok(frame);
+            }
+            let (guard, res) = mbox
+                .ready
+                .wait_timeout(q, self.timeout)
+                .expect("loopback mailbox poisoned");
+            q = guard;
+            if res.timed_out() && q.is_empty() {
+                return Err(NetError::Timeout);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn loopback_delivers_in_fifo_order_per_sender() {
+        let mut eps = LoopbackNet::group(2);
+        let (a, b) = {
+            let b = eps.pop().unwrap();
+            (eps.pop().unwrap(), b)
+        };
+        let mut a = a;
+        let mut b = b;
+        a.send(1, b"one").unwrap();
+        a.send(1, b"two").unwrap();
+        a.send(0, b"self").unwrap();
+        assert_eq!(b.recv().unwrap(), b"one");
+        assert_eq!(b.recv().unwrap(), b"two");
+        assert_eq!(a.recv().unwrap(), b"self");
+    }
+
+    #[test]
+    fn loopback_recv_times_out_when_empty() {
+        let mut eps = LoopbackNet::group_with_timeout(1, Duration::from_millis(20));
+        let err = eps[0].recv().unwrap_err();
+        assert!(matches!(err, NetError::Timeout));
+    }
+
+    #[test]
+    fn loopback_crosses_threads() {
+        let mut eps = LoopbackNet::group(3);
+        let mut c = eps.pop().unwrap();
+        let mut b = eps.pop().unwrap();
+        let mut a = eps.pop().unwrap();
+        std::thread::scope(|s| {
+            s.spawn(move || {
+                a.send(2, b"from-a").unwrap();
+            });
+            s.spawn(move || {
+                b.send(2, b"from-b").unwrap();
+            });
+            let mut got = vec![c.recv().unwrap(), c.recv().unwrap()];
+            got.sort();
+            assert_eq!(got, vec![b"from-a".to_vec(), b"from-b".to_vec()]);
+        });
+    }
+}

@@ -1,0 +1,229 @@
+//! Wire-level message types.
+//!
+//! Everything the protocol layer says over the network is one of the
+//! [`WireMsg`] variants below. The types here are deliberately dumb
+//! data — the simulator's `Task` and the collision crate's in-memory
+//! message bookkeeping convert to and from these structs at the
+//! runtime boundary, so this crate stays a dependency leaf.
+
+use pcrlb_faults::MsgCtx;
+
+/// A task as it travels inside a [`WireMsg::Transfer`] frame. Mirrors
+/// the simulator's `Task` field-for-field with fixed-width integers so
+/// the encoding is platform independent.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct WireTask {
+    /// Globally unique task id.
+    pub id: u64,
+    /// Processor that generated the task.
+    pub origin: u64,
+    /// Step at which the task was generated.
+    pub born: u64,
+    /// Work units (1 for the paper's unit tasks).
+    pub weight: u32,
+}
+
+/// The kind of a control-plane message. This is the wire-facing twin
+/// of the simulator ledger's `MessageKind`: the five message kinds the
+/// paper's protocol exchanges besides task transfers.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ControlKind {
+    /// Collision-game query (requester → target).
+    Query,
+    /// Collision-game acceptance (target → requester).
+    Accept,
+    /// Id-message carrying a match up a balancing-request tree.
+    IdMessage,
+    /// Load probe (preround heavy → candidate partner).
+    Probe,
+    /// Load reply / sibling check answer.
+    LoadReply,
+}
+
+impl ControlKind {
+    /// Stable one-byte wire tag.
+    #[inline]
+    #[must_use]
+    pub fn tag(self) -> u8 {
+        match self {
+            ControlKind::Query => 1,
+            ControlKind::Accept => 2,
+            ControlKind::IdMessage => 3,
+            ControlKind::Probe => 4,
+            ControlKind::LoadReply => 5,
+        }
+    }
+
+    /// Inverse of [`ControlKind::tag`].
+    #[inline]
+    #[must_use]
+    pub fn from_tag(tag: u8) -> Option<Self> {
+        Some(match tag {
+            1 => ControlKind::Query,
+            2 => ControlKind::Accept,
+            3 => ControlKind::IdMessage,
+            4 => ControlKind::Probe,
+            5 => ControlKind::LoadReply,
+            _ => return None,
+        })
+    }
+
+    /// All kinds, for exhaustive tests.
+    pub const ALL: [ControlKind; 5] = [
+        ControlKind::Query,
+        ControlKind::Accept,
+        ControlKind::IdMessage,
+        ControlKind::Probe,
+        ControlKind::LoadReply,
+    ];
+}
+
+/// One control-plane message as recorded by the protocol layer: the
+/// physical endpoints plus (when the message is subject to fault
+/// injection) the exact coordinates the logical layer hashed to decide
+/// its fate. The runtime turns each record into a real frame; the
+/// transport consults `FaultModel::frame_dropped` on the same
+/// coordinates, so the physical drop coincides with the logical one.
+#[derive(Clone, Copy, Debug)]
+pub struct ControlRecord {
+    /// Message kind.
+    pub kind: ControlKind,
+    /// Sending processor.
+    pub src: u64,
+    /// Receiving processor.
+    pub dst: u64,
+    /// Fault coordinates, or `None` when the logical protocol has no
+    /// drop path for this message (e.g. preround probes).
+    pub fault: Option<MsgCtx>,
+    /// What the logical layer decided: `true` means the message was
+    /// dropped in the game/forest simulation. The transport must come
+    /// to the same conclusion via `frame_dropped` (both are the same
+    /// pure hash), and the runtime cross-checks in debug builds.
+    pub dropped: bool,
+}
+
+/// An append-only log of control records for one simulation step,
+/// filled by the collision game / balance forest / balancer when a net
+/// runtime is listening.
+#[derive(Clone, Debug, Default)]
+pub struct WireLog {
+    /// The records, in emission order.
+    pub control: Vec<ControlRecord>,
+}
+
+impl WireLog {
+    /// Empty log.
+    #[must_use]
+    pub fn new() -> Self {
+        WireLog::default()
+    }
+
+    /// Appends one record.
+    #[inline]
+    pub fn push(&mut self, rec: ControlRecord) {
+        self.control.push(rec);
+    }
+
+    /// Appends a record that is not subject to fault injection.
+    #[inline]
+    pub fn push_reliable(&mut self, kind: ControlKind, src: usize, dst: usize) {
+        self.control.push(ControlRecord {
+            kind,
+            src: src as u64,
+            dst: dst as u64,
+            fault: None,
+            dropped: false,
+        });
+    }
+
+    /// Appends a faultable record with its logical drop verdict.
+    #[inline]
+    pub fn push_faultable(
+        &mut self,
+        kind: ControlKind,
+        src: usize,
+        dst: usize,
+        ctx: MsgCtx,
+        dropped: bool,
+    ) {
+        self.control.push(ControlRecord {
+            kind,
+            src: src as u64,
+            dst: dst as u64,
+            fault: Some(ctx),
+            dropped,
+        });
+    }
+
+    /// Moves all records out of `other` into `self`, preserving order.
+    pub fn append(&mut self, other: &mut WireLog) {
+        self.control.append(&mut other.control);
+    }
+
+    /// Number of records.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.control.len()
+    }
+
+    /// True when no records have been logged.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.control.is_empty()
+    }
+}
+
+/// A decoded protocol frame. See the crate docs for the envelope
+/// layout; [`crate::codec`] for the byte-level format.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum WireMsg {
+    /// Connection handshake: the first frame on every fresh TCP
+    /// connection, identifying the dialing node. Loopback never sends
+    /// it.
+    Hello {
+        /// Node id of the connecting peer.
+        node: u32,
+    },
+    /// One control-plane protocol message (query/accept/id/probe/
+    /// load-reply). `nonce`/`round` carry the fault coordinates' game
+    /// identity for observability; they are zero for messages outside
+    /// any game.
+    Control {
+        /// Message kind.
+        kind: ControlKind,
+        /// Sending processor.
+        src: u64,
+        /// Receiving processor.
+        dst: u64,
+        /// Game nonce (0 outside games).
+        nonce: u64,
+        /// Game round / tree level (0 outside games).
+        round: u32,
+    },
+    /// A block transfer of tasks between two processors. `seq` is the
+    /// global emission sequence number assigned by the control step;
+    /// receivers apply transfers in `seq` order so the result is
+    /// independent of network arrival order.
+    Transfer {
+        /// Global emission sequence number within the step.
+        seq: u32,
+        /// Sending processor.
+        src: u64,
+        /// Receiving processor.
+        dst: u64,
+        /// The tasks, in queue order.
+        tasks: Vec<WireTask>,
+    },
+    /// Phase-synchronization round: every node sends one barrier frame
+    /// to every other node and waits for all of them — a coordinator-
+    /// free all-to-all sync. Carries the sender's shard load as a
+    /// piggybacked load report.
+    Barrier {
+        /// Sending node.
+        node: u32,
+        /// Simulation step the barrier closes.
+        step: u64,
+        /// Total load of the sender's shard (piggybacked gossip).
+        load: u64,
+    },
+}

@@ -1,0 +1,140 @@
+//! Property tests for the wire codec (vendored proptest): every
+//! message kind round-trips through encode/decode at arbitrary field
+//! values and payload sizes, and the decoder rejects truncated frames,
+//! foreign versions, corrupted magic, and trailing garbage.
+
+use pcrlb_net::{
+    codec, decode, encode, encoded_len, CodecError, ControlKind, WireMsg, WireTask,
+    PROTOCOL_VERSION,
+};
+use proptest::prelude::*;
+
+fn arb_task() -> BoxedStrategy<WireTask> {
+    (any::<u64>(), any::<u64>(), any::<u64>(), any::<u32>())
+        .prop_map(|(id, origin, born, weight)| WireTask {
+            id,
+            origin,
+            born,
+            weight,
+        })
+        .boxed()
+}
+
+fn arb_kind() -> BoxedStrategy<ControlKind> {
+    any::<u32>()
+        .prop_map(|v| ControlKind::ALL[(v % 5) as usize])
+        .boxed()
+}
+
+fn arb_msg() -> BoxedStrategy<WireMsg> {
+    prop_oneof![
+        any::<u32>().prop_map(|node| WireMsg::Hello { node }),
+        (
+            arb_kind(),
+            any::<u64>(),
+            any::<u64>(),
+            any::<u64>(),
+            any::<u32>()
+        )
+            .prop_map(|(kind, src, dst, nonce, round)| WireMsg::Control {
+                kind,
+                src,
+                dst,
+                nonce,
+                round,
+            }),
+        (
+            any::<u32>(),
+            any::<u64>(),
+            any::<u64>(),
+            proptest::collection::vec(arb_task(), 0..300),
+        )
+            .prop_map(|(seq, src, dst, tasks)| WireMsg::Transfer {
+                seq,
+                src,
+                dst,
+                tasks,
+            }),
+        (any::<u32>(), any::<u64>(), any::<u64>())
+            .prop_map(|(node, step, load)| { WireMsg::Barrier { node, step, load } }),
+    ]
+    .boxed()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// encode → decode is the identity for every message kind, at
+    /// arbitrary field values and transfer payload sizes.
+    #[test]
+    fn round_trip(msg in arb_msg()) {
+        let bytes = encode(&msg);
+        prop_assert_eq!(bytes.len(), encoded_len(&msg));
+        prop_assert_eq!(decode(&bytes).unwrap(), msg);
+    }
+
+    /// Any strict prefix of a valid frame is rejected (as truncated,
+    /// or as bad magic when even the magic is cut short).
+    #[test]
+    fn rejects_truncation(msg in arb_msg(), frac in any::<u64>()) {
+        let bytes = encode(&msg);
+        let cut = (frac % bytes.len() as u64) as usize;
+        let err = decode(&bytes[..cut]).unwrap_err();
+        prop_assert!(
+            matches!(err, CodecError::Truncated | CodecError::BadMagic),
+            "cut={} gave {:?}", cut, err
+        );
+    }
+
+    /// Every version byte other than the current one is rejected as
+    /// BadVersion, regardless of the rest of the frame.
+    #[test]
+    fn rejects_foreign_versions(msg in arb_msg(), v in any::<u32>()) {
+        let version = (v % 256) as u8;
+        let mut bytes = encode(&msg);
+        bytes[2] = version;
+        if version == PROTOCOL_VERSION {
+            prop_assert_eq!(decode(&bytes).unwrap(), msg);
+        } else {
+            prop_assert_eq!(decode(&bytes).unwrap_err(), CodecError::BadVersion(version));
+        }
+    }
+
+    /// Corrupting either magic byte is always detected.
+    #[test]
+    fn rejects_bad_magic(msg in arb_msg(), which in any::<bool>(), x in any::<u32>()) {
+        let mut bytes = encode(&msg);
+        let idx = usize::from(which);
+        let orig = bytes[idx];
+        let corrupt = (x % 256) as u8;
+        if corrupt == orig {
+            return Ok(());
+        }
+        bytes[idx] = corrupt;
+        prop_assert_eq!(decode(&bytes).unwrap_err(), CodecError::BadMagic);
+    }
+
+    /// Appending any extra bytes to a complete frame is rejected.
+    #[test]
+    fn rejects_trailing_bytes(msg in arb_msg(), extra in proptest::collection::vec(any::<u32>(), 1..16)) {
+        let mut bytes = encode(&msg);
+        bytes.extend(extra.iter().map(|&b| (b % 256) as u8));
+        prop_assert_eq!(decode(&bytes).unwrap_err(), CodecError::TrailingBytes);
+    }
+
+    /// The declared task count is bounded: counts over the cap are
+    /// rejected before any allocation is attempted.
+    #[test]
+    fn rejects_oversized_counts(seq in any::<u32>(), src in any::<u64>(), dst in any::<u64>(), over in any::<u32>()) {
+        let mut bytes = encode(&WireMsg::Transfer { seq, src, dst, tasks: vec![] });
+        let cap = codec::MAX_TASKS_PER_FRAME as u64;
+        let count = cap + 1 + u64::from(over) % cap;
+        let off = bytes.len() - 4;
+        bytes[off..].copy_from_slice(&(count as u32).to_le_bytes());
+        match decode(&bytes).unwrap_err() {
+            CodecError::Oversized(n) => prop_assert_eq!(n, count),
+            CodecError::Truncated => prop_assert!(false, "cap not enforced"),
+            other => prop_assert!(false, "unexpected {:?}", other),
+        }
+    }
+}

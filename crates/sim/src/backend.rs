@@ -173,6 +173,23 @@ pub enum Backend {
     /// Run on a persistent pool of this many workers, spawned once per
     /// run ([`WorkerPool`]).
     Pooled(usize),
+    /// Host a shard of processors per node thread and exchange all
+    /// protocol traffic as real encoded frames over a transport
+    /// (`pcrlb-net`): the in-process loopback when `tcp` is false, a
+    /// localhost TCP group when true.
+    ///
+    /// The full message-passing semantics live in the net runtime,
+    /// which only [`crate::runner::Runner`] drives (see
+    /// `crate::net`). Plugging this descriptor straight into an
+    /// [`crate::engine::Engine`] degrades to the scoped-thread path
+    /// for sub-steps — bit-identical simulation results, but no frames
+    /// move.
+    Net {
+        /// Number of node threads (each owning one processor shard).
+        nodes: usize,
+        /// Use the localhost TCP transport instead of loopback.
+        tcp: bool,
+    },
 }
 
 impl Backend {
@@ -182,16 +199,23 @@ impl Backend {
             Backend::Sequential => "sequential",
             Backend::Threaded(_) => "threaded",
             Backend::Pooled(_) => "pooled",
+            Backend::Net { .. } => "net",
         }
     }
 
     /// Materializes the descriptor into owned execution state; for
     /// [`Backend::Pooled`] this spawns the worker pool.
+    ///
+    /// [`Backend::Net`] resolves to scoped threads here: a resolved
+    /// backend only runs sub-steps, and the net runtime's wire layer
+    /// is driven by [`crate::runner::Runner`], which intercepts `Net`
+    /// *before* resolving.
     pub fn resolve(self) -> ResolvedBackend {
         match self {
             Backend::Sequential => ResolvedBackend::Sequential,
             Backend::Threaded(threads) => ResolvedBackend::Threaded(Threaded { threads }),
             Backend::Pooled(threads) => ResolvedBackend::Pooled(WorkerPool::new(threads)),
+            Backend::Net { nodes, .. } => ResolvedBackend::Threaded(Threaded { threads: nodes }),
         }
     }
 }
@@ -209,6 +233,7 @@ impl<M: LoadModel + Sync> ExecBackend<M> for Backend {
             Backend::Threaded(threads) | Backend::Pooled(threads) => {
                 Threaded { threads }.run_substeps(world, model)
             }
+            Backend::Net { nodes, .. } => Threaded { threads: nodes }.run_substeps(world, model),
         }
     }
 }

@@ -59,6 +59,7 @@ pub mod backend;
 pub mod engine;
 pub mod message;
 pub mod model;
+pub mod net;
 pub mod pool;
 pub mod probe;
 pub mod processor;
@@ -74,9 +75,14 @@ pub use backend::{Backend, ExecBackend, ResolvedBackend, Sequential, Threaded};
 pub use engine::Engine;
 pub use message::{MessageKind, MessageLedger, MessageStats};
 pub use model::{LoadModel, Strategy, Unbalanced};
+pub use net::control_kind;
 pub use pcrlb_faults::{
     Bernoulli, BoundedDelay, CrashWindows, FaultConfig, FaultConfigError, FaultModel, FaultPlan,
     GameFaults, MsgCtx, MsgKind, Reliable, StalledProcs,
+};
+pub use pcrlb_net::{
+    ControlKind, ControlRecord, FrameStats, LoopbackNet, NetError, TcpNet, Transport, WireLog,
+    WireMsg, WireTask,
 };
 pub use pool::{live_workers, WorkerPool};
 pub use probe::{
@@ -90,4 +96,4 @@ pub use runner::{RunReport, Runner};
 pub use task::{Completion, Task};
 pub use trace::{Event, Trace};
 pub use types::{ilog2ceil, loglog, ProcId, Step};
-pub use world::{CompletionStats, World};
+pub use world::{CompletionStats, TransferRecord, World};

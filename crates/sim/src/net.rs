@@ -1,0 +1,423 @@
+//! The message-passing runtime: drives a simulation where every
+//! protocol message and block transfer is encoded, shipped over a
+//! [`Transport`], decoded, and only then applied.
+//!
+//! # Architecture
+//!
+//! `Backend::Net { nodes, tcp }` hosts a contiguous shard of
+//! processors per **node thread**. Each step runs in two scoped
+//! sections around the control step:
+//!
+//! 1. **Phase A (local work):** every node thread runs the shared
+//!    generate/consume kernel (`drive_shard`) on its own shard — the
+//!    same kernel, same RNG streams, and same fault gating as every
+//!    other backend — then closes with a coordinator-free
+//!    **phase-synchronization round**: one `Barrier` frame to each
+//!    peer (piggybacking the shard's load as gossip), blocking until
+//!    all `nodes − 1` peer barriers arrive. No node proceeds until
+//!    every node has finished the sub-steps.
+//! 2. **Control step:** the driving thread runs the strategy exactly
+//!    as `Engine::step` does. With the world's *wire sink* enabled,
+//!    the collision game, balance forest, and balancer narrate every
+//!    query/accept/id/probe/load-reply as a [`ControlRecord`], and
+//!    `World::transfer` defers physical task delivery into
+//!    `TransferRecord`s (all statistics still recorded at decision
+//!    time, identically to the sequential backend).
+//! 3. **Phase B (wire delivery):** the runtime assigns each record to
+//!    its source node, encodes it into a real frame, and the node
+//!    threads ship the frames over the transport. The transport layer
+//!    consults [`FaultModel::frame_dropped`] per faultable frame — a
+//!    pure hash of the same coordinates the logical layer used, so the
+//!    physical drop coincides with the simulated one. Receivers decode
+//!    every arriving frame; a second barrier round closes the phase.
+//!    Decoded `Transfer` frames are then applied to destination queues
+//!    in global `seq` order, making queue contents independent of
+//!    network arrival order.
+//!
+//! # Determinism contract
+//!
+//! A loopback (or localhost-TCP) net run reproduces the sequential
+//! backend's `RunReport` **bit-for-bit** for the same `(n, seed,
+//! steps, faults)`: sub-steps use the shared kernel and per-processor
+//! RNG streams; control decisions run on one thread in program order
+//! with the same global RNG; transfers are applied in emission order
+//! regardless of arrival order; and fault decisions are pure hashes,
+//! so wire-level loss mirrors simulated loss exactly. The only
+//! net-specific observables — frame and byte counts — live *outside*
+//! the report's compared fields (see [`World::net_frames`] and the
+//! `frames` slot of `ProbeOutput::MessageRate`).
+
+use crate::backend::drive_shard;
+use crate::message::MessageKind;
+use crate::model::{LoadModel, Strategy};
+use crate::probe::{PhaseReport, Probe};
+use crate::runner::RunReport;
+use crate::task::Task;
+use crate::trace::Event;
+use crate::types::Step;
+use crate::world::{CompletionStats, World, DEFAULT_SOJOURN_HIST};
+use pcrlb_faults::{FaultModel, MsgCtx};
+use pcrlb_net::{
+    codec, ControlKind, FrameStats, LoopbackNet, TcpNet, Transport, WireMsg, WireTask,
+};
+
+/// Converts a ledger message kind to its wire twin.
+#[must_use]
+pub fn control_kind(kind: MessageKind) -> ControlKind {
+    match kind {
+        MessageKind::Query => ControlKind::Query,
+        MessageKind::Accept => ControlKind::Accept,
+        MessageKind::IdMessage => ControlKind::IdMessage,
+        MessageKind::Probe => ControlKind::Probe,
+        MessageKind::LoadReply => ControlKind::LoadReply,
+    }
+}
+
+/// One encoded frame awaiting transmission by a node thread.
+struct OutFrame {
+    /// Destination node.
+    to: usize,
+    /// Encoded bytes (envelope included).
+    bytes: Vec<u8>,
+    /// Fault coordinates for the transport-level drop consult.
+    fault: Option<MsgCtx>,
+    /// The logical layer's drop verdict (cross-checked in debug).
+    logical_drop: bool,
+    /// Control frame (vs. transfer frame)?
+    control: bool,
+    /// Tasks carried (transfer frames only).
+    tasks: u64,
+}
+
+/// Entry point used by `Runner::run_detailed` for `Backend::Net`. The
+/// `world` arrives fully configured (faults installed, observer
+/// enabled); this function enables the wire sink, builds the transport
+/// group, and drives the run.
+///
+/// # Panics
+/// Panics when the TCP group cannot bind on 127.0.0.1, or on any
+/// transport failure mid-run (a lost peer is fatal, not recoverable).
+pub(crate) fn run_net_detailed<M: LoadModel + Sync, S: Strategy>(
+    steps: u64,
+    nodes: usize,
+    tcp: bool,
+    mut world: World,
+    model: M,
+    strategy: S,
+    probes: Vec<Box<dyn Probe>>,
+) -> (RunReport, World, S) {
+    let nodes = nodes.max(1);
+    world.enable_wire();
+    if tcp {
+        let endpoints = TcpNet::group(nodes).expect("failed to bind localhost TCP group");
+        drive(endpoints, steps, world, model, strategy, probes)
+    } else {
+        drive(
+            LoopbackNet::group(nodes),
+            steps,
+            world,
+            model,
+            strategy,
+            probes,
+        )
+    }
+}
+
+/// The runner loop, transport-generic. Mirrors `Runner::run_detailed`
+/// step-for-step, with [`net_step`] in place of `Engine::step`.
+fn drive<T: Transport, M: LoadModel + Sync, S: Strategy>(
+    mut endpoints: Vec<T>,
+    steps: u64,
+    mut world: World,
+    model: M,
+    mut strategy: S,
+    mut probes: Vec<Box<dyn Probe>>,
+) -> (RunReport, World, S) {
+    for probe in probes.iter_mut() {
+        probe.on_run_start(&world);
+    }
+    let mut phases: Vec<PhaseReport> = Vec::new();
+    let mut events: Vec<Event> = Vec::new();
+    let mut executed = 0u64;
+    for _ in 0..steps {
+        net_step(&mut endpoints, &mut world, &model, &mut strategy);
+        executed += 1;
+        world.take_observations(&mut phases, &mut events);
+        for probe in probes.iter_mut() {
+            for report in &phases {
+                probe.on_phase(report);
+            }
+            for event in &events {
+                probe.on_event(event);
+            }
+            probe.on_step(&world);
+        }
+        phases.clear();
+        events.clear();
+        if probes.iter().any(|p| p.stop_requested()) {
+            break;
+        }
+    }
+    for probe in probes.iter_mut() {
+        probe.on_run_end(&world);
+    }
+
+    let report = RunReport {
+        n: world.n(),
+        seed: world.seed(),
+        steps: executed,
+        loads: world.loads(),
+        weighted_loads: (0..world.n()).map(|p| world.weighted_load(p)).collect(),
+        max_load: world.max_load(),
+        total_load: world.total_load(),
+        max_weighted_load: world.max_weighted_load(),
+        total_weighted_load: world.total_weighted_load(),
+        completions: world.completions().clone(),
+        messages: world.messages(),
+        model: model.name(),
+        strategy: strategy.name(),
+        backend: "net",
+        probes: probes
+            .into_iter()
+            .map(|p| {
+                let name = p.name();
+                (name, p.finish())
+            })
+            .collect(),
+    };
+    (report, world, strategy)
+}
+
+/// One simulation step over real messages. See the module docs for the
+/// three-phase structure.
+fn net_step<T: Transport, M: LoadModel + Sync, S: Strategy>(
+    endpoints: &mut [T],
+    world: &mut World,
+    model: &M,
+    strategy: &mut S,
+) {
+    let nodes = endpoints.len();
+    let faults = world.active_faults();
+    let fmodel: Option<&dyn FaultModel> = faults.as_deref();
+    let now = world.step();
+    let mut step_stats = FrameStats::default();
+
+    // ---- Phase A: local sub-steps + barrier round --------------------
+    {
+        let (_, shard_list, completions) = world.shards(nodes);
+        let mut shards: Vec<Option<_>> = shard_list.into_iter().map(Some).collect();
+        shards.resize_with(nodes, || None);
+        let results: Vec<(CompletionStats, FrameStats)> = std::thread::scope(|scope| {
+            let handles: Vec<_> = endpoints
+                .iter_mut()
+                .zip(shards)
+                .map(|(ep, shard)| {
+                    scope.spawn(move || {
+                        let mut local = CompletionStats::new(DEFAULT_SOJOURN_HIST);
+                        let mut fs = FrameStats::default();
+                        let load = if let Some((start, procs, rngs)) = shard {
+                            drive_shard(start, now, procs, rngs, model, &mut local, fmodel);
+                            procs.iter().map(|p| p.load() as u64).sum()
+                        } else {
+                            0
+                        };
+                        exchange(ep, Vec::new(), 0, now, load, fmodel, &mut fs);
+                        (local, fs)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("net node thread panicked"))
+                .collect()
+        });
+        for (local, fs) in &results {
+            completions.merge(local);
+            step_stats += *fs;
+        }
+    }
+
+    // ---- Control step (driving thread; mirrors Engine::step) ---------
+    strategy.on_step(world);
+    world.tick();
+
+    // ---- Phase B: frame, ship, decode, apply -------------------------
+    let (controls, transfers) = world.take_wire_step();
+    let per = world.n().div_ceil(nodes);
+    let node_of = |p: u64| ((p as usize) / per).min(nodes - 1);
+
+    let mut outs: Vec<Vec<OutFrame>> = (0..nodes).map(|_| Vec::new()).collect();
+    let mut expect = vec![0usize; nodes];
+    for rec in &controls {
+        let (nonce, round) = rec.fault.map_or((0, 0), |c| (c.nonce, c.round));
+        let bytes = codec::encode(&WireMsg::Control {
+            kind: rec.kind,
+            src: rec.src,
+            dst: rec.dst,
+            nonce,
+            round,
+        });
+        let dst_node = node_of(rec.dst);
+        if !rec.dropped {
+            expect[dst_node] += 1;
+        }
+        outs[node_of(rec.src)].push(OutFrame {
+            to: dst_node,
+            bytes,
+            fault: rec.fault,
+            logical_drop: rec.dropped,
+            control: true,
+            tasks: 0,
+        });
+    }
+    let expected_transfers = transfers.len();
+    for tr in transfers {
+        let wire_tasks: Vec<WireTask> = tr
+            .tasks
+            .iter()
+            .map(|t| WireTask {
+                id: t.id,
+                origin: t.origin as u64,
+                born: t.born,
+                weight: t.weight,
+            })
+            .collect();
+        let count = wire_tasks.len() as u64;
+        let bytes = codec::encode(&WireMsg::Transfer {
+            seq: tr.seq,
+            src: tr.from as u64,
+            dst: tr.to as u64,
+            tasks: wire_tasks,
+        });
+        let dst_node = node_of(tr.to as u64);
+        expect[dst_node] += 1;
+        outs[node_of(tr.from as u64)].push(OutFrame {
+            to: dst_node,
+            bytes,
+            fault: None,
+            logical_drop: false,
+            control: false,
+            tasks: count,
+        });
+    }
+
+    let results: Vec<(Vec<WireMsg>, FrameStats)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = endpoints
+            .iter_mut()
+            .zip(outs.into_iter().zip(expect))
+            .map(|(ep, (out, expect_n))| {
+                scope.spawn(move || {
+                    let mut fs = FrameStats::default();
+                    let data = exchange(ep, out, expect_n, now, 0, fmodel, &mut fs);
+                    (data, fs)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("net node thread panicked"))
+            .collect()
+    });
+
+    // Apply decoded transfers in global emission (`seq`) order: this
+    // is what makes queue contents — and therefore the whole run —
+    // independent of the transport's arrival interleaving.
+    let mut decoded_transfers: Vec<(u32, u64, Vec<WireTask>)> =
+        Vec::with_capacity(expected_transfers);
+    for (data, fs) in results {
+        step_stats += fs;
+        for msg in data {
+            if let WireMsg::Transfer {
+                seq, dst, tasks, ..
+            } = msg
+            {
+                decoded_transfers.push((seq, dst, tasks));
+            }
+        }
+    }
+    assert_eq!(
+        decoded_transfers.len(),
+        expected_transfers,
+        "transfer frames lost in flight"
+    );
+    decoded_transfers.sort_by_key(|(seq, _, _)| *seq);
+    for (_, dst, tasks) in decoded_transfers {
+        let tasks: Vec<Task> = tasks
+            .into_iter()
+            .map(|t| Task {
+                id: t.id,
+                origin: t.origin as usize,
+                born: t.born,
+                weight: t.weight,
+            })
+            .collect();
+        world.apply_wire_transfer(dst as usize, tasks);
+    }
+    world.add_net_frames(step_stats);
+}
+
+/// Ships `out` frames, closes with a barrier round, and collects the
+/// `expect` data frames addressed to this node (barriers and data
+/// interleave arbitrarily across peers). Returns the decoded data
+/// frames in arrival order.
+fn exchange<T: Transport>(
+    ep: &mut T,
+    out: Vec<OutFrame>,
+    expect: usize,
+    step: Step,
+    load: u64,
+    fmodel: Option<&dyn FaultModel>,
+    fs: &mut FrameStats,
+) -> Vec<WireMsg> {
+    let me = ep.node();
+    let peers = ep.nodes();
+    for f in out {
+        // Lemma 8 charging rule: the sender pays for every frame at
+        // send time, delivered or not — so the frame is charged before
+        // the transport-level fault hook gets to discard it.
+        fs.record_sent(f.bytes.len());
+        if f.control {
+            fs.control_frames += 1;
+        } else {
+            fs.transfer_frames += 1;
+            fs.payload_tasks += f.tasks;
+        }
+        if let (Some(ctx), Some(model)) = (&f.fault, fmodel) {
+            // Transport-level fault hook: the same pure hash the
+            // logical layer used, evaluated independently here.
+            let phys = model.frame_dropped(ctx);
+            debug_assert_eq!(
+                phys, f.logical_drop,
+                "transport and logical fault decisions diverged"
+            );
+            if phys {
+                fs.frames_dropped += 1;
+                continue;
+            }
+        }
+        ep.send(f.to, &f.bytes).expect("net send failed");
+    }
+    let barrier = codec::encode(&WireMsg::Barrier {
+        node: me as u32,
+        step,
+        load,
+    });
+    for peer in 0..peers {
+        if peer != me {
+            ep.send(peer, &barrier).expect("net barrier send failed");
+            fs.record_sent(barrier.len());
+            fs.barrier_frames += 1;
+        }
+    }
+    let mut data = Vec::with_capacity(expect);
+    let mut barriers_seen = 0;
+    while data.len() < expect || barriers_seen < peers - 1 {
+        let raw = ep.recv().expect("net recv failed");
+        fs.record_received(raw.len());
+        match codec::decode(&raw).expect("undecodable frame on the wire") {
+            WireMsg::Barrier { .. } => barriers_seen += 1,
+            msg => data.push(msg),
+        }
+    }
+    data
+}

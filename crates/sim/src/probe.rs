@@ -19,6 +19,7 @@ use crate::message::MessageStats;
 use crate::trace::Event;
 use crate::types::Step;
 use crate::world::World;
+use pcrlb_net::FrameStats;
 
 /// What happened in one balancing phase. Emitted by phase-based
 /// strategies through [`World::emit_phase`] and delivered to probes via
@@ -91,6 +92,12 @@ pub enum ProbeOutput {
         game_rounds: u64,
         /// Of those, rounds that delivered no accept.
         wasted_rounds: u64,
+        /// Physical frame/byte traffic during the window. `Some` only
+        /// on the net backend, where the counts come from frames that
+        /// actually moved through a transport; `None` on shared-memory
+        /// backends (which is what keeps their reports bit-identical
+        /// to historic ones).
+        frames: Option<FrameStats>,
     },
     /// From [`SojournTailProbe`].
     SojournTail {
@@ -299,6 +306,8 @@ impl Probe for LoadSnapshotProbe {
 pub struct MessageRateProbe {
     start: MessageStats,
     end: MessageStats,
+    net_start: Option<FrameStats>,
+    net_end: Option<FrameStats>,
     steps: u64,
     game_rounds: u64,
     wasted_rounds: u64,
@@ -318,6 +327,7 @@ impl Probe for MessageRateProbe {
 
     fn on_run_start(&mut self, world: &World) {
         self.start = world.messages();
+        self.net_start = world.net_frames();
     }
 
     fn on_step(&mut self, _world: &World) {
@@ -331,6 +341,7 @@ impl Probe for MessageRateProbe {
 
     fn on_run_end(&mut self, world: &World) {
         self.end = world.messages();
+        self.net_end = world.net_frames();
     }
 
     fn finish(self: Box<Self>) -> ProbeOutput {
@@ -339,6 +350,10 @@ impl Probe for MessageRateProbe {
             steps: self.steps,
             game_rounds: self.game_rounds,
             wasted_rounds: self.wasted_rounds,
+            frames: match (self.net_end, self.net_start) {
+                (Some(end), Some(start)) => Some(end - start),
+                (end, _) => end,
+            },
         }
     }
 }

@@ -229,6 +229,12 @@ impl<M: LoadModel + Sync, S: Strategy> Runner<M, S> {
         if !probes.is_empty() {
             world.enable_observer();
         }
+        // The net backend replaces the engine loop wholesale: its wire
+        // layer needs to interleave node threads with the control
+        // step, so it is intercepted before `resolve()`.
+        if let Backend::Net { nodes, tcp } = backend {
+            return crate::net::run_net_detailed(steps, nodes, tcp, world, model, strategy, probes);
+        }
         // Resolve once per run: for `Backend::Pooled` this spawns the
         // persistent worker pool, which lives until the engine drops.
         let mut engine = Engine::with_world_and_backend(world, model, strategy, backend.resolve());

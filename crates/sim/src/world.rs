@@ -16,6 +16,7 @@ use crate::task::{Completion, Task};
 use crate::trace::Event;
 use crate::types::{ProcId, Step};
 use pcrlb_faults::{FaultModel, Reliable};
+use pcrlb_net::{ControlRecord, FrameStats, WireLog};
 use std::sync::Arc;
 
 /// Aggregated completion (executed-task) statistics.
@@ -128,6 +129,38 @@ struct ObserverSink {
     events: Vec<Event>,
 }
 
+/// A block transfer awaiting physical delivery: when the wire sink is
+/// active, [`World::transfer`] records all statistics at decision time
+/// (exactly as the shared-memory backends do) but holds the moved
+/// tasks here instead of appending them to the destination queue. The
+/// net runtime encodes each record into a real `Transfer` frame, ships
+/// it over the transport, and applies the decoded frames in `seq`
+/// order at the end of the step — so queue contents are independent of
+/// network arrival order and bit-identical to the sequential backend.
+#[derive(Debug, Clone)]
+pub struct TransferRecord {
+    /// Global emission sequence number within the step.
+    pub seq: u32,
+    /// Sending processor.
+    pub from: ProcId,
+    /// Receiving processor.
+    pub to: ProcId,
+    /// The tasks, in queue order.
+    pub tasks: Vec<Task>,
+}
+
+/// Per-step buffer of wire traffic awaiting the net runtime: control
+/// records narrated by the protocol layer plus deferred task
+/// transfers. Disabled (and cost-free) unless a net runtime enabled
+/// it.
+#[derive(Debug, Clone, Default)]
+struct WireSink {
+    control: Vec<ControlRecord>,
+    transfers: Vec<TransferRecord>,
+    next_seq: u32,
+    frames: FrameStats,
+}
+
 /// Complete state of the simulated machine.
 #[derive(Debug, Clone)]
 pub struct World {
@@ -140,6 +173,8 @@ pub struct World {
     ledger: MessageLedger,
     completions: CompletionStats,
     observer: Option<ObserverSink>,
+    /// Wire sink; `Some` only while a net runtime drives this world.
+    wire: Option<WireSink>,
     seed: u64,
     /// Active fault model; [`Reliable`] (and skipped entirely) unless a
     /// runner installed a real one via [`World::set_fault_model`].
@@ -166,6 +201,7 @@ impl World {
             ledger: MessageLedger::new(),
             completions: CompletionStats::new(DEFAULT_SOJOURN_HIST),
             observer: None,
+            wire: None,
             seed,
             faults: Arc::new(Reliable),
             faulty: false,
@@ -336,8 +372,8 @@ impl World {
             self.procs[from].stats.tasks_sent += moved as u64;
             self.procs[to].stats.transfers_in += 1;
             self.procs[to].stats.tasks_received += moved as u64;
-            self.procs[to].queue_mut().append_back(tasks);
             self.ledger.record_transfer(moved as u64);
+            self.deliver_or_defer(from, to, tasks);
         }
         moved
     }
@@ -358,9 +394,29 @@ impl World {
         self.procs[from].stats.tasks_sent += moved as u64;
         self.procs[to].stats.transfers_in += 1;
         self.procs[to].stats.tasks_received += moved as u64;
-        self.procs[to].queue_mut().append_back(tasks);
         self.ledger.record_transfer(moved as u64);
+        self.deliver_or_defer(from, to, tasks);
         moved_weight
+    }
+
+    /// Completes a transfer: appends directly to the destination queue
+    /// (the shared-memory backends), or — when the wire sink is active
+    /// — parks the tasks as a [`TransferRecord`] for the net runtime
+    /// to ship as a real frame. All accounting has already happened at
+    /// the call site; only the physical append is deferred.
+    fn deliver_or_defer(&mut self, from: ProcId, to: ProcId, tasks: Vec<Task>) {
+        if let Some(sink) = &mut self.wire {
+            let seq = sink.next_seq;
+            sink.next_seq += 1;
+            sink.transfers.push(TransferRecord {
+                seq,
+                from,
+                to,
+                tasks,
+            });
+        } else {
+            self.procs[to].queue_mut().append_back(tasks);
+        }
     }
 
     /// Injects `k` adversarial/spike tasks on `p` (they count as
@@ -453,6 +509,77 @@ impl World {
         if let Some(sink) = &mut self.observer {
             phases.append(&mut sink.phases);
             events.append(&mut sink.events);
+        }
+    }
+
+    /// Whether a net runtime is collecting wire traffic from this
+    /// world. Strategies consult this to narrate their control
+    /// messages via [`World::record_wire_control`] /
+    /// [`World::record_wire_log`].
+    #[inline]
+    pub fn wire_enabled(&self) -> bool {
+        self.wire.is_some()
+    }
+
+    /// Attaches the wire sink. Called by the net runtime only: from
+    /// here on, [`World::transfer`] defers physical delivery (see
+    /// [`TransferRecord`]) and control records accumulate for framing.
+    pub(crate) fn enable_wire(&mut self) {
+        self.wire = Some(WireSink::default());
+    }
+
+    /// Appends one control record to the wire sink. No-op when no net
+    /// runtime is listening.
+    #[inline]
+    pub fn record_wire_control(&mut self, rec: ControlRecord) {
+        if let Some(sink) = &mut self.wire {
+            sink.control.push(rec);
+        }
+    }
+
+    /// Moves all records out of `log` into the wire sink, preserving
+    /// emission order. No-op (but still draining) when no net runtime
+    /// is listening.
+    pub fn record_wire_log(&mut self, log: &mut WireLog) {
+        if let Some(sink) = &mut self.wire {
+            sink.control.append(&mut log.control);
+        } else {
+            log.control.clear();
+        }
+    }
+
+    /// Drains the step's wire traffic: control records in emission
+    /// order plus deferred transfers (already `seq`-stamped). Called
+    /// once per step by the net runtime.
+    pub(crate) fn take_wire_step(&mut self) -> (Vec<ControlRecord>, Vec<TransferRecord>) {
+        match &mut self.wire {
+            Some(sink) => (
+                std::mem::take(&mut sink.control),
+                std::mem::take(&mut sink.transfers),
+            ),
+            None => (Vec::new(), Vec::new()),
+        }
+    }
+
+    /// Physically completes a deferred transfer from a decoded frame:
+    /// appends the tasks to `to`'s queue. All ledger/stat accounting
+    /// happened when the transfer was decided, so this only moves
+    /// payload.
+    pub(crate) fn apply_wire_transfer(&mut self, to: ProcId, tasks: Vec<Task>) {
+        self.procs[to].queue_mut().append_back(tasks);
+    }
+
+    /// Cumulative physical frame statistics, present only when a net
+    /// runtime drove this world.
+    #[inline]
+    pub fn net_frames(&self) -> Option<FrameStats> {
+        self.wire.as_ref().map(|s| s.frames)
+    }
+
+    /// Accumulates one step's frame statistics. Net runtime only.
+    pub(crate) fn add_net_frames(&mut self, fs: FrameStats) {
+        if let Some(sink) = &mut self.wire {
+            sink.frames += fs;
         }
     }
 

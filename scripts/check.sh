@@ -55,6 +55,36 @@ echo "    faulty --threads {1,2,4,8} agree"
 cargo test -q --test faults >/dev/null
 echo "    tests/faults.rs green"
 
+echo "==> net-suite (message-passing runtime)"
+# The wire layer's own tests: codec round-trips, transports, then the
+# cross-crate equivalence suite (loopback ≡ sequential bit-for-bit,
+# reliable and lossy, plus the localhost-TCP smoke).
+cargo test -q -p pcrlb-net >/dev/null
+echo "    pcrlb-net unit + property tests green"
+cargo test -q --test net_equivalence >/dev/null
+echo "    tests/net_equivalence.rs green"
+# CLI end to end: the printed report must be byte-identical when every
+# protocol message travels through the loopback transport, for any
+# node count.
+for nodes in 1 2 4; do
+  got="$(./target/release/pcrlb --n 512 --steps 1500 --seed 7 --backend "net:$nodes")"
+  if [[ "$got" != "$baseline" ]]; then
+    echo "FAIL: --backend net:$nodes output differs from sequential" >&2
+    diff <(echo "$baseline") <(echo "$got") >&2 || true
+    exit 1
+  fi
+done
+echo "    --backend net:{1,2,4} match the sequential report"
+# Short localhost-TCP smoke: real sockets, same bytes out.
+got="$(./target/release/pcrlb --n 256 --steps 300 --seed 7 --backend tcp:2)"
+want="$(./target/release/pcrlb --n 256 --steps 300 --seed 7)"
+if [[ "$got" != "$want" ]]; then
+  echo "FAIL: --backend tcp:2 output differs from sequential" >&2
+  diff <(echo "$want") <(echo "$got") >&2 || true
+  exit 1
+fi
+echo "    --backend tcp:2 smoke matches the sequential report"
+
 # Advisory: ThreadSanitizer over the pool and threaded backends.
 # Needs a nightly toolchain with rust-src; skipped (not failed) when
 # unavailable, and failures never block the gate — TSan has known

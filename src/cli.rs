@@ -69,6 +69,47 @@ pub enum ModelKind {
     Multi,
 }
 
+/// Which execution backend carries the simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BackendKind {
+    /// Pick from `--threads`: sequential for 0/1, pooled otherwise.
+    Auto,
+    /// Message-passing runtime over the deterministic loopback
+    /// transport, sharded across `nodes` node threads.
+    Net {
+        /// Node threads hosting processor shards.
+        nodes: usize,
+    },
+    /// Message-passing runtime over localhost TCP sockets.
+    Tcp {
+        /// Node threads hosting processor shards.
+        nodes: usize,
+    },
+}
+
+impl BackendKind {
+    fn parse(s: &str) -> Result<Self, ParseError> {
+        let (name, nodes) = match s.split_once(':') {
+            Some((n, v)) => {
+                let nodes: usize = v
+                    .parse()
+                    .map_err(|_| ParseError(format!("invalid node count '{v}'")))?;
+                if nodes == 0 {
+                    return Err(ParseError("--backend needs at least one node".into()));
+                }
+                (n, nodes)
+            }
+            None => (s, 4),
+        };
+        match name {
+            "auto" => Ok(BackendKind::Auto),
+            "net" => Ok(BackendKind::Net { nodes }),
+            "tcp" => Ok(BackendKind::Tcp { nodes }),
+            other => Err(ParseError(format!("unknown backend '{other}'"))),
+        }
+    }
+}
+
 /// A parsed CLI invocation.
 #[derive(Debug, Clone, PartialEq)]
 pub struct RunSpec {
@@ -86,6 +127,11 @@ pub struct RunSpec {
     /// run sequentially, more use a persistent worker pool. The report
     /// is bit-identical for every value.
     pub threads: usize,
+    /// Execution backend; [`BackendKind::Auto`] preserves the historic
+    /// `--threads` behaviour, `net`/`tcp` route every protocol message
+    /// through the pcrlb-net runtime. The report is bit-identical for
+    /// every choice.
+    pub backend: BackendKind,
     /// Probability that any protocol message is lost in flight
     /// (0 disables the fault layer's loss channel).
     pub loss_rate: f64,
@@ -125,6 +171,7 @@ impl Default for RunSpec {
             strategy: StrategyKind::Threshold,
             model: ModelKind::Single { p: 0.4, q: 0.5 },
             threads: 1,
+            backend: BackendKind::Auto,
             loss_rate: 0.0,
             crash_rate: 0.0,
             fault_seed: 0,
@@ -158,6 +205,9 @@ pub fn usage() -> String {
            --model M        single[:p,q] | geometric[:k] | multi\n\
            --threads N      worker threads (default 1 = sequential;\n\
                             >1 uses a persistent pool, same results)\n\
+           --backend B      auto | net[:nodes] | tcp[:nodes]\n\
+                            net/tcp run the message-passing runtime\n\
+                            (default 4 nodes), same results\n\
            --loss-rate P    drop each protocol message w.p. P (default 0)\n\
            --crash-rate P   crash each processor per 64-step window\n\
                             w.p. P (default 0)\n\
@@ -211,6 +261,9 @@ pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Option<RunSpec>,
                 spec.threads = value("--threads")?
                     .parse()
                     .map_err(|_| ParseError("--threads must be an integer".into()))?;
+            }
+            "--backend" => {
+                spec.backend = BackendKind::parse(&value("--backend")?)?;
             }
             "--loss-rate" => {
                 spec.loss_rate = value("--loss-rate")?
@@ -342,10 +395,11 @@ impl fmt::Display for RunReport {
 }
 
 fn run_with<M: LoadModel + Sync, S: Strategy>(spec: &RunSpec, model: M, strategy: S) -> RunReport {
-    let backend = if spec.threads > 1 {
-        Backend::Pooled(spec.threads)
-    } else {
-        Backend::Sequential
+    let backend = match spec.backend {
+        BackendKind::Auto if spec.threads > 1 => Backend::Pooled(spec.threads),
+        BackendKind::Auto => Backend::Sequential,
+        BackendKind::Net { nodes } => Backend::Net { nodes, tcp: false },
+        BackendKind::Tcp { nodes } => Backend::Net { nodes, tcp: true },
     };
     let mut runner = Runner::new(spec.n, spec.seed)
         .model(model)
@@ -529,6 +583,54 @@ mod tests {
                 ..base.clone()
             };
             assert_eq!(execute(&spec), sequential, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn backend_flag_parses_and_validates() {
+        assert_eq!(parse(args("")).unwrap().unwrap().backend, BackendKind::Auto);
+        assert_eq!(
+            parse(args("--backend net")).unwrap().unwrap().backend,
+            BackendKind::Net { nodes: 4 }
+        );
+        assert_eq!(
+            parse(args("--backend net:2")).unwrap().unwrap().backend,
+            BackendKind::Net { nodes: 2 }
+        );
+        assert_eq!(
+            parse(args("--backend tcp:3")).unwrap().unwrap().backend,
+            BackendKind::Tcp { nodes: 3 }
+        );
+        assert!(parse(args("--backend warp"))
+            .unwrap_err()
+            .0
+            .contains("unknown backend"));
+        assert!(parse(args("--backend net:0"))
+            .unwrap_err()
+            .0
+            .contains("at least one node"));
+        assert!(parse(args("--backend net:x"))
+            .unwrap_err()
+            .0
+            .contains("invalid node count"));
+        assert!(usage().contains("--backend"));
+    }
+
+    #[test]
+    fn net_backend_does_not_change_the_report() {
+        let base = RunSpec {
+            n: 64,
+            steps: 200,
+            seed: 5,
+            ..RunSpec::default()
+        };
+        let sequential = execute(&base);
+        for nodes in [1, 2, 4] {
+            let spec = RunSpec {
+                backend: BackendKind::Net { nodes },
+                ..base.clone()
+            };
+            assert_eq!(execute(&spec), sequential, "nodes={nodes}");
         }
     }
 

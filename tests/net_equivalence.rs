@@ -1,0 +1,171 @@
+//! `Backend::Net` determinism: the loopback message-passing runtime —
+//! real encoded frames, per-node mailboxes, barrier-synchronized
+//! delivery — must reproduce the sequential backend's [`RunReport`]
+//! bit-for-bit, for reliable and lossy fault plans alike, and its
+//! physical frame counters must agree with the logical message ledger
+//! under the Lemma 8 charging rule (one frame per message, charged at
+//! the sender, drops annotated not re-charged).
+
+use pcrlb::prelude::*;
+use pcrlb::sim::FrameStats;
+
+fn run_pair(
+    n: usize,
+    seed: u64,
+    steps: u64,
+    backend: Backend,
+    faults: Option<FaultConfig>,
+) -> (RunReport, World) {
+    let mut runner = Runner::new(n, seed)
+        .model(Single::default_paper())
+        .strategy(ThresholdBalancer::paper(n))
+        .backend(backend)
+        .probe(MaxLoadProbe::new())
+        .probe(MessageRateProbe::new())
+        .probe(SojournTailProbe::new());
+    if let Some(f) = faults {
+        runner = runner.faults(f);
+    }
+    let (report, world, _strategy) = runner.run_detailed(steps);
+    (report, world)
+}
+
+/// Blanks the net-only `frames` slot of a `MessageRate` probe output so
+/// reports can be compared field-for-field against a shared-memory run
+/// (frame stats are deliberately net-specific observability, not part
+/// of the simulated outcome).
+fn strip_frames(report: &mut RunReport) {
+    for (_, out) in report.probes.iter_mut() {
+        if let ProbeOutput::MessageRate { frames, .. } = out {
+            *frames = None;
+        }
+    }
+}
+
+fn assert_net_matches_sequential(n: usize, seed: u64, steps: u64, faults: Option<FaultConfig>) {
+    let (seq, _) = run_pair(n, seed, steps, Backend::Sequential, faults);
+    for nodes in [1usize, 2, 4] {
+        let (mut net, world) = run_pair(n, seed, steps, Backend::Net { nodes, tcp: false }, faults);
+        assert_eq!(net.backend, "net");
+        // The only fields allowed to differ: the backend name and the
+        // net-only frame counters.
+        net.backend = seq.backend;
+        strip_frames(&mut net);
+        assert_eq!(seq, net, "n={n} seed={seed} nodes={nodes}");
+
+        let frames = world
+            .net_frames()
+            .expect("net-driven world must expose frame stats");
+        assert!(frames.frames_sent > 0, "no frames ever hit the wire");
+        // Physical losses coincide exactly with the ledger's logical
+        // drop decisions (same pure hash on both sides).
+        assert_eq!(frames.frames_dropped, net.messages.dropped);
+        // The Lemma 8 charging rule holds on the wire: one protocol
+        // frame per ledger message (control + transfers), with barrier
+        // frames tracked separately as sync overhead.
+        assert_eq!(
+            frames.control_frames + frames.transfer_frames,
+            net.messages.total(),
+            "protocol frames must mirror the ledger one-for-one"
+        );
+        assert_eq!(frames.payload_tasks, net.messages.tasks_moved);
+    }
+}
+
+#[test]
+fn loopback_net_reproduces_sequential_reliable() {
+    for (n, seed) in [(192usize, 7u64), (256, 41), (320, 0xBFF5)] {
+        assert_net_matches_sequential(n, seed, 400, None);
+    }
+}
+
+#[test]
+fn loopback_net_reproduces_sequential_under_loss() {
+    let faults = FaultConfig::reliable().with_seed(29).with_loss(0.05);
+    for (n, seed) in [(192usize, 7u64), (256, 41), (320, 0xBFF5)] {
+        assert_net_matches_sequential(n, seed, 400, Some(faults));
+    }
+}
+
+#[test]
+fn loopback_net_handles_strategies_without_control_traffic() {
+    // Unbalanced sends nothing: the runtime must not deadlock waiting
+    // for frames that never come (barriers carry the phase forward).
+    let n = 128;
+    let quiet = |backend| {
+        Runner::new(n, 3)
+            .model(Single::default_paper())
+            .strategy(Unbalanced)
+            .backend(backend)
+            .probe(MaxLoadProbe::new())
+            .probe(MessageRateProbe::new())
+            .run_detailed(300)
+    };
+    let (seq, _, _) = quiet(Backend::Sequential);
+    let (mut net, world, _) = quiet(Backend::Net {
+        nodes: 3,
+        tcp: false,
+    });
+    net.backend = seq.backend;
+    strip_frames(&mut net);
+    assert_eq!(seq, net);
+    let frames = world.net_frames().expect("frame stats");
+    assert_eq!(frames.control_frames, 0);
+    assert_eq!(frames.transfer_frames, 0);
+    assert!(frames.barrier_frames > 0, "barriers still synchronize");
+}
+
+#[test]
+fn message_rate_probe_surfaces_frame_stats_only_on_net() {
+    let n = 192;
+    let (seq, _) = run_pair(n, 7, 300, Backend::Sequential, None);
+    let (net, _) = run_pair(
+        n,
+        7,
+        300,
+        Backend::Net {
+            nodes: 2,
+            tcp: false,
+        },
+        None,
+    );
+    let get = |r: &RunReport| match r.probe("message_rate") {
+        Some(ProbeOutput::MessageRate { frames, .. }) => *frames,
+        other => panic!("unexpected probe output: {other:?}"),
+    };
+    assert_eq!(get(&seq), None, "shared-memory backends carry no frames");
+    let frames: FrameStats = get(&net).expect("net backend must report frames");
+    assert!(frames.bytes_sent > 0);
+    assert_eq!(
+        frames.frames_sent,
+        frames.frames_received + frames.frames_dropped
+    );
+}
+
+#[test]
+fn tcp_net_reproduces_sequential_smoke() {
+    // Small but real: encoded frames over localhost TCP sockets, with
+    // connection reuse and Hello handshakes, still bit-identical.
+    let n = 96;
+    let steps = 150;
+    let (seq, _) = run_pair(n, 11, steps, Backend::Sequential, None);
+    let (mut tcp, world) = run_pair(
+        n,
+        11,
+        steps,
+        Backend::Net {
+            nodes: 2,
+            tcp: true,
+        },
+        None,
+    );
+    assert_eq!(tcp.backend, "net");
+    tcp.backend = seq.backend;
+    strip_frames(&mut tcp);
+    assert_eq!(seq, tcp);
+    let frames = world.net_frames().expect("frame stats");
+    assert_eq!(
+        frames.control_frames + frames.transfer_frames,
+        tcp.messages.total()
+    );
+}
