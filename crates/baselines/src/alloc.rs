@@ -75,7 +75,7 @@ impl Strategy for DChoiceAllocation {
         // Pass 2: place each arrival on the least loaded of d probes.
         for i in 0..self.arrivals.len() {
             let task = self.arrivals[i];
-            let origin = task.origin;
+            let origin = task.origin_proc();
             let mut best = world.rng_global().below(n);
             for _ in 1..self.d {
                 let cand = world.rng_global().below(n);

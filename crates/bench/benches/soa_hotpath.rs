@@ -1,0 +1,170 @@
+//! The recorded perf trajectory: processor-steps/sec of the
+//! generate/consume hot path (`drive_shard`) at large `n`, for the
+//! Sequential and Pooled backends.
+//!
+//! Unlike the other benches this one doubles as the `bench-smoke`
+//! stage of `scripts/check.sh`: run with `--quick --json PATH` it
+//! writes a small machine-readable results file (`BENCH_pr6.json` at
+//! the repo root is the committed baseline), and with `--gate PATH`
+//! it additionally compares the fresh Sequential number at `n = 2^18`
+//! against that baseline and exits nonzero on a >10% regression — so
+//! every future PR lands on a recorded trajectory.
+//!
+//! Invocations:
+//!
+//! ```text
+//! cargo bench -p pcrlb-bench --bench soa_hotpath                 # full
+//! cargo bench -p pcrlb-bench --bench soa_hotpath -- --quick \
+//!     --json target/bench_pr6.json --gate BENCH_pr6.json         # smoke
+//! ```
+//!
+//! The JSON is flat and hand-parsed (the workspace is offline; no
+//! serde): `{"bench":"soa_hotpath","sequential":{"65536":S,...},
+//! "pooled":{...}}` with S in processor-steps/sec.
+
+use pcrlb_core::Single;
+use pcrlb_sim::{Backend, Engine, Unbalanced};
+use std::time::Instant;
+
+/// Sizes on the trajectory: 2^16, 2^18, 2^20.
+const SIZES: [usize; 3] = [1 << 16, 1 << 18, 1 << 20];
+/// Worker count for the pooled measurement.
+const POOL_WORKERS: usize = 4;
+/// The gate compares Sequential steps/sec at this size.
+const GATE_N: usize = 1 << 18;
+/// Relative slowdown tolerated before the gate fails.
+const GATE_TOLERANCE: f64 = 0.10;
+
+/// Measures steady-state throughput in processor-steps/sec: warm the
+/// engine a few steps (first-touch queue growth is not the steady
+/// state), then time `steps` more, best of `reps`.
+fn measure(n: usize, backend: Backend, steps: u64, reps: usize) -> f64 {
+    let mut engine = Engine::with_backend(
+        n,
+        0xB0A5_1998,
+        Single::default_paper(),
+        Unbalanced,
+        backend.resolve(),
+    );
+    engine.run(4); // warm-up: reach steady-state occupancy
+    let mut best = f64::INFINITY;
+    for _ in 0..reps.max(1) {
+        let t0 = Instant::now();
+        engine.run(steps);
+        best = best.min(t0.elapsed().as_secs_f64());
+    }
+    (n as u64 * steps) as f64 / best
+}
+
+/// Steps per timing rep, scaled so every size runs a comparable
+/// wall-clock slice.
+fn steps_for(n: usize, quick: bool) -> u64 {
+    let base: u64 = if quick { 1 << 24 } else { 1 << 27 };
+    (base / n as u64).max(8)
+}
+
+fn run_suite(quick: bool) -> Vec<(&'static str, usize, f64)> {
+    let reps = if quick { 2 } else { 3 };
+    let mut out = Vec::new();
+    for &n in &SIZES {
+        let sps = measure(n, Backend::Sequential, steps_for(n, quick), reps);
+        println!("soa_hotpath/sequential/{n}: {:.3e} proc-steps/s", sps);
+        out.push(("sequential", n, sps));
+    }
+    for &n in &SIZES {
+        let sps = measure(n, Backend::Pooled(POOL_WORKERS), steps_for(n, quick), reps);
+        println!(
+            "soa_hotpath/pooled{POOL_WORKERS}/{n}: {:.3e} proc-steps/s",
+            sps
+        );
+        out.push(("pooled", n, sps));
+    }
+    out
+}
+
+fn to_json(results: &[(&str, usize, f64)]) -> String {
+    let section = |backend: &str| {
+        results
+            .iter()
+            .filter(|(b, _, _)| *b == backend)
+            .map(|(_, n, sps)| format!("\"{n}\":{sps:.1}"))
+            .collect::<Vec<_>>()
+            .join(",")
+    };
+    format!(
+        "{{\"bench\":\"soa_hotpath\",\"unit\":\"proc-steps/sec\",\"sequential\":{{{}}},\"pooled\":{{{}}}}}\n",
+        section("sequential"),
+        section("pooled"),
+    )
+}
+
+/// Extracts `"sequential"` → `"<n>"` from the flat baseline JSON.
+/// Hand-rolled: the file is written by `to_json` above, so the format
+/// is under our control.
+fn parse_baseline(json: &str, n: usize) -> Option<f64> {
+    let seq = json.split("\"sequential\":{").nth(1)?;
+    let body = seq.split('}').next()?;
+    for pair in body.split(',') {
+        let mut it = pair.splitn(2, ':');
+        let key = it.next()?.trim().trim_matches('"');
+        let val = it.next()?.trim();
+        if key == n.to_string() {
+            return val.parse().ok();
+        }
+    }
+    None
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    // `cargo bench` passes `--bench`; ignore it like criterion does.
+    let flag = |name: &str| args.iter().any(|a| a == name);
+    let value_of = |name: &str| {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+    };
+    let quick = flag("--quick");
+
+    let results = run_suite(quick);
+
+    if let Some(path) = value_of("--json") {
+        std::fs::write(&path, to_json(&results)).expect("failed to write bench JSON");
+        println!("soa_hotpath: wrote {path}");
+    }
+
+    if let Some(path) = value_of("--gate") {
+        let fresh = results
+            .iter()
+            .find(|(b, n, _)| *b == "sequential" && *n == GATE_N)
+            .map(|(_, _, sps)| *sps)
+            .expect("gate size missing from suite");
+        match std::fs::read_to_string(&path) {
+            Ok(json) => {
+                let base = parse_baseline(&json, GATE_N)
+                    .unwrap_or_else(|| panic!("no sequential/{GATE_N} entry in {path}"));
+                let ratio = fresh / base;
+                println!(
+                    "soa_hotpath gate @ n={GATE_N}: fresh {fresh:.3e} vs baseline {base:.3e} \
+                     ({:+.1}%)",
+                    (ratio - 1.0) * 100.0
+                );
+                if ratio < 1.0 - GATE_TOLERANCE {
+                    eprintln!(
+                        "REGRESSION: soa_hotpath sequential @ n={GATE_N} is {:.1}% below the \
+                         committed baseline {path} (tolerance {:.0}%).\n\
+                         If the slowdown is intended, re-baseline with UPDATE_BENCH=1 \
+                         scripts/check.sh.",
+                        (1.0 - ratio) * 100.0,
+                        GATE_TOLERANCE * 100.0
+                    );
+                    std::process::exit(1);
+                }
+            }
+            Err(_) => {
+                println!("soa_hotpath gate: no baseline at {path} (first run); skipping compare");
+            }
+        }
+    }
+}

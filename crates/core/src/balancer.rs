@@ -289,31 +289,81 @@ impl ThresholdBalancer {
         // once recovered they classify (typically heavy) again.
         self.heavy_buf.clear();
         self.light_buf.clear();
-        for p in 0..n {
-            if let Some(f) = &fault_model {
-                if f.is_crashed(p, step) {
-                    self.stats.crashed_skipped += 1;
-                    continue;
+        let heavy_thr = self.cfg.heavy_threshold as u64;
+        let light_thr = self.cfg.light_threshold as u64;
+        if fault_model.is_none() {
+            // Fault-free fast path: one pass over the world's flat load
+            // slices. The scan is branch-light — the common case (load
+            // strictly between the thresholds) falls through both
+            // comparisons without touching the buffers. `note_heavy`
+            // needs `&mut World`, so it is deferred until the borrow of
+            // the load slice ends; the resulting state is identical.
+            if self.cfg.weighted {
+                let (weights, progress) = world.weighted_load_slices();
+                for (p, (&w, &pr)) in weights.iter().zip(progress).enumerate() {
+                    let load = w - pr as u64;
+                    if load >= heavy_thr {
+                        if self.cfg.retry_backoff {
+                            if self.retry_next[p] > self.phase {
+                                continue; // backing off after failed searches
+                            }
+                            if self.retry_fails[p] > 0 {
+                                retries_this_phase += 1;
+                            }
+                        }
+                        self.heavy_buf.push(p);
+                    } else if load <= light_thr {
+                        self.light_buf.push(p);
+                    }
+                }
+            } else {
+                for (p, &load) in world.load_slice().iter().enumerate() {
+                    let load = load as u64;
+                    if load >= heavy_thr {
+                        if self.cfg.retry_backoff {
+                            if self.retry_next[p] > self.phase {
+                                continue; // backing off after failed searches
+                            }
+                            if self.retry_fails[p] > 0 {
+                                retries_this_phase += 1;
+                            }
+                        }
+                        self.heavy_buf.push(p);
+                    } else if load <= light_thr {
+                        self.light_buf.push(p);
+                    }
                 }
             }
-            let load = if self.cfg.weighted {
-                world.weighted_load(p)
-            } else {
-                world.load(p) as u64
-            };
-            if load >= self.cfg.heavy_threshold as u64 {
-                if self.cfg.retry_backoff {
-                    if self.retry_next[p] > self.phase {
-                        continue; // backing off after failed searches
-                    }
-                    if self.retry_fails[p] > 0 {
-                        retries_this_phase += 1;
+            for i in 0..self.heavy_buf.len() {
+                world.note_heavy(self.heavy_buf[i]);
+            }
+        } else {
+            for p in 0..n {
+                if let Some(f) = &fault_model {
+                    if f.is_crashed(p, step) {
+                        self.stats.crashed_skipped += 1;
+                        continue;
                     }
                 }
-                self.heavy_buf.push(p);
-                world.note_heavy(p);
-            } else if load <= self.cfg.light_threshold as u64 {
-                self.light_buf.push(p);
+                let load = if self.cfg.weighted {
+                    world.weighted_load(p)
+                } else {
+                    world.load(p) as u64
+                };
+                if load >= heavy_thr {
+                    if self.cfg.retry_backoff {
+                        if self.retry_next[p] > self.phase {
+                            continue; // backing off after failed searches
+                        }
+                        if self.retry_fails[p] > 0 {
+                            retries_this_phase += 1;
+                        }
+                    }
+                    self.heavy_buf.push(p);
+                    world.note_heavy(p);
+                } else if load <= light_thr {
+                    self.light_buf.push(p);
+                }
             }
         }
         if self.trace.is_some() || world.observed() {

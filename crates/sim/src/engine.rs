@@ -41,13 +41,13 @@ pub struct Engine<M, S, B = Sequential> {
 impl<M: LoadModel, S: Strategy> Engine<M, S> {
     /// Builds a sequential engine over a fresh world of `n` processors.
     pub fn new(n: usize, seed: u64, model: M, strategy: S) -> Self {
-        Engine::with_backend(n, seed, model, strategy, Sequential)
+        Engine::with_backend(n, seed, model, strategy, Sequential::default())
     }
 
     /// Builds a sequential engine over an existing world (e.g. one
     /// pre-loaded with an adversarial spike).
     pub fn with_world(world: World, model: M, strategy: S) -> Self {
-        Engine::with_world_and_backend(world, model, strategy, Sequential)
+        Engine::with_world_and_backend(world, model, strategy, Sequential::default())
     }
 }
 

@@ -8,9 +8,11 @@
 //!
 //! The substrate provides
 //!
-//! * [`World`] — processors with FIFO task queues (paper-faithful
-//!   back-of-queue transfer semantics), a message ledger, per-task
-//!   completion statistics, and deterministic per-processor RNG streams;
+//! * [`World`] — processor state in structure-of-arrays form: all FIFO
+//!   task queues in one arena ([`TaskArena`], paper-faithful
+//!   back-of-queue transfer semantics), flat per-processor counters, a
+//!   message ledger, per-task completion statistics, and deterministic
+//!   per-processor RNG streams;
 //! * [`Engine`] — the lock-step driver, generic over an execution
 //!   backend: [`Sequential`] (default), [`Threaded`] (scoped OS
 //!   threads spawned per step), or [`WorkerPool`] (persistent sharded
@@ -89,8 +91,8 @@ pub use probe::{
     FaultProbe, LoadSnapshotProbe, MaxLoadProbe, MessageRateProbe, PhaseProbe, PhaseReport, Probe,
     ProbeOutput, RecoveryProbe, SeriesProbe, SojournTailProbe, TraceProbe,
 };
-pub use processor::{ProcStats, Processor};
-pub use queue::TaskQueue;
+pub use processor::{ProcStats, ProcView, QueueView};
+pub use queue::TaskArena;
 pub use rng::SimRng;
 pub use runner::{RunReport, Runner};
 pub use task::{Completion, Task};

@@ -39,6 +39,29 @@ pub trait LoadModel: Send {
         1
     }
 
+    /// Weights of the next `count` tasks generated on `p`, appended to
+    /// `out` — the batched form the hot kernel uses so a processor's
+    /// weight draws happen back to back instead of interleaved with
+    /// queue pushes.
+    ///
+    /// The default is `count` sequential [`LoadModel::task_weight`]
+    /// calls, so implementations that only override `task_weight` keep
+    /// draw-for-draw identical RNG trajectories. Override both
+    /// consistently or neither.
+    fn task_weights(
+        &self,
+        p: ProcId,
+        step: Step,
+        count: usize,
+        rng: &mut SimRng,
+        out: &mut Vec<u32>,
+    ) {
+        out.reserve(count);
+        for _ in 0..count {
+            out.push(self.task_weight(p, step, rng));
+        }
+    }
+
     /// Expected per-processor steady-state generation rate (tasks per
     /// step), used by analysis code to predict system load. `None` when
     /// no closed form exists (adversarial models).

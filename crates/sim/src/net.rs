@@ -47,14 +47,14 @@
 //! the report's compared fields (see [`World::net_frames`] and the
 //! `frames` slot of `ProbeOutput::MessageRate`).
 
-use crate::backend::drive_shard;
+use crate::backend::{drive_shard, StepScratch};
 use crate::message::MessageKind;
 use crate::model::{LoadModel, Strategy};
 use crate::probe::{PhaseReport, Probe};
 use crate::runner::RunReport;
 use crate::task::Task;
 use crate::trace::Event;
-use crate::types::Step;
+use crate::types::{ProcId, Step};
 use crate::world::{CompletionStats, World, DEFAULT_SOJOURN_HIST};
 use pcrlb_faults::{FaultModel, MsgCtx};
 use pcrlb_net::{
@@ -203,11 +203,13 @@ fn net_step<T: Transport, M: LoadModel + Sync, S: Strategy>(
     let mut step_stats = FrameStats::default();
 
     // ---- Phase A: local sub-steps + barrier round --------------------
+    let mut all_spills: Vec<(ProcId, Task)> = Vec::new();
     {
-        let (_, shard_list, completions) = world.shards(nodes);
+        let (shard_list, completions) = world.shard_views(nodes);
         let mut shards: Vec<Option<_>> = shard_list.into_iter().map(Some).collect();
         shards.resize_with(nodes, || None);
-        let results: Vec<(CompletionStats, FrameStats)> = std::thread::scope(|scope| {
+        type NodeResult = (CompletionStats, FrameStats, Vec<(ProcId, Task)>);
+        let results: Vec<NodeResult> = std::thread::scope(|scope| {
             let handles: Vec<_> = endpoints
                 .iter_mut()
                 .zip(shards)
@@ -215,14 +217,21 @@ fn net_step<T: Transport, M: LoadModel + Sync, S: Strategy>(
                     scope.spawn(move || {
                         let mut local = CompletionStats::new(DEFAULT_SOJOURN_HIST);
                         let mut fs = FrameStats::default();
-                        let load = if let Some((start, procs, rngs)) = shard {
-                            drive_shard(start, now, procs, rngs, model, &mut local, fmodel);
-                            procs.iter().map(|p| p.load() as u64).sum()
+                        let mut spill = Vec::new();
+                        let load = if let Some(mut shard) = shard {
+                            let mut scratch = StepScratch::default();
+                            drive_shard(&mut shard, model, &mut local, fmodel, &mut scratch);
+                            // Gossip the logical load: ring contents
+                            // plus spilled tasks (they are real queue
+                            // entries awaiting absorption).
+                            let load = shard.total_load();
+                            spill = std::mem::take(&mut shard.spill);
+                            load
                         } else {
                             0
                         };
                         exchange(ep, Vec::new(), 0, now, load, fmodel, &mut fs);
-                        (local, fs)
+                        (local, fs, spill)
                     })
                 })
                 .collect();
@@ -231,11 +240,13 @@ fn net_step<T: Transport, M: LoadModel + Sync, S: Strategy>(
                 .map(|h| h.join().expect("net node thread panicked"))
                 .collect()
         });
-        for (local, fs) in &results {
-            completions.merge(local);
-            step_stats += *fs;
+        for (local, fs, mut spill) in results {
+            completions.merge(&local);
+            step_stats += fs;
+            all_spills.append(&mut spill);
         }
     }
+    world.absorb_spill(&mut all_spills);
 
     // ---- Control step (driving thread; mirrors Engine::step) ---------
     strategy.on_step(world);
@@ -346,7 +357,7 @@ fn net_step<T: Transport, M: LoadModel + Sync, S: Strategy>(
             .into_iter()
             .map(|t| Task {
                 id: t.id,
-                origin: t.origin as usize,
+                origin: t.origin as u32,
                 born: t.born,
                 weight: t.weight,
             })

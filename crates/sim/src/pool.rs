@@ -15,10 +15,12 @@
 //!    so the borrows inside the job never outlive the dispatch call.
 //!
 //! Determinism holds by construction: the pool partitions the world
-//! with the same [`crate::world::World::shards`] split as `Threaded`
+//! with the same shard split (`World::shard_views`) as `Threaded`
 //! and runs the same [`crate::backend::drive_shard`] kernel, so a
 //! pooled run is bit-identical to a sequential (or scoped-threaded)
-//! run with the same seed, for any worker count.
+//! run with the same seed, for any worker count. Ring overflow spilled
+//! by the kernel is collected in worker order and absorbed by the
+//! coordinator right after the broadcast, before any strategy runs.
 //!
 //! Each worker owns a reusable [`CompletionStats`] scratch accumulator
 //! (reset, not reallocated, every step) that the coordinator merges
@@ -33,11 +35,11 @@
 //! global count of running pool workers so leak tests can assert the
 //! process returns to its baseline.
 
-use crate::backend::{drive_shard, ExecBackend};
+use crate::backend::{drive_shard, ExecBackend, StepScratch};
 use crate::model::LoadModel;
-use crate::processor::Processor;
-use crate::rng::SimRng;
-use crate::world::{CompletionStats, World, DEFAULT_SOJOURN_HIST};
+use crate::task::Task;
+use crate::types::ProcId;
+use crate::world::{CompletionStats, World, WorldShard, DEFAULT_SOJOURN_HIST};
 use std::cell::UnsafeCell;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -103,6 +105,9 @@ pub struct WorkerPool {
     handles: Vec<JoinHandle<()>>,
     /// Per-worker completion scratch, reset (not reallocated) each step.
     scratch: Vec<UnsafeCell<CompletionStats>>,
+    /// Per-worker kernel scratch (batched weights + ring overflow),
+    /// reused across steps so the steady state allocates nothing.
+    kernel_scratch: Vec<UnsafeCell<StepScratch>>,
 }
 
 impl std::fmt::Debug for WorkerPool {
@@ -143,6 +148,9 @@ impl WorkerPool {
             handles,
             scratch: (0..threads)
                 .map(|_| UnsafeCell::new(CompletionStats::new(DEFAULT_SOJOURN_HIST)))
+                .collect(),
+            kernel_scratch: (0..threads)
+                .map(|_| UnsafeCell::new(StepScratch::default()))
                 .collect(),
         }
     }
@@ -211,22 +219,21 @@ impl Drop for WorkerPool {
     }
 }
 
-/// One worker's pinned slice of the step: raw views into the world's
-/// shard split plus that worker's scratch accumulator.
-struct ShardJob {
-    start: usize,
-    len: usize,
-    procs: *mut Processor,
-    rngs: *mut SimRng,
-    scratch: *mut CompletionStats,
+/// One worker's pinned slice of the step: its [`WorldShard`] (owned
+/// for the duration of the broadcast) plus raw pointers to that
+/// worker's scratch accumulators.
+struct PoolJob<'a> {
+    shard: WorldShard<'a>,
+    stats: *mut CompletionStats,
+    kernel: *mut StepScratch,
 }
 
-struct ShardJobs(Vec<Option<ShardJob>>);
+struct PoolJobs<'a>(Vec<UnsafeCell<Option<PoolJob<'a>>>>);
 
-// SAFETY: every pointer in slot `wid` targets memory disjoint from all
-// other slots (the world's shard split and the per-worker scratch vec),
-// and worker `wid` is the only thread that dereferences slot `wid`.
-unsafe impl Sync for ShardJobs {}
+// SAFETY: slot `wid` holds state disjoint from every other slot (the
+// world's shard split and the per-worker scratch vecs), and worker
+// `wid` is the only thread that touches slot `wid` during a broadcast.
+unsafe impl Sync for PoolJobs<'_> {}
 
 impl<M: LoadModel + Sync> ExecBackend<M> for WorkerPool {
     fn run_substeps(&mut self, world: &mut World, model: &M) {
@@ -236,44 +243,53 @@ impl<M: LoadModel + Sync> ExecBackend<M> for WorkerPool {
         let threads = self.workers();
         let faults = world.active_faults();
         let faults = faults.as_deref();
-        let (now, shards, completions) = world.shards(threads);
-        // `shards` may be shorter than `threads` when n < threads;
-        // workers without a slot no-op.
-        let mut jobs = ShardJobs((0..threads).map(|_| None).collect());
-        for (wid, (start, procs, rngs)) in shards.into_iter().enumerate() {
-            jobs.0[wid] = Some(ShardJob {
-                start,
-                len: procs.len(),
-                procs: procs.as_mut_ptr(),
-                rngs: rngs.as_mut_ptr(),
-                scratch: self.scratch[wid].get(),
-            });
-        }
-        let jobs = &jobs;
-        self.broadcast(&|wid: usize| {
-            if let Some(job) = &jobs.0[wid] {
-                // SAFETY: see `ShardJobs` — slot `wid` is exclusively
+        let mut all_spills: Vec<(ProcId, Task)> = Vec::new();
+        {
+            let (shards, completions) = world.shard_views(threads);
+            // `shards` may be shorter than `threads` when n < threads;
+            // workers without a slot no-op.
+            let mut jobs = PoolJobs((0..threads).map(|_| UnsafeCell::new(None)).collect());
+            for (wid, shard) in shards.into_iter().enumerate() {
+                *jobs.0[wid].get_mut() = Some(PoolJob {
+                    shard,
+                    stats: self.scratch[wid].get(),
+                    kernel: self.kernel_scratch[wid].get(),
+                });
+            }
+            let jobs_ref = &jobs;
+            self.broadcast(&|wid: usize| {
+                // SAFETY: see `PoolJobs` — slot `wid` is exclusively
                 // ours, and the coordinator keeps the backing world
                 // borrowed for the whole broadcast.
-                unsafe {
-                    let procs = std::slice::from_raw_parts_mut(job.procs, job.len);
-                    let rngs = std::slice::from_raw_parts_mut(job.rngs, job.len);
-                    drive_shard(
-                        job.start,
-                        now,
-                        procs,
-                        rngs,
-                        model,
-                        &mut *job.scratch,
-                        faults,
-                    );
+                let slot = unsafe { &mut *jobs_ref.0[wid].get() };
+                if let Some(job) = slot.as_mut() {
+                    // SAFETY: the stats/kernel pointers target this
+                    // worker's private scratch cells.
+                    unsafe {
+                        drive_shard(
+                            &mut job.shard,
+                            model,
+                            &mut *job.stats,
+                            faults,
+                            &mut *job.kernel,
+                        );
+                    }
+                }
+            });
+            // Collect spills in fixed worker (= processor) order and
+            // merge completion locals the same way (additive, so any
+            // order would do).
+            for cell in jobs.0 {
+                if let Some(job) = cell.into_inner() {
+                    let mut spill = job.shard.spill;
+                    all_spills.append(&mut spill);
                 }
             }
-        });
-        // Merge in fixed worker order (additive, so any order would do).
-        for cell in &mut self.scratch {
-            completions.merge(cell.get_mut());
+            for cell in &mut self.scratch {
+                completions.merge(cell.get_mut());
+            }
         }
+        world.absorb_spill(&mut all_spills);
     }
 }
 
@@ -282,7 +298,8 @@ mod tests {
     use super::*;
     use crate::engine::Engine;
     use crate::model::Unbalanced;
-    use crate::types::{ProcId, Step};
+    use crate::rng::SimRng;
+    use crate::types::Step;
     use std::sync::Mutex;
 
     /// Serializes tests that assert on the global worker counter.

@@ -252,6 +252,10 @@ pub struct LoadSnapshotProbe {
     counts: Vec<u64>,
     samples: u64,
     load_sum: u64,
+    /// Probe-owned load snapshot buffer, refilled in place via
+    /// [`World::loads_into`] each sample — the hot sampling path
+    /// allocates nothing after the first snapshot.
+    scratch: Vec<usize>,
 }
 
 impl LoadSnapshotProbe {
@@ -266,6 +270,7 @@ impl LoadSnapshotProbe {
             counts: vec![0; cap.max(2)],
             samples: 0,
             load_sum: 0,
+            scratch: Vec::new(),
         }
     }
 }
@@ -281,11 +286,14 @@ impl Probe for LoadSnapshotProbe {
             return;
         }
         let cap = self.counts.len() - 1;
-        for p in world.procs() {
-            self.counts[p.load().min(cap)] += 1;
+        world.loads_into(&mut self.scratch);
+        let mut total = 0u64;
+        for &load in &self.scratch {
+            self.counts[load.min(cap)] += 1;
+            total += load as u64;
         }
         self.samples += 1;
-        self.load_sum += world.total_load();
+        self.load_sum += total;
     }
 
     fn finish(self: Box<Self>) -> ProbeOutput {

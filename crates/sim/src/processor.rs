@@ -1,8 +1,21 @@
-//! A simulated processor: a FIFO task queue plus per-processor counters.
+//! Per-processor state, in structure-of-arrays form.
+//!
+//! The simulator used to model each processor as a `Processor` struct
+//! (own `VecDeque` queue, own counters). The hot generate/consume loop
+//! touches every processor every step, so that layout was cache-hostile
+//! at `n = 2^20`. Processor state now lives as parallel flat arrays
+//! owned by the world: queues in [`crate::queue::TaskArena`], counters
+//! in [`StatsSoa`], and RNG/progress/sequence state alongside them in
+//! `World`.
+//!
+//! Call sites that read per-processor state keep the old ergonomics
+//! through [`ProcView`] (`world.proc(p).stats.generated`,
+//! `world.proc(p).queue().back()`), which is a cheap by-value
+//! assembly over the flat arrays — nothing is materialized per step.
 
-use crate::queue::TaskQueue;
+use crate::queue::TaskArena;
 use crate::task::Task;
-use crate::types::{ProcId, Step};
+use crate::types::ProcId;
 
 /// Per-processor lifetime counters.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -23,35 +36,66 @@ pub struct ProcStats {
     pub heavy_phases: u64,
 }
 
-/// One of the `n` processors of the synchronous machine.
-#[derive(Debug, Clone)]
-pub struct Processor {
-    id: ProcId,
-    queue: TaskQueue,
-    /// Local sequence number for task-id assignment; combining it with
-    /// the processor id yields globally unique ids without any shared
-    /// counter, which keeps the threaded engine deterministic.
-    next_seq: u64,
-    /// Work units already spent on the front task (weighted tasks take
-    /// `weight` consume-units to finish; always 0 for unit tasks
-    /// between steps).
-    progress: u32,
-    /// Lifetime counters.
-    pub stats: ProcStats,
+/// The lifetime counters of all processors, one flat array per field.
+///
+/// The hot kernel increments `generated[p]`/`consumed[p]` for a
+/// contiguous range of `p` each step; keeping each counter in its own
+/// array means those increments stream two cache lines per 8
+/// processors instead of touching a 56-byte struct per processor.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct StatsSoa {
+    pub(crate) generated: Vec<u64>,
+    pub(crate) consumed: Vec<u64>,
+    pub(crate) transfers_out: Vec<u64>,
+    pub(crate) transfers_in: Vec<u64>,
+    pub(crate) tasks_sent: Vec<u64>,
+    pub(crate) tasks_received: Vec<u64>,
+    pub(crate) heavy_phases: Vec<u64>,
 }
 
-impl Processor {
-    /// Creates an idle processor with the given id.
-    pub fn new(id: ProcId) -> Self {
-        Processor {
-            id,
-            queue: TaskQueue::new(),
-            next_seq: 0,
-            progress: 0,
-            stats: ProcStats::default(),
+impl StatsSoa {
+    pub(crate) fn new(n: usize) -> Self {
+        StatsSoa {
+            generated: vec![0; n],
+            consumed: vec![0; n],
+            transfers_out: vec![0; n],
+            transfers_in: vec![0; n],
+            tasks_sent: vec![0; n],
+            tasks_received: vec![0; n],
+            heavy_phases: vec![0; n],
         }
     }
 
+    /// Assembles processor `p`'s counters into the by-value struct the
+    /// reporting API exposes.
+    #[inline]
+    pub(crate) fn get(&self, p: ProcId) -> ProcStats {
+        ProcStats {
+            generated: self.generated[p],
+            consumed: self.consumed[p],
+            transfers_out: self.transfers_out[p],
+            transfers_in: self.transfers_in[p],
+            tasks_sent: self.tasks_sent[p],
+            tasks_received: self.tasks_received[p],
+            heavy_phases: self.heavy_phases[p],
+        }
+    }
+}
+
+/// Read-only view of one processor, assembled on demand from the
+/// world's flat arrays. `stats` is a by-value copy (cheap: 56 bytes);
+/// the queue view borrows the shared task arena.
+#[derive(Clone, Copy)]
+pub struct ProcView<'a> {
+    pub(crate) id: ProcId,
+    pub(crate) arena: &'a TaskArena,
+    pub(crate) progress: u32,
+    /// Lifetime counters of this processor (copied out of the SoA
+    /// store at view-construction time).
+    pub stats: ProcStats,
+}
+
+impl<'a> ProcView<'a> {
     /// This processor's id.
     #[inline]
     pub fn id(&self) -> ProcId {
@@ -61,101 +105,112 @@ impl Processor {
     /// Current load (queue length).
     #[inline]
     pub fn load(&self) -> usize {
-        self.queue.load()
+        self.arena.load(self.id)
     }
 
     /// Remaining work units: the weighted load minus the progress
-    /// already made on the front task. Equals [`Processor::load`] for
+    /// already made on the front task. Equals [`ProcView::load`] for
     /// unit-weight tasks.
     #[inline]
     pub fn remaining_work(&self) -> u64 {
-        self.queue.weighted_load() - self.progress as u64
+        self.arena.weighted_load(self.id) - self.progress as u64
     }
 
-    /// Generates one local unit-weight task at `step`, enqueues it, and
-    /// returns a copy of it.
-    pub fn generate(&mut self, step: Step) -> Task {
-        self.generate_weighted(step, 1)
-    }
-
-    /// Generates one local task of the given weight.
-    pub fn generate_weighted(&mut self, step: Step, weight: u32) -> Task {
-        let id = Self::task_id(self.id, self.next_seq);
-        self.next_seq += 1;
-        self.stats.generated += 1;
-        let task = Task::new(id, self.id, step).with_weight(weight.max(1));
-        self.queue.push(task);
-        task
-    }
-
-    /// Consumes one *work unit* from the oldest task. Returns the task
-    /// when this unit completes it (always, for unit-weight tasks).
-    pub fn consume(&mut self) -> Option<Task> {
-        let front_weight = self.queue.front()?.weight;
-        self.progress += 1;
-        if self.progress >= front_weight {
-            self.progress = 0;
-            self.stats.consumed += 1;
-            self.queue.pop()
-        } else {
-            None
+    /// Read access to this processor's queue.
+    #[inline]
+    pub fn queue(&self) -> QueueView<'a> {
+        QueueView {
+            id: self.id,
+            arena: self.arena,
         }
     }
+}
 
-    /// Read access to the queue.
+/// Read-only view of one processor's queue within the shared arena.
+#[derive(Clone, Copy)]
+pub struct QueueView<'a> {
+    id: ProcId,
+    arena: &'a TaskArena,
+}
+
+impl<'a> QueueView<'a> {
+    /// Pending-task count.
     #[inline]
-    pub fn queue(&self) -> &TaskQueue {
-        &self.queue
+    pub fn load(&self) -> usize {
+        self.arena.load(self.id)
     }
 
-    /// Mutable access to the queue (used by transfers and adversaries;
-    /// the world keeps the ledger/stat updates consistent).
+    /// Sum of pending task weights.
     #[inline]
-    pub(crate) fn queue_mut(&mut self) -> &mut TaskQueue {
-        &mut self.queue
+    pub fn weighted_load(&self) -> u64 {
+        self.arena.weighted_load(self.id)
     }
 
-    /// Globally unique, thread-independent task id: high bits are the
-    /// generating processor, low bits its local sequence number.
+    /// True when no tasks are pending.
     #[inline]
-    fn task_id(proc: ProcId, seq: u64) -> u64 {
-        ((proc as u64 + 1) << 40) | (seq & ((1 << 40) - 1))
+    pub fn is_empty(&self) -> bool {
+        self.arena.is_empty(self.id)
     }
+
+    /// Oldest pending task, if any.
+    #[inline]
+    pub fn front(&self) -> Option<&'a Task> {
+        self.arena.front(self.id)
+    }
+
+    /// Newest pending task, if any.
+    #[inline]
+    pub fn back(&self) -> Option<&'a Task> {
+        self.arena.back(self.id)
+    }
+
+    /// Iterates tasks front (oldest) to back (newest).
+    pub fn iter(&self) -> impl Iterator<Item = &'a Task> {
+        self.arena.iter(self.id)
+    }
+}
+
+/// Globally unique, thread-independent task id: high bits are the
+/// generating processor, low bits its local sequence number. No shared
+/// counter, which keeps the parallel backends deterministic.
+#[inline]
+pub(crate) fn task_id(proc: ProcId, seq: u64) -> u64 {
+    ((proc as u64 + 1) << 40) | (seq & ((1 << 40) - 1))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::world::World;
 
     #[test]
     fn generate_and_consume_update_stats() {
-        let mut p = Processor::new(3);
-        p.generate(0);
-        p.generate(1);
-        assert_eq!(p.load(), 2);
-        assert_eq!(p.stats.generated, 2);
-        let t = p.consume().unwrap();
+        let mut w = World::new(4, 7);
+        w.generate_one(3);
+        w.tick();
+        w.generate_one(3);
+        let view = w.proc(3);
+        assert_eq!(view.load(), 2);
+        assert_eq!(view.stats.generated, 2);
+        let t = w.consume_one(3).unwrap();
         assert_eq!(t.origin, 3);
         assert_eq!(t.born, 0); // FIFO: oldest first
-        assert_eq!(p.stats.consumed, 1);
-        assert_eq!(p.load(), 1);
+        assert_eq!(w.proc(3).stats.consumed, 1);
+        assert_eq!(w.proc(3).load(), 1);
     }
 
     #[test]
     fn consume_empty_returns_none() {
-        let mut p = Processor::new(0);
-        assert!(p.consume().is_none());
-        assert_eq!(p.stats.consumed, 0);
+        let mut w = World::new(1, 7);
+        assert!(w.consume_one(0).is_none());
+        assert_eq!(w.proc(0).stats.consumed, 0);
     }
 
     #[test]
     fn task_ids_are_unique_across_processors() {
-        let mut a = Processor::new(0);
-        let mut b = Processor::new(1);
-        let ids: Vec<u64> = (0..10)
-            .map(|s| a.generate(s).id)
-            .chain((0..10).map(|s| b.generate(s).id))
-            .collect();
+        let mut w = World::new(2, 7);
+        let mut ids: Vec<u64> = (0..10).map(|_| w.generate_one(0).id).collect();
+        ids.extend((0..10).map(|_| w.generate_one(1).id));
         let mut sorted = ids.clone();
         sorted.sort_unstable();
         sorted.dedup();
@@ -164,8 +219,11 @@ mod tests {
 
     #[test]
     fn generated_task_records_birth_step() {
-        let mut p = Processor::new(5);
-        let t = p.generate(42);
+        let mut w = World::new(6, 7);
+        for _ in 0..42 {
+            w.tick();
+        }
+        let t = w.generate_one(5);
         assert_eq!(t.born, 42);
         assert_eq!(t.origin, 5);
         assert_eq!(t.weight, 1);
@@ -173,31 +231,42 @@ mod tests {
 
     #[test]
     fn weighted_task_takes_weight_units_to_finish() {
-        let mut p = Processor::new(0);
-        p.generate_weighted(0, 3);
-        assert_eq!(p.remaining_work(), 3);
-        assert!(p.consume().is_none()); // unit 1
-        assert_eq!(p.remaining_work(), 2);
-        assert!(p.consume().is_none()); // unit 2
-        let done = p.consume().expect("unit 3 completes the task");
+        let mut w = World::new(1, 7);
+        w.generate_one_weighted(0, 3);
+        assert_eq!(w.proc(0).remaining_work(), 3);
+        assert!(w.consume_one(0).is_none()); // unit 1
+        assert_eq!(w.proc(0).remaining_work(), 2);
+        assert!(w.consume_one(0).is_none()); // unit 2
+        let done = w.consume_one(0).expect("unit 3 completes the task");
         assert_eq!(done.weight, 3);
-        assert_eq!(p.remaining_work(), 0);
-        assert_eq!(p.stats.consumed, 1);
-        assert_eq!(p.load(), 0);
+        assert_eq!(w.proc(0).remaining_work(), 0);
+        assert_eq!(w.proc(0).stats.consumed, 1);
+        assert_eq!(w.proc(0).load(), 0);
     }
 
     #[test]
     fn unit_tasks_complete_in_one_unit() {
-        let mut p = Processor::new(0);
-        p.generate(0);
-        assert!(p.consume().is_some());
-        assert_eq!(p.remaining_work(), 0);
+        let mut w = World::new(1, 7);
+        w.generate_one(0);
+        assert!(w.consume_one(0).is_some());
+        assert_eq!(w.proc(0).remaining_work(), 0);
     }
 
     #[test]
     fn zero_weight_clamped_to_one() {
-        let mut p = Processor::new(0);
-        p.generate_weighted(0, 0);
-        assert_eq!(p.remaining_work(), 1);
+        let mut w = World::new(1, 7);
+        w.generate_one_weighted(0, 0);
+        assert_eq!(w.proc(0).remaining_work(), 1);
+    }
+
+    #[test]
+    fn stats_soa_round_trips() {
+        let mut s = StatsSoa::new(3);
+        s.generated[1] = 5;
+        s.heavy_phases[1] = 2;
+        let got = s.get(1);
+        assert_eq!(got.generated, 5);
+        assert_eq!(got.heavy_phases, 2);
+        assert_eq!(s.get(0), ProcStats::default());
     }
 }

@@ -1,4 +1,5 @@
-//! FIFO task queues with the paper's transfer semantics.
+//! The arena-backed task-queue pool, with the paper's transfer
+//! semantics.
 //!
 //! §3 of the paper fixes two queue rules that the waiting-time argument
 //! (Corollary 1) depends on:
@@ -11,160 +12,454 @@
 //! Rule 2 guarantees a transferred task's position relative to the front
 //! of its new queue is no worse than it was in the old one, which is what
 //! bounds sojourn times by the maximum load.
+//!
+//! # Layout
+//!
+//! All `n` queues live in **one** [`TaskArena`]: a single `Vec<Task>`
+//! slab plus per-processor `{base, cap, head, len}` ring metadata
+//! (capacities are powers of two, so slot arithmetic is a mask). This
+//! replaces the former one-`VecDeque`-per-processor layout, whose
+//! scattered heap buffers made the generate/consume hot path
+//! latency-bound on cache misses at `n = 2^20`. The metadata vectors
+//! are contiguous and walked in processor order, so the hot kernel
+//! streams them; queue regions are allocated in first-push order
+//! (≈ processor order) and re-packed by [`TaskArena::maybe_compact`],
+//! so slab traffic is prefetch-friendly too.
+//!
+//! # Ownership / growth rules
+//!
+//! * A queue's region belongs to exactly one processor; regions never
+//!   overlap.
+//! * Growth (amortized doubling) **relocates** the queue's region to
+//!   the end of the slab and orphans the old region. Orphaned slots
+//!   are reclaimed by [`TaskArena::maybe_compact`], which the world
+//!   runs at each clock tick, bounding waste to ~⅓ of the slab.
+//! * Growth and compaction are single-threaded operations: the
+//!   parallel backends never grow. A shard that runs out of ring
+//!   capacity mid-step *spills* the overflow (see
+//!   [`crate::world::WorldShard`]) and the coordinator regrows and
+//!   absorbs it after the parallel section — same final state, one
+//!   kernel for every backend.
+//!
+//! ```
+//! use pcrlb_sim::{Task, TaskArena};
+//!
+//! let mut arena = TaskArena::new(2);
+//! for id in 0..5 {
+//!     arena.push(0, Task::new(id, 0, 0));
+//! }
+//! // The paper's transfer rule: take from the back of queue 0...
+//! let block = arena.take_back(0, 2);
+//! assert_eq!(block.iter().map(|t| t.id).collect::<Vec<_>>(), vec![3, 4]);
+//! // ...append to the receiver's back, old order preserved.
+//! arena.append_back(1, block);
+//! assert_eq!(arena.front(1).unwrap().id, 3);
+//! ```
 
 use crate::task::Task;
-use std::collections::VecDeque;
+use crate::types::ProcId;
 
-/// A processor's pending-task queue.
+/// Smallest non-zero ring capacity (power of two). Queues start at
+/// capacity 0 and first allocate on first push, so an idle processor
+/// costs metadata only.
+const MIN_CAP: u32 = 4;
+
+/// All pending-task queues of the machine, in one slab.
 ///
-/// ```
-/// use pcrlb_sim::{Task, TaskQueue};
-///
-/// let mut sender = TaskQueue::new();
-/// for id in 0..5 {
-///     sender.push(Task::new(id, 0, 0));
-/// }
-/// // The paper's transfer rule: take from the back...
-/// let block = sender.take_back(2);
-/// assert_eq!(block.iter().map(|t| t.id).collect::<Vec<_>>(), vec![3, 4]);
-/// // ...append to the receiver's back, old order preserved.
-/// let mut receiver = TaskQueue::new();
-/// receiver.append_back(block);
-/// assert_eq!(receiver.front().unwrap().id, 3);
-/// ```
+/// Per-queue operations take the owning processor id `p`; out-of-range
+/// ids panic (dense indices, caller bug).
 #[derive(Debug, Clone, Default)]
-pub struct TaskQueue {
-    tasks: VecDeque<Task>,
-    /// Sum of pending task weights, maintained incrementally so
-    /// weighted balancing reads it in O(1).
-    weight: u64,
+pub struct TaskArena {
+    /// The one backing allocation. Every region stays fully
+    /// initialized ([`Task::PAD`] in unused slots) so no slot is ever
+    /// uninit memory.
+    slab: Vec<Task>,
+    /// Region start per queue.
+    base: Vec<usize>,
+    /// Region capacity per queue (0 or a power of two).
+    cap: Vec<u32>,
+    /// Ring head offset within the region.
+    head: Vec<u32>,
+    /// Live tasks per queue — the processor's *load*, as one
+    /// contiguous slice (see [`TaskArena::loads`]).
+    len: Vec<u32>,
+    /// Sum of pending task weights per queue, maintained incrementally
+    /// so weighted balancing reads it in O(1).
+    weight: Vec<u64>,
+    /// Slab slots stranded by region relocation, reclaimed by
+    /// [`TaskArena::maybe_compact`].
+    orphaned: usize,
 }
 
-impl TaskQueue {
-    /// Creates an empty queue.
-    pub fn new() -> Self {
-        TaskQueue {
-            tasks: VecDeque::new(),
-            weight: 0,
+impl TaskArena {
+    /// Creates `n` empty queues sharing one (initially empty) slab.
+    pub fn new(n: usize) -> Self {
+        TaskArena {
+            slab: Vec::new(),
+            base: vec![0; n],
+            cap: vec![0; n],
+            head: vec![0; n],
+            len: vec![0; n],
+            weight: vec![0; n],
+            orphaned: 0,
         }
     }
 
-    /// Creates an empty queue with pre-reserved capacity.
-    pub fn with_capacity(cap: usize) -> Self {
-        TaskQueue {
-            tasks: VecDeque::with_capacity(cap),
-            weight: 0,
+    /// Number of queues.
+    #[inline]
+    pub fn queues(&self) -> usize {
+        self.len.len()
+    }
+
+    /// Slab index of the `i`-th task (front = 0) of queue `p`.
+    #[inline]
+    fn slot(&self, p: ProcId, i: u32) -> usize {
+        debug_assert!(i < self.len[p]);
+        self.base[p] + ((self.head[p].wrapping_add(i)) & (self.cap[p] - 1)) as usize
+    }
+
+    /// Load (pending-task count) of queue `p`.
+    #[inline]
+    pub fn load(&self, p: ProcId) -> usize {
+        self.len[p] as usize
+    }
+
+    /// Weighted load of queue `p` (equals the load for unit tasks).
+    #[inline]
+    pub fn weighted_load(&self, p: ProcId) -> u64 {
+        self.weight[p]
+    }
+
+    /// True when queue `p` holds no tasks.
+    #[inline]
+    pub fn is_empty(&self, p: ProcId) -> bool {
+        self.len[p] == 0
+    }
+
+    /// All loads, as the flat per-processor slice the SoA hot paths
+    /// scan (index = processor id).
+    #[inline]
+    pub fn loads(&self) -> &[u32] {
+        &self.len
+    }
+
+    /// All weighted loads (sum of pending weights per queue), flat.
+    #[inline]
+    pub fn weights(&self) -> &[u64] {
+        &self.weight
+    }
+
+    /// Enqueues a freshly generated or delivered task at the back of
+    /// queue `p` (rule 1: arrivals at the back), growing the region if
+    /// full.
+    pub fn push(&mut self, p: ProcId, task: Task) {
+        if self.len[p] == self.cap[p] {
+            self.grow(p);
         }
+        let idx =
+            self.base[p] + ((self.head[p].wrapping_add(self.len[p])) & (self.cap[p] - 1)) as usize;
+        self.slab[idx] = task;
+        self.len[p] += 1;
+        self.weight[p] += task.weight as u64;
     }
 
-    /// Number of pending tasks — the processor's *load*.
-    #[inline]
-    pub fn load(&self) -> usize {
-        self.tasks.len()
-    }
-
-    /// Sum of pending task weights — the processor's *weighted load*
-    /// (equals [`TaskQueue::load`] for unit-weight tasks).
-    #[inline]
-    pub fn weighted_load(&self) -> u64 {
-        self.weight
-    }
-
-    /// True when no tasks are pending.
-    #[inline]
-    pub fn is_empty(&self) -> bool {
-        self.tasks.is_empty()
-    }
-
-    /// Enqueues a freshly generated task (rule 1: arrivals at the back).
-    #[inline]
-    pub fn push(&mut self, task: Task) {
-        self.weight += task.weight as u64;
-        self.tasks.push_back(task);
-    }
-
-    /// Dequeues the oldest task for execution (rule 1: FIFO service).
-    #[inline]
-    pub fn pop(&mut self) -> Option<Task> {
-        let t = self.tasks.pop_front();
-        if let Some(t) = &t {
-            self.weight -= t.weight as u64;
+    /// Dequeues the oldest task of queue `p` for execution (rule 1:
+    /// FIFO service).
+    pub fn pop(&mut self, p: ProcId) -> Option<Task> {
+        if self.len[p] == 0 {
+            return None;
         }
-        t
+        let t = self.slab[self.base[p] + self.head[p] as usize];
+        self.head[p] = (self.head[p] + 1) & (self.cap[p] - 1);
+        self.len[p] -= 1;
+        self.weight[p] -= t.weight as u64;
+        Some(t)
     }
 
-    /// Oldest pending task, if any.
+    /// Oldest pending task of queue `p`, if any.
     #[inline]
-    pub fn front(&self) -> Option<&Task> {
-        self.tasks.front()
+    pub fn front(&self, p: ProcId) -> Option<&Task> {
+        (self.len[p] > 0).then(|| &self.slab[self.base[p] + self.head[p] as usize])
     }
 
-    /// Newest pending task, if any. Task-allocation strategies use this
-    /// to spot arrivals of the current step (their `born` equals the
-    /// current step) and relocate them at placement time.
+    /// Newest pending task of queue `p`, if any. Task-allocation
+    /// strategies use this to spot arrivals of the current step (their
+    /// `born` equals the current step) and relocate them at placement
+    /// time.
     #[inline]
-    pub fn back(&self) -> Option<&Task> {
-        self.tasks.back()
+    pub fn back(&self, p: ProcId) -> Option<&Task> {
+        (self.len[p] > 0).then(|| &self.slab[self.slot(p, self.len[p] - 1)])
     }
 
-    /// Removes up to `k` tasks from the *back* of the queue, returning
+    /// Removes up to `k` tasks from the *back* of queue `p`, returning
     /// them in their old front-to-back order (rule 2, sender side).
-    pub fn take_back(&mut self, k: usize) -> Vec<Task> {
-        let k = k.min(self.tasks.len());
-        let split = self.tasks.len() - k;
-        let taken: Vec<Task> = self.tasks.split_off(split).into();
-        self.weight -= taken.iter().map(|t| t.weight as u64).sum::<u64>();
+    pub fn take_back(&mut self, p: ProcId, k: usize) -> Vec<Task> {
+        let k = (k.min(self.len[p] as usize)) as u32;
+        let mut taken = Vec::with_capacity(k as usize);
+        let first = self.len[p] - k;
+        for i in first..self.len[p] {
+            taken.push(self.slab[self.slot(p, i)]);
+        }
+        self.len[p] = first;
+        self.weight[p] -= taken.iter().map(|t| t.weight as u64).sum::<u64>();
         taken
     }
 
-    /// Removes tasks from the back until at least `w` weight units have
-    /// been taken (or the queue is empty), returning them in their old
-    /// order — the sender side of a *weighted* transfer.
-    pub fn take_back_weight(&mut self, w: u64) -> Vec<Task> {
+    /// Number of back tasks of queue `p` needed to reach at least `w`
+    /// weight units (or the whole queue), and the weight they carry —
+    /// the sizing half of a weighted transfer.
+    pub fn count_back_weight(&self, p: ProcId, w: u64) -> (usize, u64) {
         let mut taken_weight = 0u64;
-        let mut count = 0usize;
-        for t in self.tasks.iter().rev() {
-            if taken_weight >= w {
-                break;
-            }
-            taken_weight += t.weight as u64;
+        let mut count = 0u32;
+        while count < self.len[p] && taken_weight < w {
             count += 1;
+            taken_weight += self.slab[self.slot(p, self.len[p] - count)].weight as u64;
         }
-        self.take_back(count)
+        (count as usize, taken_weight)
     }
 
-    /// Appends transferred tasks at the back, preserving their order
-    /// (rule 2, receiver side).
-    pub fn append_back(&mut self, tasks: Vec<Task>) {
-        self.weight += tasks.iter().map(|t| t.weight as u64).sum::<u64>();
-        self.tasks.extend(tasks);
+    /// Removes tasks from the back of `p` until at least `w` weight
+    /// units have been taken (or the queue is empty), returning them in
+    /// their old order — the sender side of a *weighted* transfer.
+    pub fn take_back_weight(&mut self, p: ProcId, w: u64) -> Vec<Task> {
+        let (count, _) = self.count_back_weight(p, w);
+        self.take_back(p, count)
     }
 
-    /// Iterates tasks front (oldest) to back (newest).
-    pub fn iter(&self) -> impl Iterator<Item = &Task> {
-        self.tasks.iter()
+    /// Moves up to `k` tasks from the back of queue `from` to the back
+    /// of queue `to` in their old order — rules 2a+2b fused, with no
+    /// intermediate allocation. Returns the number moved.
+    pub fn move_back(&mut self, from: ProcId, to: ProcId, k: usize) -> usize {
+        debug_assert_ne!(from, to);
+        let k = (k.min(self.len[from] as usize)) as u32;
+        let first = self.len[from] - k;
+        let mut moved_weight = 0u64;
+        for i in first..self.len[from] {
+            // Read before push: push(to) may grow and reallocate the
+            // slab, but slot indices (not pointers) stay valid and
+            // `from`'s region is never relocated by `to`'s growth.
+            let t = self.slab[self.slot(from, i)];
+            moved_weight += t.weight as u64;
+            self.push(to, t);
+        }
+        self.len[from] = first;
+        self.weight[from] -= moved_weight;
+        k as usize
     }
 
-    /// Drops all tasks (used by adversarial scenarios that annihilate
-    /// load in place).
-    pub fn clear(&mut self) {
-        self.tasks.clear();
-        self.weight = 0;
+    /// Appends transferred tasks at the back of queue `p`, preserving
+    /// their order (rule 2, receiver side).
+    pub fn append_back(&mut self, p: ProcId, tasks: Vec<Task>) {
+        for t in tasks {
+            self.push(p, t);
+        }
     }
 
-    /// Removes up to `k` tasks from the back *without* returning them —
-    /// the adversarial model's "consume O(T) tasks" move.
-    pub fn discard_back(&mut self, k: usize) -> usize {
-        let k = k.min(self.tasks.len());
-        let split = self.tasks.len() - k;
-        self.weight -= self
-            .tasks
-            .iter()
-            .skip(split)
-            .map(|t| t.weight as u64)
-            .sum::<u64>();
-        self.tasks.truncate(split);
-        k
+    /// Iterates queue `p`'s tasks front (oldest) to back (newest).
+    pub fn iter(&self, p: ProcId) -> impl Iterator<Item = &Task> {
+        (0..self.len[p]).map(move |i| &self.slab[self.slot(p, i)])
+    }
+
+    /// Drops all tasks of queue `p` (used by adversarial scenarios
+    /// that annihilate load in place).
+    pub fn clear(&mut self, p: ProcId) {
+        self.len[p] = 0;
+        self.head[p] = 0;
+        self.weight[p] = 0;
+    }
+
+    /// Removes up to `k` tasks from the back of queue `p` *without*
+    /// returning them — the adversarial model's "consume O(T) tasks"
+    /// move.
+    pub fn discard_back(&mut self, p: ProcId, k: usize) -> usize {
+        let k = (k.min(self.len[p] as usize)) as u32;
+        let first = self.len[p] - k;
+        let mut dropped = 0u64;
+        for i in first..self.len[p] {
+            dropped += self.slab[self.slot(p, i)].weight as u64;
+        }
+        self.len[p] = first;
+        self.weight[p] -= dropped;
+        k as usize
+    }
+
+    /// Doubles queue `p`'s capacity by relocating its region to the end
+    /// of the slab (head-normalized), orphaning the old region.
+    /// Single-threaded contexts only — shard kernels spill instead.
+    fn grow(&mut self, p: ProcId) {
+        let old_cap = self.cap[p];
+        let new_cap = (old_cap * 2).max(MIN_CAP);
+        let new_base = self.slab.len();
+        self.slab.resize(new_base + new_cap as usize, Task::PAD);
+        for i in 0..self.len[p] {
+            let idx = self.base[p] + ((self.head[p].wrapping_add(i)) & (old_cap - 1)) as usize;
+            self.slab[new_base + i as usize] = self.slab[idx];
+        }
+        self.orphaned += old_cap as usize;
+        self.base[p] = new_base;
+        self.cap[p] = new_cap;
+        self.head[p] = 0;
+    }
+
+    /// Re-packs every region contiguously in processor order when at
+    /// least a third of the slab is orphaned. (Doubling growth orphans
+    /// `new_cap / 2` per `new_cap` appended, so the orphaned fraction
+    /// approaches — but never exceeds — one half; a ½ threshold would
+    /// be dead code.) Called by the world once per clock tick (a
+    /// single-threaded moment), so slab waste stays bounded at ~1.5×
+    /// the live capacity without any cost in the parallel sections.
+    pub(crate) fn maybe_compact(&mut self) {
+        if self.orphaned * 3 < self.slab.len() || self.slab.len() < 4096 {
+            return;
+        }
+        let live: usize = self.cap.iter().map(|&c| c as usize).sum();
+        let mut packed = Vec::with_capacity(live);
+        for p in 0..self.queues() {
+            let new_base = packed.len();
+            for i in 0..self.len[p] {
+                packed.push(self.slab[self.slot(p, i)]);
+            }
+            packed.resize(new_base + self.cap[p] as usize, Task::PAD);
+            self.base[p] = new_base;
+            self.head[p] = 0;
+        }
+        self.slab = packed;
+        self.orphaned = 0;
+    }
+
+    /// Splits the arena into `shard_sizes.len()` disjoint shard views,
+    /// one per contiguous run of queues (sizes in order, summing to
+    /// `n`). The slab itself is shared via a raw pointer — see
+    /// [`ArenaShard`] for the safety contract.
+    pub(crate) fn split_shards(&mut self, shard_sizes: &[usize]) -> Vec<ArenaShard<'_>> {
+        debug_assert_eq!(shard_sizes.iter().sum::<usize>(), self.queues());
+        let slab = SlabPtr(self.slab.as_mut_ptr());
+        let slab_len = self.slab.len();
+        let mut out = Vec::with_capacity(shard_sizes.len());
+        let (mut base, mut cap, mut head, mut len, mut weight) = (
+            &self.base[..],
+            &self.cap[..],
+            &mut self.head[..],
+            &mut self.len[..],
+            &mut self.weight[..],
+        );
+        for &size in shard_sizes {
+            let (b, bt) = base.split_at(size);
+            let (c, ct) = cap.split_at(size);
+            let (h, ht) = std::mem::take(&mut head).split_at_mut(size);
+            let (l, lt) = std::mem::take(&mut len).split_at_mut(size);
+            let (w, wt) = std::mem::take(&mut weight).split_at_mut(size);
+            out.push(ArenaShard {
+                slab,
+                slab_len,
+                base: b,
+                cap: c,
+                head: h,
+                len: l,
+                weight: w,
+            });
+            base = bt;
+            cap = ct;
+            head = ht;
+            len = lt;
+            weight = wt;
+        }
+        out
+    }
+}
+
+/// Shared slab pointer for shard views. `Send` is sound because every
+/// shard only dereferences slots inside its own queues' regions, and
+/// regions are disjoint (see [`ArenaShard`]).
+#[derive(Clone, Copy)]
+struct SlabPtr(*mut Task);
+
+unsafe impl Send for SlabPtr {}
+
+/// A shard's mutable window onto the arena: exclusive metadata slices
+/// for a contiguous run of queues, plus the shared slab pointer.
+///
+/// # Safety contract
+///
+/// * Slot indices are always derived from this shard's own
+///   `base`/`cap`/`head`/`len` entries, so two shards never touch the
+///   same slab slot (queue regions are disjoint by construction).
+/// * Shards never grow: [`ArenaShard::push`] reports overflow instead,
+///   and the caller spills — the slab is never reallocated while any
+///   shard view is alive.
+pub(crate) struct ArenaShard<'a> {
+    slab: SlabPtr,
+    slab_len: usize,
+    base: &'a [usize],
+    cap: &'a [u32],
+    head: &'a mut [u32],
+    len: &'a mut [u32],
+    weight: &'a mut [u64],
+}
+
+// SAFETY: the raw slab pointer is the only non-auto-Send field; the
+// disjoint-regions contract above makes moving a shard to another
+// thread sound.
+unsafe impl Send for ArenaShard<'_> {}
+
+impl ArenaShard<'_> {
+    /// Queues in this shard.
+    #[inline]
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub(crate) fn queues(&self) -> usize {
+        self.len.len()
+    }
+
+    /// Load of local queue `i`.
+    #[inline]
+    pub(crate) fn load(&self, i: usize) -> usize {
+        self.len[i] as usize
+    }
+
+    /// Sum of loads over the shard (barrier gossip for the net
+    /// runtime).
+    pub(crate) fn total_load(&self) -> u64 {
+        self.len.iter().map(|&l| l as u64).sum()
+    }
+
+    /// Pushes at the back of local queue `i`; `false` means the ring
+    /// is full (the caller must spill — shards never grow).
+    #[inline]
+    pub(crate) fn push(&mut self, i: usize, task: Task) -> bool {
+        if self.len[i] == self.cap[i] {
+            return false;
+        }
+        let idx =
+            self.base[i] + ((self.head[i].wrapping_add(self.len[i])) & (self.cap[i] - 1)) as usize;
+        debug_assert!(idx < self.slab_len);
+        // SAFETY: idx lies inside queue i's region (see the shard
+        // safety contract); no other thread touches that region.
+        unsafe { *self.slab.0.add(idx) = task };
+        self.len[i] += 1;
+        self.weight[i] += task.weight as u64;
+        true
+    }
+
+    /// Copy of the front task of local queue `i`.
+    #[inline]
+    pub(crate) fn front(&self, i: usize) -> Option<Task> {
+        if self.len[i] == 0 {
+            return None;
+        }
+        let idx = self.base[i] + self.head[i] as usize;
+        debug_assert!(idx < self.slab_len);
+        // SAFETY: as in `push`.
+        Some(unsafe { *self.slab.0.add(idx) })
+    }
+
+    /// Pops the front task of local queue `i`.
+    #[inline]
+    pub(crate) fn pop(&mut self, i: usize) -> Option<Task> {
+        let t = self.front(i)?;
+        self.head[i] = (self.head[i] + 1) & (self.cap[i] - 1);
+        self.len[i] -= 1;
+        self.weight[i] -= t.weight as u64;
+        Some(t)
     }
 }
 
@@ -172,132 +467,239 @@ impl TaskQueue {
 mod tests {
     use super::*;
 
-    fn q(ids: &[u64]) -> TaskQueue {
-        let mut q = TaskQueue::new();
+    fn arena(ids: &[u64]) -> TaskArena {
+        let mut a = TaskArena::new(2);
         for &id in ids {
-            q.push(Task::new(id, 0, 0));
+            a.push(0, Task::new(id, 0, 0));
         }
-        q
+        a
     }
 
-    fn ids(q: &TaskQueue) -> Vec<u64> {
-        q.iter().map(|t| t.id).collect()
+    fn ids(a: &TaskArena, p: ProcId) -> Vec<u64> {
+        a.iter(p).map(|t| t.id).collect()
     }
 
     #[test]
     fn fifo_order() {
-        let mut q = q(&[1, 2, 3]);
-        assert_eq!(q.pop().unwrap().id, 1);
-        assert_eq!(q.pop().unwrap().id, 2);
-        assert_eq!(q.pop().unwrap().id, 3);
-        assert!(q.pop().is_none());
+        let mut a = arena(&[1, 2, 3]);
+        assert_eq!(a.pop(0).unwrap().id, 1);
+        assert_eq!(a.pop(0).unwrap().id, 2);
+        assert_eq!(a.pop(0).unwrap().id, 3);
+        assert!(a.pop(0).is_none());
     }
 
     #[test]
     fn take_back_removes_newest_preserving_order() {
-        let mut q = q(&[1, 2, 3, 4, 5]);
-        let moved = q.take_back(2);
+        let mut a = arena(&[1, 2, 3, 4, 5]);
+        let moved = a.take_back(0, 2);
         assert_eq!(moved.iter().map(|t| t.id).collect::<Vec<_>>(), vec![4, 5]);
-        assert_eq!(ids(&q), vec![1, 2, 3]);
+        assert_eq!(ids(&a, 0), vec![1, 2, 3]);
     }
 
     #[test]
     fn take_back_caps_at_len() {
-        let mut q = q(&[1, 2]);
-        let moved = q.take_back(10);
+        let mut a = arena(&[1, 2]);
+        let moved = a.take_back(0, 10);
         assert_eq!(moved.len(), 2);
-        assert!(q.is_empty());
+        assert!(a.is_empty(0));
     }
 
     #[test]
     fn take_back_zero_is_noop() {
-        let mut q = q(&[1, 2]);
-        assert!(q.take_back(0).is_empty());
-        assert_eq!(q.load(), 2);
+        let mut a = arena(&[1, 2]);
+        assert!(a.take_back(0, 0).is_empty());
+        assert_eq!(a.load(0), 2);
     }
 
     #[test]
     fn transfer_roundtrip_matches_paper_rule() {
         // Sender [1,2,3,4], receiver [9]; transfer 2 from back.
-        let mut s = q(&[1, 2, 3, 4]);
-        let mut r = q(&[9]);
-        r.append_back(s.take_back(2));
-        assert_eq!(ids(&s), vec![1, 2]);
-        assert_eq!(ids(&r), vec![9, 3, 4]);
+        let mut a = arena(&[1, 2, 3, 4]);
+        a.push(1, Task::new(9, 0, 0));
+        a.move_back(0, 1, 2);
+        assert_eq!(ids(&a, 0), vec![1, 2]);
+        assert_eq!(ids(&a, 1), vec![9, 3, 4]);
         // Transferred task 3 was at position 2 (0-based) in the sender,
         // now position 1 in the receiver: "closer to the front than it
         // was in the sender's queue" (paper, proof of Corollary 1).
     }
 
     #[test]
-    fn discard_back_drops_newest() {
-        let mut q = q(&[1, 2, 3]);
-        assert_eq!(q.discard_back(2), 2);
-        assert_eq!(ids(&q), vec![1]);
-        assert_eq!(q.discard_back(5), 1);
-        assert!(q.is_empty());
-        assert_eq!(q.discard_back(1), 0);
+    fn move_back_equals_take_plus_append() {
+        let mut via_move = TaskArena::new(2);
+        let mut via_vecs = TaskArena::new(2);
+        for id in 0..23 {
+            via_move.push(0, Task::new(id, 0, 0));
+            via_vecs.push(0, Task::new(id, 0, 0));
+        }
+        assert_eq!(via_move.move_back(0, 1, 9), 9);
+        let block = via_vecs.take_back(0, 9);
+        via_vecs.append_back(1, block);
+        assert_eq!(ids(&via_move, 0), ids(&via_vecs, 0));
+        assert_eq!(ids(&via_move, 1), ids(&via_vecs, 1));
+        assert_eq!(via_move.weighted_load(1), via_vecs.weighted_load(1));
     }
 
-    fn wq(weights: &[u32]) -> TaskQueue {
-        let mut q = TaskQueue::new();
+    #[test]
+    fn discard_back_drops_newest() {
+        let mut a = arena(&[1, 2, 3]);
+        assert_eq!(a.discard_back(0, 2), 2);
+        assert_eq!(ids(&a, 0), vec![1]);
+        assert_eq!(a.discard_back(0, 5), 1);
+        assert!(a.is_empty(0));
+        assert_eq!(a.discard_back(0, 1), 0);
+    }
+
+    fn warena(weights: &[u32]) -> TaskArena {
+        let mut a = TaskArena::new(1);
         for (i, &w) in weights.iter().enumerate() {
-            q.push(Task::new(i as u64, 0, 0).with_weight(w));
+            a.push(0, Task::new(i as u64, 0, 0).with_weight(w));
         }
-        q
+        a
     }
 
     #[test]
     fn weighted_load_tracks_all_mutations() {
-        let mut q = wq(&[2, 3, 5]);
-        assert_eq!(q.weighted_load(), 10);
-        assert_eq!(q.load(), 3);
-        q.pop(); // removes weight 2
-        assert_eq!(q.weighted_load(), 8);
-        let taken = q.take_back(1); // removes weight 5
+        let mut a = warena(&[2, 3, 5]);
+        assert_eq!(a.weighted_load(0), 10);
+        assert_eq!(a.load(0), 3);
+        a.pop(0); // removes weight 2
+        assert_eq!(a.weighted_load(0), 8);
+        let taken = a.take_back(0, 1); // removes weight 5
         assert_eq!(taken[0].weight, 5);
-        assert_eq!(q.weighted_load(), 3);
-        q.append_back(taken);
-        assert_eq!(q.weighted_load(), 8);
-        q.discard_back(1);
-        assert_eq!(q.weighted_load(), 3);
-        q.clear();
-        assert_eq!(q.weighted_load(), 0);
+        assert_eq!(a.weighted_load(0), 3);
+        a.append_back(0, taken);
+        assert_eq!(a.weighted_load(0), 8);
+        a.discard_back(0, 1);
+        assert_eq!(a.weighted_load(0), 3);
+        a.clear(0);
+        assert_eq!(a.weighted_load(0), 0);
     }
 
     #[test]
     fn take_back_weight_takes_just_enough() {
-        let mut q = wq(&[1, 1, 4, 2, 3]);
+        let mut a = warena(&[1, 1, 4, 2, 3]);
         // Need >= 5 from the back: 3 + 2 = 5 — exactly two tasks.
-        let taken = q.take_back_weight(5);
+        let taken = a.take_back_weight(0, 5);
         assert_eq!(
             taken.iter().map(|t| t.weight).collect::<Vec<_>>(),
             vec![2, 3]
         );
-        assert_eq!(q.weighted_load(), 6);
+        assert_eq!(a.weighted_load(0), 6);
         // Asking for more than exists drains the queue.
-        let rest = q.take_back_weight(100);
+        let rest = a.take_back_weight(0, 100);
         assert_eq!(rest.len(), 3);
-        assert_eq!(q.weighted_load(), 0);
+        assert_eq!(a.weighted_load(0), 0);
         // Zero request takes nothing.
-        assert!(q.take_back_weight(0).is_empty());
+        assert!(a.take_back_weight(0, 0).is_empty());
     }
 
     #[test]
     fn unit_weight_queue_has_equal_loads() {
-        let q = q(&[1, 2, 3]);
-        assert_eq!(q.load() as u64, q.weighted_load());
+        let a = arena(&[1, 2, 3]);
+        assert_eq!(a.load(0) as u64, a.weighted_load(0));
     }
 
     #[test]
-    fn front_and_load() {
-        let mut q = q(&[7, 8]);
-        assert_eq!(q.load(), 2);
-        assert_eq!(q.front().unwrap().id, 7);
-        assert_eq!(q.back().unwrap().id, 8);
-        q.clear();
-        assert_eq!(q.load(), 0);
-        assert!(q.front().is_none());
-        assert!(q.back().is_none());
+    fn front_back_and_load() {
+        let mut a = arena(&[7, 8]);
+        assert_eq!(a.load(0), 2);
+        assert_eq!(a.front(0).unwrap().id, 7);
+        assert_eq!(a.back(0).unwrap().id, 8);
+        a.clear(0);
+        assert_eq!(a.load(0), 0);
+        assert!(a.front(0).is_none());
+        assert!(a.back(0).is_none());
+    }
+
+    #[test]
+    fn rings_survive_wraparound_churn() {
+        // Interleave pushes and pops so head wraps the power-of-two
+        // ring many times; FIFO order must be preserved throughout.
+        let mut a = TaskArena::new(1);
+        let mut next_id = 0u64;
+        let mut expect_front = 0u64;
+        for round in 0..200 {
+            for _ in 0..(round % 5) + 1 {
+                a.push(0, Task::new(next_id, 0, 0));
+                next_id += 1;
+            }
+            for _ in 0..(round % 4) + 1 {
+                if let Some(t) = a.pop(0) {
+                    assert_eq!(t.id, expect_front);
+                    expect_front += 1;
+                }
+            }
+        }
+        let remaining: Vec<u64> = ids(&a, 0);
+        assert_eq!(remaining, (expect_front..next_id).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn growth_is_invisible_to_queue_contents() {
+        let mut a = TaskArena::new(3);
+        // Interleave across queues so regions grow at different times.
+        for id in 0..100u64 {
+            a.push((id % 3) as usize, Task::new(id, 0, 0));
+        }
+        for p in 0..3 {
+            let got = ids(&a, p);
+            let want: Vec<u64> = (0..100).filter(|id| (id % 3) as usize == p).collect();
+            assert_eq!(got, want);
+        }
+    }
+
+    #[test]
+    fn compaction_preserves_contents_and_reclaims_slab() {
+        let mut a = TaskArena::new(8);
+        for round in 0..2000u64 {
+            a.push((round % 8) as usize, Task::new(round, 0, 0));
+        }
+        // Orphan regions by growing one queue past its capacity over
+        // and over until at least a third of the slab is stranded.
+        let mut round = 0;
+        while a.orphaned * 3 < a.slab.len() || a.slab.len() < 4096 {
+            while a.pop(0).is_some() {}
+            for id in 0..(700u64 << round) {
+                a.push(0, Task::new(id, 0, 0));
+            }
+            round += 1;
+            assert!(round < 12, "compaction threshold never reached");
+        }
+        let before: Vec<Vec<u64>> = (0..8).map(|p| ids(&a, p)).collect();
+        let slab_before = a.slab.len();
+        a.maybe_compact();
+        let after: Vec<Vec<u64>> = (0..8).map(|p| ids(&a, p)).collect();
+        assert_eq!(before, after);
+        assert!(a.slab.len() <= slab_before);
+        assert_eq!(a.orphaned, 0);
+    }
+
+    #[test]
+    fn shard_views_split_and_mutate_disjointly() {
+        let mut a = TaskArena::new(6);
+        for p in 0..6 {
+            for id in 0..4u64 {
+                a.push(p, Task::new(p as u64 * 10 + id, 0, 0));
+            }
+        }
+        {
+            let mut shards = a.split_shards(&[2, 2, 2]);
+            assert_eq!(shards.len(), 3);
+            for s in &shards {
+                assert_eq!(s.queues(), 2);
+            }
+            // Shard 1 pops from its queue 0 (= global queue 2) and
+            // pushes to its queue 1 (= global queue 3); ring full →
+            // push reports overflow instead of growing.
+            let t = shards[1].pop(0).unwrap();
+            assert_eq!(t.id, 20);
+            assert!(!shards[1].push(1, Task::new(99, 0, 0)), "ring is full");
+            assert_eq!(shards[1].load(0), 3);
+            assert_eq!(shards[1].total_load(), 7);
+        }
+        assert_eq!(a.load(2), 3);
+        assert_eq!(a.front(2).unwrap().id, 21);
+        assert_eq!(a.load(3), 4);
     }
 }

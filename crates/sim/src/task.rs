@@ -8,7 +8,13 @@
 
 use crate::types::{ProcId, Step};
 
-/// A unit of load. Kept at 32 bytes so bulk transfers stay cheap.
+/// A unit of load. Kept at 24 bytes — the task slab is the largest
+/// per-step memory stream at `n = 2^20`, so every byte here is paid on
+/// each push and pop of the hot generate/consume kernel.
+///
+/// `origin` is stored as `u32` (machine sizes are bounded well below
+/// `2^32`; ids themselves only encode 24 bits of processor). Use
+/// [`Task::origin_proc`] where a [`ProcId`] is needed.
 ///
 /// Tasks carry a `weight` (default 1) for the weighted extension in the
 /// spirit of Berenbrink–Meyer auf der Heide–Schröder (SPAA'97): a
@@ -18,23 +24,40 @@ use crate::types::{ProcId, Step};
 pub struct Task {
     /// Globally unique id (assigned monotonically by the world).
     pub id: u64,
-    /// Processor that generated the task.
-    pub origin: ProcId,
     /// Step at which the task was generated.
     pub born: Step,
+    /// Processor that generated the task (narrowed; see type docs).
+    pub origin: u32,
     /// Work units this task represents (1 for the paper's unit tasks).
     pub weight: u32,
 }
 
 impl Task {
+    /// Filler value for unused arena slots (see [`crate::queue`]): the
+    /// task arena keeps every slab slot initialized, and ring slots
+    /// beyond a queue's live length hold this placeholder. It is never
+    /// observable through the queue API.
+    pub(crate) const PAD: Task = Task {
+        id: 0,
+        born: 0,
+        origin: 0,
+        weight: 1,
+    };
+
     /// Creates a unit-weight task born on `origin` at step `born`.
     pub fn new(id: u64, origin: ProcId, born: Step) -> Self {
         Task {
             id,
-            origin,
             born,
+            origin: origin as u32,
             weight: 1,
         }
+    }
+
+    /// The generating processor as a [`ProcId`].
+    #[inline]
+    pub fn origin_proc(&self) -> ProcId {
+        self.origin as ProcId
     }
 
     /// Returns a copy with the given weight (≥ 1).
@@ -70,7 +93,7 @@ impl Completion {
     /// True when the task ran on the processor that generated it — the
     /// locality property the paper advertises over balls-into-bins.
     pub fn ran_at_origin(&self) -> bool {
-        self.executed_on == self.task.origin
+        self.executed_on == self.task.origin_proc()
     }
 }
 
@@ -113,8 +136,9 @@ mod tests {
 
     #[test]
     fn task_is_small() {
-        // Transfers move T/4 tasks at a time; keep them memcpy-friendly.
-        assert!(std::mem::size_of::<Task>() <= 32);
+        // Transfers move T/4 tasks at a time, and the hot kernel
+        // streams the whole slab every step: keep tasks at 24 bytes.
+        assert!(std::mem::size_of::<Task>() <= 24);
     }
 
     #[test]

@@ -6,11 +6,21 @@
 //! reading a load takes a message in reality, so strategies that inspect
 //! loads must account for it themselves via [`World::ledger_mut`];
 //! the world does not hide communication.
+//!
+//! # Layout
+//!
+//! Processor state is stored structure-of-arrays: all queues live in
+//! one [`TaskArena`], per-processor counters in [`StatsSoa`], and the
+//! remaining per-processor scalars (`rngs`, `progress`) in
+//! parallel flat vectors. The hot generate/consume kernel walks these
+//! arrays in processor order, which streams instead of pointer-chasing
+//! one heap-allocated queue per processor. The per-processor *object*
+//! API survives as [`ProcView`] — assembled on demand, never stored.
 
 use crate::message::{MessageLedger, MessageStats};
 use crate::probe::PhaseReport;
-use crate::processor::Processor;
-use crate::queue::TaskQueue;
+use crate::processor::{task_id, ProcStats, ProcView, StatsSoa};
+use crate::queue::{ArenaShard, TaskArena};
 use crate::rng::SimRng;
 use crate::task::{Completion, Task};
 use crate::trace::Event;
@@ -161,11 +171,19 @@ struct WireSink {
     frames: FrameStats,
 }
 
-/// Complete state of the simulated machine.
+/// Complete state of the simulated machine, structure-of-arrays.
 #[derive(Debug, Clone)]
 pub struct World {
     step: Step,
-    procs: Vec<Processor>,
+    /// All task queues, in one slab (index = processor id; same for
+    /// every per-processor vector below).
+    arena: TaskArena,
+    /// Work units already spent on each front task (weighted tasks
+    /// take `weight` consume-units to finish; always 0 for unit tasks
+    /// between steps).
+    progress: Vec<u32>,
+    /// Per-processor lifetime counters.
+    stats: StatsSoa,
     /// Per-processor RNG streams (index `i`) — local decisions only.
     rngs: Vec<SimRng>,
     /// Stream used by globally-coordinated protocol machinery.
@@ -195,7 +213,9 @@ impl World {
         assert!(n > 0, "a world needs at least one processor");
         World {
             step: 0,
-            procs: (0..n).map(Processor::new).collect(),
+            arena: TaskArena::new(n),
+            progress: vec![0; n],
+            stats: StatsSoa::new(n),
             rngs: (0..n as u64).map(|i| SimRng::stream(seed, i)).collect(),
             global_rng: SimRng::stream(seed, n as u64),
             ledger: MessageLedger::new(),
@@ -245,7 +265,7 @@ impl World {
     /// Number of processors.
     #[inline]
     pub fn n(&self) -> usize {
-        self.procs.len()
+        self.arena.queues()
     }
 
     /// Current simulation step.
@@ -260,9 +280,12 @@ impl World {
         self.seed
     }
 
-    /// Advances the clock by one step. Called by the engine only.
+    /// Advances the clock by one step, reclaiming orphaned arena space
+    /// when worthwhile (a single-threaded moment — no shard views are
+    /// alive between steps). Called by the engine only.
     pub(crate) fn tick(&mut self) {
         self.step += 1;
+        self.arena.maybe_compact();
     }
 
     /// Load of processor `p`.
@@ -273,107 +296,157 @@ impl World {
     /// per-processor accessor on `World`).
     #[inline]
     pub fn load(&self, p: ProcId) -> usize {
-        self.procs[p].load()
+        self.arena.load(p)
+    }
+
+    /// All loads as one contiguous slice, index = processor id — the
+    /// zero-cost bulk read the classification scans use.
+    #[inline]
+    pub fn load_slice(&self) -> &[u32] {
+        self.arena.loads()
+    }
+
+    /// The weighted-load components as contiguous slices: per-processor
+    /// pending weight sums and front-task progress. Remaining work of
+    /// `p` is `weights[p] - progress[p]`.
+    #[inline]
+    pub fn weighted_load_slices(&self) -> (&[u64], &[u32]) {
+        (self.arena.weights(), &self.progress)
     }
 
     /// Copies all loads into `out` (reused buffer pattern).
     pub fn loads_into(&self, out: &mut Vec<usize>) {
         out.clear();
-        out.extend(self.procs.iter().map(|p| p.load()));
+        out.extend(self.arena.loads().iter().map(|&l| l as usize));
     }
 
     /// All loads as a fresh vector.
     pub fn loads(&self) -> Vec<usize> {
-        self.procs.iter().map(|p| p.load()).collect()
+        self.arena.loads().iter().map(|&l| l as usize).collect()
     }
 
-    /// Maximum load over all processors.
+    /// Maximum load over all processors (flat scan, no allocation).
     pub fn max_load(&self) -> usize {
-        self.procs.iter().map(|p| p.load()).max().unwrap_or(0)
+        self.arena.loads().iter().copied().max().unwrap_or(0) as usize
     }
 
     /// Total system load.
     pub fn total_load(&self) -> u64 {
-        self.procs.iter().map(|p| p.load() as u64).sum()
+        self.arena.loads().iter().map(|&l| l as u64).sum()
     }
 
     /// Remaining work units on `p` (weighted load; equals
     /// [`World::load`] for unit-weight tasks).
     #[inline]
     pub fn weighted_load(&self, p: ProcId) -> u64 {
-        self.procs[p].remaining_work()
+        self.arena.weighted_load(p) - self.progress[p] as u64
     }
 
     /// Maximum weighted load over all processors.
     pub fn max_weighted_load(&self) -> u64 {
-        self.procs
+        let (weights, progress) = self.weighted_load_slices();
+        weights
             .iter()
-            .map(|p| p.remaining_work())
+            .zip(progress)
+            .map(|(&w, &pr)| w - pr as u64)
             .max()
             .unwrap_or(0)
     }
 
     /// Total remaining work in the system.
     pub fn total_weighted_load(&self) -> u64 {
-        self.procs.iter().map(|p| p.remaining_work()).sum()
+        let (weights, progress) = self.weighted_load_slices();
+        weights.iter().sum::<u64>() - progress.iter().map(|&pr| pr as u64).sum::<u64>()
     }
 
-    /// Immutable processor access.
+    /// Per-processor view (counters + queue), assembled on demand.
     #[inline]
-    pub fn proc(&self, p: ProcId) -> &Processor {
-        &self.procs[p]
+    pub fn proc(&self, p: ProcId) -> ProcView<'_> {
+        ProcView {
+            id: p,
+            arena: &self.arena,
+            progress: self.progress[p],
+            stats: self.stats.get(p),
+        }
     }
 
-    /// Iterate over processors.
-    pub fn procs(&self) -> impl Iterator<Item = &Processor> {
-        self.procs.iter()
+    /// Iterate over processor views in id order.
+    pub fn procs(&self) -> impl Iterator<Item = ProcView<'_>> {
+        (0..self.n()).map(move |p| self.proc(p))
     }
 
     /// Generates one unit-weight task on `p` (a local action; no
     /// message cost).
     pub fn generate_one(&mut self, p: ProcId) -> Task {
-        let step = self.step;
-        self.procs[p].generate(step)
+        self.generate_one_weighted(p, 1)
     }
 
     /// Generates one task of the given weight on `p`.
     pub fn generate_one_weighted(&mut self, p: ProcId, weight: u32) -> Task {
-        let step = self.step;
-        self.procs[p].generate_weighted(step, weight)
+        // The lifetime `generated` counter doubles as the local task-id
+        // sequence: every id ever assigned on `p` came from exactly one
+        // generation, so the two never diverge.
+        let seq = self.stats.generated[p];
+        let id = task_id(p, seq);
+        self.stats.generated[p] = seq + 1;
+        let task = Task::new(id, p, self.step).with_weight(weight.max(1));
+        self.arena.push(p, task);
+        task
     }
 
     /// Consumes one work unit from the oldest task on `p`, recording a
     /// completion when that unit finishes the task. For unit-weight
     /// tasks this is exactly "consume the oldest task".
     pub fn consume_one(&mut self, p: ProcId) -> Option<Task> {
-        let step = self.step;
-        let task = self.procs[p].consume()?;
+        let front_weight = self.arena.front(p)?.weight;
+        self.progress[p] += 1;
+        if self.progress[p] < front_weight {
+            return None;
+        }
+        self.progress[p] = 0;
+        self.stats.consumed[p] += 1;
+        let task = self.arena.pop(p)?;
         self.completions.record(&Completion {
             task,
             executed_on: p,
-            finished: step,
+            finished: self.step,
         });
         Some(task)
+    }
+
+    fn record_transfer_stats(&mut self, from: ProcId, to: ProcId, moved: usize) {
+        self.stats.transfers_out[from] += 1;
+        self.stats.tasks_sent[from] += moved as u64;
+        self.stats.transfers_in[to] += 1;
+        self.stats.tasks_received[to] += moved as u64;
+        self.ledger.record_transfer(moved as u64);
     }
 
     /// Moves up to `k` tasks from the back of `from`'s queue to the back
     /// of `to`'s queue (paper §3 transfer rule) and records the transfer
     /// in the ledger. Returns the number actually moved.
     ///
+    /// In-memory backends move tasks arena-to-arena without allocating;
+    /// with the wire sink active the tasks are parked as a
+    /// [`TransferRecord`] instead (see [`World::deliver_or_defer`]).
+    ///
     /// # Panics
     /// Panics when `from == to`: the protocol never balances with
     /// itself, so this indicates a strategy bug.
     pub fn transfer(&mut self, from: ProcId, to: ProcId, k: usize) -> usize {
         assert_ne!(from, to, "self-transfer is a strategy bug");
-        let tasks = self.procs[from].queue_mut().take_back(k);
-        let moved = tasks.len();
+        if self.wire.is_some() {
+            let tasks = self.arena.take_back(from, k);
+            let moved = tasks.len();
+            if moved > 0 {
+                self.record_transfer_stats(from, to, moved);
+                self.deliver_or_defer(from, to, tasks);
+            }
+            return moved;
+        }
+        let moved = self.arena.move_back(from, to, k);
         if moved > 0 {
-            self.procs[from].stats.transfers_out += 1;
-            self.procs[from].stats.tasks_sent += moved as u64;
-            self.procs[to].stats.transfers_in += 1;
-            self.procs[to].stats.tasks_received += moved as u64;
-            self.ledger.record_transfer(moved as u64);
-            self.deliver_or_defer(from, to, tasks);
+            self.record_transfer_stats(from, to, moved);
         }
         moved
     }
@@ -384,26 +457,32 @@ impl World {
     /// Returns the weight actually moved.
     pub fn transfer_weight(&mut self, from: ProcId, to: ProcId, w: u64) -> u64 {
         assert_ne!(from, to, "self-transfer is a strategy bug");
-        let tasks = self.procs[from].queue_mut().take_back_weight(w);
-        if tasks.is_empty() {
+        if self.wire.is_some() {
+            let tasks = self.arena.take_back_weight(from, w);
+            if tasks.is_empty() {
+                return 0;
+            }
+            let moved_weight: u64 = tasks.iter().map(|t| t.weight as u64).sum();
+            let moved = tasks.len();
+            self.record_transfer_stats(from, to, moved);
+            self.deliver_or_defer(from, to, tasks);
+            return moved_weight;
+        }
+        let (count, moved_weight) = self.arena.count_back_weight(from, w);
+        if count == 0 {
             return 0;
         }
-        let moved_weight: u64 = tasks.iter().map(|t| t.weight as u64).sum();
-        let moved = tasks.len();
-        self.procs[from].stats.transfers_out += 1;
-        self.procs[from].stats.tasks_sent += moved as u64;
-        self.procs[to].stats.transfers_in += 1;
-        self.procs[to].stats.tasks_received += moved as u64;
-        self.ledger.record_transfer(moved as u64);
-        self.deliver_or_defer(from, to, tasks);
+        self.arena.move_back(from, to, count);
+        self.record_transfer_stats(from, to, count);
         moved_weight
     }
 
-    /// Completes a transfer: appends directly to the destination queue
-    /// (the shared-memory backends), or — when the wire sink is active
-    /// — parks the tasks as a [`TransferRecord`] for the net runtime
-    /// to ship as a real frame. All accounting has already happened at
-    /// the call site; only the physical append is deferred.
+    /// Completes a transfer whose tasks were materialized into a
+    /// vector: appends directly to the destination queue, or — when the
+    /// wire sink is active — parks the tasks as a [`TransferRecord`]
+    /// for the net runtime to ship as a real frame. All accounting has
+    /// already happened at the call site; only the physical append is
+    /// deferred.
     fn deliver_or_defer(&mut self, from: ProcId, to: ProcId, tasks: Vec<Task>) {
         if let Some(sink) = &mut self.wire {
             let seq = sink.next_seq;
@@ -415,16 +494,15 @@ impl World {
                 tasks,
             });
         } else {
-            self.procs[to].queue_mut().append_back(tasks);
+            self.arena.append_back(to, tasks);
         }
     }
 
     /// Injects `k` adversarial/spike tasks on `p` (they count as
     /// generated by `p` at the current step).
     pub fn inject(&mut self, p: ProcId, k: usize) {
-        let step = self.step;
         for _ in 0..k {
-            self.procs[p].generate(step);
+            self.generate_one(p);
         }
     }
 
@@ -432,12 +510,18 @@ impl World {
     /// executing them (adversarial consumption). Returns the number
     /// removed. These do **not** count as completions.
     pub fn annihilate(&mut self, p: ProcId, k: usize) -> usize {
-        self.procs[p].queue_mut().discard_back(k)
+        self.arena.discard_back(p, k)
     }
 
     /// Marks `p` as heavy for the current phase (statistics only).
     pub fn note_heavy(&mut self, p: ProcId) {
-        self.procs[p].stats.heavy_phases += 1;
+        self.stats.heavy_phases[p] += 1;
+    }
+
+    /// Per-processor lifetime counters (by value; cheap).
+    #[inline]
+    pub fn proc_stats(&self, p: ProcId) -> ProcStats {
+        self.stats.get(p)
     }
 
     /// Per-processor RNG stream.
@@ -566,7 +650,7 @@ impl World {
     /// happened when the transfer was decided, so this only moves
     /// payload.
     pub(crate) fn apply_wire_transfer(&mut self, to: ProcId, tasks: Vec<Task>) {
-        self.procs[to].queue_mut().append_back(tasks);
+        self.arena.append_back(to, tasks);
     }
 
     /// Cumulative physical frame statistics, present only when a net
@@ -589,73 +673,127 @@ impl World {
     /// (e.g. the §5 scatter variant); callers must account for their own
     /// messages via [`World::ledger_mut`].
     pub fn extract_back(&mut self, p: ProcId, k: usize) -> Vec<Task> {
-        self.procs[p].queue_mut().take_back(k)
+        self.arena.take_back(p, k)
     }
 
     /// Appends tasks to the back of `p`'s queue without accounting.
     /// Counterpart of [`World::extract_back`].
     pub fn deposit(&mut self, p: ProcId, tasks: Vec<Task>) {
-        self.procs[p].queue_mut().append_back(tasks);
+        self.arena.append_back(p, tasks);
     }
 
-    /// Direct queue access for substrates layered on top.
-    #[allow(dead_code)]
-    pub(crate) fn queue_mut(&mut self, p: ProcId) -> &mut TaskQueue {
-        self.procs[p].queue_mut()
-    }
-
-    /// Hands the whole machine to the sequential backend as one shard,
-    /// with the world's own completion accumulator as the sink — no
-    /// per-step allocation or merging.
-    #[allow(clippy::type_complexity)]
-    pub(crate) fn whole_shard(
-        &mut self,
-    ) -> (
-        Step,
-        usize,
-        &mut [Processor],
-        &mut [SimRng],
-        &mut CompletionStats,
-    ) {
-        (
-            self.step,
-            0,
-            &mut self.procs,
-            &mut self.rngs,
-            &mut self.completions,
-        )
-    }
-
-    /// Splits the processor and RNG arrays into disjoint shard views for
-    /// the threaded backend. Each shard gets matching slices so worker
-    /// threads can run generation/consumption without locks; per-shard
-    /// completion locals are merged into the returned accumulator.
-    #[allow(clippy::type_complexity)]
-    pub(crate) fn shards(
+    /// Splits the machine into `shard_count` disjoint shard views for
+    /// the execution backends, plus the world's completion accumulator
+    /// for the caller to merge into. Each [`WorldShard`] carries
+    /// everything the step kernel touches for its contiguous processor
+    /// range — arena window, RNG streams, progress/sequence scalars,
+    /// generated/consumed counters — so worker threads run without
+    /// locks. With `shard_count == 1` this is the (allocation-light)
+    /// sequential path.
+    ///
+    /// After the kernel runs, any [`WorldShard::spill`]ed tasks must be
+    /// handed back via [`World::absorb_spill`] before anything reads
+    /// loads — backends do this inside their `run_substeps`.
+    pub(crate) fn shard_views(
         &mut self,
         shard_count: usize,
-    ) -> (
-        Step,
-        Vec<(usize, &mut [Processor], &mut [SimRng])>,
-        &mut CompletionStats,
-    ) {
-        let n = self.procs.len();
-        let step = self.step;
+    ) -> (Vec<WorldShard<'_>>, &mut CompletionStats) {
+        let n = self.n();
         let per = n.div_ceil(shard_count.max(1));
-        let mut out = Vec::new();
-        let mut procs: &mut [Processor] = &mut self.procs;
-        let mut rngs: &mut [SimRng] = &mut self.rngs;
-        let mut start = 0;
-        while !procs.is_empty() {
-            let take = per.min(procs.len());
-            let (ph, pt) = procs.split_at_mut(take);
-            let (rh, rt) = rngs.split_at_mut(take);
-            out.push((start, ph, rh));
-            procs = pt;
-            rngs = rt;
-            start += take;
+        let mut sizes = Vec::with_capacity(shard_count);
+        let mut left = n;
+        while left > 0 {
+            let take = per.min(left);
+            sizes.push(take);
+            left -= take;
         }
-        (step, out, &mut self.completions)
+        let now = self.step;
+        let arena_shards = self.arena.split_shards(&sizes);
+        let (mut rngs, mut progress, mut generated, mut consumed) = (
+            &mut self.rngs[..],
+            &mut self.progress[..],
+            &mut self.stats.generated[..],
+            &mut self.stats.consumed[..],
+        );
+        let mut out = Vec::with_capacity(sizes.len());
+        let mut start = 0;
+        for (arena, &size) in arena_shards.into_iter().zip(&sizes) {
+            let (r, rt) = std::mem::take(&mut rngs).split_at_mut(size);
+            let (pr, pt) = std::mem::take(&mut progress).split_at_mut(size);
+            let (g, gt) = std::mem::take(&mut generated).split_at_mut(size);
+            let (c, ct) = std::mem::take(&mut consumed).split_at_mut(size);
+            out.push(WorldShard {
+                start,
+                now,
+                arena,
+                rngs: r,
+                progress: pr,
+                generated: g,
+                consumed: c,
+                spill: Vec::new(),
+            });
+            rngs = rt;
+            progress = pt;
+            generated = gt;
+            consumed = ct;
+            start += size;
+        }
+        (out, &mut self.completions)
+    }
+
+    /// Grows queues and enqueues tasks a shard kernel could not fit in
+    /// its fixed-capacity rings (see [`WorldShard::spill`]). Called by
+    /// every backend after its parallel section, before any strategy or
+    /// probe observes loads — so spilling is invisible: final queue
+    /// contents equal what single-threaded inline growth would have
+    /// produced.
+    pub(crate) fn absorb_spill(&mut self, spill: &mut Vec<(ProcId, Task)>) {
+        for (p, task) in spill.drain(..) {
+            self.arena.push(p, task);
+        }
+    }
+}
+
+/// One shard's mutable window onto the world for the step kernel: a
+/// contiguous processor range `[start, start + len)` with exclusive
+/// access to every per-processor array the generate/consume loop
+/// touches. Safe to move to a worker thread (regions are disjoint; see
+/// [`ArenaShard`]).
+pub(crate) struct WorldShard<'a> {
+    /// Global id of the first processor in this shard.
+    pub(crate) start: usize,
+    /// The step being executed.
+    pub(crate) now: Step,
+    /// Queue window (fixed capacity during the shard's lifetime).
+    pub(crate) arena: ArenaShard<'a>,
+    /// RNG streams of the shard's processors.
+    pub(crate) rngs: &'a mut [SimRng],
+    /// Front-task progress of the shard's processors.
+    pub(crate) progress: &'a mut [u32],
+    /// `stats.generated` window. Doubles as the task-id sequence
+    /// source: id assignment and the generation counter move in
+    /// lockstep, so one array serves both.
+    pub(crate) generated: &'a mut [u64],
+    /// `stats.consumed` window.
+    pub(crate) consumed: &'a mut [u64],
+    /// Tasks generated this step that did not fit their ring (kernels
+    /// never grow the shared slab). The owning world absorbs these via
+    /// [`World::absorb_spill`] right after the parallel section.
+    pub(crate) spill: Vec<(ProcId, Task)>,
+}
+
+impl WorldShard<'_> {
+    /// Processors in this shard.
+    #[inline]
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub(crate) fn len(&self) -> usize {
+        self.rngs.len()
+    }
+
+    /// Total pending tasks across the shard, counting spilled tasks —
+    /// the quantity the net runtime gossips between nodes.
+    pub(crate) fn total_load(&self) -> u64 {
+        self.arena.total_load() + self.spill.len() as u64
     }
 }
 
@@ -760,9 +898,26 @@ mod tests {
         assert_eq!(w.loads(), vec![0, 2, 5]);
         assert_eq!(w.max_load(), 5);
         assert_eq!(w.total_load(), 7);
+        assert_eq!(w.load_slice(), &[0, 2, 5]);
         let mut buf = Vec::new();
         w.loads_into(&mut buf);
         assert_eq!(buf, vec![0, 2, 5]);
+    }
+
+    #[test]
+    fn weighted_slices_match_scalar_reads() {
+        let mut w = World::new(2, 11);
+        w.generate_one_weighted(0, 3);
+        w.generate_one_weighted(0, 2);
+        w.generate_one(1);
+        w.consume_one(0); // one unit of progress on the weight-3 front
+        assert_eq!(w.weighted_load(0), 4);
+        assert_eq!(w.weighted_load(1), 1);
+        let (weights, progress) = w.weighted_load_slices();
+        assert_eq!(weights[0] - progress[0] as u64, 4);
+        assert_eq!(weights[1] - progress[1] as u64, 1);
+        assert_eq!(w.max_weighted_load(), 4);
+        assert_eq!(w.total_weighted_load(), 5);
     }
 
     #[test]
@@ -802,17 +957,65 @@ mod tests {
     #[test]
     fn shards_cover_all_processors() {
         let mut w = World::new(10, 1);
-        let (_, shards, _) = w.shards(3);
-        let total: usize = shards.iter().map(|(_, p, _)| p.len()).sum();
+        let (shards, _) = w.shard_views(3);
+        let total: usize = shards.iter().map(|s| s.len()).sum();
         assert_eq!(total, 10);
-        assert_eq!(shards[0].0, 0);
-        // Shard starts are contiguous.
+        assert_eq!(shards[0].start, 0);
+        // Shard starts are contiguous and every array splits alike.
         let mut expected = 0;
-        for (start, procs, rngs) in &shards {
-            assert_eq!(*start, expected);
-            assert_eq!(procs.len(), rngs.len());
-            expected += procs.len();
+        for s in &shards {
+            assert_eq!(s.start, expected);
+            assert_eq!(s.rngs.len(), s.progress.len());
+            assert_eq!(s.rngs.len(), s.generated.len());
+            assert_eq!(s.rngs.len(), s.arena.queues());
+            expected += s.len();
         }
+    }
+
+    #[test]
+    fn spill_absorption_matches_direct_generation() {
+        // Generate through a shard view until the ring overflows, spill
+        // the excess, absorb — the world must look exactly as if the
+        // tasks had been pushed directly.
+        let mut direct = World::new(2, 9);
+        for _ in 0..10 {
+            direct.generate_one(0);
+        }
+        let mut via_spill = World::new(2, 9);
+        // Pre-size the ring to 4 slots.
+        for _ in 0..4 {
+            via_spill.generate_one(0);
+        }
+        for _ in 0..4 {
+            via_spill.arena.pop(0);
+        }
+        via_spill.stats.generated[0] = 0;
+        let mut collected = Vec::new();
+        {
+            let (mut shards, _) = via_spill.shard_views(1);
+            let s = &mut shards[0];
+            for _ in 0..10 {
+                let id = task_id(0, s.generated[0]);
+                s.generated[0] += 1;
+                let t = Task::new(id, 0, s.now);
+                if !s.arena.push(0, t) {
+                    s.spill.push((0, t));
+                }
+            }
+            assert_eq!(s.total_load(), 10);
+            assert!(!s.spill.is_empty());
+            collected.append(&mut shards[0].spill);
+        }
+        via_spill.absorb_spill(&mut collected);
+        assert_eq!(via_spill.load(0), direct.load(0));
+        assert_eq!(
+            via_spill.arena.iter(0).map(|t| t.id).collect::<Vec<_>>(),
+            direct.arena.iter(0).map(|t| t.id).collect::<Vec<_>>()
+        );
+        assert_eq!(
+            via_spill.proc(0).stats.generated,
+            direct.proc(0).stats.generated
+        );
     }
 
     #[test]

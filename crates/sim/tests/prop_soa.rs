@@ -1,0 +1,153 @@
+//! Cross-layout equivalence properties for the structure-of-arrays
+//! world.
+//!
+//! The SoA refactor moved queues into a shared task arena, batched the
+//! per-step RNG draws, and routed parallel backends through shard views
+//! with an overflow/spill path (shard rings never grow mid-step;
+//! overflowing tasks are absorbed by the world after the parallel
+//! section). None of that may be observable: for *arbitrary*
+//! `(n, seed, steps, backend)` every backend must produce the same
+//! `RunReport` bit for bit — with and without an active fault plan.
+
+use pcrlb_sim::{
+    Backend, FaultConfig, LoadModel, MaxLoadProbe, Probe, ProcId, RunReport, Runner, SimRng,
+    SojournTailProbe, Step, Unbalanced, World,
+};
+use proptest::prelude::*;
+
+/// Randomized generation, consumption, and weights: exercises the
+/// batched `task_weights` draw and the spill path (bursts overflow the
+/// lazily-grown shard rings).
+#[derive(Clone, Copy)]
+struct Gusts;
+
+impl LoadModel for Gusts {
+    fn generate(&self, _: ProcId, _: Step, _: usize, rng: &mut SimRng) -> usize {
+        // Mostly calm with occasional multi-task gusts, so queue
+        // lengths cross ring-capacity boundaries in both directions.
+        if rng.chance(0.12) {
+            2 + rng.below(6)
+        } else {
+            usize::from(rng.chance(0.4))
+        }
+    }
+    fn consume(&self, _: ProcId, _: Step, _: usize, rng: &mut SimRng) -> usize {
+        usize::from(rng.chance(0.55))
+    }
+    fn task_weight(&self, _: ProcId, _: Step, rng: &mut SimRng) -> u32 {
+        1 + rng.below(4) as u32
+    }
+}
+
+/// A probe reading per-processor state through the view API each step,
+/// so layout bugs that corrupt views (not just totals) fail the
+/// equivalence assertion via its probe output.
+struct ViewChecksum(u64);
+
+impl Probe for ViewChecksum {
+    fn name(&self) -> &'static str {
+        "view-checksum"
+    }
+    fn on_step(&mut self, world: &World) {
+        let mut acc = self.0;
+        for view in world.procs() {
+            acc = acc
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                .wrapping_add(view.load() as u64)
+                .wrapping_add(view.remaining_work())
+                .wrapping_add(view.stats.generated ^ view.stats.consumed);
+            if let Some(back) = view.queue().back() {
+                acc = acc.wrapping_add(back.id);
+            }
+        }
+        self.0 = acc;
+    }
+    fn finish(self: Box<Self>) -> pcrlb_sim::ProbeOutput {
+        pcrlb_sim::ProbeOutput::Series(vec![self.0 as f64])
+    }
+}
+
+fn backend_for(kind: u8, width: usize) -> Backend {
+    match kind % 4 {
+        0 => Backend::Sequential,
+        1 => Backend::Threaded(width),
+        2 => Backend::Pooled(width),
+        _ => Backend::Net {
+            nodes: width,
+            tcp: false,
+        },
+    }
+}
+
+fn run(
+    n: usize,
+    seed: u64,
+    steps: u64,
+    backend: Backend,
+    faults: Option<FaultConfig>,
+) -> RunReport {
+    let mut runner = Runner::new(n, seed)
+        .model(Gusts)
+        .strategy(Unbalanced)
+        .backend(backend)
+        .probe(MaxLoadProbe::new())
+        .probe(SojournTailProbe::new())
+        .probe(ViewChecksum(0));
+    if let Some(cfg) = faults {
+        runner = runner.faults(cfg);
+    }
+    runner.run(steps)
+}
+
+/// Erases the only fields allowed to differ across backends (the
+/// backend label) so reports can be compared with `==`.
+fn normalize(mut r: RunReport) -> RunReport {
+    r.backend = "";
+    r
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// Every backend agrees with the sequential engine on the full
+    /// report — loads, stats, completions, messages, probe outputs —
+    /// for arbitrary machine sizes, seeds, lengths, and widths.
+    #[test]
+    fn all_backends_agree_fault_free(
+        n in 1usize..193,
+        seed in any::<u64>(),
+        steps in 1u64..100,
+        kind in 0u8..4,
+        width in 1usize..7,
+    ) {
+        let seq = normalize(run(n, seed, steps, Backend::Sequential, None));
+        let other = normalize(run(n, seed, steps, backend_for(kind, width), None));
+        prop_assert_eq!(seq, other);
+    }
+
+    /// The same holds under an active fault plan with message loss,
+    /// crashes, and stalls: the plan is keyed on (proc, step), so the
+    /// faulty trajectory is itself layout- and backend-independent.
+    #[test]
+    fn all_backends_agree_under_faults(
+        n in 1usize..129,
+        seed in any::<u64>(),
+        steps in 1u64..90,
+        kind in 0u8..4,
+        width in 1usize..6,
+        fault_seed in any::<u64>(),
+    ) {
+        let cfg = FaultConfig {
+            fault_seed,
+            loss_rate: 0.15,
+            crash_rate: 0.1,
+            crash_window: 16,
+            stall_rate: 0.1,
+            stall_window: 8,
+            ..FaultConfig::default()
+        };
+        let seq = normalize(run(n, seed, steps, Backend::Sequential, Some(cfg)));
+        let other = normalize(run(n, seed, steps, backend_for(kind, width), Some(cfg)));
+        prop_assert_eq!(seq, other);
+    }
+}

@@ -1,6 +1,6 @@
 //! Property-based tests of the simulation substrate's invariants.
 
-use pcrlb_sim::{Engine, LoadModel, ProcId, SimRng, Step, Task, TaskQueue, Unbalanced, World};
+use pcrlb_sim::{Engine, LoadModel, ProcId, SimRng, Step, Task, TaskArena, Unbalanced, World};
 use proptest::prelude::*;
 
 /// A deterministic model parameterized by per-step generation count.
@@ -43,14 +43,14 @@ proptest! {
         sender_ids in proptest::collection::vec(0u64..1000, 0..50),
         k in 0usize..60,
     ) {
-        let mut sender = TaskQueue::new();
+        let mut arena = TaskArena::new(1);
         for (i, &id) in sender_ids.iter().enumerate() {
             // Unique ids: combine position and value.
-            sender.push(Task::new((i as u64) << 32 | id, 0, 0));
+            arena.push(0, Task::new((i as u64) << 32 | id, 0, 0));
         }
-        let all: Vec<u64> = sender.iter().map(|t| t.id).collect();
-        let moved = sender.take_back(k);
-        let kept: Vec<u64> = sender.iter().map(|t| t.id).collect();
+        let all: Vec<u64> = arena.iter(0).map(|t| t.id).collect();
+        let moved = arena.take_back(0, k);
+        let kept: Vec<u64> = arena.iter(0).map(|t| t.id).collect();
         let moved_ids: Vec<u64> = moved.iter().map(|t| t.id).collect();
         let cut = all.len() - k.min(all.len());
         prop_assert_eq!(&kept[..], &all[..cut]);
@@ -114,30 +114,30 @@ proptest! {
         take in 0usize..20,
         wtake in 0u64..40,
     ) {
-        let mut q = TaskQueue::new();
+        let mut q = TaskArena::new(1);
         let mut id = 0u64;
         for op in ops {
             match op {
                 Some(w) => {
-                    q.push(Task::new(id, 0, 0).with_weight(w));
+                    q.push(0, Task::new(id, 0, 0).with_weight(w));
                     id += 1;
                 }
                 None => {
-                    q.pop();
+                    q.pop(0);
                 }
             }
-            let expected: u64 = q.iter().map(|t| t.weight as u64).sum();
-            prop_assert_eq!(q.weighted_load(), expected);
+            let expected: u64 = q.iter(0).map(|t| t.weight as u64).sum();
+            prop_assert_eq!(q.weighted_load(0), expected);
         }
-        let before = q.weighted_load();
-        let taken = q.take_back(take);
+        let before = q.weighted_load(0);
+        let taken = q.take_back(0, take);
         let taken_w: u64 = taken.iter().map(|t| t.weight as u64).sum();
-        prop_assert_eq!(q.weighted_load() + taken_w, before);
-        q.append_back(taken);
-        prop_assert_eq!(q.weighted_load(), before);
+        prop_assert_eq!(q.weighted_load(0) + taken_w, before);
+        q.append_back(0, taken);
+        prop_assert_eq!(q.weighted_load(0), before);
         // take_back_weight removes at least the requested weight when
         // available, with overshoot below one task's weight.
-        let removed = q.take_back_weight(wtake);
+        let removed = q.take_back_weight(0, wtake);
         let removed_w: u64 = removed.iter().map(|t| t.weight as u64).sum();
         if before >= wtake {
             prop_assert!(removed_w >= wtake);

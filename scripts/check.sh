@@ -85,6 +85,33 @@ if [[ "$got" != "$want" ]]; then
 fi
 echo "    --backend tcp:2 smoke matches the sequential report"
 
+echo "==> bench-smoke (soa_hotpath, quick mode)"
+# Measures processor-steps/sec on the SoA hot path and gates against
+# the committed trajectory in BENCH_pr6.json: a >10% regression at
+# n=2^18 (sequential) fails the gate. Refresh the committed numbers
+# with UPDATE_BENCH=1 scripts/check.sh (only on quiet, comparable
+# hardware).
+# Absolute paths: cargo runs the bench with CWD = crates/bench. When
+# re-baselining (UPDATE_BENCH=1, or no committed file yet) the gate is
+# skipped — the fresh numbers *become* the trajectory.
+mkdir -p target
+gate_args=()
+rebaseline=0
+if [[ "${UPDATE_BENCH:-0}" == "1" || ! -f BENCH_pr6.json ]]; then
+  rebaseline=1
+else
+  gate_args=(--gate "$PWD/BENCH_pr6.json")
+fi
+cargo bench -p pcrlb-bench --bench soa_hotpath -- \
+  --quick --json "$PWD/target/bench_pr6.json" ${gate_args[@]+"${gate_args[@]}"} \
+  | grep '^soa_hotpath'
+if [[ "$rebaseline" == "1" ]]; then
+  cp target/bench_pr6.json BENCH_pr6.json
+  echo "    BENCH_pr6.json updated from this run"
+else
+  echo "    throughput within 10% of the committed trajectory"
+fi
+
 # Advisory: ThreadSanitizer over the pool and threaded backends.
 # Needs a nightly toolchain with rust-src; skipped (not failed) when
 # unavailable, and failures never block the gate — TSan has known
