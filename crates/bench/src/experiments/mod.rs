@@ -12,6 +12,7 @@ pub mod models;
 pub mod phases;
 pub mod recovery;
 pub mod scatter;
+pub mod service;
 pub mod shmem;
 pub mod theorem1;
 pub mod unbalanced;
@@ -137,6 +138,11 @@ pub fn registry() -> Vec<Experiment> {
             id: "e20-weighted-continuous",
             claim: "Extension: weighted continuous balancing (BMS97 direction)",
             run: extensions::run_weighted_continuous,
+        },
+        Experiment {
+            id: "e23-service",
+            claim: "Open-loop service: sojourn percentiles vs offered load, backend-invariant",
+            run: service::run,
         },
     ]
 }

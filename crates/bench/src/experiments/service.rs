@@ -1,0 +1,128 @@
+//! E23 — open-loop service simulation: sojourn percentiles vs offered
+//! load, invariant across execution backends.
+//!
+//! The traffic front-end replaces the paper's closed-loop generation
+//! with Poisson arrivals at offered load ρ per processor and unit-rate
+//! service, the regime a production service lives in. The experiment
+//! sweeps ρ toward saturation and reports the streaming log-bucketed
+//! sojourn percentiles (p50/p99/p999/max); each configuration runs on
+//! both the sequential and the pooled backend and the two reports are
+//! asserted bit-identical before a row is emitted, so the table doubles
+//! as an end-to-end determinism check for the open-loop path.
+
+use crate::ExpOptions;
+use pcrlb_analysis::{fmt_f, Table};
+use pcrlb_core::{ThresholdBalancer, TrafficModel, TrafficSpec};
+use pcrlb_sim::{Backend, ProbeOutput, RunReport, Runner, SojournProbe};
+
+/// Sojourn summary for one `(n, rho)` configuration.
+struct Row {
+    completed: u64,
+    mean: f64,
+    p50: u64,
+    p99: u64,
+    p999: u64,
+    pmax: u64,
+}
+
+fn run_backend(n: usize, seed: u64, steps: u64, rho: f64, backend: Backend) -> RunReport {
+    Runner::new(n, seed)
+        .model(TrafficModel::new(TrafficSpec::poisson(rho), n).expect("valid spec"))
+        .strategy(ThresholdBalancer::paper(n))
+        .backend(backend)
+        .probe(SojournProbe::new())
+        .run(steps)
+}
+
+fn measure(opts: &ExpOptions, n: usize, steps: u64, rho: f64) -> Row {
+    let seed = opts.seed ^ 0xE23 ^ ((n as u64) << 20) ^ (rho.to_bits() >> 40);
+    let mut seq = run_backend(n, seed, steps, rho, Backend::Sequential);
+    let mut pooled = run_backend(n, seed, steps, rho, Backend::Pooled(4));
+    seq.backend = "";
+    pooled.backend = "";
+    assert_eq!(
+        seq, pooled,
+        "sequential and pooled open-loop reports diverged at n={n}, rho={rho}"
+    );
+    match seq.probe("sojourn") {
+        Some(&ProbeOutput::Sojourn {
+            count,
+            mean,
+            p50,
+            p99,
+            p999,
+            pmax,
+            ..
+        }) => Row {
+            completed: count,
+            mean,
+            p50,
+            p99,
+            p999,
+            pmax,
+        },
+        other => panic!("unexpected probe output: {other:?}"),
+    }
+}
+
+/// Runs E23 and returns the result table.
+pub fn run(opts: &ExpOptions) -> Table {
+    let (sizes, rhos, min_steps): (&[usize], &[f64], u64) = if opts.quick {
+        (&[1 << 9, 1 << 10], &[0.7, 0.9], 300)
+    } else {
+        (&[1 << 14, 1 << 16, 1 << 18], &[0.5, 0.7, 0.9, 0.95], 2_000)
+    };
+    let mut table = Table::new(&[
+        "n",
+        "rho",
+        "steps",
+        "completed",
+        "mean",
+        "p50",
+        "p99",
+        "p999",
+        "max",
+        "seq==pooled",
+    ]);
+    for &n in sizes {
+        // Queue relaxation near saturation takes ~1/(1-rho)^2 steps, so
+        // the sweep never drops below `min_steps` even at large n.
+        let steps = opts.steps_for(n).max(min_steps);
+        for &rho in rhos {
+            let row = measure(opts, n, steps, rho);
+            table.row(&[
+                n.to_string(),
+                fmt_f(rho, 2),
+                steps.to_string(),
+                row.completed.to_string(),
+                fmt_f(row.mean, 2),
+                row.p50.to_string(),
+                row.p99.to_string(),
+                row.p999.to_string(),
+                row.pmax.to_string(),
+                "yes".into(), // measure() asserted bit-equality
+            ]);
+        }
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sojourn_tail_grows_with_rho() {
+        let opts = ExpOptions::quick();
+        let light = measure(&opts, 1 << 9, 600, 0.5);
+        let heavy = measure(&opts, 1 << 9, 600, 0.95);
+        assert!(light.completed > 0 && heavy.completed > 0);
+        assert!(
+            heavy.p999 > light.p999,
+            "p999 should grow toward saturation: {} vs {}",
+            light.p999,
+            heavy.p999
+        );
+        assert!(heavy.mean > light.mean);
+    }
+}

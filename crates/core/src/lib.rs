@@ -38,6 +38,7 @@ pub mod balancer;
 pub mod config;
 pub mod gen;
 pub mod scatter;
+pub mod traffic;
 pub mod weighted;
 pub mod work_conserving;
 
@@ -46,5 +47,6 @@ pub use balancer::{BalancerStats, PhaseReport, ThresholdBalancer};
 pub use config::{BalancerConfig, ConfigError};
 pub use gen::{Geometric, ModelError, Multi, Single};
 pub use scatter::{ScatterBalancer, ScatterStats};
+pub use traffic::{Arrivals, TrafficError, TrafficModel, TrafficSpec};
 pub use weighted::{WeightDist, Weighted};
 pub use work_conserving::WorkConserving;

@@ -1,0 +1,558 @@
+//! Open-loop traffic models: millions of independent users, not a
+//! closed generation loop.
+//!
+//! The paper's models (§1.2, [`crate::gen`]) are closed-loop: generation
+//! probabilities are chosen so a steady state exists by construction.
+//! A production service sees the opposite regime — arrivals are an
+//! *open-loop* stochastic process that does not care how backed up the
+//! system is. [`TrafficModel`] provides that front-end: per processor
+//! per step, arrivals are Poisson with a rate shaped by the selected
+//! [`Arrivals`] pattern (constant, bursty on/off, diurnal ramp, flash
+//! crowd, or Zipf hotspot skew), and service consumes one task per step
+//! whenever the queue is non-empty (unit rate, μ = 1). The offered
+//! load ρ is therefore exactly the mean arrival rate per processor.
+//!
+//! Determinism: arrival counts are drawn from the simulator's existing
+//! per-processor xoshiro/SplitMix64 streams
+//! ([`SimRng::poisson`]), and every rate modulation is a pure function
+//! of `(processor, step)` — burst phase offsets come from a SplitMix64
+//! hash of the processor id, never from extra RNG draws — so open-loop
+//! runs stay bit-identical across all execution backends.
+//!
+//! Back-pressure: at ρ ≥ 1 queues grow without bound, so a
+//! [`TrafficSpec`] can carry an [`Admission`] policy (`+shed:CAP` /
+//! `+defer:CAP` in the parse syntax) that bounds the per-processor
+//! queue at the front door; see [`pcrlb_sim::Admission`].
+
+use pcrlb_sim::rng::splitmix64;
+use pcrlb_sim::{Admission, LoadModel, ProcId, SimRng, Step};
+use std::fmt;
+
+/// Errors constructing or parsing a traffic model.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TrafficError {
+    /// Offered load must be finite and positive.
+    BadRho(f64),
+    /// Burst/flash rate multiplier must be finite and ≥ 1.
+    BadMultiplier(f64),
+    /// On/off/flash/ramp windows must be nonzero.
+    ZeroWindow,
+    /// Diurnal amplitude must lie in `[0, 1]` (rates stay nonnegative).
+    BadAmplitude(f64),
+    /// Zipf exponent must be finite and positive.
+    BadTheta(f64),
+    /// Admission cap must be nonzero.
+    ZeroCap,
+    /// Unparseable `--arrivals` specification.
+    Parse(String),
+}
+
+impl fmt::Display for TrafficError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TrafficError::BadRho(r) => write!(f, "offered load rho={r} must be finite and > 0"),
+            TrafficError::BadMultiplier(m) => {
+                write!(f, "rate multiplier {m} must be finite and >= 1")
+            }
+            TrafficError::ZeroWindow => write!(f, "traffic windows must be nonzero"),
+            TrafficError::BadAmplitude(a) => write!(f, "ramp amplitude {a} outside [0,1]"),
+            TrafficError::BadTheta(t) => write!(f, "zipf exponent {t} must be finite and > 0"),
+            TrafficError::ZeroCap => write!(f, "admission cap must be nonzero"),
+            TrafficError::Parse(s) => write!(f, "cannot parse arrivals spec '{s}'"),
+        }
+    }
+}
+
+impl std::error::Error for TrafficError {}
+
+/// The arrival-rate shape over `(processor, step)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Arrivals {
+    /// Constant rate ρ on every processor (homogeneous Poisson).
+    Poisson,
+    /// On/off bursts: rate `ρ·mult` for `on` steps, then a compensating
+    /// low rate for `off` steps, with the phase offset per processor
+    /// (hash-derived) so bursts are desynchronized across the machine
+    /// and the machine-wide mean stays ρ.
+    Burst {
+        /// Steps per burst (high-rate) window.
+        on: u64,
+        /// Steps per quiet window.
+        off: u64,
+        /// Rate multiplier during the burst.
+        mult: f64,
+    },
+    /// Diurnal ramp: rate `ρ·(1 + amplitude·sin(2π·step/period))`,
+    /// identical on all processors (the whole service breathes
+    /// together); mean over a period is ρ.
+    Ramp {
+        /// Steps per full cycle.
+        period: u64,
+        /// Peak-to-mean swing in `[0, 1]`.
+        amplitude: f64,
+    },
+    /// Flash crowd: baseline ρ, with rate `ρ·mult` during
+    /// `at..at + len` on every processor.
+    Flash {
+        /// First step of the flash.
+        at: u64,
+        /// Flash duration in steps.
+        len: u64,
+        /// Rate multiplier during the flash.
+        mult: f64,
+    },
+    /// Zipf hotspot skew: processor `p` receives a constant rate
+    /// proportional to `(p+1)^-theta`, normalized so the machine-wide
+    /// mean is ρ — the key-skew regime where a few processors are hot.
+    Zipf {
+        /// Skew exponent (larger = hotter hotspots).
+        theta: f64,
+    },
+}
+
+/// A validated description of an open-loop workload: arrival shape,
+/// offered load, and admission policy. Cheap to copy; turn it into a
+/// runnable model with [`TrafficModel::new`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrafficSpec {
+    /// Arrival-rate shape.
+    pub arrivals: Arrivals,
+    /// Offered load per processor (mean arrivals per step; μ = 1).
+    pub rho: f64,
+    /// Front-door back-pressure policy.
+    pub admission: Admission,
+}
+
+impl TrafficSpec {
+    /// A constant-rate Poisson spec at offered load `rho`, unbounded
+    /// admission.
+    pub fn poisson(rho: f64) -> Self {
+        TrafficSpec {
+            arrivals: Arrivals::Poisson,
+            rho,
+            admission: Admission::Unbounded,
+        }
+    }
+
+    /// Replaces the admission policy with shed-at-`cap`.
+    pub fn with_shed(mut self, cap: u32) -> Self {
+        self.admission = Admission::Shed { cap };
+        self
+    }
+
+    /// Replaces the admission policy with defer-at-`cap`.
+    pub fn with_defer(mut self, cap: u32) -> Self {
+        self.admission = Admission::Defer { cap };
+        self
+    }
+
+    /// Validates the spec's numeric ranges.
+    pub fn validate(&self) -> Result<(), TrafficError> {
+        if !self.rho.is_finite() || self.rho <= 0.0 {
+            return Err(TrafficError::BadRho(self.rho));
+        }
+        match self.arrivals {
+            Arrivals::Poisson => {}
+            Arrivals::Burst { on, off, mult } => {
+                if on == 0 || off == 0 {
+                    return Err(TrafficError::ZeroWindow);
+                }
+                if !mult.is_finite() || mult < 1.0 {
+                    return Err(TrafficError::BadMultiplier(mult));
+                }
+            }
+            Arrivals::Ramp { period, amplitude } => {
+                if period == 0 {
+                    return Err(TrafficError::ZeroWindow);
+                }
+                if !amplitude.is_finite() || !(0.0..=1.0).contains(&amplitude) {
+                    return Err(TrafficError::BadAmplitude(amplitude));
+                }
+            }
+            Arrivals::Flash { len, mult, .. } => {
+                if len == 0 {
+                    return Err(TrafficError::ZeroWindow);
+                }
+                if !mult.is_finite() || mult < 1.0 {
+                    return Err(TrafficError::BadMultiplier(mult));
+                }
+            }
+            Arrivals::Zipf { theta } => {
+                if !theta.is_finite() || theta <= 0.0 {
+                    return Err(TrafficError::BadTheta(theta));
+                }
+            }
+        }
+        match self.admission {
+            Admission::Shed { cap } | Admission::Defer { cap } if cap == 0 => {
+                Err(TrafficError::ZeroCap)
+            }
+            _ => Ok(()),
+        }
+    }
+
+    /// Parses the CLI `--arrivals` grammar:
+    ///
+    /// ```text
+    /// poisson[:RHO]
+    /// burst:RHO,ON,OFF,MULT
+    /// ramp:RHO,PERIOD,AMPLITUDE
+    /// flash:RHO,AT,LEN,MULT
+    /// zipf:RHO,THETA
+    /// ```
+    ///
+    /// any of which may carry a `+shed:CAP` or `+defer:CAP` suffix.
+    /// `poisson` without a rate defaults to ρ = 0.9.
+    pub fn parse(spec: &str) -> Result<Self, TrafficError> {
+        let bad = || TrafficError::Parse(spec.to_string());
+        let (body, admission) = match spec.split_once('+') {
+            None => (spec, Admission::Unbounded),
+            Some((body, policy)) => {
+                let (kind, cap) = policy.split_once(':').ok_or_else(bad)?;
+                let cap: u32 = cap.parse().map_err(|_| bad())?;
+                let admission = match kind {
+                    "shed" => Admission::Shed { cap },
+                    "defer" => Admission::Defer { cap },
+                    _ => return Err(bad()),
+                };
+                (body, admission)
+            }
+        };
+        let (name, params) = match body.split_once(':') {
+            None => (body, Vec::new()),
+            Some((name, rest)) => (name, rest.split(',').collect::<Vec<_>>()),
+        };
+        let f = |s: &str| s.parse::<f64>().map_err(|_| bad());
+        let u = |s: &str| s.parse::<u64>().map_err(|_| bad());
+        let parsed = match (name, params.as_slice()) {
+            ("poisson", []) => TrafficSpec::poisson(0.9),
+            ("poisson", [rho]) => TrafficSpec::poisson(f(rho)?),
+            ("burst", [rho, on, off, mult]) => TrafficSpec {
+                arrivals: Arrivals::Burst {
+                    on: u(on)?,
+                    off: u(off)?,
+                    mult: f(mult)?,
+                },
+                rho: f(rho)?,
+                admission: Admission::Unbounded,
+            },
+            ("ramp", [rho, period, amplitude]) => TrafficSpec {
+                arrivals: Arrivals::Ramp {
+                    period: u(period)?,
+                    amplitude: f(amplitude)?,
+                },
+                rho: f(rho)?,
+                admission: Admission::Unbounded,
+            },
+            ("flash", [rho, at, len, mult]) => TrafficSpec {
+                arrivals: Arrivals::Flash {
+                    at: u(at)?,
+                    len: u(len)?,
+                    mult: f(mult)?,
+                },
+                rho: f(rho)?,
+                admission: Admission::Unbounded,
+            },
+            ("zipf", [rho, theta]) => TrafficSpec {
+                arrivals: Arrivals::Zipf { theta: f(theta)? },
+                rho: f(rho)?,
+                admission: Admission::Unbounded,
+            },
+            _ => return Err(bad()),
+        };
+        let spec = TrafficSpec {
+            admission,
+            ..parsed
+        };
+        spec.validate()?;
+        Ok(spec)
+    }
+}
+
+/// The runnable open-loop load model: Poisson arrivals at a
+/// `(processor, step)`-shaped rate, unit-rate service. See the module
+/// docs for the determinism and back-pressure contracts.
+#[derive(Debug, Clone)]
+pub struct TrafficModel {
+    spec: TrafficSpec,
+    /// Precomputed per-processor rates for [`Arrivals::Zipf`] (empty
+    /// for every other shape): `rates[p] = ρ·n·(p+1)^-θ / Σ(i+1)^-θ`.
+    zipf_rates: Vec<f64>,
+    /// Quiet-window rate for [`Arrivals::Burst`], chosen so the mean
+    /// over one on+off cycle is exactly ρ (clamped at 0 when the burst
+    /// alone exceeds the cycle's budget).
+    burst_off_rate: f64,
+}
+
+impl TrafficModel {
+    /// Builds the model for a machine of `n` processors, validating the
+    /// spec.
+    pub fn new(spec: TrafficSpec, n: usize) -> Result<Self, TrafficError> {
+        spec.validate()?;
+        let zipf_rates = match spec.arrivals {
+            Arrivals::Zipf { theta } => {
+                let weights: Vec<f64> = (0..n).map(|p| ((p + 1) as f64).powf(-theta)).collect();
+                let total: f64 = weights.iter().sum();
+                weights
+                    .into_iter()
+                    .map(|w| spec.rho * n as f64 * w / total)
+                    .collect()
+            }
+            _ => Vec::new(),
+        };
+        let burst_off_rate = match spec.arrivals {
+            Arrivals::Burst { on, off, mult } => {
+                let cycle = (on + off) as f64;
+                let budget = spec.rho * cycle - spec.rho * mult * on as f64;
+                (budget / off as f64).max(0.0)
+            }
+            _ => 0.0,
+        };
+        Ok(TrafficModel {
+            spec,
+            zipf_rates,
+            burst_off_rate,
+        })
+    }
+
+    /// Convenience: parse + build in one call.
+    pub fn from_spec(spec: &str, n: usize) -> Result<Self, TrafficError> {
+        TrafficModel::new(TrafficSpec::parse(spec)?, n)
+    }
+
+    /// The validated spec this model runs.
+    pub fn spec(&self) -> &TrafficSpec {
+        &self.spec
+    }
+
+    /// Mean arrival rate λ for processor `p` at `step` — a pure
+    /// function of its arguments (no RNG), which is what keeps the
+    /// open-loop trajectory backend-independent.
+    pub fn rate(&self, p: ProcId, step: Step) -> f64 {
+        let rho = self.spec.rho;
+        match self.spec.arrivals {
+            Arrivals::Poisson => rho,
+            Arrivals::Burst { on, off, mult } => {
+                // Desynchronize bursts: each processor's cycle starts at
+                // a hash-derived offset (pure, no stream draws).
+                let cycle = on + off;
+                let mut h = p as u64;
+                let offset = splitmix64(&mut h) % cycle;
+                if (step + offset) % cycle < on {
+                    rho * mult
+                } else {
+                    self.burst_off_rate
+                }
+            }
+            Arrivals::Ramp { period, amplitude } => {
+                let phase = (step % period) as f64 / period as f64;
+                rho * (1.0 + amplitude * (phase * std::f64::consts::TAU).sin())
+            }
+            Arrivals::Flash { at, len, mult } => {
+                if step >= at && step - at < len {
+                    rho * mult
+                } else {
+                    rho
+                }
+            }
+            Arrivals::Zipf { .. } => self.zipf_rates[p],
+        }
+    }
+}
+
+impl LoadModel for TrafficModel {
+    fn generate(&self, p: ProcId, step: Step, _load: usize, rng: &mut SimRng) -> usize {
+        rng.poisson(self.rate(p, step))
+    }
+
+    /// Unit-rate service: consume one task per step whenever the queue
+    /// is non-empty (deterministic, no RNG draw — μ = 1, so the
+    /// per-processor utilization is exactly ρ).
+    fn consume(&self, _p: ProcId, _step: Step, load: usize, _rng: &mut SimRng) -> usize {
+        usize::from(load > 0)
+    }
+
+    fn arrival_rate(&self) -> Option<f64> {
+        Some(self.spec.rho)
+    }
+
+    fn admission(&self) -> Admission {
+        self.spec.admission
+    }
+
+    fn name(&self) -> &'static str {
+        match self.spec.arrivals {
+            Arrivals::Poisson => "poisson",
+            Arrivals::Burst { .. } => "burst",
+            Arrivals::Ramp { .. } => "ramp",
+            Arrivals::Flash { .. } => "flash",
+            Arrivals::Zipf { .. } => "zipf",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mean_rate_over(model: &TrafficModel, n: usize, steps: u64) -> f64 {
+        let mut sum = 0.0;
+        for p in 0..n {
+            for s in 0..steps {
+                sum += model.rate(p, s);
+            }
+        }
+        sum / (n as f64 * steps as f64)
+    }
+
+    #[test]
+    fn parse_round_trips_every_shape() {
+        assert_eq!(
+            TrafficSpec::parse("poisson:0.9").unwrap(),
+            TrafficSpec::poisson(0.9)
+        );
+        assert_eq!(
+            TrafficSpec::parse("poisson").unwrap(),
+            TrafficSpec::poisson(0.9)
+        );
+        assert_eq!(
+            TrafficSpec::parse("burst:0.7,8,24,2.5").unwrap().arrivals,
+            Arrivals::Burst {
+                on: 8,
+                off: 24,
+                mult: 2.5
+            }
+        );
+        assert_eq!(
+            TrafficSpec::parse("ramp:0.8,200,0.5").unwrap().arrivals,
+            Arrivals::Ramp {
+                period: 200,
+                amplitude: 0.5
+            }
+        );
+        assert_eq!(
+            TrafficSpec::parse("flash:0.5,100,50,4").unwrap().arrivals,
+            Arrivals::Flash {
+                at: 100,
+                len: 50,
+                mult: 4.0
+            }
+        );
+        assert_eq!(
+            TrafficSpec::parse("zipf:0.9,1.1").unwrap().arrivals,
+            Arrivals::Zipf { theta: 1.1 }
+        );
+        assert_eq!(
+            TrafficSpec::parse("poisson:1.5+shed:64").unwrap().admission,
+            Admission::Shed { cap: 64 }
+        );
+        assert_eq!(
+            TrafficSpec::parse("burst:0.9,4,12,3+defer:32")
+                .unwrap()
+                .admission,
+            Admission::Defer { cap: 32 }
+        );
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        for bad in [
+            "",
+            "poison:0.9",
+            "poisson:zero",
+            "poisson:0.9,1",
+            "burst:0.9",
+            "burst:0.9,0,10,2",
+            "ramp:0.9,100,1.5",
+            "zipf:0.9,-1",
+            "poisson:-0.5",
+            "poisson:0.9+shed",
+            "poisson:0.9+shed:0",
+            "poisson:0.9+drop:4",
+        ] {
+            assert!(TrafficSpec::parse(bad).is_err(), "accepted '{bad}'");
+        }
+    }
+
+    #[test]
+    fn every_shape_preserves_mean_rho() {
+        // The machine-wide, long-run mean rate must equal ρ for every
+        // stationary shape (flash excluded: it is a transient by
+        // design).
+        let n = 64;
+        for spec in [
+            "poisson:0.7",
+            "burst:0.7,8,24,2.5",
+            "ramp:0.7,100,0.8",
+            "zipf:0.7,1.2",
+        ] {
+            let m = TrafficModel::from_spec(spec, n).unwrap();
+            let mean = mean_rate_over(&m, n, 400);
+            assert!((mean - 0.7).abs() < 0.02, "{spec}: mean rate {mean} != 0.7");
+        }
+    }
+
+    #[test]
+    fn burst_rates_are_desynchronized_and_nonnegative() {
+        let m = TrafficModel::from_spec("burst:0.9,8,24,3", 32).unwrap();
+        // With mult=3 and on/cycle = 1/4, the off rate is
+        // 0.9·(32 - 3·8)/24 = 0.3.
+        let mut high = 0;
+        for p in 0..32 {
+            let r = m.rate(p, 0);
+            assert!(r >= 0.0);
+            if r > 0.9 * 3.0 - 1e-9 {
+                high += 1;
+            }
+        }
+        // Hash offsets: roughly a quarter of processors bursting at any
+        // instant, never all of them.
+        assert!(high > 0 && high < 32, "high={high}");
+    }
+
+    #[test]
+    fn zipf_is_skewed_but_mean_preserving() {
+        let n = 256;
+        let m = TrafficModel::from_spec("zipf:0.9,1.3", n).unwrap();
+        assert!(m.rate(0, 0) > 10.0 * m.rate(n - 1, 0));
+        let mean = mean_rate_over(&m, n, 1);
+        assert!((mean - 0.9).abs() < 1e-9);
+    }
+
+    #[test]
+    fn flash_window_boundaries() {
+        let m = TrafficModel::from_spec("flash:0.5,100,50,4", 4).unwrap();
+        assert_eq!(m.rate(0, 99), 0.5);
+        assert_eq!(m.rate(0, 100), 2.0);
+        assert_eq!(m.rate(0, 149), 2.0);
+        assert_eq!(m.rate(0, 150), 0.5);
+    }
+
+    #[test]
+    fn empirical_arrival_rate_matches_rho() {
+        // Draw arrivals through the real generate() path and check the
+        // empirical mean against ρ (seeded, so this is deterministic;
+        // the band is ~6σ for the chosen trial count).
+        let m = TrafficModel::from_spec("poisson:0.7", 1).unwrap();
+        let mut rng = SimRng::new(2026);
+        let trials = 200_000u64;
+        let total: u64 = (0..trials)
+            .map(|s| m.generate(0, s, 0, &mut rng) as u64)
+            .sum();
+        let mean = total as f64 / trials as f64;
+        let band = 6.0 * (0.7f64 / trials as f64).sqrt();
+        assert!((mean - 0.7).abs() < band, "mean {mean} outside ±{band}");
+    }
+
+    #[test]
+    fn model_surface() {
+        let m = TrafficModel::from_spec("poisson:0.9+shed:16", 8).unwrap();
+        assert_eq!(m.name(), "poisson");
+        assert_eq!(m.arrival_rate(), Some(0.9));
+        assert_eq!(m.admission(), Admission::Shed { cap: 16 });
+        let mut rng = SimRng::new(1);
+        // μ = 1 service: consume exactly one when loaded, none when idle.
+        assert_eq!(m.consume(0, 0, 5, &mut rng), 1);
+        assert_eq!(m.consume(0, 0, 0, &mut rng), 0);
+    }
+}

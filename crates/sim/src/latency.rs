@@ -1,0 +1,327 @@
+//! Streaming log-bucketed latency histograms.
+//!
+//! Open-loop service simulation needs tail quantiles (p999, pmax) of
+//! task sojourn over runs producing hundreds of millions of samples —
+//! far too many to keep individually, and a plain power-of-two
+//! histogram is too coarse at the tail (each octave doubles the error).
+//! [`LatencyHist`] uses the HdrHistogram bucket scheme: every octave is
+//! split into `2^SUB_BITS` equal-width sub-buckets, so any recorded
+//! value lands in a bucket whose width is at most `1/2^SUB_BITS` of the
+//! value itself. Quantile estimates therefore carry a bounded
+//! *relative* error at every magnitude.
+//!
+//! The histogram is a fixed flat `Vec<u64>` with value-independent
+//! indexing, so it is mergeable across shards and nodes by plain
+//! element-wise addition — recording into per-shard histograms and
+//! merging in shard order is *bit-identical* to recording into one
+//! histogram, which is what lets the parallel backends keep the
+//! cross-backend determinism contract (a property test enforces this
+//! over arbitrary splits).
+
+/// Sub-bucket resolution: each octave is split into `2^SUB_BITS`
+/// equal-width buckets, bounding quantile relative error by
+/// `1 / 2^SUB_BITS` (≈ 3.1%).
+const SUB_BITS: u32 = 5;
+/// Sub-buckets per octave (`2^SUB_BITS`).
+const SUB_COUNT: usize = 1 << SUB_BITS;
+/// Octaves above the exact range: values with a most-significant bit in
+/// `SUB_BITS..64` each get `SUB_COUNT` sub-buckets.
+const OCTAVES: usize = 64 - SUB_BITS as usize;
+/// Total bucket count: `SUB_COUNT` exact unit buckets for `0..SUB_COUNT`
+/// plus `SUB_COUNT` per octave above them.
+const BUCKETS: usize = SUB_COUNT + OCTAVES * SUB_COUNT;
+
+/// Bucket index for a value: exact below `SUB_COUNT`, log-bucketed with
+/// `SUB_COUNT` sub-buckets per octave above.
+#[inline]
+fn bucket_index(v: u64) -> usize {
+    if v < SUB_COUNT as u64 {
+        return v as usize;
+    }
+    let msb = 63 - v.leading_zeros(); // >= SUB_BITS here
+    let octave = (msb - SUB_BITS + 1) as usize;
+    let shift = msb - SUB_BITS;
+    octave * SUB_COUNT + (v >> shift) as usize - SUB_COUNT
+}
+
+/// Largest value mapping to bucket `index` — what [`LatencyHist`]
+/// quantiles report, so estimates never understate the true quantile.
+#[inline]
+fn bucket_high(index: usize) -> u64 {
+    if index < SUB_COUNT {
+        return index as u64;
+    }
+    let octave = (index / SUB_COUNT) as u32;
+    let sub = (index % SUB_COUNT) as u64 + SUB_COUNT as u64;
+    let shift = octave - 1;
+    // The top bucket's nominal bound is 2^64; saturate instead of
+    // overflowing (its real bound is u64::MAX anyway).
+    ((sub + 1) << shift).wrapping_sub(1)
+}
+
+/// A streaming log-bucketed histogram of `u64` samples (HdrHistogram
+/// bucket scheme: power-of-two octaves × `2^5` equal sub-buckets).
+///
+/// Recording is O(1) with no allocation; merging is element-wise
+/// addition and exactly equals having recorded every sample into one
+/// histogram. Quantiles report the upper bound of the selected bucket,
+/// so `true_q <= estimate <= true_q * (1 + 1/32) + 1`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LatencyHist {
+    counts: Vec<u64>,
+    count: u64,
+    sum: u64,
+    max: u64,
+}
+
+impl Default for LatencyHist {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LatencyHist {
+    /// Creates an empty histogram covering the full `u64` range.
+    pub fn new() -> Self {
+        LatencyHist {
+            counts: vec![0; BUCKETS],
+            count: 0,
+            sum: 0,
+            max: 0,
+        }
+    }
+
+    /// Records one sample.
+    #[inline]
+    pub fn record(&mut self, v: u64) {
+        self.counts[bucket_index(v)] += 1;
+        self.count += 1;
+        self.sum = self.sum.wrapping_add(v);
+        if v > self.max {
+            self.max = v;
+        }
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of recorded samples (wrapping on overflow).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Largest recorded sample (exact, not bucketed); 0 when empty.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// `true` when no samples have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Mean of recorded samples; 0.0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// The raw bucket counts (fixed length, value-indexed) — exposed so
+    /// equivalence tests can compare histograms bit for bit.
+    pub fn buckets(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Clears all samples, keeping the allocation.
+    pub fn reset(&mut self) {
+        self.counts.fill(0);
+        self.count = 0;
+        self.sum = 0;
+        self.max = 0;
+    }
+
+    /// Adds every sample of `other` into `self` — bit-identical to
+    /// having recorded `other`'s samples here directly.
+    pub fn merge(&mut self, other: &LatencyHist) {
+        debug_assert_eq!(self.counts.len(), other.counts.len());
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum = self.sum.wrapping_add(other.sum);
+        if other.max > self.max {
+            self.max = other.max;
+        }
+    }
+
+    /// The `q`-quantile (0 < q ≤ 1): the upper bound of the first
+    /// bucket whose cumulative count reaches `ceil(q · count)`. For the
+    /// exact unit buckets this is the true quantile; above them it
+    /// overestimates by at most a factor `1 + 1/32`. Returns 0 for an
+    /// empty histogram.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut cum = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            cum += c;
+            if cum >= target {
+                // Never report past the observed maximum: the top
+                // occupied bucket's upper bound can exceed it.
+                return bucket_high(i).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Median (`quantile(0.50)`).
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// 99th percentile (`quantile(0.99)`).
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+
+    /// 99.9th percentile (`quantile(0.999)`).
+    pub fn p999(&self) -> u64 {
+        self.quantile(0.999)
+    }
+
+    /// The exact maximum recorded sample (alias of [`LatencyHist::max`]
+    /// for report symmetry with the quantile accessors).
+    pub fn pmax(&self) -> u64 {
+        self.max
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_index_is_monotone_and_in_range() {
+        // Along a dense sweep of magnitudes the index never decreases
+        // and never leaves the table.
+        let mut prev = 0usize;
+        let mut last_v = 0u64;
+        for shift in 0..64u32 {
+            for off in 0..4u64 {
+                let v = (1u64 << shift).saturating_add(off << shift.saturating_sub(2));
+                if v < last_v {
+                    continue;
+                }
+                last_v = v;
+                let i = bucket_index(v);
+                assert!(i < BUCKETS, "v={v} index {i} out of range");
+                assert!(i >= prev, "v={v}: index {i} < previous {prev}");
+                prev = i;
+            }
+        }
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(31), 31);
+        assert_eq!(bucket_index(32), 32);
+        assert_eq!(bucket_index(u64::MAX), BUCKETS - 1);
+    }
+
+    #[test]
+    fn bucket_high_bounds_its_bucket() {
+        // Every value maps to a bucket whose recorded upper bound is
+        // >= the value and within a 1/32 relative band of it.
+        for &v in &[
+            0u64,
+            1,
+            31,
+            32,
+            33,
+            63,
+            64,
+            100,
+            1_000,
+            123_456,
+            u32::MAX as u64,
+            1 << 50,
+            u64::MAX,
+        ] {
+            let hi = bucket_high(bucket_index(v));
+            assert!(hi >= v, "v={v} hi={hi}");
+            assert!(
+                hi as u128 <= v as u128 + v as u128 / 32 + 1,
+                "v={v} hi={hi}"
+            );
+        }
+        // Bucket upper bounds are strictly increasing.
+        let mut prev = None;
+        for i in 0..BUCKETS {
+            let hi = bucket_high(i);
+            if let Some(p) = prev {
+                assert!(hi > p, "bucket {i}: {hi} <= {p}");
+            }
+            prev = Some(hi);
+        }
+    }
+
+    #[test]
+    fn exact_below_subcount() {
+        let mut h = LatencyHist::new();
+        for v in 0..32u64 {
+            h.record(v);
+        }
+        // Unit buckets: quantiles below 32 are exact.
+        assert_eq!(h.quantile(0.5), 15);
+        assert_eq!(h.quantile(1.0), 31);
+        assert_eq!(h.p50(), 15);
+        assert_eq!(h.count(), 32);
+        assert_eq!(h.sum(), (0..32).sum::<u64>());
+    }
+
+    #[test]
+    fn empty_histogram() {
+        let h = LatencyHist::new();
+        assert!(h.is_empty());
+        assert_eq!(h.quantile(0.5), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.pmax(), 0);
+    }
+
+    #[test]
+    fn merge_equals_single() {
+        let vals: Vec<u64> = (0..1000u64).map(|i| i * i * 37 % 1_000_003).collect();
+        let mut one = LatencyHist::new();
+        for &v in &vals {
+            one.record(v);
+        }
+        let mut a = LatencyHist::new();
+        let mut b = LatencyHist::new();
+        for (i, &v) in vals.iter().enumerate() {
+            if i % 3 == 0 { &mut a } else { &mut b }.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a, one);
+    }
+
+    #[test]
+    fn reset_keeps_allocation_and_clears() {
+        let mut h = LatencyHist::new();
+        h.record(7);
+        h.record(70_000);
+        h.reset();
+        assert_eq!(h, LatencyHist::new());
+    }
+
+    #[test]
+    fn quantile_never_exceeds_max() {
+        let mut h = LatencyHist::new();
+        h.record(1_000_000);
+        assert_eq!(h.quantile(1.0), 1_000_000);
+        assert_eq!(h.p999(), 1_000_000);
+    }
+}

@@ -59,6 +59,7 @@
 
 pub mod backend;
 pub mod engine;
+pub mod latency;
 pub mod message;
 pub mod model;
 pub mod net;
@@ -75,8 +76,9 @@ pub mod world;
 
 pub use backend::{Backend, ExecBackend, ResolvedBackend, Sequential, Threaded};
 pub use engine::Engine;
+pub use latency::LatencyHist;
 pub use message::{MessageKind, MessageLedger, MessageStats};
-pub use model::{LoadModel, Strategy, Unbalanced};
+pub use model::{Admission, LoadModel, Strategy, Unbalanced};
 pub use net::control_kind;
 pub use pcrlb_faults::{
     Bernoulli, BoundedDelay, CrashWindows, FaultConfig, FaultConfigError, FaultModel, FaultPlan,
@@ -89,7 +91,7 @@ pub use pcrlb_net::{
 pub use pool::{live_workers, WorkerPool};
 pub use probe::{
     FaultProbe, LoadSnapshotProbe, MaxLoadProbe, MessageRateProbe, PhaseProbe, PhaseReport, Probe,
-    ProbeOutput, RecoveryProbe, SeriesProbe, SojournTailProbe, TraceProbe,
+    ProbeOutput, RecoveryProbe, SeriesProbe, SojournProbe, SojournTailProbe, TraceProbe,
 };
 pub use processor::{ProcStats, ProcView, QueueView};
 pub use queue::TaskArena;

@@ -13,6 +13,42 @@ use crate::rng::SimRng;
 use crate::types::{ProcId, Step};
 use crate::world::World;
 
+/// Back-pressure policy applied to generated tasks before they enter a
+/// processor's queue.
+///
+/// Open-loop traffic models keep generating regardless of system state,
+/// so at offered load ρ ≥ 1 queues grow without bound. An admission
+/// policy bounds the per-processor queue at the front door:
+///
+/// * [`Admission::Unbounded`] — every generated task is enqueued
+///   (the historical behavior; closed-loop models use this).
+/// * [`Admission::Shed { cap }`](Admission::Shed) — arrivals that would
+///   push the queue past `cap` are dropped and counted per processor.
+/// * [`Admission::Defer { cap }`](Admission::Defer) — excess arrivals
+///   wait in a front-door backlog and are re-offered next step;
+///   each arrival-step spent waiting is counted per processor.
+///
+/// The policy only gates *admission*: the model's RNG draws for
+/// generation happen unconditionally (the stream stays aligned with an
+/// unbounded run), and task weights are drawn only for admitted tasks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Admission {
+    /// Admit everything (historical behavior).
+    #[default]
+    Unbounded,
+    /// Drop arrivals beyond a queue length of `cap`, counting them.
+    Shed {
+        /// Maximum queue length at admission time.
+        cap: u32,
+    },
+    /// Park arrivals beyond a queue length of `cap` in a front-door
+    /// backlog, re-offered (FIFO) on subsequent steps.
+    Defer {
+        /// Maximum queue length at admission time.
+        cap: u32,
+    },
+}
+
 /// Per-processor stochastic load generation/consumption.
 ///
 /// Implementations must be deterministic functions of their arguments
@@ -69,6 +105,14 @@ pub trait LoadModel: Send {
         None
     }
 
+    /// Back-pressure policy for generated tasks. The default admits
+    /// everything, which is draw-for-draw and queue-for-queue identical
+    /// to the pre-admission kernel; open-loop models override this to
+    /// bound their queues when ρ ≥ 1.
+    fn admission(&self) -> Admission {
+        Admission::Unbounded
+    }
+
     /// Human-readable model name for experiment tables.
     fn name(&self) -> &'static str {
         "model"
@@ -120,6 +164,8 @@ mod tests {
         let m = Always(1);
         assert!(m.arrival_rate().is_none());
         assert_eq!(m.name(), "model");
+        assert_eq!(m.admission(), Admission::Unbounded);
+        assert_eq!(Admission::default(), Admission::Unbounded);
         let mut s = Unbalanced;
         assert_eq!(Strategy::name(&s), "unbalanced");
         let mut w = World::new(1, 0);

@@ -173,6 +173,8 @@ fn drive<T: Transport, M: LoadModel + Sync, S: Strategy>(
         max_weighted_load: world.max_weighted_load(),
         total_weighted_load: world.total_weighted_load(),
         completions: world.completions().clone(),
+        total_shed: world.total_shed(),
+        total_deferred: world.total_deferred(),
         messages: world.messages(),
         model: model.name(),
         strategy: strategy.name(),

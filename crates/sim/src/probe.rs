@@ -116,6 +116,28 @@ pub enum ProbeOutput {
         /// Fraction of tasks executed where they were generated.
         locality: f64,
     },
+    /// From [`SojournProbe`] — the service-level latency summary,
+    /// computed from the streaming log-bucketed histogram (bounded
+    /// relative error at every magnitude; see
+    /// [`crate::latency::LatencyHist`]).
+    Sojourn {
+        /// Tasks completed.
+        count: u64,
+        /// Mean sojourn time (steps).
+        mean: f64,
+        /// Median sojourn (log-bucket upper bound).
+        p50: u64,
+        /// 99th-percentile sojourn.
+        p99: u64,
+        /// 99.9th-percentile sojourn.
+        p999: u64,
+        /// Exact largest sojourn observed.
+        pmax: u64,
+        /// Arrivals dropped by an `Admission::Shed` policy.
+        shed: u64,
+        /// Arrival-steps spent in the `Admission::Defer` backlog.
+        deferred: u64,
+    },
     /// From [`PhaseProbe`].
     Phases(Vec<PhaseReport>),
     /// From [`TraceProbe`].
@@ -531,6 +553,63 @@ impl Probe for SojournTailProbe {
             p99: self.p99,
             p999: self.p999,
             locality: self.locality,
+        }
+    }
+}
+
+/// Summarises the service-level latency picture at run end (E23): tail
+/// quantiles from the *log-bucketed* sojourn histogram — which, unlike
+/// [`SojournTailProbe`]'s linear histogram, has no overflow bucket, so
+/// p999/pmax stay meaningful when queues explode at ρ ≥ 1 — plus the
+/// back-pressure counters (shed arrivals, deferred arrival-steps).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SojournProbe {
+    count: u64,
+    mean: f64,
+    p50: u64,
+    p99: u64,
+    p999: u64,
+    pmax: u64,
+    shed: u64,
+    deferred: u64,
+}
+
+impl SojournProbe {
+    /// Builds the probe; all statistics are computed at run end.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Probe for SojournProbe {
+    fn name(&self) -> &'static str {
+        "sojourn"
+    }
+
+    fn on_step(&mut self, _world: &World) {}
+
+    fn on_run_end(&mut self, world: &World) {
+        let lat = &world.completions().latency;
+        self.count = lat.count();
+        self.mean = lat.mean();
+        self.p50 = lat.p50();
+        self.p99 = lat.p99();
+        self.p999 = lat.p999();
+        self.pmax = lat.pmax();
+        self.shed = world.total_shed();
+        self.deferred = world.total_deferred();
+    }
+
+    fn finish(self: Box<Self>) -> ProbeOutput {
+        ProbeOutput::Sojourn {
+            count: self.count,
+            mean: self.mean,
+            p50: self.p50,
+            p99: self.p99,
+            p999: self.p999,
+            pmax: self.pmax,
+            shed: self.shed,
+            deferred: self.deferred,
         }
     }
 }

@@ -34,6 +34,13 @@ pub struct ProcStats {
     pub tasks_received: u64,
     /// Phases in which this processor was classified heavy.
     pub heavy_phases: u64,
+    /// Arrivals dropped at the front door by an `Admission::Shed`
+    /// policy (0 for unbounded admission).
+    pub shed: u64,
+    /// Arrival-steps spent waiting in the front-door backlog under
+    /// `Admission::Defer` (each parked arrival adds one per step it
+    /// waits).
+    pub deferred: u64,
 }
 
 /// The lifetime counters of all processors, one flat array per field.
@@ -51,6 +58,8 @@ pub(crate) struct StatsSoa {
     pub(crate) tasks_sent: Vec<u64>,
     pub(crate) tasks_received: Vec<u64>,
     pub(crate) heavy_phases: Vec<u64>,
+    pub(crate) shed: Vec<u64>,
+    pub(crate) deferred: Vec<u64>,
 }
 
 impl StatsSoa {
@@ -63,6 +72,8 @@ impl StatsSoa {
             tasks_sent: vec![0; n],
             tasks_received: vec![0; n],
             heavy_phases: vec![0; n],
+            shed: vec![0; n],
+            deferred: vec![0; n],
         }
     }
 
@@ -78,6 +89,8 @@ impl StatsSoa {
             tasks_sent: self.tasks_sent[p],
             tasks_received: self.tasks_received[p],
             heavy_phases: self.heavy_phases[p],
+            shed: self.shed[p],
+            deferred: self.deferred[p],
         }
     }
 }

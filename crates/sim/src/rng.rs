@@ -182,6 +182,40 @@ impl SimRng {
         self.s = s;
     }
 
+    /// Samples a Poisson-distributed count with mean `lambda` (Knuth's
+    /// product-of-uniforms method). Non-positive or non-finite `lambda`
+    /// yields 0. The number of `f64` draws consumed is itself random
+    /// (sample + 1 per chunk), which is fine under the determinism
+    /// contract: each processor owns its stream, so draw *order* within
+    /// the stream is all that must be stable, not draw *count* across
+    /// processors.
+    ///
+    /// Means above 32 are split into chunks (Poisson(a + b) equals
+    /// Poisson(a) + Poisson(b) in distribution) so `exp(-lambda)` never
+    /// underflows to a degenerate always-reject threshold.
+    pub fn poisson(&mut self, lambda: f64) -> usize {
+        if !lambda.is_finite() || lambda <= 0.0 {
+            return 0;
+        }
+        const CHUNK: f64 = 32.0;
+        let mut remaining = lambda;
+        let mut total = 0usize;
+        while remaining > 0.0 {
+            let step = if remaining > CHUNK { CHUNK } else { remaining };
+            remaining -= step;
+            let threshold = (-step).exp();
+            let mut p = 1.0f64;
+            loop {
+                p *= self.f64();
+                if p <= threshold {
+                    break;
+                }
+                total += 1;
+            }
+        }
+        total
+    }
+
     /// Fills `dest` with random bytes (little-endian 64-bit chunks).
     pub fn fill_bytes(&mut self, dest: &mut [u8]) {
         let mut chunks = dest.chunks_exact_mut(8);
@@ -353,6 +387,44 @@ mod tests {
         // Empty fill is a no-op on the state.
         a.fill_u64s(&mut []);
         assert_eq!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn poisson_degenerate_means() {
+        let mut r = SimRng::new(61);
+        assert_eq!(r.poisson(0.0), 0);
+        assert_eq!(r.poisson(-3.0), 0);
+        assert_eq!(r.poisson(f64::NAN), 0);
+        assert_eq!(r.poisson(f64::INFINITY), 0);
+    }
+
+    #[test]
+    fn poisson_mean_and_variance_match() {
+        // Mean and variance of Poisson(λ) are both λ; check both at a
+        // small mean and at one past the λ > 32 chunking threshold.
+        for (seed, lambda) in [(67u64, 0.9f64), (71, 4.5), (73, 50.0)] {
+            let mut r = SimRng::new(seed);
+            let trials = 100_000usize;
+            let mut sum = 0.0f64;
+            let mut sum_sq = 0.0f64;
+            for _ in 0..trials {
+                let x = r.poisson(lambda) as f64;
+                sum += x;
+                sum_sq += x * x;
+            }
+            let mean = sum / trials as f64;
+            let var = sum_sq / trials as f64 - mean * mean;
+            // ~9σ band on the sample mean: σ_mean = sqrt(λ/trials).
+            let band = 9.0 * (lambda / trials as f64).sqrt();
+            assert!(
+                (mean - lambda).abs() < band,
+                "λ={lambda}: mean {mean} outside ±{band}"
+            );
+            assert!(
+                (var - lambda).abs() < lambda * 0.1,
+                "λ={lambda}: variance {var} too far from {lambda}"
+            );
+        }
     }
 
     #[test]

@@ -69,6 +69,12 @@ pub struct RunReport {
     pub total_weighted_load: u64,
     /// Completion statistics over the whole run.
     pub completions: CompletionStats,
+    /// Arrivals dropped by an [`crate::Admission::Shed`] policy (0
+    /// under unbounded admission).
+    pub total_shed: u64,
+    /// Arrival-steps spent in the front-door backlog under an
+    /// [`crate::Admission::Defer`] policy.
+    pub total_deferred: u64,
     /// Message totals over the whole run.
     pub messages: MessageStats,
     /// Load-model name.
@@ -282,6 +288,8 @@ impl<M: LoadModel + Sync, S: Strategy> Runner<M, S> {
             max_weighted_load: world.max_weighted_load(),
             total_weighted_load: world.total_weighted_load(),
             completions: world.completions().clone(),
+            total_shed: world.total_shed(),
+            total_deferred: world.total_deferred(),
             messages: world.messages(),
             model: model.name(),
             strategy: strategy.name(),

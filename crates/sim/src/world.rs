@@ -17,6 +17,7 @@
 //! one heap-allocated queue per processor. The per-processor *object*
 //! API survives as [`ProcView`] — assembled on demand, never stored.
 
+use crate::latency::LatencyHist;
 use crate::message::{MessageLedger, MessageStats};
 use crate::probe::PhaseReport;
 use crate::processor::{task_id, ProcStats, ProcView, StatsSoa};
@@ -46,6 +47,10 @@ pub struct CompletionStats {
     /// `hist[w]` = completions with sojourn `w`; the final bucket
     /// aggregates everything `>= hist.len() - 1`.
     pub hist: Vec<u64>,
+    /// Log-bucketed sojourn histogram (unbounded range, bounded
+    /// relative error) — the streaming quantile source for the service
+    /// front-end's p50/p99/p999/pmax.
+    pub latency: LatencyHist,
 }
 
 impl CompletionStats {
@@ -57,6 +62,7 @@ impl CompletionStats {
             sojourn_max: 0,
             local_count: 0,
             hist: vec![0; hist_cap.max(2)],
+            latency: LatencyHist::new(),
         }
     }
 
@@ -70,6 +76,7 @@ impl CompletionStats {
         }
         let idx = (w as usize).min(self.hist.len() - 1);
         self.hist[idx] += 1;
+        self.latency.record(w);
     }
 
     /// Mean sojourn time, 0 when nothing completed.
@@ -113,6 +120,7 @@ impl CompletionStats {
         self.sojourn_max = 0;
         self.local_count = 0;
         self.hist.fill(0);
+        self.latency.reset();
     }
 
     pub(crate) fn merge(&mut self, other: &CompletionStats) {
@@ -123,6 +131,7 @@ impl CompletionStats {
         for (a, b) in self.hist.iter_mut().zip(&other.hist) {
             *a += b;
         }
+        self.latency.merge(&other.latency);
     }
 }
 
@@ -182,6 +191,10 @@ pub struct World {
     /// take `weight` consume-units to finish; always 0 for unit tasks
     /// between steps).
     progress: Vec<u32>,
+    /// Front-door backlog per processor: arrivals parked by an
+    /// [`Admission::Defer`](crate::Admission::Defer) policy, re-offered
+    /// on later steps. Always all-zero under other policies.
+    backlog: Vec<u32>,
     /// Per-processor lifetime counters.
     stats: StatsSoa,
     /// Per-processor RNG streams (index `i`) — local decisions only.
@@ -215,6 +228,7 @@ impl World {
             step: 0,
             arena: TaskArena::new(n),
             progress: vec![0; n],
+            backlog: vec![0; n],
             stats: StatsSoa::new(n),
             rngs: (0..n as u64).map(|i| SimRng::stream(seed, i)).collect(),
             global_rng: SimRng::stream(seed, n as u64),
@@ -524,6 +538,30 @@ impl World {
         self.stats.get(p)
     }
 
+    /// Total arrivals dropped by an [`Admission::Shed`] policy across
+    /// all processors (0 under other policies).
+    ///
+    /// [`Admission::Shed`]: crate::Admission::Shed
+    pub fn total_shed(&self) -> u64 {
+        self.stats.shed.iter().sum()
+    }
+
+    /// Total arrival-steps spent waiting in the front-door backlog
+    /// under an [`Admission::Defer`] policy: each step, every still-
+    /// parked arrival adds one (so this is the aggregate front-door
+    /// waiting time, not a task count).
+    ///
+    /// [`Admission::Defer`]: crate::Admission::Defer
+    pub fn total_deferred(&self) -> u64 {
+        self.stats.deferred.iter().sum()
+    }
+
+    /// Arrivals currently parked in `p`'s front-door backlog.
+    #[inline]
+    pub fn backlog(&self, p: ProcId) -> usize {
+        self.backlog[p] as usize
+    }
+
     /// Per-processor RNG stream.
     #[inline]
     pub fn rng_of(&mut self, p: ProcId) -> &mut SimRng {
@@ -715,6 +753,11 @@ impl World {
             &mut self.stats.generated[..],
             &mut self.stats.consumed[..],
         );
+        let (mut shed, mut deferred, mut backlog) = (
+            &mut self.stats.shed[..],
+            &mut self.stats.deferred[..],
+            &mut self.backlog[..],
+        );
         let mut out = Vec::with_capacity(sizes.len());
         let mut start = 0;
         for (arena, &size) in arena_shards.into_iter().zip(&sizes) {
@@ -722,6 +765,9 @@ impl World {
             let (pr, pt) = std::mem::take(&mut progress).split_at_mut(size);
             let (g, gt) = std::mem::take(&mut generated).split_at_mut(size);
             let (c, ct) = std::mem::take(&mut consumed).split_at_mut(size);
+            let (sh, sht) = std::mem::take(&mut shed).split_at_mut(size);
+            let (df, dft) = std::mem::take(&mut deferred).split_at_mut(size);
+            let (bk, bkt) = std::mem::take(&mut backlog).split_at_mut(size);
             out.push(WorldShard {
                 start,
                 now,
@@ -730,12 +776,18 @@ impl World {
                 progress: pr,
                 generated: g,
                 consumed: c,
+                shed: sh,
+                deferred: df,
+                backlog: bk,
                 spill: Vec::new(),
             });
             rngs = rt;
             progress = pt;
             generated = gt;
             consumed = ct;
+            shed = sht;
+            deferred = dft;
+            backlog = bkt;
             start += size;
         }
         (out, &mut self.completions)
@@ -776,6 +828,14 @@ pub(crate) struct WorldShard<'a> {
     pub(crate) generated: &'a mut [u64],
     /// `stats.consumed` window.
     pub(crate) consumed: &'a mut [u64],
+    /// `stats.shed` window (arrivals dropped by an `Admission::Shed`
+    /// policy).
+    pub(crate) shed: &'a mut [u64],
+    /// `stats.deferred` window (arrival-steps spent in the backlog
+    /// under `Admission::Defer`).
+    pub(crate) deferred: &'a mut [u64],
+    /// Front-door backlog window (pending deferred arrivals).
+    pub(crate) backlog: &'a mut [u32],
     /// Tasks generated this step that did not fit their ring (kernels
     /// never grow the shared slab). The owning world absorbs these via
     /// [`World::absorb_spill`] right after the parallel section.

@@ -1,0 +1,132 @@
+//! Property tests for the log-bucketed sojourn histogram.
+//!
+//! [`LatencyHist`] is the mergeable observability primitive behind the
+//! service-simulation front-end: every shard and node records into its
+//! own histogram and the engine folds them together in shard order.
+//! Three properties make that sound:
+//!
+//! 1. record-then-merge over *arbitrary* shard splits is bit-identical
+//!    to recording the whole stream into one histogram (merge is the
+//!    histogram's whole reason to exist);
+//! 2. quantiles respect the log-bucket relative-error contract — the
+//!    estimate never undershoots the true order statistic and
+//!    overshoots by at most one sub-bucket width (`true/32 + 1`);
+//! 3. `count` and `sum` are conserved exactly (they are not bucketed).
+
+use pcrlb_sim::LatencyHist;
+use proptest::prelude::*;
+
+/// A full-magnitude-range sojourn value that cannot overflow `sum` for
+/// the vector lengths used here: a 16-bit mantissa shifted by up to 36
+/// bits stays ≤ 2^52, so even 100 of them sum well below `u64::MAX`.
+fn value(mantissa: u64, shift: u8) -> u64 {
+    mantissa << (shift % 37)
+}
+
+/// The true order statistic under the same target-rank convention as
+/// `LatencyHist::quantile` (rank `ceil(q·count)`, 1-based, clamped).
+fn exact_quantile(sorted: &[u64], q: f64) -> u64 {
+    let target = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[target - 1]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(150))]
+
+    /// Merging per-shard histograms over arbitrary split points is
+    /// bit-identical (full struct equality: every bucket, count, sum,
+    /// max) to one histogram over the concatenated stream.
+    #[test]
+    fn merge_over_arbitrary_splits_is_bit_identical(
+        raw in collection::vec((1u64..65536, 0u8..37), 1..100),
+        cuts in collection::vec(0usize..100, 0..6),
+    ) {
+        let values: Vec<u64> = raw.iter().map(|&(m, s)| value(m, s)).collect();
+
+        let mut single = LatencyHist::new();
+        for &v in &values {
+            single.record(v);
+        }
+
+        // Cut the stream into consecutive shards at the given points.
+        let mut bounds: Vec<usize> = cuts.iter().map(|&c| c % values.len()).collect();
+        bounds.push(0);
+        bounds.push(values.len());
+        bounds.sort_unstable();
+
+        let mut merged = LatencyHist::new();
+        for pair in bounds.windows(2) {
+            let mut shard = LatencyHist::new();
+            for &v in &values[pair[0]..pair[1]] {
+                shard.record(v);
+            }
+            merged.merge(&shard);
+        }
+
+        prop_assert_eq!(&merged, &single);
+        prop_assert_eq!(merged.buckets(), single.buckets());
+    }
+
+    /// Quantile estimates never undershoot the true order statistic and
+    /// overshoot by at most the sub-bucket width: `est ≤ t + t/32 + 1`.
+    #[test]
+    fn quantiles_respect_relative_error_bound(
+        raw in collection::vec((1u64..65536, 0u8..37), 1..100),
+        q in 0.0f64..1.0,
+    ) {
+        let mut values: Vec<u64> = raw.iter().map(|&(m, s)| value(m, s)).collect();
+        let mut hist = LatencyHist::new();
+        for &v in &values {
+            hist.record(v);
+        }
+        values.sort_unstable();
+
+        for q in [q, 0.5, 0.9, 0.99, 0.999, 1.0] {
+            let t = exact_quantile(&values, q);
+            let est = hist.quantile(q);
+            prop_assert!(est >= t, "q={}: est {} < true {}", q, est, t);
+            prop_assert!(
+                est <= t + t / 32 + 1,
+                "q={}: est {} exceeds bound for true {}",
+                q, est, t
+            );
+        }
+    }
+
+    /// `count` and `sum` are exact (unbucketed) and conserved under
+    /// merge; `max` is the max over the parts.
+    #[test]
+    fn count_sum_max_conserved_under_merge(
+        a in collection::vec((1u64..65536, 0u8..37), 0..50),
+        b in collection::vec((1u64..65536, 0u8..37), 0..50),
+    ) {
+        let va: Vec<u64> = a.iter().map(|&(m, s)| value(m, s)).collect();
+        let vb: Vec<u64> = b.iter().map(|&(m, s)| value(m, s)).collect();
+
+        let mut ha = LatencyHist::new();
+        let mut hb = LatencyHist::new();
+        for &v in &va {
+            ha.record(v);
+        }
+        for &v in &vb {
+            hb.record(v);
+        }
+
+        let mut merged = ha.clone();
+        merged.merge(&hb);
+
+        prop_assert_eq!(merged.count(), va.len() as u64 + vb.len() as u64);
+        prop_assert_eq!(
+            merged.sum(),
+            va.iter().sum::<u64>() + vb.iter().sum::<u64>()
+        );
+        prop_assert_eq!(
+            merged.max(),
+            va.iter().chain(&vb).copied().max().unwrap_or(0)
+        );
+        prop_assert_eq!(
+            merged.buckets().iter().sum::<u64>(),
+            merged.count()
+        );
+    }
+}

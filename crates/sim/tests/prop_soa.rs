@@ -9,9 +9,10 @@
 //! `(n, seed, steps, backend)` every backend must produce the same
 //! `RunReport` bit for bit — with and without an active fault plan.
 
+use pcrlb_core::{TrafficModel, TrafficSpec};
 use pcrlb_sim::{
-    Backend, FaultConfig, LoadModel, MaxLoadProbe, Probe, ProcId, RunReport, Runner, SimRng,
-    SojournTailProbe, Step, Unbalanced, World,
+    Admission, Backend, FaultConfig, LoadModel, MaxLoadProbe, Probe, ProcId, RunReport, Runner,
+    SimRng, SojournProbe, SojournTailProbe, Step, Unbalanced, World,
 };
 use proptest::prelude::*;
 
@@ -99,6 +100,33 @@ fn run(
     runner.run(steps)
 }
 
+/// Open-loop run: Poisson traffic at `rho` with the given admission
+/// policy, observed through the sojourn-histogram probe. The report's
+/// `==` covers the full histogram buckets plus shed/defer counters, so
+/// any backend-dependent divergence in the admission path fails loudly.
+fn run_open_loop(
+    n: usize,
+    seed: u64,
+    steps: u64,
+    rho: f64,
+    admission: Admission,
+    backend: Backend,
+    faults: Option<FaultConfig>,
+) -> RunReport {
+    let mut spec = TrafficSpec::poisson(rho);
+    spec.admission = admission;
+    let mut runner = Runner::new(n, seed)
+        .model(TrafficModel::new(spec, n).expect("valid spec"))
+        .strategy(Unbalanced)
+        .backend(backend)
+        .probe(SojournProbe::new())
+        .probe(ViewChecksum(0));
+    if let Some(cfg) = faults {
+        runner = runner.faults(cfg);
+    }
+    runner.run(steps)
+}
+
 /// Erases the only fields allowed to differ across backends (the
 /// backend label) so reports can be compared with `==`.
 fn normalize(mut r: RunReport) -> RunReport {
@@ -149,5 +177,72 @@ proptest! {
         let seq = normalize(run(n, seed, steps, Backend::Sequential, Some(cfg)));
         let other = normalize(run(n, seed, steps, backend_for(kind, width), Some(cfg)));
         prop_assert_eq!(seq, other);
+    }
+
+    /// Open-loop traffic (Poisson arrivals drawn per processor, unit
+    /// service, arbitrary admission policy) is bit-identical across all
+    /// backends — including the sojourn-histogram buckets and the
+    /// shed/defer counters in the report — with and without 5% message
+    /// loss.
+    #[test]
+    fn open_loop_backends_agree(
+        n in 1usize..129,
+        seed in any::<u64>(),
+        steps in 1u64..80,
+        kind in 0u8..4,
+        width in 1usize..6,
+        rho_pct in 30u32..160,
+        policy in 0u8..3,
+        lossy in any::<bool>(),
+    ) {
+        let rho = f64::from(rho_pct) / 100.0;
+        let admission = match policy {
+            0 => Admission::Unbounded,
+            1 => Admission::Shed { cap: 6 },
+            _ => Admission::Defer { cap: 6 },
+        };
+        let faults = lossy.then(|| FaultConfig {
+            fault_seed: seed ^ 0xD1CE,
+            loss_rate: 0.05,
+            ..FaultConfig::default()
+        });
+        let seq = normalize(run_open_loop(
+            n, seed, steps, rho, admission, Backend::Sequential, faults,
+        ));
+        let other = normalize(run_open_loop(
+            n, seed, steps, rho, admission, backend_for(kind, width), faults,
+        ));
+        prop_assert_eq!(seq, other);
+    }
+}
+
+/// Deterministic overload check: at ρ = 1.5 behind a small shed cap the
+/// front door must actually drop work (shed > 0), every offered task is
+/// accounted for, and all four backends agree on the exact counts.
+#[test]
+fn overload_sheds_identically_on_every_backend() {
+    let (n, seed, steps) = (96, 1998, 200);
+    let seq = run_open_loop(
+        n,
+        seed,
+        steps,
+        1.5,
+        Admission::Shed { cap: 4 },
+        Backend::Sequential,
+        None,
+    );
+    assert!(seq.total_shed > 0, "rho=1.5 behind cap 4 must shed");
+    assert_eq!(seq.total_deferred, 0, "shed policy never defers");
+    for kind in 1u8..4 {
+        let other = run_open_loop(
+            n,
+            seed,
+            steps,
+            1.5,
+            Admission::Shed { cap: 4 },
+            backend_for(kind, 4),
+            None,
+        );
+        assert_eq!(normalize(seq.clone()), normalize(other));
     }
 }

@@ -1,0 +1,152 @@
+//! Service simulation: the paper's balancer as the load-balancing
+//! layer of an open-loop service.
+//!
+//! Unlike the closed-loop generation models of §1.2, arrivals here are
+//! an open-loop Poisson process at offered load ρ per processor (with
+//! optional burstiness, diurnal ramps, flash crowds, or Zipf hotspot
+//! skew), service is unit-rate, and the observable is the *sojourn
+//! distribution* — how long tasks wait from generation to completion —
+//! streamed through a mergeable log-bucketed histogram and reported as
+//! p50/p99/p999/max. With a bounded admission queue (`+shed:CAP` /
+//! `+defer:CAP`) the simulation also counts the work turned away when
+//! ρ pushes past capacity.
+//!
+//! The report deliberately never mentions the execution backend: with
+//! the same seed, `--threads 1` and `--threads 4` print byte-identical
+//! output, because every backend drives the same deterministic kernel.
+//!
+//! ```text
+//! cargo run --release --example service_sim -- \
+//!     --arrivals poisson:0.9 -n 262144 [--steps N] [--seed N] \
+//!     [--slo-p999 T] [--threads N] [--quick]
+//! ```
+
+use pcrlb::prelude::*;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: service_sim [OPTIONS]\n\
+         \n\
+         OPTIONS\n\
+           --arrivals A   poisson[:rho] | burst:rho,on,off,mult |\n\
+                          ramp:rho,period,amp | flash:rho,at,len,mult |\n\
+                          zipf:rho,theta; append +shed:CAP or +defer:CAP\n\
+                          (default poisson:0.9)\n\
+           -n, --n N      processors (default 16384)\n\
+           --steps N      steps to simulate (default 2000)\n\
+           --seed N       master seed (default 1998)\n\
+           --slo-p999 T   assert a sojourn p999 target of T steps\n\
+           --threads N    worker threads; does not change the output\n\
+           --quick        small smoke configuration (n=2048, 400 steps)\n"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut arrivals = String::from("poisson:0.9");
+    let mut n: usize = 1 << 14;
+    let mut steps: u64 = 2_000;
+    let mut seed: u64 = 1998;
+    let mut threads: usize = 1;
+    let mut slo_p999: Option<u64> = None;
+    let mut quick = false;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| {
+            args.next().unwrap_or_else(|| {
+                eprintln!("{name} requires a value");
+                std::process::exit(2);
+            })
+        };
+        match arg.as_str() {
+            "--arrivals" => arrivals = value("--arrivals"),
+            "-n" | "--n" => n = value("-n").parse().expect("-n must be an integer"),
+            "--steps" => {
+                steps = value("--steps")
+                    .parse()
+                    .expect("--steps must be an integer")
+            }
+            "--seed" => seed = value("--seed").parse().expect("--seed must be an integer"),
+            "--threads" => {
+                threads = value("--threads")
+                    .parse()
+                    .expect("--threads must be an integer")
+            }
+            "--slo-p999" => {
+                slo_p999 = Some(
+                    value("--slo-p999")
+                        .parse()
+                        .expect("--slo-p999 must be an integer"),
+                )
+            }
+            "--quick" => quick = true,
+            _ => usage(),
+        }
+    }
+    if quick {
+        n = 2048;
+        steps = 400;
+    }
+
+    let spec = match TrafficSpec::parse(&arrivals) {
+        Ok(spec) => spec,
+        Err(e) => {
+            eprintln!("--arrivals: {e}");
+            std::process::exit(2);
+        }
+    };
+    let model = TrafficModel::new(spec, n).expect("spec validated by parse");
+    let admission = match spec.admission {
+        Admission::Unbounded => String::from("unbounded"),
+        Admission::Shed { cap } => format!("shed:{cap}"),
+        Admission::Defer { cap } => format!("defer:{cap}"),
+    };
+    println!(
+        "service_sim: n={n} steps={steps} seed={seed} arrivals={} rho={:.2} admission={admission}",
+        model.name(),
+        spec.rho
+    );
+
+    let backend = if threads > 1 {
+        Backend::Pooled(threads)
+    } else {
+        Backend::Sequential
+    };
+    let report = Runner::new(n, seed)
+        .model(model)
+        .strategy(ThresholdBalancer::paper(n))
+        .backend(backend)
+        .probe(SojournProbe::new())
+        .run(steps);
+
+    match report.probe("sojourn") {
+        Some(&ProbeOutput::Sojourn {
+            count,
+            mean,
+            p50,
+            p99,
+            p999,
+            pmax,
+            shed,
+            deferred,
+        }) => {
+            println!("tasks completed        = {count}");
+            println!("sojourn mean           = {mean:.2}");
+            println!("sojourn p50            = {p50}");
+            println!("sojourn p99            = {p99}");
+            println!("sojourn p999           = {p999}");
+            println!("sojourn max            = {pmax}");
+            println!("tasks shed             = {shed}");
+            println!("arrival-steps deferred = {deferred}");
+            if let Some(target) = slo_p999 {
+                let verdict = if p999 <= target { "met" } else { "MISSED" };
+                println!("SLO p999 <= {target} steps: {verdict}");
+                if p999 > target {
+                    std::process::exit(1);
+                }
+            }
+        }
+        other => panic!("unexpected probe output: {other:?}"),
+    }
+}

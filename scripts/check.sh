@@ -85,29 +85,67 @@ if [[ "$got" != "$want" ]]; then
 fi
 echo "    --backend tcp:2 smoke matches the sequential report"
 
+echo "==> service-suite (open-loop traffic + latency histograms)"
+# The service-simulation layer: histogram merge/quantile properties,
+# the statistical shape suite (Poisson band, Little's law, tail
+# monotonicity), then the open-loop CLI and example end to end — the
+# sojourn block must be byte-identical across backends like every
+# other report line.
+cargo test -q -p pcrlb-sim --test prop_latency >/dev/null
+echo "    prop_latency.rs green"
+cargo test -q --test service_shape >/dev/null
+echo "    tests/service_shape.rs green"
+svc_flags=(--n 512 --steps 1000 --seed 7 --arrivals poisson:0.9+shed:32 --slo-p999 100)
+svc_baseline="$(./target/release/pcrlb "${svc_flags[@]}" --threads 1)"
+if ! grep -q "sojourn p50/p99/p999" <<<"$svc_baseline"; then
+  echo "FAIL: open-loop run printed no service block" >&2
+  exit 1
+fi
+for t in 4; do
+  got="$(./target/release/pcrlb "${svc_flags[@]}" --threads "$t")"
+  if [[ "$got" != "$svc_baseline" ]]; then
+    echo "FAIL: open-loop run with --threads $t differs from --threads 1" >&2
+    diff <(echo "$svc_baseline") <(echo "$got") >&2 || true
+    exit 1
+  fi
+done
+echo "    open-loop CLI --threads {1,4} agree"
+svc_quick="$(cargo run -q --release --example service_sim -- --quick)"
+svc_quick4="$(cargo run -q --release --example service_sim -- --quick --threads 4)"
+if [[ "$svc_quick" != "$svc_quick4" ]]; then
+  echo "FAIL: service_sim --quick differs between --threads 1 and 4" >&2
+  diff <(echo "$svc_quick") <(echo "$svc_quick4") >&2 || true
+  exit 1
+fi
+echo "    service_sim --quick smoke agrees across backends"
+
 echo "==> bench-smoke (soa_hotpath, quick mode)"
 # Measures processor-steps/sec on the SoA hot path and gates against
-# the committed trajectory in BENCH_pr6.json: a >10% regression at
-# n=2^18 (sequential) fails the gate. Refresh the committed numbers
-# with UPDATE_BENCH=1 scripts/check.sh (only on quiet, comparable
-# hardware).
+# the committed trajectory (BENCH_pr7.json, falling back to the older
+# BENCH_pr6.json): a >10% regression at n=2^18 (sequential) fails the
+# gate. Refresh the committed numbers with UPDATE_BENCH=1
+# scripts/check.sh (only on quiet, comparable hardware).
 # Absolute paths: cargo runs the bench with CWD = crates/bench. When
 # re-baselining (UPDATE_BENCH=1, or no committed file yet) the gate is
 # skipped — the fresh numbers *become* the trajectory.
 mkdir -p target
 gate_args=()
 rebaseline=0
-if [[ "${UPDATE_BENCH:-0}" == "1" || ! -f BENCH_pr6.json ]]; then
+if [[ "${UPDATE_BENCH:-0}" == "1" ]]; then
   rebaseline=1
-else
+elif [[ -f BENCH_pr7.json ]]; then
+  gate_args=(--gate "$PWD/BENCH_pr7.json")
+elif [[ -f BENCH_pr6.json ]]; then
   gate_args=(--gate "$PWD/BENCH_pr6.json")
+else
+  rebaseline=1
 fi
 cargo bench -p pcrlb-bench --bench soa_hotpath -- \
-  --quick --json "$PWD/target/bench_pr6.json" ${gate_args[@]+"${gate_args[@]}"} \
+  --quick --json "$PWD/target/bench_pr7.json" ${gate_args[@]+"${gate_args[@]}"} \
   | grep '^soa_hotpath'
 if [[ "$rebaseline" == "1" ]]; then
-  cp target/bench_pr6.json BENCH_pr6.json
-  echo "    BENCH_pr6.json updated from this run"
+  cp target/bench_pr7.json BENCH_pr7.json
+  echo "    BENCH_pr7.json updated from this run"
 else
   echo "    throughput within 10% of the committed trajectory"
 fi

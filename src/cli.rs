@@ -4,10 +4,13 @@
 //! `src/bin/pcrlb.rs` is a thin shell around [`parse`] and [`execute`].
 
 use crate::baselines::{DChoiceAllocation, LauerAverage, LulingMonien, RandomSeeking, RsuEqualize};
-use crate::core::{BalancerConfig, Geometric, Multi, ScatterBalancer, Single, ThresholdBalancer};
+use crate::core::{
+    Arrivals, BalancerConfig, Geometric, Multi, ScatterBalancer, Single, ThresholdBalancer,
+    TrafficModel, TrafficSpec,
+};
 use crate::sim::{
-    Backend, FaultConfig, FaultProbe, LoadModel, MaxLoadProbe, ProbeOutput, Runner, Strategy,
-    Unbalanced,
+    Backend, FaultConfig, FaultProbe, LoadModel, MaxLoadProbe, ProbeOutput, Runner, SojournProbe,
+    Strategy, Unbalanced,
 };
 use std::fmt;
 
@@ -141,6 +144,13 @@ pub struct RunSpec {
     /// Seed for the fault schedule; varying it re-rolls the faults
     /// while keeping the workload identical.
     pub fault_seed: u64,
+    /// Open-loop traffic front-end; when set it replaces `--model` and
+    /// the report grows the service-simulation block (sojourn
+    /// percentiles, shed/defer counters).
+    pub arrivals: Option<TrafficSpec>,
+    /// Sojourn p999 target in steps; when set the report carries an
+    /// explicit met/MISSED verdict line.
+    pub slo_p999: Option<u64>,
 }
 
 impl RunSpec {
@@ -175,6 +185,8 @@ impl Default for RunSpec {
             loss_rate: 0.0,
             crash_rate: 0.0,
             fault_seed: 0,
+            arrivals: None,
+            slo_p999: None,
         }
     }
 }
@@ -213,6 +225,13 @@ pub fn usage() -> String {
                             w.p. P (default 0)\n\
            --fault-seed N   re-roll the fault schedule without changing\n\
                             the workload (default 0)\n\
+           --arrivals A     open-loop traffic front-end (replaces --model):\n\
+                            poisson[:rho] | burst:rho,on,off,mult |\n\
+                            ramp:rho,period,amp | flash:rho,at,len,mult |\n\
+                            zipf:rho,theta; append +shed:CAP or\n\
+                            +defer:CAP for bounded admission\n\
+           --slo-p999 T     assert the sojourn p999 target T (steps) in\n\
+                            the report (requires --arrivals)\n\
            --help           show this text\n",
         strategies.join(", ")
     )
@@ -286,8 +305,23 @@ pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Option<RunSpec>,
                     .parse()
                     .map_err(|_| ParseError("--fault-seed must be an integer".into()))?;
             }
+            "--arrivals" => {
+                let v = value("--arrivals")?;
+                spec.arrivals =
+                    Some(TrafficSpec::parse(&v).map_err(|e| ParseError(e.to_string()))?);
+            }
+            "--slo-p999" => {
+                spec.slo_p999 = Some(
+                    value("--slo-p999")?
+                        .parse()
+                        .map_err(|_| ParseError("--slo-p999 must be an integer".into()))?,
+                );
+            }
             other => return Err(ParseError(format!("unknown option '{other}'"))),
         }
+    }
+    if spec.slo_p999.is_some() && spec.arrivals.is_none() {
+        return Err(ParseError("--slo-p999 requires --arrivals".into()));
     }
     Ok(Some(spec))
 }
@@ -352,6 +386,46 @@ pub struct RunReport {
     /// report stays byte-identical to historic output when no fault
     /// flag is given.
     pub faults: Option<FaultSummary>,
+    /// Service-simulation block; `None` unless `--arrivals` was given,
+    /// so closed-loop reports stay byte-identical to historic output.
+    pub service: Option<ServiceSummary>,
+}
+
+/// Open-loop service metrics surfaced in the CLI report when
+/// `--arrivals` is given: streaming sojourn percentiles from the
+/// log-bucketed histogram plus the admission-policy counters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServiceSummary {
+    /// Arrival-shape name (`poisson`, `burst`, ...).
+    pub arrivals: &'static str,
+    /// Offered load per processor.
+    pub rho: f64,
+    /// Tasks completed (histogram population).
+    pub count: u64,
+    /// Mean sojourn in steps.
+    pub mean: f64,
+    /// Median sojourn.
+    pub p50: u64,
+    /// 99th-percentile sojourn.
+    pub p99: u64,
+    /// 99.9th-percentile sojourn.
+    pub p999: u64,
+    /// Largest sojourn observed.
+    pub pmax: u64,
+    /// Tasks dropped at the front door (shed admission).
+    pub shed: u64,
+    /// Arrival-steps spent parked behind the front door (defer
+    /// admission).
+    pub deferred: u64,
+    /// The `--slo-p999` target, if one was set.
+    pub slo_p999: Option<u64>,
+}
+
+impl ServiceSummary {
+    /// Whether the p999 target (if any) was met.
+    pub fn slo_met(&self) -> Option<bool> {
+        self.slo_p999.map(|t| self.p999 <= t)
+    }
 }
 
 /// Fault-layer counters surfaced in the CLI report.
@@ -390,6 +464,32 @@ impl fmt::Display for RunReport {
             writeln!(f, "crashed proc-steps    = {}", faults.crashed_steps)?;
             write!(f, "mean downtime (steps) = {:.1}", faults.mean_downtime)?;
         }
+        if let Some(svc) = &self.service {
+            writeln!(f)?;
+            writeln!(
+                f,
+                "arrivals              = {} (rho={:.2})",
+                svc.arrivals, svc.rho
+            )?;
+            writeln!(f, "sojourn mean          = {:.2}", svc.mean)?;
+            writeln!(
+                f,
+                "sojourn p50/p99/p999  = {} / {} / {}",
+                svc.p50, svc.p99, svc.p999
+            )?;
+            writeln!(f, "sojourn max           = {}", svc.pmax)?;
+            writeln!(f, "tasks shed            = {}", svc.shed)?;
+            write!(f, "arrival-steps deferred = {}", svc.deferred)?;
+            if let (Some(target), Some(met)) = (svc.slo_p999, svc.slo_met()) {
+                writeln!(f)?;
+                write!(
+                    f,
+                    "SLO p999 <= {:<6} steps: {}",
+                    target,
+                    if met { "met" } else { "MISSED" }
+                )?;
+            }
+        }
         Ok(())
     }
 }
@@ -406,6 +506,9 @@ fn run_with<M: LoadModel + Sync, S: Strategy>(spec: &RunSpec, model: M, strategy
         .strategy(strategy)
         .backend(backend)
         .probe(MaxLoadProbe::new());
+    if spec.arrivals.is_some() {
+        runner = runner.probe(SojournProbe::new());
+    }
     if let Some(faults) = spec.fault_config() {
         runner = runner.faults(faults).probe(FaultProbe::new());
     }
@@ -429,6 +532,40 @@ fn run_with<M: LoadModel + Sync, S: Strategy>(spec: &RunSpec, model: M, strategy
         }),
         _ => None,
     });
+    let service = spec.arrivals.as_ref().and_then(|traffic| {
+        let arrivals = match traffic.arrivals {
+            Arrivals::Poisson => "poisson",
+            Arrivals::Burst { .. } => "burst",
+            Arrivals::Ramp { .. } => "ramp",
+            Arrivals::Flash { .. } => "flash",
+            Arrivals::Zipf { .. } => "zipf",
+        };
+        report.probe("sojourn").and_then(|output| match *output {
+            ProbeOutput::Sojourn {
+                count,
+                mean,
+                p50,
+                p99,
+                p999,
+                pmax,
+                shed,
+                deferred,
+            } => Some(ServiceSummary {
+                arrivals,
+                rho: traffic.rho,
+                count,
+                mean,
+                p50,
+                p99,
+                p999,
+                pmax,
+                shed,
+                deferred,
+                slo_p999: spec.slo_p999,
+            }),
+            _ => None,
+        })
+    });
     RunReport {
         worst_max_load: report.worst_max_load().unwrap_or(0),
         final_max_load: report.max_load,
@@ -439,6 +576,7 @@ fn run_with<M: LoadModel + Sync, S: Strategy>(spec: &RunSpec, model: M, strategy
         msgs_per_step: report.messages.control_total() as f64 / spec.steps.max(1) as f64,
         theorem1_bound: BalancerConfig::paper(spec.n).theorem1_bound(),
         faults,
+        service,
     }
 }
 
@@ -467,6 +605,10 @@ fn run_strategy<M: LoadModel + Sync>(spec: &RunSpec, model: M) -> RunReport {
 
 /// Executes a parsed invocation and returns the report.
 pub fn execute(spec: &RunSpec) -> RunReport {
+    if let Some(traffic) = spec.arrivals {
+        let model = TrafficModel::new(traffic, spec.n).expect("validated at parse time");
+        return run_strategy(spec, model);
+    }
     match spec.model {
         ModelKind::Single { p, q } => {
             run_strategy(spec, Single::new(p, q).expect("validated at parse time"))
@@ -713,6 +855,91 @@ mod tests {
             let text = report.to_string();
             assert!(text.contains("Theorem 1"), "{name}");
         }
+    }
+
+    #[test]
+    fn arrivals_flag_parses_and_validates() {
+        assert_eq!(parse(args("")).unwrap().unwrap().arrivals, None);
+        let spec = parse(args("--arrivals poisson:0.9")).unwrap().unwrap();
+        assert_eq!(spec.arrivals, Some(TrafficSpec::poisson(0.9)));
+        let spec = parse(args("--arrivals burst:0.7,8,24,3+shed:16 --slo-p999 50"))
+            .unwrap()
+            .unwrap();
+        assert_eq!(spec.slo_p999, Some(50));
+        assert!(matches!(
+            spec.arrivals.unwrap().arrivals,
+            Arrivals::Burst { .. }
+        ));
+        assert!(parse(args("--arrivals warp:1"))
+            .unwrap_err()
+            .0
+            .contains("cannot parse"));
+        assert!(parse(args("--arrivals poisson:-1"))
+            .unwrap_err()
+            .0
+            .contains("rho"));
+        assert!(parse(args("--slo-p999 50"))
+            .unwrap_err()
+            .0
+            .contains("requires --arrivals"));
+        assert!(usage().contains("--arrivals"));
+        assert!(usage().contains("--slo-p999"));
+    }
+
+    #[test]
+    fn closed_loop_reports_have_no_service_lines() {
+        let report = execute(&RunSpec {
+            n: 64,
+            steps: 200,
+            ..RunSpec::default()
+        });
+        assert_eq!(report.service, None);
+        assert!(!report.to_string().contains("sojourn p50"));
+    }
+
+    #[test]
+    fn open_loop_report_prints_service_block_and_is_thread_independent() {
+        let base = RunSpec {
+            n: 64,
+            steps: 400,
+            seed: 21,
+            arrivals: Some(TrafficSpec::poisson(0.8)),
+            slo_p999: Some(200),
+            ..RunSpec::default()
+        };
+        let sequential = execute(&base);
+        let svc = sequential.service.clone().expect("service block present");
+        assert!(svc.count > 0, "open-loop run completed no tasks");
+        assert!(svc.p50 <= svc.p99 && svc.p99 <= svc.p999 && svc.p999 <= svc.pmax);
+        assert_eq!(svc.slo_met(), Some(svc.p999 <= 200));
+        let text = sequential.to_string();
+        assert!(text.contains("arrivals              = poisson (rho=0.80)"));
+        assert!(text.contains("sojourn p50/p99/p999"));
+        assert!(text.contains("SLO p999 <="));
+        // The service block is bit-identical across backends too.
+        for threads in [2, 4] {
+            let spec = RunSpec {
+                threads,
+                ..base.clone()
+            };
+            assert_eq!(execute(&spec), sequential, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn shed_admission_surfaces_in_the_report() {
+        let spec = RunSpec {
+            n: 64,
+            steps: 300,
+            seed: 9,
+            strategy: StrategyKind::Unbalanced,
+            arrivals: Some(TrafficSpec::poisson(1.5).with_shed(4)),
+            ..RunSpec::default()
+        };
+        let report = execute(&spec);
+        let svc = report.service.as_ref().expect("service block present");
+        assert!(svc.shed > 0, "rho=1.5 behind cap 4 must shed");
+        assert!(report.to_string().contains("tasks shed"));
     }
 
     #[test]

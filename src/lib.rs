@@ -61,12 +61,14 @@ pub mod prelude {
     };
     pub use pcrlb_collision::{play_game, BalanceForest, CollisionParams};
     pub use pcrlb_core::{
-        BalancerConfig, Geometric, Multi, ScatterBalancer, Single, ThresholdBalancer,
+        BalancerConfig, Geometric, Multi, ScatterBalancer, Single, ThresholdBalancer, TrafficModel,
+        TrafficSpec,
     };
     pub use pcrlb_sim::{
-        Backend, Engine, FaultConfig, FaultModel, FaultPlan, FaultProbe, LoadModel,
-        LoadSnapshotProbe, MaxLoadProbe, MessageRateProbe, PhaseProbe, Probe, ProbeOutput, ProcId,
-        RecoveryProbe, Reliable, RunReport, Runner, SeriesProbe, SimRng, SojournTailProbe, Step,
-        Strategy, Task, TraceProbe, Unbalanced, WorkerPool, World,
+        Admission, Backend, Engine, FaultConfig, FaultModel, FaultPlan, FaultProbe, LatencyHist,
+        LoadModel, LoadSnapshotProbe, MaxLoadProbe, MessageRateProbe, PhaseProbe, Probe,
+        ProbeOutput, ProcId, RecoveryProbe, Reliable, RunReport, Runner, SeriesProbe, SimRng,
+        SojournProbe, SojournTailProbe, Step, Strategy, Task, TraceProbe, Unbalanced, WorkerPool,
+        World,
     };
 }

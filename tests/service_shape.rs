@@ -1,0 +1,93 @@
+//! Statistical shape tests for the open-loop traffic front-end.
+//!
+//! These are seeded (hence deterministic) but statistical in spirit:
+//! they check that the traffic model produces the *distributions* it
+//! claims, not just that runs are reproducible.
+//!
+//! * the empirical Poisson arrival rate lands inside a confidence band
+//!   around ρ;
+//! * Little's law `L = λW` holds: the time-averaged number of tasks in
+//!   the system equals the arrival rate times the mean sojourn (the
+//!   identity couples three independently-measured quantities — the
+//!   load series, the completion counter, and the sojourn histogram);
+//! * the p999 sojourn is monotone in ρ — heavier offered load can only
+//!   push the tail out.
+
+use pcrlb::prelude::*;
+
+/// Open-loop Poisson run with no balancing: each processor is an
+/// independent discrete-time M/D/1 queue, the cleanest setting for
+/// distribution checks. Samples the total in-system load every step.
+fn open_loop(n: usize, seed: u64, steps: u64, rho: f64) -> RunReport {
+    Runner::new(n, seed)
+        .model(TrafficModel::new(TrafficSpec::poisson(rho), n).expect("valid spec"))
+        .strategy(Unbalanced)
+        .probe(SojournProbe::new())
+        .probe(SeriesProbe::named("load", |w| w.total_load() as f64))
+        .run(steps)
+}
+
+fn load_series(report: &RunReport) -> &[f64] {
+    match report.probe("load") {
+        Some(ProbeOutput::Series(series)) => series,
+        other => panic!("unexpected probe output: {other:?}"),
+    }
+}
+
+#[test]
+fn poisson_empirical_rate_within_confidence_band() {
+    let (n, steps, rho) = (4096, 500, 0.7);
+    let report = open_loop(n, 2026, steps as u64, rho);
+    // With unbounded admission every arrival is admitted, so arrivals =
+    // completions + still-in-system load.
+    let arrivals = report.completions.count + report.total_load;
+    let samples = (n * steps) as f64;
+    let mean = arrivals as f64 / samples;
+    // Poisson(ρ) per processor-step: the sample mean is within ±6σ of ρ
+    // for any healthy generator (σ = sqrt(ρ / samples)).
+    let band = 6.0 * (rho / samples).sqrt();
+    assert!(
+        (mean - rho).abs() < band,
+        "empirical rate {mean:.5} outside {rho} ± {band:.5}"
+    );
+}
+
+#[test]
+fn littles_law_holds_at_rho_07() {
+    let (n, steps) = (4096usize, 2_000u64);
+    let report = open_loop(n, 7, steps, 0.7);
+    let series = load_series(&report);
+    assert_eq!(series.len(), steps as usize);
+    let l = series.iter().sum::<f64>() / series.len() as f64;
+    // λ measured, not assumed: admitted arrivals per step.
+    let lambda = (report.completions.count + report.total_load) as f64 / steps as f64;
+    let w = report.completions.sojourn_mean();
+    let relative = (l - lambda * w).abs() / (lambda * w);
+    assert!(
+        relative < 0.10,
+        "Little's law violated: L={l:.1}, lambda*W={:.1} (err {relative:.3})",
+        lambda * w
+    );
+}
+
+#[test]
+fn p999_sojourn_is_monotone_in_rho() {
+    let (n, steps) = (4096, 2_000);
+    let mut last = None;
+    for rho in [0.5, 0.7, 0.9] {
+        let report = open_loop(n, 11, steps, rho);
+        let p999 = report.completions.latency.p999();
+        if let Some((prev_rho, prev)) = last {
+            assert!(
+                p999 >= prev,
+                "p999 fell from {prev} (rho={prev_rho}) to {p999} (rho={rho})"
+            );
+        }
+        last = Some((rho, p999));
+    }
+    // The ends must differ strictly: the tail at rho=0.9 cannot match
+    // the tail at rho=0.5.
+    let light = open_loop(n, 11, steps, 0.5).completions.latency.p999();
+    let heavy = open_loop(n, 11, steps, 0.9).completions.latency.p999();
+    assert!(heavy > light, "p999 flat across rho: {light} vs {heavy}");
+}
