@@ -1,10 +1,10 @@
 //! Criterion bench: what the wire costs. The loopback net backend runs
 //! the same simulation as the pooled backend but pays to encode every
-//! protocol message into a frame, route it through per-node mailboxes,
-//! and decode it behind a phase barrier — this bench isolates that
-//! overhead at n = 2^12 (TCP adds syscall latency on top and is
-//! measured by `examples/net_run.rs`, not here: socket timings are too
-//! noisy for criterion's statistics to be meaningful).
+//! protocol message into a per-peer batch frame, route it through
+//! per-node mailboxes, and decode it behind a watermark round — this
+//! bench isolates that overhead at n = 2^12 (TCP adds syscall latency
+//! on top and is measured by `examples/net_run.rs`, not here: socket
+//! timings are too noisy for criterion's statistics to be meaningful).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use pcrlb_core::{Single, ThresholdBalancer};
@@ -36,7 +36,13 @@ fn bench_net_overhead(c: &mut Criterion) {
     }
     for nodes in [1usize, 2, 4] {
         group.bench_with_input(BenchmarkId::new("net", nodes), &nodes, |b, &nodes| {
-            b.iter(|| run(Backend::Net { nodes, tcp: false }))
+            b.iter(|| {
+                run(Backend::Net {
+                    nodes,
+                    tcp: false,
+                    relaxed: false,
+                })
+            })
         });
     }
     group.finish();

@@ -1,4 +1,4 @@
-//! Compact binary codec for [`WireMsg`].
+//! Compact binary codec for [`WireMsg`] and the batched round frame.
 //!
 //! # Frame format
 //!
@@ -8,8 +8,8 @@
 //! ```text
 //! offset  size  field
 //! 0       2     magic   0x50 0x42 ("PB")
-//! 2       1     version (currently 1)
-//! 3       1     tag     (1=Hello, 2=Control, 3=Transfer, 4=Barrier)
+//! 2       1     version (currently 2)
+//! 3       1     tag     (1=Hello, 2=Control, 3=Transfer, 5=Batch)
 //! 4       ...   payload (fixed layout per tag, all integers LE)
 //! ```
 //!
@@ -19,15 +19,26 @@
 //! Hello     node:u32
 //! Control   kind:u8  src:u64  dst:u64  nonce:u64  round:u32
 //! Transfer  seq:u32  src:u64  dst:u64  count:u32  count × {id:u64 origin:u64 born:u64 weight:u32}
-//! Barrier   node:u32 step:u64 load:u64
+//! Batch     node:u32 round:u64 load:u64 count:u32 count × {len:u32 frame}
 //! ```
 //!
+//! A **batch** is the unit the runtime actually puts on the wire: all
+//! frames one node sends to one peer in one synchronization round,
+//! coalesced behind a single header. The header's `round` is the
+//! sender's per-peer watermark — receiving a peer's batch for round
+//! `r` proves that peer has finished round `r` and sent everything it
+//! ever will for it, so batches replace the old dedicated `Barrier`
+//! frames (tag 4, retired with protocol version 1). `load` piggybacks
+//! the sender's shard load as gossip. Each inner `frame` is a complete
+//! envelope frame (`Control` or `Transfer`), so nesting reuses the
+//! same strict decoder.
+//!
 //! The codec is strict: decoding rejects short frames, wrong magic,
-//! unknown versions, unknown tags/kinds, oversized task counts, and
-//! trailing bytes. Frames do **not** carry their own length — the
-//! transports add a `u32` length prefix on the stream (TCP) or deliver
-//! whole frames (loopback), so by the time `decode` runs the frame
-//! boundary is already known.
+//! unknown versions, unknown tags/kinds, oversized counts, nested
+//! batches, and trailing bytes. Frames do **not** carry their own
+//! length — the transports add a `u32` length prefix on the stream
+//! (TCP) or deliver whole frames (loopback), so by the time `decode`
+//! runs the frame boundary is already known.
 
 use crate::wire::{ControlKind, WireMsg, WireTask};
 
@@ -35,16 +46,28 @@ use crate::wire::{ControlKind, WireMsg, WireTask};
 pub const MAGIC: [u8; 2] = [0x50, 0x42];
 
 /// Current protocol version. Bump on any payload layout change.
-pub const PROTOCOL_VERSION: u8 = 1;
+/// Version 1 had a dedicated `Barrier` frame (tag 4) and no batches;
+/// version 2 retired it in favour of the watermark-carrying `Batch`.
+pub const PROTOCOL_VERSION: u8 = 2;
 
 /// Sanity cap on tasks per transfer frame, guarding decoders against
 /// corrupt or hostile length fields (a cap of 2^20 tasks ≈ 28 MiB).
 pub const MAX_TASKS_PER_FRAME: usize = 1 << 20;
 
+/// Sanity cap on frames per batch, same spirit as
+/// [`MAX_TASKS_PER_FRAME`].
+pub const MAX_FRAMES_PER_BATCH: usize = 1 << 22;
+
 const TAG_HELLO: u8 = 1;
 const TAG_CONTROL: u8 = 2;
 const TAG_TRANSFER: u8 = 3;
-const TAG_BARRIER: u8 = 4;
+const TAG_BATCH: u8 = 5;
+
+/// Envelope bytes before any payload (magic + version + tag).
+const ENVELOPE: usize = 4;
+
+/// Batch payload header bytes (node + round + load + count).
+const BATCH_HEADER: usize = 4 + 8 + 8 + 4;
 
 /// Why a frame failed to decode.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -59,10 +82,15 @@ pub enum CodecError {
     BadTag(u8),
     /// Unknown control kind.
     BadKind(u8),
-    /// Transfer frame declared more than [`MAX_TASKS_PER_FRAME`] tasks.
+    /// Transfer frame declared more than [`MAX_TASKS_PER_FRAME`]
+    /// tasks, or a batch declared more than [`MAX_FRAMES_PER_BATCH`]
+    /// frames.
     Oversized(u64),
     /// Bytes left over after a complete payload.
     TrailingBytes,
+    /// A batch frame arrived where a plain message was expected, or a
+    /// batch contained another batch.
+    UnexpectedBatch,
 }
 
 impl std::fmt::Display for CodecError {
@@ -73,8 +101,9 @@ impl std::fmt::Display for CodecError {
             CodecError::BadVersion(v) => write!(f, "unsupported protocol version {v}"),
             CodecError::BadTag(t) => write!(f, "unknown frame tag {t}"),
             CodecError::BadKind(k) => write!(f, "unknown control kind {k}"),
-            CodecError::Oversized(n) => write!(f, "transfer declares {n} tasks (over cap)"),
+            CodecError::Oversized(n) => write!(f, "frame declares {n} items (over cap)"),
             CodecError::TrailingBytes => write!(f, "trailing bytes after payload"),
+            CodecError::UnexpectedBatch => write!(f, "batch frame in a non-batch position"),
         }
     }
 }
@@ -85,6 +114,14 @@ impl std::error::Error for CodecError {}
 #[must_use]
 pub fn encode(msg: &WireMsg) -> Vec<u8> {
     let mut out = Vec::with_capacity(encoded_len(msg));
+    encode_into(msg, &mut out);
+    out
+}
+
+/// Appends the encoding of `msg` to `out` without clearing it — the
+/// buffer-reuse primitive behind [`encode`] and [`BatchBuilder`].
+pub fn encode_into(msg: &WireMsg, out: &mut Vec<u8>) {
+    out.reserve(encoded_len(msg));
     out.extend_from_slice(&MAGIC);
     out.push(PROTOCOL_VERSION);
     match msg {
@@ -124,39 +161,26 @@ pub fn encode(msg: &WireMsg) -> Vec<u8> {
                 out.extend_from_slice(&t.weight.to_le_bytes());
             }
         }
-        WireMsg::Barrier { node, step, load } => {
-            out.push(TAG_BARRIER);
-            out.extend_from_slice(&node.to_le_bytes());
-            out.extend_from_slice(&step.to_le_bytes());
-            out.extend_from_slice(&load.to_le_bytes());
-        }
     }
-    out
 }
 
 /// Exact encoded size of `msg`, envelope included.
 #[must_use]
 pub fn encoded_len(msg: &WireMsg) -> usize {
-    4 + match msg {
-        WireMsg::Hello { .. } => 4,
-        WireMsg::Control { .. } => 1 + 8 + 8 + 8 + 4,
-        WireMsg::Transfer { tasks, .. } => 4 + 8 + 8 + 4 + tasks.len() * 28,
-        WireMsg::Barrier { .. } => 4 + 8 + 8,
-    }
+    ENVELOPE
+        + match msg {
+            WireMsg::Hello { .. } => 4,
+            WireMsg::Control { .. } => 1 + 8 + 8 + 8 + 4,
+            WireMsg::Transfer { tasks, .. } => 4 + 8 + 8 + 4 + tasks.len() * 28,
+        }
 }
 
-/// Decodes one complete frame. Strict: see the module docs for the
-/// rejection rules.
+/// Decodes one complete non-batch frame. Strict: see the module docs
+/// for the rejection rules. Batch frames are rejected with
+/// [`CodecError::UnexpectedBatch`]; use [`decode_batch`] for those.
 pub fn decode(frame: &[u8]) -> Result<WireMsg, CodecError> {
     let mut r = Reader::new(frame);
-    if r.take_bytes(2)? != MAGIC {
-        return Err(CodecError::BadMagic);
-    }
-    let version = r.take_u8()?;
-    if version != PROTOCOL_VERSION {
-        return Err(CodecError::BadVersion(version));
-    }
-    let tag = r.take_u8()?;
+    let tag = r.envelope()?;
     let msg = match tag {
         TAG_HELLO => WireMsg::Hello {
             node: r.take_u32()?,
@@ -196,17 +220,158 @@ pub fn decode(frame: &[u8]) -> Result<WireMsg, CodecError> {
                 tasks,
             }
         }
-        TAG_BARRIER => WireMsg::Barrier {
-            node: r.take_u32()?,
-            step: r.take_u64()?,
-            load: r.take_u64()?,
-        },
+        TAG_BATCH => return Err(CodecError::UnexpectedBatch),
         other => return Err(CodecError::BadTag(other)),
     };
     if !r.is_empty() {
         return Err(CodecError::TrailingBytes);
     }
     Ok(msg)
+}
+
+/// Incrementally builds one batch frame into a reusable buffer.
+///
+/// The builder is the runtime's per-node encode scratch: `begin` once
+/// per (peer, round), `push_*` for every coalesced message, `finish`
+/// to patch the count and borrow the bytes for the transport. No
+/// allocation happens in steady state — the buffer is cleared, never
+/// shrunk.
+#[derive(Debug, Default)]
+pub struct BatchBuilder {
+    buf: Vec<u8>,
+    count: u32,
+}
+
+impl BatchBuilder {
+    /// Empty builder.
+    #[must_use]
+    pub fn new() -> Self {
+        BatchBuilder::default()
+    }
+
+    /// Starts a fresh batch, clearing any previous contents.
+    pub fn begin(&mut self, node: u32, round: u64, load: u64) {
+        self.buf.clear();
+        self.count = 0;
+        self.buf.extend_from_slice(&MAGIC);
+        self.buf.push(PROTOCOL_VERSION);
+        self.buf.push(TAG_BATCH);
+        self.buf.extend_from_slice(&node.to_le_bytes());
+        self.buf.extend_from_slice(&round.to_le_bytes());
+        self.buf.extend_from_slice(&load.to_le_bytes());
+        self.buf.extend_from_slice(&0u32.to_le_bytes()); // count, patched
+    }
+
+    /// Appends one already-encoded envelope frame. Returns its length
+    /// in bytes (the logical frame size, excluding the `len` prefix).
+    pub fn push_raw(&mut self, frame: &[u8]) -> usize {
+        self.buf
+            .extend_from_slice(&(frame.len() as u32).to_le_bytes());
+        self.buf.extend_from_slice(frame);
+        self.count += 1;
+        frame.len()
+    }
+
+    /// Encodes `msg` directly into the batch. Returns the encoded
+    /// frame length in bytes.
+    pub fn push(&mut self, msg: &WireMsg) -> usize {
+        let len = encoded_len(msg);
+        self.buf.extend_from_slice(&(len as u32).to_le_bytes());
+        encode_into(msg, &mut self.buf);
+        self.count += 1;
+        len
+    }
+
+    /// Number of frames pushed since `begin`.
+    #[must_use]
+    pub fn frames(&self) -> u32 {
+        self.count
+    }
+
+    /// Patches the frame count and returns the finished batch bytes.
+    /// The builder stays reusable: the next `begin` starts over.
+    pub fn finish(&mut self) -> &[u8] {
+        let count_off = ENVELOPE + BATCH_HEADER - 4;
+        self.buf[count_off..count_off + 4].copy_from_slice(&self.count.to_le_bytes());
+        &self.buf
+    }
+}
+
+/// A decoded batch header plus an iterator over the contained frames.
+#[derive(Debug)]
+pub struct BatchView<'a> {
+    /// Sending node.
+    pub node: u32,
+    /// The synchronization round this batch closes (the sender's
+    /// watermark: nothing more will arrive from `node` for any round
+    /// ≤ `round`).
+    pub round: u64,
+    /// The sender's shard load, piggybacked as gossip.
+    pub load: u64,
+    remaining: u32,
+    rest: &'a [u8],
+}
+
+impl<'a> Iterator for BatchView<'a> {
+    /// Each inner frame as a raw envelope slice; decode with
+    /// [`decode`]. Yields an error (then stops) on truncation.
+    type Item = Result<&'a [u8], CodecError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.remaining == 0 {
+            return if self.rest.is_empty() {
+                None
+            } else {
+                self.remaining = u32::MAX; // poison: stop after the error
+                self.rest = &[];
+                Some(Err(CodecError::TrailingBytes))
+            };
+        }
+        if self.remaining == u32::MAX {
+            return None;
+        }
+        let mut r = Reader::new(self.rest);
+        let frame = (|| {
+            let len = r.take_u32()? as usize;
+            r.take_bytes(len)
+        })();
+        match frame {
+            Ok(frame) => {
+                self.remaining -= 1;
+                self.rest = r.buf;
+                Some(Ok(frame))
+            }
+            Err(e) => {
+                self.remaining = u32::MAX;
+                self.rest = &[];
+                Some(Err(e))
+            }
+        }
+    }
+}
+
+/// Decodes a batch frame's header, returning a [`BatchView`] that
+/// iterates the contained frames without copying them.
+pub fn decode_batch(frame: &[u8]) -> Result<BatchView<'_>, CodecError> {
+    let mut r = Reader::new(frame);
+    let tag = r.envelope()?;
+    if tag != TAG_BATCH {
+        return Err(CodecError::BadTag(tag));
+    }
+    let node = r.take_u32()?;
+    let round = r.take_u64()?;
+    let load = r.take_u64()?;
+    let count = r.take_u32()?;
+    if count as usize > MAX_FRAMES_PER_BATCH {
+        return Err(CodecError::Oversized(u64::from(count)));
+    }
+    Ok(BatchView {
+        node,
+        round,
+        load,
+        remaining: count,
+        rest: r.buf,
+    })
 }
 
 /// Cursor over a frame's bytes.
@@ -221,6 +386,18 @@ impl<'a> Reader<'a> {
 
     fn is_empty(&self) -> bool {
         self.buf.is_empty()
+    }
+
+    /// Consumes and validates magic + version, returning the tag.
+    fn envelope(&mut self) -> Result<u8, CodecError> {
+        if self.take_bytes(2)? != MAGIC {
+            return Err(CodecError::BadMagic);
+        }
+        let version = self.take_u8()?;
+        if version != PROTOCOL_VERSION {
+            return Err(CodecError::BadVersion(version));
+        }
+        self.take_u8()
     }
 
     fn take_bytes(&mut self, n: usize) -> Result<&'a [u8], CodecError> {
@@ -284,11 +461,6 @@ mod tests {
                 dst: 0,
                 tasks: vec![],
             },
-            WireMsg::Barrier {
-                node: 2,
-                step: 1000,
-                load: 12345,
-            },
         ]
     }
 
@@ -330,6 +502,10 @@ mod tests {
         let mut bad = good.clone();
         bad[3] = 0xEE;
         assert_eq!(decode(&bad).unwrap_err(), CodecError::BadTag(0xEE));
+        // The retired v1 Barrier tag is an unknown tag in v2.
+        let mut bad = good.clone();
+        bad[3] = 4;
+        assert_eq!(decode(&bad).unwrap_err(), CodecError::BadTag(4));
         let mut bad = good.clone();
         bad.push(0);
         assert_eq!(decode(&bad).unwrap_err(), CodecError::TrailingBytes);
@@ -357,6 +533,92 @@ mod tests {
         assert_eq!(
             decode(&bytes).unwrap_err(),
             CodecError::Oversized(u64::from(u32::MAX))
+        );
+    }
+
+    #[test]
+    fn batch_round_trips_header_and_frames() {
+        let msgs = sample_msgs();
+        let mut b = BatchBuilder::new();
+        b.begin(6, 41, 1234);
+        let mut pushed = 0usize;
+        for msg in &msgs {
+            pushed += b.push(msg);
+        }
+        assert_eq!(b.frames(), msgs.len() as u32);
+        let bytes = b.finish().to_vec();
+        assert_eq!(
+            bytes.len(),
+            ENVELOPE + BATCH_HEADER + pushed + 4 * msgs.len()
+        );
+        let view = decode_batch(&bytes).unwrap();
+        assert_eq!((view.node, view.round, view.load), (6, 41, 1234));
+        let decoded: Vec<WireMsg> = view.map(|f| decode(f.unwrap()).unwrap()).collect();
+        assert_eq!(decoded, msgs);
+    }
+
+    #[test]
+    fn empty_batch_is_a_pure_watermark() {
+        let mut b = BatchBuilder::new();
+        b.begin(0, 7, 0);
+        let bytes = b.finish().to_vec();
+        assert_eq!(bytes.len(), ENVELOPE + BATCH_HEADER);
+        let mut view = decode_batch(&bytes).unwrap();
+        assert_eq!(view.round, 7);
+        assert!(view.next().is_none());
+    }
+
+    #[test]
+    fn builder_is_reusable_without_leaking_frames() {
+        let mut b = BatchBuilder::new();
+        b.begin(1, 1, 0);
+        b.push(&WireMsg::Hello { node: 9 });
+        let first = b.finish().to_vec();
+        b.begin(2, 2, 5);
+        let second = b.finish().to_vec();
+        assert!(second.len() < first.len());
+        let mut view = decode_batch(&second).unwrap();
+        assert_eq!((view.node, view.round, view.load), (2, 2, 5));
+        assert!(view.next().is_none());
+    }
+
+    #[test]
+    fn batch_decode_rejects_corruption() {
+        // A plain frame is not a batch.
+        let plain = encode(&WireMsg::Hello { node: 1 });
+        assert_eq!(decode_batch(&plain).unwrap_err(), CodecError::BadTag(1));
+        // A batch is not a plain frame.
+        let mut b = BatchBuilder::new();
+        b.begin(0, 1, 0);
+        let bytes = b.finish().to_vec();
+        assert_eq!(decode(&bytes).unwrap_err(), CodecError::UnexpectedBatch);
+        // Truncated inner frame surfaces through the iterator.
+        let mut b = BatchBuilder::new();
+        b.begin(0, 1, 0);
+        b.push(&WireMsg::Hello { node: 1 });
+        let full = b.finish().to_vec();
+        let cut = &full[..full.len() - 2];
+        let mut view = decode_batch(cut).unwrap();
+        assert_eq!(view.next().unwrap().unwrap_err(), CodecError::Truncated);
+        assert!(view.next().is_none());
+        // Count larger than contents: iterator errors instead of
+        // over-reading.
+        let mut bytes = full.clone();
+        let count_off = ENVELOPE + BATCH_HEADER - 4;
+        bytes[count_off..count_off + 4].copy_from_slice(&2u32.to_le_bytes());
+        let view = decode_batch(&bytes).unwrap();
+        let items: Vec<_> = view.collect();
+        assert_eq!(items.len(), 2);
+        assert!(items[0].is_ok());
+        assert!(items[1].is_err());
+        // Trailing garbage after the declared count.
+        let mut bytes = full.clone();
+        bytes.push(0);
+        let view = decode_batch(&bytes).unwrap();
+        let items: Vec<_> = view.collect();
+        assert_eq!(
+            items.last().unwrap().unwrap_err(),
+            CodecError::TrailingBytes
         );
     }
 }

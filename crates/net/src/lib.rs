@@ -10,17 +10,22 @@
 //!
 //! * [`wire`] — serializable twins of every protocol message
 //!   ([`WireMsg`]: query/accept/id/probe/load-reply controls, task
-//!   transfers, barrier sync, TCP hello), plus the [`ControlRecord`] /
-//!   [`WireLog`] types the protocol layer uses to narrate its sends to
-//!   the runtime;
+//!   transfers, TCP hello), plus the [`ControlRecord`] / [`WireLog`]
+//!   types the protocol layer uses to narrate its sends to the
+//!   runtime;
 //! * [`codec`] — a strict, compact, versioned little-endian binary
 //!   codec (`magic ∥ version ∥ tag ∥ payload`) with exhaustive error
-//!   reporting;
+//!   reporting, plus the batched round frame ([`codec::BatchBuilder`]
+//!   / [`codec::decode_batch`]) that coalesces everything one node
+//!   sends a peer in one synchronization round behind a single
+//!   watermark-carrying header;
 //! * [`transport`] — the [`Transport`] trait (a group of per-node
-//!   endpoints) and the deterministic in-process [`LoopbackNet`];
-//! * [`tcp`] — [`TcpNet`]: length-prefixed frames over `std::net`
-//!   with per-peer connection reuse, hello handshakes, and read/write
-//!   timeouts;
+//!   endpoints, with blocking, non-blocking, and burst receives) and
+//!   the deterministic in-process [`LoopbackNet`];
+//! * [`tcp`] — [`TcpNet`]: length-prefixed frames over non-blocking
+//!   `std::net` sockets driven by a poll loop (no helper threads),
+//!   with per-peer connection reuse, hello handshakes, and typed
+//!   timeout/disconnect/handshake errors;
 //! * [`stats`] — [`FrameStats`], counting frames and bytes that
 //!   actually moved (as opposed to ledger increments).
 //!
@@ -38,7 +43,10 @@ pub mod tcp;
 pub mod transport;
 pub mod wire;
 
-pub use codec::{decode, encode, encoded_len, CodecError, MAGIC, PROTOCOL_VERSION};
+pub use codec::{
+    decode, decode_batch, encode, encode_into, encoded_len, BatchBuilder, BatchView, CodecError,
+    MAGIC, PROTOCOL_VERSION,
+};
 pub use stats::FrameStats;
 pub use tcp::TcpNet;
 pub use transport::{LoopbackNet, NetError, Transport, DEFAULT_TIMEOUT};

@@ -2,11 +2,17 @@
 
 use std::ops::{Add, AddAssign, Sub};
 
-/// Counts of physical frames and bytes moved by a transport endpoint
-/// (or aggregated over all endpoints of a run). Unlike the simulator's
+/// Counts of frames and bytes moved by a transport endpoint (or
+/// aggregated over all endpoints of a run). Unlike the simulator's
 /// `MessageStats` ledger — which counts *logical* protocol messages at
 /// decision time — these numbers are incremented only when bytes are
 /// actually encoded and handed to (or received from) a transport.
+///
+/// Since the batched runtime, the wire carries one *batch* frame per
+/// (peer, round) pair; `frames_*` counts the logical envelope frames
+/// coalesced inside those batches (so the ledger equalities survive
+/// batching unchanged), while `batches_*` counts what physically hit
+/// the transport.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct FrameStats {
     /// Frames charged to the sender — including frames the transport
@@ -24,8 +30,16 @@ pub struct FrameStats {
     pub control_frames: u64,
     /// Transfer frames sent.
     pub transfer_frames: u64,
-    /// Barrier frames sent.
-    pub barrier_frames: u64,
+    /// Empty batches sent purely to advance a peer's round watermark
+    /// (the successor of the retired per-round barrier frames).
+    pub sync_frames: u64,
+    /// Physical batch frames handed to the transport. Every batch
+    /// coalesces all logical frames for one (peer, round) pair, so
+    /// this is exactly `nodes × (nodes − 1) × rounds` regardless of
+    /// traffic.
+    pub batches_sent: u64,
+    /// Physical batch frames received from the transport.
+    pub batches_received: u64,
     /// Frames the transport dropped on fault-model orders, i.e. the
     /// physical realization of `FaultModel::frame_dropped`.
     pub frames_dropped: u64,
@@ -71,7 +85,9 @@ impl AddAssign for FrameStats {
         self.bytes_received += rhs.bytes_received;
         self.control_frames += rhs.control_frames;
         self.transfer_frames += rhs.transfer_frames;
-        self.barrier_frames += rhs.barrier_frames;
+        self.sync_frames += rhs.sync_frames;
+        self.batches_sent += rhs.batches_sent;
+        self.batches_received += rhs.batches_received;
         self.frames_dropped += rhs.frames_dropped;
         self.payload_tasks += rhs.payload_tasks;
     }
@@ -89,7 +105,9 @@ impl Sub for FrameStats {
             bytes_received: self.bytes_received - rhs.bytes_received,
             control_frames: self.control_frames - rhs.control_frames,
             transfer_frames: self.transfer_frames - rhs.transfer_frames,
-            barrier_frames: self.barrier_frames - rhs.barrier_frames,
+            sync_frames: self.sync_frames - rhs.sync_frames,
+            batches_sent: self.batches_sent - rhs.batches_sent,
+            batches_received: self.batches_received - rhs.batches_received,
             frames_dropped: self.frames_dropped - rhs.frames_dropped,
             payload_tasks: self.payload_tasks - rhs.payload_tasks,
         }
@@ -109,6 +127,9 @@ mod tests {
         let mut b = FrameStats::new();
         b.record_received(30);
         b.frames_dropped = 1;
+        b.sync_frames = 3;
+        b.batches_sent = 4;
+        b.batches_received = 4;
         let sum = a + b;
         assert_eq!(sum.frames_sent, 2);
         assert_eq!(sum.bytes_sent, 30);
@@ -116,5 +137,11 @@ mod tests {
         assert_eq!(sum.bytes_received, 30);
         assert_eq!(sum.control_frames, 2);
         assert_eq!(sum.frames_dropped, 1);
+        assert_eq!(sum.sync_frames, 3);
+        assert_eq!(sum.batches_sent, 4);
+        assert_eq!(sum.batches_received, 4);
+        let diff = sum - b;
+        assert_eq!(diff.batches_sent, 0);
+        assert_eq!(diff.frames_sent, 2);
     }
 }

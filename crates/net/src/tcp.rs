@@ -1,5 +1,5 @@
-//! TCP transport: length-prefixed frames over `std::net`, no external
-//! dependencies.
+//! TCP transport: length-prefixed frames over non-blocking `std::net`
+//! sockets, no external dependencies and no helper threads.
 //!
 //! # Stream format
 //!
@@ -15,42 +15,68 @@
 //! creation, so the group knows all peer addresses up front and no
 //! port coordination is needed. Outgoing connections are established
 //! lazily on first send to a peer and **reused** for the rest of the
-//! run (one cached write stream per peer). Each endpoint runs one
-//! acceptor thread plus one reader thread per inbound connection;
-//! readers forward complete frames into the endpoint's mailbox
-//! channel, which `recv` drains with the configured timeout. Reads and
-//! writes both carry socket timeouts, so a wedged peer surfaces as
-//! [`NetError::Timeout`]/[`NetError::Io`] instead of a hang.
+//! run (one cached write stream per peer). There are no acceptor or
+//! reader threads: the listener and every accepted stream are
+//! non-blocking, and a single poll loop inside `recv`/`try_recv`/
+//! `send` accepts connections, drains readable sockets into per-
+//! connection buffers, and slices complete frames into the endpoint's
+//! inbox. Failures are typed instead of hung: a silent peer surfaces
+//! as [`NetError::Timeout`], a mid-run disconnect as
+//! [`NetError::Closed`], a bad first frame as
+//! [`NetError::Handshake`], and a write that makes no progress for
+//! the whole timeout as [`NetError::Timeout`].
 
 use crate::codec;
 use crate::transport::{NetError, Transport, DEFAULT_TIMEOUT};
 use crate::wire::WireMsg;
+use std::collections::VecDeque;
 use std::io::{ErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender};
-use std::sync::{mpsc, Arc};
-use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Hard cap on a single frame, guarding readers against corrupt
 /// length prefixes.
 const MAX_FRAME_BYTES: u32 = 64 << 20;
 
-/// Socket-level read poll granularity inside reader threads; bounded
-/// so shutdown is responsive while idle connections stay alive.
-const READ_POLL: Duration = Duration::from_millis(500);
+/// Sleep between poll iterations while waiting for readiness. Short
+/// enough to keep latency low, long enough not to spin a core.
+const POLL_SLEEP: Duration = Duration::from_micros(200);
+
+/// Size of the per-endpoint socket read scratch buffer.
+const READ_CHUNK: usize = 64 << 10;
+
+/// One accepted inbound connection and its framing state.
+#[derive(Debug)]
+struct InConn {
+    stream: TcpStream,
+    /// Peer node id, once a valid `Hello` arrived.
+    peer: Option<u32>,
+    /// Bytes read but not yet sliced into frames.
+    buf: Vec<u8>,
+    /// Saw EOF (or a fatal read error); the connection is drained but
+    /// will produce nothing more.
+    eof: bool,
+}
 
 /// One node's TCP endpoint. See the module docs for the lifecycle.
 #[derive(Debug)]
 pub struct TcpNet {
     node: usize,
     addrs: Vec<SocketAddr>,
-    rx: Receiver<Vec<u8>>,
+    listener: TcpListener,
+    /// Cached outbound write streams, dialed lazily.
     peers: Vec<Option<TcpStream>>,
+    /// Accepted inbound connections.
+    conns: Vec<InConn>,
+    /// Complete frames awaiting `recv`.
+    inbox: VecDeque<Vec<u8>>,
+    /// Scratch buffer for socket reads, reused across calls.
+    scratch: Vec<u8>,
+    /// Sticky error: an identified peer's connection hit EOF mid-run.
+    peer_closed: bool,
+    /// Sticky error: a connection failed the hello handshake.
+    handshake_err: Option<String>,
     timeout: Duration,
-    shutdown: Arc<AtomicBool>,
-    acceptor: Option<JoinHandle<()>>,
 }
 
 impl TcpNet {
@@ -67,44 +93,216 @@ impl TcpNet {
         let mut addrs = Vec::with_capacity(nodes);
         for _ in 0..nodes {
             let l = TcpListener::bind("127.0.0.1:0")?;
+            l.set_nonblocking(true)?;
             addrs.push(l.local_addr()?);
             listeners.push(l);
         }
-        let mut group = Vec::with_capacity(nodes);
-        for (node, listener) in listeners.into_iter().enumerate() {
-            let (tx, rx) = mpsc::channel();
-            let shutdown = Arc::new(AtomicBool::new(false));
-            let acceptor = spawn_acceptor(listener, tx, Arc::clone(&shutdown));
-            group.push(TcpNet {
+        Ok(listeners
+            .into_iter()
+            .enumerate()
+            .map(|(node, listener)| TcpNet {
                 node,
                 addrs: addrs.clone(),
-                rx,
+                listener,
                 peers: (0..nodes).map(|_| None).collect(),
+                conns: Vec::new(),
+                inbox: VecDeque::new(),
+                scratch: vec![0; READ_CHUNK],
+                peer_closed: false,
+                handshake_err: None,
                 timeout,
-                shutdown,
-                acceptor: Some(acceptor),
-            });
-        }
-        Ok(group)
+            })
+            .collect())
     }
 
-    /// Establishes (or returns the cached) write stream to `to`.
-    fn stream_to(&mut self, to: usize) -> Result<&mut TcpStream, NetError> {
-        if self.peers[to].is_none() {
-            let stream = TcpStream::connect_timeout(&self.addrs[to], self.timeout)
-                .map_err(|e| NetError::Io(e.to_string()))?;
-            stream
-                .set_write_timeout(Some(self.timeout))
-                .map_err(|e| NetError::Io(e.to_string()))?;
-            let _ = stream.set_nodelay(true);
-            let mut stream = stream;
-            let hello = codec::encode(&WireMsg::Hello {
-                node: self.node as u32,
-            });
-            write_frame(&mut stream, &hello).map_err(|e| NetError::Io(e.to_string()))?;
-            self.peers[to] = Some(stream);
+    /// Ensures a cached write stream to `to` exists, dialing and
+    /// sending the hello handshake on first use.
+    fn ensure_stream(&mut self, to: usize) -> Result<(), NetError> {
+        if self.peers[to].is_some() {
+            return Ok(());
         }
-        Ok(self.peers[to].as_mut().expect("stream cached above"))
+        let stream = TcpStream::connect_timeout(&self.addrs[to], self.timeout)
+            .map_err(|e| NetError::Io(e.to_string()))?;
+        stream
+            .set_nonblocking(true)
+            .map_err(|e| NetError::Io(e.to_string()))?;
+        let _ = stream.set_nodelay(true);
+        self.peers[to] = Some(stream);
+        let hello = codec::encode(&WireMsg::Hello {
+            node: self.node as u32,
+        });
+        let mut prefixed = Vec::with_capacity(4 + hello.len());
+        prefixed.extend_from_slice(&(hello.len() as u32).to_le_bytes());
+        prefixed.extend_from_slice(&hello);
+        if let Err(e) = self.write_with_deadline(to, &prefixed) {
+            self.peers[to] = None;
+            return Err(e);
+        }
+        Ok(())
+    }
+
+    /// Writes `buf` to the cached stream for `to`, polling the rest of
+    /// the endpoint while the socket is back-pressured. Fails with
+    /// [`NetError::Timeout`] if no byte makes progress for the whole
+    /// timeout — a wedged peer stalls the write, it does not hang it.
+    fn write_with_deadline(&mut self, to: usize, buf: &[u8]) -> Result<(), NetError> {
+        let mut off = 0;
+        let mut last_progress = Instant::now();
+        while off < buf.len() {
+            let stream = self.peers[to].as_mut().expect("stream cached by caller");
+            match stream.write(&buf[off..]) {
+                Ok(0) => {
+                    self.peers[to] = None;
+                    return Err(NetError::Closed);
+                }
+                Ok(n) => {
+                    off += n;
+                    last_progress = Instant::now();
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                    if last_progress.elapsed() >= self.timeout {
+                        self.peers[to] = None;
+                        return Err(NetError::Timeout);
+                    }
+                    // Keep draining inbound while stalled so two
+                    // mutually back-pressured endpoints cannot
+                    // deadlock on full socket buffers.
+                    self.pump();
+                    std::thread::sleep(POLL_SLEEP);
+                }
+                Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                Err(e) => {
+                    self.peers[to] = None;
+                    return Err(NetError::Io(e.to_string()));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// One readiness sweep: accept pending connections, read every
+    /// readable socket, slice complete frames into the inbox. Never
+    /// blocks.
+    fn pump(&mut self) {
+        // Accept everything currently pending.
+        loop {
+            match self.listener.accept() {
+                Ok((stream, _)) => {
+                    if stream.set_nonblocking(true).is_err() {
+                        continue;
+                    }
+                    let _ = stream.set_nodelay(true);
+                    self.conns.push(InConn {
+                        stream,
+                        peer: None,
+                        buf: Vec::new(),
+                        eof: false,
+                    });
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                Err(_) => break,
+            }
+        }
+        // Drain every readable connection.
+        for i in 0..self.conns.len() {
+            loop {
+                let conn = &mut self.conns[i];
+                if conn.eof {
+                    break;
+                }
+                match conn.stream.read(&mut self.scratch) {
+                    Ok(0) => {
+                        conn.eof = true;
+                        // EOF on an identified peer mid-run is a real
+                        // disconnect; a never-identified stream going
+                        // away is just a failed dial.
+                        if conn.peer.is_some() {
+                            self.peer_closed = true;
+                        }
+                    }
+                    Ok(n) => {
+                        let chunk = &self.scratch[..n];
+                        conn.buf.extend_from_slice(chunk);
+                        self.slice_frames(i);
+                    }
+                    Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                    Err(_) => {
+                        self.conns[i].eof = true;
+                        if self.conns[i].peer.is_some() {
+                            self.peer_closed = true;
+                        }
+                    }
+                }
+            }
+        }
+        // Frames are sliced after every read, so a dead connection's
+        // leftover bytes can only be a torn partial frame — drop it.
+        self.conns.retain(|c| !c.eof);
+    }
+
+    /// Slices complete length-prefixed frames out of connection `i`'s
+    /// buffer into the inbox, enforcing the hello handshake on the
+    /// first frame.
+    fn slice_frames(&mut self, i: usize) {
+        let nodes = self.addrs.len() as u32;
+        let conn = &mut self.conns[i];
+        let mut start = 0;
+        while conn.buf.len() - start >= 4 {
+            let len = u32::from_le_bytes(conn.buf[start..start + 4].try_into().expect("4 bytes"));
+            if len > MAX_FRAME_BYTES {
+                conn.eof = true;
+                if conn.peer.is_none() {
+                    self.handshake_err = Some(format!("frame length {len} exceeds cap"));
+                } else {
+                    self.peer_closed = true;
+                }
+                break;
+            }
+            let end = start + 4 + len as usize;
+            if conn.buf.len() < end {
+                break;
+            }
+            let frame = &conn.buf[start + 4..end];
+            if conn.peer.is_none() {
+                // Handshake: the first frame must be a well-formed
+                // Hello from an in-range node.
+                match codec::decode(frame) {
+                    Ok(WireMsg::Hello { node }) if node < nodes => conn.peer = Some(node),
+                    Ok(WireMsg::Hello { node }) => {
+                        self.handshake_err =
+                            Some(format!("hello from out-of-range node {node} (of {nodes})"));
+                        conn.eof = true;
+                        break;
+                    }
+                    _ => {
+                        self.handshake_err = Some("first frame was not a hello".to_string());
+                        conn.eof = true;
+                        break;
+                    }
+                }
+            } else {
+                self.inbox.push_back(frame.to_vec());
+            }
+            start = end;
+        }
+        conn.buf.drain(..start);
+    }
+
+    /// Surfaces a sticky failure once the inbox has been drained:
+    /// queued frames are always delivered first.
+    fn sticky_error(&mut self) -> Option<NetError> {
+        if !self.inbox.is_empty() {
+            return None;
+        }
+        if let Some(msg) = self.handshake_err.take() {
+            return Some(NetError::Handshake(msg));
+        }
+        if self.peer_closed {
+            return Some(NetError::Closed);
+        }
+        None
     }
 }
 
@@ -121,132 +319,39 @@ impl Transport for TcpNet {
         if to >= self.addrs.len() {
             return Err(NetError::Closed);
         }
-        let stream = self.stream_to(to)?;
-        if let Err(e) = write_frame(stream, frame) {
-            // A dead cached connection is not reusable; forget it so a
-            // retry dials fresh.
-            self.peers[to] = None;
-            return Err(NetError::Io(e.to_string()));
-        }
-        Ok(())
+        self.ensure_stream(to)?;
+        let mut prefixed = Vec::with_capacity(4 + frame.len());
+        prefixed.extend_from_slice(&(frame.len() as u32).to_le_bytes());
+        prefixed.extend_from_slice(frame);
+        self.write_with_deadline(to, &prefixed)
     }
 
     fn recv(&mut self) -> Result<Vec<u8>, NetError> {
-        match self.rx.recv_timeout(self.timeout) {
-            Ok(frame) => Ok(frame),
-            Err(RecvTimeoutError::Timeout) => Err(NetError::Timeout),
-            Err(RecvTimeoutError::Disconnected) => Err(NetError::Closed),
-        }
-    }
-}
-
-impl Drop for TcpNet {
-    fn drop(&mut self) {
-        self.shutdown.store(true, Ordering::SeqCst);
-        // Close cached write streams so peers' reader threads see EOF.
-        for p in &mut self.peers {
-            *p = None;
-        }
-        // Wake the acceptor out of accept() so it can observe shutdown.
-        let _ = TcpStream::connect_timeout(&self.addrs[self.node], Duration::from_millis(200));
-        if let Some(h) = self.acceptor.take() {
-            let _ = h.join();
-        }
-    }
-}
-
-/// Writes one length-prefixed frame.
-fn write_frame(stream: &mut TcpStream, frame: &[u8]) -> std::io::Result<()> {
-    stream.write_all(&(frame.len() as u32).to_le_bytes())?;
-    stream.write_all(frame)?;
-    Ok(())
-}
-
-/// Reads exactly `buf.len()` bytes, tolerating socket read-timeout
-/// polls; bails out if `shutdown` flips mid-read only when no partial
-/// data would be torn (i.e. between frames, handled by the caller).
-fn read_exact_polling(
-    stream: &mut TcpStream,
-    buf: &mut [u8],
-    shutdown: &AtomicBool,
-) -> std::io::Result<bool> {
-    let mut filled = 0;
-    while filled < buf.len() {
-        match stream.read(&mut buf[filled..]) {
-            Ok(0) => return Ok(false), // EOF
-            Ok(n) => filled += n,
-            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
-                // Mid-frame timeouts are only fatal once shutdown is
-                // requested and nothing of this frame has arrived yet.
-                if shutdown.load(Ordering::SeqCst) && filled == 0 {
-                    return Ok(false);
-                }
+        let deadline = Instant::now() + self.timeout;
+        loop {
+            self.pump();
+            if let Some(frame) = self.inbox.pop_front() {
+                return Ok(frame);
             }
-            Err(e) if e.kind() == ErrorKind::Interrupted => {}
-            Err(e) => return Err(e),
+            if let Some(err) = self.sticky_error() {
+                return Err(err);
+            }
+            if Instant::now() >= deadline {
+                return Err(NetError::Timeout);
+            }
+            std::thread::sleep(POLL_SLEEP);
         }
     }
-    Ok(true)
-}
 
-/// Accepts inbound connections and spawns one reader per connection.
-fn spawn_acceptor(
-    listener: TcpListener,
-    tx: Sender<Vec<u8>>,
-    shutdown: Arc<AtomicBool>,
-) -> JoinHandle<()> {
-    std::thread::spawn(move || {
-        let mut readers = Vec::new();
-        while let Ok((stream, _)) = listener.accept() {
-            if shutdown.load(Ordering::SeqCst) {
-                break;
-            }
-            let tx = tx.clone();
-            let shutdown = Arc::clone(&shutdown);
-            readers.push(std::thread::spawn(move || {
-                read_connection(stream, &tx, &shutdown);
-            }));
+    fn try_recv(&mut self) -> Result<Option<Vec<u8>>, NetError> {
+        self.pump();
+        if let Some(frame) = self.inbox.pop_front() {
+            return Ok(Some(frame));
         }
-        for r in readers {
-            let _ = r.join();
+        if let Some(err) = self.sticky_error() {
+            return Err(err);
         }
-    })
-}
-
-/// Reads frames off one inbound connection and forwards them to the
-/// endpoint mailbox. The first frame must be a valid `Hello`.
-fn read_connection(mut stream: TcpStream, tx: &Sender<Vec<u8>>, shutdown: &AtomicBool) {
-    if stream.set_read_timeout(Some(READ_POLL)).is_err() {
-        return;
-    }
-    let mut first = true;
-    loop {
-        let mut len_buf = [0u8; 4];
-        match read_exact_polling(&mut stream, &mut len_buf, shutdown) {
-            Ok(true) => {}
-            _ => return,
-        }
-        let len = u32::from_le_bytes(len_buf);
-        if len > MAX_FRAME_BYTES {
-            return; // corrupt stream; drop the connection
-        }
-        let mut frame = vec![0u8; len as usize];
-        match read_exact_polling(&mut stream, &mut frame, shutdown) {
-            Ok(true) => {}
-            _ => return,
-        }
-        if first {
-            first = false;
-            // Handshake: refuse streams that do not introduce
-            // themselves with a well-formed Hello.
-            match codec::decode(&frame) {
-                Ok(WireMsg::Hello { .. }) => continue,
-                _ => return,
-            }
-        }
-        if tx.send(frame).is_err() {
-            return; // endpoint gone
-        }
+        Ok(None)
     }
 }
 
@@ -254,21 +359,23 @@ fn read_connection(mut stream: TcpStream, tx: &Sender<Vec<u8>>, shutdown: &Atomi
 mod tests {
     use super::*;
 
+    fn control(nonce: u64) -> Vec<u8> {
+        codec::encode(&WireMsg::Control {
+            kind: crate::wire::ControlKind::Probe,
+            src: 0,
+            dst: 1,
+            nonce,
+            round: 0,
+        })
+    }
+
     #[test]
     fn tcp_round_trip_and_connection_reuse() {
         let mut group = TcpNet::group_with_timeout(2, Duration::from_secs(5)).unwrap();
         let mut b = group.pop().unwrap();
         let mut a = group.pop().unwrap();
-        let f1 = codec::encode(&WireMsg::Barrier {
-            node: 0,
-            step: 1,
-            load: 7,
-        });
-        let f2 = codec::encode(&WireMsg::Barrier {
-            node: 0,
-            step: 2,
-            load: 8,
-        });
+        let f1 = control(1);
+        let f2 = control(2);
         a.send(1, &f1).unwrap();
         a.send(1, &f2).unwrap();
         assert_eq!(b.recv().unwrap(), f1);
@@ -284,7 +391,7 @@ mod tests {
     fn tcp_self_send_delivers() {
         let mut group = TcpNet::group_with_timeout(1, Duration::from_secs(5)).unwrap();
         let mut a = group.pop().unwrap();
-        let f = codec::encode(&WireMsg::Hello { node: 9 });
+        let f = control(9);
         a.send(0, &f).unwrap();
         assert_eq!(a.recv().unwrap(), f);
     }
@@ -299,17 +406,95 @@ mod tests {
     #[test]
     fn tcp_rejects_streams_without_hello() {
         let mut group = TcpNet::group_with_timeout(1, Duration::from_millis(300)).unwrap();
-        let ep = group.pop().unwrap();
-        // Dial raw and send a non-Hello first frame: it must not be
-        // delivered.
+        let mut ep = group.pop().unwrap();
+        // Dial raw and send a non-Hello first frame: the endpoint must
+        // surface a typed handshake error, not deliver the frame.
         let mut raw = TcpStream::connect(ep.addrs[0]).unwrap();
-        let bogus = codec::encode(&WireMsg::Barrier {
-            node: 0,
-            step: 0,
-            load: 0,
-        });
-        write_frame(&mut raw, &bogus).unwrap();
-        let mut ep = ep;
-        assert!(matches!(ep.recv().unwrap_err(), NetError::Timeout));
+        let bogus = control(0);
+        raw.write_all(&(bogus.len() as u32).to_le_bytes()).unwrap();
+        raw.write_all(&bogus).unwrap();
+        raw.flush().unwrap();
+        let err = ep.recv().unwrap_err();
+        assert!(matches!(err, NetError::Handshake(_)), "got {err:?}");
+    }
+
+    #[test]
+    fn tcp_rejects_hello_from_unknown_node() {
+        let mut group = TcpNet::group_with_timeout(1, Duration::from_millis(300)).unwrap();
+        let mut ep = group.pop().unwrap();
+        // A Hello claiming a node id outside the group is a handshake
+        // violation, not a valid peer.
+        let mut raw = TcpStream::connect(ep.addrs[0]).unwrap();
+        let hello = codec::encode(&WireMsg::Hello { node: 99 });
+        raw.write_all(&(hello.len() as u32).to_le_bytes()).unwrap();
+        raw.write_all(&hello).unwrap();
+        raw.flush().unwrap();
+        let err = ep.recv().unwrap_err();
+        assert!(matches!(err, NetError::Handshake(_)), "got {err:?}");
+    }
+
+    #[test]
+    fn tcp_mid_run_disconnect_surfaces_closed() {
+        let mut group = TcpNet::group_with_timeout(2, Duration::from_secs(5)).unwrap();
+        let mut b = group.pop().unwrap();
+        let a = {
+            let mut a = group.pop().unwrap();
+            let f = control(7);
+            a.send(1, &f).unwrap();
+            assert_eq!(b.recv().unwrap(), f, "frame sent before the crash");
+            a
+        };
+        // Peer 0 dies mid-run: its streams close. The survivor must get
+        // a typed Closed error on the next receive, not hang until the
+        // read deadline.
+        drop(a);
+        let err = b.recv().unwrap_err();
+        assert!(matches!(err, NetError::Closed), "got {err:?}");
+    }
+
+    #[test]
+    fn tcp_queued_frames_survive_peer_disconnect() {
+        let mut group = TcpNet::group_with_timeout(2, Duration::from_secs(5)).unwrap();
+        let mut b = group.pop().unwrap();
+        let mut a = group.pop().unwrap();
+        let f1 = control(1);
+        let f2 = control(2);
+        a.send(1, &f1).unwrap();
+        a.send(1, &f2).unwrap();
+        // Give the bytes time to land in b's kernel buffer, then kill
+        // the sender before b ever polls: both frames must still be
+        // delivered (in order) before the Closed error surfaces.
+        std::thread::sleep(Duration::from_millis(100));
+        drop(a);
+        assert_eq!(b.recv().unwrap(), f1);
+        assert_eq!(b.recv().unwrap(), f2);
+        let err = b.recv().unwrap_err();
+        assert!(matches!(err, NetError::Closed), "got {err:?}");
+    }
+
+    #[test]
+    fn tcp_write_stall_times_out() {
+        let mut group = TcpNet::group_with_timeout(2, Duration::from_millis(200)).unwrap();
+        let b = group.pop().unwrap();
+        let mut a = group.pop().unwrap();
+        // Peer 1 exists but never reads: once its kernel receive buffer
+        // and our send buffer fill, writes stop making progress and the
+        // sender must surface a typed Timeout instead of blocking
+        // forever. Bounded: 64 × 1 MiB overwhelms any default socket
+        // buffer long before the loop ends.
+        let big = vec![0xA5u8; 1 << 20];
+        let mut timed_out = false;
+        for _ in 0..64 {
+            match a.send(1, &big) {
+                Ok(()) => {}
+                Err(NetError::Timeout) => {
+                    timed_out = true;
+                    break;
+                }
+                Err(other) => panic!("expected Timeout, got {other:?}"),
+            }
+        }
+        assert!(timed_out, "64 MiB vanished into socket buffers");
+        drop(b);
     }
 }

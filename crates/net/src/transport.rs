@@ -6,9 +6,9 @@
 //! to any node in the group (including itself) and receive the next
 //! frame addressed to it. Delivery is reliable and per-sender FIFO;
 //! cross-sender interleaving is unspecified — the runtime restores
-//! determinism above the transport with sequence numbers and barrier
-//! rounds, so *both* implementations (loopback and TCP) drive the
-//! simulation to bit-identical results.
+//! determinism above the transport with sequence numbers and per-peer
+//! round watermarks, so *both* implementations (loopback and TCP)
+//! drive the simulation to bit-identical results.
 
 use crate::codec::CodecError;
 use std::collections::VecDeque;
@@ -22,7 +22,8 @@ pub const DEFAULT_TIMEOUT: Duration = Duration::from_secs(30);
 /// Transport failure.
 #[derive(Clone, Debug)]
 pub enum NetError {
-    /// No frame arrived within the endpoint's receive timeout.
+    /// No frame arrived within the endpoint's receive timeout, or a
+    /// write made no progress for the whole write timeout.
     Timeout,
     /// The peer (or the whole group) shut down.
     Closed,
@@ -30,6 +31,9 @@ pub enum NetError {
     Io(String),
     /// A received frame failed to decode.
     Codec(CodecError),
+    /// A peer failed the hello handshake (missing, malformed, or
+    /// claiming an out-of-range / already-connected node id).
+    Handshake(String),
 }
 
 impl std::fmt::Display for NetError {
@@ -39,6 +43,7 @@ impl std::fmt::Display for NetError {
             NetError::Closed => write!(f, "transport closed"),
             NetError::Io(e) => write!(f, "io error: {e}"),
             NetError::Codec(e) => write!(f, "codec error: {e}"),
+            NetError::Handshake(e) => write!(f, "handshake failed: {e}"),
         }
     }
 }
@@ -69,6 +74,23 @@ pub trait Transport: Send {
     /// Receives the next frame addressed to this node, blocking up to
     /// the transport's timeout.
     fn recv(&mut self) -> Result<Vec<u8>, NetError>;
+
+    /// Non-blocking receive: the next queued frame, or `None` when
+    /// nothing is pending right now. Implementations must still make
+    /// I/O progress (pump sockets, accept connections) before
+    /// answering `None`.
+    fn try_recv(&mut self) -> Result<Option<Vec<u8>>, NetError>;
+
+    /// Blocks for the next frame, then drains everything else already
+    /// queued into `out` — one readiness round-trip for a whole burst.
+    /// Appends at least one frame on success.
+    fn recv_burst(&mut self, out: &mut Vec<Vec<u8>>) -> Result<(), NetError> {
+        out.push(self.recv()?);
+        while let Some(frame) = self.try_recv()? {
+            out.push(frame);
+        }
+        Ok(())
+    }
 }
 
 /// Shared state of one loopback mailbox.
@@ -148,6 +170,32 @@ impl Transport for LoopbackNet {
             }
         }
     }
+
+    fn try_recv(&mut self) -> Result<Option<Vec<u8>>, NetError> {
+        let mbox = &self.boxes[self.node];
+        let mut q = mbox.queue.lock().expect("loopback mailbox poisoned");
+        Ok(q.pop_front())
+    }
+
+    /// One lock round-trip drains the whole mailbox.
+    fn recv_burst(&mut self, out: &mut Vec<Vec<u8>>) -> Result<(), NetError> {
+        let mbox = &self.boxes[self.node];
+        let mut q = mbox.queue.lock().expect("loopback mailbox poisoned");
+        loop {
+            if !q.is_empty() {
+                out.extend(q.drain(..));
+                return Ok(());
+            }
+            let (guard, res) = mbox
+                .ready
+                .wait_timeout(q, self.timeout)
+                .expect("loopback mailbox poisoned");
+            q = guard;
+            if res.timed_out() && q.is_empty() {
+                return Err(NetError::Timeout);
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -169,6 +217,21 @@ mod tests {
         assert_eq!(b.recv().unwrap(), b"one");
         assert_eq!(b.recv().unwrap(), b"two");
         assert_eq!(a.recv().unwrap(), b"self");
+    }
+
+    #[test]
+    fn loopback_try_recv_and_burst_drain() {
+        let mut eps = LoopbackNet::group(1);
+        let mut a = eps.pop().unwrap();
+        assert!(a.try_recv().unwrap().is_none());
+        a.send(0, b"one").unwrap();
+        a.send(0, b"two").unwrap();
+        a.send(0, b"three").unwrap();
+        assert_eq!(a.try_recv().unwrap().unwrap(), b"one");
+        let mut burst = Vec::new();
+        a.recv_burst(&mut burst).unwrap();
+        assert_eq!(burst, vec![b"two".to_vec(), b"three".to_vec()]);
+        assert!(a.try_recv().unwrap().is_none());
     }
 
     #[test]

@@ -202,8 +202,9 @@ pub enum WireMsg {
     },
     /// A block transfer of tasks between two processors. `seq` is the
     /// global emission sequence number assigned by the control step;
-    /// receivers apply transfers in `seq` order so the result is
-    /// independent of network arrival order.
+    /// in strict (deterministic) mode receivers apply transfers in
+    /// `seq` order so the result is independent of network arrival
+    /// order, while `--net-relaxed` runs apply them as they arrive.
     Transfer {
         /// Global emission sequence number within the step.
         seq: u32,
@@ -213,17 +214,5 @@ pub enum WireMsg {
         dst: u64,
         /// The tasks, in queue order.
         tasks: Vec<WireTask>,
-    },
-    /// Phase-synchronization round: every node sends one barrier frame
-    /// to every other node and waits for all of them — a coordinator-
-    /// free all-to-all sync. Carries the sender's shard load as a
-    /// piggybacked load report.
-    Barrier {
-        /// Sending node.
-        node: u32,
-        /// Simulation step the barrier closes.
-        step: u64,
-        /// Total load of the sender's shard (piggybacked gossip).
-        load: u64,
     },
 }

@@ -1,11 +1,12 @@
 //! Property tests for the wire codec (vendored proptest): every
 //! message kind round-trips through encode/decode at arbitrary field
-//! values and payload sizes, and the decoder rejects truncated frames,
+//! values and payload sizes, arbitrary mixes of messages round-trip
+//! through the batch frame, and the decoder rejects truncated frames,
 //! foreign versions, corrupted magic, and trailing garbage.
 
 use pcrlb_net::{
-    codec, decode, encode, encoded_len, CodecError, ControlKind, WireMsg, WireTask,
-    PROTOCOL_VERSION,
+    codec, decode, decode_batch, encode, encoded_len, BatchBuilder, CodecError, ControlKind,
+    WireMsg, WireTask, PROTOCOL_VERSION,
 };
 use proptest::prelude::*;
 
@@ -55,8 +56,6 @@ fn arb_msg() -> BoxedStrategy<WireMsg> {
                 dst,
                 tasks,
             }),
-        (any::<u32>(), any::<u64>(), any::<u64>())
-            .prop_map(|(node, step, load)| { WireMsg::Barrier { node, step, load } }),
     ]
     .boxed()
 }
@@ -136,5 +135,47 @@ proptest! {
             CodecError::Truncated => prop_assert!(false, "cap not enforced"),
             other => prop_assert!(false, "unexpected {:?}", other),
         }
+    }
+
+    /// Arbitrary mixes of messages round-trip through a batch frame:
+    /// the watermark header survives, every sub-frame decodes to the
+    /// original message in order, and a reused builder carries no state
+    /// across batches.
+    #[test]
+    fn batch_round_trip(
+        msgs in proptest::collection::vec(arb_msg(), 0..24),
+        node in any::<u32>(),
+        round in any::<u64>(),
+        load in any::<u64>(),
+    ) {
+        let mut batch = BatchBuilder::new();
+        for reuse in 0u64..2 {
+            batch.begin(node, round ^ reuse, load);
+            let mut payload = 0;
+            for msg in &msgs {
+                payload += batch.push(msg);
+            }
+            prop_assert_eq!(batch.frames(), msgs.len() as u32);
+            let frame = batch.finish().to_vec();
+            prop_assert!(frame.len() > payload, "header/prefixes must cost bytes");
+
+            let view = decode_batch(&frame).unwrap();
+            prop_assert_eq!(view.node, node);
+            prop_assert_eq!(view.round, round ^ reuse);
+            prop_assert_eq!(view.load, load);
+            let decoded: Vec<WireMsg> = view
+                .map(|sub| decode(sub.unwrap()).unwrap())
+                .collect();
+            prop_assert_eq!(&decoded, &msgs);
+        }
+    }
+
+    /// A batch frame is not a plain frame: the strict single-message
+    /// decoder refuses it instead of misparsing the header.
+    #[test]
+    fn plain_decode_rejects_batches(node in any::<u32>(), round in any::<u64>(), load in any::<u64>()) {
+        let mut batch = BatchBuilder::new();
+        batch.begin(node, round, load);
+        prop_assert_eq!(decode(batch.finish()).unwrap_err(), CodecError::UnexpectedBatch);
     }
 }

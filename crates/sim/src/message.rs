@@ -77,9 +77,10 @@ impl MessageStats {
     ///    mirrors `dropped` one-for-one), so for protocol traffic
     ///    `frames == control_total() + transfers` and wire
     ///    measurements compare like-for-like with ledger
-    ///    measurements. Barrier frames are phase-synchronization
-    ///    overhead, not protocol messages, and are excluded (tracked
-    ///    separately in `FrameStats::barrier_frames`).
+    ///    measurements. Batch frames are physical packaging and empty
+    ///    sync batches are round-watermark overhead, not protocol
+    ///    messages; both are excluded (tracked separately in
+    ///    `FrameStats::batches_sent` / `FrameStats::sync_frames`).
     pub fn control_total(&self) -> u64 {
         self.queries + self.accepts + self.id_messages + self.probes + self.load_replies
     }

@@ -4,18 +4,18 @@
 //!
 //! # Architecture
 //!
-//! `Backend::Net { nodes, tcp }` hosts a contiguous shard of
-//! processors per **node thread**. Each step runs in two scoped
-//! sections around the control step:
+//! `Backend::Net { nodes, tcp, relaxed }` hosts a contiguous shard of
+//! processors per **node thread**. The node threads are persistent
+//! (one [`WorkerPool`] per run, not per step); each step runs as two
+//! pool broadcasts around the control step:
 //!
 //! 1. **Phase A (local work):** every node thread runs the shared
 //!    generate/consume kernel (`drive_shard`) on its own shard — the
 //!    same kernel, same RNG streams, and same fault gating as every
-//!    other backend — then closes with a coordinator-free
-//!    **phase-synchronization round**: one `Barrier` frame to each
-//!    peer (piggybacking the shard's load as gossip), blocking until
-//!    all `nodes − 1` peer barriers arrive. No node proceeds until
-//!    every node has finished the sub-steps.
+//!    other backend — and captures its shard load. Phase A has **no
+//!    wire traffic**: the broadcast join is the synchronization, per
+//!    Lemma 6 (games complete within their phase, so nothing outside
+//!    the phase can observe intermediate state).
 //! 2. **Control step:** the driving thread runs the strategy exactly
 //!    as `Engine::step` does. With the world's *wire sink* enabled,
 //!    the collision game, balance forest, and balancer narrate every
@@ -23,43 +23,70 @@
 //!    `World::transfer` defers physical task delivery into
 //!    `TransferRecord`s (all statistics still recorded at decision
 //!    time, identically to the sequential backend).
-//! 3. **Phase B (wire delivery):** the runtime assigns each record to
-//!    its source node, encodes it into a real frame, and the node
-//!    threads ship the frames over the transport. The transport layer
-//!    consults [`FaultModel::frame_dropped`] per faultable frame — a
-//!    pure hash of the same coordinates the logical layer used, so the
-//!    physical drop coincides with the simulated one. Receivers decode
-//!    every arriving frame; a second barrier round closes the phase.
-//!    Decoded `Transfer` frames are then applied to destination queues
-//!    in global `seq` order, making queue contents independent of
-//!    network arrival order.
+//! 3. **Phase B (one batched delivery round):** the runtime buckets
+//!    each record by (source node, destination node). Every node
+//!    encodes everything it owes a peer into **one batch frame** per
+//!    peer — a reused [`BatchBuilder`] buffer, so the steady state
+//!    allocates nothing on the encode path — and sends it. The batch
+//!    header carries the sender's **round watermark** (and its shard
+//!    load as gossip); an empty batch is a pure watermark (counted as
+//!    a `sync_frame`). A node's round is complete exactly when one
+//!    batch from every peer with `watermark == round` has arrived —
+//!    coordinator-free phase synchronization with `nodes × (nodes−1)`
+//!    physical frames per step, replacing the old design's two global
+//!    barrier rounds (`2 × nodes × (nodes−1)` dedicated frames on top
+//!    of per-message sends). The transport layer consults
+//!    [`FaultModel::frame_dropped`] per faultable record before it
+//!    enters the batch — a pure hash of the same coordinates the
+//!    logical layer used, so the physical drop coincides with the
+//!    simulated one.
+//!
+//! Decoded `Transfer` frames are applied to destination queues in
+//! global `seq` order by default, making queue contents independent of
+//! network arrival order. A run may instead opt into arrival-order
+//! application (`relaxed`, CLI `--net-relaxed`): genuine out-of-order
+//! delivery that trades the bit-for-bit contract for not having to
+//! buffer-and-sort, for TCP throughput runs.
 //!
 //! # Determinism contract
 //!
-//! A loopback (or localhost-TCP) net run reproduces the sequential
-//! backend's `RunReport` **bit-for-bit** for the same `(n, seed,
-//! steps, faults)`: sub-steps use the shared kernel and per-processor
-//! RNG streams; control decisions run on one thread in program order
-//! with the same global RNG; transfers are applied in emission order
-//! regardless of arrival order; and fault decisions are pure hashes,
-//! so wire-level loss mirrors simulated loss exactly. The only
-//! net-specific observables — frame and byte counts — live *outside*
-//! the report's compared fields (see [`World::net_frames`] and the
-//! `frames` slot of `ProbeOutput::MessageRate`).
+//! A strict (non-relaxed) loopback or localhost-TCP net run reproduces
+//! the sequential backend's `RunReport` **bit-for-bit** for the same
+//! `(n, seed, steps, faults)`: sub-steps use the shared kernel and
+//! per-processor RNG streams; control decisions run on one thread in
+//! program order with the same global RNG; transfers are applied in
+//! emission order regardless of arrival order; and fault decisions are
+//! pure hashes, so wire-level loss mirrors simulated loss exactly. The
+//! only net-specific observables — frame and byte counts — live
+//! *outside* the report's compared fields (see [`World::net_frames`]
+//! and the `frames` slot of `ProbeOutput::MessageRate`).
+//!
+//! # Accounting
+//!
+//! [`FrameStats`] counts *logical* envelope frames (`frames_sent`,
+//! `control_frames`, `transfer_frames`, …) exactly as the unbatched
+//! runtime did — the sender pays at send time whether or not the
+//! fault hook then discards the record (the Lemma 8 charging rule) —
+//! plus the physical `batches_sent`/`batches_received` and the batch
+//! header/length-prefix overhead in the byte counters. Self-node
+//! records never touch the transport but are charged as both sent and
+//! received, so loopback and TCP report identical stats.
 
 use crate::backend::{drive_shard, StepScratch};
 use crate::message::MessageKind;
 use crate::model::{LoadModel, Strategy};
+use crate::pool::WorkerPool;
 use crate::probe::{PhaseReport, Probe};
 use crate::runner::RunReport;
 use crate::task::Task;
 use crate::trace::Event;
-use crate::types::{ProcId, Step};
-use crate::world::{CompletionStats, World, DEFAULT_SOJOURN_HIST};
+use crate::types::ProcId;
+use crate::world::{CompletionStats, World, WorldShard, DEFAULT_SOJOURN_HIST};
 use pcrlb_faults::{FaultModel, MsgCtx};
 use pcrlb_net::{
-    codec, ControlKind, FrameStats, LoopbackNet, TcpNet, Transport, WireMsg, WireTask,
+    codec, BatchBuilder, ControlKind, FrameStats, LoopbackNet, TcpNet, Transport, WireMsg, WireTask,
 };
+use std::cell::UnsafeCell;
 
 /// Converts a ledger message kind to its wire twin.
 #[must_use]
@@ -73,12 +100,11 @@ pub fn control_kind(kind: MessageKind) -> ControlKind {
     }
 }
 
-/// One encoded frame awaiting transmission by a node thread.
-struct OutFrame {
-    /// Destination node.
-    to: usize,
-    /// Encoded bytes (envelope included).
-    bytes: Vec<u8>,
+/// One protocol record assigned to a source node for batching.
+struct OutRec {
+    /// The decoded message (encoded into the batch on the node thread,
+    /// so the encode buffer is the node's reused [`BatchBuilder`]).
+    msg: WireMsg,
     /// Fault coordinates for the transport-level drop consult.
     fault: Option<MsgCtx>,
     /// The logical layer's drop verdict (cross-checked in debug).
@@ -87,6 +113,52 @@ struct OutFrame {
     control: bool,
     /// Tasks carried (transfer frames only).
     tasks: u64,
+}
+
+/// Everything one persistent node thread owns across the run.
+struct NodeState<T> {
+    ep: T,
+    /// Reused batch encode buffer.
+    batch: BatchBuilder,
+    /// This step's frame accounting (reset each step).
+    fs: FrameStats,
+    /// This step's completion accounting (reset each step).
+    local: CompletionStats,
+    /// Kernel scratch, reused across steps.
+    scratch: StepScratch,
+    /// Shard load captured in phase A, gossiped in batch headers.
+    load: u64,
+    /// Ring overflow spilled by the kernel this step.
+    spill: Vec<(ProcId, Task)>,
+    /// Outgoing records bucketed by destination node (filled by the
+    /// coordinator, drained by the node thread).
+    out: Vec<Vec<OutRec>>,
+    /// Burst-receive scratch.
+    raw: Vec<Vec<u8>>,
+    /// Transfers decoded this step, in arrival order.
+    decoded: Vec<(u32, u64, Vec<WireTask>)>,
+}
+
+/// Per-node slots for the pool broadcasts.
+///
+/// # Safety
+/// Slot `wid` is touched only by worker `wid` during a broadcast and
+/// only by the coordinator between broadcasts — the same discipline as
+/// the pool's own job slots.
+struct NodeSlots<T>(Vec<UnsafeCell<NodeState<T>>>);
+unsafe impl<T: Send> Sync for NodeSlots<T> {}
+
+/// Per-node shard slots for the phase-A broadcast (the shard split can
+/// be shorter than the node count when `n < nodes`).
+struct ShardSlots<'a>(Vec<UnsafeCell<Option<WorldShard<'a>>>>);
+unsafe impl Sync for ShardSlots<'_> {}
+
+/// Shape of a net run, unpacked from [`crate::Backend::Net`].
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct NetTopology {
+    pub nodes: usize,
+    pub tcp: bool,
+    pub relaxed: bool,
 }
 
 /// Entry point used by `Runner::run_detailed` for `Backend::Net`. The
@@ -99,22 +171,27 @@ struct OutFrame {
 /// transport failure mid-run (a lost peer is fatal, not recoverable).
 pub(crate) fn run_net_detailed<M: LoadModel + Sync, S: Strategy>(
     steps: u64,
-    nodes: usize,
-    tcp: bool,
+    topo: NetTopology,
     mut world: World,
     model: M,
     strategy: S,
     probes: Vec<Box<dyn Probe>>,
 ) -> (RunReport, World, S) {
+    let NetTopology {
+        nodes,
+        tcp,
+        relaxed,
+    } = topo;
     let nodes = nodes.max(1);
     world.enable_wire();
     if tcp {
         let endpoints = TcpNet::group(nodes).expect("failed to bind localhost TCP group");
-        drive(endpoints, steps, world, model, strategy, probes)
+        drive(endpoints, steps, relaxed, world, model, strategy, probes)
     } else {
         drive(
             LoopbackNet::group(nodes),
             steps,
+            relaxed,
             world,
             model,
             strategy,
@@ -126,13 +203,36 @@ pub(crate) fn run_net_detailed<M: LoadModel + Sync, S: Strategy>(
 /// The runner loop, transport-generic. Mirrors `Runner::run_detailed`
 /// step-for-step, with [`net_step`] in place of `Engine::step`.
 fn drive<T: Transport, M: LoadModel + Sync, S: Strategy>(
-    mut endpoints: Vec<T>,
+    endpoints: Vec<T>,
     steps: u64,
+    relaxed: bool,
     mut world: World,
     model: M,
     mut strategy: S,
     mut probes: Vec<Box<dyn Probe>>,
 ) -> (RunReport, World, S) {
+    let nodes = endpoints.len();
+    let pool = WorkerPool::new(nodes);
+    let mut slots = NodeSlots(
+        endpoints
+            .into_iter()
+            .map(|ep| {
+                UnsafeCell::new(NodeState {
+                    ep,
+                    batch: BatchBuilder::new(),
+                    fs: FrameStats::default(),
+                    local: CompletionStats::new(DEFAULT_SOJOURN_HIST),
+                    scratch: StepScratch::default(),
+                    load: 0,
+                    spill: Vec::new(),
+                    out: (0..nodes).map(|_| Vec::new()).collect(),
+                    raw: Vec::new(),
+                    decoded: Vec::new(),
+                })
+            })
+            .collect(),
+    );
+
     for probe in probes.iter_mut() {
         probe.on_run_start(&world);
     }
@@ -140,7 +240,14 @@ fn drive<T: Transport, M: LoadModel + Sync, S: Strategy>(
     let mut events: Vec<Event> = Vec::new();
     let mut executed = 0u64;
     for _ in 0..steps {
-        net_step(&mut endpoints, &mut world, &model, &mut strategy);
+        net_step(
+            &pool,
+            &mut slots,
+            relaxed,
+            &mut world,
+            &model,
+            &mut strategy,
+        );
         executed += 1;
         world.take_observations(&mut phases, &mut events);
         for probe in probes.iter_mut() {
@@ -191,61 +298,54 @@ fn drive<T: Transport, M: LoadModel + Sync, S: Strategy>(
 }
 
 /// One simulation step over real messages. See the module docs for the
-/// three-phase structure.
+/// phase structure.
 fn net_step<T: Transport, M: LoadModel + Sync, S: Strategy>(
-    endpoints: &mut [T],
+    pool: &WorkerPool,
+    slots: &mut NodeSlots<T>,
+    relaxed: bool,
     world: &mut World,
     model: &M,
     strategy: &mut S,
 ) {
-    let nodes = endpoints.len();
+    let nodes = slots.0.len();
     let faults = world.active_faults();
     let fmodel: Option<&dyn FaultModel> = faults.as_deref();
-    let now = world.step();
-    let mut step_stats = FrameStats::default();
+    let round = world.step();
 
-    // ---- Phase A: local sub-steps + barrier round --------------------
+    // ---- Phase A: local sub-steps (no wire traffic; the broadcast
+    // ---- join is the synchronization) ---------------------------------
     let mut all_spills: Vec<(ProcId, Task)> = Vec::new();
     {
         let (shard_list, completions) = world.shard_views(nodes);
-        let mut shards: Vec<Option<_>> = shard_list.into_iter().map(Some).collect();
-        shards.resize_with(nodes, || None);
-        type NodeResult = (CompletionStats, FrameStats, Vec<(ProcId, Task)>);
-        let results: Vec<NodeResult> = std::thread::scope(|scope| {
-            let handles: Vec<_> = endpoints
-                .iter_mut()
-                .zip(shards)
-                .map(|(ep, shard)| {
-                    scope.spawn(move || {
-                        let mut local = CompletionStats::new(DEFAULT_SOJOURN_HIST);
-                        let mut fs = FrameStats::default();
-                        let mut spill = Vec::new();
-                        let load = if let Some(mut shard) = shard {
-                            let mut scratch = StepScratch::default();
-                            drive_shard(&mut shard, model, &mut local, fmodel, &mut scratch);
-                            // Gossip the logical load: ring contents
-                            // plus spilled tasks (they are real queue
-                            // entries awaiting absorption).
-                            let load = shard.total_load();
-                            spill = std::mem::take(&mut shard.spill);
-                            load
-                        } else {
-                            0
-                        };
-                        exchange(ep, Vec::new(), 0, now, load, fmodel, &mut fs);
-                        (local, fs, spill)
-                    })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("net node thread panicked"))
-                .collect()
+        let mut shard_slots = ShardSlots((0..nodes).map(|_| UnsafeCell::new(None)).collect());
+        for (wid, shard) in shard_list.into_iter().enumerate() {
+            *shard_slots.0[wid].get_mut() = Some(shard);
+        }
+        let shards = &shard_slots;
+        let nodes_ref: &NodeSlots<T> = slots;
+        pool.broadcast(&|wid: usize| {
+            // SAFETY: see `NodeSlots` — slot `wid` is exclusively ours
+            // for the duration of the broadcast.
+            let state = unsafe { &mut *nodes_ref.0[wid].get() };
+            let shard = unsafe { &mut *shards.0[wid].get() };
+            state.local.reset();
+            state.fs = FrameStats::default();
+            state.load = 0;
+            if let Some(shard) = shard.as_mut() {
+                drive_shard(shard, model, &mut state.local, fmodel, &mut state.scratch);
+                // Gossip the logical load: ring contents plus spilled
+                // tasks (they are real queue entries awaiting
+                // absorption).
+                state.load = shard.total_load();
+                state.spill = std::mem::take(&mut shard.spill);
+            }
         });
-        for (local, fs, mut spill) in results {
-            completions.merge(&local);
-            step_stats += fs;
-            all_spills.append(&mut spill);
+        // Merge completion locals and collect spills in fixed node
+        // (= processor) order.
+        for cell in &mut slots.0 {
+            let state = cell.get_mut();
+            completions.merge(&state.local);
+            all_spills.append(&mut state.spill);
         }
     }
     world.absorb_spill(&mut all_spills);
@@ -254,29 +354,23 @@ fn net_step<T: Transport, M: LoadModel + Sync, S: Strategy>(
     strategy.on_step(world);
     world.tick();
 
-    // ---- Phase B: frame, ship, decode, apply -------------------------
+    // ---- Phase B: bucket, batch, ship one watermark round ------------
     let (controls, transfers) = world.take_wire_step();
     let per = world.n().div_ceil(nodes);
     let node_of = |p: u64| ((p as usize) / per).min(nodes - 1);
 
-    let mut outs: Vec<Vec<OutFrame>> = (0..nodes).map(|_| Vec::new()).collect();
-    let mut expect = vec![0usize; nodes];
     for rec in &controls {
-        let (nonce, round) = rec.fault.map_or((0, 0), |c| (c.nonce, c.round));
-        let bytes = codec::encode(&WireMsg::Control {
-            kind: rec.kind,
-            src: rec.src,
-            dst: rec.dst,
-            nonce,
-            round,
-        });
+        let (nonce, game_round) = rec.fault.map_or((0, 0), |c| (c.nonce, c.round));
+        let src_node = node_of(rec.src);
         let dst_node = node_of(rec.dst);
-        if !rec.dropped {
-            expect[dst_node] += 1;
-        }
-        outs[node_of(rec.src)].push(OutFrame {
-            to: dst_node,
-            bytes,
+        slots.0[src_node].get_mut().out[dst_node].push(OutRec {
+            msg: WireMsg::Control {
+                kind: rec.kind,
+                src: rec.src,
+                dst: rec.dst,
+                nonce,
+                round: game_round,
+            },
             fault: rec.fault,
             logical_drop: rec.dropped,
             control: true,
@@ -296,17 +390,14 @@ fn net_step<T: Transport, M: LoadModel + Sync, S: Strategy>(
             })
             .collect();
         let count = wire_tasks.len() as u64;
-        let bytes = codec::encode(&WireMsg::Transfer {
-            seq: tr.seq,
-            src: tr.from as u64,
-            dst: tr.to as u64,
-            tasks: wire_tasks,
-        });
         let dst_node = node_of(tr.to as u64);
-        expect[dst_node] += 1;
-        outs[node_of(tr.from as u64)].push(OutFrame {
-            to: dst_node,
-            bytes,
+        slots.0[node_of(tr.from as u64)].get_mut().out[dst_node].push(OutRec {
+            msg: WireMsg::Transfer {
+                seq: tr.seq,
+                src: tr.from as u64,
+                dst: tr.to as u64,
+                tasks: wire_tasks,
+            },
             fault: None,
             logical_drop: false,
             control: false,
@@ -314,47 +405,33 @@ fn net_step<T: Transport, M: LoadModel + Sync, S: Strategy>(
         });
     }
 
-    let results: Vec<(Vec<WireMsg>, FrameStats)> = std::thread::scope(|scope| {
-        let handles: Vec<_> = endpoints
-            .iter_mut()
-            .zip(outs.into_iter().zip(expect))
-            .map(|(ep, (out, expect_n))| {
-                scope.spawn(move || {
-                    let mut fs = FrameStats::default();
-                    let data = exchange(ep, out, expect_n, now, 0, fmodel, &mut fs);
-                    (data, fs)
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("net node thread panicked"))
-            .collect()
+    let nodes_ref: &NodeSlots<T> = slots;
+    pool.broadcast(&|wid: usize| {
+        // SAFETY: see `NodeSlots`.
+        let state = unsafe { &mut *nodes_ref.0[wid].get() };
+        exchange_round(state, wid, round, fmodel);
     });
 
-    // Apply decoded transfers in global emission (`seq`) order: this
-    // is what makes queue contents — and therefore the whole run —
-    // independent of the transport's arrival interleaving.
-    let mut decoded_transfers: Vec<(u32, u64, Vec<WireTask>)> =
-        Vec::with_capacity(expected_transfers);
-    for (data, fs) in results {
-        step_stats += fs;
-        for msg in data {
-            if let WireMsg::Transfer {
-                seq, dst, tasks, ..
-            } = msg
-            {
-                decoded_transfers.push((seq, dst, tasks));
-            }
-        }
+    // Apply decoded transfers. Strict mode restores global emission
+    // (`seq`) order — this is what makes queue contents, and therefore
+    // the whole run, independent of the transport's arrival
+    // interleaving. Relaxed mode applies them as they arrived.
+    let mut step_stats = FrameStats::default();
+    let mut decoded: Vec<(u32, u64, Vec<WireTask>)> = Vec::with_capacity(expected_transfers);
+    for cell in &mut slots.0 {
+        let state = cell.get_mut();
+        step_stats += state.fs;
+        decoded.append(&mut state.decoded);
     }
     assert_eq!(
-        decoded_transfers.len(),
+        decoded.len(),
         expected_transfers,
         "transfer frames lost in flight"
     );
-    decoded_transfers.sort_by_key(|(seq, _, _)| *seq);
-    for (_, dst, tasks) in decoded_transfers {
+    if !relaxed {
+        decoded.sort_by_key(|(seq, _, _)| *seq);
+    }
+    for (_, dst, tasks) in decoded {
         let tasks: Vec<Task> = tasks
             .into_iter()
             .map(|t| Task {
@@ -369,68 +446,127 @@ fn net_step<T: Transport, M: LoadModel + Sync, S: Strategy>(
     world.add_net_frames(step_stats);
 }
 
-/// Ships `out` frames, closes with a barrier round, and collects the
-/// `expect` data frames addressed to this node (barriers and data
-/// interleave arbitrarily across peers). Returns the decoded data
-/// frames in arrival order.
-fn exchange<T: Transport>(
-    ep: &mut T,
-    out: Vec<OutFrame>,
-    expect: usize,
-    step: Step,
-    load: u64,
+/// One node's half of a watermark round: encode one batch per peer
+/// (charging every record to the sender first, then letting the fault
+/// hook discard), ship them, account self-records locally, and receive
+/// until every peer's watermark for `round` has arrived.
+fn exchange_round<T: Transport>(
+    state: &mut NodeState<T>,
+    me: usize,
+    round: u64,
     fmodel: Option<&dyn FaultModel>,
-    fs: &mut FrameStats,
-) -> Vec<WireMsg> {
-    let me = ep.node();
-    let peers = ep.nodes();
-    for f in out {
-        // Lemma 8 charging rule: the sender pays for every frame at
-        // send time, delivered or not — so the frame is charged before
-        // the transport-level fault hook gets to discard it.
-        fs.record_sent(f.bytes.len());
-        if f.control {
-            fs.control_frames += 1;
-        } else {
-            fs.transfer_frames += 1;
-            fs.payload_tasks += f.tasks;
+) {
+    let NodeState {
+        ep,
+        batch,
+        fs,
+        load,
+        out,
+        raw,
+        decoded,
+        ..
+    } = state;
+    let nodes = ep.nodes();
+    decoded.clear();
+
+    for dst in 0..nodes {
+        if dst == me {
+            // Self-records bypass the transport but are charged as
+            // both sent and received, so loopback and TCP stats agree.
+            for rec in out[me].drain(..) {
+                let len = charge_send(fs, &rec);
+                if record_dropped(fs, &rec, fmodel) {
+                    continue;
+                }
+                fs.record_received(len);
+                if let WireMsg::Transfer {
+                    seq, dst, tasks, ..
+                } = rec.msg
+                {
+                    decoded.push((seq, dst, tasks));
+                }
+            }
+            continue;
         }
-        if let (Some(ctx), Some(model)) = (&f.fault, fmodel) {
-            // Transport-level fault hook: the same pure hash the
-            // logical layer used, evaluated independently here.
-            let phys = model.frame_dropped(ctx);
-            debug_assert_eq!(
-                phys, f.logical_drop,
-                "transport and logical fault decisions diverged"
-            );
-            if phys {
-                fs.frames_dropped += 1;
+        batch.begin(me as u32, round, *load);
+        let mut payload = 0usize;
+        for rec in out[dst].drain(..) {
+            charge_send(fs, &rec);
+            if record_dropped(fs, &rec, fmodel) {
                 continue;
             }
+            payload += batch.push(&rec.msg);
         }
-        ep.send(f.to, &f.bytes).expect("net send failed");
+        if batch.frames() == 0 {
+            fs.sync_frames += 1;
+        }
+        let frame = batch.finish();
+        // The batch header and per-frame length prefixes are physical
+        // overhead on top of the logical frame bytes.
+        fs.bytes_sent += (frame.len() - payload) as u64;
+        fs.batches_sent += 1;
+        ep.send(dst, frame).expect("net send failed");
     }
-    let barrier = codec::encode(&WireMsg::Barrier {
-        node: me as u32,
-        step,
-        load,
-    });
-    for peer in 0..peers {
-        if peer != me {
-            ep.send(peer, &barrier).expect("net barrier send failed");
-            fs.record_sent(barrier.len());
-            fs.barrier_frames += 1;
+
+    let mut peers_done = 0usize;
+    while peers_done < nodes.saturating_sub(1) {
+        raw.clear();
+        ep.recv_burst(raw).expect("net recv failed");
+        for frame in raw.drain(..) {
+            let view = codec::decode_batch(&frame).expect("undecodable batch on the wire");
+            // The coordinator joins both broadcasts between rounds, so
+            // no peer can be a round ahead of us: a mismatched
+            // watermark is a protocol bug, not reordering.
+            assert_eq!(view.round, round, "cross-round batch interleaving");
+            fs.batches_received += 1;
+            let mut payload = 0usize;
+            for sub in view {
+                let sub = sub.expect("corrupt batch payload");
+                fs.record_received(sub.len());
+                payload += sub.len();
+                if let WireMsg::Transfer {
+                    seq, dst, tasks, ..
+                } = codec::decode(sub).expect("undecodable frame in batch")
+                {
+                    decoded.push((seq, dst, tasks));
+                }
+            }
+            fs.bytes_received += (frame.len() - payload) as u64;
+            peers_done += 1;
         }
     }
-    let mut data = Vec::with_capacity(expect);
-    let mut barriers_seen = 0;
-    while data.len() < expect || barriers_seen < peers - 1 {
-        let raw = ep.recv().expect("net recv failed");
-        fs.record_received(raw.len());
-        match codec::decode(&raw).expect("undecodable frame on the wire") {
-            WireMsg::Barrier { .. } => barriers_seen += 1,
-            msg => data.push(msg),
+}
+
+/// Lemma 8 charging rule: the sender pays for every frame at send
+/// time, delivered or not — so the frame is charged before the
+/// transport-level fault hook gets to discard it. Returns the logical
+/// frame length.
+fn charge_send(fs: &mut FrameStats, rec: &OutRec) -> usize {
+    let len = codec::encoded_len(&rec.msg);
+    fs.record_sent(len);
+    if rec.control {
+        fs.control_frames += 1;
+    } else {
+        fs.transfer_frames += 1;
+        fs.payload_tasks += rec.tasks;
+    }
+    len
+}
+
+/// Transport-level fault hook: the same pure hash the logical layer
+/// used, evaluated independently here. Returns `true` when the record
+/// must be discarded instead of batched.
+fn record_dropped(fs: &mut FrameStats, rec: &OutRec, fmodel: Option<&dyn FaultModel>) -> bool {
+    if let (Some(ctx), Some(model)) = (&rec.fault, fmodel) {
+        let phys = model.frame_dropped(ctx);
+        debug_assert_eq!(
+            phys, rec.logical_drop,
+            "transport and logical fault decisions diverged"
+        );
+        if phys {
+            fs.frames_dropped += 1;
+            return true;
         }
     }
-    data
+    false
 }

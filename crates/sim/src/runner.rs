@@ -238,8 +238,18 @@ impl<M: LoadModel + Sync, S: Strategy> Runner<M, S> {
         // The net backend replaces the engine loop wholesale: its wire
         // layer needs to interleave node threads with the control
         // step, so it is intercepted before `resolve()`.
-        if let Backend::Net { nodes, tcp } = backend {
-            return crate::net::run_net_detailed(steps, nodes, tcp, world, model, strategy, probes);
+        if let Backend::Net {
+            nodes,
+            tcp,
+            relaxed,
+        } = backend
+        {
+            let topo = crate::net::NetTopology {
+                nodes,
+                tcp,
+                relaxed,
+            };
+            return crate::net::run_net_detailed(steps, topo, world, model, strategy, probes);
         }
         // Resolve once per run: for `Backend::Pooled` this spawns the
         // persistent worker pool, which lives until the engine drops.

@@ -76,6 +76,7 @@ fn backend_for(kind: u8, width: usize) -> Backend {
         _ => Backend::Net {
             nodes: width,
             tcp: false,
+            relaxed: false,
         },
     }
 }

@@ -1,22 +1,30 @@
-//! A real distributed run: four node threads on 127.0.0.1, each
-//! hosting a shard of processors, exchanging every collision-protocol
-//! message as a length-prefixed frame over localhost TCP sockets —
-//! then the same run on the deterministic loopback transport and on
-//! the sequential backend, to show all three are bit-identical.
+//! A real distributed run: node threads on 127.0.0.1, each hosting a
+//! shard of processors, exchanging every collision-protocol message
+//! inside per-peer batched frames over localhost TCP sockets — then
+//! the same run on the deterministic loopback transport and on the
+//! sequential backend, to show all three are bit-identical.
 //!
 //! Along the way the example measures what the paper only bounds:
 //! Lemma 8's per-phase message count, observed as *physical frames on
-//! the wire* rather than ledger entries.
+//! the wire* rather than ledger entries. It also doubles as the E22
+//! sweep harness: it reports steps/s and wire-frame throughput per
+//! backend, so `for nodes in 2 4 8 ... 64` sweeps come straight from
+//! this binary.
 //!
 //! ```text
-//! cargo run --release --example net_run [n] [steps] [nodes]
+//! cargo run --release --example net_run -- [n] [steps] [nodes] [--net-relaxed] [--loopback]
 //! ```
+//!
+//! `--net-relaxed` applies transfers in network arrival order
+//! (skipping the bit-for-bit fingerprint asserts, which relaxed mode
+//! deliberately gives up); `--loopback` skips the TCP leg (for
+//! loopback-only sweeps).
 
 use pcrlb::collision::CollisionParams;
 use pcrlb::core::BalancerConfig;
 use pcrlb::prelude::*;
 use pcrlb::sim::FrameStats;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 fn fingerprint(r: &RunReport) -> (u64, usize, u64, u64) {
     (
@@ -27,14 +35,40 @@ fn fingerprint(r: &RunReport) -> (u64, usize, u64, u64) {
     )
 }
 
+/// Physical wire frames per second: every batch is one frame on the
+/// wire (self-node traffic never leaves the process and is excluded).
+fn wire_fps(frames: &FrameStats, elapsed: Duration) -> f64 {
+    frames.batches_sent as f64 / elapsed.as_secs_f64()
+}
+
 fn main() {
-    let mut args = std::env::args().skip(1);
-    let n: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(1 << 10);
-    let steps: u64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(1000);
-    let nodes: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(4);
+    let mut n: usize = 1 << 10;
+    let mut steps: u64 = 1000;
+    let mut nodes: usize = 4;
+    let mut relaxed = false;
+    let mut loopback_only = false;
+    let mut positional = 0;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--net-relaxed" => relaxed = true,
+            "--loopback" => loopback_only = true,
+            other => {
+                let v: u64 = other
+                    .parse()
+                    .unwrap_or_else(|_| panic!("unrecognized argument '{other}'"));
+                match positional {
+                    0 => n = v as usize,
+                    1 => steps = v,
+                    2 => nodes = v as usize,
+                    _ => panic!("too many positional arguments"),
+                }
+                positional += 1;
+            }
+        }
+    }
     let seed = 1998;
 
-    println!("n = {n}, steps = {steps}, nodes = {nodes}\n");
+    println!("n = {n}, steps = {steps}, nodes = {nodes}, relaxed = {relaxed}\n");
 
     let run = |backend: Backend| {
         let t0 = Instant::now();
@@ -48,58 +82,89 @@ fn main() {
             .run_detailed(steps);
         (t0.elapsed(), report, world.net_frames())
     };
+    let throughput = |label: &str, elapsed: Duration, frames: &FrameStats| {
+        println!(
+            "  {label}: {:.0} steps/s, {:.0} wire frames/s, {:.0} logical frames/s",
+            steps as f64 / elapsed.as_secs_f64(),
+            wire_fps(frames, elapsed),
+            frames.frames_sent as f64 / elapsed.as_secs_f64(),
+        );
+    };
 
     // Baseline: the sequential shared-memory backend.
     let (seq_time, seq, _) = run(Backend::Sequential);
     let seq_fp = fingerprint(&seq);
     println!("sequential backend   {seq_time:>8.2?}  fingerprint {seq_fp:?}");
 
-    // Loopback: the full message-passing runtime — encode, route
-    // through per-node mailboxes, barrier, decode — without sockets.
-    let (loop_time, looped, loop_frames) = run(Backend::Net { nodes, tcp: false });
+    // Loopback: the full message-passing runtime — encode into per-peer
+    // batches, route through per-node mailboxes, close the watermark
+    // round, decode — without sockets.
+    let (loop_time, looped, loop_frames) = run(Backend::Net {
+        nodes,
+        tcp: false,
+        relaxed,
+    });
     println!(
         "loopback net ({nodes} nodes) {loop_time:>8.2?}  fingerprint {:?}",
         fingerprint(&looped)
     );
-    assert_eq!(seq_fp, fingerprint(&looped), "loopback diverged!");
+    let frames: FrameStats = loop_frames.expect("net run must expose frame stats");
+    throughput("loopback", loop_time, &frames);
+    if !relaxed {
+        assert_eq!(seq_fp, fingerprint(&looped), "loopback diverged!");
+    }
 
-    // TCP: the same runtime over real localhost sockets with
-    // length-prefixed frames, Hello handshakes, and connection reuse.
-    let (tcp_time, tcp, tcp_frames) = run(Backend::Net { nodes, tcp: true });
-    println!(
-        "tcp net      ({nodes} nodes) {tcp_time:>8.2?}  fingerprint {:?}",
-        fingerprint(&tcp)
-    );
-    assert_eq!(seq_fp, fingerprint(&tcp), "tcp diverged!");
+    if !loopback_only {
+        // TCP: the same runtime over real localhost sockets —
+        // non-blocking, poll-driven, batched frames, Hello handshakes,
+        // connection reuse.
+        let (tcp_time, tcp, tcp_frames) = run(Backend::Net {
+            nodes,
+            tcp: true,
+            relaxed,
+        });
+        println!(
+            "tcp net      ({nodes} nodes) {tcp_time:>8.2?}  fingerprint {:?}",
+            fingerprint(&tcp)
+        );
+        let tcp_frames = tcp_frames.expect("net run must expose frame stats");
+        throughput("tcp", tcp_time, &tcp_frames);
+        if !relaxed {
+            assert_eq!(seq_fp, fingerprint(&tcp), "tcp diverged!");
+            assert_eq!(
+                tcp_frames, frames,
+                "tcp and loopback moved different frames"
+            );
+        }
+    }
 
-    let frames: FrameStats = tcp_frames.expect("net run must expose frame stats");
-    assert_eq!(
-        Some(frames),
-        loop_frames,
-        "tcp and loopback moved different frames"
-    );
+    // Frame analysis below uses the loopback run throughout: in relaxed
+    // mode the TCP trajectory may legitimately diverge from it.
+    let report = looped;
 
-    println!("\n--- wire traffic (tcp run) ---");
-    println!("frames sent           = {}", frames.frames_sent);
+    println!("\n--- wire traffic (loopback run) ---");
+    println!("logical frames sent   = {}", frames.frames_sent);
     println!("  control frames      = {}", frames.control_frames);
     println!("  transfer frames     = {}", frames.transfer_frames);
-    println!("  barrier frames      = {}", frames.barrier_frames);
+    println!("batches sent          = {}", frames.batches_sent);
+    println!("  empty (sync only)   = {}", frames.sync_frames);
     println!("bytes sent            = {}", frames.bytes_sent);
     println!("tasks moved by frame  = {}", frames.payload_tasks);
     assert_eq!(
         frames.control_frames + frames.transfer_frames,
-        tcp.messages.total(),
+        report.messages.total(),
         "frames must mirror the message ledger one-for-one"
     );
 
     // Lemma 8 charges each phase a·R messages per request plus O(1)
     // bookkeeping and ≤ 2 classification probes per heavy processor.
-    // With one frame per ledger message, the bound carries over to
-    // physical frames-per-phase unchanged.
+    // With one logical frame per ledger message — batching changes the
+    // physical packaging, not the count — the bound carries over to
+    // observed frames-per-phase unchanged.
     let params = CollisionParams::lemma1();
     let a = params.a as u64;
     let r = u64::from(params.rounds(n));
-    let phases = match tcp.probe("phases") {
+    let phases = match report.probe("phases") {
         Some(ProbeOutput::Phases(p)) => p.clone(),
         other => panic!("unexpected probe output: {other:?}"),
     };
@@ -136,10 +201,16 @@ fn main() {
     );
 
     println!();
-    println!("identical fingerprints: the distributed executions reproduce the");
-    println!("sequential run bit-for-bit. Determinism survives the wire because");
-    println!("the runtime delivers frames at phase barriers in (src, seq) order,");
-    println!("so decoded state is independent of socket timing — and every");
-    println!("ledger message costs exactly one frame, so Lemma 8's bound is an");
-    println!("observable property of the traffic, not just of the accounting.");
+    if relaxed {
+        println!("relaxed mode: transfers applied in arrival order — the bit-for-bit");
+        println!("contract is deliberately waived, but work is conserved and Lemma 8's");
+        println!("frame bound still holds (charging happens at send time).");
+    } else {
+        println!("identical fingerprints: the distributed executions reproduce the");
+        println!("sequential run bit-for-bit. Determinism survives the wire because");
+        println!("the runtime applies transfers in (seq) order at watermark rounds,");
+        println!("so decoded state is independent of socket timing — and every");
+        println!("ledger message costs exactly one logical frame, so Lemma 8's bound");
+        println!("is an observable property of the traffic, not just the accounting.");
+    }
 }

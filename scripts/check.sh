@@ -1,172 +1,257 @@
 #!/usr/bin/env bash
-# Local CI gate: formatting, lints, and the tier-1 build+test suite.
+# Local CI gate: formatting, lints, and the tiered test suites.
 #
-# Usage: scripts/check.sh
-# Fails fast on the first broken stage so the fix loop is short.
+# Usage: scripts/check.sh [--stage <name>]
+#
+#   --stage lint      cargo fmt --check + clippy -D warnings
+#   --stage tier1     release build + full `cargo test -q` + CLI
+#                     determinism sweep across --threads
+#   --stage faults    fault-plan determinism sweep + tests/faults.rs
+#   --stage net       message-passing runtime: unit/property tests,
+#                     equivalence suite, CLI loopback + TCP smoke
+#   --stage service   open-loop traffic + latency histogram suites
+#   --stage bench     soa_hotpath quick bench gated on the committed
+#                     trajectory (BENCH_pr*.json)
+#   --stage all       every stage in order plus the advisory TSan run
+#                     (the default; preserves historical behavior)
+#
+# Each stage is self-contained (builds what it needs), so CI can run
+# them as independent jobs. Fails fast on the first broken stage so the
+# fix loop is short.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-echo "==> cargo fmt --check"
-cargo fmt --all -- --check
+stage=all
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --stage)
+      [[ $# -ge 2 ]] || { echo "--stage needs an argument" >&2; exit 2; }
+      stage="$2"
+      shift 2
+      ;;
+    *)
+      echo "unknown argument: $1" >&2
+      echo "usage: scripts/check.sh [--stage lint|tier1|faults|net|service|bench|all]" >&2
+      exit 2
+      ;;
+  esac
+done
 
-echo "==> cargo clippy --workspace --all-targets -- -D warnings"
-cargo clippy --workspace --all-targets -- -D warnings
+# Stages that drive the CLI end to end need the release binary; cargo
+# makes this a no-op when it is already fresh.
+ensure_release_bin() {
+  cargo build --release --quiet
+}
 
-echo "==> tier-1: cargo build --release"
-cargo build --release
+stage_lint() {
+  echo "==> cargo fmt --check"
+  cargo fmt --all -- --check
 
-echo "==> tier-1: cargo test -q"
-cargo test -q
+  echo "==> cargo clippy --workspace --all-targets -- -D warnings"
+  cargo clippy --workspace --all-targets -- -D warnings
+}
 
-echo "==> determinism across --threads (CLI end to end)"
-# The report printed by the binary must be byte-identical for every
-# thread count: the pool backend is bit-exact by construction.
-baseline="$(./target/release/pcrlb --n 512 --steps 1500 --seed 7 --threads 1)"
-for t in 2 4 8; do
-  got="$(./target/release/pcrlb --n 512 --steps 1500 --seed 7 --threads "$t")"
-  if [[ "$got" != "$baseline" ]]; then
-    echo "FAIL: --threads $t output differs from --threads 1" >&2
-    diff <(echo "$baseline") <(echo "$got") >&2 || true
+stage_tier1() {
+  echo "==> tier-1: cargo build --release"
+  cargo build --release
+
+  echo "==> tier-1: cargo test -q"
+  cargo test -q
+
+  echo "==> determinism across --threads (CLI end to end)"
+  # The report printed by the binary must be byte-identical for every
+  # thread count: the pool backend is bit-exact by construction.
+  baseline="$(./target/release/pcrlb --n 512 --steps 1500 --seed 7 --threads 1)"
+  for t in 2 4 8; do
+    got="$(./target/release/pcrlb --n 512 --steps 1500 --seed 7 --threads "$t")"
+    if [[ "$got" != "$baseline" ]]; then
+      echo "FAIL: --threads $t output differs from --threads 1" >&2
+      diff <(echo "$baseline") <(echo "$got") >&2 || true
+      exit 1
+    fi
+  done
+  echo "    --threads {1,2,4,8} agree"
+}
+
+stage_faults() {
+  ensure_release_bin
+  echo "==> fault suite (determinism under loss + crashes, CLI end to end)"
+  # With faults enabled the run is a pure function of (seed, fault-seed):
+  # still byte-identical for every thread count, and the fault lines must
+  # actually appear (a silent fall-back to the reliable path would also
+  # pass the determinism sweep).
+  fault_flags=(--n 512 --steps 1500 --seed 7 --loss-rate 0.05 --crash-rate 0.02 --fault-seed 3)
+  faulty_baseline="$(./target/release/pcrlb "${fault_flags[@]}" --threads 1)"
+  if ! grep -q "messages dropped" <<<"$faulty_baseline"; then
+    echo "FAIL: faulty run printed no fault report" >&2
     exit 1
   fi
-done
-echo "    --threads {1,2,4,8} agree"
+  for t in 2 4 8; do
+    got="$(./target/release/pcrlb "${fault_flags[@]}" --threads "$t")"
+    if [[ "$got" != "$faulty_baseline" ]]; then
+      echo "FAIL: faulty run with --threads $t differs from --threads 1" >&2
+      diff <(echo "$faulty_baseline") <(echo "$got") >&2 || true
+      exit 1
+    fi
+  done
+  echo "    faulty --threads {1,2,4,8} agree"
+  cargo test -q --test faults >/dev/null
+  echo "    tests/faults.rs green"
+}
 
-echo "==> fault suite (determinism under loss + crashes, CLI end to end)"
-# With faults enabled the run is a pure function of (seed, fault-seed):
-# still byte-identical for every thread count, and the fault lines must
-# actually appear (a silent fall-back to the reliable path would also
-# pass the determinism sweep).
-fault_flags=(--n 512 --steps 1500 --seed 7 --loss-rate 0.05 --crash-rate 0.02 --fault-seed 3)
-faulty_baseline="$(./target/release/pcrlb "${fault_flags[@]}" --threads 1)"
-if ! grep -q "messages dropped" <<<"$faulty_baseline"; then
-  echo "FAIL: faulty run printed no fault report" >&2
-  exit 1
-fi
-for t in 2 4 8; do
-  got="$(./target/release/pcrlb "${fault_flags[@]}" --threads "$t")"
-  if [[ "$got" != "$faulty_baseline" ]]; then
-    echo "FAIL: faulty run with --threads $t differs from --threads 1" >&2
-    diff <(echo "$faulty_baseline") <(echo "$got") >&2 || true
+stage_net() {
+  ensure_release_bin
+  echo "==> net-suite (message-passing runtime)"
+  # The wire layer's own tests: codec round-trips, batch frames,
+  # transports, then the cross-crate equivalence suite (loopback ≡
+  # sequential bit-for-bit at 1/2/4/8 nodes, reliable and lossy, plus
+  # the localhost-TCP smoke).
+  cargo test -q -p pcrlb-net >/dev/null
+  echo "    pcrlb-net unit + property tests green"
+  cargo test -q --test net_equivalence >/dev/null
+  echo "    tests/net_equivalence.rs green"
+  # CLI end to end: the printed report must be byte-identical when every
+  # protocol message travels through the loopback transport, for any
+  # node count.
+  baseline="$(./target/release/pcrlb --n 512 --steps 1500 --seed 7 --threads 1)"
+  for nodes in 1 2 4 8; do
+    got="$(./target/release/pcrlb --n 512 --steps 1500 --seed 7 --backend "net:$nodes")"
+    if [[ "$got" != "$baseline" ]]; then
+      echo "FAIL: --backend net:$nodes output differs from sequential" >&2
+      diff <(echo "$baseline") <(echo "$got") >&2 || true
+      exit 1
+    fi
+  done
+  echo "    --backend net:{1,2,4,8} match the sequential report"
+  # Short localhost-TCP smoke: real sockets, same bytes out.
+  got="$(./target/release/pcrlb --n 256 --steps 300 --seed 7 --backend tcp:2)"
+  want="$(./target/release/pcrlb --n 256 --steps 300 --seed 7)"
+  if [[ "$got" != "$want" ]]; then
+    echo "FAIL: --backend tcp:2 output differs from sequential" >&2
+    diff <(echo "$want") <(echo "$got") >&2 || true
     exit 1
   fi
-done
-echo "    faulty --threads {1,2,4,8} agree"
-cargo test -q --test faults >/dev/null
-echo "    tests/faults.rs green"
+  echo "    --backend tcp:2 smoke matches the sequential report"
+  # Relaxed mode trades the bit-for-bit contract for arrival-order
+  # application; the run must still complete and conserve work.
+  ./target/release/pcrlb --n 256 --steps 300 --seed 7 --backend net:4 --net-relaxed >/dev/null
+  echo "    --net-relaxed loopback run completes"
+}
 
-echo "==> net-suite (message-passing runtime)"
-# The wire layer's own tests: codec round-trips, transports, then the
-# cross-crate equivalence suite (loopback ≡ sequential bit-for-bit,
-# reliable and lossy, plus the localhost-TCP smoke).
-cargo test -q -p pcrlb-net >/dev/null
-echo "    pcrlb-net unit + property tests green"
-cargo test -q --test net_equivalence >/dev/null
-echo "    tests/net_equivalence.rs green"
-# CLI end to end: the printed report must be byte-identical when every
-# protocol message travels through the loopback transport, for any
-# node count.
-for nodes in 1 2 4; do
-  got="$(./target/release/pcrlb --n 512 --steps 1500 --seed 7 --backend "net:$nodes")"
-  if [[ "$got" != "$baseline" ]]; then
-    echo "FAIL: --backend net:$nodes output differs from sequential" >&2
-    diff <(echo "$baseline") <(echo "$got") >&2 || true
+stage_service() {
+  ensure_release_bin
+  echo "==> service-suite (open-loop traffic + latency histograms)"
+  # The service-simulation layer: histogram merge/quantile properties,
+  # the statistical shape suite (Poisson band, Little's law, tail
+  # monotonicity), then the open-loop CLI and example end to end — the
+  # sojourn block must be byte-identical across backends like every
+  # other report line.
+  cargo test -q -p pcrlb-sim --test prop_latency >/dev/null
+  echo "    prop_latency.rs green"
+  cargo test -q --test service_shape >/dev/null
+  echo "    tests/service_shape.rs green"
+  svc_flags=(--n 512 --steps 1000 --seed 7 --arrivals poisson:0.9+shed:32 --slo-p999 100)
+  svc_baseline="$(./target/release/pcrlb "${svc_flags[@]}" --threads 1)"
+  if ! grep -q "sojourn p50/p99/p999" <<<"$svc_baseline"; then
+    echo "FAIL: open-loop run printed no service block" >&2
     exit 1
   fi
-done
-echo "    --backend net:{1,2,4} match the sequential report"
-# Short localhost-TCP smoke: real sockets, same bytes out.
-got="$(./target/release/pcrlb --n 256 --steps 300 --seed 7 --backend tcp:2)"
-want="$(./target/release/pcrlb --n 256 --steps 300 --seed 7)"
-if [[ "$got" != "$want" ]]; then
-  echo "FAIL: --backend tcp:2 output differs from sequential" >&2
-  diff <(echo "$want") <(echo "$got") >&2 || true
-  exit 1
-fi
-echo "    --backend tcp:2 smoke matches the sequential report"
-
-echo "==> service-suite (open-loop traffic + latency histograms)"
-# The service-simulation layer: histogram merge/quantile properties,
-# the statistical shape suite (Poisson band, Little's law, tail
-# monotonicity), then the open-loop CLI and example end to end — the
-# sojourn block must be byte-identical across backends like every
-# other report line.
-cargo test -q -p pcrlb-sim --test prop_latency >/dev/null
-echo "    prop_latency.rs green"
-cargo test -q --test service_shape >/dev/null
-echo "    tests/service_shape.rs green"
-svc_flags=(--n 512 --steps 1000 --seed 7 --arrivals poisson:0.9+shed:32 --slo-p999 100)
-svc_baseline="$(./target/release/pcrlb "${svc_flags[@]}" --threads 1)"
-if ! grep -q "sojourn p50/p99/p999" <<<"$svc_baseline"; then
-  echo "FAIL: open-loop run printed no service block" >&2
-  exit 1
-fi
-for t in 4; do
-  got="$(./target/release/pcrlb "${svc_flags[@]}" --threads "$t")"
-  if [[ "$got" != "$svc_baseline" ]]; then
-    echo "FAIL: open-loop run with --threads $t differs from --threads 1" >&2
-    diff <(echo "$svc_baseline") <(echo "$got") >&2 || true
+  for t in 4; do
+    got="$(./target/release/pcrlb "${svc_flags[@]}" --threads "$t")"
+    if [[ "$got" != "$svc_baseline" ]]; then
+      echo "FAIL: open-loop run with --threads $t differs from --threads 1" >&2
+      diff <(echo "$svc_baseline") <(echo "$got") >&2 || true
+      exit 1
+    fi
+  done
+  echo "    open-loop CLI --threads {1,4} agree"
+  svc_quick="$(cargo run -q --release --example service_sim -- --quick)"
+  svc_quick4="$(cargo run -q --release --example service_sim -- --quick --threads 4)"
+  if [[ "$svc_quick" != "$svc_quick4" ]]; then
+    echo "FAIL: service_sim --quick differs between --threads 1 and 4" >&2
+    diff <(echo "$svc_quick") <(echo "$svc_quick4") >&2 || true
     exit 1
   fi
-done
-echo "    open-loop CLI --threads {1,4} agree"
-svc_quick="$(cargo run -q --release --example service_sim -- --quick)"
-svc_quick4="$(cargo run -q --release --example service_sim -- --quick --threads 4)"
-if [[ "$svc_quick" != "$svc_quick4" ]]; then
-  echo "FAIL: service_sim --quick differs between --threads 1 and 4" >&2
-  diff <(echo "$svc_quick") <(echo "$svc_quick4") >&2 || true
-  exit 1
-fi
-echo "    service_sim --quick smoke agrees across backends"
+  echo "    service_sim --quick smoke agrees across backends"
+}
 
-echo "==> bench-smoke (soa_hotpath, quick mode)"
-# Measures processor-steps/sec on the SoA hot path and gates against
-# the committed trajectory (BENCH_pr7.json, falling back to the older
-# BENCH_pr6.json): a >10% regression at n=2^18 (sequential) fails the
-# gate. Refresh the committed numbers with UPDATE_BENCH=1
-# scripts/check.sh (only on quiet, comparable hardware).
-# Absolute paths: cargo runs the bench with CWD = crates/bench. When
-# re-baselining (UPDATE_BENCH=1, or no committed file yet) the gate is
-# skipped — the fresh numbers *become* the trajectory.
-mkdir -p target
-gate_args=()
-rebaseline=0
-if [[ "${UPDATE_BENCH:-0}" == "1" ]]; then
-  rebaseline=1
-elif [[ -f BENCH_pr7.json ]]; then
-  gate_args=(--gate "$PWD/BENCH_pr7.json")
-elif [[ -f BENCH_pr6.json ]]; then
-  gate_args=(--gate "$PWD/BENCH_pr6.json")
-else
-  rebaseline=1
-fi
-cargo bench -p pcrlb-bench --bench soa_hotpath -- \
-  --quick --json "$PWD/target/bench_pr7.json" ${gate_args[@]+"${gate_args[@]}"} \
-  | grep '^soa_hotpath'
-if [[ "$rebaseline" == "1" ]]; then
-  cp target/bench_pr7.json BENCH_pr7.json
-  echo "    BENCH_pr7.json updated from this run"
-else
-  echo "    throughput within 10% of the committed trajectory"
-fi
-
-# Advisory: ThreadSanitizer over the pool and threaded backends.
-# Needs a nightly toolchain with rust-src; skipped (not failed) when
-# unavailable, and failures never block the gate — TSan has known
-# false positives with std's runtime.
-if command -v rustup >/dev/null 2>&1 \
-  && rustup toolchain list 2>/dev/null | grep -q nightly \
-  && rustup component list --toolchain nightly 2>/dev/null \
-     | grep -q 'rust-src.*(installed)'; then
-  host="$(rustc -vV | sed -n 's/^host: //p')"
-  echo "==> advisory: ThreadSanitizer (nightly, non-blocking)"
-  if ! RUSTFLAGS="-Zsanitizer=thread" \
-      cargo +nightly test -p pcrlb-sim --lib --target "$host" \
-      -Z build-std -q; then
-    echo "    TSan run failed (advisory only; not blocking the gate)"
+stage_bench() {
+  echo "==> bench-smoke (soa_hotpath, quick mode)"
+  # Measures processor-steps/sec on the SoA hot path and gates against
+  # the committed trajectory (BENCH_pr7.json, falling back to the older
+  # BENCH_pr6.json): a >10% regression at n=2^18 (sequential) fails the
+  # gate. (BENCH_pr8.json is the E22 net-throughput sweep, a different
+  # schema — it is not a soa_hotpath gate input.) Refresh the committed
+  # numbers with UPDATE_BENCH=1 scripts/check.sh --stage bench (only on
+  # quiet, comparable hardware).
+  # Absolute paths: cargo runs the bench with CWD = crates/bench. When
+  # re-baselining (UPDATE_BENCH=1, or no committed file yet) the gate is
+  # skipped — the fresh numbers *become* the trajectory.
+  mkdir -p target
+  gate_args=()
+  rebaseline=0
+  if [[ "${UPDATE_BENCH:-0}" == "1" ]]; then
+    rebaseline=1
+  elif [[ -f BENCH_pr7.json ]]; then
+    gate_args=(--gate "$PWD/BENCH_pr7.json")
+  elif [[ -f BENCH_pr6.json ]]; then
+    gate_args=(--gate "$PWD/BENCH_pr6.json")
+  else
+    rebaseline=1
   fi
-else
-  echo "==> advisory: ThreadSanitizer skipped (needs nightly + rust-src)"
-fi
+  cargo bench -p pcrlb-bench --bench soa_hotpath -- \
+    --quick --json "$PWD/target/bench_smoke.json" ${gate_args[@]+"${gate_args[@]}"} \
+    | grep '^soa_hotpath'
+  if [[ "$rebaseline" == "1" ]]; then
+    cp target/bench_smoke.json BENCH_pr7.json
+    echo "    BENCH_pr7.json updated from this run"
+  else
+    echo "    throughput within 10% of the committed trajectory"
+  fi
+}
 
-echo "All checks passed."
+stage_tsan_advisory() {
+  # Advisory: ThreadSanitizer over the pool and threaded backends.
+  # Needs a nightly toolchain with rust-src; skipped (not failed) when
+  # unavailable, and failures never block the gate — TSan has known
+  # false positives with std's runtime.
+  if command -v rustup >/dev/null 2>&1 \
+    && rustup toolchain list 2>/dev/null | grep -q nightly \
+    && rustup component list --toolchain nightly 2>/dev/null \
+       | grep -q 'rust-src.*(installed)'; then
+    host="$(rustc -vV | sed -n 's/^host: //p')"
+    echo "==> advisory: ThreadSanitizer (nightly, non-blocking)"
+    if ! RUSTFLAGS="-Zsanitizer=thread" \
+        cargo +nightly test -p pcrlb-sim --lib --target "$host" \
+        -Z build-std -q; then
+      echo "    TSan run failed (advisory only; not blocking the gate)"
+    fi
+  else
+    echo "==> advisory: ThreadSanitizer skipped (needs nightly + rust-src)"
+  fi
+}
+
+case "$stage" in
+  lint) stage_lint ;;
+  tier1) stage_tier1 ;;
+  faults) stage_faults ;;
+  net) stage_net ;;
+  service) stage_service ;;
+  bench) stage_bench ;;
+  all)
+    stage_lint
+    stage_tier1
+    stage_faults
+    stage_net
+    stage_service
+    stage_bench
+    stage_tsan_advisory
+    ;;
+  *)
+    echo "unknown stage: $stage" >&2
+    echo "usage: scripts/check.sh [--stage lint|tier1|faults|net|service|bench|all]" >&2
+    exit 2
+    ;;
+esac
+
+echo "All checks passed (stage: $stage)."

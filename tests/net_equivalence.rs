@@ -1,10 +1,11 @@
 //! `Backend::Net` determinism: the loopback message-passing runtime —
-//! real encoded frames, per-node mailboxes, barrier-synchronized
-//! delivery — must reproduce the sequential backend's [`RunReport`]
-//! bit-for-bit, for reliable and lossy fault plans alike, and its
-//! physical frame counters must agree with the logical message ledger
-//! under the Lemma 8 charging rule (one frame per message, charged at
-//! the sender, drops annotated not re-charged).
+//! real encoded frames batched per peer, per-node mailboxes, per-peer
+//! round watermarks instead of global barriers — must reproduce the
+//! sequential backend's [`RunReport`] bit-for-bit, for reliable and
+//! lossy fault plans alike, and its logical frame counters must agree
+//! with the message ledger under the Lemma 8 charging rule (one
+//! logical frame per message, charged at the sender, drops annotated
+//! not re-charged; physical batch frames are tracked separately).
 
 use pcrlb::prelude::*;
 use pcrlb::sim::FrameStats;
@@ -44,8 +45,18 @@ fn strip_frames(report: &mut RunReport) {
 
 fn assert_net_matches_sequential(n: usize, seed: u64, steps: u64, faults: Option<FaultConfig>) {
     let (seq, _) = run_pair(n, seed, steps, Backend::Sequential, faults);
-    for nodes in [1usize, 2, 4] {
-        let (mut net, world) = run_pair(n, seed, steps, Backend::Net { nodes, tcp: false }, faults);
+    for nodes in [1usize, 2, 4, 8] {
+        let (mut net, world) = run_pair(
+            n,
+            seed,
+            steps,
+            Backend::Net {
+                nodes,
+                tcp: false,
+                relaxed: false,
+            },
+            faults,
+        );
         assert_eq!(net.backend, "net");
         // The only fields allowed to differ: the backend name and the
         // net-only frame counters.
@@ -60,15 +71,20 @@ fn assert_net_matches_sequential(n: usize, seed: u64, steps: u64, faults: Option
         // Physical losses coincide exactly with the ledger's logical
         // drop decisions (same pure hash on both sides).
         assert_eq!(frames.frames_dropped, net.messages.dropped);
-        // The Lemma 8 charging rule holds on the wire: one protocol
-        // frame per ledger message (control + transfers), with barrier
-        // frames tracked separately as sync overhead.
+        // The Lemma 8 charging rule holds on the wire: one logical
+        // frame per ledger message (control + transfers), with batch
+        // frames and empty sync batches tracked separately as physical
+        // packaging overhead.
         assert_eq!(
             frames.control_frames + frames.transfer_frames,
             net.messages.total(),
             "protocol frames must mirror the ledger one-for-one"
         );
         assert_eq!(frames.payload_tasks, net.messages.tasks_moved);
+        if nodes > 1 {
+            assert!(frames.batches_sent > 0, "no batch ever hit the wire");
+            assert_eq!(frames.batches_sent, frames.batches_received);
+        }
     }
 }
 
@@ -90,7 +106,8 @@ fn loopback_net_reproduces_sequential_under_loss() {
 #[test]
 fn loopback_net_handles_strategies_without_control_traffic() {
     // Unbalanced sends nothing: the runtime must not deadlock waiting
-    // for frames that never come (barriers carry the phase forward).
+    // for frames that never come (empty sync batches still advance each
+    // peer's round watermark).
     let n = 128;
     let quiet = |backend| {
         Runner::new(n, 3)
@@ -105,6 +122,7 @@ fn loopback_net_handles_strategies_without_control_traffic() {
     let (mut net, world, _) = quiet(Backend::Net {
         nodes: 3,
         tcp: false,
+        relaxed: false,
     });
     net.backend = seq.backend;
     strip_frames(&mut net);
@@ -112,7 +130,11 @@ fn loopback_net_handles_strategies_without_control_traffic() {
     let frames = world.net_frames().expect("frame stats");
     assert_eq!(frames.control_frames, 0);
     assert_eq!(frames.transfer_frames, 0);
-    assert!(frames.barrier_frames > 0, "barriers still synchronize");
+    assert!(frames.sync_frames > 0, "empty batches still advance rounds");
+    assert_eq!(
+        frames.batches_sent, frames.sync_frames,
+        "a silent strategy sends nothing but sync batches"
+    );
 }
 
 #[test]
@@ -126,6 +148,7 @@ fn message_rate_probe_surfaces_frame_stats_only_on_net() {
         Backend::Net {
             nodes: 2,
             tcp: false,
+            relaxed: false,
         },
         None,
     );
@@ -156,6 +179,7 @@ fn tcp_net_reproduces_sequential_smoke() {
         Backend::Net {
             nodes: 2,
             tcp: true,
+            relaxed: false,
         },
         None,
     );
