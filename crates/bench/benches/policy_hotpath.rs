@@ -1,0 +1,237 @@
+//! The partner-policy hot path: processor-steps/sec of the full
+//! `ThresholdBalancer` step (classification + partner selection +
+//! transfers) for each `PartnerPolicy` on the complete graph.
+//!
+//! The collision protocol ran inline in the balancer before the
+//! `PartnerPolicy` trait existed; this bench is the committed evidence
+//! that the indirection is free. Like `soa_hotpath` it doubles as a CI
+//! gate: run with `--gate PATH` it compares the fresh *collision*
+//! number at `n = 2^14` against the `"policy_hotpath"` section of the
+//! committed baseline (`BENCH_pr8.json` at the repo root) and exits
+//! nonzero on a >10% regression. `--update PATH` splices the fresh
+//! numbers into that file in place (re-baselining).
+//!
+//! Invocations:
+//!
+//! ```text
+//! cargo bench -p pcrlb-bench --bench policy_hotpath               # full
+//! cargo bench -p pcrlb-bench --bench policy_hotpath -- --quick \
+//!     --json target/policy_bench.json --gate BENCH_pr8.json       # smoke
+//! ```
+//!
+//! The JSON is flat and hand-parsed (the workspace is offline; no
+//! serde): `{"bench":"policy_hotpath","unit":"proc-steps/sec",
+//! "collision":{"16384":S,...},"greedy:2":{...},...}`.
+
+use pcrlb_core::{BalancerConfig, Single, ThresholdBalancer};
+use pcrlb_sim::{Backend, Engine, PolicySpec};
+use std::time::Instant;
+
+/// Sizes on the trajectory.
+const SIZES: [usize; 2] = [1 << 12, 1 << 14];
+/// The gate compares the collision policy's steps/sec at this size.
+const GATE_N: usize = 1 << 14;
+/// Relative slowdown tolerated before the gate fails.
+const GATE_TOLERANCE: f64 = 0.10;
+/// Every policy in the subsystem, collision first (the gated one).
+const POLICIES: [&str; 5] = ["collision", "greedy:2", "beta:0.5", "probe:4", "left:2"];
+
+/// Steady-state throughput in processor-steps/sec under the paper's
+/// closed-loop generator: warm up, then best of `reps` timed slices.
+fn measure(n: usize, policy: &str, steps: u64, reps: usize) -> f64 {
+    let spec = PolicySpec::parse(policy).expect("known policy");
+    let balancer = ThresholdBalancer::new(BalancerConfig::paper(n)).with_policy_spec(&spec);
+    let mut engine = Engine::with_backend(
+        n,
+        0xB0A5_1998,
+        Single::default_paper(),
+        balancer,
+        Backend::Sequential.resolve(),
+    );
+    engine.run(16); // warm-up: reach steady-state occupancy
+    let mut best = f64::INFINITY;
+    for _ in 0..reps.max(1) {
+        let t0 = Instant::now();
+        engine.run(steps);
+        best = best.min(t0.elapsed().as_secs_f64());
+    }
+    (n as u64 * steps) as f64 / best
+}
+
+/// Steps per timing rep, scaled so every size runs a comparable
+/// wall-clock slice.
+fn steps_for(n: usize, quick: bool) -> u64 {
+    let base: u64 = if quick { 1 << 22 } else { 1 << 25 };
+    (base / n as u64).max(8)
+}
+
+fn run_suite(quick: bool) -> Vec<(&'static str, usize, f64)> {
+    let reps = if quick { 2 } else { 3 };
+    let mut out = Vec::new();
+    for &policy in &POLICIES {
+        for &n in &SIZES {
+            let sps = measure(n, policy, steps_for(n, quick), reps);
+            println!("policy_hotpath/{policy}/{n}: {sps:.3e} proc-steps/s");
+            out.push((policy, n, sps));
+        }
+    }
+    out
+}
+
+/// The `"policy_hotpath"` value as a single JSON line (single-line on
+/// purpose: `--update` splices it into `BENCH_pr8.json` line-wise).
+fn section_json(results: &[(&str, usize, f64)]) -> String {
+    let per_policy = POLICIES
+        .iter()
+        .map(|policy| {
+            let sizes = results
+                .iter()
+                .filter(|(p, _, _)| p == policy)
+                .map(|(_, n, sps)| format!("\"{n}\":{sps:.1}"))
+                .collect::<Vec<_>>()
+                .join(",");
+            format!("\"{policy}\":{{{sizes}}}")
+        })
+        .collect::<Vec<_>>()
+        .join(",");
+    format!("{{\"unit\":\"proc-steps/sec\",{per_policy}}}")
+}
+
+fn to_json(results: &[(&str, usize, f64)]) -> String {
+    format!(
+        "{{\"bench\":\"policy_hotpath\",\"policy_hotpath\":{}}}\n",
+        section_json(results)
+    )
+}
+
+/// Extracts `"policy_hotpath"` → `"collision"` → `"<n>"` from either
+/// the standalone `--json` output or the spliced `BENCH_pr8.json`.
+/// Hand-rolled: both formats are written by this file.
+fn parse_baseline(json: &str, n: usize) -> Option<f64> {
+    let sect = json.split("\"policy_hotpath\":").nth(1)?;
+    let coll = sect.split("\"collision\":{").nth(1)?;
+    let body = coll.split('}').next()?;
+    for pair in body.split(',') {
+        let mut it = pair.splitn(2, ':');
+        let key = it.next()?.trim().trim_matches('"');
+        let val = it.next()?.trim();
+        if key == n.to_string() {
+            return val.parse().ok();
+        }
+    }
+    None
+}
+
+/// Splices the fresh `"policy_hotpath"` section into an existing
+/// top-level JSON object, replacing any previous one. The section is
+/// one line, so the surgery is line-wise: drop the old line, insert the
+/// new one before the closing brace, fix the comma on the predecessor.
+fn splice_update(path: &str, results: &[(&str, usize, f64)]) {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("--update: cannot read {path}: {e}"));
+    let mut lines: Vec<String> = text
+        .lines()
+        .filter(|l| !l.trim_start().starts_with("\"policy_hotpath\":"))
+        .map(String::from)
+        .collect();
+    let close = lines
+        .iter()
+        .rposition(|l| l.trim() == "}")
+        .expect("--update: no closing brace in target file");
+    if let Some(prev) = lines[..close].iter_mut().next_back() {
+        let t = prev.trim_end().to_string();
+        if !t.ends_with(',') && !t.ends_with('{') {
+            *prev = format!("{t},");
+        }
+    }
+    lines.insert(
+        close,
+        format!("  \"policy_hotpath\": {}", section_json(results)),
+    );
+    std::fs::write(path, lines.join("\n") + "\n").expect("--update: write failed");
+    println!("policy_hotpath: spliced baseline into {path}");
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let flag = |name: &str| args.iter().any(|a| a == name);
+    let value_of = |name: &str| {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+    };
+    let quick = flag("--quick");
+
+    let results = run_suite(quick);
+
+    // Relative cost of each alternate policy against collision at the
+    // gate size — the number the E24 table's message column pairs with.
+    if let Some(base) = results
+        .iter()
+        .find(|(p, n, _)| *p == "collision" && *n == GATE_N)
+        .map(|(_, _, s)| *s)
+    {
+        for &policy in &POLICIES[1..] {
+            if let Some(sps) = results
+                .iter()
+                .find(|(p, n, _)| *p == policy && *n == GATE_N)
+                .map(|(_, _, s)| *s)
+            {
+                println!(
+                    "policy_hotpath relative @ n={GATE_N}: {policy} = {:.2}x collision",
+                    sps / base
+                );
+            }
+        }
+    }
+
+    if let Some(path) = value_of("--json") {
+        std::fs::write(&path, to_json(&results)).expect("failed to write bench JSON");
+        println!("policy_hotpath: wrote {path}");
+    }
+
+    if let Some(path) = value_of("--gate") {
+        let fresh = results
+            .iter()
+            .find(|(p, n, _)| *p == "collision" && *n == GATE_N)
+            .map(|(_, _, sps)| *sps)
+            .expect("gate size missing from suite");
+        match std::fs::read_to_string(&path) {
+            Ok(json) => match parse_baseline(&json, GATE_N) {
+                Some(base) => {
+                    let ratio = fresh / base;
+                    println!(
+                        "policy_hotpath gate @ n={GATE_N}: fresh {fresh:.3e} vs baseline \
+                         {base:.3e} ({:+.1}%)",
+                        (ratio - 1.0) * 100.0
+                    );
+                    if ratio < 1.0 - GATE_TOLERANCE {
+                        eprintln!(
+                            "REGRESSION: policy_hotpath collision @ n={GATE_N} is {:.1}% below \
+                             the committed baseline {path} (tolerance {:.0}%).\n\
+                             If the slowdown is intended, re-baseline with UPDATE_BENCH=1 \
+                             scripts/check.sh --stage policy.",
+                            (1.0 - ratio) * 100.0,
+                            GATE_TOLERANCE * 100.0
+                        );
+                        std::process::exit(1);
+                    }
+                }
+                None => {
+                    println!(
+                        "policy_hotpath gate: no policy_hotpath section in {path} yet; \
+                         skipping compare"
+                    );
+                }
+            },
+            Err(_) => {
+                println!("policy_hotpath gate: no baseline at {path} (first run); skipping");
+            }
+        }
+    }
+
+    if let Some(path) = value_of("--update") {
+        splice_update(&path, &results);
+    }
+}

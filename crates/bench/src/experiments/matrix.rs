@@ -1,0 +1,215 @@
+//! E24 — the policy × topology matrix: every partner-selection policy
+//! on every communication graph, under both the paper's closed-loop
+//! generation and an overloaded open-loop stream.
+//!
+//! The collision protocol is one point in a design space with two
+//! axes: *how* a heavy processor picks candidate partners (collision
+//! trees, d independent choices, (1+β) mixing, adaptive probing,
+//! always-go-left slot groups) and *where* it is allowed to look
+//! (complete graph, ring, torus, hypercube, seeded random-regular).
+//! This experiment sweeps the full matrix and reports, per cell, the
+//! final max load, the total control traffic, and the mean ring
+//! distance a matched partner sits away — the locality cost of the
+//! topology restriction. Each cell runs on both the sequential and
+//! pooled backends and the reports are asserted bit-identical before
+//! the row is emitted, extending the E23 determinism check to every
+//! policy × topology pair.
+//!
+//! Load models: `single` is the paper's closed-loop generator (§1.2);
+//! `poisson:1.2` is an open-loop stream at ρ = 1.2 — sustained
+//! overload, so total tasks m grows far beyond n (the m ≫ n regime)
+//! and the policies are compared where balancing actually has to move
+//! work every phase.
+
+use crate::ExpOptions;
+use pcrlb_analysis::{fmt_f, Table};
+use pcrlb_core::{BalancerConfig, Single, ThresholdBalancer, TrafficModel, TrafficSpec};
+use pcrlb_sim::{Backend, LoadModel, PolicySpec, RunReport, Runner, TopologySpec};
+
+/// Per-cell measurements for one (model, policy, topology) triple.
+struct Cell {
+    max_load: usize,
+    messages: u64,
+    mean_dist: Option<f64>,
+    match_rate: Option<f64>,
+}
+
+/// The load models swept: the paper's closed loop and an overloaded
+/// open loop (m ≫ n).
+#[derive(Clone, Copy)]
+enum Model {
+    Single,
+    Poisson(f64),
+}
+
+impl Model {
+    fn label(self) -> String {
+        match self {
+            Model::Single => "single".into(),
+            Model::Poisson(rho) => format!("poisson:{rho:.1}"),
+        }
+    }
+}
+
+fn run_cell(
+    n: usize,
+    seed: u64,
+    steps: u64,
+    model: Model,
+    policy: &PolicySpec,
+    topo: &TopologySpec,
+    backend: Backend,
+) -> (RunReport, Option<f64>, Option<f64>) {
+    let balancer = ThresholdBalancer::new(BalancerConfig::paper(n))
+        .with_topology(topo.build(n).expect("every swept topology builds at n"))
+        .with_policy_spec(policy);
+    fn go<M: LoadModel + Sync>(
+        n: usize,
+        seed: u64,
+        steps: u64,
+        m: M,
+        balancer: ThresholdBalancer,
+        backend: Backend,
+    ) -> (RunReport, Option<f64>, Option<f64>) {
+        let (report, _world, strategy) = Runner::new(n, seed)
+            .model(m)
+            .strategy(balancer)
+            .backend(backend)
+            .run_detailed(steps);
+        let stats = strategy.stats();
+        (report, stats.mean_partner_distance(), stats.match_rate())
+    }
+    match model {
+        Model::Single => go(n, seed, steps, Single::default_paper(), balancer, backend),
+        Model::Poisson(rho) => go(
+            n,
+            seed,
+            steps,
+            TrafficModel::new(TrafficSpec::poisson(rho), n).expect("valid spec"),
+            balancer,
+            backend,
+        ),
+    }
+}
+
+fn measure(
+    opts: &ExpOptions,
+    n: usize,
+    steps: u64,
+    model: Model,
+    policy: &PolicySpec,
+    topo: &TopologySpec,
+) -> Cell {
+    let seed = opts.seed ^ 0xE24 ^ ((n as u64) << 24);
+    let (mut seq, dist, rate) = run_cell(n, seed, steps, model, policy, topo, Backend::Sequential);
+    let (mut pooled, _, _) = run_cell(n, seed, steps, model, policy, topo, Backend::Pooled(4));
+    seq.backend = "";
+    pooled.backend = "";
+    assert_eq!(
+        seq,
+        pooled,
+        "sequential and pooled diverged: model={}, policy={}, topology={}",
+        model.label(),
+        policy.label(),
+        topo.label(),
+    );
+    Cell {
+        max_load: seq.max_load,
+        messages: seq.messages.total(),
+        mean_dist: dist,
+        match_rate: rate,
+    }
+}
+
+/// Runs E24 and returns the result table.
+pub fn run(opts: &ExpOptions) -> Table {
+    let (n, min_steps) = if opts.quick {
+        (1 << 9, 300)
+    } else {
+        (1 << 12, 1_000)
+    };
+    let steps = opts.steps_for(n).max(min_steps).min(2_000);
+    let policies: Vec<PolicySpec> = ["collision", "greedy:2", "beta:0.5", "probe:4", "left:2"]
+        .iter()
+        .map(|s| PolicySpec::parse(s).expect("known policy"))
+        .collect();
+    let topologies: Vec<TopologySpec> = ["complete", "ring", "torus", "hypercube", "regular:4"]
+        .iter()
+        .map(|s| TopologySpec::parse(s).expect("known topology"))
+        .collect();
+    let models = [Model::Single, Model::Poisson(1.2)];
+
+    let mut table = Table::new(&[
+        "model",
+        "policy",
+        "topology",
+        "n",
+        "steps",
+        "max_load",
+        "messages",
+        "mean_dist",
+        "match_rate",
+        "seq==pooled",
+    ]);
+    for &model in &models {
+        for policy in &policies {
+            for topo in &topologies {
+                let cell = measure(opts, n, steps, model, policy, topo);
+                table.row(&[
+                    model.label(),
+                    policy.label(),
+                    topo.label(),
+                    n.to_string(),
+                    steps.to_string(),
+                    cell.max_load.to_string(),
+                    cell.messages.to_string(),
+                    cell.mean_dist.map_or("-".into(), |d| fmt_f(d, 1)),
+                    cell.match_rate.map_or("-".into(), |r| fmt_f(r, 2)),
+                    "yes".into(), // measure() asserted bit-equality
+                ]);
+            }
+        }
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The complete graph gives partners a mean ring distance near n/4
+    /// (uniform over the ring); the ring topology pins it to 1. Any
+    /// policy that ignores the topology restriction would break this.
+    #[test]
+    fn locality_tracks_topology() {
+        let opts = ExpOptions::quick();
+        let n = 1 << 9;
+        let policy = PolicySpec::parse("greedy:2").unwrap();
+        let complete = measure(
+            &opts,
+            n,
+            400,
+            Model::Poisson(1.2),
+            &policy,
+            &TopologySpec::parse("complete").unwrap(),
+        );
+        let ring = measure(
+            &opts,
+            n,
+            400,
+            Model::Poisson(1.2),
+            &policy,
+            &TopologySpec::parse("ring").unwrap(),
+        );
+        let far = complete.mean_dist.expect("overload forces matches");
+        let near = ring.mean_dist.expect("overload forces matches");
+        assert!(
+            (near - 1.0).abs() < f64::EPSILON,
+            "ring partners must be adjacent, got {near}"
+        );
+        assert!(
+            far > n as f64 / 8.0,
+            "complete-graph partners should be spread, got {far}"
+        );
+    }
+}

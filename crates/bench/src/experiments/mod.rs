@@ -8,6 +8,7 @@ pub mod communication;
 pub mod comparison;
 pub mod extensions;
 pub mod locality;
+pub mod matrix;
 pub mod models;
 pub mod phases;
 pub mod recovery;
@@ -143,6 +144,11 @@ pub fn registry() -> Vec<Experiment> {
             id: "e23-service",
             claim: "Open-loop service: sojourn percentiles vs offered load, backend-invariant",
             run: service::run,
+        },
+        Experiment {
+            id: "e24-matrix",
+            claim: "Partner policies x topologies: load/messages/locality trade-off matrix",
+            run: matrix::run,
         },
     ]
 }

@@ -14,7 +14,7 @@
 //! simultaneously, one collision game per tree level, exactly as the
 //! algorithm interleaves them.
 
-use crate::game::{play_game_impl, GameOutcome};
+use crate::game::{play_game_impl, GameOutcome, TargetSampler};
 use crate::params::CollisionParams;
 use crate::threaded::{
     play_game_pooled, play_game_pooled_faulty, play_game_threaded, play_game_threaded_faulty,
@@ -144,6 +144,8 @@ pub struct BalanceForest {
     engaged: Vec<bool>,
     /// Dirty entries to reset cheaply.
     touched: Vec<ProcId>,
+    /// Graph restriction for target draws; `None` = complete graph.
+    sampler: Option<std::sync::Arc<dyn TargetSampler>>,
 }
 
 impl BalanceForest {
@@ -155,7 +157,17 @@ impl BalanceForest {
             applicative: vec![false; n],
             engaged: vec![false; n],
             touched: Vec::new(),
+            sampler: None,
         }
+    }
+
+    /// Restricts target draws to a neighborhood sampler (graph-based
+    /// balancing). Games then always run sequentially — like wire
+    /// narration, restricted sampling is a serial draw sequence — so
+    /// `game_shards` is ignored while a sampler is installed. Pass
+    /// `None` to restore the complete-graph fast path bit-identically.
+    pub fn set_sampler(&mut self, sampler: Option<std::sync::Arc<dyn TargetSampler>>) {
+        self.sampler = sampler;
     }
 
     /// Number of processors this forest serves.
@@ -406,6 +418,13 @@ impl BalanceForest {
             log.is_none() || matches!(exec, GameExec::Sequential),
             "wire logging is a serial narration: games must run sequentially"
         );
+        // Graph-restricted sampling is a serial draw sequence, same as
+        // wire narration: demote any parallel exec to sequential.
+        let exec = if self.sampler.is_some() {
+            GameExec::Sequential
+        } else {
+            exec
+        };
 
         self.reset(light);
 
@@ -441,9 +460,15 @@ impl BalanceForest {
             // that is, seen over all requesting processors".
             let game_faults = faults.as_mut().map(|f| f.next_game());
             let outcome: GameOutcome = match (&exec, game_faults) {
-                (GameExec::Sequential, gf) => {
-                    play_game_impl(self.n, &searchers, params, rng, gf, log.as_deref_mut())
-                }
+                (GameExec::Sequential, gf) => play_game_impl(
+                    self.n,
+                    &searchers,
+                    params,
+                    rng,
+                    gf,
+                    log.as_deref_mut(),
+                    self.sampler.as_deref(),
+                ),
                 (GameExec::Scoped(shards), None) => {
                     play_game_threaded(self.n, &searchers, params, rng, *shards)
                 }

@@ -22,6 +22,22 @@ use pcrlb_net::{ControlKind, WireLog};
 use pcrlb_sim::{ProcId, SimRng};
 use std::collections::HashMap;
 
+/// Restricts a requester's target draws to a neighborhood.
+///
+/// The default game samples targets uniformly from `0..n` (the
+/// complete graph). With a sampler installed, each request instead
+/// draws its `a` targets via [`TargetSampler::draw_targets`] — the
+/// graph-restricted model, where balancing partners must be topology
+/// neighbors. Implementations must be deterministic given the RNG
+/// state, must never emit the requester itself, and should draw
+/// distinct neighbor *slots* (a multigraph edge may still repeat a
+/// neighbor id; duplicate queries then simply collide).
+pub trait TargetSampler: Send + Sync {
+    /// Fills `out` with up to `a` targets for `req` (fewer when the
+    /// neighborhood is smaller than `a`).
+    fn draw_targets(&self, req: ProcId, a: usize, rng: &mut SimRng, out: &mut Vec<ProcId>);
+}
+
 /// Result of one collision game.
 #[derive(Debug, Clone)]
 pub struct GameOutcome {
@@ -102,7 +118,7 @@ pub fn play_game(
     params: &CollisionParams,
     rng: &mut SimRng,
 ) -> GameOutcome {
-    play_game_impl(n, requesters, params, rng, None, None)
+    play_game_impl(n, requesters, params, rng, None, None, None)
 }
 
 /// Plays one collision game over an unreliable network.
@@ -126,7 +142,7 @@ pub fn play_game_faulty(
     rng: &mut SimRng,
     faults: GameFaults<'_>,
 ) -> GameOutcome {
-    play_game_impl(n, requesters, params, rng, Some(faults), None)
+    play_game_impl(n, requesters, params, rng, Some(faults), None, None)
 }
 
 /// Plays one collision game while narrating every query and accept
@@ -145,7 +161,7 @@ pub fn play_game_logged(
     faults: Option<GameFaults<'_>>,
     log: &mut WireLog,
 ) -> GameOutcome {
-    play_game_impl(n, requesters, params, rng, faults, Some(log))
+    play_game_impl(n, requesters, params, rng, faults, Some(log), None)
 }
 
 pub(crate) fn play_game_impl(
@@ -155,10 +171,11 @@ pub(crate) fn play_game_impl(
     rng: &mut SimRng,
     faults: Option<GameFaults<'_>>,
     mut log: Option<&mut WireLog>,
+    sampler: Option<&dyn TargetSampler>,
 ) -> GameOutcome {
     params.validate().expect("invalid collision parameters");
     assert!(
-        n > params.a,
+        sampler.is_some() || n > params.a,
         "need n > a distinct targets (n={n}, a={})",
         params.a
     );
@@ -175,15 +192,26 @@ pub(crate) fn play_game_impl(
     let mut requests: Vec<Request> = requesters
         .iter()
         .map(|&req| {
-            // Draw a+1 distinct values so we can drop the requester if
-            // it sampled itself, keeping `a` targets != requester.
-            rng.distinct(n, params.a + 1, &mut scratch);
-            let targets: Vec<ProcId> = scratch
-                .iter()
-                .copied()
-                .filter(|&t| t != req)
-                .take(params.a)
-                .collect();
+            let targets: Vec<ProcId> = match sampler {
+                None => {
+                    // Draw a+1 distinct values so we can drop the
+                    // requester if it sampled itself, keeping `a`
+                    // targets != requester.
+                    rng.distinct(n, params.a + 1, &mut scratch);
+                    scratch
+                        .iter()
+                        .copied()
+                        .filter(|&t| t != req)
+                        .take(params.a)
+                        .collect()
+                }
+                Some(s) => {
+                    let mut ts = Vec::with_capacity(params.a);
+                    s.draw_targets(req, params.a, rng, &mut ts);
+                    debug_assert!(!ts.contains(&req), "sampler emitted the requester");
+                    ts
+                }
+            };
             Request {
                 accepted_mask: vec![false; targets.len()],
                 next_send: vec![0; targets.len()],

@@ -40,7 +40,7 @@ pub mod params;
 pub mod threaded;
 
 pub use forest::{BalanceForest, Match, SearchFaults, SearchOutcome, SearchStats};
-pub use game::{play_game, play_game_faulty, play_game_logged, GameOutcome};
+pub use game::{play_game, play_game_faulty, play_game_logged, GameOutcome, TargetSampler};
 pub use params::{CollisionParams, ParamError};
 pub use threaded::{
     play_game_pooled, play_game_pooled_faulty, play_game_threaded, play_game_threaded_faulty,

@@ -14,12 +14,13 @@
 //! Lemma 6 shows failures are rare, and the Main Theorem tolerates them.
 
 use crate::config::BalancerConfig;
-use pcrlb_collision::{BalanceForest, SearchFaults};
+use crate::policy::{build_policy, CollisionPolicy};
 use pcrlb_sim::{
-    ControlKind, Event, MessageKind, MessageStats, ProcId, Step, Strategy, Trace, WireLog,
-    WorkerPool, World,
+    ring_distance, Complete, ControlKind, Event, MessageKind, MessageStats, PartnerPolicy,
+    PolicySpec, ProcId, Step, Strategy, Topology, Trace, WireLog, World,
 };
 use std::collections::HashMap;
+use std::sync::Arc;
 
 // The per-phase report type lives in the simulation substrate so probes
 // can receive it without depending on this crate; re-exported here for
@@ -64,6 +65,10 @@ pub struct BalancerStats {
     /// Processors excluded from a phase's classification because the
     /// fault plan had them crashed at the boundary step.
     pub crashed_skipped: u64,
+    /// Sum of ring distances `min(|h-l|, n-|h-l|)` over all matched
+    /// partner pairs — the locality cost of the partner policy.
+    /// Divide by `matched_total` for the mean.
+    pub partner_distance_sum: u64,
 }
 
 impl BalancerStats {
@@ -81,6 +86,7 @@ impl BalancerStats {
             retries_total: 0,
             transfers_frozen: 0,
             crashed_skipped: 0,
+            partner_distance_sum: 0,
         }
     }
 
@@ -93,6 +99,14 @@ impl BalancerStats {
     /// Fraction of heavy classifications that ended matched.
     pub fn match_rate(&self) -> Option<f64> {
         (self.heavy_total > 0).then(|| self.matched_total as f64 / self.heavy_total as f64)
+    }
+
+    /// Mean ring distance between matched partners — how far tasks
+    /// travel under the active policy × topology. `None` before any
+    /// match.
+    pub fn mean_partner_distance(&self) -> Option<f64> {
+        (self.matched_total > 0)
+            .then(|| self.partner_distance_sum as f64 / self.matched_total as f64)
     }
 }
 
@@ -125,11 +139,16 @@ struct StreamingTransfer {
 /// balancer-side configuration.
 pub struct ThresholdBalancer {
     cfg: BalancerConfig,
-    forest: BalanceForest,
-    /// Persistent workers for sharded collision games, created lazily on
-    /// the first phase with `game_shards > 1` and reused for every game
-    /// after that (no per-game thread spawns).
-    pool: Option<WorkerPool>,
+    /// How heavy processors find partners — the paper's collision
+    /// protocol by default, swappable via [`Self::with_partner_policy`].
+    policy: Box<dyn PartnerPolicy>,
+    /// Which processors may balance with which — complete graph by
+    /// default, swappable via [`Self::with_topology`].
+    topology: Arc<dyn Topology>,
+    /// Strategy name reported in experiment tables: the historical
+    /// `"threshold-balancer"` for the default policy, the policy name
+    /// after [`Self::with_partner_policy`].
+    label: &'static str,
     phase: u64,
     stats: BalancerStats,
     reports: Vec<PhaseReport>,
@@ -139,10 +158,6 @@ pub struct ThresholdBalancer {
     // Scratch buffers reused every phase.
     heavy_buf: Vec<ProcId>,
     light_buf: Vec<ProcId>,
-    /// Per-game fault nonce, advanced once per collision game so that
-    /// identical message coordinates in different games (or phases)
-    /// draw independent fault decisions.
-    game_nonce: u64,
     /// Consecutive failed searches per processor (retry backoff).
     retry_fails: Vec<u32>,
     /// First phase at which each processor may search again.
@@ -159,8 +174,9 @@ impl ThresholdBalancer {
     pub fn new(cfg: BalancerConfig) -> Self {
         cfg.validate().expect("invalid balancer configuration");
         ThresholdBalancer {
-            forest: BalanceForest::new(cfg.n),
-            pool: None,
+            policy: Box::new(CollisionPolicy::from_config(&cfg)),
+            topology: Arc::new(Complete::new(cfg.n)),
+            label: "threshold-balancer",
             phase: 0,
             stats: BalancerStats::new(),
             reports: Vec::new(),
@@ -169,10 +185,53 @@ impl ThresholdBalancer {
             trace: None,
             heavy_buf: Vec::new(),
             light_buf: Vec::new(),
-            game_nonce: 0,
             retry_fails: vec![0; cfg.n],
             retry_next: vec![0; cfg.n],
             cfg,
+        }
+    }
+
+    /// Replaces the partner-selection policy. The strategy name (and
+    /// thus experiment-table labels) becomes the policy's name.
+    ///
+    /// # Panics
+    /// Panics on an empty policy name (names label reports).
+    #[must_use]
+    pub fn with_partner_policy(mut self, policy: Box<dyn PartnerPolicy>) -> Self {
+        assert!(!policy.name().is_empty());
+        self.label = policy.name();
+        self.policy = policy;
+        self
+    }
+
+    /// Restricts balancing partners to neighbors in `topo` (the
+    /// preround probe and every policy draw go through it).
+    ///
+    /// # Panics
+    /// Panics when the topology's vertex count differs from `cfg.n`.
+    #[must_use]
+    pub fn with_topology(mut self, topo: Arc<dyn Topology>) -> Self {
+        assert_eq!(
+            topo.n(),
+            self.cfg.n,
+            "topology size must match processor count"
+        );
+        self.topology = topo;
+        self
+    }
+
+    /// Applies a parsed `--policy` spec. `collision` keeps the
+    /// historical `"threshold-balancer"` strategy label (it *is* the
+    /// default), so reports stay byte-identical to an unconfigured
+    /// balancer; other specs relabel via [`Self::with_partner_policy`].
+    #[must_use]
+    pub fn with_policy_spec(mut self, spec: &PolicySpec) -> Self {
+        if matches!(spec, PolicySpec::Collision) {
+            self.policy = Box::new(CollisionPolicy::from_config(&self.cfg));
+            self
+        } else {
+            let policy = build_policy(spec, &self.cfg);
+            self.with_partner_policy(policy)
         }
     }
 
@@ -228,12 +287,13 @@ impl ThresholdBalancer {
         mut log: Option<&mut WireLog>,
     ) -> Vec<(ProcId, ProcId)> {
         let n = self.cfg.n;
+        // On the complete graph `random_partner` is the historical
+        // rejection loop, so the draw sequence is bit-identical to the
+        // pre-topology code.
+        let topo = Arc::clone(&self.topology);
         let mut probes: HashMap<ProcId, Vec<ProcId>> = HashMap::new();
         for &h in &self.heavy_buf {
-            let mut t = world.rng_global().below(n);
-            while t == h {
-                t = world.rng_global().below(n);
-            }
+            let t = topo.random_partner(h, world.rng_global());
             if let Some(lg) = log.as_deref_mut() {
                 lg.push_reliable(ControlKind::Probe, h, t);
             }
@@ -409,77 +469,23 @@ impl ThresholdBalancer {
         let mut dropped_this_phase = 0u64;
         let mut failed = 0usize;
         if !self.heavy_buf.is_empty() {
-            let outcome = if let Some(wl) = wlog.as_mut() {
-                // Wire narration is serial, so the logged search runs
-                // its games sequentially even when `game_shards > 1` —
-                // the sharded games are bit-identical to the sequential
-                // one (asserted by `game_shards_do_not_change_results`),
-                // so the outcome is unchanged.
-                match &fault_model {
-                    Some(model) => self.forest.search_logged_faulty(
-                        &self.heavy_buf,
-                        &self.light_buf,
-                        &self.cfg.collision,
-                        self.cfg.tree_depth,
-                        world.rng_global(),
-                        SearchFaults::new(&**model, &mut self.game_nonce),
-                        wl,
-                    ),
-                    None => self.forest.search_logged(
-                        &self.heavy_buf,
-                        &self.light_buf,
-                        &self.cfg.collision,
-                        self.cfg.tree_depth,
-                        world.rng_global(),
-                        wl,
-                    ),
-                }
-            } else if self.cfg.game_shards > 1 {
-                let shards = self.cfg.game_shards;
-                let pool = self.pool.get_or_insert_with(|| WorkerPool::new(shards));
-                match &fault_model {
-                    Some(model) => self.forest.search_pooled_faulty(
-                        &self.heavy_buf,
-                        &self.light_buf,
-                        &self.cfg.collision,
-                        self.cfg.tree_depth,
-                        world.rng_global(),
-                        pool,
-                        SearchFaults::new(&**model, &mut self.game_nonce),
-                    ),
-                    None => self.forest.search_pooled(
-                        &self.heavy_buf,
-                        &self.light_buf,
-                        &self.cfg.collision,
-                        self.cfg.tree_depth,
-                        world.rng_global(),
-                        pool,
-                    ),
-                }
-            } else {
-                match &fault_model {
-                    Some(model) => self.forest.search_faulty(
-                        &self.heavy_buf,
-                        &self.light_buf,
-                        &self.cfg.collision,
-                        self.cfg.tree_depth,
-                        world.rng_global(),
-                        SearchFaults::new(&**model, &mut self.game_nonce),
-                    ),
-                    None => self.forest.search(
-                        &self.heavy_buf,
-                        &self.light_buf,
-                        &self.cfg.collision,
-                        self.cfg.tree_depth,
-                        world.rng_global(),
-                    ),
-                }
-            };
+            // Partner selection is fully delegated: the default
+            // `CollisionPolicy` replicates the historical search
+            // dispatch (wire-logged => sequential, sharded => pooled)
+            // bit-for-bit; alternative policies plug in here.
+            let topo = Arc::clone(&self.topology);
+            let outcome = self.policy.select(
+                world,
+                &topo,
+                &self.heavy_buf,
+                &self.light_buf,
+                wlog.as_mut(),
+            );
             let ledger = world.ledger_mut();
             ledger.record(MessageKind::Query, outcome.stats.queries);
             ledger.record(MessageKind::Accept, outcome.stats.accepts);
             ledger.record(MessageKind::IdMessage, outcome.stats.id_messages);
-            ledger.record(MessageKind::Probe, outcome.stats.sibling_checks);
+            ledger.record(MessageKind::Probe, outcome.stats.probes);
             ledger.record_dropped(outcome.stats.dropped);
 
             self.stats.games_played += outcome.stats.levels as u64;
@@ -510,16 +516,19 @@ impl ThresholdBalancer {
                     },
                 );
             }
-            for m in outcome.matches {
+            for (h, l, level) in outcome.matches {
                 if self.cfg.retry_backoff {
-                    self.retry_fails[m.heavy] = 0;
+                    self.retry_fails[h] = 0;
                 }
-                all_matches.push((m.heavy, m.light, m.level));
+                all_matches.push((h, l, level));
             }
         }
         self.stats.matched_total += all_matches.len() as u64;
         self.stats.failed_total += failed as u64;
         self.stats.retries_total += retries_this_phase;
+        for &(h, l, _) in &all_matches {
+            self.stats.partner_distance_sum += ring_distance(h, l, n) as u64;
+        }
 
         // Execute (or schedule) the transfers.
         let game_steps = self.cfg.collision.steps_per_game(n);
@@ -709,7 +718,7 @@ impl Strategy for ThresholdBalancer {
     }
 
     fn name(&self) -> &'static str {
-        "threshold-balancer"
+        self.label
     }
 }
 

@@ -37,6 +37,7 @@ pub mod adversary;
 pub mod balancer;
 pub mod config;
 pub mod gen;
+pub mod policy;
 pub mod scatter;
 pub mod traffic;
 pub mod weighted;
@@ -46,6 +47,7 @@ pub use adversary::{Burst, Targeted, TreeSpawn};
 pub use balancer::{BalancerStats, PhaseReport, ThresholdBalancer};
 pub use config::{BalancerConfig, ConfigError};
 pub use gen::{Geometric, ModelError, Multi, Single};
+pub use policy::{build_policy, CollisionPolicy, TopoSampler};
 pub use scatter::{ScatterBalancer, ScatterStats};
 pub use traffic::{Arrivals, TrafficError, TrafficModel, TrafficSpec};
 pub use weighted::{WeightDist, Weighted};

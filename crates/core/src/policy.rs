@@ -1,0 +1,206 @@
+//! The paper's collision protocol behind the [`PartnerPolicy`] trait.
+//!
+//! `pcrlb_sim::policy` owns the trait and the probe-based ladder;
+//! this module supplies the default policy — the §3 balancing-request
+//! trees driven by repeated collision games — plus the adapter that
+//! restricts the games' target draws to topology neighbors
+//! (Cai–Sauerwald's graph-restricted model).
+//!
+//! [`CollisionPolicy::select`] replicates the balancer's historical
+//! search dispatch exactly (wire-logged search runs sequentially;
+//! `game_shards > 1` uses the pooled search; otherwise the plain
+//! sequential search), so a default-constructed `ThresholdBalancer`
+//! produces bit-identical `RunReport`s to the pre-policy code on all
+//! four backends.
+
+use std::sync::Arc;
+
+use crate::config::BalancerConfig;
+use pcrlb_collision::{BalanceForest, CollisionParams, SearchFaults, TargetSampler};
+use pcrlb_sim::{
+    PartnerOutcome, PartnerPolicy, PartnerStats, PolicySpec, ProcId, SimRng, Topology, WireLog,
+    WorkerPool, World,
+};
+
+/// Restricts collision-game target draws to topology neighbors.
+///
+/// When the neighborhood has at most `a` members the whole of it is
+/// probed (no RNG draw); otherwise `a` distinct neighbor *slots* are
+/// drawn uniformly. Slots of a multigraph edge may repeat a neighbor
+/// id; the duplicate queries then simply collide at the target.
+pub struct TopoSampler(pub Arc<dyn Topology>);
+
+impl TargetSampler for TopoSampler {
+    fn draw_targets(&self, req: ProcId, a: usize, rng: &mut SimRng, out: &mut Vec<ProcId>) {
+        let deg = self.0.degree(req);
+        out.clear();
+        if deg <= a {
+            out.extend((0..deg).map(|k| self.0.neighbor(req, k)));
+        } else {
+            let mut slots = Vec::with_capacity(a);
+            rng.distinct(deg, a, &mut slots);
+            out.extend(slots.into_iter().map(|k| self.0.neighbor(req, k)));
+        }
+    }
+}
+
+/// The paper's partner search: balancing-request trees over repeated
+/// collision games (§3), optionally fault-injected, wire-narrated,
+/// sharded across a worker pool, and graph-restricted.
+pub struct CollisionPolicy {
+    forest: BalanceForest,
+    /// Persistent workers for sharded collision games, created lazily
+    /// on the first phase with `game_shards > 1` and reused for every
+    /// game after that (no per-game thread spawns).
+    pool: Option<WorkerPool>,
+    params: CollisionParams,
+    tree_depth: u32,
+    game_shards: usize,
+    /// Per-game fault nonce, advanced once per collision game so that
+    /// identical message coordinates in different games (or phases)
+    /// draw independent fault decisions.
+    game_nonce: u64,
+    sampler_installed: bool,
+}
+
+impl CollisionPolicy {
+    /// Builds the policy from the balancer's configuration.
+    #[must_use]
+    pub fn from_config(cfg: &BalancerConfig) -> Self {
+        CollisionPolicy {
+            forest: BalanceForest::new(cfg.n),
+            pool: None,
+            params: cfg.collision,
+            tree_depth: cfg.tree_depth,
+            game_shards: cfg.game_shards,
+            game_nonce: 0,
+            sampler_installed: false,
+        }
+    }
+}
+
+impl PartnerPolicy for CollisionPolicy {
+    fn name(&self) -> &'static str {
+        "collision"
+    }
+
+    fn select(
+        &mut self,
+        world: &mut World,
+        topo: &Arc<dyn Topology>,
+        heavy: &[ProcId],
+        light: &[ProcId],
+        wire: Option<&mut WireLog>,
+    ) -> PartnerOutcome {
+        // Graph restriction: install the neighbor sampler once. On the
+        // complete graph the forest keeps its historical global draw
+        // (bit-identical to the pre-topology code).
+        if !topo.is_complete() && !self.sampler_installed {
+            self.forest
+                .set_sampler(Some(Arc::new(TopoSampler(Arc::clone(topo)))));
+            self.sampler_installed = true;
+        }
+        let fault_model = world.active_faults();
+        let outcome = if let Some(wl) = wire {
+            // Wire narration is serial, so the logged search runs its
+            // games sequentially even when `game_shards > 1` — the
+            // sharded games are bit-identical to the sequential one
+            // (asserted by `game_shards_do_not_change_results`), so
+            // the outcome is unchanged.
+            match &fault_model {
+                Some(model) => self.forest.search_logged_faulty(
+                    heavy,
+                    light,
+                    &self.params,
+                    self.tree_depth,
+                    world.rng_global(),
+                    SearchFaults::new(&**model, &mut self.game_nonce),
+                    wl,
+                ),
+                None => self.forest.search_logged(
+                    heavy,
+                    light,
+                    &self.params,
+                    self.tree_depth,
+                    world.rng_global(),
+                    wl,
+                ),
+            }
+        } else if self.game_shards > 1 {
+            let shards = self.game_shards;
+            let pool = self.pool.get_or_insert_with(|| WorkerPool::new(shards));
+            match &fault_model {
+                Some(model) => self.forest.search_pooled_faulty(
+                    heavy,
+                    light,
+                    &self.params,
+                    self.tree_depth,
+                    world.rng_global(),
+                    pool,
+                    SearchFaults::new(&**model, &mut self.game_nonce),
+                ),
+                None => self.forest.search_pooled(
+                    heavy,
+                    light,
+                    &self.params,
+                    self.tree_depth,
+                    world.rng_global(),
+                    pool,
+                ),
+            }
+        } else {
+            match &fault_model {
+                Some(model) => self.forest.search_faulty(
+                    heavy,
+                    light,
+                    &self.params,
+                    self.tree_depth,
+                    world.rng_global(),
+                    SearchFaults::new(&**model, &mut self.game_nonce),
+                ),
+                None => self.forest.search(
+                    heavy,
+                    light,
+                    &self.params,
+                    self.tree_depth,
+                    world.rng_global(),
+                ),
+            }
+        };
+        PartnerOutcome {
+            matches: outcome
+                .matches
+                .iter()
+                .map(|m| (m.heavy, m.light, m.level))
+                .collect(),
+            unmatched: outcome.unmatched,
+            requests_per_root: outcome.requests_per_root,
+            stats: PartnerStats {
+                requests: outcome.stats.requests,
+                levels: outcome.stats.levels,
+                rounds: outcome.stats.rounds,
+                wasted_rounds: outcome.stats.wasted_rounds,
+                queries: outcome.stats.queries,
+                accepts: outcome.stats.accepts,
+                id_messages: outcome.stats.id_messages,
+                probes: outcome.stats.sibling_checks,
+                dropped: outcome.stats.dropped,
+            },
+        }
+    }
+}
+
+/// Builds the boxed policy a [`PolicySpec`] names. The collision
+/// variant needs the balancer configuration (collision parameters,
+/// tree depth, game shards); the probe policies ignore it.
+#[must_use]
+pub fn build_policy(spec: &PolicySpec, cfg: &BalancerConfig) -> Box<dyn PartnerPolicy> {
+    use pcrlb_sim::policy::{AlwaysGoLeft, GreedyD, OnePlusBeta, ThresholdProbe};
+    match *spec {
+        PolicySpec::Collision => Box::new(CollisionPolicy::from_config(cfg)),
+        PolicySpec::Greedy { d } => Box::new(GreedyD::new(d)),
+        PolicySpec::Beta { beta } => Box::new(OnePlusBeta::new(beta)),
+        PolicySpec::Probe { max_probes } => Box::new(ThresholdProbe::new(max_probes)),
+        PolicySpec::Left { d } => Box::new(AlwaysGoLeft::new(d)),
+    }
+}

@@ -63,6 +63,7 @@ pub mod latency;
 pub mod message;
 pub mod model;
 pub mod net;
+pub mod policy;
 pub mod pool;
 pub mod probe;
 pub mod processor;
@@ -70,6 +71,7 @@ pub mod queue;
 pub mod rng;
 pub mod runner;
 pub mod task;
+pub mod topology;
 pub mod trace;
 pub mod types;
 pub mod world;
@@ -88,6 +90,10 @@ pub use pcrlb_net::{
     ControlKind, ControlRecord, FrameStats, LoopbackNet, NetError, TcpNet, Transport, WireLog,
     WireMsg, WireTask,
 };
+pub use policy::{
+    AlwaysGoLeft, GreedyD, OnePlusBeta, PartnerOutcome, PartnerPolicy, PartnerStats, PolicySpec,
+    ThresholdProbe,
+};
 pub use pool::{live_workers, WorkerPool};
 pub use probe::{
     FaultProbe, LoadSnapshotProbe, MaxLoadProbe, MessageRateProbe, PhaseProbe, PhaseReport, Probe,
@@ -98,6 +104,9 @@ pub use queue::TaskArena;
 pub use rng::SimRng;
 pub use runner::{RunReport, Runner};
 pub use task::{Completion, Task};
+pub use topology::{
+    ring_distance, Complete, Hypercube, RandomRegular, Ring, Topology, TopologySpec, Torus,
+};
 pub use trace::{Event, Trace};
 pub use types::{ilog2ceil, loglog, ProcId, Step};
 pub use world::{CompletionStats, TransferRecord, World};

@@ -1,0 +1,548 @@
+//! Pluggable partner-selection policies.
+//!
+//! The paper's collision protocol is one point in a large space of
+//! randomized balancing rules. [`PartnerPolicy`] abstracts the "who
+//! balances with whom" decision a `ThresholdBalancer` phase makes:
+//! given this phase's heavy and light sets, produce heavy→light
+//! matches plus a message accounting. The collision protocol itself
+//! lives behind this trait in `pcrlb-core` (it needs the balance
+//! forest); this module holds the trait and the probe-based ladder
+//! from the literature: d-choice `greedy_d`, `(1+β)` mixing,
+//! threshold/adaptive probing, and always-go-left.
+//!
+//! Determinism contract: a policy may only draw randomness from
+//! `world.rng_global()` — the shared protocol stream that every
+//! backend advances on the coordinating thread during the decide
+//! sub-step — and must make the same draws whether or not a wire log
+//! is attached. That is the entire proof obligation for cross-backend
+//! bit-equality: anything built from these pieces inherits it.
+
+use std::sync::Arc;
+
+use pcrlb_net::{ControlKind, WireLog};
+
+use crate::topology::Topology;
+use crate::types::ProcId;
+use crate::world::World;
+
+/// Message/work accounting for one `select` call, mirroring the
+/// collision search's `SearchStats` so the balancer can feed the
+/// ledger identically for every policy.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PartnerStats {
+    /// Balancing requests issued (collision: tree roots; probe
+    /// policies: one per heavy processor).
+    pub requests: u64,
+    /// Games / probe rounds played.
+    pub levels: u32,
+    /// Collision-game rounds (probe policies report 1).
+    pub rounds: u32,
+    /// Rounds that produced no progress.
+    pub wasted_rounds: u32,
+    /// Query messages sent (load probes).
+    pub queries: u64,
+    /// Accept / reply messages sent.
+    pub accepts: u64,
+    /// Id messages (match confirmations).
+    pub id_messages: u64,
+    /// Auxiliary probe messages (collision: sibling checks).
+    pub probes: u64,
+    /// Messages lost to fault injection.
+    pub dropped: u64,
+}
+
+/// The result of one partner-selection round.
+#[derive(Clone, Debug, Default)]
+pub struct PartnerOutcome {
+    /// `(heavy, light, level)` matches; `level` is the collision-tree
+    /// level for the collision policy and 0 for probe policies.
+    pub matches: Vec<(ProcId, ProcId, u32)>,
+    /// Heavy processors that found no partner this phase.
+    pub unmatched: Vec<ProcId>,
+    /// Requests attributed to each root, parallel to the heavy set
+    /// passed in (feeds the Lemma 7 request histogram).
+    pub requests_per_root: Vec<u32>,
+    /// Message accounting.
+    pub stats: PartnerStats,
+}
+
+/// How a heavy processor picks a balancing partner each phase.
+///
+/// Implementations run on the coordinating thread (the decide
+/// sub-step), draw randomness only from `world.rng_global()`, and
+/// narrate their messages into `wire` when a net runtime listens.
+pub trait PartnerPolicy: Send {
+    /// Short policy name for reports and tables, e.g. `"greedy-d"`.
+    fn name(&self) -> &'static str;
+
+    /// Picks partners for this phase's `heavy` set out of `light`.
+    ///
+    /// `topo` restricts candidate partners to graph neighbors. The
+    /// returned matches are not yet executed — the balancer schedules
+    /// the actual transfers.
+    fn select(
+        &mut self,
+        world: &mut World,
+        topo: &Arc<dyn Topology>,
+        heavy: &[ProcId],
+        light: &[ProcId],
+        wire: Option<&mut WireLog>,
+    ) -> PartnerOutcome;
+}
+
+/// Parsed `--policy` grammar. Building the boxed policy happens in
+/// `pcrlb-core` (`ThresholdBalancer::with_policy_spec`) because the
+/// collision variant needs the balance forest.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum PolicySpec {
+    /// The paper's collision protocol (the default).
+    Collision,
+    /// d-choice: probe `d` neighbors, take the least loaded.
+    Greedy {
+        /// Number of probes per heavy processor.
+        d: usize,
+    },
+    /// `(1+β)`: one probe, with probability `beta` a second.
+    Beta {
+        /// Probability of the second probe.
+        beta: f64,
+    },
+    /// Adaptive probing: probe until a light partner is found, up to
+    /// `max_probes`.
+    Probe {
+        /// Probe budget per heavy processor.
+        max_probes: usize,
+    },
+    /// Always-go-left: `d` probes from `d` contiguous neighbor-slot
+    /// groups, ties broken toward the leftmost group.
+    Left {
+        /// Number of groups/probes.
+        d: usize,
+    },
+}
+
+impl PolicySpec {
+    /// Parses the `--policy` grammar:
+    ///
+    /// ```text
+    /// collision | greedy[:D] | beta[:B] | probe[:K] | left[:D]
+    /// ```
+    pub fn parse(s: &str) -> Result<Self, String> {
+        let (head, rest) = match s.split_once(':') {
+            Some((h, r)) => (h, Some(r)),
+            None => (s, None),
+        };
+        let num = |r: Option<&str>, default: usize, what: &str| -> Result<usize, String> {
+            match r {
+                None => Ok(default),
+                Some(v) => v.parse().map_err(|_| format!("bad {what} `{v}`")),
+            }
+        };
+        match head {
+            "collision" if rest.is_none() => Ok(PolicySpec::Collision),
+            "greedy" => {
+                let d = num(rest, 2, "greedy choice count")?;
+                if d < 1 {
+                    return Err("greedy needs d >= 1".into());
+                }
+                Ok(PolicySpec::Greedy { d })
+            }
+            "beta" => {
+                let beta = match rest {
+                    None => 0.5,
+                    Some(v) => v.parse().map_err(|_| format!("bad beta `{v}`"))?,
+                };
+                if !(0.0..=1.0).contains(&beta) {
+                    return Err("beta must be in [0, 1]".into());
+                }
+                Ok(PolicySpec::Beta { beta })
+            }
+            "probe" => {
+                let max_probes = num(rest, 4, "probe budget")?;
+                if max_probes < 1 {
+                    return Err("probe needs a budget >= 1".into());
+                }
+                Ok(PolicySpec::Probe { max_probes })
+            }
+            "left" => {
+                let d = num(rest, 2, "left group count")?;
+                if d < 1 {
+                    return Err("left needs d >= 1".into());
+                }
+                Ok(PolicySpec::Left { d })
+            }
+            _ => Err(format!(
+                "unknown policy `{s}` (want collision | greedy[:D] | beta[:B] | \
+                 probe[:K] | left[:D])"
+            )),
+        }
+    }
+
+    /// Canonical spec string (round-trips through `parse`).
+    #[must_use]
+    pub fn label(&self) -> String {
+        match *self {
+            PolicySpec::Collision => "collision".into(),
+            PolicySpec::Greedy { d } => format!("greedy:{d}"),
+            PolicySpec::Beta { beta } => format!("beta:{beta}"),
+            PolicySpec::Probe { max_probes } => format!("probe:{max_probes}"),
+            PolicySpec::Left { d } => format!("left:{d}"),
+        }
+    }
+}
+
+/// Shared scratch for the probe-based policies: membership and
+/// reservation bitmaps over the light set, reused across phases.
+#[derive(Debug, Default)]
+struct ProbeScratch {
+    /// `light_state[p]`: 0 = not light, 1 = light, 2 = light but
+    /// already reserved by an earlier heavy this phase.
+    light_state: Vec<u8>,
+    touched: Vec<ProcId>,
+}
+
+impl ProbeScratch {
+    fn begin(&mut self, n: usize, light: &[ProcId]) {
+        if self.light_state.len() < n {
+            self.light_state.resize(n, 0);
+        }
+        for &p in &self.touched {
+            self.light_state[p] = 0;
+        }
+        self.touched.clear();
+        for &l in light {
+            self.light_state[l] = 1;
+            self.touched.push(l);
+        }
+    }
+}
+
+/// One load probe: narrates Query (probe out) + Accept (load reply)
+/// when a wire log listens, and counts both. These ride the reliable
+/// control path, like the collision protocol's sibling checks.
+#[inline]
+fn narrate_probe(wire: &mut Option<&mut WireLog>, stats: &mut PartnerStats, h: ProcId, t: ProcId) {
+    stats.queries += 1;
+    stats.accepts += 1;
+    if let Some(w) = wire.as_deref_mut() {
+        w.push_reliable(ControlKind::Query, h, t);
+        w.push_reliable(ControlKind::Accept, t, h);
+    }
+}
+
+/// Commits `h -> best` if `best` is a still-unreserved light
+/// processor; returns true on a match.
+#[inline]
+fn try_commit(
+    scratch: &mut ProbeScratch,
+    wire: &mut Option<&mut WireLog>,
+    out: &mut PartnerOutcome,
+    h: ProcId,
+    best: ProcId,
+) -> bool {
+    if scratch.light_state[best] == 1 {
+        scratch.light_state[best] = 2;
+        out.stats.id_messages += 1;
+        if let Some(w) = wire.as_deref_mut() {
+            w.push_reliable(ControlKind::IdMessage, best, h);
+        }
+        out.matches.push((h, best, 0));
+        true
+    } else {
+        false
+    }
+}
+
+/// Finishes the shared bookkeeping of a probe-policy phase.
+fn finish(out: &mut PartnerOutcome, heavy_len: usize) {
+    out.stats.requests = heavy_len as u64;
+    out.stats.levels = u32::from(heavy_len > 0);
+    out.stats.rounds = u32::from(heavy_len > 0);
+    out.stats.wasted_rounds = u32::from(heavy_len > 0 && out.matches.is_empty());
+}
+
+/// Classic d-choice (`greedy_d`): probe `d` uniform neighbors, commit
+/// to the least loaded (ties to the earliest draw).
+#[derive(Debug)]
+pub struct GreedyD {
+    d: usize,
+    scratch: ProbeScratch,
+}
+
+impl GreedyD {
+    /// `d` probes per heavy processor.
+    #[must_use]
+    pub fn new(d: usize) -> Self {
+        GreedyD {
+            d: d.max(1),
+            scratch: ProbeScratch::default(),
+        }
+    }
+}
+
+impl PartnerPolicy for GreedyD {
+    fn name(&self) -> &'static str {
+        "greedy-d"
+    }
+
+    fn select(
+        &mut self,
+        world: &mut World,
+        topo: &Arc<dyn Topology>,
+        heavy: &[ProcId],
+        light: &[ProcId],
+        mut wire: Option<&mut WireLog>,
+    ) -> PartnerOutcome {
+        let mut out = PartnerOutcome::default();
+        self.scratch.begin(world.n(), light);
+        out.requests_per_root = vec![1; heavy.len()];
+        for &h in heavy {
+            if topo.degree(h) == 0 {
+                out.unmatched.push(h);
+                continue;
+            }
+            let mut best: Option<(usize, ProcId)> = None;
+            for _ in 0..self.d {
+                let t = topo.random_partner(h, world.rng_global());
+                narrate_probe(&mut wire, &mut out.stats, h, t);
+                let load = world.load(t);
+                if best.is_none_or(|(bl, _)| load < bl) {
+                    best = Some((load, t));
+                }
+            }
+            let (_, t) = best.expect("d >= 1 probes");
+            if !try_commit(&mut self.scratch, &mut wire, &mut out, h, t) {
+                out.unmatched.push(h);
+            }
+        }
+        finish(&mut out, heavy.len());
+        out
+    }
+}
+
+/// `(1+β)`: one probe always, a second with probability `beta`, then
+/// commit to the lighter. Interpolates between random matching and
+/// 2-choice at a fraction of the probe cost.
+#[derive(Debug)]
+pub struct OnePlusBeta {
+    beta: f64,
+    scratch: ProbeScratch,
+}
+
+impl OnePlusBeta {
+    /// Probability `beta` of the second probe.
+    #[must_use]
+    pub fn new(beta: f64) -> Self {
+        OnePlusBeta {
+            beta: beta.clamp(0.0, 1.0),
+            scratch: ProbeScratch::default(),
+        }
+    }
+}
+
+impl PartnerPolicy for OnePlusBeta {
+    fn name(&self) -> &'static str {
+        "one-plus-beta"
+    }
+
+    fn select(
+        &mut self,
+        world: &mut World,
+        topo: &Arc<dyn Topology>,
+        heavy: &[ProcId],
+        light: &[ProcId],
+        mut wire: Option<&mut WireLog>,
+    ) -> PartnerOutcome {
+        let mut out = PartnerOutcome::default();
+        self.scratch.begin(world.n(), light);
+        out.requests_per_root = vec![1; heavy.len()];
+        for &h in heavy {
+            if topo.degree(h) == 0 {
+                out.unmatched.push(h);
+                continue;
+            }
+            // Draw order is fixed (coin, then probes) so the stream
+            // is identical on every backend.
+            let second = world.rng_global().chance(self.beta);
+            let mut t = topo.random_partner(h, world.rng_global());
+            narrate_probe(&mut wire, &mut out.stats, h, t);
+            if second {
+                let u = topo.random_partner(h, world.rng_global());
+                narrate_probe(&mut wire, &mut out.stats, h, u);
+                if world.load(u) < world.load(t) {
+                    t = u;
+                }
+            }
+            if !try_commit(&mut self.scratch, &mut wire, &mut out, h, t) {
+                out.unmatched.push(h);
+            }
+        }
+        finish(&mut out, heavy.len());
+        out
+    }
+}
+
+/// Threshold/adaptive probing: probe sequentially and stop at the
+/// first still-unreserved light neighbor; give up after `max_probes`.
+/// Message cost adapts to how hard light partners are to find.
+#[derive(Debug)]
+pub struct ThresholdProbe {
+    max_probes: usize,
+    scratch: ProbeScratch,
+}
+
+impl ThresholdProbe {
+    /// Probe budget per heavy processor.
+    #[must_use]
+    pub fn new(max_probes: usize) -> Self {
+        ThresholdProbe {
+            max_probes: max_probes.max(1),
+            scratch: ProbeScratch::default(),
+        }
+    }
+}
+
+impl PartnerPolicy for ThresholdProbe {
+    fn name(&self) -> &'static str {
+        "threshold-probe"
+    }
+
+    fn select(
+        &mut self,
+        world: &mut World,
+        topo: &Arc<dyn Topology>,
+        heavy: &[ProcId],
+        light: &[ProcId],
+        mut wire: Option<&mut WireLog>,
+    ) -> PartnerOutcome {
+        let mut out = PartnerOutcome::default();
+        self.scratch.begin(world.n(), light);
+        out.requests_per_root = Vec::with_capacity(heavy.len());
+        for &h in heavy {
+            if topo.degree(h) == 0 {
+                out.unmatched.push(h);
+                out.requests_per_root.push(1);
+                continue;
+            }
+            let mut matched = false;
+            let mut probes = 0u32;
+            for _ in 0..self.max_probes {
+                let t = topo.random_partner(h, world.rng_global());
+                probes += 1;
+                narrate_probe(&mut wire, &mut out.stats, h, t);
+                if try_commit(&mut self.scratch, &mut wire, &mut out, h, t) {
+                    matched = true;
+                    break;
+                }
+            }
+            out.requests_per_root.push(probes.max(1));
+            if !matched {
+                out.unmatched.push(h);
+            }
+        }
+        finish(&mut out, heavy.len());
+        out
+    }
+}
+
+/// Always-go-left (Vöcking): split the neighbor-slot space into `d`
+/// contiguous groups, draw one candidate per group, commit to the
+/// least loaded with ties broken toward the leftmost group.
+#[derive(Debug)]
+pub struct AlwaysGoLeft {
+    d: usize,
+    scratch: ProbeScratch,
+}
+
+impl AlwaysGoLeft {
+    /// Number of groups (and probes) per heavy processor.
+    #[must_use]
+    pub fn new(d: usize) -> Self {
+        AlwaysGoLeft {
+            d: d.max(1),
+            scratch: ProbeScratch::default(),
+        }
+    }
+}
+
+impl PartnerPolicy for AlwaysGoLeft {
+    fn name(&self) -> &'static str {
+        "always-go-left"
+    }
+
+    fn select(
+        &mut self,
+        world: &mut World,
+        topo: &Arc<dyn Topology>,
+        heavy: &[ProcId],
+        light: &[ProcId],
+        mut wire: Option<&mut WireLog>,
+    ) -> PartnerOutcome {
+        let mut out = PartnerOutcome::default();
+        self.scratch.begin(world.n(), light);
+        out.requests_per_root = vec![1; heavy.len()];
+        for &h in heavy {
+            let deg = topo.degree(h);
+            if deg == 0 {
+                out.unmatched.push(h);
+                continue;
+            }
+            let groups = self.d.min(deg);
+            let mut best: Option<(usize, ProcId)> = None;
+            for g in 0..groups {
+                let lo = g * deg / groups;
+                let hi = (g + 1) * deg / groups;
+                let slot = lo + world.rng_global().below(hi - lo);
+                let t = topo.neighbor(h, slot);
+                narrate_probe(&mut wire, &mut out.stats, h, t);
+                let load = world.load(t);
+                // Strict `<` keeps ties with the leftmost group.
+                if best.is_none_or(|(bl, _)| load < bl) {
+                    best = Some((load, t));
+                }
+            }
+            let (_, t) = best.expect("groups >= 1");
+            if !try_commit(&mut self.scratch, &mut wire, &mut out, h, t) {
+                out.unmatched.push(h);
+            }
+        }
+        finish(&mut out, heavy.len());
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn policy_spec_grammar_round_trips() {
+        for s in [
+            "collision",
+            "greedy:2",
+            "greedy:4",
+            "beta:0.5",
+            "probe:4",
+            "left:3",
+        ] {
+            let spec = PolicySpec::parse(s).unwrap();
+            assert_eq!(spec.label(), s);
+        }
+        assert_eq!(
+            PolicySpec::parse("greedy").unwrap(),
+            PolicySpec::Greedy { d: 2 }
+        );
+        assert_eq!(
+            PolicySpec::parse("beta").unwrap(),
+            PolicySpec::Beta { beta: 0.5 }
+        );
+        assert_eq!(
+            PolicySpec::parse("probe").unwrap(),
+            PolicySpec::Probe { max_probes: 4 }
+        );
+        assert!(PolicySpec::parse("greedy:0").is_err());
+        assert!(PolicySpec::parse("beta:1.5").is_err());
+        assert!(PolicySpec::parse("collision:2").is_err());
+        assert!(PolicySpec::parse("rr").is_err());
+    }
+}

@@ -1,0 +1,584 @@
+//! Communication topologies restricting who may balance with whom.
+//!
+//! The paper's collision protocol assumes a complete communication
+//! graph: any processor can probe any other. Cai–Sauerwald's network
+//! model instead restricts partners to graph neighbors. This module
+//! provides the [`Topology`] trait plus stock graphs (complete, ring,
+//! 2-D torus, hypercube, seeded random-regular) so partner-selection
+//! policies can be swept across locality regimes.
+//!
+//! Determinism contract: a topology is a pure function of its
+//! construction parameters. `RandomRegular` is built once from a
+//! seed (union of `d/2` seeded Hamiltonian cycles), so the same
+//! `(n, d, seed)` triple yields the same adjacency on every backend
+//! and every machine — graph construction never touches the
+//! simulation's RNG streams.
+
+use std::sync::Arc;
+
+use crate::rng::SimRng;
+use crate::types::ProcId;
+
+/// A static undirected communication graph over processors `0..n`.
+///
+/// Neighbors are addressed by *slot index* `0..degree(v)`. Slots may
+/// repeat a neighbor on degenerate parameters (a 2-wide torus ring, a
+/// random-regular multigraph edge); policies treat slots as the unit
+/// of choice, which keeps degree exact and sampling uniform.
+pub trait Topology: Send + Sync {
+    /// Number of vertices (processors).
+    fn n(&self) -> usize;
+
+    /// Number of neighbor slots of `v`.
+    fn degree(&self, v: ProcId) -> usize;
+
+    /// The neighbor in slot `k` of `v` (`k < degree(v)`).
+    fn neighbor(&self, v: ProcId, k: usize) -> ProcId;
+
+    /// Short display name, e.g. `"ring"`.
+    fn name(&self) -> &'static str;
+
+    /// True for the complete graph: policies may then use global
+    /// fast paths (the collision forest skips neighbor sampling).
+    fn is_complete(&self) -> bool {
+        false
+    }
+
+    /// Draws a uniformly random partner of `v`.
+    ///
+    /// The default draws a uniform neighbor slot. `Complete`
+    /// overrides this with the historical rejection loop so the
+    /// default policy's RNG draw sequence is bit-identical to the
+    /// pre-topology code.
+    fn random_partner(&self, v: ProcId, rng: &mut SimRng) -> ProcId {
+        debug_assert!(self.degree(v) > 0, "vertex {v} has no neighbors");
+        self.neighbor(v, rng.below(self.degree(v)))
+    }
+
+    /// True when `u` has `v` in some neighbor slot (test helper;
+    /// linear in `degree(u)`).
+    fn has_edge(&self, u: ProcId, v: ProcId) -> bool {
+        (0..self.degree(u)).any(|k| self.neighbor(u, k) == v)
+    }
+}
+
+/// The complete graph `K_n`: every processor can reach every other.
+#[derive(Clone, Copy, Debug)]
+pub struct Complete {
+    n: usize,
+}
+
+impl Complete {
+    /// Complete graph on `n >= 2` vertices.
+    #[must_use]
+    pub fn new(n: usize) -> Self {
+        Complete { n }
+    }
+}
+
+impl Topology for Complete {
+    fn n(&self) -> usize {
+        self.n
+    }
+
+    fn degree(&self, _v: ProcId) -> usize {
+        self.n - 1
+    }
+
+    fn neighbor(&self, v: ProcId, k: usize) -> ProcId {
+        // Slots enumerate 0..n skipping v itself.
+        k + usize::from(k >= v)
+    }
+
+    fn name(&self) -> &'static str {
+        "complete"
+    }
+
+    fn is_complete(&self) -> bool {
+        true
+    }
+
+    fn random_partner(&self, v: ProcId, rng: &mut SimRng) -> ProcId {
+        // Rejection loop, bit-identical to the historical preround
+        // draw (one `below(n)` per attempt, retry on self).
+        let mut t = rng.below(self.n);
+        while t == v {
+            t = rng.below(self.n);
+        }
+        t
+    }
+
+    fn has_edge(&self, u: ProcId, v: ProcId) -> bool {
+        u != v && u < self.n && v < self.n
+    }
+}
+
+/// The cycle `C_n`: each processor talks to its two ring neighbors.
+#[derive(Clone, Copy, Debug)]
+pub struct Ring {
+    n: usize,
+}
+
+impl Ring {
+    /// Ring on `n >= 3` vertices.
+    #[must_use]
+    pub fn new(n: usize) -> Self {
+        Ring { n }
+    }
+}
+
+impl Topology for Ring {
+    fn n(&self) -> usize {
+        self.n
+    }
+
+    fn degree(&self, _v: ProcId) -> usize {
+        2
+    }
+
+    fn neighbor(&self, v: ProcId, k: usize) -> ProcId {
+        match k {
+            0 => (v + 1) % self.n,
+            _ => (v + self.n - 1) % self.n,
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "ring"
+    }
+}
+
+/// A 2-D torus (`rows x cols` grid with wraparound), degree 4.
+#[derive(Clone, Copy, Debug)]
+pub struct Torus {
+    rows: usize,
+    cols: usize,
+}
+
+impl Torus {
+    /// `rows x cols` torus; both dimensions must be >= 2.
+    #[must_use]
+    pub fn new(rows: usize, cols: usize) -> Self {
+        Torus { rows, cols }
+    }
+}
+
+impl Topology for Torus {
+    fn n(&self) -> usize {
+        self.rows * self.cols
+    }
+
+    fn degree(&self, _v: ProcId) -> usize {
+        4
+    }
+
+    fn neighbor(&self, v: ProcId, k: usize) -> ProcId {
+        let (r, c) = (v / self.cols, v % self.cols);
+        let (nr, nc) = match k {
+            0 => (r, (c + 1) % self.cols),
+            1 => (r, (c + self.cols - 1) % self.cols),
+            2 => ((r + 1) % self.rows, c),
+            _ => ((r + self.rows - 1) % self.rows, c),
+        };
+        nr * self.cols + nc
+    }
+
+    fn name(&self) -> &'static str {
+        "torus"
+    }
+}
+
+/// The `d`-dimensional hypercube (`n = 2^d`), degree `log2 n`.
+#[derive(Clone, Copy, Debug)]
+pub struct Hypercube {
+    dim: u32,
+}
+
+impl Hypercube {
+    /// Hypercube with `2^dim` vertices, `dim >= 1`.
+    #[must_use]
+    pub fn new(dim: u32) -> Self {
+        Hypercube { dim }
+    }
+}
+
+impl Topology for Hypercube {
+    fn n(&self) -> usize {
+        1 << self.dim
+    }
+
+    fn degree(&self, _v: ProcId) -> usize {
+        self.dim as usize
+    }
+
+    fn neighbor(&self, v: ProcId, k: usize) -> ProcId {
+        v ^ (1 << k)
+    }
+
+    fn name(&self) -> &'static str {
+        "hypercube"
+    }
+}
+
+/// A `d`-regular graph built as the union of `d/2` seeded Hamiltonian
+/// cycles: connected by construction, degree exactly `d`, and fully
+/// determined by `(n, d, seed)`.
+#[derive(Clone, Debug)]
+pub struct RandomRegular {
+    n: usize,
+    d: usize,
+    /// `d` neighbor slots per vertex, row-major.
+    adj: Vec<ProcId>,
+}
+
+impl RandomRegular {
+    /// Builds the graph; `d` must be even, `2 <= d`, `n >= 3`.
+    ///
+    /// Uses private RNG streams derived from `seed` — never the
+    /// simulation streams, so the graph is identical across backends.
+    #[must_use]
+    pub fn new(n: usize, d: usize, seed: u64) -> Self {
+        assert!(
+            d >= 2 && d.is_multiple_of(2),
+            "random-regular degree must be even and >= 2"
+        );
+        assert!(n >= 3, "random-regular needs n >= 3");
+        let mut adj = vec![0usize; n * d];
+        let mut perm: Vec<usize> = (0..n).collect();
+        for cycle in 0..d / 2 {
+            let mut rng = SimRng::stream(seed ^ 0x7090_1998_0000_0000, cycle as u64);
+            for (i, p) in perm.iter_mut().enumerate() {
+                *p = i;
+            }
+            rng.shuffle(&mut perm);
+            for i in 0..n {
+                let a = perm[i];
+                let b = perm[(i + 1) % n];
+                adj[a * d + 2 * cycle] = b;
+                adj[b * d + 2 * cycle + 1] = a;
+            }
+        }
+        RandomRegular { n, d, adj }
+    }
+}
+
+impl Topology for RandomRegular {
+    fn n(&self) -> usize {
+        self.n
+    }
+
+    fn degree(&self, _v: ProcId) -> usize {
+        self.d
+    }
+
+    fn neighbor(&self, v: ProcId, k: usize) -> ProcId {
+        self.adj[v * self.d + k]
+    }
+
+    fn name(&self) -> &'static str {
+        "random-regular"
+    }
+}
+
+/// Parsed `--topology` grammar; `build(n)` validates against the
+/// processor count and yields the shared graph.
+///
+/// Grammar (mirroring `--arrivals`):
+///
+/// ```text
+/// complete | ring | torus | torus:RxC | hypercube
+/// | regular:D | regular:D,SEED
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TopologySpec {
+    /// Complete graph (the default; the paper's model).
+    Complete,
+    /// Cycle.
+    Ring,
+    /// 2-D torus; `None` auto-factors `n` near its square root.
+    Torus(Option<(usize, usize)>),
+    /// Hypercube (`n` must be a power of two).
+    Hypercube,
+    /// Seeded random-regular graph of even degree `d`.
+    Regular {
+        /// Even degree.
+        d: usize,
+        /// Construction seed.
+        seed: u64,
+    },
+}
+
+/// Default construction seed for `regular:D` without an explicit seed.
+pub const DEFAULT_REGULAR_SEED: u64 = 1998;
+
+impl TopologySpec {
+    /// Parses the `--topology` grammar.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        let (head, rest) = match s.split_once(':') {
+            Some((h, r)) => (h, Some(r)),
+            None => (s, None),
+        };
+        match (head, rest) {
+            ("complete", None) => Ok(TopologySpec::Complete),
+            ("ring", None) => Ok(TopologySpec::Ring),
+            ("torus", None) => Ok(TopologySpec::Torus(None)),
+            ("torus", Some(dims)) => {
+                let (r, c) = dims
+                    .split_once('x')
+                    .ok_or_else(|| format!("torus dims must be RxC, got `{dims}`"))?;
+                let rows: usize = r.parse().map_err(|_| format!("bad torus rows `{r}`"))?;
+                let cols: usize = c.parse().map_err(|_| format!("bad torus cols `{c}`"))?;
+                if rows < 2 || cols < 2 {
+                    return Err("torus dims must both be >= 2".into());
+                }
+                Ok(TopologySpec::Torus(Some((rows, cols))))
+            }
+            ("hypercube", None) => Ok(TopologySpec::Hypercube),
+            ("regular", Some(args)) => {
+                let (d_str, seed_str) = match args.split_once(',') {
+                    Some((d, s)) => (d, Some(s)),
+                    None => (args, None),
+                };
+                let d: usize = d_str
+                    .parse()
+                    .map_err(|_| format!("bad regular degree `{d_str}`"))?;
+                if d < 2 || !d.is_multiple_of(2) {
+                    return Err("regular degree must be even and >= 2".into());
+                }
+                let seed = match seed_str {
+                    Some(s) => s.parse().map_err(|_| format!("bad regular seed `{s}`"))?,
+                    None => DEFAULT_REGULAR_SEED,
+                };
+                Ok(TopologySpec::Regular { d, seed })
+            }
+            ("regular", None) => Err("regular needs a degree: regular:D[,SEED]".into()),
+            _ => Err(format!(
+                "unknown topology `{s}` (want complete | ring | torus[:RxC] | \
+                 hypercube | regular:D[,SEED])"
+            )),
+        }
+    }
+
+    /// Builds the graph for `n` processors, validating fit.
+    pub fn build(&self, n: usize) -> Result<Arc<dyn Topology>, String> {
+        match *self {
+            TopologySpec::Complete => {
+                if n < 2 {
+                    return Err("complete graph needs n >= 2".into());
+                }
+                Ok(Arc::new(Complete::new(n)))
+            }
+            TopologySpec::Ring => {
+                if n < 3 {
+                    return Err("ring needs n >= 3".into());
+                }
+                Ok(Arc::new(Ring::new(n)))
+            }
+            TopologySpec::Torus(dims) => {
+                let (rows, cols) = match dims {
+                    Some(rc) => rc,
+                    None => factor_near_sqrt(n).ok_or_else(|| {
+                        format!("cannot factor n={n} into a torus; pass torus:RxC")
+                    })?,
+                };
+                if rows * cols != n {
+                    return Err(format!("torus {rows}x{cols} does not cover n={n}"));
+                }
+                if rows < 2 || cols < 2 {
+                    return Err("torus dims must both be >= 2".into());
+                }
+                Ok(Arc::new(Torus::new(rows, cols)))
+            }
+            TopologySpec::Hypercube => {
+                if n < 2 || !n.is_power_of_two() {
+                    return Err(format!("hypercube needs a power-of-two n, got {n}"));
+                }
+                Ok(Arc::new(Hypercube::new(n.trailing_zeros())))
+            }
+            TopologySpec::Regular { d, seed } => {
+                if n < 3 {
+                    return Err("regular needs n >= 3".into());
+                }
+                if d >= n {
+                    return Err(format!("regular degree {d} must be < n={n}"));
+                }
+                Ok(Arc::new(RandomRegular::new(n, d, seed)))
+            }
+        }
+    }
+
+    /// Canonical spec string (round-trips through `parse`).
+    #[must_use]
+    pub fn label(&self) -> String {
+        match *self {
+            TopologySpec::Complete => "complete".into(),
+            TopologySpec::Ring => "ring".into(),
+            TopologySpec::Torus(None) => "torus".into(),
+            TopologySpec::Torus(Some((r, c))) => format!("torus:{r}x{c}"),
+            TopologySpec::Hypercube => "hypercube".into(),
+            TopologySpec::Regular { d, seed } if seed == DEFAULT_REGULAR_SEED => {
+                format!("regular:{d}")
+            }
+            TopologySpec::Regular { d, seed } => format!("regular:{d},{seed}"),
+        }
+    }
+}
+
+/// Largest divisor pair `(r, n/r)` with `r <= sqrt(n)` and both >= 2.
+fn factor_near_sqrt(n: usize) -> Option<(usize, usize)> {
+    let mut r = (n as f64).sqrt() as usize;
+    while r >= 2 {
+        if n.is_multiple_of(r) {
+            return Some((r, n / r));
+        }
+        r -= 1;
+    }
+    None
+}
+
+/// Ring distance `min(|a-b|, n-|a-b|)` — the locality metric reported
+/// by the balancer for matched partner pairs.
+#[must_use]
+pub fn ring_distance(a: ProcId, b: ProcId, n: usize) -> usize {
+    let d = a.abs_diff(b);
+    d.min(n - d)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn connected(topo: &dyn Topology) -> bool {
+        let n = topo.n();
+        let mut seen = vec![false; n];
+        let mut stack = vec![0usize];
+        seen[0] = true;
+        let mut count = 1;
+        while let Some(v) = stack.pop() {
+            for k in 0..topo.degree(v) {
+                let u = topo.neighbor(v, k);
+                if !seen[u] {
+                    seen[u] = true;
+                    count += 1;
+                    stack.push(u);
+                }
+            }
+        }
+        count == n
+    }
+
+    #[test]
+    fn complete_enumerates_everyone_but_self() {
+        let t = Complete::new(8);
+        for v in 0..8 {
+            let mut seen: Vec<usize> = (0..t.degree(v)).map(|k| t.neighbor(v, k)).collect();
+            seen.sort_unstable();
+            let want: Vec<usize> = (0..8).filter(|&u| u != v).collect();
+            assert_eq!(seen, want);
+        }
+    }
+
+    #[test]
+    fn complete_random_partner_matches_legacy_rejection_loop() {
+        let t = Complete::new(64);
+        let mut a = SimRng::new(42);
+        let mut b = SimRng::new(42);
+        for v in 0..64 {
+            let got = t.random_partner(v, &mut a);
+            let mut want = b.below(64);
+            while want == v {
+                want = b.below(64);
+            }
+            assert_eq!(got, want);
+        }
+    }
+
+    #[test]
+    fn ring_and_torus_and_hypercube_shapes() {
+        let r = Ring::new(7);
+        assert_eq!(r.neighbor(6, 0), 0);
+        assert_eq!(r.neighbor(0, 1), 6);
+        assert!(connected(&r));
+
+        let t = Torus::new(3, 4);
+        assert_eq!(t.n(), 12);
+        for v in 0..12 {
+            assert_eq!(t.degree(v), 4);
+            for k in 0..4 {
+                assert!(t.has_edge(t.neighbor(v, k), v), "torus must be symmetric");
+            }
+        }
+        assert!(connected(&t));
+
+        let h = Hypercube::new(4);
+        assert_eq!(h.n(), 16);
+        assert_eq!(h.degree(0), 4);
+        assert_eq!(h.neighbor(5, 1), 7);
+        assert!(connected(&h));
+    }
+
+    #[test]
+    fn random_regular_is_regular_connected_and_seed_deterministic() {
+        for &(n, d) in &[(17usize, 2usize), (32, 4), (101, 6)] {
+            let g1 = RandomRegular::new(n, d, 7);
+            let g2 = RandomRegular::new(n, d, 7);
+            let g3 = RandomRegular::new(n, d, 8);
+            for v in 0..n {
+                assert_eq!(g1.degree(v), d);
+                let a: Vec<_> = (0..d).map(|k| g1.neighbor(v, k)).collect();
+                let b: Vec<_> = (0..d).map(|k| g2.neighbor(v, k)).collect();
+                assert_eq!(a, b, "same seed must give the same graph");
+                for &u in &a {
+                    assert_ne!(u, v, "no self loops");
+                    assert!(g1.has_edge(u, v), "regular graph must be symmetric");
+                }
+            }
+            assert!(connected(&g1));
+            let same = (0..n.min(8)).all(|v| {
+                (0..d).map(|k| g1.neighbor(v, k)).collect::<Vec<_>>()
+                    == (0..d).map(|k| g3.neighbor(v, k)).collect::<Vec<_>>()
+            });
+            assert!(!same || d == 2 && n < 4, "different seeds should differ");
+        }
+    }
+
+    #[test]
+    fn spec_grammar_round_trips() {
+        for s in [
+            "complete",
+            "ring",
+            "torus",
+            "torus:8x16",
+            "hypercube",
+            "regular:4",
+            "regular:6,99",
+        ] {
+            let spec = TopologySpec::parse(s).unwrap();
+            assert_eq!(spec.label(), s);
+            assert_eq!(TopologySpec::parse(&spec.label()).unwrap(), spec);
+        }
+        assert!(TopologySpec::parse("mesh").is_err());
+        assert!(TopologySpec::parse("torus:1x9").is_err());
+        assert!(TopologySpec::parse("regular:3").is_err());
+        assert!(TopologySpec::parse("regular").is_err());
+    }
+
+    #[test]
+    fn spec_build_validates_fit() {
+        assert!(TopologySpec::Hypercube.build(48).is_err());
+        assert!(TopologySpec::Torus(Some((4, 4))).build(15).is_err());
+        assert!(TopologySpec::Regular { d: 4, seed: 1 }.build(4).is_err());
+        let t = TopologySpec::Torus(None).build(48).unwrap();
+        assert_eq!(t.n(), 48);
+        assert!(connected(&*TopologySpec::Torus(None).build(48).unwrap()));
+        // 6x8 factorization
+        assert!(t.has_edge(0, 8));
+    }
+
+    #[test]
+    fn ring_distance_wraps() {
+        assert_eq!(ring_distance(1, 6, 8), 3);
+        assert_eq!(ring_distance(0, 4, 8), 4);
+        assert_eq!(ring_distance(3, 3, 8), 0);
+    }
+}

@@ -195,6 +195,13 @@ pub struct World {
     /// [`Admission::Defer`](crate::Admission::Defer) policy, re-offered
     /// on later steps. Always all-zero under other policies.
     backlog: Vec<u32>,
+    /// Offer steps of the parked arrivals, FIFO per processor and
+    /// parallel to `backlog` (`backlog_since[p].len() == backlog[p]`).
+    /// Deferred tasks are born at their *offer* step, not their
+    /// admission step, so sojourn histograms include the
+    /// pre-admission backlog wait. Always all-empty under other
+    /// admission policies.
+    backlog_since: Vec<std::collections::VecDeque<Step>>,
     /// Per-processor lifetime counters.
     stats: StatsSoa,
     /// Per-processor RNG streams (index `i`) — local decisions only.
@@ -229,6 +236,7 @@ impl World {
             arena: TaskArena::new(n),
             progress: vec![0; n],
             backlog: vec![0; n],
+            backlog_since: vec![std::collections::VecDeque::new(); n],
             stats: StatsSoa::new(n),
             rngs: (0..n as u64).map(|i| SimRng::stream(seed, i)).collect(),
             global_rng: SimRng::stream(seed, n as u64),
@@ -758,6 +766,7 @@ impl World {
             &mut self.stats.deferred[..],
             &mut self.backlog[..],
         );
+        let mut backlog_since = &mut self.backlog_since[..];
         let mut out = Vec::with_capacity(sizes.len());
         let mut start = 0;
         for (arena, &size) in arena_shards.into_iter().zip(&sizes) {
@@ -768,6 +777,7 @@ impl World {
             let (sh, sht) = std::mem::take(&mut shed).split_at_mut(size);
             let (df, dft) = std::mem::take(&mut deferred).split_at_mut(size);
             let (bk, bkt) = std::mem::take(&mut backlog).split_at_mut(size);
+            let (bs, bst) = std::mem::take(&mut backlog_since).split_at_mut(size);
             out.push(WorldShard {
                 start,
                 now,
@@ -779,6 +789,7 @@ impl World {
                 shed: sh,
                 deferred: df,
                 backlog: bk,
+                backlog_since: bs,
                 spill: Vec::new(),
             });
             rngs = rt;
@@ -788,6 +799,7 @@ impl World {
             shed = sht;
             deferred = dft;
             backlog = bkt;
+            backlog_since = bst;
             start += size;
         }
         (out, &mut self.completions)
@@ -836,6 +848,8 @@ pub(crate) struct WorldShard<'a> {
     pub(crate) deferred: &'a mut [u64],
     /// Front-door backlog window (pending deferred arrivals).
     pub(crate) backlog: &'a mut [u32],
+    /// Offer-step FIFO of each backlog, parallel to `backlog`.
+    pub(crate) backlog_since: &'a mut [std::collections::VecDeque<Step>],
     /// Tasks generated this step that did not fit their ring (kernels
     /// never grow the shared slab). The owning world absorbs these via
     /// [`World::absorb_spill`] right after the parallel section.

@@ -9,10 +9,11 @@
 //! `(n, seed, steps, backend)` every backend must produce the same
 //! `RunReport` bit for bit — with and without an active fault plan.
 
-use pcrlb_core::{TrafficModel, TrafficSpec};
+use pcrlb_core::{BalancerConfig, ThresholdBalancer, TrafficModel, TrafficSpec};
 use pcrlb_sim::{
-    Admission, Backend, FaultConfig, LoadModel, MaxLoadProbe, Probe, ProcId, RunReport, Runner,
-    SimRng, SojournProbe, SojournTailProbe, Step, Unbalanced, World,
+    Admission, Backend, FaultConfig, LoadModel, MaxLoadProbe, PolicySpec, Probe, ProcId, RunReport,
+    Runner, SimRng, SojournProbe, SojournTailProbe, Step, Topology, TopologySpec, Unbalanced,
+    World,
 };
 use proptest::prelude::*;
 
@@ -214,6 +215,156 @@ proptest! {
             n, seed, steps, rho, admission, backend_for(kind, width), faults,
         ));
         prop_assert_eq!(seq, other);
+    }
+}
+
+/// Balanced run under an arbitrary partner policy on an arbitrary
+/// topology. All policies draw exclusively from the global RNG stream
+/// on the coordinating thread (the determinism contract documented in
+/// `policy.rs`), so the report must stay bit-identical across every
+/// backend for every (policy, topology) pair.
+fn run_policy(
+    n: usize,
+    seed: u64,
+    steps: u64,
+    policy: &PolicySpec,
+    topo: &TopologySpec,
+    backend: Backend,
+    faults: Option<FaultConfig>,
+) -> RunReport {
+    let balancer = ThresholdBalancer::new(BalancerConfig::paper(n))
+        .with_topology(topo.build(n).expect("valid topology for n"))
+        .with_policy_spec(policy);
+    let mut runner = Runner::new(n, seed)
+        .model(Gusts)
+        .strategy(balancer)
+        .backend(backend)
+        .probe(MaxLoadProbe::new())
+        .probe(ViewChecksum(0));
+    if let Some(cfg) = faults {
+        runner = runner.faults(cfg);
+    }
+    runner.run(steps)
+}
+
+fn policy_for(idx: u8) -> PolicySpec {
+    let spec = match idx % 5 {
+        0 => "collision",
+        1 => "greedy:2",
+        2 => "beta:0.5",
+        3 => "probe:4",
+        _ => "left:2",
+    };
+    PolicySpec::parse(spec).expect("known policy spec")
+}
+
+fn topology_for(idx: u8) -> TopologySpec {
+    // All of these build for any power-of-two n >= 64.
+    let spec = match idx % 5 {
+        0 => "complete",
+        1 => "ring",
+        2 => "torus",
+        3 => "hypercube",
+        _ => "regular:4",
+    };
+    TopologySpec::parse(spec).expect("known topology spec")
+}
+
+/// Breadth-first reachability count from processor 0.
+fn reachable(topo: &dyn Topology) -> usize {
+    let n = topo.n();
+    let mut seen = vec![false; n];
+    let mut queue = std::collections::VecDeque::from([0usize]);
+    seen[0] = true;
+    let mut count = 1;
+    while let Some(v) = queue.pop_front() {
+        for k in 0..topo.degree(v) {
+            let w = topo.neighbor(v, k);
+            if !seen[w] {
+                seen[w] = true;
+                count += 1;
+                queue.push_back(w);
+            }
+        }
+    }
+    count
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Every partner policy on every topology produces bit-identical
+    /// reports on all four backends; the collision policy additionally
+    /// agrees under 5% message loss (the other policies never send
+    /// droppable collision-game traffic, so loss is exercised where it
+    /// can actually bite).
+    #[test]
+    fn policies_agree_on_every_backend(
+        n_exp in 6u32..8,
+        seed in any::<u64>(),
+        steps in 1u64..48,
+        kind in 1u8..4,
+        width in 1usize..6,
+        policy_idx in 0u8..5,
+        topo_idx in 0u8..5,
+        lossy in any::<bool>(),
+    ) {
+        let n = 1usize << n_exp;
+        let policy = policy_for(policy_idx);
+        let topo = topology_for(topo_idx);
+        let faults = (lossy && matches!(policy, PolicySpec::Collision)).then(|| FaultConfig {
+            fault_seed: seed ^ 0x10_55,
+            loss_rate: 0.05,
+            ..FaultConfig::default()
+        });
+        let seq = normalize(run_policy(
+            n, seed, steps, &policy, &topo, Backend::Sequential, faults,
+        ));
+        let other = normalize(run_policy(
+            n, seed, steps, &policy, &topo, backend_for(kind, width), faults,
+        ));
+        prop_assert_eq!(seq, other);
+    }
+
+    /// Topology invariants for arbitrary sizes: advertised degrees are
+    /// honest (every neighbor slot resolves to a valid non-self vertex),
+    /// the graph is connected, and seeded construction is deterministic
+    /// (same spec + n → identical adjacency; different seed → different
+    /// random-regular adjacency is *allowed* but same-seed equality is
+    /// required).
+    #[test]
+    fn topology_invariants(
+        n_exp in 6u32..10,
+        topo_idx in 0u8..5,
+        reg_seed in any::<u64>(),
+    ) {
+        let n = 1usize << n_exp;
+        let spec = if topo_idx % 5 == 4 {
+            TopologySpec::parse(&format!("regular:4,{reg_seed}")).expect("regular spec")
+        } else {
+            topology_for(topo_idx)
+        };
+        let topo = spec.build(n).expect("valid for power-of-two n");
+        prop_assert_eq!(topo.n(), n);
+        for v in 0..n {
+            let deg = topo.degree(v);
+            prop_assert!(deg >= 1, "vertex {} has no neighbors", v);
+            for k in 0..deg {
+                let w = topo.neighbor(v, k);
+                prop_assert!(w < n, "neighbor out of range");
+                prop_assert!(w != v, "self-loop at vertex {}", v);
+            }
+        }
+        prop_assert_eq!(reachable(topo.as_ref()), n, "graph must be connected");
+
+        // Same spec, same n: bit-identical adjacency.
+        let again = spec.build(n).expect("valid for power-of-two n");
+        for v in 0..n {
+            prop_assert_eq!(topo.degree(v), again.degree(v));
+            for k in 0..topo.degree(v) {
+                prop_assert_eq!(topo.neighbor(v, k), again.neighbor(v, k));
+            }
+        }
     }
 }
 

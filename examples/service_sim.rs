@@ -18,10 +18,11 @@
 //! ```text
 //! cargo run --release --example service_sim -- \
 //!     --arrivals poisson:0.9 -n 262144 [--steps N] [--seed N] \
-//!     [--slo-p999 T] [--threads N] [--quick]
+//!     [--slo-p999 T] [--threads N] [--policy P] [--topology G] [--quick]
 //! ```
 
 use pcrlb::prelude::*;
+use pcrlb::sim::{PolicySpec, TopologySpec};
 
 fn usage() -> ! {
     eprintln!(
@@ -37,6 +38,10 @@ fn usage() -> ! {
            --seed N       master seed (default 1998)\n\
            --slo-p999 T   assert a sojourn p999 target of T steps\n\
            --threads N    worker threads; does not change the output\n\
+           --policy P     partner policy: collision | greedy[:D] |\n\
+                          beta[:B] | probe[:K] | left[:D]\n\
+           --topology G   communication graph: complete | ring |\n\
+                          torus[:RxC] | hypercube | regular:D[,SEED]\n\
            --quick        small smoke configuration (n=2048, 400 steps)\n"
     );
     std::process::exit(2);
@@ -49,6 +54,8 @@ fn main() {
     let mut seed: u64 = 1998;
     let mut threads: usize = 1;
     let mut slo_p999: Option<u64> = None;
+    let mut policy: Option<PolicySpec> = None;
+    let mut topology: Option<TopologySpec> = None;
     let mut quick = false;
 
     let mut args = std::env::args().skip(1);
@@ -78,6 +85,20 @@ fn main() {
                     value("--slo-p999")
                         .parse()
                         .expect("--slo-p999 must be an integer"),
+                )
+            }
+            "--policy" => {
+                policy = Some(PolicySpec::parse(&value("--policy")).unwrap_or_else(|e| {
+                    eprintln!("--policy: {e}");
+                    std::process::exit(2);
+                }))
+            }
+            "--topology" => {
+                topology = Some(
+                    TopologySpec::parse(&value("--topology")).unwrap_or_else(|e| {
+                        eprintln!("--topology: {e}");
+                        std::process::exit(2);
+                    }),
                 )
             }
             "--quick" => quick = true,
@@ -113,9 +134,22 @@ fn main() {
     } else {
         Backend::Sequential
     };
+    let mut balancer = ThresholdBalancer::paper(n);
+    if let Some(topo) = &topology {
+        match topo.build(n) {
+            Ok(t) => balancer = balancer.with_topology(t),
+            Err(e) => {
+                eprintln!("--topology: {e}");
+                std::process::exit(2);
+            }
+        }
+    }
+    if let Some(spec) = &policy {
+        balancer = balancer.with_policy_spec(spec);
+    }
     let report = Runner::new(n, seed)
         .model(model)
-        .strategy(ThresholdBalancer::paper(n))
+        .strategy(balancer)
         .backend(backend)
         .probe(SojournProbe::new())
         .run(steps);

@@ -10,6 +10,9 @@
 #   --stage net       message-passing runtime: unit/property tests,
 #                     equivalence suite, CLI loopback + TCP smoke
 #   --stage service   open-loop traffic + latency histogram suites
+#   --stage policy    partner-policy x topology suite: backend
+#                     equality, default-run byte-identity, and the
+#                     policy_hotpath gate (BENCH_pr8.json)
 #   --stage bench     soa_hotpath quick bench gated on the committed
 #                     trajectory (BENCH_pr*.json)
 #   --stage all       every stage in order plus the advisory TSan run
@@ -31,7 +34,7 @@ while [[ $# -gt 0 ]]; do
       ;;
     *)
       echo "unknown argument: $1" >&2
-      echo "usage: scripts/check.sh [--stage lint|tier1|faults|net|service|bench|all]" >&2
+      echo "usage: scripts/check.sh [--stage lint|tier1|faults|net|service|policy|bench|all]" >&2
       exit 2
       ;;
   esac
@@ -175,6 +178,63 @@ stage_service() {
   echo "    service_sim --quick smoke agrees across backends"
 }
 
+stage_policy() {
+  ensure_release_bin
+  echo "==> policy-suite (partner policies x topologies)"
+  # Backend-equality property tests (every policy on every topology,
+  # all four backends, collision additionally at 5% loss) plus the
+  # topology invariants, then the focused unit tests.
+  cargo test -q -p pcrlb-sim --test prop_soa >/dev/null
+  echo "    prop_soa.rs (policy backend equality + topology invariants) green"
+  cargo test -q -p pcrlb-sim --lib policy >/dev/null
+  cargo test -q -p pcrlb-sim --lib topology >/dev/null
+  cargo test -q -p pcrlb-core --lib policy >/dev/null
+  echo "    policy/topology unit tests green"
+  # The refactor must be invisible unless asked for: spelling out the
+  # defaults may not change a byte of the report.
+  base="$(./target/release/pcrlb --n 512 --steps 1500 --seed 7)"
+  got="$(./target/release/pcrlb --n 512 --steps 1500 --seed 7 --policy collision --topology complete)"
+  if [[ "$got" != "$base" ]]; then
+    echo "FAIL: --policy collision --topology complete differs from the default run" >&2
+    diff <(echo "$base") <(echo "$got") >&2 || true
+    exit 1
+  fi
+  echo "    --policy collision --topology complete is byte-identical to the default"
+  # Every policy family on a distinct topology: the CLI report must be
+  # byte-identical across thread counts and the loopback net backend.
+  for combo in "greedy:2 ring" "beta:0.5 hypercube" "probe:4 torus" "left:2 regular:4" "collision ring"; do
+    read -r p g <<<"$combo"
+    one="$(./target/release/pcrlb --n 256 --steps 600 --seed 7 --policy "$p" --topology "$g" --threads 1)"
+    for alt in "--threads 4" "--backend net:2"; do
+      # shellcheck disable=SC2086
+      got="$(./target/release/pcrlb --n 256 --steps 600 --seed 7 --policy "$p" --topology "$g" $alt)"
+      if [[ "$got" != "$one" ]]; then
+        echo "FAIL: --policy $p --topology $g with $alt differs from --threads 1" >&2
+        diff <(echo "$one") <(echo "$got") >&2 || true
+        exit 1
+      fi
+    done
+    echo "    --policy $p --topology $g agrees across {seq, 4 threads, net:2}"
+  done
+  # The policy hot path, gated on the committed baseline: the trait
+  # indirection may not cost the collision protocol >10%.
+  mkdir -p target
+  gate_args=()
+  if [[ "${UPDATE_BENCH:-0}" == "1" ]]; then
+    gate_args=(--update "$PWD/BENCH_pr8.json")
+  elif [[ -f BENCH_pr8.json ]]; then
+    gate_args=(--gate "$PWD/BENCH_pr8.json")
+  fi
+  cargo bench -p pcrlb-bench --bench policy_hotpath -- \
+    --quick --json "$PWD/target/policy_bench.json" ${gate_args[@]+"${gate_args[@]}"} \
+    | grep '^policy_hotpath'
+  if [[ "${UPDATE_BENCH:-0}" == "1" ]]; then
+    echo "    BENCH_pr8.json policy_hotpath baseline updated from this run"
+  else
+    echo "    collision hot path within 10% of the committed baseline"
+  fi
+}
+
 stage_bench() {
   echo "==> bench-smoke (soa_hotpath, quick mode)"
   # Measures processor-steps/sec on the SoA hot path and gates against
@@ -237,6 +297,7 @@ case "$stage" in
   faults) stage_faults ;;
   net) stage_net ;;
   service) stage_service ;;
+  policy) stage_policy ;;
   bench) stage_bench ;;
   all)
     stage_lint
@@ -244,12 +305,13 @@ case "$stage" in
     stage_faults
     stage_net
     stage_service
+    stage_policy
     stage_bench
     stage_tsan_advisory
     ;;
   *)
     echo "unknown stage: $stage" >&2
-    echo "usage: scripts/check.sh [--stage lint|tier1|faults|net|service|bench|all]" >&2
+    echo "usage: scripts/check.sh [--stage lint|tier1|faults|net|service|policy|bench|all]" >&2
     exit 2
     ;;
 esac

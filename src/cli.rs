@@ -9,8 +9,8 @@ use crate::core::{
     TrafficModel, TrafficSpec,
 };
 use crate::sim::{
-    Backend, FaultConfig, FaultProbe, LoadModel, MaxLoadProbe, ProbeOutput, Runner, SojournProbe,
-    Strategy, Unbalanced,
+    Backend, FaultConfig, FaultProbe, LoadModel, MaxLoadProbe, PolicySpec, ProbeOutput, Runner,
+    SojournProbe, Strategy, TopologySpec, Unbalanced,
 };
 use std::fmt;
 
@@ -156,6 +156,12 @@ pub struct RunSpec {
     /// Sojourn p999 target in steps; when set the report carries an
     /// explicit met/MISSED verdict line.
     pub slo_p999: Option<u64>,
+    /// Partner-selection policy for the threshold balancer; `None`
+    /// keeps the paper's collision protocol (byte-identical reports).
+    pub policy: Option<PolicySpec>,
+    /// Communication topology for the threshold balancer; `None` is
+    /// the complete graph (byte-identical reports).
+    pub topology: Option<TopologySpec>,
 }
 
 impl RunSpec {
@@ -193,6 +199,8 @@ impl Default for RunSpec {
             fault_seed: 0,
             arrivals: None,
             slo_p999: None,
+            policy: None,
+            topology: None,
         }
     }
 }
@@ -241,6 +249,12 @@ pub fn usage() -> String {
                             +defer:CAP for bounded admission\n\
            --slo-p999 T     assert the sojourn p999 target T (steps) in\n\
                             the report (requires --arrivals)\n\
+           --policy P       partner-selection policy (threshold only):\n\
+                            collision | greedy[:D] | beta[:B] |\n\
+                            probe[:K] | left[:D]\n\
+           --topology G     communication graph (threshold only):\n\
+                            complete | ring | torus[:RxC] | hypercube |\n\
+                            regular:D[,SEED]\n\
            --help           show this text\n",
         strategies.join(", ")
     )
@@ -329,6 +343,14 @@ pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Option<RunSpec>,
                         .map_err(|_| ParseError("--slo-p999 must be an integer".into()))?,
                 );
             }
+            "--policy" => {
+                let v = value("--policy")?;
+                spec.policy = Some(PolicySpec::parse(&v).map_err(ParseError)?);
+            }
+            "--topology" => {
+                let v = value("--topology")?;
+                spec.topology = Some(TopologySpec::parse(&v).map_err(ParseError)?);
+            }
             other => return Err(ParseError(format!("unknown option '{other}'"))),
         }
     }
@@ -339,6 +361,19 @@ pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Option<RunSpec>,
         return Err(ParseError(
             "--net-relaxed requires --backend net or tcp".into(),
         ));
+    }
+    if (spec.policy.is_some() || spec.topology.is_some())
+        && spec.strategy != StrategyKind::Threshold
+    {
+        return Err(ParseError(
+            "--policy/--topology require --strategy threshold".into(),
+        ));
+    }
+    if let Some(topo) = &spec.topology {
+        // Validate the graph against the final processor count here,
+        // where both are known regardless of argument order.
+        topo.build(spec.n)
+            .map_err(|e| ParseError(format!("--topology: {e}")))?;
     }
     Ok(Some(spec))
 }
@@ -616,7 +651,14 @@ fn run_strategy<M: LoadModel + Sync>(spec: &RunSpec, model: M) -> RunReport {
             if spec.fault_config().is_some() {
                 cfg = cfg.with_retry_backoff(8);
             }
-            run_with(spec, model, ThresholdBalancer::new(cfg))
+            let mut balancer = ThresholdBalancer::new(cfg);
+            if let Some(topo) = &spec.topology {
+                balancer = balancer.with_topology(topo.build(n).expect("validated at parse time"));
+            }
+            if let Some(policy) = &spec.policy {
+                balancer = balancer.with_policy_spec(policy);
+            }
+            run_with(spec, model, balancer)
         }
         StrategyKind::Unbalanced => run_with(spec, model, Unbalanced),
         StrategyKind::Scatter => run_with(spec, model, ScatterBalancer::paper(n)),

@@ -91,3 +91,49 @@ fn p999_sojourn_is_monotone_in_rho() {
     let heavy = open_loop(n, 11, steps, 0.9).completions.latency.p999();
     assert!(heavy > light, "p999 flat across rho: {light} vs {heavy}");
 }
+
+/// Deferred arrivals queue at the front door and are admitted later,
+/// but their sojourn clock starts at the original *offer* step — the
+/// pre-admission backlog wait is part of the latency a caller sees.
+/// Under sustained overload (ρ = 1.2) that wait grows without bound, so
+/// the defer tail must sit strictly above the shed tail, where excess
+/// work is dropped instead of parked. Before the fix both policies
+/// reported near-identical tails because deferred tasks were born at
+/// their admission step, silently erasing the queueing delay.
+#[test]
+fn deferred_tail_includes_backlog_wait_at_overload() {
+    let (n, seed, steps, rho, cap) = (2048usize, 1998u64, 600u64, 1.2, 8u32);
+    let run = |admission: Admission| {
+        let mut spec = TrafficSpec::poisson(rho);
+        spec.admission = admission;
+        Runner::new(n, seed)
+            .model(TrafficModel::new(spec, n).expect("valid spec"))
+            .strategy(Unbalanced)
+            .probe(SojournProbe::new())
+            .run(steps)
+    };
+    let deferred = run(Admission::Defer { cap });
+    let shed = run(Admission::Shed { cap });
+    assert!(
+        deferred.total_deferred > 0,
+        "rho=1.2 behind cap {cap} must defer"
+    );
+    assert!(shed.total_shed > 0, "rho=1.2 behind cap {cap} must shed");
+    let (dp, sp) = (
+        deferred.completions.latency.p999(),
+        shed.completions.latency.p999(),
+    );
+    assert!(
+        dp > sp,
+        "defer p999 ({dp}) must exceed shed p999 ({sp}): parked work \
+         waits, dropped work never reports a sojourn"
+    );
+    // The defer tail reflects genuine queueing delay: at ρ = 1.2 the
+    // backlog grows roughly (ρ-1)·t arrival-steps deep per processor,
+    // so late completions must have waited far longer than anything an
+    // in-system queue of depth cap could explain on its own.
+    assert!(
+        dp >= u64::from(cap) * 4,
+        "defer p999 ({dp}) too small to include backlog wait"
+    );
+}
