@@ -1,0 +1,254 @@
+//! The elastic-membership hot path: processor-steps/sec of the full
+//! `ThresholdBalancer` step under three membership regimes —
+//!
+//! - `fixed`: no churn installed (the historic fast path; the
+//!   membership check must cost nothing here),
+//! - `resident`: a schedule is installed but never transitions (the
+//!   per-step sync + empty sweep),
+//! - `batch`: a periodic square wave departs and rejoins n/8
+//!   processors every 8 steps, with live task evacuation each way.
+//!
+//! Like `policy_hotpath` it doubles as a CI gate: run with `--gate
+//! PATH` it compares the fresh *batch* number at `n = 2^14` against the
+//! `"churn_hotpath"` section of the committed baseline
+//! (`BENCH_pr10.json` at the repo root) and exits nonzero on a >10%
+//! regression. `--update PATH` splices the fresh numbers into that
+//! file in place (re-baselining).
+//!
+//! Invocations:
+//!
+//! ```text
+//! cargo bench -p pcrlb-bench --bench churn_hotpath                 # full
+//! cargo bench -p pcrlb-bench --bench churn_hotpath -- --quick \
+//!     --json target/churn_bench.json --gate BENCH_pr10.json        # smoke
+//! ```
+//!
+//! The JSON is flat and hand-parsed (the workspace is offline; no
+//! serde): `{"bench":"churn_hotpath","unit":"proc-steps/sec",
+//! "fixed":{"16384":S,...},"resident":{...},"batch":{...}}`.
+
+use pcrlb_core::{BalancerConfig, Single, ThresholdBalancer};
+use pcrlb_sim::{Backend, ChurnSpec, Engine};
+use std::time::Instant;
+
+/// Sizes on the trajectory.
+const SIZES: [usize; 2] = [1 << 12, 1 << 14];
+/// The gate compares the batch scenario's steps/sec at this size.
+const GATE_N: usize = 1 << 14;
+/// Relative slowdown tolerated before the gate fails.
+const GATE_TOLERANCE: f64 = 0.10;
+/// Membership regimes, batch last (the gated one).
+const SCENARIOS: [&str; 3] = ["fixed", "resident", "batch"];
+
+/// The churn schedule a scenario installs (`None` = no churn).
+fn schedule(scenario: &str, n: usize) -> Option<ChurnSpec> {
+    let spec = match scenario {
+        "fixed" => return None,
+        "resident" => format!("step:0,{n}"),
+        "batch" => format!("batch:8,{}", n / 8),
+        other => panic!("unknown scenario {other}"),
+    };
+    Some(spec.parse().expect("static schedule parses"))
+}
+
+/// Steady-state throughput in processor-steps/sec: warm up, then best
+/// of `reps` timed slices.
+fn measure(n: usize, scenario: &str, steps: u64, reps: usize) -> f64 {
+    let balancer = ThresholdBalancer::new(BalancerConfig::paper(n));
+    let mut engine = Engine::with_backend(
+        n,
+        0xC40A_1998,
+        Single::default_paper(),
+        balancer,
+        Backend::Sequential.resolve(),
+    );
+    if let Some(spec) = schedule(scenario, n) {
+        engine.world_mut().install_churn(spec);
+    }
+    engine.run(16); // warm-up: reach steady-state occupancy
+    let mut best = f64::INFINITY;
+    for _ in 0..reps.max(1) {
+        let t0 = Instant::now();
+        engine.run(steps);
+        best = best.min(t0.elapsed().as_secs_f64());
+    }
+    (n as u64 * steps) as f64 / best
+}
+
+/// Steps per timing rep, scaled so every size runs a comparable
+/// wall-clock slice.
+fn steps_for(n: usize, quick: bool) -> u64 {
+    let base: u64 = if quick { 1 << 22 } else { 1 << 25 };
+    (base / n as u64).max(8)
+}
+
+fn run_suite(quick: bool) -> Vec<(&'static str, usize, f64)> {
+    let reps = if quick { 2 } else { 3 };
+    let mut out = Vec::new();
+    for &scenario in &SCENARIOS {
+        for &n in &SIZES {
+            let sps = measure(n, scenario, steps_for(n, quick), reps);
+            println!("churn_hotpath/{scenario}/{n}: {sps:.3e} proc-steps/s");
+            out.push((scenario, n, sps));
+        }
+    }
+    out
+}
+
+/// The `"churn_hotpath"` value as a single JSON line (single-line on
+/// purpose: `--update` splices it into `BENCH_pr10.json` line-wise).
+fn section_json(results: &[(&str, usize, f64)]) -> String {
+    let per_scenario = SCENARIOS
+        .iter()
+        .map(|scenario| {
+            let sizes = results
+                .iter()
+                .filter(|(s, _, _)| s == scenario)
+                .map(|(_, n, sps)| format!("\"{n}\":{sps:.1}"))
+                .collect::<Vec<_>>()
+                .join(",");
+            format!("\"{scenario}\":{{{sizes}}}")
+        })
+        .collect::<Vec<_>>()
+        .join(",");
+    format!("{{\"unit\":\"proc-steps/sec\",{per_scenario}}}")
+}
+
+fn to_json(results: &[(&str, usize, f64)]) -> String {
+    format!(
+        "{{\"bench\":\"churn_hotpath\",\"churn_hotpath\":{}}}\n",
+        section_json(results)
+    )
+}
+
+/// Extracts `"churn_hotpath"` → `"batch"` → `"<n>"` from either the
+/// standalone `--json` output or the spliced `BENCH_pr10.json`.
+/// Hand-rolled: both formats are written by this file.
+fn parse_baseline(json: &str, n: usize) -> Option<f64> {
+    let sect = json.split("\"churn_hotpath\":").nth(1)?;
+    let batch = sect.split("\"batch\":{").nth(1)?;
+    let body = batch.split('}').next()?;
+    for pair in body.split(',') {
+        let mut it = pair.splitn(2, ':');
+        let key = it.next()?.trim().trim_matches('"');
+        let val = it.next()?.trim();
+        if key == n.to_string() {
+            return val.parse().ok();
+        }
+    }
+    None
+}
+
+/// Splices the fresh `"churn_hotpath"` section into an existing
+/// top-level JSON object, replacing any previous one (same line-wise
+/// surgery as `policy_hotpath`).
+fn splice_update(path: &str, results: &[(&str, usize, f64)]) {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("--update: cannot read {path}: {e}"));
+    let mut lines: Vec<String> = text
+        .lines()
+        .filter(|l| !l.trim_start().starts_with("\"churn_hotpath\":"))
+        .map(String::from)
+        .collect();
+    let close = lines
+        .iter()
+        .rposition(|l| l.trim() == "}")
+        .expect("--update: no closing brace in target file");
+    if let Some(prev) = lines[..close].iter_mut().next_back() {
+        let t = prev.trim_end().to_string();
+        if !t.ends_with(',') && !t.ends_with('{') {
+            *prev = format!("{t},");
+        }
+    }
+    lines.insert(
+        close,
+        format!("  \"churn_hotpath\": {}", section_json(results)),
+    );
+    std::fs::write(path, lines.join("\n") + "\n").expect("--update: write failed");
+    println!("churn_hotpath: spliced baseline into {path}");
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let flag = |name: &str| args.iter().any(|a| a == name);
+    let value_of = |name: &str| {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+    };
+    let quick = flag("--quick");
+
+    let results = run_suite(quick);
+
+    // Relative cost of each membership regime against the fixed fast
+    // path at the gate size — `resident` is the tax every run with a
+    // schedule pays, `batch` adds live evacuation on top.
+    if let Some(base) = results
+        .iter()
+        .find(|(s, n, _)| *s == "fixed" && *n == GATE_N)
+        .map(|(_, _, s)| *s)
+    {
+        for &scenario in &SCENARIOS[1..] {
+            if let Some(sps) = results
+                .iter()
+                .find(|(s, n, _)| *s == scenario && *n == GATE_N)
+                .map(|(_, _, s)| *s)
+            {
+                println!(
+                    "churn_hotpath relative @ n={GATE_N}: {scenario} = {:.2}x fixed",
+                    sps / base
+                );
+            }
+        }
+    }
+
+    if let Some(path) = value_of("--json") {
+        std::fs::write(&path, to_json(&results)).expect("failed to write bench JSON");
+        println!("churn_hotpath: wrote {path}");
+    }
+
+    if let Some(path) = value_of("--gate") {
+        let fresh = results
+            .iter()
+            .find(|(s, n, _)| *s == "batch" && *n == GATE_N)
+            .map(|(_, _, sps)| *sps)
+            .expect("gate size missing from suite");
+        match std::fs::read_to_string(&path) {
+            Ok(json) => match parse_baseline(&json, GATE_N) {
+                Some(base) => {
+                    let ratio = fresh / base;
+                    println!(
+                        "churn_hotpath gate @ n={GATE_N}: fresh {fresh:.3e} vs baseline \
+                         {base:.3e} ({:+.1}%)",
+                        (ratio - 1.0) * 100.0
+                    );
+                    if ratio < 1.0 - GATE_TOLERANCE {
+                        eprintln!(
+                            "REGRESSION: churn_hotpath batch @ n={GATE_N} is {:.1}% below the \
+                             committed baseline {path} (tolerance {:.0}%).\n\
+                             If the slowdown is intended, re-baseline with UPDATE_BENCH=1 \
+                             scripts/check.sh --stage churn.",
+                            (1.0 - ratio) * 100.0,
+                            GATE_TOLERANCE * 100.0
+                        );
+                        std::process::exit(1);
+                    }
+                }
+                None => {
+                    println!(
+                        "churn_hotpath gate: no churn_hotpath section in {path} yet; \
+                         skipping compare"
+                    );
+                }
+            },
+            Err(_) => {
+                println!("churn_hotpath gate: no baseline at {path} (first run); skipping");
+            }
+        }
+    }
+
+    if let Some(path) = value_of("--update") {
+        splice_update(&path, &results);
+    }
+}

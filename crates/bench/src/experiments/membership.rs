@@ -1,0 +1,240 @@
+//! E25 — elastic membership: reconvergence after a 2× membership step.
+//!
+//! The churn template (self-stabilizing balls-into-bins in batches)
+//! says a balanced system should absorb a batch of joins or departures
+//! and return to its steady profile within a number of *phases* that
+//! tracks the `(log log n)^2` envelope, not the batch size. We warm a
+//! system to steady state, fire a 2× membership step through the
+//! deterministic churn schedule — shrink (`n → n/2`, every survivor
+//! inherits a departed queue) and grow (`n/2 → n`, half the machine
+//! joins empty) — and count the phases until the system reconverges:
+//!
+//! - **shrink**: live max load back under `2·T(n/2)`, the recovery
+//!   threshold E15 uses;
+//! - **grow**: the joiners carry at least half their fair share of the
+//!   total load (they started with none).
+//!
+//! Every measured point also runs the identical churn schedule on the
+//! pooled and loopback-net backends and fingerprints the reports: the
+//! membership subsystem must not cost the determinism contract.
+
+use crate::ExpOptions;
+use pcrlb_analysis::Table;
+use pcrlb_core::{BalancerConfig, Single, ThresholdBalancer};
+use pcrlb_sim::{
+    Backend, ChurnSpec, MaxLoadProbe, MembershipProbe, ProbeOutput, RunReport, Runner,
+};
+
+/// Steps the system runs before the membership step fires.
+const WARM: u64 = 200;
+
+/// Which way the 2× step goes.
+#[derive(Clone, Copy, PartialEq)]
+enum Direction {
+    Shrink,
+    Grow,
+}
+
+impl Direction {
+    fn schedule(self, n: usize) -> ChurnSpec {
+        let half = n / 2;
+        match self {
+            // Full machine, then half of it departs at WARM.
+            Direction::Shrink => ChurnSpec::parse(&format!("step:{WARM},{half}")),
+            // Half machine from step 0, the other half joins at WARM.
+            Direction::Grow => ChurnSpec::parse(&format!("step:0,{half};step:{WARM},{n}")),
+        }
+        .expect("static schedule parses")
+    }
+
+    fn label(self) -> &'static str {
+        match self {
+            Direction::Shrink => "shrink 2x",
+            Direction::Grow => "grow 2x",
+        }
+    }
+}
+
+/// Runs the warm-up, fires the step, then continues in phase-length
+/// segments until the reconvergence criterion holds. Returns the phase
+/// count (`None` if the limit was hit).
+fn phases_to_reconverge(n: usize, seed: u64, dir: Direction, limit: u64) -> Option<u64> {
+    let cfg = BalancerConfig::paper(n);
+    let phase_len = cfg.phase_length.max(1);
+    let (_, mut world, mut strategy) = Runner::new(n, seed)
+        .model(Single::default_paper())
+        .strategy(ThresholdBalancer::new(cfg))
+        .churn(dir.schedule(n))
+        .run_detailed(WARM);
+    let converged = |w: &pcrlb_sim::World| -> bool {
+        let active = w.active_n();
+        let loads = w.load_slice();
+        match dir {
+            Direction::Shrink => {
+                let max = loads[..active].iter().copied().max().unwrap_or(0) as usize;
+                max <= 2 * BalancerConfig::paper(active.max(8)).theorem1_bound()
+            }
+            Direction::Grow => {
+                // The joiners are the upper half of the live prefix;
+                // reconverged once they hold half their fair share.
+                let joined: u64 = loads[n / 2..active].iter().map(|&l| u64::from(l)).sum();
+                let total: u64 = loads[..active].iter().map(|&l| u64::from(l)).sum();
+                total == 0 || 4 * joined >= total
+            }
+        }
+    };
+    for phase in 0..limit {
+        // One segment past the transition; the membership state lives
+        // in the world, so continuation keeps the schedule running.
+        let (_, w, s) = Runner::new(n, seed)
+            .model(Single::default_paper())
+            .strategy(strategy)
+            .world(world)
+            .run_detailed(phase_len);
+        world = w;
+        strategy = s;
+        if converged(&world) {
+            return Some(phase + 1);
+        }
+    }
+    None
+}
+
+/// FNV-1a over the backend-normalized debug form of a report — a cheap
+/// stable fingerprint for the bit-identity columns.
+fn fingerprint(report: &RunReport) -> u64 {
+    let mut normalized = report.clone();
+    normalized.backend = "x";
+    for (_, out) in normalized.probes.iter_mut() {
+        if let ProbeOutput::MessageRate { frames, .. } = out {
+            *frames = None;
+        }
+    }
+    let text = format!("{normalized:?}");
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in text.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Runs the same churn schedule single-shot on one backend and
+/// returns the report plus its evacuation count.
+fn fingerprint_run(
+    n: usize,
+    seed: u64,
+    dir: Direction,
+    steps: u64,
+    backend: Backend,
+) -> (u64, u64) {
+    let report = Runner::new(n, seed)
+        .model(Single::default_paper())
+        .strategy(ThresholdBalancer::paper(n))
+        .backend(backend)
+        .churn(dir.schedule(n))
+        .probe(MaxLoadProbe::new())
+        .probe(MembershipProbe::new())
+        .run(steps);
+    let evacuated = match report.probe("membership") {
+        Some(&ProbeOutput::Membership {
+            evacuated_tasks, ..
+        }) => evacuated_tasks,
+        _ => 0,
+    };
+    (fingerprint(&report), evacuated)
+}
+
+/// Runs E25 and returns the result table.
+pub fn run(opts: &ExpOptions) -> Table {
+    let mut table = Table::new(&[
+        "n",
+        "direction",
+        "evacuated",
+        "reconverge phases",
+        "envelope T",
+        "seq=pooled=net:2",
+    ]);
+    for n in opts.n_sweep() {
+        let t = BalancerConfig::paper(n).theorem1_bound() as u64;
+        let seed = opts.seed ^ (0xE25 << 40) ^ n as u64;
+        for dir in [Direction::Shrink, Direction::Grow] {
+            let phases = phases_to_reconverge(n, seed, dir, 4 * t);
+            let steps = WARM + 4 * BalancerConfig::paper(n).phase_length;
+            let (fp_seq, evacuated) = fingerprint_run(n, seed, dir, steps, Backend::Sequential);
+            let (fp_pool, _) = fingerprint_run(n, seed, dir, steps, Backend::Pooled(4));
+            let (fp_net, _) = fingerprint_run(
+                n,
+                seed,
+                dir,
+                steps,
+                Backend::Net {
+                    nodes: 2,
+                    tcp: false,
+                    relaxed: false,
+                },
+            );
+            let identical = fp_seq == fp_pool && fp_seq == fp_net;
+            table.row(&[
+                n.to_string(),
+                dir.label().to_string(),
+                evacuated.to_string(),
+                phases.map_or_else(|| format!(">{}", 4 * t), |p| p.to_string()),
+                t.to_string(),
+                if identical {
+                    format!("yes ({fp_seq:016x})")
+                } else {
+                    "DIVERGED".to_string()
+                },
+            ]);
+        }
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn both_directions_reconverge_within_the_envelope() {
+        let n = 1 << 8;
+        let t = BalancerConfig::paper(n).theorem1_bound() as u64;
+        for dir in [Direction::Shrink, Direction::Grow] {
+            let phases = phases_to_reconverge(n, 7, dir, 4 * t)
+                .unwrap_or_else(|| panic!("{} did not reconverge", dir.label()));
+            assert!(
+                phases <= t,
+                "{}: {phases} phases exceeds the T = {t} envelope",
+                dir.label()
+            );
+        }
+    }
+
+    #[test]
+    fn fingerprints_agree_across_backends() {
+        let n = 1 << 8;
+        let steps = WARM + 4 * BalancerConfig::paper(n).phase_length;
+        for dir in [Direction::Shrink, Direction::Grow] {
+            let (seq, evac_seq) = fingerprint_run(n, 7, dir, steps, Backend::Sequential);
+            let (pool, _) = fingerprint_run(n, 7, dir, steps, Backend::Pooled(4));
+            let (net, evac_net) = fingerprint_run(
+                n,
+                7,
+                dir,
+                steps,
+                Backend::Net {
+                    nodes: 2,
+                    tcp: false,
+                    relaxed: false,
+                },
+            );
+            assert_eq!(seq, pool, "{}: pooled diverged", dir.label());
+            assert_eq!(seq, net, "{}: net diverged", dir.label());
+            assert_eq!(evac_seq, evac_net);
+            if dir == Direction::Shrink {
+                assert!(evac_seq > 0, "a 2x shrink must evacuate tasks");
+            }
+        }
+    }
+}

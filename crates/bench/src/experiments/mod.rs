@@ -9,6 +9,7 @@ pub mod comparison;
 pub mod extensions;
 pub mod locality;
 pub mod matrix;
+pub mod membership;
 pub mod models;
 pub mod phases;
 pub mod recovery;
@@ -149,6 +150,11 @@ pub fn registry() -> Vec<Experiment> {
             id: "e24-matrix",
             claim: "Partner policies x topologies: load/messages/locality trade-off matrix",
             run: matrix::run,
+        },
+        Experiment {
+            id: "e25-membership",
+            claim: "Elastic membership: 2x step reconverges within the (log log n)^2 envelope, bit-identical across backends",
+            run: membership::run,
         },
     ]
 }

@@ -135,6 +135,12 @@ pub struct SearchOutcome {
 /// ```
 pub struct BalanceForest {
     n: usize,
+    /// Live draw domain `[0, active)` for complete-graph target draws.
+    /// Equals `n` unless elastic membership shrank the cluster; the
+    /// `n`-sized scratch arrays below are retained across epochs
+    /// (incremental repair — a membership change costs one integer
+    /// store, not a rebuild).
+    active: usize,
     /// Root (boss) of the tree this processor currently works for.
     boss: Vec<Option<u32>>,
     /// Light at phase start and not yet reserved.
@@ -153,6 +159,7 @@ impl BalanceForest {
     pub fn new(n: usize) -> Self {
         BalanceForest {
             n,
+            active: n,
             boss: vec![None; n],
             applicative: vec![false; n],
             engaged: vec![false; n],
@@ -173,6 +180,22 @@ impl BalanceForest {
     /// Number of processors this forest serves.
     pub fn n(&self) -> usize {
         self.n
+    }
+
+    /// Restricts complete-graph target draws to the live prefix
+    /// `[0, active)` (elastic membership). Clamped to `[1, n]`. This is
+    /// the forest's entire epoch repair: the `n`-sized boss /
+    /// applicative / engaged scratch survives unchanged (departed
+    /// entries are never touched because departed processors are
+    /// neither heavy, light, nor drawable), so a membership transition
+    /// costs O(1) instead of a rebuild.
+    pub fn set_active(&mut self, active: usize) {
+        self.active = active.clamp(1, self.n);
+    }
+
+    /// Current live draw domain.
+    pub fn active(&self) -> usize {
+        self.active
     }
 
     fn reset(&mut self, light: &[ProcId]) {
@@ -412,8 +435,8 @@ impl BalanceForest {
         mut faults: Option<SearchFaults<'_>>,
         mut log: Option<&mut WireLog>,
     ) -> SearchOutcome {
-        debug_assert!(heavy.iter().all(|&p| p < self.n));
-        debug_assert!(light.iter().all(|&p| p < self.n));
+        debug_assert!(heavy.iter().all(|&p| p < self.active));
+        debug_assert!(light.iter().all(|&p| p < self.active));
         debug_assert!(
             log.is_none() || matches!(exec, GameExec::Sequential),
             "wire logging is a serial narration: games must run sequentially"
@@ -459,9 +482,12 @@ impl BalanceForest {
             // trees at once — the paper applies the protocol "globally,
             // that is, seen over all requesting processors".
             let game_faults = faults.as_mut().map(|f| f.next_game());
+            // Games draw targets from the live domain `[0, active)` —
+            // identical to the historic `n` unless membership shrank.
+            let domain = self.active;
             let outcome: GameOutcome = match (&exec, game_faults) {
                 (GameExec::Sequential, gf) => play_game_impl(
-                    self.n,
+                    domain,
                     &searchers,
                     params,
                     rng,
@@ -470,16 +496,16 @@ impl BalanceForest {
                     self.sampler.as_deref(),
                 ),
                 (GameExec::Scoped(shards), None) => {
-                    play_game_threaded(self.n, &searchers, params, rng, *shards)
+                    play_game_threaded(domain, &searchers, params, rng, *shards)
                 }
                 (GameExec::Scoped(shards), Some(gf)) => {
-                    play_game_threaded_faulty(self.n, &searchers, params, rng, *shards, gf)
+                    play_game_threaded_faulty(domain, &searchers, params, rng, *shards, gf)
                 }
                 (GameExec::Pooled(pool), None) => {
-                    play_game_pooled(self.n, &searchers, params, rng, pool)
+                    play_game_pooled(domain, &searchers, params, rng, pool)
                 }
                 (GameExec::Pooled(pool), Some(gf)) => {
-                    play_game_pooled_faulty(self.n, &searchers, params, rng, pool, gf)
+                    play_game_pooled_faulty(domain, &searchers, params, rng, pool, gf)
                 }
             };
             stats.levels += 1;

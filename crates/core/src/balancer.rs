@@ -289,19 +289,37 @@ impl ThresholdBalancer {
         let n = self.cfg.n;
         // On the complete graph `random_partner` is the historical
         // rejection loop, so the draw sequence is bit-identical to the
-        // pre-topology code.
+        // pre-topology code. Under churn the complete-graph draw
+        // domain shrinks to the live prefix — a departed processor
+        // cannot answer a probe. (Graph topologies keep their neighbor
+        // draws; a probe landing on a departed neighbor simply finds
+        // no light partner there.)
         let topo = Arc::clone(&self.topology);
+        let active = world.active_n();
+        let restricted = active < n && topo.is_complete();
         let mut probes: HashMap<ProcId, Vec<ProcId>> = HashMap::new();
+        let mut sent = 0u64;
         for &h in &self.heavy_buf {
-            let t = topo.random_partner(h, world.rng_global());
+            let t = if restricted {
+                if active <= 1 {
+                    continue; // nobody left to probe
+                }
+                let rng = world.rng_global();
+                let mut t = rng.below(active);
+                while t == h {
+                    t = rng.below(active);
+                }
+                t
+            } else {
+                topo.random_partner(h, world.rng_global())
+            };
+            sent += 1;
             if let Some(lg) = log.as_deref_mut() {
                 lg.push_reliable(ControlKind::Probe, h, t);
             }
             probes.entry(t).or_default().push(h);
         }
-        world
-            .ledger_mut()
-            .record(MessageKind::Probe, self.heavy_buf.len() as u64);
+        world.ledger_mut().record(MessageKind::Probe, sent);
 
         let mut light_set = vec![false; n];
         for &l in &self.light_buf {
@@ -351,6 +369,11 @@ impl ThresholdBalancer {
         self.light_buf.clear();
         let heavy_thr = self.cfg.heavy_threshold as u64;
         let light_thr = self.cfg.light_threshold as u64;
+        // Only live processors classify: under churn the scan covers
+        // the active prefix (departed queues are empty anyway — the
+        // membership sync evacuated them — but they must not enter the
+        // light set and attract transfers).
+        let active = world.active_n();
         if fault_model.is_none() {
             // Fault-free fast path: one pass over the world's flat load
             // slices. The scan is branch-light — the common case (load
@@ -360,7 +383,11 @@ impl ThresholdBalancer {
             // the load slice ends; the resulting state is identical.
             if self.cfg.weighted {
                 let (weights, progress) = world.weighted_load_slices();
-                for (p, (&w, &pr)) in weights.iter().zip(progress).enumerate() {
+                for (p, (&w, &pr)) in weights[..active]
+                    .iter()
+                    .zip(&progress[..active])
+                    .enumerate()
+                {
                     let load = w - pr as u64;
                     if load >= heavy_thr {
                         if self.cfg.retry_backoff {
@@ -377,7 +404,7 @@ impl ThresholdBalancer {
                     }
                 }
             } else {
-                for (p, &load) in world.load_slice().iter().enumerate() {
+                for (p, &load) in world.load_slice()[..active].iter().enumerate() {
                     let load = load as u64;
                     if load >= heavy_thr {
                         if self.cfg.retry_backoff {
@@ -398,7 +425,7 @@ impl ThresholdBalancer {
                 world.note_heavy(self.heavy_buf[i]);
             }
         } else {
-            for p in 0..n {
+            for p in 0..active {
                 if let Some(f) = &fault_model {
                     if f.is_crashed(p, step) {
                         self.stats.crashed_skipped += 1;

@@ -92,6 +92,11 @@ impl PartnerPolicy for CollisionPolicy {
         light: &[ProcId],
         wire: Option<&mut WireLog>,
     ) -> PartnerOutcome {
+        // Incremental epoch repair: under elastic membership the
+        // forest's draw domain follows the live prefix (an O(1) store;
+        // the n-sized scratch survives across epochs). Without churn
+        // `active_n() == n` and this is a no-op.
+        self.forest.set_active(world.active_n());
         // Graph restriction: install the neighbor sampler once. On the
         // complete graph the forest keeps its historical global draw
         // (bit-identical to the pre-topology code).

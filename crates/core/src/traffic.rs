@@ -41,6 +41,10 @@ pub enum TrafficError {
     BadAmplitude(f64),
     /// Zipf exponent must be finite and positive.
     BadTheta(f64),
+    /// Hurst exponent must lie strictly inside `(0.5, 1)` — at 0.5 the
+    /// process is short-range dependent (plain Poisson does that), at 1
+    /// the on/off durations lose their finite mean.
+    BadHurst(f64),
     /// Admission cap must be nonzero.
     ZeroCap,
     /// Unparseable `--arrivals` specification.
@@ -57,6 +61,9 @@ impl fmt::Display for TrafficError {
             TrafficError::ZeroWindow => write!(f, "traffic windows must be nonzero"),
             TrafficError::BadAmplitude(a) => write!(f, "ramp amplitude {a} outside [0,1]"),
             TrafficError::BadTheta(t) => write!(f, "zipf exponent {t} must be finite and > 0"),
+            TrafficError::BadHurst(h) => {
+                write!(f, "hurst exponent {h} must lie strictly in (0.5, 1)")
+            }
             TrafficError::ZeroCap => write!(f, "admission cap must be nonzero"),
             TrafficError::Parse(s) => write!(f, "cannot parse arrivals spec '{s}'"),
         }
@@ -107,6 +114,20 @@ pub enum Arrivals {
     Zipf {
         /// Skew exponent (larger = hotter hotspots).
         theta: f64,
+    },
+    /// Self-similar traffic with Hurst exponent `h ∈ (0.5, 1)`:
+    /// the classic Willinger–Taqqu–Sherman–Wilson construction, a
+    /// superposition of on/off sources whose sojourn times are
+    /// heavy-tailed Pareto with index `α = 3 − 2h`, which makes the
+    /// aggregate rate long-range dependent (burstiness at every time
+    /// scale, unlike [`Arrivals::Burst`]'s single cycle). The rate
+    /// timeline is precomputed from a fixed-seed private RNG — a pure
+    /// function of the spec — and phase-shifted per processor, so runs
+    /// stay bit-identical across backends.
+    SelfSim {
+        /// Hurst exponent in `(0.5, 1)`; larger = longer-range
+        /// dependence.
+        h: f64,
     },
 }
 
@@ -182,6 +203,11 @@ impl TrafficSpec {
                     return Err(TrafficError::BadTheta(theta));
                 }
             }
+            Arrivals::SelfSim { h } => {
+                if !h.is_finite() || h <= 0.5 || h >= 1.0 {
+                    return Err(TrafficError::BadHurst(h));
+                }
+            }
         }
         match self.admission {
             Admission::Shed { cap } | Admission::Defer { cap } if cap == 0 => {
@@ -199,6 +225,7 @@ impl TrafficSpec {
     /// ramp:RHO,PERIOD,AMPLITUDE
     /// flash:RHO,AT,LEN,MULT
     /// zipf:RHO,THETA
+    /// selfsim:RHO,H
     /// ```
     ///
     /// any of which may carry a `+shed:CAP` or `+defer:CAP` suffix.
@@ -258,6 +285,11 @@ impl TrafficSpec {
                 rho: f(rho)?,
                 admission: Admission::Unbounded,
             },
+            ("selfsim", [rho, h]) => TrafficSpec {
+                arrivals: Arrivals::SelfSim { h: f(h)? },
+                rho: f(rho)?,
+                admission: Admission::Unbounded,
+            },
             _ => return Err(bad()),
         };
         let spec = TrafficSpec {
@@ -282,6 +314,54 @@ pub struct TrafficModel {
     /// over one on+off cycle is exactly ρ (clamped at 0 when the burst
     /// alone exceeds the cycle's budget).
     burst_off_rate: f64,
+    /// Precomputed mean-one rate timeline for [`Arrivals::SelfSim`]
+    /// (empty for every other shape), derived from a fixed-seed private
+    /// RNG so it is a pure function of the spec.
+    selfsim_timeline: Vec<f64>,
+}
+
+/// Steps in the precomputed self-similar rate timeline (processors
+/// wrap around it at hash-derived phase offsets).
+const SELFSIM_HORIZON: usize = 4096;
+/// On/off sources superposed into the self-similar timeline.
+const SELFSIM_SOURCES: usize = 32;
+/// Seed of the private timeline RNG. Fixed: the timeline must be a
+/// pure function of the spec, like the Zipf rate table.
+const SELFSIM_SEED: u64 = 0x5e1f_51a1_7af1_c0de;
+
+/// Builds the Willinger et al. on/off superposition: each source
+/// alternates between emitting and silent sojourns whose lengths are
+/// Pareto(α = 3 − 2h) distributed, and the per-step count of active
+/// sources — normalized to mean one — becomes the rate modulation.
+fn selfsim_timeline(h: f64) -> Vec<f64> {
+    let alpha = 3.0 - 2.0 * h;
+    let mut rng = SimRng::new(SELFSIM_SEED);
+    // Pareto sojourn with x_min = 1, capped at one horizon so a single
+    // draw cannot freeze a source for the whole timeline.
+    let sojourn = |rng: &mut SimRng| -> usize {
+        let u = 1.0 - rng.f64(); // (0, 1]
+        (u.powf(-1.0 / alpha).ceil() as usize).clamp(1, SELFSIM_HORIZON)
+    };
+    let mut counts = vec![0u32; SELFSIM_HORIZON];
+    for _ in 0..SELFSIM_SOURCES {
+        let mut on = rng.chance(0.5);
+        let mut t = 0usize;
+        while t < SELFSIM_HORIZON {
+            let len = sojourn(&mut rng).min(SELFSIM_HORIZON - t);
+            if on {
+                for c in &mut counts[t..t + len] {
+                    *c += 1;
+                }
+            }
+            t += len;
+            on = !on;
+        }
+    }
+    let mean = counts.iter().map(|&c| f64::from(c)).sum::<f64>() / SELFSIM_HORIZON as f64;
+    if mean <= 0.0 {
+        return vec![1.0; SELFSIM_HORIZON];
+    }
+    counts.into_iter().map(|c| f64::from(c) / mean).collect()
 }
 
 impl TrafficModel {
@@ -308,10 +388,15 @@ impl TrafficModel {
             }
             _ => 0.0,
         };
+        let timeline = match spec.arrivals {
+            Arrivals::SelfSim { h } => selfsim_timeline(h),
+            _ => Vec::new(),
+        };
         Ok(TrafficModel {
             spec,
             zipf_rates,
             burst_off_rate,
+            selfsim_timeline: timeline,
         })
     }
 
@@ -356,6 +441,13 @@ impl TrafficModel {
                 }
             }
             Arrivals::Zipf { .. } => self.zipf_rates[p],
+            Arrivals::SelfSim { .. } => {
+                // Same desynchronization idiom as Burst: each processor
+                // reads the shared timeline at a hash-derived phase.
+                let mut h = p as u64;
+                let offset = splitmix64(&mut h) as usize % SELFSIM_HORIZON;
+                rho * self.selfsim_timeline[(step as usize + offset) % SELFSIM_HORIZON]
+            }
         }
     }
 }
@@ -387,6 +479,7 @@ impl LoadModel for TrafficModel {
             Arrivals::Ramp { .. } => "ramp",
             Arrivals::Flash { .. } => "flash",
             Arrivals::Zipf { .. } => "zipf",
+            Arrivals::SelfSim { .. } => "selfsim",
         }
     }
 }
@@ -443,6 +536,10 @@ mod tests {
             Arrivals::Zipf { theta: 1.1 }
         );
         assert_eq!(
+            TrafficSpec::parse("selfsim:0.8,0.75").unwrap().arrivals,
+            Arrivals::SelfSim { h: 0.75 }
+        );
+        assert_eq!(
             TrafficSpec::parse("poisson:1.5+shed:64").unwrap().admission,
             Admission::Shed { cap: 64 }
         );
@@ -469,6 +566,10 @@ mod tests {
             "poisson:0.9+shed",
             "poisson:0.9+shed:0",
             "poisson:0.9+drop:4",
+            "selfsim:0.8",
+            "selfsim:0.8,0.5",
+            "selfsim:0.8,1.0",
+            "selfsim:0.8,0.2",
         ] {
             assert!(TrafficSpec::parse(bad).is_err(), "accepted '{bad}'");
         }
@@ -526,6 +627,86 @@ mod tests {
         assert_eq!(m.rate(0, 100), 2.0);
         assert_eq!(m.rate(0, 149), 2.0);
         assert_eq!(m.rate(0, 150), 0.5);
+    }
+
+    #[test]
+    fn selfsim_timeline_is_mean_one_and_pure() {
+        // The private fixed-seed construction makes the timeline a pure
+        // function of the spec: mean exactly ρ over one horizon, and two
+        // models built from the same spec agree draw-for-draw.
+        let n = 8;
+        let a = TrafficModel::from_spec("selfsim:0.7,0.8", n).unwrap();
+        let b = TrafficModel::from_spec("selfsim:0.7,0.8", n).unwrap();
+        for p in 0..n {
+            let mean: f64 = (0..SELFSIM_HORIZON as u64)
+                .map(|s| a.rate(p, s))
+                .sum::<f64>()
+                / SELFSIM_HORIZON as f64;
+            assert!((mean - 0.7).abs() < 1e-9, "p={p}: mean {mean}");
+            assert_eq!(a.rate(p, 0), b.rate(p, 0));
+            assert!(a.rate(p, 0) >= 0.0);
+        }
+        // Phase offsets desynchronize processors.
+        assert!((0..n).any(|p| a.rate(p, 0) != a.rate(0, 0)));
+    }
+
+    /// Variance-aggregation slope: block-average the series at scale
+    /// `m` and regress `ln Var(X^(m))` on `ln m`. Short-range dependent
+    /// processes give slope −1; self-similar ones give `2H − 2`. The
+    /// regression starts at m = 16 so the iid Poisson sampling noise
+    /// (variance λ/m) has decayed enough for the rate modulation's
+    /// long-range component to show through.
+    fn variance_aggregation_slope(series: &[f64]) -> f64 {
+        let mut pts = Vec::new();
+        for level in 4..10u32 {
+            let m = 1usize << level;
+            let blocks: Vec<f64> = series
+                .chunks_exact(m)
+                .map(|c| c.iter().sum::<f64>() / m as f64)
+                .collect();
+            let mean = blocks.iter().sum::<f64>() / blocks.len() as f64;
+            let var = blocks.iter().map(|b| (b - mean).powi(2)).sum::<f64>() / blocks.len() as f64;
+            pts.push(((m as f64).ln(), var.max(1e-12).ln()));
+        }
+        let k = pts.len() as f64;
+        let (sx, sy): (f64, f64) = pts.iter().fold((0.0, 0.0), |(a, b), (x, y)| (a + x, b + y));
+        let (sxx, sxy): (f64, f64) = pts
+            .iter()
+            .fold((0.0, 0.0), |(a, b), (x, y)| (a + x * x, b + x * y));
+        (k * sxy - sx * sy) / (k * sxx - sx * sx)
+    }
+
+    #[test]
+    fn selfsim_arrivals_pass_the_hurst_shape_test() {
+        // Sample arrivals through the real generate() path and compare
+        // the variance-aggregation slope against plain Poisson. For
+        // H = 0.85 the asymptotic slope is 2H − 2 = −0.3; Poisson decays
+        // at −1. The band is loose (finite-sample bias) but the two
+        // regimes must be clearly separated and the implied H must land
+        // in the long-range-dependent half.
+        let steps = 16 * SELFSIM_HORIZON as u64;
+        let sample = |spec: &str| -> Vec<f64> {
+            let m = TrafficModel::from_spec(spec, 1).unwrap();
+            let mut rng = SimRng::new(77);
+            (0..steps)
+                .map(|s| m.generate(0, s, 0, &mut rng) as f64)
+                .collect()
+        };
+        // λ = 4 rather than a sub-unit service rate: the modulation
+        // signal grows as λ² while the Poisson noise grows as λ, so a
+        // hot sampling rate separates the regimes cleanly.
+        let selfsim = variance_aggregation_slope(&sample("selfsim:4,0.85"));
+        let poisson = variance_aggregation_slope(&sample("poisson:4"));
+        assert!(poisson < -0.85, "poisson slope {poisson} should be ~ -1");
+        assert!(
+            selfsim > poisson + 0.25,
+            "selfsim slope {selfsim} not separated from poisson {poisson}"
+        );
+        let implied_h = 1.0 + selfsim / 2.0;
+        assert!(
+            implied_h > 0.5 && implied_h < 1.0,
+            "implied H {implied_h} outside (0.5, 1)"
+        );
     }
 
     #[test]

@@ -45,6 +45,11 @@ pub struct FrameStats {
     pub frames_dropped: u64,
     /// Tasks carried inside sent transfer frames.
     pub payload_tasks: u64,
+    /// Shard-takeover events under elastic membership: frames
+    /// abandoned on a departed peer (send or recv side) plus transfers
+    /// the coordinator recovered from its retained copies. Always 0
+    /// without churn, where a lost peer is fatal instead.
+    pub takeovers: u64,
 }
 
 impl FrameStats {
@@ -90,6 +95,7 @@ impl AddAssign for FrameStats {
         self.batches_received += rhs.batches_received;
         self.frames_dropped += rhs.frames_dropped;
         self.payload_tasks += rhs.payload_tasks;
+        self.takeovers += rhs.takeovers;
     }
 }
 
@@ -110,6 +116,7 @@ impl Sub for FrameStats {
             batches_received: self.batches_received - rhs.batches_received,
             frames_dropped: self.frames_dropped - rhs.frames_dropped,
             payload_tasks: self.payload_tasks - rhs.payload_tasks,
+            takeovers: self.takeovers - rhs.takeovers,
         }
     }
 }

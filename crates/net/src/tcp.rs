@@ -473,6 +473,40 @@ mod tests {
     }
 
     #[test]
+    fn tcp_recv_burst_drains_queued_frames_before_closed() {
+        // Regression for the drain-first contract on the burst path:
+        // without churn a lost peer is a typed `Closed` error, but every
+        // frame the peer managed to put on the wire must come out of
+        // `recv_burst` first — the runtime's takeover repair (and the
+        // no-churn fatal diagnosis) both rely on no frame being eaten
+        // by the error.
+        let mut group = TcpNet::group_with_timeout(2, Duration::from_secs(5)).unwrap();
+        let mut b = group.pop().unwrap();
+        let mut a = group.pop().unwrap();
+        let f1 = control(1);
+        let f2 = control(2);
+        let f3 = control(3);
+        a.send(1, &f1).unwrap();
+        a.send(1, &f2).unwrap();
+        a.send(1, &f3).unwrap();
+        std::thread::sleep(Duration::from_millis(100));
+        drop(a);
+        // `recv_burst` may drain the frames and surface Closed in the
+        // same call (frames land in `out` before the sticky error is
+        // consulted) or across several calls; either way every queued
+        // frame must be in `out`, in order, by the time Closed shows.
+        let mut burst = Vec::new();
+        loop {
+            match b.recv_burst(&mut burst) {
+                Ok(()) => {}
+                Err(NetError::Closed) => break,
+                Err(other) => panic!("expected Closed, got {other:?}"),
+            }
+        }
+        assert_eq!(burst, vec![f1, f2, f3], "frames lost or reordered");
+    }
+
+    #[test]
     fn tcp_write_stall_times_out() {
         let mut group = TcpNet::group_with_timeout(2, Duration::from_millis(200)).unwrap();
         let b = group.pop().unwrap();

@@ -88,6 +88,10 @@ impl<M: LoadModel, S: Strategy, B: ExecBackend<M>> Engine<M, S, B> {
 
     /// Executes one full step (generate, consume, decide+move, tick).
     pub fn step(&mut self) {
+        // Membership first: the live prefix for this step is fixed (and
+        // departing queues evacuated) before any kernel runs, so every
+        // backend sees identical pre-kernel state.
+        self.world.sync_membership();
         // Sub-steps 1–2 on the backend.
         self.backend.run_substeps(&mut self.world, &self.model);
         // Sub-steps 3+4: balancing decisions and load movement.

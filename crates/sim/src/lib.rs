@@ -60,6 +60,7 @@
 pub mod backend;
 pub mod engine;
 pub mod latency;
+pub mod membership;
 pub mod message;
 pub mod model;
 pub mod net;
@@ -79,6 +80,7 @@ pub mod world;
 pub use backend::{Backend, ExecBackend, ResolvedBackend, Sequential, Threaded};
 pub use engine::Engine;
 pub use latency::LatencyHist;
+pub use membership::{ChurnError, ChurnEvent, ChurnSpec, MembershipState, MembershipView};
 pub use message::{MessageKind, MessageLedger, MessageStats};
 pub use model::{Admission, LoadModel, Strategy, Unbalanced};
 pub use net::control_kind;
@@ -96,8 +98,9 @@ pub use policy::{
 };
 pub use pool::{live_workers, WorkerPool};
 pub use probe::{
-    FaultProbe, LoadSnapshotProbe, MaxLoadProbe, MessageRateProbe, PhaseProbe, PhaseReport, Probe,
-    ProbeOutput, RecoveryProbe, SeriesProbe, SojournProbe, SojournTailProbe, TraceProbe,
+    FaultProbe, LoadSnapshotProbe, MaxLoadProbe, MembershipProbe, MessageRateProbe, PhaseProbe,
+    PhaseReport, Probe, ProbeOutput, RecoveryProbe, SeriesProbe, SojournProbe, SojournTailProbe,
+    TraceProbe,
 };
 pub use processor::{ProcStats, ProcView, QueueView};
 pub use queue::TaskArena;

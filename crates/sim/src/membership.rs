@@ -1,0 +1,553 @@
+//! Elastic membership: deterministic churn schedules and epoch views.
+//!
+//! The paper's collision protocol re-converges from arbitrary imbalance
+//! within `T` phases, which makes membership churn (autoscaling,
+//! rolling restarts, scale-to-zero) a *measurable scenario* rather than
+//! a fatal error — Berenbrink et al.'s *Self-stabilizing Balls & Bins
+//! in Batches* gives the template: batched joins/leaves self-stabilize
+//! back to the `(log log n)^2` max-load envelope.
+//!
+//! The subsystem is built around one invariant: the schedule is a
+//! **pure function of the step counter**. [`ChurnSpec::active_at`]
+//! maps a step to the number of live processors; every backend
+//! (sequential, threaded, pooled, net) evaluates it at the same
+//! coordination point ([`crate::world::World::sync_membership`], called
+//! at the top of every engine step), so all four backends see identical
+//! membership transitions and produce bit-identical `RunReport`s under
+//! any schedule.
+//!
+//! Membership is *prefix-structured*: the world is allocated at
+//! `n_max` and processors `[0, active)` are live. A shrink deactivates
+//! a suffix (evacuating its queues deterministically), a grow
+//! reactivates it — rejoining processors resume their untouched RNG
+//! streams and task-id sequences, so a leave/join round-trip is
+//! deterministic by construction.
+//!
+//! ## Schedule grammar
+//!
+//! A [`ChurnSpec`] is one or more `;`-separated clauses applied in
+//! order (later clauses compose on top of earlier ones), everything
+//! clamped to `[1, n_max]`:
+//!
+//! | clause | meaning |
+//! |---|---|
+//! | `step:AT,TARGET` | membership step: from step `AT` on, `TARGET` processors (2× joins/leaves) |
+//! | `ramp:FROM,TO,START,LEN` | autoscale ramp: linear `FROM → TO` over `LEN` steps starting at `START` |
+//! | `valley:AT,LEN,FRAC` | scale-to-(near-)zero valley: for `LEN` steps from `AT`, keep `FRAC` of current |
+//! | `batch:PERIOD,K` | leaky-bins batch churn: alternating `±K` square wave with half-period `PERIOD` |
+
+use std::fmt;
+use std::str::FromStr;
+
+use crate::types::Step;
+
+/// One clause of a churn schedule.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ChurnEvent {
+    /// From step `at` on, the active count becomes `target`.
+    Step {
+        /// First step at which the new target applies.
+        at: Step,
+        /// Active-processor target from that step on.
+        target: usize,
+    },
+    /// Linear ramp from `from` to `to` over `len` steps starting at
+    /// `start`; holds at `to` afterwards. Before `start` the clause has
+    /// no effect.
+    Ramp {
+        /// Active count at the start of the ramp.
+        from: usize,
+        /// Active count at (and after) the end of the ramp.
+        to: usize,
+        /// First step of the ramp.
+        start: Step,
+        /// Ramp duration in steps (≥ 1).
+        len: Step,
+    },
+    /// For steps in `[at, at + len)` the active count is scaled down to
+    /// `frac` of its current value (floor, clamped to ≥ 1 — "scale to
+    /// zero" keeps one survivor to absorb the evacuated work).
+    Valley {
+        /// First step of the valley.
+        at: Step,
+        /// Valley duration in steps (≥ 1).
+        len: Step,
+        /// Fraction of the current count kept, in `[0, 1]`.
+        frac: f64,
+    },
+    /// Alternating batch churn: during every odd half-period of length
+    /// `period`, `k` processors are departed (the leaky-bins square
+    /// wave — `k` leave, then the same `k` rejoin, forever).
+    Batch {
+        /// Half-period of the square wave in steps (≥ 1).
+        period: Step,
+        /// Batch size (processors leaving per odd half-period).
+        k: usize,
+    },
+}
+
+/// A deterministic churn schedule: an ordered list of [`ChurnEvent`]
+/// clauses. The schedule is pure — [`ChurnSpec::active_at`] depends
+/// only on the step and `n_max` — which is what lets every backend
+/// replay identical membership transitions.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ChurnSpec {
+    events: Vec<ChurnEvent>,
+}
+
+/// Why a churn-schedule string failed to parse.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ChurnError {
+    /// Empty schedule string (or an empty clause between `;`s).
+    Empty,
+    /// A clause did not match `kind:args`.
+    Malformed(String),
+    /// Unknown clause kind.
+    UnknownKind(String),
+    /// Wrong number of (or unparseable) arguments for the clause kind.
+    BadArgs(String),
+    /// Arguments parsed but violate the clause's constraints.
+    Invalid(String),
+}
+
+impl fmt::Display for ChurnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ChurnError::Empty => write!(f, "empty churn schedule"),
+            ChurnError::Malformed(c) => write!(f, "malformed churn clause {c:?} (want kind:args)"),
+            ChurnError::UnknownKind(k) => write!(
+                f,
+                "unknown churn clause kind {k:?} (want step|ramp|valley|batch)"
+            ),
+            ChurnError::BadArgs(c) => write!(f, "bad arguments in churn clause {c:?}"),
+            ChurnError::Invalid(msg) => write!(f, "invalid churn clause: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ChurnError {}
+
+impl ChurnSpec {
+    /// Builds a schedule from explicit clauses (mostly for tests; the
+    /// CLI and experiments go through [`ChurnSpec::parse`]).
+    #[must_use]
+    pub fn from_events(events: Vec<ChurnEvent>) -> Self {
+        ChurnSpec { events }
+    }
+
+    /// Parses the `;`-separated clause grammar described in the module
+    /// docs, e.g. `"step:500,32"` or `"ramp:64,16,100,200;batch:50,8"`.
+    pub fn parse(s: &str) -> Result<Self, ChurnError> {
+        let s = s.trim();
+        if s.is_empty() {
+            return Err(ChurnError::Empty);
+        }
+        let mut events = Vec::new();
+        for clause in s.split(';') {
+            let clause = clause.trim();
+            if clause.is_empty() {
+                return Err(ChurnError::Empty);
+            }
+            let (kind, args) = clause
+                .split_once(':')
+                .ok_or_else(|| ChurnError::Malformed(clause.to_string()))?;
+            let nums: Vec<&str> = args.split(',').map(str::trim).collect();
+            fn int(s: &str, clause: &str) -> Result<u64, ChurnError> {
+                s.parse::<u64>()
+                    .map_err(|_| ChurnError::BadArgs(clause.to_string()))
+            }
+            let event = match kind.trim() {
+                "step" => {
+                    let [at, target] = nums[..] else {
+                        return Err(ChurnError::BadArgs(clause.to_string()));
+                    };
+                    let target = int(target, clause)? as usize;
+                    if target == 0 {
+                        return Err(ChurnError::Invalid(format!("{clause}: target must be ≥ 1")));
+                    }
+                    ChurnEvent::Step {
+                        at: int(at, clause)?,
+                        target,
+                    }
+                }
+                "ramp" => {
+                    let [from, to, start, len] = nums[..] else {
+                        return Err(ChurnError::BadArgs(clause.to_string()));
+                    };
+                    let (from, to) = (int(from, clause)? as usize, int(to, clause)? as usize);
+                    let len = int(len, clause)?;
+                    if from == 0 || to == 0 {
+                        return Err(ChurnError::Invalid(format!(
+                            "{clause}: endpoints must be ≥ 1"
+                        )));
+                    }
+                    if len == 0 {
+                        return Err(ChurnError::Invalid(format!("{clause}: len must be ≥ 1")));
+                    }
+                    ChurnEvent::Ramp {
+                        from,
+                        to,
+                        start: int(start, clause)?,
+                        len,
+                    }
+                }
+                "valley" => {
+                    let [at, len, frac] = nums[..] else {
+                        return Err(ChurnError::BadArgs(clause.to_string()));
+                    };
+                    let fr: f64 = frac
+                        .parse()
+                        .map_err(|_| ChurnError::BadArgs(clause.to_string()))?;
+                    if !(0.0..=1.0).contains(&fr) {
+                        return Err(ChurnError::Invalid(format!(
+                            "{clause}: frac must be in [0, 1]"
+                        )));
+                    }
+                    let len = int(len, clause)?;
+                    if len == 0 {
+                        return Err(ChurnError::Invalid(format!("{clause}: len must be ≥ 1")));
+                    }
+                    ChurnEvent::Valley {
+                        at: int(at, clause)?,
+                        len,
+                        frac: fr,
+                    }
+                }
+                "batch" => {
+                    let [period, k] = nums[..] else {
+                        return Err(ChurnError::BadArgs(clause.to_string()));
+                    };
+                    let period = int(period, clause)?;
+                    if period == 0 {
+                        return Err(ChurnError::Invalid(format!("{clause}: period must be ≥ 1")));
+                    }
+                    ChurnEvent::Batch {
+                        period,
+                        k: int(k, clause)? as usize,
+                    }
+                }
+                other => return Err(ChurnError::UnknownKind(other.to_string())),
+            };
+            events.push(event);
+        }
+        Ok(ChurnSpec { events })
+    }
+
+    /// The active-processor count this schedule prescribes at `step` in
+    /// a world of `n_max` processors. Pure: no state, no RNG. Clauses
+    /// compose in order on top of the base value `n_max`; the result is
+    /// clamped to `[1, n_max]` (membership can never exceed the
+    /// allocated world, and at least one processor always survives to
+    /// hold evacuated work).
+    #[must_use]
+    pub fn active_at(&self, step: Step, n_max: usize) -> usize {
+        let mut active = n_max as i64;
+        for ev in &self.events {
+            match *ev {
+                ChurnEvent::Step { at, target } => {
+                    if step >= at {
+                        active = target as i64;
+                    }
+                }
+                ChurnEvent::Ramp {
+                    from,
+                    to,
+                    start,
+                    len,
+                } => {
+                    if step >= start {
+                        let t = (step - start).min(len) as i64;
+                        let (from, to) = (from as i64, to as i64);
+                        active = from + (to - from) * t / len as i64;
+                    }
+                }
+                ChurnEvent::Valley { at, len, frac } => {
+                    if step >= at && step - at < len {
+                        active = (active as f64 * frac).floor() as i64;
+                    }
+                }
+                ChurnEvent::Batch { period, k } => {
+                    if (step / period) % 2 == 1 {
+                        active -= k as i64;
+                    }
+                }
+            }
+        }
+        active.clamp(1, n_max.max(1) as i64) as usize
+    }
+
+    /// True when the schedule has no clauses (never changes anything).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// The clauses, in application order.
+    #[must_use]
+    pub fn events(&self) -> &[ChurnEvent] {
+        &self.events
+    }
+}
+
+impl FromStr for ChurnSpec {
+    type Err = ChurnError;
+    fn from_str(s: &str) -> Result<Self, ChurnError> {
+        ChurnSpec::parse(s)
+    }
+}
+
+impl fmt::Display for ChurnSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, ev) in self.events.iter().enumerate() {
+            if i > 0 {
+                write!(f, ";")?;
+            }
+            match *ev {
+                ChurnEvent::Step { at, target } => write!(f, "step:{at},{target}")?,
+                ChurnEvent::Ramp {
+                    from,
+                    to,
+                    start,
+                    len,
+                } => write!(f, "ramp:{from},{to},{start},{len}")?,
+                ChurnEvent::Valley { at, len, frac } => write!(f, "valley:{at},{len},{frac}")?,
+                ChurnEvent::Batch { period, k } => write!(f, "batch:{period},{k}")?,
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A snapshot of the membership state at some step: which epoch the
+/// cluster is in and how many processors are live. Epochs advance by
+/// one at every transition (grow or shrink); consumers that cache
+/// membership-derived structures (shard pins, forest draw domains)
+/// compare epochs to decide whether to repair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MembershipView {
+    /// Monotone epoch counter; bumps by one per membership transition.
+    pub epoch: u64,
+    /// Live processors: ids `[0, active)` participate in this epoch.
+    pub active: usize,
+    /// Allocated world size (the join ceiling).
+    pub n_max: usize,
+}
+
+/// The world-resident membership state: the compiled schedule plus the
+/// current epoch and deterministic counters. Owned by
+/// `World`; mutated only by `World::sync_membership` on the
+/// coordinator, which is what keeps all backends in lock-step.
+#[derive(Debug, Clone)]
+pub struct MembershipState {
+    spec: ChurnSpec,
+    n_max: usize,
+    /// Live prefix length this epoch.
+    pub(crate) active: usize,
+    /// Epoch counter (0 until the first transition).
+    pub(crate) epoch: u64,
+    /// Tasks moved off departing processors over the run.
+    pub(crate) evacuated_tasks: u64,
+    /// Processor departures (planned deactivations) over the run.
+    pub(crate) departures: u64,
+    /// Processor joins (re-activations) over the run.
+    pub(crate) joins: u64,
+    /// Smallest active count seen.
+    pub(crate) min_active: usize,
+    /// Largest active count seen.
+    pub(crate) max_active: usize,
+}
+
+impl MembershipState {
+    /// Compiles a schedule against a world of `n_max` processors,
+    /// evaluated from step `step` (the world's current step, so churn
+    /// can be installed into a warm world).
+    #[must_use]
+    pub fn new(spec: ChurnSpec, n_max: usize, step: Step) -> Self {
+        let active = spec.active_at(step, n_max);
+        MembershipState {
+            spec,
+            n_max,
+            active,
+            epoch: 0,
+            evacuated_tasks: 0,
+            departures: 0,
+            joins: 0,
+            min_active: active,
+            max_active: active,
+        }
+    }
+
+    /// The schedule's prescription for `step`.
+    #[must_use]
+    pub fn target(&self, step: Step) -> usize {
+        self.spec.active_at(step, self.n_max)
+    }
+
+    /// Current snapshot.
+    #[must_use]
+    pub fn view(&self) -> MembershipView {
+        MembershipView {
+            epoch: self.epoch,
+            active: self.active,
+            n_max: self.n_max,
+        }
+    }
+
+    /// Applies a transition to `target` live processors, bumping the
+    /// epoch and the join/departure counters. Returns the previous
+    /// active count. Does **not** move any tasks — queue evacuation is
+    /// the world's job (it owns the arena).
+    pub(crate) fn transition(&mut self, target: usize) -> usize {
+        let prev = self.active;
+        if target > prev {
+            self.joins += (target - prev) as u64;
+        } else {
+            self.departures += (prev - target) as u64;
+        }
+        self.active = target;
+        self.epoch += 1;
+        self.min_active = self.min_active.min(target);
+        self.max_active = self.max_active.max(target);
+        prev
+    }
+
+    /// The schedule this state was compiled from.
+    #[must_use]
+    pub fn spec(&self) -> &ChurnSpec {
+        &self.spec
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert_eq!(ChurnSpec::parse(""), Err(ChurnError::Empty));
+        assert_eq!(ChurnSpec::parse("step:10,2;"), Err(ChurnError::Empty));
+        assert!(matches!(
+            ChurnSpec::parse("steppy:1,2"),
+            Err(ChurnError::UnknownKind(_))
+        ));
+        assert!(matches!(
+            ChurnSpec::parse("step:1"),
+            Err(ChurnError::BadArgs(_))
+        ));
+        assert!(matches!(
+            ChurnSpec::parse("step:1,0"),
+            Err(ChurnError::Invalid(_))
+        ));
+        assert!(matches!(
+            ChurnSpec::parse("ramp:8,4,0,0"),
+            Err(ChurnError::Invalid(_))
+        ));
+        assert!(matches!(
+            ChurnSpec::parse("valley:10,5,1.5"),
+            Err(ChurnError::Invalid(_))
+        ));
+        assert!(matches!(
+            ChurnSpec::parse("batch:0,4"),
+            Err(ChurnError::BadArgs(_) | ChurnError::Invalid(_))
+        ));
+        assert!(matches!(
+            ChurnSpec::parse("nocolon"),
+            Err(ChurnError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn step_clause_switches_at_boundary() {
+        let spec = ChurnSpec::parse("step:100,8").unwrap();
+        assert_eq!(spec.active_at(0, 32), 32);
+        assert_eq!(spec.active_at(99, 32), 32);
+        assert_eq!(spec.active_at(100, 32), 8);
+        assert_eq!(spec.active_at(1_000_000, 32), 8);
+    }
+
+    #[test]
+    fn step_clause_clamps_to_world() {
+        // Join target above the allocation ceiling clamps to n_max …
+        let spec = ChurnSpec::parse("step:0,100").unwrap();
+        assert_eq!(spec.active_at(5, 32), 32);
+        // … and the floor is one processor.
+        let spec = ChurnSpec::parse("valley:0,10,0").unwrap();
+        assert_eq!(spec.active_at(5, 32), 1);
+    }
+
+    #[test]
+    fn ramp_interpolates_and_holds() {
+        let spec = ChurnSpec::parse("ramp:32,16,100,160").unwrap();
+        assert_eq!(spec.active_at(0, 32), 32); // before: no effect
+        assert_eq!(spec.active_at(100, 32), 32); // t = 0
+        assert_eq!(spec.active_at(180, 32), 24); // halfway
+        assert_eq!(spec.active_at(260, 32), 16); // end
+        assert_eq!(spec.active_at(10_000, 32), 16); // holds
+    }
+
+    #[test]
+    fn valley_scales_then_restores() {
+        let spec = ChurnSpec::parse("valley:50,20,0.25").unwrap();
+        assert_eq!(spec.active_at(49, 64), 64);
+        assert_eq!(spec.active_at(50, 64), 16);
+        assert_eq!(spec.active_at(69, 64), 16);
+        assert_eq!(spec.active_at(70, 64), 64);
+    }
+
+    #[test]
+    fn batch_alternates_square_wave() {
+        let spec = ChurnSpec::parse("batch:10,4").unwrap();
+        assert_eq!(spec.active_at(0, 16), 16); // even half-period
+        assert_eq!(spec.active_at(9, 16), 16);
+        assert_eq!(spec.active_at(10, 16), 12); // odd: k depart
+        assert_eq!(spec.active_at(19, 16), 12);
+        assert_eq!(spec.active_at(20, 16), 16); // rejoin
+    }
+
+    #[test]
+    fn clauses_compose_in_order() {
+        // Step down to 16, then a valley keeps half of *that*.
+        let spec = ChurnSpec::parse("step:0,16;valley:10,5,0.5").unwrap();
+        assert_eq!(spec.active_at(5, 64), 16);
+        assert_eq!(spec.active_at(12, 64), 8);
+        assert_eq!(spec.active_at(20, 64), 16);
+    }
+
+    #[test]
+    fn display_roundtrips() {
+        for s in [
+            "step:100,8",
+            "ramp:32,16,100,160",
+            "valley:50,20,0.25",
+            "batch:10,4",
+            "step:0,16;batch:7,3",
+        ] {
+            let spec = ChurnSpec::parse(s).unwrap();
+            assert_eq!(ChurnSpec::parse(&spec.to_string()).unwrap(), spec);
+        }
+    }
+
+    #[test]
+    fn state_tracks_epochs_and_extremes() {
+        let spec = ChurnSpec::parse("step:10,4").unwrap();
+        let mut st = MembershipState::new(spec, 16, 0);
+        assert_eq!(st.active, 16);
+        assert_eq!(st.view().epoch, 0);
+        let prev = st.transition(4);
+        assert_eq!(prev, 16);
+        assert_eq!(st.departures, 12);
+        st.transition(16);
+        assert_eq!(st.joins, 12);
+        assert_eq!(st.epoch, 2);
+        assert_eq!(st.min_active, 4);
+        assert_eq!(st.max_active, 16);
+    }
+
+    #[test]
+    fn schedule_is_pure() {
+        let spec = ChurnSpec::parse("ramp:64,8,0,100;batch:13,5").unwrap();
+        for step in 0..500 {
+            assert_eq!(spec.active_at(step, 64), spec.active_at(step, 64));
+        }
+    }
+}

@@ -167,8 +167,13 @@ pub(crate) struct NetTopology {
 /// group, and drives the run.
 ///
 /// # Panics
-/// Panics when the TCP group cannot bind on 127.0.0.1, or on any
-/// transport failure mid-run (a lost peer is fatal, not recoverable).
+/// Panics when the TCP group cannot bind on 127.0.0.1, or on a
+/// transport failure mid-run **without churn** (a lost peer is then
+/// fatal, not recoverable). With a churn schedule installed, a peer
+/// departure degrades gracefully instead: the coordinator stops
+/// waiting for the dead peer, recovers its in-flight transfers from
+/// retained copies (shard takeover — see [`net_step`]), and the run
+/// continues bit-identically to the shared-memory backends.
 pub(crate) fn run_net_detailed<M: LoadModel + Sync, S: Strategy>(
     steps: u64,
     topo: NetTopology,
@@ -308,6 +313,11 @@ fn net_step<T: Transport, M: LoadModel + Sync, S: Strategy>(
     strategy: &mut S,
 ) {
     let nodes = slots.0.len();
+    // Membership first, exactly as `Engine::step` does: the live
+    // prefix for this round is fixed (and departing queues evacuated
+    // by the coordinator) before any node thread runs its kernel.
+    world.sync_membership();
+    let churn = world.churn_enabled();
     let faults = world.active_faults();
     let fmodel: Option<&dyn FaultModel> = faults.as_deref();
     let round = world.step();
@@ -355,8 +365,14 @@ fn net_step<T: Transport, M: LoadModel + Sync, S: Strategy>(
     world.tick();
 
     // ---- Phase B: bucket, batch, ship one watermark round ------------
+    // Shard pins follow the live prefix: `node_of` mirrors the phase-A
+    // `shard_views(nodes)` split of `[0, active_n)`, so each record is
+    // encoded by the node that owns its source processor *this epoch*.
+    // (Records addressed past the prefix — e.g. a graph-topology probe
+    // to a departed neighbor — clamp to the last node and are applied
+    // by the coordinator like any other; they find no light partner.)
     let (controls, transfers) = world.take_wire_step();
-    let per = world.n().div_ceil(nodes);
+    let per = world.active_n().div_ceil(nodes);
     let node_of = |p: u64| ((p as usize) / per).min(nodes - 1);
 
     for rec in &controls {
@@ -378,6 +394,13 @@ fn net_step<T: Transport, M: LoadModel + Sync, S: Strategy>(
         });
     }
     let expected_transfers = transfers.len();
+    // Shard-takeover insurance: with churn enabled the coordinator
+    // retains a copy of every transfer it hands to the node threads.
+    // Should a peer depart mid-exchange, the transfers it was carrying
+    // are recovered from here instead of aborting the run — the data
+    // never actually left the process, so the recovered queues are
+    // bit-identical to what a fully-delivered round would produce.
+    let mut retained: Vec<(u32, u64, Vec<WireTask>)> = Vec::new();
     for tr in transfers {
         let wire_tasks: Vec<WireTask> = tr
             .tasks
@@ -390,6 +413,9 @@ fn net_step<T: Transport, M: LoadModel + Sync, S: Strategy>(
             })
             .collect();
         let count = wire_tasks.len() as u64;
+        if churn {
+            retained.push((tr.seq, tr.to as u64, wire_tasks.clone()));
+        }
         let dst_node = node_of(tr.to as u64);
         slots.0[node_of(tr.from as u64)].get_mut().out[dst_node].push(OutRec {
             msg: WireMsg::Transfer {
@@ -409,7 +435,7 @@ fn net_step<T: Transport, M: LoadModel + Sync, S: Strategy>(
     pool.broadcast(&|wid: usize| {
         // SAFETY: see `NodeSlots`.
         let state = unsafe { &mut *nodes_ref.0[wid].get() };
-        exchange_round(state, wid, round, fmodel);
+        exchange_round(state, wid, round, fmodel, churn);
     });
 
     // Apply decoded transfers. Strict mode restores global emission
@@ -422,6 +448,20 @@ fn net_step<T: Transport, M: LoadModel + Sync, S: Strategy>(
         let state = cell.get_mut();
         step_stats += state.fs;
         decoded.append(&mut state.decoded);
+    }
+    if decoded.len() != expected_transfers && churn {
+        // Shard takeover: a peer departed mid-exchange and its batches
+        // never arrived. Recover the missing transfers from the
+        // coordinator's retained copies — the compared report stays
+        // bit-identical because these are the exact tasks the wire
+        // would have carried.
+        let have: std::collections::HashSet<u32> = decoded.iter().map(|d| d.0).collect();
+        for (seq, dst, tasks) in retained {
+            if !have.contains(&seq) {
+                step_stats.takeovers += 1;
+                decoded.push((seq, dst, tasks));
+            }
+        }
     }
     assert_eq!(
         decoded.len(),
@@ -450,11 +490,19 @@ fn net_step<T: Transport, M: LoadModel + Sync, S: Strategy>(
 /// (charging every record to the sender first, then letting the fault
 /// hook discard), ship them, account self-records locally, and receive
 /// until every peer's watermark for `round` has arrived.
+///
+/// With `churn` set, a [`pcrlb_net::NetError::Closed`] from the
+/// transport is an *unplanned-departure membership event*, not a
+/// crash: the node stops talking to (or waiting for) the dead peer,
+/// counts a takeover in the (uncompared) frame statistics, and lets
+/// the coordinator backfill any transfers the peer was carrying.
+/// Without churn the historic contract holds — a lost peer is fatal.
 fn exchange_round<T: Transport>(
     state: &mut NodeState<T>,
     me: usize,
     round: u64,
     fmodel: Option<&dyn FaultModel>,
+    churn: bool,
 ) {
     let NodeState {
         ep,
@@ -505,13 +553,34 @@ fn exchange_round<T: Transport>(
         // overhead on top of the logical frame bytes.
         fs.bytes_sent += (frame.len() - payload) as u64;
         fs.batches_sent += 1;
-        ep.send(dst, frame).expect("net send failed");
+        match ep.send(dst, frame) {
+            Ok(()) => {}
+            Err(pcrlb_net::NetError::Closed) if churn => {
+                // Unplanned departure: the peer is gone. Its shard is
+                // taken over by the coordinator's membership sweep; we
+                // just stop sending to it.
+                fs.takeovers += 1;
+            }
+            Err(e) => panic!("net send failed: {e:?}"),
+        }
     }
 
     let mut peers_done = 0usize;
     while peers_done < nodes.saturating_sub(1) {
         raw.clear();
-        ep.recv_burst(raw).expect("net recv failed");
+        match ep.recv_burst(raw) {
+            Ok(()) => {}
+            Err(pcrlb_net::NetError::Closed) if churn => {
+                // A peer died before delivering its watermark. Queued
+                // frames were already drained (the transport surfaces
+                // `Closed` only once its inbox is empty), so whatever
+                // is still missing rides the coordinator's retained
+                // copies. Stop waiting.
+                fs.takeovers += ((nodes - 1) - peers_done) as u64;
+                break;
+            }
+            Err(e) => panic!("net recv failed: {e:?}"),
+        }
         for frame in raw.drain(..) {
             let view = codec::decode_batch(&frame).expect("undecodable batch on the wire");
             // The coordinator joins both broadcasts between rounds, so

@@ -150,6 +150,26 @@ pub enum ProbeOutput {
     },
     /// From [`SeriesProbe`].
     Series(Vec<f64>),
+    /// From [`MembershipProbe`]. Every field is a pure function of the
+    /// churn schedule (plus the run's deterministic evacuations), so
+    /// this output is bit-identical across backends and safe inside
+    /// the compared `RunReport::probes`.
+    Membership {
+        /// Membership transitions (epoch bumps) observed.
+        epochs: u64,
+        /// Tasks evacuated off departing processors.
+        evacuated_tasks: u64,
+        /// Processor departures summed over all transitions.
+        departures: u64,
+        /// Processor joins summed over all transitions.
+        joins: u64,
+        /// Smallest live count seen.
+        min_active: usize,
+        /// Largest live count seen.
+        max_active: usize,
+        /// Live count at run end.
+        final_active: usize,
+    },
     /// From [`FaultProbe`].
     Faults {
         /// Control messages lost in flight over the run.
@@ -730,6 +750,82 @@ impl Probe for RecoveryProbe {
     }
 }
 
+/// Watches the elastic-membership state (E25): epoch transitions,
+/// evacuated tasks, and the live-count envelope over the run. All
+/// counters come from the world's deterministic membership state, so
+/// the output is identical on every backend for the same schedule —
+/// which is exactly what lets churn runs keep the bit-identical
+/// `RunReport` contract with this probe attached.
+///
+/// Without a churn schedule the probe reports a quiet cluster
+/// (`epochs == 0`, `min == max == final == n`).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MembershipProbe {
+    epochs: u64,
+    evacuated_tasks: u64,
+    departures: u64,
+    joins: u64,
+    min_active: usize,
+    max_active: usize,
+    final_active: usize,
+}
+
+impl MembershipProbe {
+    /// Builds the probe; it sizes itself at run start.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn observe(&mut self, world: &World) {
+        match world.membership() {
+            Some(ms) => {
+                self.epochs = ms.view().epoch;
+                self.evacuated_tasks = ms.evacuated_tasks;
+                self.departures = ms.departures;
+                self.joins = ms.joins;
+                self.min_active = ms.min_active;
+                self.max_active = ms.max_active;
+                self.final_active = ms.view().active;
+            }
+            None => {
+                self.min_active = world.n();
+                self.max_active = world.n();
+                self.final_active = world.n();
+            }
+        }
+    }
+}
+
+impl Probe for MembershipProbe {
+    fn name(&self) -> &'static str {
+        "membership"
+    }
+
+    fn on_run_start(&mut self, world: &World) {
+        self.observe(world);
+    }
+
+    fn on_step(&mut self, world: &World) {
+        self.observe(world);
+    }
+
+    fn on_run_end(&mut self, world: &World) {
+        self.observe(world);
+    }
+
+    fn finish(self: Box<Self>) -> ProbeOutput {
+        ProbeOutput::Membership {
+            epochs: self.epochs,
+            evacuated_tasks: self.evacuated_tasks,
+            departures: self.departures,
+            joins: self.joins,
+            min_active: self.min_active,
+            max_active: self.max_active,
+            final_active: self.final_active,
+        }
+    }
+}
+
 /// Records an arbitrary per-step scalar — the escape hatch for one-off
 /// measurements (examples plot time series of whatever they like).
 pub struct SeriesProbe {
@@ -953,6 +1049,62 @@ mod tests {
         w.inject(0, 2);
         p.on_step(&w);
         assert_eq!(Box::new(p).finish(), ProbeOutput::Series(vec![0.0, 2.0]));
+    }
+
+    #[test]
+    fn membership_probe_tracks_transitions() {
+        use crate::membership::ChurnSpec;
+        let mut w = World::new(8, 1);
+        w.install_churn(ChurnSpec::parse("step:1,4").unwrap());
+        let mut p = MembershipProbe::new();
+        p.on_run_start(&w);
+        w.sync_membership(); // step 0: quiet
+        p.on_step(&w);
+        w.tick();
+        w.sync_membership(); // step 1: shrink to 4
+        p.on_step(&w);
+        p.on_run_end(&w);
+        match Box::new(p).finish() {
+            ProbeOutput::Membership {
+                epochs,
+                departures,
+                joins,
+                min_active,
+                max_active,
+                final_active,
+                ..
+            } => {
+                assert_eq!(epochs, 1);
+                assert_eq!(departures, 4);
+                assert_eq!(joins, 0);
+                assert_eq!(min_active, 4);
+                assert_eq!(max_active, 8);
+                assert_eq!(final_active, 4);
+            }
+            other => panic!("wrong output: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn membership_probe_quiet_without_churn() {
+        let w = World::new(8, 1);
+        let mut p = MembershipProbe::new();
+        p.on_run_start(&w);
+        p.on_step(&w);
+        p.on_run_end(&w);
+        match Box::new(p).finish() {
+            ProbeOutput::Membership {
+                epochs,
+                min_active,
+                max_active,
+                final_active,
+                ..
+            } => {
+                assert_eq!(epochs, 0);
+                assert_eq!((min_active, max_active, final_active), (8, 8, 8));
+            }
+            other => panic!("wrong output: {other:?}"),
+        }
     }
 
     #[test]

@@ -328,11 +328,13 @@ impl TaskArena {
     }
 
     /// Splits the arena into `shard_sizes.len()` disjoint shard views,
-    /// one per contiguous run of queues (sizes in order, summing to
-    /// `n`). The slab itself is shared via a raw pointer — see
-    /// [`ArenaShard`] for the safety contract.
+    /// one per contiguous run of queues (sizes in order, summing to at
+    /// most `n` — under elastic membership only the live prefix is
+    /// sharded and the departed suffix is simply left out). The slab
+    /// itself is shared via a raw pointer — see [`ArenaShard`] for the
+    /// safety contract.
     pub(crate) fn split_shards(&mut self, shard_sizes: &[usize]) -> Vec<ArenaShard<'_>> {
-        debug_assert_eq!(shard_sizes.iter().sum::<usize>(), self.queues());
+        debug_assert!(shard_sizes.iter().sum::<usize>() <= self.queues());
         let slab = SlabPtr(self.slab.as_mut_ptr());
         let slab_len = self.slab.len();
         let mut out = Vec::with_capacity(shard_sizes.len());

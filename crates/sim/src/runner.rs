@@ -36,6 +36,7 @@
 
 use crate::backend::Backend;
 use crate::engine::Engine;
+use crate::membership::ChurnSpec;
 use crate::message::MessageStats;
 use crate::model::{LoadModel, Strategy};
 use crate::probe::{PhaseReport, Probe, ProbeOutput};
@@ -124,6 +125,7 @@ pub struct Runner<M = (), S = ()> {
     probes: Vec<Box<dyn Probe>>,
     world: Option<World>,
     faults: Option<FaultConfig>,
+    churn: Option<ChurnSpec>,
 }
 
 impl Runner {
@@ -138,6 +140,7 @@ impl Runner {
             probes: Vec::new(),
             world: None,
             faults: None,
+            churn: None,
         }
     }
 }
@@ -154,6 +157,7 @@ impl<M, S> Runner<M, S> {
             probes: self.probes,
             world: self.world,
             faults: self.faults,
+            churn: self.churn,
         }
     }
 
@@ -168,6 +172,7 @@ impl<M, S> Runner<M, S> {
             probes: self.probes,
             world: self.world,
             faults: self.faults,
+            churn: self.churn,
         }
     }
 
@@ -203,6 +208,16 @@ impl<M, S> Runner<M, S> {
         self.faults = Some(config);
         self
     }
+
+    /// Installs an elastic-membership (churn) schedule for the run:
+    /// the live-processor count follows `spec.active_at(step)` on
+    /// every backend, with deterministic evacuation of departing
+    /// queues (see [`crate::world::World::sync_membership`]). An empty
+    /// schedule leaves the run bit-identical to never calling this.
+    pub fn churn(mut self, spec: ChurnSpec) -> Self {
+        self.churn = Some(spec);
+        self
+    }
 }
 
 impl<M: LoadModel + Sync, S: Strategy> Runner<M, S> {
@@ -224,8 +239,12 @@ impl<M: LoadModel + Sync, S: Strategy> Runner<M, S> {
             mut probes,
             world,
             faults,
+            churn,
         } = self;
         let mut world = world.unwrap_or_else(|| World::new(n, seed));
+        if let Some(spec) = churn {
+            world.install_churn(spec);
+        }
         if let Some(config) = faults {
             if !config.is_reliable() {
                 let plan = config.build(world.seed());
@@ -363,6 +382,35 @@ mod tests {
         let mut thr_as_seq = thr.clone();
         thr_as_seq.backend = seq.backend;
         assert_eq!(seq, thr_as_seq);
+    }
+
+    #[test]
+    fn churn_keeps_backends_bit_identical() {
+        use crate::membership::ChurnSpec;
+        use crate::probe::MembershipProbe;
+        let spec = || ChurnSpec::parse("step:20,9;batch:7,3").unwrap();
+        let run = |backend| {
+            Runner::new(24, 11)
+                .model(Coin)
+                .strategy(Unbalanced)
+                .backend(backend)
+                .churn(spec())
+                .probe(MembershipProbe::new())
+                .run(60)
+        };
+        let seq = run(Backend::Sequential);
+        match seq.probe("membership") {
+            Some(ProbeOutput::Membership { epochs, .. }) => {
+                assert!(*epochs > 0, "schedule should have fired")
+            }
+            other => panic!("unexpected membership output: {other:?}"),
+        }
+        for backend in [Backend::Threaded(4), Backend::Pooled(4)] {
+            let other = run(backend);
+            let mut other_as_seq = other.clone();
+            other_as_seq.backend = seq.backend;
+            assert_eq!(seq, other_as_seq);
+        }
     }
 
     #[test]

@@ -18,6 +18,7 @@
 //! API survives as [`ProcView`] — assembled on demand, never stored.
 
 use crate::latency::LatencyHist;
+use crate::membership::{ChurnSpec, MembershipState, MembershipView};
 use crate::message::{MessageLedger, MessageStats};
 use crate::probe::PhaseReport;
 use crate::processor::{task_id, ProcStats, ProcView, StatsSoa};
@@ -219,6 +220,10 @@ pub struct World {
     faults: Arc<dyn FaultModel>,
     /// Cached `!faults.is_noop()` so the hot paths pay one bool test.
     faulty: bool,
+    /// Elastic-membership state; `None` (every processor always live)
+    /// unless a churn schedule was installed via
+    /// [`World::install_churn`].
+    membership: Option<MembershipState>,
 }
 
 /// Default sojourn-histogram resolution (buckets).
@@ -247,6 +252,7 @@ impl World {
             seed,
             faults: Arc::new(Reliable),
             faulty: false,
+            membership: None,
         }
     }
 
@@ -284,10 +290,103 @@ impl World {
         self.faulty
     }
 
-    /// Number of processors.
+    /// Number of processors the world was allocated with (the
+    /// membership ceiling `n_max`; under churn, not all of them are
+    /// live — see [`World::active_n`]).
     #[inline]
     pub fn n(&self) -> usize {
         self.arena.queues()
+    }
+
+    /// Number of *live* processors this epoch: ids `[0, active_n)`
+    /// generate, consume, and balance. Equals [`World::n`] unless a
+    /// churn schedule shrank the membership.
+    #[inline]
+    pub fn active_n(&self) -> usize {
+        self.membership
+            .as_ref()
+            .map_or_else(|| self.n(), |m| m.active)
+    }
+
+    /// Installs an elastic-membership schedule. From the next
+    /// [`World::sync_membership`] on (the engine calls it at the top of
+    /// every step), the live prefix follows `spec.active_at(step)`;
+    /// departing processors have their queues evacuated
+    /// deterministically, rejoining ones resume their untouched RNG
+    /// streams and task-id sequences.
+    pub fn install_churn(&mut self, spec: ChurnSpec) {
+        let n = self.n();
+        self.membership = Some(MembershipState::new(spec, n, self.step));
+    }
+
+    /// Whether a churn schedule is installed.
+    #[inline]
+    pub fn churn_enabled(&self) -> bool {
+        self.membership.is_some()
+    }
+
+    /// Snapshot of the membership state (`None` without churn).
+    #[inline]
+    pub fn membership_view(&self) -> Option<MembershipView> {
+        self.membership.as_ref().map(|m| m.view())
+    }
+
+    /// The resident membership state (`None` without churn). In-crate
+    /// consumers (probes) read the deterministic counters from here.
+    #[inline]
+    pub(crate) fn membership(&self) -> Option<&MembershipState> {
+        self.membership.as_ref()
+    }
+
+    /// Tasks moved off departing processors so far (0 without churn).
+    #[inline]
+    pub fn evacuated_tasks(&self) -> u64 {
+        self.membership.as_ref().map_or(0, |m| m.evacuated_tasks)
+    }
+
+    /// Brings the live prefix in line with the churn schedule for the
+    /// current step, then sweeps the inactive suffix: any task parked
+    /// on a departed processor (its own queue on departure, or a
+    /// transfer that landed after it left) is evacuated to live
+    /// processor `p % active` as an ordinary recorded transfer.
+    ///
+    /// Called at the top of every engine step **on the coordinator
+    /// only** — all four backends therefore observe identical
+    /// membership transitions and identical pre-kernel queue contents,
+    /// which is what keeps `RunReport`s bit-identical under churn. The
+    /// evacuation deliberately bypasses the wire sink: it models the
+    /// coordinator reassigning a departed peer's shard, not a
+    /// peer-to-peer balancing message.
+    ///
+    /// No-op without churn.
+    pub(crate) fn sync_membership(&mut self) {
+        let Some(mut ms) = self.membership.take() else {
+            return;
+        };
+        let target = ms.target(self.step);
+        if target != ms.active {
+            ms.transition(target);
+        }
+        let active = ms.active;
+        for p in active..self.n() {
+            let load = self.arena.load(p);
+            if load > 0 {
+                let d = p % active;
+                self.arena.move_back(p, d, load);
+                self.record_transfer_stats(p, d, load);
+                ms.evacuated_tasks += load as u64;
+            }
+            // A partially-executed front task restarts at its new home.
+            self.progress[p] = 0;
+            if self.backlog[p] > 0 {
+                let d = p % active;
+                self.backlog[d] += self.backlog[p];
+                self.backlog[p] = 0;
+                let mut moved = std::mem::take(&mut self.backlog_since[p]);
+                self.backlog_since[d].append(&mut moved);
+            }
+        }
+        self.membership = Some(ms);
     }
 
     /// Current simulation step.
@@ -744,7 +843,10 @@ impl World {
         &mut self,
         shard_count: usize,
     ) -> (Vec<WorldShard<'_>>, &mut CompletionStats) {
-        let n = self.n();
+        // Only the live prefix is sharded: departed processors do not
+        // generate or consume, so the kernels never touch them (their
+        // RNG streams and id sequences stay frozen for rejoin).
+        let n = self.active_n();
         let per = n.div_ceil(shard_count.max(1));
         let mut sizes = Vec::with_capacity(shard_count);
         let mut left = n;
@@ -1106,6 +1208,57 @@ mod tests {
         assert!((c.tail_probability(1) - 0.25).abs() < 1e-12);
         assert_eq!(c.tail_probability(5), 0.0);
         assert_eq!(c.sojourn_max, 5);
+    }
+
+    #[test]
+    fn sync_membership_evacuates_departing_queues() {
+        let mut w = World::new(4, 7);
+        w.install_churn(ChurnSpec::parse("step:1,2").unwrap());
+        w.inject(2, 3);
+        w.inject(3, 2);
+        let before = w.total_load();
+        w.sync_membership(); // step 0: all four still live
+        assert_eq!(w.active_n(), 4);
+        assert_eq!(w.load(2), 3);
+        w.tick();
+        w.sync_membership(); // step 1: shrink to 2, suffix evacuates
+        assert_eq!(w.active_n(), 2);
+        assert_eq!(w.load(2), 0);
+        assert_eq!(w.load(3), 0);
+        assert_eq!(w.load(0), 3); // 2 % 2 == 0
+        assert_eq!(w.load(1), 2); // 3 % 2 == 1
+        assert_eq!(w.total_load(), before); // conservation
+        assert_eq!(w.evacuated_tasks(), 5);
+        let view = w.membership_view().unwrap();
+        assert_eq!(view.epoch, 1);
+        assert_eq!(view.active, 2);
+        // The evacuation is an accounted transfer.
+        assert_eq!(w.messages().transfers, 2);
+        assert_eq!(w.proc(0).stats.tasks_received, 3);
+    }
+
+    #[test]
+    fn sync_membership_sweeps_late_arrivals() {
+        let mut w = World::new(4, 7);
+        w.install_churn(ChurnSpec::parse("step:0,2").unwrap());
+        w.sync_membership();
+        assert_eq!(w.active_n(), 2);
+        // A task lands on a departed processor after the shrink (e.g. a
+        // transfer decided before the membership change was observed).
+        w.deposit(3, vec![Task::new(1, 3, 0)]);
+        w.sync_membership();
+        assert_eq!(w.load(3), 0);
+        assert_eq!(w.load(1), 1);
+    }
+
+    #[test]
+    fn shard_views_cover_only_live_prefix() {
+        let mut w = World::new(8, 1);
+        w.install_churn(ChurnSpec::parse("step:0,5").unwrap());
+        w.sync_membership();
+        let (shards, _) = w.shard_views(3);
+        let total: usize = shards.iter().map(|s| s.len()).sum();
+        assert_eq!(total, 5);
     }
 
     #[test]

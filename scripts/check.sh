@@ -13,6 +13,10 @@
 #   --stage policy    partner-policy x topology suite: backend
 #                     equality, default-run byte-identity, and the
 #                     policy_hotpath gate (BENCH_pr8.json)
+#   --stage churn     elastic-membership suite: churn property tests,
+#                     CLI churn sweep byte-identity across
+#                     seq/pooled/net:2, and the churn_hotpath gate
+#                     (BENCH_pr10.json)
 #   --stage bench     soa_hotpath quick bench gated on the committed
 #                     trajectory (BENCH_pr*.json)
 #   --stage all       every stage in order plus the advisory TSan run
@@ -34,7 +38,7 @@ while [[ $# -gt 0 ]]; do
       ;;
     *)
       echo "unknown argument: $1" >&2
-      echo "usage: scripts/check.sh [--stage lint|tier1|faults|net|service|policy|bench|all]" >&2
+      echo "usage: scripts/check.sh [--stage lint|tier1|faults|net|service|policy|churn|bench|all]" >&2
       exit 2
       ;;
   esac
@@ -235,6 +239,68 @@ stage_policy() {
   fi
 }
 
+stage_churn() {
+  ensure_release_bin
+  echo "==> churn-suite (elastic membership)"
+  # The membership subsystem's own tests (ChurnSpec grammar, epoch
+  # state machine, world activation), the cross-backend property suite
+  # (five schedules x four backends, with and without 5% message loss,
+  # plus evacuation conservation), and the E25 experiment unit tests.
+  cargo test -q -p pcrlb-sim --lib membership >/dev/null
+  echo "    pcrlb-sim membership unit tests green"
+  cargo test -q --test churn_equivalence >/dev/null
+  echo "    tests/churn_equivalence.rs green"
+  cargo test -q -p pcrlb-bench --lib membership >/dev/null
+  echo "    e25-membership experiment tests green"
+  # CLI end to end: under a composite churn schedule the printed report
+  # (including the membership block) must be byte-identical across the
+  # sequential, pooled, and net backends.
+  churn_flags=(--n 512 --steps 1500 --seed 7 --churn "step:300,256;ramp:256,512,800,400")
+  churn_baseline="$(./target/release/pcrlb "${churn_flags[@]}" --threads 1)"
+  if ! grep -q "membership epochs" <<<"$churn_baseline"; then
+    echo "FAIL: churn run printed no membership block" >&2
+    exit 1
+  fi
+  for alt in "--threads 4" "--backend net:2"; do
+    # shellcheck disable=SC2086
+    got="$(./target/release/pcrlb "${churn_flags[@]}" $alt)"
+    if [[ "$got" != "$churn_baseline" ]]; then
+      echo "FAIL: churn run with $alt differs from --threads 1" >&2
+      diff <(echo "$churn_baseline") <(echo "$got") >&2 || true
+      exit 1
+    fi
+  done
+  echo "    --churn report agrees across {seq, 4 threads, net:2}"
+  # Churn composes with faults: loss on top of a membership step stays
+  # deterministic too.
+  lossy_one="$(./target/release/pcrlb "${churn_flags[@]}" --loss-rate 0.05 --fault-seed 3 --threads 1)"
+  lossy_four="$(./target/release/pcrlb "${churn_flags[@]}" --loss-rate 0.05 --fault-seed 3 --threads 4)"
+  if [[ "$lossy_one" != "$lossy_four" ]]; then
+    echo "FAIL: churn + loss run differs between --threads 1 and 4" >&2
+    diff <(echo "$lossy_one") <(echo "$lossy_four") >&2 || true
+    exit 1
+  fi
+  echo "    --churn + --loss-rate 0.05 agrees across backends"
+  # The membership hot path, gated on the committed baseline: a run
+  # with no schedule installed may not pay for the subsystem, and the
+  # batch-churn scenario may not regress >10%.
+  mkdir -p target
+  gate_args=()
+  if [[ "${UPDATE_BENCH:-0}" == "1" ]]; then
+    gate_args=(--update "$PWD/BENCH_pr10.json")
+  elif [[ -f BENCH_pr10.json ]]; then
+    gate_args=(--gate "$PWD/BENCH_pr10.json")
+  fi
+  cargo bench -p pcrlb-bench --bench churn_hotpath -- \
+    --quick --json "$PWD/target/churn_bench.json" ${gate_args[@]+"${gate_args[@]}"} \
+    | grep '^churn_hotpath'
+  if [[ "${UPDATE_BENCH:-0}" == "1" ]]; then
+    echo "    BENCH_pr10.json churn_hotpath baseline updated from this run"
+  else
+    echo "    churn hot path within 10% of the committed baseline"
+  fi
+}
+
 stage_bench() {
   echo "==> bench-smoke (soa_hotpath, quick mode)"
   # Measures processor-steps/sec on the SoA hot path and gates against
@@ -298,6 +364,7 @@ case "$stage" in
   net) stage_net ;;
   service) stage_service ;;
   policy) stage_policy ;;
+  churn) stage_churn ;;
   bench) stage_bench ;;
   all)
     stage_lint
@@ -306,12 +373,13 @@ case "$stage" in
     stage_net
     stage_service
     stage_policy
+    stage_churn
     stage_bench
     stage_tsan_advisory
     ;;
   *)
     echo "unknown stage: $stage" >&2
-    echo "usage: scripts/check.sh [--stage lint|tier1|faults|net|service|policy|bench|all]" >&2
+    echo "usage: scripts/check.sh [--stage lint|tier1|faults|net|service|policy|churn|bench|all]" >&2
     exit 2
     ;;
 esac

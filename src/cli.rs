@@ -9,8 +9,8 @@ use crate::core::{
     TrafficModel, TrafficSpec,
 };
 use crate::sim::{
-    Backend, FaultConfig, FaultProbe, LoadModel, MaxLoadProbe, PolicySpec, ProbeOutput, Runner,
-    SojournProbe, Strategy, TopologySpec, Unbalanced,
+    Backend, ChurnSpec, FaultConfig, FaultProbe, LoadModel, MaxLoadProbe, MembershipProbe,
+    PolicySpec, ProbeOutput, Runner, SojournProbe, Strategy, TopologySpec, Unbalanced,
 };
 use std::fmt;
 
@@ -162,6 +162,9 @@ pub struct RunSpec {
     /// Communication topology for the threshold balancer; `None` is
     /// the complete graph (byte-identical reports).
     pub topology: Option<TopologySpec>,
+    /// Elastic-membership churn schedule; when set the report grows
+    /// the membership block (epochs, evacuations, active extremes).
+    pub churn: Option<ChurnSpec>,
 }
 
 impl RunSpec {
@@ -201,6 +204,7 @@ impl Default for RunSpec {
             slo_p999: None,
             policy: None,
             topology: None,
+            churn: None,
         }
     }
 }
@@ -245,8 +249,9 @@ pub fn usage() -> String {
            --arrivals A     open-loop traffic front-end (replaces --model):\n\
                             poisson[:rho] | burst:rho,on,off,mult |\n\
                             ramp:rho,period,amp | flash:rho,at,len,mult |\n\
-                            zipf:rho,theta; append +shed:CAP or\n\
-                            +defer:CAP for bounded admission\n\
+                            zipf:rho,theta | selfsim:rho,H; append\n\
+                            +shed:CAP or +defer:CAP for bounded\n\
+                            admission\n\
            --slo-p999 T     assert the sojourn p999 target T (steps) in\n\
                             the report (requires --arrivals)\n\
            --policy P       partner-selection policy (threshold only):\n\
@@ -255,6 +260,11 @@ pub fn usage() -> String {
            --topology G     communication graph (threshold only):\n\
                             complete | ring | torus[:RxC] | hypercube |\n\
                             regular:D[,SEED]\n\
+           --churn C        elastic-membership schedule, ';'-separated\n\
+                            clauses: step:AT,TARGET |\n\
+                            ramp:FROM,TO,START,LEN | valley:AT,LEN,FRAC |\n\
+                            batch:PERIOD,K (same results on every\n\
+                            backend)\n\
            --help           show this text\n",
         strategies.join(", ")
     )
@@ -351,6 +361,11 @@ pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Option<RunSpec>,
                 let v = value("--topology")?;
                 spec.topology = Some(TopologySpec::parse(&v).map_err(ParseError)?);
             }
+            "--churn" => {
+                let v = value("--churn")?;
+                spec.churn =
+                    Some(ChurnSpec::parse(&v).map_err(|e| ParseError(format!("--churn: {e}")))?);
+            }
             other => return Err(ParseError(format!("unknown option '{other}'"))),
         }
     }
@@ -441,6 +456,29 @@ pub struct RunReport {
     /// Service-simulation block; `None` unless `--arrivals` was given,
     /// so closed-loop reports stay byte-identical to historic output.
     pub service: Option<ServiceSummary>,
+    /// Elastic-membership block; `None` unless `--churn` was given, so
+    /// fixed-membership reports stay byte-identical to historic output.
+    pub membership: Option<MembershipSummary>,
+}
+
+/// Elastic-membership counters surfaced in the CLI report when
+/// `--churn` is given, taken from the [`MembershipProbe`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct MembershipSummary {
+    /// Membership transitions (epoch bumps) over the run.
+    pub epochs: u64,
+    /// Tasks evacuated off departing processors.
+    pub evacuated_tasks: u64,
+    /// Processor departures summed over all transitions.
+    pub departures: u64,
+    /// Processor joins summed over all transitions.
+    pub joins: u64,
+    /// Smallest live-prefix size seen.
+    pub min_active: usize,
+    /// Largest live-prefix size seen.
+    pub max_active: usize,
+    /// Live-prefix size at the end of the run.
+    pub final_active: usize,
 }
 
 /// Open-loop service metrics surfaced in the CLI report when
@@ -542,6 +580,17 @@ impl fmt::Display for RunReport {
                 )?;
             }
         }
+        if let Some(m) = &self.membership {
+            writeln!(f)?;
+            writeln!(f, "membership epochs     = {}", m.epochs)?;
+            writeln!(f, "departures / joins    = {} / {}", m.departures, m.joins)?;
+            writeln!(f, "tasks evacuated       = {}", m.evacuated_tasks)?;
+            write!(
+                f,
+                "active min/max/final  = {} / {} / {}",
+                m.min_active, m.max_active, m.final_active
+            )?;
+        }
         Ok(())
     }
 }
@@ -572,6 +621,9 @@ fn run_with<M: LoadModel + Sync, S: Strategy>(spec: &RunSpec, model: M, strategy
     if let Some(faults) = spec.fault_config() {
         runner = runner.faults(faults).probe(FaultProbe::new());
     }
+    if let Some(churn) = &spec.churn {
+        runner = runner.churn(churn.clone()).probe(MembershipProbe::new());
+    }
     let report = runner.run(spec.steps);
     let faults = report.probe("faults").and_then(|output| match *output {
         ProbeOutput::Faults {
@@ -599,6 +651,7 @@ fn run_with<M: LoadModel + Sync, S: Strategy>(spec: &RunSpec, model: M, strategy
             Arrivals::Ramp { .. } => "ramp",
             Arrivals::Flash { .. } => "flash",
             Arrivals::Zipf { .. } => "zipf",
+            Arrivals::SelfSim { .. } => "selfsim",
         };
         report.probe("sojourn").and_then(|output| match *output {
             ProbeOutput::Sojourn {
@@ -626,6 +679,30 @@ fn run_with<M: LoadModel + Sync, S: Strategy>(spec: &RunSpec, model: M, strategy
             _ => None,
         })
     });
+    let membership = if spec.churn.is_some() {
+        report.probe("membership").and_then(|output| match *output {
+            ProbeOutput::Membership {
+                epochs,
+                evacuated_tasks,
+                departures,
+                joins,
+                min_active,
+                max_active,
+                final_active,
+            } => Some(MembershipSummary {
+                epochs,
+                evacuated_tasks,
+                departures,
+                joins,
+                min_active,
+                max_active,
+                final_active,
+            }),
+            _ => None,
+        })
+    } else {
+        None
+    };
     RunReport {
         worst_max_load: report.worst_max_load().unwrap_or(0),
         final_max_load: report.max_load,
@@ -637,6 +714,7 @@ fn run_with<M: LoadModel + Sync, S: Strategy>(spec: &RunSpec, model: M, strategy
         theorem1_bound: BalancerConfig::paper(spec.n).theorem1_bound(),
         faults,
         service,
+        membership,
     }
 }
 
@@ -1048,6 +1126,66 @@ mod tests {
         let svc = report.service.as_ref().expect("service block present");
         assert!(svc.shed > 0, "rho=1.5 behind cap 4 must shed");
         assert!(report.to_string().contains("tasks shed"));
+    }
+
+    #[test]
+    fn churn_flag_parses_and_validates() {
+        assert_eq!(parse(args("")).unwrap().unwrap().churn, None);
+        let spec = parse(args("--churn step:100,32")).unwrap().unwrap();
+        assert_eq!(spec.churn, Some(ChurnSpec::parse("step:100,32").unwrap()));
+        assert!(parse(args("--churn step:100"))
+            .unwrap_err()
+            .0
+            .contains("--churn"));
+        assert!(parse(args("--churn warp:1,2"))
+            .unwrap_err()
+            .0
+            .contains("--churn"));
+        assert!(usage().contains("--churn"));
+    }
+
+    #[test]
+    fn fixed_membership_reports_have_no_membership_lines() {
+        let report = execute(&RunSpec {
+            n: 64,
+            steps: 200,
+            ..RunSpec::default()
+        });
+        assert_eq!(report.membership, None);
+        assert!(!report.to_string().contains("membership epochs"));
+    }
+
+    #[test]
+    fn churn_report_prints_membership_block_and_is_backend_independent() {
+        let base = RunSpec {
+            n: 64,
+            steps: 300,
+            seed: 17,
+            churn: Some(ChurnSpec::parse("step:50,32;ramp:32,64,150,100").unwrap()),
+            ..RunSpec::default()
+        };
+        let sequential = execute(&base);
+        let m = sequential.membership.clone().expect("membership block");
+        assert!(m.epochs > 0, "churn schedule must transition");
+        assert_eq!(m.min_active, 32);
+        assert_eq!(m.max_active, 64);
+        assert_eq!(m.final_active, 64);
+        assert!(m.departures >= 32 && m.joins >= 32);
+        let text = sequential.to_string();
+        assert!(text.contains("membership epochs"));
+        assert!(text.contains("active min/max/final  = 32 / 64 / 64"));
+        for threads in [2, 4] {
+            let spec = RunSpec {
+                threads,
+                ..base.clone()
+            };
+            assert_eq!(execute(&spec), sequential, "threads={threads}");
+        }
+        let net = RunSpec {
+            backend: BackendKind::Net { nodes: 2 },
+            ..base.clone()
+        };
+        assert_eq!(execute(&net), sequential, "net:2");
     }
 
     #[test]

@@ -65,10 +65,10 @@ pub mod prelude {
         TrafficSpec,
     };
     pub use pcrlb_sim::{
-        Admission, Backend, Engine, FaultConfig, FaultModel, FaultPlan, FaultProbe, LatencyHist,
-        LoadModel, LoadSnapshotProbe, MaxLoadProbe, MessageRateProbe, PhaseProbe, Probe,
-        ProbeOutput, ProcId, RecoveryProbe, Reliable, RunReport, Runner, SeriesProbe, SimRng,
-        SojournProbe, SojournTailProbe, Step, Strategy, Task, TraceProbe, Unbalanced, WorkerPool,
-        World,
+        Admission, Backend, ChurnSpec, Engine, FaultConfig, FaultModel, FaultPlan, FaultProbe,
+        LatencyHist, LoadModel, LoadSnapshotProbe, MaxLoadProbe, MembershipProbe, MembershipView,
+        MessageRateProbe, PhaseProbe, Probe, ProbeOutput, ProcId, RecoveryProbe, Reliable,
+        RunReport, Runner, SeriesProbe, SimRng, SojournProbe, SojournTailProbe, Step, Strategy,
+        Task, TraceProbe, Unbalanced, WorkerPool, World,
     };
 }

@@ -1,0 +1,150 @@
+//! Elastic-membership determinism: under any churn schedule the
+//! [`RunReport`] must stay bit-identical across all four backends —
+//! sequential, threaded, pooled, and the loopback net runtime — with
+//! and without message loss, and every task evacuated off a departing
+//! processor must land somewhere (conservation, nothing lost or
+//! duplicated).
+
+use pcrlb::prelude::*;
+
+/// The churn schedules the sweep exercises: a 2× shrink step, a grow
+/// ramp back, a transient valley, a periodic batch square wave, and a
+/// composition of all four clause kinds.
+const SCHEDULES: [&str; 5] = [
+    "step:40,96",
+    "step:30,96;ramp:96,192,100,80",
+    "valley:60,40,0.5",
+    "batch:50,48",
+    "step:25,120;ramp:120,160,90,60;valley:160,30,0.75;batch:45,24",
+];
+
+fn run_one(
+    n: usize,
+    seed: u64,
+    steps: u64,
+    schedule: &str,
+    backend: Backend,
+    faults: Option<FaultConfig>,
+) -> (RunReport, World) {
+    let mut runner = Runner::new(n, seed)
+        .model(Single::default_paper())
+        .strategy(ThresholdBalancer::paper(n))
+        .backend(backend)
+        .churn(schedule.parse().expect("schedule parses"))
+        .probe(MaxLoadProbe::new())
+        .probe(MessageRateProbe::new())
+        .probe(MembershipProbe::new());
+    if let Some(f) = faults {
+        runner = runner.faults(f);
+    }
+    let (report, world, _strategy) = runner.run_detailed(steps);
+    (report, world)
+}
+
+/// Blanks the net-only frame counters so a net report can be compared
+/// field-for-field against a shared-memory run.
+fn strip_frames(report: &mut RunReport) {
+    for (_, out) in report.probes.iter_mut() {
+        if let ProbeOutput::MessageRate { frames, .. } = out {
+            *frames = None;
+        }
+    }
+}
+
+fn membership_of(report: &RunReport) -> (u64, u64, usize, usize) {
+    match report.probe("membership") {
+        Some(&ProbeOutput::Membership {
+            epochs,
+            evacuated_tasks,
+            min_active,
+            max_active,
+            ..
+        }) => (epochs, evacuated_tasks, min_active, max_active),
+        other => panic!("membership probe missing: {other:?}"),
+    }
+}
+
+fn assert_all_backends_agree(n: usize, seed: u64, steps: u64, faults: Option<FaultConfig>) {
+    for schedule in SCHEDULES {
+        let (seq, _) = run_one(n, seed, steps, schedule, Backend::Sequential, faults);
+        let (epochs, _, min_active, max_active) = membership_of(&seq);
+        assert!(epochs > 0, "schedule '{schedule}' never transitioned");
+        assert!(
+            min_active < max_active,
+            "schedule '{schedule}' never changed the live prefix"
+        );
+        let backends = [
+            ("threaded", Backend::Threaded(4)),
+            ("pooled", Backend::Pooled(4)),
+            (
+                "net:2",
+                Backend::Net {
+                    nodes: 2,
+                    tcp: false,
+                    relaxed: false,
+                },
+            ),
+            (
+                "net:4",
+                Backend::Net {
+                    nodes: 4,
+                    tcp: false,
+                    relaxed: false,
+                },
+            ),
+        ];
+        for (label, backend) in backends {
+            let (mut got, _) = run_one(n, seed, steps, schedule, backend, faults);
+            got.backend = seq.backend;
+            strip_frames(&mut got);
+            assert_eq!(
+                seq, got,
+                "n={n} seed={seed} schedule='{schedule}' backend={label}"
+            );
+        }
+    }
+}
+
+#[test]
+fn churn_reports_are_bit_identical_across_backends() {
+    for (n, seed) in [(192usize, 7u64), (256, 41), (224, 0xC0FFEE)] {
+        assert_all_backends_agree(n, seed, 220, None);
+    }
+}
+
+#[test]
+fn churn_reports_are_bit_identical_under_message_loss() {
+    let faults = FaultConfig::reliable().with_seed(29).with_loss(0.05);
+    for (n, seed) in [(192usize, 7u64), (256, 41)] {
+        assert_all_backends_agree(n, seed, 220, Some(faults));
+    }
+}
+
+#[test]
+fn evacuation_conserves_every_task() {
+    // Conservation through arbitrary churn: at every instant the tasks
+    // generated minus the tasks completed must equal the tasks still
+    // queued on the *live* processors — departures evacuate, they never
+    // drop or duplicate work. The world's final queue census is the
+    // witness.
+    for schedule in SCHEDULES {
+        let n = 192;
+        let (report, world) = run_one(n, 13, 220, schedule, Backend::Sequential, None);
+        let (_, evacuated, _, _) = membership_of(&report);
+        assert!(evacuated > 0, "schedule '{schedule}' evacuated nothing");
+        let generated: u64 = (0..n).map(|p| world.proc_stats(p).generated).sum();
+        let consumed: u64 = (0..n).map(|p| world.proc_stats(p).consumed).sum();
+        let queued: u64 = world.load_slice().iter().map(|&l| u64::from(l)).sum();
+        assert_eq!(
+            generated,
+            consumed + queued,
+            "schedule '{schedule}': tasks lost or duplicated"
+        );
+        assert_eq!(consumed, report.completions.count);
+        // Every queued task sits on a live processor: departed slots
+        // are swept clean by the coordinator each step.
+        let active = world.active_n();
+        let stranded: u32 = world.load_slice()[active..].iter().sum();
+        assert_eq!(stranded, 0, "schedule '{schedule}': tasks on dead procs");
+    }
+}
